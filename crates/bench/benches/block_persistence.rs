@@ -1,0 +1,81 @@
+//! Benchmarks block creation and durable disk persistence — the §V-B JRU
+//! requirement check measures ~5 ms per block write on the testbed; on a
+//! host SSD this is far faster, but the requirement (≪ 500 ms) is what
+//! matters.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use zugchain_blockchain::{Block, BlockBuilder, DiskStore, LoggedRequest};
+
+fn block_with(requests: usize, payload: usize) -> Block {
+    let mut builder = BlockBuilder::new(requests);
+    let mut block = None;
+    for sn in 1..=requests as u64 {
+        block = builder.push(
+            LoggedRequest {
+                sn,
+                origin: sn % 4,
+                payload: vec![0xEF; payload],
+            },
+            sn * 64,
+        );
+    }
+    block.expect("builder completes at block size")
+}
+
+fn bench_block_creation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("blockchain/create_block_of_10");
+    for payload in [128usize, 1024, 8192] {
+        group.throughput(Throughput::Bytes((payload * 10) as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(payload),
+            &payload,
+            |b, &payload| {
+                b.iter(|| block_with(10, std::hint::black_box(payload)));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_disk_write(c: &mut Criterion) {
+    let dir = std::env::temp_dir().join(format!("zugchain-bench-{}", std::process::id()));
+    let store = DiskStore::open(&dir).expect("temp dir");
+    let mut group = c.benchmark_group("blockchain/disk_write_block");
+    group.sample_size(30);
+    for payload in [1024usize, 8192] {
+        let block = block_with(10, payload);
+        group.throughput(Throughput::Bytes(block.encoded_size() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(payload), &block, |b, block| {
+            b.iter(|| store.write_block(std::hint::black_box(block)).unwrap());
+        });
+    }
+    group.finish();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+fn bench_chain_verify(c: &mut Criterion) {
+    let mut group = c.benchmark_group("blockchain/verify_chain");
+    for n_blocks in [10usize, 100] {
+        let mut builder = BlockBuilder::new(10);
+        let mut blocks = vec![Block::genesis()];
+        for sn in 1..=(n_blocks * 10) as u64 {
+            if let Some(block) = builder.push(
+                LoggedRequest {
+                    sn,
+                    origin: 0,
+                    payload: vec![0xAA; 1024],
+                },
+                sn * 64,
+            ) {
+                blocks.push(block);
+            }
+        }
+        group.bench_with_input(BenchmarkId::from_parameter(n_blocks), &blocks, |b, blocks| {
+            b.iter(|| zugchain_blockchain::verify_chain(std::hint::black_box(blocks), None).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_block_creation, bench_disk_write, bench_chain_verify);
+criterion_main!(benches);

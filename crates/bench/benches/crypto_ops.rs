@@ -1,0 +1,43 @@
+//! Microbenchmarks of the cryptographic primitives that dominate
+//! ZugChain's CPU budget: Ed25519 signing/verification and SHA-256
+//! hashing (the constants behind `CostModel`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use zugchain_crypto::{Digest, KeyPair};
+
+fn bench_sign(c: &mut Criterion) {
+    let key = KeyPair::from_seed(1);
+    let message = vec![0xAB; 1024];
+    c.bench_function("crypto/ed25519_sign_1k", |b| {
+        b.iter(|| key.sign(std::hint::black_box(&message)));
+    });
+}
+
+fn bench_verify(c: &mut Criterion) {
+    let key = KeyPair::from_seed(1);
+    let message = vec![0xAB; 1024];
+    let signature = key.sign(&message);
+    let public = key.public_key();
+    c.bench_function("crypto/ed25519_verify_1k", |b| {
+        b.iter(|| {
+            public
+                .verify(std::hint::black_box(&message), &signature)
+                .unwrap()
+        });
+    });
+}
+
+fn bench_hash(c: &mut Criterion) {
+    let mut group = c.benchmark_group("crypto/sha256");
+    for size in [32usize, 1024, 8192, 65536] {
+        let data = vec![0x5A; size];
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(size), &data, |b, data| {
+            b.iter(|| Digest::of(std::hint::black_box(data)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sign, bench_verify, bench_hash);
+criterion_main!(benches);

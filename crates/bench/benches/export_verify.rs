@@ -1,0 +1,83 @@
+//! Benchmarks the data-center side of the export protocol: checkpoint
+//! proof verification and chain validation — the "verify" row of
+//! Table II (0.2–0.3 % of the export total in the paper).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use zugchain_blockchain::{Block, BlockBuilder, LoggedRequest};
+use zugchain_crypto::Keystore;
+use zugchain_export::{install_transfer, TransferPackage};
+use zugchain_pbft::{Checkpoint, CheckpointProof, Message, NodeId};
+
+fn chain_of(n_blocks: usize) -> Vec<Block> {
+    let mut builder = BlockBuilder::new(10);
+    let mut blocks = Vec::new();
+    for sn in 1..=(n_blocks * 10) as u64 {
+        if let Some(block) = builder.push(
+            LoggedRequest {
+                sn,
+                origin: sn % 4,
+                payload: vec![0x77; 90],
+            },
+            sn * 64,
+        ) {
+            blocks.push(block);
+        }
+    }
+    blocks
+}
+
+fn proof_for(block: &Block, pairs: &[zugchain_crypto::KeyPair]) -> CheckpointProof {
+    let checkpoint = Checkpoint {
+        sn: block.header.last_sn,
+        state_digest: block.hash(),
+    };
+    let message = zugchain_wire::to_bytes(&Message::Checkpoint(checkpoint));
+    CheckpointProof {
+        checkpoint,
+        signatures: (0..3)
+            .map(|id| (NodeId(id as u64), pairs[id].sign(&message)))
+            .collect(),
+    }
+}
+
+fn bench_proof_verification(c: &mut Criterion) {
+    let (pairs, keystore) = Keystore::generate(4, 7);
+    let blocks = chain_of(1);
+    let proof = proof_for(blocks.last().unwrap(), &pairs);
+    c.bench_function("export/verify_checkpoint_proof", |b| {
+        b.iter(|| {
+            assert!(std::hint::black_box(&proof).verify(&keystore, 3));
+        });
+    });
+}
+
+fn bench_transfer_install(c: &mut Criterion) {
+    let (pairs, keystore) = Keystore::generate(4, 7);
+    let (_, dc_keystore) = Keystore::generate(2, 8);
+    let mut group = c.benchmark_group("export/install_transfer");
+    group.sample_size(20);
+    for n_blocks in [50usize, 500] {
+        let blocks = chain_of(n_blocks);
+        let package = TransferPackage {
+            proof: proof_for(blocks.last().unwrap(), &pairs),
+            blocks,
+            base_deletes: vec![],
+        };
+        group.bench_with_input(
+            BenchmarkId::from_parameter(n_blocks),
+            &package,
+            |b, package| {
+                b.iter(|| {
+                    let store =
+                        install_transfer(std::hint::black_box(package), &keystore, &dc_keystore, 3, 2)
+                            .unwrap();
+                    store.height()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_proof_verification, bench_transfer_install);
+criterion_main!(benches);

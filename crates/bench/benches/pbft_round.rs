@@ -1,0 +1,115 @@
+//! Benchmarks one full PBFT normal-case round (preprepare → prepare →
+//! commit → decide) across 4 in-memory replicas — the end-to-end
+//! consensus cost of ordering one bus cycle, on the host CPU.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use zugchain_crypto::Keystore;
+use zugchain_pbft::{Action, Config, NodeId, ProposedRequest, Replica};
+
+/// Drives one request through a fresh 4-replica group until all decide.
+fn order_once(payload: &[u8]) -> usize {
+    let config = Config::new(4).unwrap();
+    let (pairs, keystore) = Keystore::generate(4, 99);
+    let mut replicas: Vec<Replica> = pairs
+        .into_iter()
+        .enumerate()
+        .map(|(id, key)| Replica::new(NodeId(id as u64), config.clone(), key, keystore.clone()))
+        .collect();
+
+    replicas[0].propose(ProposedRequest::application(payload.to_vec(), NodeId(0)));
+    let mut decided = 0usize;
+    loop {
+        let mut traffic = Vec::new();
+        for replica in &mut replicas {
+            for action in replica.drain_actions() {
+                match action {
+                    Action::Broadcast { message } => traffic.push(message),
+                    Action::Decide { .. } => decided += 1,
+                    _ => {}
+                }
+            }
+        }
+        if traffic.is_empty() {
+            break;
+        }
+        for message in traffic {
+            for replica in &mut replicas {
+                replica.on_message(message.clone());
+            }
+        }
+    }
+    decided
+}
+
+fn bench_normal_case(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pbft/normal_case_round");
+    group.sample_size(20);
+    for size in [128usize, 1024, 8192] {
+        let payload = vec![0xCD; size];
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(size), &payload, |b, payload| {
+            b.iter(|| {
+                let decided = order_once(std::hint::black_box(payload));
+                assert_eq!(decided, 4);
+                decided
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_pipelined_ordering(c: &mut Criterion) {
+    // Amortized cost: one group kept alive, 10 requests ordered
+    // back-to-back (one block's worth at the paper's block size).
+    let mut group = c.benchmark_group("pbft/ten_request_block");
+    group.sample_size(20);
+    group.bench_function("block_of_10", |b| {
+        b.iter_batched(
+            || {
+                let config = Config::new(4).unwrap();
+                let (pairs, keystore) = Keystore::generate(4, 99);
+                pairs
+                    .into_iter()
+                    .enumerate()
+                    .map(|(id, key)| {
+                        Replica::new(NodeId(id as u64), config.clone(), key, keystore.clone())
+                    })
+                    .collect::<Vec<Replica>>()
+            },
+            |mut replicas| {
+                for tag in 0..10u8 {
+                    replicas[0]
+                        .propose(ProposedRequest::application(vec![tag; 1024], NodeId(0)));
+                }
+                let mut decided = 0usize;
+                loop {
+                    let mut traffic = Vec::new();
+                    for replica in &mut replicas {
+                        for action in replica.drain_actions() {
+                            match action {
+                                Action::Broadcast { message } => traffic.push(message),
+                                Action::Decide { .. } => decided += 1,
+                                _ => {}
+                            }
+                        }
+                    }
+                    if traffic.is_empty() {
+                        break;
+                    }
+                    for message in traffic {
+                        for replica in &mut replicas {
+                            replica.on_message(message.clone());
+                        }
+                    }
+                }
+                assert_eq!(decided, 40);
+                decided
+            },
+            criterion::BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_normal_case, bench_pipelined_ordering);
+criterion_main!(benches);

@@ -1,0 +1,91 @@
+//! Benchmarks of the ZugChain filtering path: the `inLog` sliding-window
+//! check (Alg. 1) and the JRU on-change signal filter — the per-request
+//! overhead the communication layer adds on top of PBFT.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use zugchain::DedupLog;
+use zugchain_crypto::Digest;
+use zugchain_mvb::PortAddress;
+use zugchain_signals::{ChangeFilter, SignalValue, TrainEvent};
+
+fn bench_dedup_lookup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("filtering/inlog_lookup");
+    for window_entries in [100usize, 10_000, 100_000] {
+        let mut log = DedupLog::new(8);
+        for i in 0..window_entries {
+            log.record(Digest::of(&(i as u64).to_le_bytes()), i as u64);
+        }
+        let hit = Digest::of(&((window_entries / 2) as u64).to_le_bytes());
+        let miss = Digest::of(b"not present");
+        group.bench_with_input(
+            BenchmarkId::from_parameter(window_entries),
+            &(hit, miss),
+            |b, (hit, miss)| {
+                b.iter(|| {
+                    log.contains(std::hint::black_box(hit)) as u8
+                        + log.contains(std::hint::black_box(miss)) as u8
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_dedup_window_slide(c: &mut Criterion) {
+    c.bench_function("filtering/checkpoint_slide_1k_entries", |b| {
+        b.iter_batched(
+            || {
+                let mut log = DedupLog::new(2);
+                for i in 0..3_000u64 {
+                    log.record(Digest::of(&i.to_le_bytes()), i);
+                    if i % 1_000 == 999 {
+                        log.on_checkpoint();
+                    }
+                }
+                log
+            },
+            |mut log| {
+                log.on_checkpoint();
+                log
+            },
+            criterion::BatchSize::SmallInput,
+        );
+    });
+}
+
+fn bench_change_filter(c: &mut Criterion) {
+    let events: Vec<TrainEvent> = (0..14u16)
+        .map(|port| TrainEvent {
+            name: format!("sig_{port}"),
+            port: PortAddress(port),
+            cycle: 0,
+            time_ms: 0,
+            value: SignalValue::U16(port),
+        })
+        .collect();
+    c.bench_function("filtering/on_change_14_signals", |b| {
+        let mut filter = ChangeFilter::new();
+        let mut toggle = 0u16;
+        b.iter(|| {
+            toggle = toggle.wrapping_add(1);
+            let mut admitted = 0;
+            for event in &events {
+                // Half the signals change each round.
+                let mut event = event.clone();
+                if event.port.0 % 2 == 0 {
+                    event.value = SignalValue::U16(toggle);
+                }
+                admitted += filter.admit(std::hint::black_box(&event)) as u32;
+            }
+            admitted
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_dedup_lookup,
+    bench_dedup_window_slide,
+    bench_change_filter
+);
+criterion_main!(benches);

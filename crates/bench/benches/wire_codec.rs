@@ -1,0 +1,70 @@
+//! Microbenchmarks of the canonical wire codec: the cost every message
+//! and block pays on its way in or out of a node.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use zugchain_mvb::PortAddress;
+use zugchain_signals::{Request, SignalValue, TrainEvent};
+
+fn sample_request(events: usize) -> Request {
+    Request::new(
+        7,
+        448,
+        (0..events)
+            .map(|i| TrainEvent {
+                name: format!("signal_{i}"),
+                port: PortAddress(i as u16),
+                cycle: 7,
+                time_ms: 448,
+                value: SignalValue::U16(i as u16 * 3),
+            })
+            .collect(),
+    )
+}
+
+fn bench_encode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wire/encode_request");
+    for events in [1usize, 14, 64] {
+        let request = sample_request(events);
+        let size = zugchain_wire::to_bytes(&request).len();
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(events), &request, |b, r| {
+            b.iter(|| zugchain_wire::to_bytes(std::hint::black_box(r)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_decode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wire/decode_request");
+    for events in [1usize, 14, 64] {
+        let bytes = zugchain_wire::to_bytes(&sample_request(events));
+        group.throughput(Throughput::Bytes(bytes.len() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(events), &bytes, |b, bytes| {
+            b.iter(|| {
+                zugchain_wire::from_bytes::<Request>(std::hint::black_box(bytes)).unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_varint(c: &mut Criterion) {
+    c.bench_function("wire/varint_round_trip", |b| {
+        b.iter(|| {
+            let mut w = zugchain_wire::Writer::new();
+            for value in [0u64, 127, 300, 1 << 20, u64::MAX] {
+                w.write_varint(std::hint::black_box(value));
+            }
+            let bytes = w.into_bytes();
+            let mut r = zugchain_wire::Reader::new(&bytes);
+            let mut sum = 0u64;
+            for _ in 0..5 {
+                sum = sum.wrapping_add(r.read_varint().unwrap());
+            }
+            sum
+        });
+    });
+}
+
+criterion_group!(benches, bench_encode, bench_decode, bench_varint);
+criterion_main!(benches);

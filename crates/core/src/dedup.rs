@@ -1,0 +1,168 @@
+use std::collections::{HashMap, VecDeque};
+
+use zugchain_crypto::Digest;
+
+/// The `inLog` check of Algorithm 1, implemented as the paper describes:
+/// *"a check of the complete blockchain for every request is not feasible;
+/// instead, we check against the recent history. This is done efficiently
+/// with a hashmap over the requests of a sliding window of past
+/// checkpoints as well as open requests in R"* (§III-C).
+///
+/// Payload digests of logged requests are kept per checkpoint interval;
+/// when a checkpoint falls out of the window, its digests are evicted.
+///
+/// # Examples
+///
+/// ```
+/// use zugchain::DedupLog;
+/// use zugchain_crypto::Digest;
+///
+/// let mut log = DedupLog::new(2);
+/// let d = Digest::of(b"cycle 7");
+/// log.record(d, 1);
+/// assert!(log.contains(&d));
+///
+/// // Two checkpoints later the window has slid past it.
+/// log.on_checkpoint();
+/// log.on_checkpoint();
+/// log.on_checkpoint();
+/// assert!(!log.contains(&d));
+/// ```
+#[derive(Debug, Clone)]
+pub struct DedupLog {
+    window_checkpoints: usize,
+    /// payload digest → sequence number it was logged at.
+    by_digest: HashMap<Digest, u64>,
+    /// Digests logged in the current (open) checkpoint interval.
+    current_bucket: Vec<Digest>,
+    /// Buckets of completed checkpoint intervals, oldest first.
+    buckets: VecDeque<Vec<Digest>>,
+}
+
+impl DedupLog {
+    /// Creates a filter remembering `window_checkpoints` completed
+    /// checkpoint intervals plus the open one.
+    pub fn new(window_checkpoints: usize) -> Self {
+        Self {
+            window_checkpoints: window_checkpoints.max(1),
+            by_digest: HashMap::new(),
+            current_bucket: Vec::new(),
+            buckets: VecDeque::new(),
+        }
+    }
+
+    /// Returns `true` if `digest` was logged within the sliding window.
+    pub fn contains(&self, digest: &Digest) -> bool {
+        self.by_digest.contains_key(digest)
+    }
+
+    /// The sequence number `digest` was logged at, if within the window.
+    pub fn sequence_of(&self, digest: &Digest) -> Option<u64> {
+        self.by_digest.get(digest).copied()
+    }
+
+    /// Records a logged request. A digest already present keeps its
+    /// original sequence number.
+    pub fn record(&mut self, digest: Digest, sn: u64) {
+        if let std::collections::hash_map::Entry::Vacant(entry) = self.by_digest.entry(digest) {
+            entry.insert(sn);
+            self.current_bucket.push(digest);
+        }
+    }
+
+    /// Slides the window: the current bucket is sealed and the oldest
+    /// bucket beyond the window is evicted. Call when a checkpoint
+    /// becomes stable.
+    pub fn on_checkpoint(&mut self) {
+        let sealed = std::mem::take(&mut self.current_bucket);
+        self.buckets.push_back(sealed);
+        while self.buckets.len() > self.window_checkpoints {
+            let evicted = self.buckets.pop_front().expect("len checked");
+            for digest in evicted {
+                self.by_digest.remove(&digest);
+            }
+        }
+    }
+
+    /// Number of digests currently tracked.
+    pub fn len(&self) -> usize {
+        self.by_digest.len()
+    }
+
+    /// Returns `true` if the filter is empty.
+    pub fn is_empty(&self) -> bool {
+        self.by_digest.is_empty()
+    }
+
+    /// Approximate resident bytes, for memory accounting.
+    pub fn approx_memory_bytes(&self) -> usize {
+        // digest (32) + sn (8) + hashmap/bucket overhead ≈ 64 per entry.
+        self.by_digest.len() * 64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn digest(tag: u8) -> Digest {
+        Digest::of(&[tag])
+    }
+
+    #[test]
+    fn records_and_finds() {
+        let mut log = DedupLog::new(4);
+        log.record(digest(1), 10);
+        assert!(log.contains(&digest(1)));
+        assert_eq!(log.sequence_of(&digest(1)), Some(10));
+        assert!(!log.contains(&digest(2)));
+    }
+
+    #[test]
+    fn window_evicts_old_checkpoints_only() {
+        let mut log = DedupLog::new(2);
+        log.record(digest(1), 1);
+        log.on_checkpoint(); // bucket A sealed
+        log.record(digest(2), 2);
+        log.on_checkpoint(); // bucket B sealed
+        log.record(digest(3), 3);
+        // Window holds 2 sealed buckets + open: everything visible.
+        assert!(log.contains(&digest(1)));
+        log.on_checkpoint(); // bucket C sealed; A evicted
+        assert!(!log.contains(&digest(1)));
+        assert!(log.contains(&digest(2)));
+        assert!(log.contains(&digest(3)));
+    }
+
+    #[test]
+    fn duplicate_record_does_not_double_evict() {
+        let mut log = DedupLog::new(1);
+        log.record(digest(1), 1);
+        log.record(digest(1), 2); // same digest recorded again
+        assert_eq!(log.sequence_of(&digest(1)), Some(1), "first sn wins");
+        log.on_checkpoint();
+        log.on_checkpoint();
+        assert!(!log.contains(&digest(1)));
+        assert_eq!(log.len(), 0);
+    }
+
+    #[test]
+    fn window_of_zero_is_clamped_to_one() {
+        let mut log = DedupLog::new(0);
+        log.record(digest(1), 1);
+        log.on_checkpoint();
+        assert!(log.contains(&digest(1)), "one sealed bucket is kept");
+        log.on_checkpoint();
+        assert!(!log.contains(&digest(1)));
+    }
+
+    #[test]
+    fn memory_tracks_entries() {
+        let mut log = DedupLog::new(4);
+        let empty = log.approx_memory_bytes();
+        for tag in 0..100 {
+            log.record(digest(tag), u64::from(tag));
+        }
+        assert!(log.approx_memory_bytes() >= empty + 100 * 40);
+    }
+}

@@ -1,0 +1,766 @@
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+use zugchain_blockchain::{Block, BlockBuilder, ChainStore, LoggedRequest};
+use zugchain_crypto::{Digest, KeyPair, Keystore};
+use zugchain_mvb::{Nsdb, Telegram};
+use zugchain_pbft::{
+    Action as PbftAction, CheckpointProof, NodeId, ProposedRequest, Replica,
+};
+use zugchain_signals::CycleConsolidator;
+
+use crate::{LayerMessage, NodeConfig, NodeMessage, SignedRequest, TimerId};
+use crate::dedup::DedupLog;
+
+/// An output of a ZugChain node, to be executed by its runtime.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NodeAction {
+    /// Send a message to one peer over the replica network.
+    Send {
+        /// Destination node.
+        to: NodeId,
+        /// The message.
+        message: NodeMessage,
+    },
+    /// Send a message to every other node.
+    Broadcast {
+        /// The message.
+        message: NodeMessage,
+    },
+    /// Arm (or re-arm) a timer.
+    SetTimer {
+        /// Timer identity.
+        id: TimerId,
+        /// Duration until expiry in milliseconds.
+        duration_ms: u64,
+    },
+    /// Disarm a timer (no-op if not armed).
+    CancelTimer {
+        /// Timer identity.
+        id: TimerId,
+    },
+    /// `LOG(req, id, sn)` of Table I: a request entered the totally
+    /// ordered log.
+    Logged {
+        /// Assigned sequence number.
+        sn: u64,
+        /// Node that received the request from the bus.
+        origin: NodeId,
+        /// The request payload.
+        payload: Vec<u8>,
+    },
+    /// A block was bundled and appended to the local chain.
+    BlockCreated {
+        /// The new block.
+        block: Block,
+    },
+    /// A per-block checkpoint became stable (2f+1 signatures).
+    CheckpointStable {
+        /// The verifiable proof.
+        proof: CheckpointProof,
+    },
+    /// A view change completed.
+    NewPrimary {
+        /// New view number.
+        view: u64,
+        /// Primary of the new view.
+        primary: NodeId,
+    },
+    /// The node fell behind a stable checkpoint and must fetch blocks
+    /// from peers (§III-D scenario (ii)).
+    StateTransferNeeded {
+        /// First missing sequence number.
+        from_sn: u64,
+        /// Target sequence number.
+        to_sn: u64,
+    },
+}
+
+/// Counters for evaluation and debugging.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NodeStats {
+    /// Consolidated requests read from the bus.
+    pub bus_requests: u64,
+    /// Requests this node proposed to consensus (as primary).
+    pub proposed: u64,
+    /// Requests appended to the log.
+    pub logged: u64,
+    /// Incoming layer requests ignored because their payload was already
+    /// logged (the filter working as intended).
+    pub duplicates_filtered: u64,
+    /// Duplicates found *after* ordering — evidence of a faulty primary.
+    pub primary_duplicates_detected: u64,
+    /// Soft timeouts that fired (request broadcast).
+    pub soft_timeouts: u64,
+    /// Hard timeouts that fired (primary suspected).
+    pub hard_timeouts: u64,
+    /// Layer messages dropped by the per-node rate limit.
+    pub rate_limited: u64,
+    /// Layer messages dropped for invalid origin signatures.
+    pub invalid_signatures: u64,
+    /// Blocks created.
+    pub blocks_created: u64,
+}
+
+/// A request known to this node but not yet decided.
+#[derive(Debug, Clone)]
+struct Pending {
+    request: ProposedRequest,
+    /// `true` if this node read the request from the bus itself (it is in
+    /// the node's own queue R of Alg. 1).
+    mine: bool,
+}
+
+/// Behaviour shared by [`ZugchainNode`] and
+/// [`BaselineNode`](crate::BaselineNode), so runtimes can drive either.
+pub trait TrainNode {
+    /// This node's replica id.
+    fn id(&self) -> NodeId;
+
+    /// The current view number of the underlying replica.
+    fn view(&self) -> u64;
+
+    /// Returns `true` if this node hosts the current primary replica.
+    fn is_primary(&self) -> bool;
+
+    /// Injects an already-consolidated request payload, bypassing telegram
+    /// parsing — used by benchmarks (payload-size sweeps) and fault
+    /// injectors (fabricated requests).
+    fn on_raw_bus_payload(&mut self, payload: Vec<u8>, time_ms: u64);
+
+    /// Feeds one bus cycle's observed telegrams from input `source`
+    /// (nodes may be connected to several buses; §III-C "Multiple Input
+    /// Sources").
+    fn on_bus_cycle(&mut self, source: usize, cycle: u64, time_ms: u64, telegrams: &[Telegram]);
+
+    /// Delivers a network message.
+    fn on_message(&mut self, message: NodeMessage);
+
+    /// Fires an armed timer.
+    fn on_timer(&mut self, timer: TimerId);
+
+    /// Drains the actions produced since the last call.
+    fn drain_actions(&mut self) -> Vec<NodeAction>;
+
+    /// The node's blockchain store.
+    fn chain(&self) -> &ChainStore;
+
+    /// Mutable access to the blockchain store (used by the export
+    /// protocol handler).
+    fn chain_mut(&mut self) -> &mut ChainStore;
+
+    /// Stable checkpoint proofs collected so far, oldest first.
+    fn stable_proofs(&self) -> &[CheckpointProof];
+
+    /// Evaluation counters.
+    fn stats(&self) -> NodeStats;
+
+    /// Approximate resident memory in bytes.
+    fn approx_memory_bytes(&self) -> usize;
+
+    /// Number of open (undecided) requests this node is tracking.
+    fn open_requests(&self) -> usize;
+
+    /// The underlying PBFT replica's counters.
+    fn consensus_stats(&self) -> zugchain_pbft::ReplicaStats;
+
+    /// Diagnostic snapshot of undecided consensus slots.
+    fn slot_snapshot(&self) -> Vec<(u64, bool, usize, usize, bool, bool)>;
+
+    /// Diagnostic `(view, low watermark, decided_up_to, next_sn, buffered)`.
+    fn progress_snapshot(&self) -> (u64, u64, u64, u64, usize);
+}
+
+/// A ZugChain node: the communication layer of Algorithm 1 wired to a
+/// PBFT replica and the blockchain application.
+///
+/// See the crate docs for an overview and the paper mapping; the
+/// [`TrainNode`] trait lists the runtime interface.
+#[derive(Debug)]
+pub struct ZugchainNode {
+    id: NodeId,
+    config: NodeConfig,
+    key: KeyPair,
+    replica: Replica,
+    /// One consolidator per input source (bus link).
+    sources: Vec<CycleConsolidator>,
+    nsdb: Nsdb,
+    /// Open requests by payload digest: R plus foreign requests received
+    /// via broadcast/forward. Ordered map: iteration order (e.g. the new
+    /// primary re-proposing after a view change) must be deterministic.
+    pending: BTreeMap<Digest, Pending>,
+    /// Open foreign requests per origin, for the DoS rate limit.
+    open_by_origin: HashMap<NodeId, HashSet<Digest>>,
+    dedup: DedupLog,
+    builder: BlockBuilder,
+    store: ChainStore,
+    stable_proofs: Vec<CheckpointProof>,
+    /// The armed view-change timer's target view, if any.
+    armed_vc_timer: Option<u64>,
+    /// Latest bus time observed, stamped into blocks.
+    last_time_ms: u64,
+    actions: Vec<NodeAction>,
+    stats: NodeStats,
+}
+
+impl ZugchainNode {
+    /// Creates a node with a single bus input source.
+    pub fn new(id: u64, config: NodeConfig, nsdb: Nsdb, key: KeyPair, keystore: Keystore) -> Self {
+        let replica = Replica::new(NodeId(id), config.pbft.clone(), key.clone(), keystore);
+        Self {
+            id: NodeId(id),
+            sources: vec![CycleConsolidator::new(nsdb.clone())],
+            nsdb,
+            pending: BTreeMap::new(),
+            open_by_origin: HashMap::new(),
+            dedup: DedupLog::new(config.dedup_window_checkpoints),
+            builder: BlockBuilder::new(config.block_size),
+            store: ChainStore::new(),
+            stable_proofs: Vec::new(),
+            armed_vc_timer: None,
+            last_time_ms: 0,
+            actions: Vec::new(),
+            stats: NodeStats::default(),
+            config,
+            key,
+            replica,
+        }
+    }
+
+    /// Recovers a node from durable state after a power loss: the
+    /// reloaded (verified) chain plus its stable checkpoint proofs. The
+    /// block builder resumes at the chain head, consensus resumes after
+    /// the last stable checkpoint, and the duplicate filter is re-seeded
+    /// from the resident blocks so pre-restart payloads are not logged
+    /// twice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `proofs` is empty or its last entry does not match the
+    /// chain head (the caller must have verified the reloaded chain).
+    pub fn recover(
+        id: u64,
+        config: NodeConfig,
+        nsdb: Nsdb,
+        key: KeyPair,
+        keystore: Keystore,
+        store: zugchain_blockchain::ChainStore,
+        proofs: Vec<CheckpointProof>,
+    ) -> Self {
+        let last = proofs.last().expect("recovery requires a stable checkpoint");
+        assert_eq!(
+            last.checkpoint.state_digest,
+            store.head_hash(),
+            "checkpoint proof must cover the reloaded chain head"
+        );
+        let replica = Replica::resume(
+            NodeId(id),
+            config.pbft.clone(),
+            key.clone(),
+            keystore,
+            last.clone(),
+        );
+        let mut dedup = DedupLog::new(config.dedup_window_checkpoints);
+        for block in store.blocks() {
+            for request in &block.requests {
+                dedup.record(request.payload_digest(), request.sn);
+            }
+            dedup.on_checkpoint();
+        }
+        let builder = BlockBuilder::resume(config.block_size, store.height(), store.head_hash());
+        Self {
+            id: NodeId(id),
+            sources: vec![CycleConsolidator::new(nsdb.clone())],
+            nsdb,
+            pending: BTreeMap::new(),
+            open_by_origin: HashMap::new(),
+            dedup,
+            builder,
+            store,
+            stable_proofs: proofs,
+            armed_vc_timer: None,
+            last_time_ms: 0,
+            actions: Vec::new(),
+            stats: NodeStats::default(),
+            config,
+            key,
+            replica,
+        }
+    }
+
+    /// Attaches an additional bus input source, returning its index.
+    pub fn add_input_source(&mut self) -> usize {
+        self.sources.push(CycleConsolidator::new(self.nsdb.clone()));
+        self.sources.len() - 1
+    }
+
+    /// Returns `true` if this node is co-located with the current BFT
+    /// primary.
+    pub fn is_primary(&self) -> bool {
+        self.replica.is_primary()
+    }
+
+    /// The current view number of the underlying replica.
+    pub fn view(&self) -> u64 {
+        self.replica.view()
+    }
+
+    /// The underlying PBFT replica (read-only).
+    pub fn replica(&self) -> &Replica {
+        &self.replica
+    }
+
+    /// Number of requests currently open (undecided).
+    pub fn open_requests(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Algorithm 1, `upon RECEIVE(req)` (ln. 5–11).
+    fn handle_local_request(&mut self, payload: Vec<u8>) {
+        let digest = Digest::of(&payload);
+        if self.dedup.contains(&digest) || self.pending.contains_key(&digest) {
+            // Already logged or already in flight: a delayed duplicate
+            // delivery from the bus.
+            self.stats.duplicates_filtered += 1;
+            return;
+        }
+        let request =
+            ProposedRequest::application(payload, self.id).with_time(self.last_time_ms);
+        self.pending.insert(
+            digest,
+            Pending {
+                request: request.clone(),
+                mine: true,
+            },
+        );
+        if self.is_primary() {
+            // ln. 7–9: the primary proposes directly.
+            self.stats.proposed += 1;
+            self.replica.propose(request);
+            self.pump_replica();
+        } else {
+            // ln. 11: backups arm the soft timeout.
+            self.actions.push(NodeAction::SetTimer {
+                id: TimerId::Soft(digest),
+                duration_ms: self.config.soft_timeout_ms,
+            });
+        }
+    }
+
+    /// Algorithm 1, `upon DECIDE(r, sn)` (ln. 12–20).
+    fn on_decide(&mut self, sn: u64, request: ProposedRequest) {
+        if request.is_noop() {
+            return; // view-change gap filler, nothing to log
+        }
+        let digest = request.payload_digest();
+
+        // ln. 13–16: clear queue entry and any timers.
+        if let Some(pending) = self.pending.remove(&digest) {
+            let origin = pending.request.origin;
+            if let Some(open) = self.open_by_origin.get_mut(&origin) {
+                open.remove(&digest);
+            }
+            self.actions.push(NodeAction::CancelTimer {
+                id: TimerId::Soft(digest),
+            });
+            self.actions.push(NodeAction::CancelTimer {
+                id: TimerId::Hard(digest),
+            });
+        }
+
+        // ln. 17–18: a payload already in the log means the primary
+        // proposed a duplicate — suspect it.
+        if self.dedup.contains(&digest) {
+            self.stats.primary_duplicates_detected += 1;
+            let primary = self.replica.primary();
+            self.replica.suspect(primary);
+            self.pump_replica();
+            return;
+        }
+
+        // ln. 20: append to the log with the origin's id.
+        self.dedup.record(digest, sn);
+        self.stats.logged += 1;
+        self.actions.push(NodeAction::Logged {
+            sn,
+            origin: request.origin,
+            payload: request.payload.clone(),
+        });
+        let logged = LoggedRequest {
+            sn,
+            origin: request.origin.0,
+            payload: request.payload,
+        };
+        // Stamp the block with the *agreed* request time, never a local
+        // clock: all replicas must bundle bit-identical blocks.
+        if let Some(block) = self.builder.push(logged, request.time_ms) {
+            let block_hash = block.hash();
+            let last_sn = block.header.last_sn;
+            self.store
+                .append(block.clone())
+                .expect("builder output always extends the local chain");
+            self.stats.blocks_created += 1;
+            self.actions.push(NodeAction::BlockCreated { block });
+            // One checkpoint per block (§III-C): the checkpoint digest is
+            // the block hash, backing the block with replica signatures.
+            self.replica.record_checkpoint(last_sn, block_hash);
+            self.pump_replica();
+        }
+    }
+
+    /// Algorithm 1, `upon NEWPRIMARY(pid)` (ln. 36–43).
+    ///
+    /// Open requests are those "without a corresponding DECIDE or running
+    /// consensus instance" (§III-C): requests the `NewView` already
+    /// re-preprepared must not be proposed (or timed) again — ordering
+    /// them twice would make honest nodes suspect the new primary.
+    fn on_new_primary(&mut self, view: u64, primary: NodeId) {
+        self.actions.push(NodeAction::NewPrimary { view, primary });
+        let pending: Vec<(Digest, Pending)> = self
+            .pending
+            .iter()
+            .map(|(d, p)| (*d, p.clone()))
+            .collect();
+        if primary == self.id {
+            // ln. 39–41: the new primary proposes all open requests. Its
+            // own timers from when it was a backup are void — it cannot
+            // censor itself, and a stale hard timer must not push the
+            // fresh primary into suspecting itself.
+            for (digest, entry) in pending {
+                self.actions.push(NodeAction::CancelTimer {
+                    id: TimerId::Soft(digest),
+                });
+                self.actions.push(NodeAction::CancelTimer {
+                    id: TimerId::Hard(digest),
+                });
+                if !self.dedup.contains(&digest) && !self.replica.has_in_flight_payload(&digest) {
+                    self.stats.proposed += 1;
+                    self.replica.propose(entry.request);
+                }
+            }
+            self.pump_replica();
+        } else {
+            // ln. 43: backups restart timers for open requests — soft for
+            // requests they read themselves, hard for foreign requests
+            // they already broadcast or received.
+            for (digest, entry) in pending {
+                if self.replica.has_in_flight_payload(&digest) {
+                    // Its re-preprepare is already running: disarm any
+                    // timer left over from the old view so the about-to-
+                    // arrive decide is not mistaken for censorship.
+                    self.actions.push(NodeAction::CancelTimer {
+                        id: TimerId::Soft(digest),
+                    });
+                    self.actions.push(NodeAction::CancelTimer {
+                        id: TimerId::Hard(digest),
+                    });
+                    continue;
+                }
+                // A fresh primary gets a fresh accusation window: void
+                // timers armed against the deposed primary before
+                // re-arming (ln. 43 "restart their SOFT_TIMEOUTs").
+                self.actions.push(NodeAction::CancelTimer {
+                    id: TimerId::Soft(digest),
+                });
+                self.actions.push(NodeAction::CancelTimer {
+                    id: TimerId::Hard(digest),
+                });
+                let (id, duration_ms) = if entry.mine {
+                    (TimerId::Soft(digest), self.config.soft_timeout_ms)
+                } else {
+                    (TimerId::Hard(digest), self.config.hard_timeout_ms)
+                };
+                self.actions.push(NodeAction::SetTimer { id, duration_ms });
+            }
+        }
+    }
+
+    /// Algorithm 1, `upon BROADCAST(r)` receiver side (ln. 25–32), plus
+    /// forwarded requests reaching the primary.
+    fn on_layer_message(&mut self, message: LayerMessage) {
+        let keystore_ok = message.request().verify(self.keystore());
+        if !keystore_ok {
+            self.stats.invalid_signatures += 1;
+            return;
+        }
+        let signed = message.request().clone();
+        let digest = signed.payload_digest();
+        let origin = signed.request.origin;
+
+        // ln. 26–27: ignore duplicates already in the log.
+        if self.dedup.contains(&digest) {
+            self.stats.duplicates_filtered += 1;
+            return;
+        }
+
+        // DoS containment (§III-C, fault (iii)): cap open requests per
+        // origin; drop the excess.
+        if origin != self.id && !self.pending.contains_key(&digest) {
+            let open = self.open_by_origin.entry(origin).or_default();
+            if open.len() >= self.config.open_request_limit {
+                self.stats.rate_limited += 1;
+                return;
+            }
+            open.insert(digest);
+        }
+
+        let already_pending = self.pending.contains_key(&digest);
+        if !already_pending {
+            self.pending.insert(
+                digest,
+                Pending {
+                    request: signed.request.clone(),
+                    mine: false,
+                },
+            );
+        }
+
+        match message {
+            LayerMessage::BroadcastRequest(_) => {
+                if self.is_primary() {
+                    // ln. 28–29: propose with the id of the broadcasting
+                    // node, unless it is already in flight.
+                    if !already_pending {
+                        self.stats.proposed += 1;
+                        self.replica.propose(signed.request);
+                        self.pump_replica();
+                    }
+                } else {
+                    // ln. 31–32: arm the hard timeout and make sure the
+                    // primary receives the request even if the (possibly
+                    // faulty) broadcaster omitted it.
+                    self.actions.push(NodeAction::SetTimer {
+                        id: TimerId::Hard(digest),
+                        duration_ms: self.config.hard_timeout_ms,
+                    });
+                    let primary = self.replica.primary();
+                    self.actions.push(NodeAction::Send {
+                        to: primary,
+                        message: NodeMessage::Layer(LayerMessage::ForwardRequest(signed)),
+                    });
+                }
+            }
+            LayerMessage::ForwardRequest(_) => {
+                if self.is_primary() && !already_pending {
+                    self.stats.proposed += 1;
+                    self.replica.propose(signed.request);
+                    self.pump_replica();
+                }
+            }
+            LayerMessage::ClientRequest(_) => {
+                // Baseline-mode message; a ZugChain node never orders it.
+            }
+        }
+    }
+
+    fn keystore(&self) -> &Keystore {
+        // The replica owns the keystore; reuse it rather than carrying a
+        // second copy.
+        self.replica.keystore()
+    }
+
+    /// Translates buffered PBFT actions into node actions.
+    fn pump_replica(&mut self) {
+        let actions = self.replica.drain_actions();
+        for action in actions {
+            match action {
+                PbftAction::Broadcast { message } => self.actions.push(NodeAction::Broadcast {
+                    message: NodeMessage::Consensus(message),
+                }),
+                PbftAction::Send { to, message } => self.actions.push(NodeAction::Send {
+                    to,
+                    message: NodeMessage::Consensus(message),
+                }),
+                PbftAction::Decide { sn, request } => self.on_decide(sn, request),
+                PbftAction::NewPrimary { view, primary } => self.on_new_primary(view, primary),
+                PbftAction::PrePrepareSeen { payload_digest, .. } => {
+                    // §III-C optimization: the preprepare is a reliable
+                    // enough signal to cancel the soft timeout early.
+                    if self.pending.contains_key(&payload_digest) {
+                        self.actions.push(NodeAction::CancelTimer {
+                            id: TimerId::Soft(payload_digest),
+                        });
+                    }
+                }
+                PbftAction::StableCheckpoint { proof } => {
+                    self.dedup.on_checkpoint();
+                    self.stable_proofs.push(proof.clone());
+                    self.actions.push(NodeAction::CheckpointStable { proof });
+                }
+                PbftAction::StartViewChangeTimer { view } => {
+                    if let Some(old) = self.armed_vc_timer.replace(view) {
+                        self.actions.push(NodeAction::CancelTimer {
+                            id: TimerId::ViewChange(old),
+                        });
+                    }
+                    self.actions.push(NodeAction::SetTimer {
+                        id: TimerId::ViewChange(view),
+                        duration_ms: self.config.view_change_timeout_ms,
+                    });
+                }
+                PbftAction::CancelViewChangeTimer => {
+                    if let Some(view) = self.armed_vc_timer.take() {
+                        self.actions.push(NodeAction::CancelTimer {
+                            id: TimerId::ViewChange(view),
+                        });
+                    }
+                }
+                PbftAction::NeedStateTransfer { from_sn, to_sn } => {
+                    self.actions
+                        .push(NodeAction::StateTransferNeeded { from_sn, to_sn });
+                }
+            }
+        }
+    }
+}
+
+impl TrainNode for ZugchainNode {
+    fn id(&self) -> NodeId {
+        self.id
+    }
+
+    fn view(&self) -> u64 {
+        ZugchainNode::view(self)
+    }
+
+    fn is_primary(&self) -> bool {
+        ZugchainNode::is_primary(self)
+    }
+
+    fn on_raw_bus_payload(&mut self, payload: Vec<u8>, time_ms: u64) {
+        self.last_time_ms = self.last_time_ms.max(time_ms);
+        self.stats.bus_requests += 1;
+        self.handle_local_request(payload);
+    }
+
+    fn on_bus_cycle(&mut self, source: usize, cycle: u64, time_ms: u64, telegrams: &[Telegram]) {
+        self.last_time_ms = self.last_time_ms.max(time_ms);
+        assert!(source < self.sources.len(), "unknown input source {source}");
+        if let Some(request) = self.sources[source].consolidate(cycle, time_ms, telegrams) {
+            self.stats.bus_requests += 1;
+            let payload = zugchain_wire::to_bytes(&request);
+            self.handle_local_request(payload);
+        }
+    }
+
+    fn on_message(&mut self, message: NodeMessage) {
+        match message {
+            NodeMessage::Consensus(signed) => {
+                self.replica.on_message(signed);
+                self.pump_replica();
+            }
+            NodeMessage::Layer(layer) => self.on_layer_message(layer),
+        }
+    }
+
+    fn on_timer(&mut self, timer: TimerId) {
+        match timer {
+            TimerId::Soft(digest) => {
+                // ln. 21–24: broadcast the request and arm the hard
+                // timeout.
+                let Some(pending) = self.pending.get(&digest) else {
+                    return;
+                };
+                if self.dedup.contains(&digest) || self.replica.has_in_flight_payload(&digest) {
+                    return;
+                }
+                if self.is_primary() {
+                    // A timer that survived into our own primaryship just
+                    // means the request is ours to order.
+                    let request = pending.request.clone();
+                    self.stats.proposed += 1;
+                    self.replica.propose(request);
+                    self.pump_replica();
+                    return;
+                }
+                self.stats.soft_timeouts += 1;
+                let signed = SignedRequest::sign(pending.request.clone(), &self.key);
+                self.actions.push(NodeAction::SetTimer {
+                    id: TimerId::Hard(digest),
+                    duration_ms: self.config.hard_timeout_ms,
+                });
+                self.actions.push(NodeAction::Broadcast {
+                    message: NodeMessage::Layer(LayerMessage::BroadcastRequest(signed)),
+                });
+            }
+            TimerId::Hard(digest) => {
+                // ln. 33–35: the primary failed to order the request.
+                if self.pending.contains_key(&digest) && !self.dedup.contains(&digest) {
+                    if self.is_primary() {
+                        // We became the primary since arming this timer:
+                        // order the request instead of suspecting
+                        // ourselves.
+                        if !self.replica.has_in_flight_payload(&digest) {
+                            let request = self.pending[&digest].request.clone();
+                            self.stats.proposed += 1;
+                            self.replica.propose(request);
+                            self.pump_replica();
+                        }
+                        return;
+                    }
+                    self.stats.hard_timeouts += 1;
+                    let primary = self.replica.primary();
+                    self.replica.suspect(primary);
+                    self.pump_replica();
+                }
+            }
+            TimerId::ViewChange(_) => {
+                self.replica.on_view_change_timeout();
+                self.pump_replica();
+            }
+        }
+    }
+
+    fn drain_actions(&mut self) -> Vec<NodeAction> {
+        std::mem::take(&mut self.actions)
+    }
+
+    fn chain(&self) -> &ChainStore {
+        &self.store
+    }
+
+    fn chain_mut(&mut self) -> &mut ChainStore {
+        &mut self.store
+    }
+
+    fn stable_proofs(&self) -> &[CheckpointProof] {
+        &self.stable_proofs
+    }
+
+    fn stats(&self) -> NodeStats {
+        self.stats
+    }
+
+    fn open_requests(&self) -> usize {
+        self.pending.len()
+    }
+
+    fn consensus_stats(&self) -> zugchain_pbft::ReplicaStats {
+        self.replica.stats()
+    }
+
+    fn slot_snapshot(&self) -> Vec<(u64, bool, usize, usize, bool, bool)> {
+        self.replica.slot_snapshot()
+    }
+
+    fn progress_snapshot(&self) -> (u64, u64, u64, u64, usize) {
+        self.replica.progress_snapshot()
+    }
+
+    fn approx_memory_bytes(&self) -> usize {
+        let pending_bytes: usize = self
+            .pending
+            .values()
+            .map(|p| p.request.payload.len() + 96)
+            .sum();
+        self.replica.approx_memory_bytes()
+            + self.store.resident_bytes()
+            + self.dedup.approx_memory_bytes()
+            + pending_bytes
+            + self.stable_proofs.len() * 512
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod testutil;
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,257 @@
+use std::fmt;
+
+use ed25519_dalek::{Signer as _, Verifier as _};
+use rand::{Rng as _, SeedableRng as _}; // `Rng` provides `fill_bytes`
+use zugchain_wire::{Decode, Encode, Reader, WireError, Writer};
+
+/// Error returned when a signature fails verification.
+///
+/// Deliberately carries no detail: distinguishing *why* a signature is
+/// invalid would leak nothing useful to correct code and plenty to faulty
+/// code paths that should all be treated identically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SignatureError;
+
+impl fmt::Display for SignatureError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "signature verification failed")
+    }
+}
+
+impl std::error::Error for SignatureError {}
+
+/// An Ed25519 signing key pair held by a ZugChain node or data center.
+///
+/// # Examples
+///
+/// ```
+/// use zugchain_crypto::KeyPair;
+///
+/// let key = KeyPair::from_seed(3);
+/// let sig = key.sign(b"door opened");
+/// assert!(key.public_key().verify(b"door opened", &sig).is_ok());
+/// assert!(key.public_key().verify(b"door closed", &sig).is_err());
+/// ```
+#[derive(Clone)]
+pub struct KeyPair {
+    signing: ed25519_dalek::SigningKey,
+}
+
+impl KeyPair {
+    /// Derives a key pair deterministically from a seed.
+    ///
+    /// Used throughout tests and the simulator so that runs are
+    /// reproducible. Key material is expanded from the seed with a seeded
+    /// PRNG, not used as the raw secret directly.
+    pub fn from_seed(seed: u64) -> Self {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0x5a47_4348_4149_4e00);
+        let mut secret = [0u8; 32];
+        rng.fill_bytes(&mut secret);
+        Self {
+            signing: ed25519_dalek::SigningKey::from_bytes(&secret),
+        }
+    }
+
+    /// Constructs a key pair from raw secret bytes.
+    pub fn from_secret_bytes(secret: &[u8; 32]) -> Self {
+        Self {
+            signing: ed25519_dalek::SigningKey::from_bytes(secret),
+        }
+    }
+
+    /// The public half of this key pair.
+    pub fn public_key(&self) -> PublicKey {
+        PublicKey(self.signing.verifying_key())
+    }
+
+    /// Signs `message`, returning a detached signature.
+    pub fn sign(&self, message: &[u8]) -> Signature {
+        Signature(self.signing.sign(message))
+    }
+}
+
+impl fmt::Debug for KeyPair {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Never print secret material.
+        write!(f, "KeyPair(public: {:?})", self.public_key())
+    }
+}
+
+/// An Ed25519 public key identifying a node or data center.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub struct PublicKey(ed25519_dalek::VerifyingKey);
+
+impl PublicKey {
+    /// Verifies `signature` over `message`.
+    ///
+    /// # Errors
+    ///
+    /// [`SignatureError`] if the signature does not verify under this key.
+    pub fn verify(&self, message: &[u8], signature: &Signature) -> Result<(), SignatureError> {
+        self.0
+            .verify(message, &signature.0)
+            .map_err(|_| SignatureError)
+    }
+
+    /// The 32 raw public key bytes.
+    pub fn to_bytes(self) -> [u8; 32] {
+        self.0.to_bytes()
+    }
+
+    /// Parses a public key from raw bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`SignatureError`] if the bytes are not a valid curve point.
+    pub fn try_from_bytes(bytes: &[u8; 32]) -> Result<Self, SignatureError> {
+        ed25519_dalek::VerifyingKey::from_bytes(bytes)
+            .map(PublicKey)
+            .map_err(|_| SignatureError)
+    }
+}
+
+impl fmt::Debug for PublicKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let bytes = self.0.to_bytes();
+        write!(
+            f,
+            "PublicKey({:02x}{:02x}{:02x}{:02x}…)",
+            bytes[0], bytes[1], bytes[2], bytes[3]
+        )
+    }
+}
+
+impl std::hash::Hash for PublicKey {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.0.to_bytes().hash(state);
+    }
+}
+
+impl Encode for PublicKey {
+    fn encode(&self, w: &mut Writer) {
+        w.write_raw(&self.0.to_bytes());
+    }
+
+    fn encoded_len(&self) -> usize {
+        32
+    }
+}
+
+impl Decode for PublicKey {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let bytes = <[u8; 32]>::decode(r)?;
+        PublicKey::try_from_bytes(&bytes).map_err(|_| WireError::InvalidLength {
+            expected: 32,
+            actual: 32,
+        })
+    }
+}
+
+/// A detached Ed25519 signature (64 bytes).
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub struct Signature(ed25519_dalek::Signature);
+
+impl Signature {
+    /// The 64 raw signature bytes.
+    pub fn to_bytes(self) -> [u8; 64] {
+        self.0.to_bytes()
+    }
+
+    /// Constructs a signature from raw bytes.
+    ///
+    /// Any 64 bytes parse; validity is only determined by
+    /// [`PublicKey::verify`].
+    pub fn from_bytes(bytes: &[u8; 64]) -> Self {
+        Signature(ed25519_dalek::Signature::from_bytes(bytes))
+    }
+}
+
+impl fmt::Debug for Signature {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let bytes = self.0.to_bytes();
+        write!(
+            f,
+            "Signature({:02x}{:02x}{:02x}{:02x}…)",
+            bytes[0], bytes[1], bytes[2], bytes[3]
+        )
+    }
+}
+
+impl Encode for Signature {
+    fn encode(&self, w: &mut Writer) {
+        w.write_raw(&self.0.to_bytes());
+    }
+
+    fn encoded_len(&self) -> usize {
+        64
+    }
+}
+
+impl Decode for Signature {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let bytes = <[u8; 64]>::decode(r)?;
+        Ok(Signature::from_bytes(&bytes))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sign_and_verify() {
+        let key = KeyPair::from_seed(1);
+        let sig = key.sign(b"msg");
+        assert!(key.public_key().verify(b"msg", &sig).is_ok());
+    }
+
+    #[test]
+    fn verify_rejects_wrong_message() {
+        let key = KeyPair::from_seed(1);
+        let sig = key.sign(b"msg");
+        assert_eq!(key.public_key().verify(b"other", &sig), Err(SignatureError));
+    }
+
+    #[test]
+    fn verify_rejects_wrong_key() {
+        let a = KeyPair::from_seed(1);
+        let b = KeyPair::from_seed(2);
+        let sig = a.sign(b"msg");
+        assert_eq!(b.public_key().verify(b"msg", &sig), Err(SignatureError));
+    }
+
+    #[test]
+    fn seeded_keys_are_deterministic_and_distinct() {
+        assert_eq!(
+            KeyPair::from_seed(9).public_key(),
+            KeyPair::from_seed(9).public_key()
+        );
+        assert_ne!(
+            KeyPair::from_seed(9).public_key(),
+            KeyPair::from_seed(10).public_key()
+        );
+    }
+
+    #[test]
+    fn public_key_wire_round_trip() {
+        let pk = KeyPair::from_seed(4).public_key();
+        let back: PublicKey = zugchain_wire::from_bytes(&zugchain_wire::to_bytes(&pk)).unwrap();
+        assert_eq!(back, pk);
+    }
+
+    #[test]
+    fn signature_wire_round_trip() {
+        let key = KeyPair::from_seed(4);
+        let sig = key.sign(b"payload");
+        let back: Signature = zugchain_wire::from_bytes(&zugchain_wire::to_bytes(&sig)).unwrap();
+        assert_eq!(back, sig);
+        assert!(key.public_key().verify(b"payload", &back).is_ok());
+    }
+
+    #[test]
+    fn debug_never_prints_secret() {
+        let key = KeyPair::from_seed(5);
+        let repr = format!("{key:?}");
+        assert!(repr.contains("PublicKey"));
+    }
+}

@@ -1,0 +1,124 @@
+use std::collections::BTreeMap;
+
+use crate::{KeyPair, PublicKey, Signature, SignatureError};
+
+/// The set of public keys of a permissioned ZugChain deployment.
+///
+/// Participants (nodes and data centers) are known and authenticated at
+/// startup; membership only changes during train maintenance or overhaul
+/// (paper §II-B). Keys are indexed by a small numeric id — the node or
+/// data-center identifier used in protocol messages.
+///
+/// # Examples
+///
+/// ```
+/// use zugchain_crypto::{KeyPair, Keystore};
+///
+/// let keys: Vec<KeyPair> = (0..4).map(KeyPair::from_seed).collect();
+/// let store = Keystore::new(keys.iter().map(|k| k.public_key()));
+///
+/// let sig = keys[2].sign(b"request");
+/// assert!(store.verify(2, b"request", &sig).is_ok());
+/// assert!(store.verify(1, b"request", &sig).is_err());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Keystore {
+    keys: BTreeMap<u64, PublicKey>,
+}
+
+impl Keystore {
+    /// Builds a keystore assigning ids `0..n` to the given keys in order.
+    pub fn new(keys: impl IntoIterator<Item = PublicKey>) -> Self {
+        Self {
+            keys: keys.into_iter().enumerate().map(|(i, k)| (i as u64, k)).collect(),
+        }
+    }
+
+    /// Builds a keystore with explicit id assignments.
+    pub fn with_ids(keys: impl IntoIterator<Item = (u64, PublicKey)>) -> Self {
+        Self {
+            keys: keys.into_iter().collect(),
+        }
+    }
+
+    /// Generates `n` deterministic key pairs and the matching keystore.
+    ///
+    /// Convenience for tests and simulations: node `i` gets
+    /// `KeyPair::from_seed(seed_base + i)`.
+    pub fn generate(n: usize, seed_base: u64) -> (Vec<KeyPair>, Keystore) {
+        let pairs: Vec<KeyPair> = (0..n as u64).map(|i| KeyPair::from_seed(seed_base + i)).collect();
+        let store = Keystore::new(pairs.iter().map(KeyPair::public_key));
+        (pairs, store)
+    }
+
+    /// Adds or replaces the key for `id`.
+    pub fn insert(&mut self, id: u64, key: PublicKey) {
+        self.keys.insert(id, key);
+    }
+
+    /// Looks up the public key registered for `id`.
+    pub fn get(&self, id: u64) -> Option<&PublicKey> {
+        self.keys.get(&id)
+    }
+
+    /// Number of registered participants.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Returns `true` if no keys are registered.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// Verifies that `signature` over `message` was produced by `id`.
+    ///
+    /// # Errors
+    ///
+    /// [`SignatureError`] if `id` is unknown or the signature is invalid.
+    pub fn verify(&self, id: u64, message: &[u8], signature: &Signature) -> Result<(), SignatureError> {
+        let key = self.keys.get(&id).ok_or(SignatureError)?;
+        key.verify(message, signature)
+    }
+
+    /// Iterates over `(id, public_key)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &PublicKey)> {
+        self.keys.iter().map(|(&id, key)| (id, key))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unknown_id_fails_verification() {
+        let (pairs, store) = Keystore::generate(4, 100);
+        let sig = pairs[0].sign(b"x");
+        assert!(store.verify(99, b"x", &sig).is_err());
+    }
+
+    #[test]
+    fn generate_assigns_sequential_ids() {
+        let (pairs, store) = Keystore::generate(4, 0);
+        assert_eq!(store.len(), 4);
+        for (i, pair) in pairs.iter().enumerate() {
+            assert_eq!(store.get(i as u64), Some(&pair.public_key()));
+        }
+    }
+
+    #[test]
+    fn with_ids_allows_sparse_ids() {
+        let dc_key = KeyPair::from_seed(500).public_key();
+        let store = Keystore::with_ids([(1000, dc_key)]);
+        assert_eq!(store.get(1000), Some(&dc_key));
+        assert_eq!(store.get(0), None);
+    }
+
+    #[test]
+    fn iter_is_ordered_by_id() {
+        let (_, store) = Keystore::generate(3, 7);
+        let ids: Vec<u64> = store.iter().map(|(id, _)| id).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+    }
+}

@@ -1,0 +1,753 @@
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+use zugchain_blockchain::{verify_chain, Block};
+use zugchain_crypto::{Digest, KeyPair, Keystore};
+use zugchain_pbft::NodeId;
+
+use crate::{
+    CheckpointReply, DcId, DeleteCmd, ExportMessage, SignedAck, SignedDelete,
+};
+
+/// Configuration of a data center.
+#[derive(Debug, Clone)]
+pub struct DcConfig {
+    /// This data center's id (key id in the data-center keystore).
+    pub id: DcId,
+    /// Number of replicas on the train.
+    pub n_replicas: usize,
+    /// Checkpoint replies to await before finalizing: 2f+1, so at least
+    /// one reply is both honest and recent (paper step ③).
+    pub replica_quorum: usize,
+    /// The other data centers to synchronize with.
+    pub peers: Vec<DcId>,
+}
+
+/// Result of a completed export round.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExportOutcome {
+    /// Blocks newly added to the archive in this round.
+    pub exported_blocks: usize,
+    /// Archive height after the round.
+    pub new_height: u64,
+    /// Whether a delete was issued (false when nothing new was exported).
+    pub delete_issued: bool,
+}
+
+/// An action the data-center runtime must execute.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DcAction {
+    /// Send a message to one replica on the train.
+    ToReplica {
+        /// Destination replica.
+        to: NodeId,
+        /// The message.
+        message: ExportMessage,
+    },
+    /// Send a message to every replica.
+    BroadcastToReplicas {
+        /// The message.
+        message: ExportMessage,
+    },
+    /// Send a message to a peer data center.
+    ToDataCenter {
+        /// Destination data center.
+        to: DcId,
+        /// The message.
+        message: ExportMessage,
+    },
+    /// The export round finished.
+    Completed(ExportOutcome),
+}
+
+/// State of an in-progress export round.
+#[derive(Debug)]
+struct Round {
+    replies: BTreeMap<u64, CheckpointReply>,
+    staged_blocks: Vec<Block>,
+    range_requested: bool,
+}
+
+/// A railway company's private data center: drives the export protocol
+/// and maintains a verified archive of the full blockchain.
+///
+/// # Examples
+///
+/// See the crate-level docs and the integration tests; a data center is
+/// driven by [`begin_export`](Self::begin_export) and
+/// [`on_replica_message`](Self::on_replica_message).
+#[derive(Debug)]
+pub struct DataCenter {
+    config: DcConfig,
+    key: KeyPair,
+    replica_keystore: Keystore,
+    /// Signature quorum for checkpoint proofs (2f+1 replicas).
+    proof_quorum: usize,
+    /// The archive: every exported block, oldest first, chaining from
+    /// genesis.
+    archive: Vec<Block>,
+    last_height: u64,
+    last_hash: Digest,
+    round: Option<Round>,
+    /// Acks per delete command: set of acknowledging replicas.
+    acks: HashMap<(u64, Digest), BTreeSet<u64>>,
+}
+
+impl DataCenter {
+    /// Creates a data center with an empty archive (genesis only).
+    pub fn new(
+        config: DcConfig,
+        key: KeyPair,
+        replica_keystore: Keystore,
+        proof_quorum: usize,
+    ) -> Self {
+        let genesis = Block::genesis();
+        Self {
+            config,
+            key,
+            replica_keystore,
+            proof_quorum,
+            last_height: genesis.height(),
+            last_hash: genesis.hash(),
+            archive: vec![genesis],
+            round: None,
+            acks: HashMap::new(),
+        }
+    }
+
+    /// This data center's id.
+    pub fn id(&self) -> DcId {
+        self.config.id
+    }
+
+    /// Height of the newest archived block.
+    pub fn archive_height(&self) -> u64 {
+        self.last_height
+    }
+
+    /// The archived blocks, oldest first (starting at genesis).
+    pub fn archive(&self) -> &[Block] {
+        &self.archive
+    }
+
+    /// Verifies the whole archive chain — the externally checkable
+    /// integrity property of blockchain-based logging.
+    pub fn verify_archive(&self) -> bool {
+        verify_chain(&self.archive, None).is_ok()
+    }
+
+    /// Number of replicas that acknowledged the delete for `height`.
+    pub fn acks_for(&self, height: u64, hash: Digest) -> usize {
+        self.acks.get(&(height, hash)).map_or(0, BTreeSet::len)
+    }
+
+    /// Returns `true` while an export round is in flight.
+    pub fn round_in_progress(&self) -> bool {
+        self.round.is_some()
+    }
+
+    /// Step ①: starts an export round, asking every replica for its
+    /// latest checkpoint and `blocks_from` for the full blocks.
+    ///
+    /// If a round is already in progress it is abandoned (the caller
+    /// timed out on a non-responsive replica and retries with another —
+    /// paper §V-B: a faulty node denying to respond only delays the
+    /// export "until another node is queried").
+    pub fn begin_export(&mut self, blocks_from: NodeId) -> Vec<DcAction> {
+        self.round = Some(Round {
+            replies: BTreeMap::new(),
+            staged_blocks: Vec::new(),
+            range_requested: false,
+        });
+        vec![DcAction::BroadcastToReplicas {
+            message: ExportMessage::Read {
+                last_height: self.last_height,
+                blocks_from,
+            },
+        }]
+    }
+
+    /// Handles a message from a replica (steps ②, ④, ⑦).
+    pub fn on_replica_message(&mut self, from: NodeId, message: ExportMessage) -> Vec<DcAction> {
+        match message {
+            ExportMessage::Checkpoint(reply) => {
+                if let Some(round) = &mut self.round {
+                    round.replies.entry(from.0).or_insert(reply);
+                }
+                self.try_finalize()
+            }
+            ExportMessage::Blocks { blocks } => {
+                if let Some(round) = &mut self.round {
+                    // Blocks may arrive in two rounds (initial + range
+                    // fetch); keep them sorted and deduplicated by height.
+                    round.staged_blocks.extend(blocks);
+                    round.staged_blocks.sort_by_key(Block::height);
+                    round.staged_blocks.dedup_by_key(|b| b.height());
+                }
+                self.try_finalize()
+            }
+            ExportMessage::Ack(ack) => {
+                self.on_ack(ack);
+                Vec::new()
+            }
+            _ => Vec::new(),
+        }
+    }
+
+    /// Handles a synchronization message from a peer data center
+    /// (step ③ / scenario (iv): a delayed data center catches up from its
+    /// peers rather than from the train).
+    pub fn on_dc_sync(&mut self, message: ExportMessage) -> Vec<DcAction> {
+        let ExportMessage::DcSync { proof, blocks } = message else {
+            return Vec::new();
+        };
+        if !proof.verify(&self.replica_keystore, self.proof_quorum) {
+            return Vec::new();
+        }
+        // Keep only blocks beyond our archive and check they extend it.
+        let new_blocks: Vec<Block> = blocks
+            .into_iter()
+            .filter(|b| b.height() > self.last_height)
+            .collect();
+        if new_blocks.is_empty() {
+            return Vec::new();
+        }
+        if verify_chain(&new_blocks, Some(self.last_hash)).is_err() {
+            return Vec::new();
+        }
+        // The sync must be backed by the checkpoint: its digest is the
+        // hash of the last block.
+        let last = new_blocks.last().expect("nonempty");
+        if last.hash() != proof.checkpoint.state_digest {
+            return Vec::new();
+        }
+        self.adopt(new_blocks);
+        // Step ⑤: "the data centers each sign a delete message" — having
+        // verified and stored the blocks, this data center adds its own
+        // signature so the replicas' delete quorum can form.
+        let cmd = DeleteCmd {
+            height: self.last_height,
+            hash: self.last_hash,
+        };
+        let delete = SignedDelete::sign(cmd, self.config.id, &self.key);
+        vec![DcAction::BroadcastToReplicas {
+            message: ExportMessage::Delete(delete),
+        }]
+    }
+
+    fn on_ack(&mut self, ack: SignedAck) {
+        if !ack.verify(&self.replica_keystore) {
+            return;
+        }
+        self.acks
+            .entry((ack.cmd.height, ack.cmd.hash))
+            .or_default()
+            .insert(ack.node.0);
+    }
+
+    fn adopt(&mut self, blocks: Vec<Block>) {
+        for block in blocks {
+            self.last_height = block.height();
+            self.last_hash = block.hash();
+            self.archive.push(block);
+        }
+    }
+
+    /// Steps ③–⑤ once enough replies are in.
+    fn try_finalize(&mut self) -> Vec<DcAction> {
+        let Some(round) = &self.round else {
+            return Vec::new();
+        };
+        if round.replies.len() < self.config.replica_quorum {
+            return Vec::new();
+        }
+
+        // Pick the most recent *verifiable* checkpoint among the replies
+        // ("determine the latest one with the highest checkpoint sequence
+        // number", step ②).
+        let best = round
+            .replies
+            .values()
+            .filter_map(|reply| {
+                let proof = reply.proof.as_ref()?;
+                if !proof.verify(&self.replica_keystore, self.proof_quorum) {
+                    return None;
+                }
+                // The reply's block claim must match the proof.
+                if reply.block_hash != proof.checkpoint.state_digest {
+                    return None;
+                }
+                Some((proof.checkpoint.sn, reply.clone()))
+            })
+            .max_by_key(|(sn, _)| *sn);
+
+        let Some((_, best)) = best else {
+            // No verifiable checkpoint yet (system just started): round
+            // completes empty once quorum answered.
+            self.round = None;
+            return vec![DcAction::Completed(ExportOutcome {
+                exported_blocks: 0,
+                new_height: self.last_height,
+                delete_issued: false,
+            })];
+        };
+
+        if best.block_height <= self.last_height {
+            // Nothing new since the last export.
+            self.round = None;
+            return vec![DcAction::Completed(ExportOutcome {
+                exported_blocks: 0,
+                new_height: self.last_height,
+                delete_issued: false,
+            })];
+        }
+
+        // Do we have the full blocks up to the checkpointed one?
+        let staged = &round.staged_blocks;
+        let have_up_to = staged
+            .iter()
+            .take_while({
+                let mut expected = self.last_height + 1;
+                move |b| {
+                    let ok = b.height() == expected;
+                    expected += 1;
+                    ok
+                }
+            })
+            .count();
+        let covers = have_up_to > 0
+            && staged[have_up_to - 1].height() >= best.block_height;
+
+        if !covers {
+            // Step ④ second round: fetch what is missing from the replica
+            // that sent the best checkpoint (it must have the blocks).
+            if round.range_requested {
+                return Vec::new(); // already asked; wait
+            }
+            let from_height = if have_up_to > 0 {
+                staged[have_up_to - 1].height()
+            } else {
+                self.last_height
+            };
+            let to_height = best.block_height;
+            let target = round
+                .replies
+                .iter()
+                .find(|(_, reply)| reply.block_height >= best.block_height)
+                .map(|(id, _)| NodeId(*id))
+                .expect("the best reply exists");
+            if let Some(round) = &mut self.round {
+                round.range_requested = true;
+            }
+            return vec![DcAction::ToReplica {
+                to: target,
+                message: ExportMessage::BlockRange {
+                    from_height,
+                    to_height,
+                },
+            }];
+        }
+
+        // Validate the chain segment against our archive head and the
+        // checkpoint (step ④).
+        let segment: Vec<Block> = staged
+            .iter()
+            .filter(|b| b.height() > self.last_height && b.height() <= best.block_height)
+            .cloned()
+            .collect();
+        if verify_chain(&segment, Some(self.last_hash)).is_err()
+            || segment.last().map(Block::hash) != Some(best.block_hash)
+        {
+            // Corrupt blocks from a faulty replica: retry the round with a
+            // different block source next time.
+            self.round = None;
+            return vec![DcAction::Completed(ExportOutcome {
+                exported_blocks: 0,
+                new_height: self.last_height,
+                delete_issued: false,
+            })];
+        }
+
+        let exported = segment.len();
+        let proof = best.proof.clone().expect("verified above");
+        self.adopt(segment);
+        self.round = None;
+
+        let mut actions = Vec::new();
+        // Step ③: synchronize with the other companies' data centers.
+        for peer in self.config.peers.clone() {
+            actions.push(DcAction::ToDataCenter {
+                to: peer,
+                message: ExportMessage::DcSync {
+                    proof: proof.clone(),
+                    blocks: self.archive[self.archive.len() - exported..].to_vec(),
+                },
+            });
+        }
+        // Step ⑤: sign and broadcast the delete.
+        let cmd = DeleteCmd {
+            height: self.last_height,
+            hash: self.last_hash,
+        };
+        let delete = SignedDelete::sign(cmd, self.config.id, &self.key);
+        actions.push(DcAction::BroadcastToReplicas {
+            message: ExportMessage::Delete(delete),
+        });
+        actions.push(DcAction::Completed(ExportOutcome {
+            exported_blocks: exported,
+            new_height: self.last_height,
+            delete_issued: true,
+        }));
+        actions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zugchain_blockchain::{BlockBuilder, LoggedRequest};
+    use zugchain_pbft::{Checkpoint, CheckpointProof};
+
+    fn chain(n_blocks: u64) -> Vec<Block> {
+        let mut builder = BlockBuilder::new(2);
+        let mut blocks = Vec::new();
+        for sn in 1..=n_blocks * 2 {
+            if let Some(block) = builder.push(
+                LoggedRequest {
+                    sn,
+                    origin: 0,
+                    payload: vec![sn as u8; 8],
+                },
+                sn * 64,
+            ) {
+                blocks.push(block);
+            }
+        }
+        blocks
+    }
+
+    /// Builds a real 2f+1-signed proof for a block.
+    fn proof_for(block: &Block, pairs: &[zugchain_crypto::KeyPair]) -> CheckpointProof {
+        let checkpoint = Checkpoint {
+            sn: block.header.last_sn,
+            state_digest: block.hash(),
+        };
+        let message =
+            zugchain_wire::to_bytes(&zugchain_pbft::Message::Checkpoint(checkpoint));
+        CheckpointProof {
+            checkpoint,
+            signatures: (0..3)
+                .map(|id| (NodeId(id as u64), pairs[id].sign(&message)))
+                .collect(),
+        }
+    }
+
+    fn setup() -> (DataCenter, Vec<Block>, Vec<zugchain_crypto::KeyPair>) {
+        let (replica_pairs, replica_keystore) = Keystore::generate(4, 30);
+        let (dc_pairs, _) = Keystore::generate(2, 40);
+        let dc = DataCenter::new(
+            DcConfig {
+                id: DcId(0),
+                n_replicas: 4,
+                replica_quorum: 3,
+                peers: vec![DcId(1)],
+            },
+            dc_pairs[0].clone(),
+            replica_keystore,
+            3,
+        );
+        (dc, chain(4), replica_pairs)
+    }
+
+    fn checkpoint_reply(block: &Block, pairs: &[zugchain_crypto::KeyPair]) -> ExportMessage {
+        ExportMessage::Checkpoint(CheckpointReply {
+            proof: Some(proof_for(block, pairs)),
+            block_height: block.height(),
+            block_hash: block.hash(),
+        })
+    }
+
+    #[test]
+    fn full_round_exports_syncs_and_deletes() {
+        let (mut dc, blocks, pairs) = setup();
+        let actions = dc.begin_export(NodeId(0));
+        assert!(matches!(
+            actions[0],
+            DcAction::BroadcastToReplicas {
+                message: ExportMessage::Read { last_height: 0, .. }
+            }
+        ));
+
+        // Replica 0 sends blocks 1..=4 plus its checkpoint; 1 and 2 send
+        // checkpoints only.
+        dc.on_replica_message(
+            NodeId(0),
+            ExportMessage::Blocks {
+                blocks: blocks.clone(),
+            },
+        );
+        dc.on_replica_message(NodeId(0), checkpoint_reply(&blocks[3], &pairs));
+        dc.on_replica_message(NodeId(1), checkpoint_reply(&blocks[3], &pairs));
+        let actions = dc.on_replica_message(NodeId(2), checkpoint_reply(&blocks[2], &pairs));
+
+        assert_eq!(dc.archive_height(), 4);
+        assert!(dc.verify_archive());
+        // Sync to the peer + delete broadcast + completion.
+        assert!(actions.iter().any(|a| matches!(
+            a,
+            DcAction::ToDataCenter { to: DcId(1), message: ExportMessage::DcSync { .. } }
+        )));
+        let delete = actions.iter().find_map(|a| match a {
+            DcAction::BroadcastToReplicas {
+                message: ExportMessage::Delete(d),
+            } => Some(d.clone()),
+            _ => None,
+        });
+        let delete = delete.expect("delete issued");
+        assert_eq!(delete.cmd.height, 4);
+        assert_eq!(delete.cmd.hash, blocks[3].hash());
+        assert!(actions.iter().any(|a| matches!(
+            a,
+            DcAction::Completed(ExportOutcome {
+                exported_blocks: 4,
+                new_height: 4,
+                delete_issued: true
+            })
+        )));
+    }
+
+    #[test]
+    fn outdated_checkpoints_lose_to_the_most_recent() {
+        let (mut dc, blocks, pairs) = setup();
+        dc.begin_export(NodeId(0));
+        dc.on_replica_message(
+            NodeId(0),
+            ExportMessage::Blocks {
+                blocks: blocks.clone(),
+            },
+        );
+        // Two stale replies, one fresh.
+        dc.on_replica_message(NodeId(1), checkpoint_reply(&blocks[0], &pairs));
+        dc.on_replica_message(NodeId(2), checkpoint_reply(&blocks[1], &pairs));
+        let actions = dc.on_replica_message(NodeId(0), checkpoint_reply(&blocks[3], &pairs));
+        assert_eq!(dc.archive_height(), 4, "the freshest checkpoint wins");
+        assert!(!actions.is_empty());
+    }
+
+    #[test]
+    fn unverifiable_proof_is_ignored() {
+        let (mut dc, blocks, pairs) = setup();
+        dc.begin_export(NodeId(0));
+        dc.on_replica_message(
+            NodeId(0),
+            ExportMessage::Blocks {
+                blocks: blocks.clone(),
+            },
+        );
+        // A forged proof with too few signatures claims block 4...
+        let mut forged = proof_for(&blocks[3], &pairs);
+        forged.signatures.truncate(1);
+        dc.on_replica_message(
+            NodeId(3),
+            ExportMessage::Checkpoint(CheckpointReply {
+                proof: Some(forged),
+                block_height: 4,
+                block_hash: blocks[3].hash(),
+            }),
+        );
+        // ...while honest replies only certify block 2.
+        dc.on_replica_message(NodeId(1), checkpoint_reply(&blocks[1], &pairs));
+        dc.on_replica_message(NodeId(2), checkpoint_reply(&blocks[1], &pairs));
+        assert_eq!(dc.archive_height(), 2, "forged checkpoint did not count");
+    }
+
+    #[test]
+    fn missing_blocks_trigger_a_range_request() {
+        let (mut dc, blocks, pairs) = setup();
+        dc.begin_export(NodeId(0));
+        // The chosen replica only had blocks 1..=2 (its checkpoint was
+        // older), but the quorum certifies block 4.
+        dc.on_replica_message(
+            NodeId(0),
+            ExportMessage::Blocks {
+                blocks: blocks[..2].to_vec(),
+            },
+        );
+        dc.on_replica_message(NodeId(0), checkpoint_reply(&blocks[1], &pairs));
+        dc.on_replica_message(NodeId(1), checkpoint_reply(&blocks[3], &pairs));
+        let actions = dc.on_replica_message(NodeId(2), checkpoint_reply(&blocks[3], &pairs));
+        let range = actions.iter().find_map(|a| match a {
+            DcAction::ToReplica {
+                to,
+                message: ExportMessage::BlockRange {
+                    from_height,
+                    to_height,
+                },
+            } => Some((*to, *from_height, *to_height)),
+            _ => None,
+        });
+        let (to, from_height, to_height) = range.expect("range request issued");
+        assert_eq!(to, NodeId(1), "fetched from a replica with the blocks");
+        assert_eq!((from_height, to_height), (2, 4));
+
+        // The second round completes the export.
+        let actions = dc.on_replica_message(
+            NodeId(1),
+            ExportMessage::Blocks {
+                blocks: blocks[2..].to_vec(),
+            },
+        );
+        assert_eq!(dc.archive_height(), 4);
+        assert!(actions
+            .iter()
+            .any(|a| matches!(a, DcAction::Completed(o) if o.exported_blocks == 4)));
+    }
+
+    #[test]
+    fn corrupt_blocks_from_faulty_replica_are_rejected() {
+        let (mut dc, blocks, pairs) = setup();
+        dc.begin_export(NodeId(3));
+        let mut corrupted = blocks.clone();
+        corrupted[1].requests[0].payload = vec![0xFF];
+        dc.on_replica_message(NodeId(3), ExportMessage::Blocks { blocks: corrupted });
+        dc.on_replica_message(NodeId(0), checkpoint_reply(&blocks[3], &pairs));
+        dc.on_replica_message(NodeId(1), checkpoint_reply(&blocks[3], &pairs));
+        let actions = dc.on_replica_message(NodeId(2), checkpoint_reply(&blocks[3], &pairs));
+        assert_eq!(dc.archive_height(), 0, "corrupt segment rejected");
+        assert!(actions
+            .iter()
+            .any(|a| matches!(a, DcAction::Completed(o) if o.exported_blocks == 0)));
+    }
+
+    #[test]
+    fn dc_sync_lets_a_late_data_center_catch_up() {
+        let (_, blocks, pairs) = setup();
+        let (dc_pairs, _) = Keystore::generate(2, 40);
+        let (_, replica_keystore) = Keystore::generate(4, 30);
+        let mut late = DataCenter::new(
+            DcConfig {
+                id: DcId(1),
+                n_replicas: 4,
+                replica_quorum: 3,
+                peers: vec![DcId(0)],
+            },
+            dc_pairs[1].clone(),
+            replica_keystore,
+            3,
+        );
+        late.on_dc_sync(ExportMessage::DcSync {
+            proof: proof_for(&blocks[3], &pairs),
+            blocks: blocks.clone(),
+        });
+        assert_eq!(late.archive_height(), 4);
+        assert!(late.verify_archive());
+    }
+
+    #[test]
+    fn dc_sync_rejects_tampered_blocks() {
+        let (mut dc, blocks, pairs) = setup();
+        let mut tampered = blocks.clone();
+        tampered[0].requests[0].payload = vec![9];
+        dc.on_dc_sync(ExportMessage::DcSync {
+            proof: proof_for(&blocks[3], &pairs),
+            blocks: tampered,
+        });
+        assert_eq!(dc.archive_height(), 0);
+    }
+
+    #[test]
+    fn acks_are_counted_per_replica() {
+        let (mut dc, blocks, _) = setup();
+        let (replica_pairs, _) = Keystore::generate(4, 30);
+        let cmd = DeleteCmd {
+            height: 4,
+            hash: blocks[3].hash(),
+        };
+        for id in 0..3u64 {
+            dc.on_replica_message(
+                NodeId(id),
+                ExportMessage::Ack(SignedAck::sign(cmd, NodeId(id), &replica_pairs[id as usize])),
+            );
+        }
+        // A duplicate does not double count.
+        dc.on_replica_message(
+            NodeId(0),
+            ExportMessage::Ack(SignedAck::sign(cmd, NodeId(0), &replica_pairs[0])),
+        );
+        assert_eq!(dc.acks_for(4, blocks[3].hash()), 3);
+    }
+
+    #[test]
+    fn unresponsive_replica_is_sidestepped_by_restarting_the_round() {
+        // Paper §V-B: "a faulty node denying to respond can delay the
+        // export until another node is queried."
+        let (mut dc, blocks, pairs) = setup();
+        // Round 1: the chosen replica (3) never sends blocks, and only
+        // two checkpoint replies arrive — below the 2f+1 quorum. The
+        // round stalls.
+        dc.begin_export(NodeId(3));
+        dc.on_replica_message(NodeId(0), checkpoint_reply(&blocks[3], &pairs));
+        let actions = dc.on_replica_message(NodeId(1), checkpoint_reply(&blocks[3], &pairs));
+        assert!(actions.is_empty(), "quorum not reached, round pending");
+        assert!(dc.round_in_progress());
+
+        // The operator times out and retries with a different source.
+        let actions = dc.begin_export(NodeId(0));
+        assert_eq!(actions.len(), 1, "fresh read broadcast");
+        dc.on_replica_message(
+            NodeId(0),
+            ExportMessage::Blocks {
+                blocks: blocks.clone(),
+            },
+        );
+        dc.on_replica_message(NodeId(0), checkpoint_reply(&blocks[3], &pairs));
+        dc.on_replica_message(NodeId(1), checkpoint_reply(&blocks[3], &pairs));
+        let actions = dc.on_replica_message(NodeId(2), checkpoint_reply(&blocks[3], &pairs));
+        assert_eq!(dc.archive_height(), 4);
+        assert!(actions
+            .iter()
+            .any(|a| matches!(a, DcAction::Completed(o) if o.exported_blocks == 4)));
+    }
+
+    #[test]
+    fn replica_reply_after_round_completion_is_ignored() {
+        let (mut dc, blocks, pairs) = setup();
+        dc.begin_export(NodeId(0));
+        dc.on_replica_message(
+            NodeId(0),
+            ExportMessage::Blocks {
+                blocks: blocks.clone(),
+            },
+        );
+        dc.on_replica_message(NodeId(0), checkpoint_reply(&blocks[3], &pairs));
+        dc.on_replica_message(NodeId(1), checkpoint_reply(&blocks[3], &pairs));
+        dc.on_replica_message(NodeId(2), checkpoint_reply(&blocks[3], &pairs));
+        assert!(!dc.round_in_progress());
+        // A straggler reply must not corrupt the archive.
+        let actions = dc.on_replica_message(NodeId(3), checkpoint_reply(&blocks[1], &pairs));
+        assert!(actions.is_empty());
+        assert_eq!(dc.archive_height(), 4);
+        assert!(dc.verify_archive());
+    }
+
+    #[test]
+    fn empty_system_completes_with_no_export() {
+        let (mut dc, _, _) = setup();
+        dc.begin_export(NodeId(0));
+        let empty = ExportMessage::Checkpoint(CheckpointReply {
+            proof: None,
+            block_height: 0,
+            block_hash: Digest::ZERO,
+        });
+        dc.on_replica_message(NodeId(0), empty.clone());
+        dc.on_replica_message(NodeId(1), empty.clone());
+        let actions = dc.on_replica_message(NodeId(2), empty);
+        assert!(actions.iter().any(|a| matches!(
+            a,
+            DcAction::Completed(ExportOutcome {
+                exported_blocks: 0,
+                delete_issued: false,
+                ..
+            })
+        )));
+    }
+}

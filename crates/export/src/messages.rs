@@ -1,0 +1,413 @@
+use std::fmt;
+
+use zugchain_blockchain::Block;
+use zugchain_crypto::{Digest, KeyPair, Keystore, Signature};
+use zugchain_pbft::{CheckpointProof, NodeId};
+use zugchain_wire::{decode_seq, encode_seq, Decode, Encode, Reader, WireError, Writer};
+
+/// Identifier of a railway company's private data center.
+///
+/// Data-center ids double as key ids in the data-center keystore; they
+/// live in a separate id space from replica [`NodeId`]s.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DcId(pub u64);
+
+impl fmt::Display for DcId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "dc {}", self.0)
+    }
+}
+
+impl Encode for DcId {
+    fn encode(&self, w: &mut Writer) {
+        w.write_u64(self.0);
+    }
+}
+
+impl Decode for DcId {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(DcId(r.read_u64()?))
+    }
+}
+
+/// The delete command: "the index and hash of the block in the latest
+/// stable checkpoint" (step ⑤).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeleteCmd {
+    /// Height of the last exported block; everything up to and including
+    /// it may be pruned.
+    pub height: u64,
+    /// Hash of that block, binding the delete to the exact chain.
+    pub hash: Digest,
+}
+
+impl Encode for DeleteCmd {
+    fn encode(&self, w: &mut Writer) {
+        w.write_u64(self.height);
+        self.hash.encode(w);
+    }
+}
+
+impl Decode for DeleteCmd {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(DeleteCmd {
+            height: r.read_u64()?,
+            hash: Digest::decode(r)?,
+        })
+    }
+}
+
+/// A delete command signed by a data center.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SignedDelete {
+    /// The command.
+    pub cmd: DeleteCmd,
+    /// Issuing data center.
+    pub dc: DcId,
+    /// Signature over the canonical encoding of `cmd`.
+    pub signature: Signature,
+}
+
+impl SignedDelete {
+    /// Signs `cmd` as data center `dc`.
+    pub fn sign(cmd: DeleteCmd, dc: DcId, key: &KeyPair) -> Self {
+        Self {
+            cmd,
+            dc,
+            signature: key.sign(&zugchain_wire::to_bytes(&cmd)),
+        }
+    }
+
+    /// Verifies against the data-center keystore.
+    pub fn verify(&self, dc_keystore: &Keystore) -> bool {
+        dc_keystore
+            .verify(self.dc.0, &zugchain_wire::to_bytes(&self.cmd), &self.signature)
+            .is_ok()
+    }
+}
+
+impl Encode for SignedDelete {
+    fn encode(&self, w: &mut Writer) {
+        self.cmd.encode(w);
+        self.dc.encode(w);
+        self.signature.encode(w);
+    }
+}
+
+impl Decode for SignedDelete {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(SignedDelete {
+            cmd: DeleteCmd::decode(r)?,
+            dc: DcId::decode(r)?,
+            signature: Signature::decode(r)?,
+        })
+    }
+}
+
+/// A replica's signed acknowledgement of an executed delete (step ⑦),
+/// allowing early detection of replicas that failed to free memory
+/// (scenario (v)).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SignedAck {
+    /// The executed command.
+    pub cmd: DeleteCmd,
+    /// The acknowledging replica.
+    pub node: NodeId,
+    /// Signature over the canonical encoding of `cmd`.
+    pub signature: Signature,
+}
+
+impl SignedAck {
+    /// Signs an acknowledgement of `cmd` as replica `node`.
+    pub fn sign(cmd: DeleteCmd, node: NodeId, key: &KeyPair) -> Self {
+        Self {
+            cmd,
+            node,
+            signature: key.sign(&zugchain_wire::to_bytes(&cmd)),
+        }
+    }
+
+    /// Verifies against the replica keystore.
+    pub fn verify(&self, keystore: &Keystore) -> bool {
+        keystore
+            .verify(self.node.0, &zugchain_wire::to_bytes(&self.cmd), &self.signature)
+            .is_ok()
+    }
+}
+
+impl Encode for SignedAck {
+    fn encode(&self, w: &mut Writer) {
+        self.cmd.encode(w);
+        self.node.encode(w);
+        self.signature.encode(w);
+    }
+}
+
+impl Decode for SignedAck {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(SignedAck {
+            cmd: DeleteCmd::decode(r)?,
+            node: NodeId::decode(r)?,
+            signature: Signature::decode(r)?,
+        })
+    }
+}
+
+/// A replica's answer to a `read`: its latest stable checkpoint and the
+/// block it covers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckpointReply {
+    /// The latest stable checkpoint proof, or `None` if the replica has
+    /// none yet.
+    pub proof: Option<CheckpointProof>,
+    /// Height of the block the checkpoint covers.
+    pub block_height: u64,
+    /// Hash of that block (must equal the proof's state digest).
+    pub block_hash: Digest,
+}
+
+impl Encode for CheckpointReply {
+    fn encode(&self, w: &mut Writer) {
+        self.proof.encode(w);
+        w.write_u64(self.block_height);
+        self.block_hash.encode(w);
+    }
+}
+
+impl Decode for CheckpointReply {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(CheckpointReply {
+            proof: Option::<CheckpointProof>::decode(r)?,
+            block_height: r.read_u64()?,
+            block_hash: Digest::decode(r)?,
+        })
+    }
+}
+
+/// Outcome of processing a signed delete on a replica.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeleteStatus {
+    /// Recorded, waiting for more data-center signatures.
+    AwaitingQuorum {
+        /// Valid signatures collected so far.
+        have: usize,
+        /// Signatures required.
+        need: usize,
+    },
+    /// The referenced block does not exist yet; delayed (scenario (i)).
+    DelayedUntilBlockExists,
+    /// Executed: blocks pruned, acknowledgement emitted.
+    Executed {
+        /// Number of blocks removed.
+        pruned: usize,
+    },
+    /// Rejected: bad signature or hash mismatch with the local chain.
+    Rejected,
+    /// Already executed earlier (idempotent).
+    AlreadyExecuted,
+}
+
+/// Messages of the export protocol.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[allow(clippy::large_enum_variant)]
+pub enum ExportMessage {
+    /// ① Data center → replicas: send your latest checkpoint; the chosen
+    /// replica also sends full blocks above `last_height`.
+    Read {
+        /// Height of the last block the data center already holds.
+        last_height: u64,
+        /// The replica chosen to send full blocks.
+        blocks_from: NodeId,
+    },
+    /// ② Replica → data center: latest stable checkpoint.
+    Checkpoint(CheckpointReply),
+    /// ② Replica → data center: full blocks in `(last_height, to]`.
+    Blocks {
+        /// The blocks, oldest first.
+        blocks: Vec<Block>,
+    },
+    /// ④ Data center → one replica: second-round fetch of missing blocks.
+    BlockRange {
+        /// Exclusive lower height bound.
+        from_height: u64,
+        /// Inclusive upper height bound.
+        to_height: u64,
+    },
+    /// ⑤ Data center → replicas: signed delete.
+    Delete(SignedDelete),
+    /// ⑦ Replica → data centers: signed acknowledgement.
+    Ack(SignedAck),
+    /// ③ Data center → data center: synchronize exported state.
+    DcSync {
+        /// The checkpoint proof backing the blocks.
+        proof: CheckpointProof,
+        /// The exported blocks.
+        blocks: Vec<Block>,
+    },
+}
+
+impl ExportMessage {
+    const TAG_READ: u8 = 0;
+    const TAG_CHECKPOINT: u8 = 1;
+    const TAG_BLOCKS: u8 = 2;
+    const TAG_RANGE: u8 = 3;
+    const TAG_DELETE: u8 = 4;
+    const TAG_ACK: u8 = 5;
+    const TAG_SYNC: u8 = 6;
+
+    /// Encoded size in bytes, for bandwidth accounting over the LTE link.
+    pub fn wire_size(&self) -> usize {
+        self.encoded_len()
+    }
+}
+
+impl Encode for ExportMessage {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            ExportMessage::Read {
+                last_height,
+                blocks_from,
+            } => {
+                w.write_u8(Self::TAG_READ);
+                w.write_u64(*last_height);
+                blocks_from.encode(w);
+            }
+            ExportMessage::Checkpoint(reply) => {
+                w.write_u8(Self::TAG_CHECKPOINT);
+                reply.encode(w);
+            }
+            ExportMessage::Blocks { blocks } => {
+                w.write_u8(Self::TAG_BLOCKS);
+                encode_seq(blocks, w);
+            }
+            ExportMessage::BlockRange {
+                from_height,
+                to_height,
+            } => {
+                w.write_u8(Self::TAG_RANGE);
+                w.write_u64(*from_height);
+                w.write_u64(*to_height);
+            }
+            ExportMessage::Delete(delete) => {
+                w.write_u8(Self::TAG_DELETE);
+                delete.encode(w);
+            }
+            ExportMessage::Ack(ack) => {
+                w.write_u8(Self::TAG_ACK);
+                ack.encode(w);
+            }
+            ExportMessage::DcSync { proof, blocks } => {
+                w.write_u8(Self::TAG_SYNC);
+                proof.encode(w);
+                encode_seq(blocks, w);
+            }
+        }
+    }
+}
+
+impl Decode for ExportMessage {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match r.read_u8()? {
+            Self::TAG_READ => Ok(ExportMessage::Read {
+                last_height: r.read_u64()?,
+                blocks_from: NodeId::decode(r)?,
+            }),
+            Self::TAG_CHECKPOINT => Ok(ExportMessage::Checkpoint(CheckpointReply::decode(r)?)),
+            Self::TAG_BLOCKS => Ok(ExportMessage::Blocks {
+                blocks: decode_seq(r)?,
+            }),
+            Self::TAG_RANGE => Ok(ExportMessage::BlockRange {
+                from_height: r.read_u64()?,
+                to_height: r.read_u64()?,
+            }),
+            Self::TAG_DELETE => Ok(ExportMessage::Delete(SignedDelete::decode(r)?)),
+            Self::TAG_ACK => Ok(ExportMessage::Ack(SignedAck::decode(r)?)),
+            Self::TAG_SYNC => Ok(ExportMessage::DcSync {
+                proof: CheckpointProof::decode(r)?,
+                blocks: decode_seq(r)?,
+            }),
+            tag => Err(WireError::InvalidDiscriminant {
+                type_name: "ExportMessage",
+                value: u64::from(tag),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zugchain_pbft::Checkpoint;
+
+    #[test]
+    fn delete_sign_and_verify() {
+        let (pairs, keystore) = Keystore::generate(3, 50);
+        let cmd = DeleteCmd {
+            height: 7,
+            hash: Digest::of(b"block-7"),
+        };
+        let signed = SignedDelete::sign(cmd, DcId(1), &pairs[1]);
+        assert!(signed.verify(&keystore));
+
+        let mut forged = signed.clone();
+        forged.dc = DcId(2);
+        assert!(!forged.verify(&keystore));
+    }
+
+    #[test]
+    fn ack_sign_and_verify() {
+        let (pairs, keystore) = Keystore::generate(4, 60);
+        let cmd = DeleteCmd {
+            height: 3,
+            hash: Digest::of(b"block-3"),
+        };
+        let ack = SignedAck::sign(cmd, NodeId(2), &pairs[2]);
+        assert!(ack.verify(&keystore));
+    }
+
+    #[test]
+    fn export_messages_round_trip() {
+        let (pairs, _) = Keystore::generate(1, 70);
+        let cmd = DeleteCmd {
+            height: 1,
+            hash: Digest::of(b"h"),
+        };
+        let proof = CheckpointProof {
+            checkpoint: Checkpoint {
+                sn: 10,
+                state_digest: Digest::of(b"b"),
+            },
+            signatures: vec![],
+        };
+        let messages = vec![
+            ExportMessage::Read {
+                last_height: 5,
+                blocks_from: NodeId(2),
+            },
+            ExportMessage::Checkpoint(CheckpointReply {
+                proof: Some(proof.clone()),
+                block_height: 1,
+                block_hash: Digest::of(b"b"),
+            }),
+            ExportMessage::Blocks {
+                blocks: vec![Block::genesis()],
+            },
+            ExportMessage::BlockRange {
+                from_height: 2,
+                to_height: 9,
+            },
+            ExportMessage::Delete(SignedDelete::sign(cmd, DcId(0), &pairs[0])),
+            ExportMessage::Ack(SignedAck::sign(cmd, NodeId(0), &pairs[0])),
+            ExportMessage::DcSync {
+                proof,
+                blocks: vec![Block::genesis()],
+            },
+        ];
+        for message in messages {
+            let back: ExportMessage =
+                zugchain_wire::from_bytes(&zugchain_wire::to_bytes(&message)).unwrap();
+            assert_eq!(back, message);
+            assert!(back.wire_size() > 0);
+        }
+    }
+}

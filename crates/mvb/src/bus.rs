@@ -1,0 +1,238 @@
+use crate::{BusFaultPlan, Device, Nsdb, Telegram, MIN_CYCLE_MS};
+
+/// Static configuration of the simulated bus.
+#[derive(Debug, Clone)]
+pub struct BusConfig {
+    /// Cycle time in milliseconds. Clamped to [`MIN_CYCLE_MS`].
+    pub cycle_ms: u64,
+    /// Signal configuration (ports, widths, polling periods).
+    pub nsdb: Nsdb,
+}
+
+impl BusConfig {
+    /// The default JRU configuration at the given cycle time.
+    ///
+    /// Cycle times below the MVB minimum of 32 ms are clamped.
+    pub fn jru_default(cycle_ms: u64) -> Self {
+        Self {
+            cycle_ms: cycle_ms.max(MIN_CYCLE_MS),
+            nsdb: Nsdb::jru_default(),
+        }
+    }
+
+    /// A configuration with a custom NSDB.
+    pub fn with_nsdb(cycle_ms: u64, nsdb: Nsdb) -> Self {
+        Self {
+            cycle_ms: cycle_ms.max(MIN_CYCLE_MS),
+            nsdb,
+        }
+    }
+}
+
+/// What one tap (ZugChain node) observed during a cycle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TapObservation {
+    /// Index of the observing tap.
+    pub tap: usize,
+    /// Telegrams received, after fault injection.
+    pub telegrams: Vec<Telegram>,
+}
+
+/// The result of running one bus cycle.
+#[derive(Debug, Clone)]
+pub struct CycleOutput {
+    /// Cycle index that was executed.
+    pub cycle: u64,
+    /// Bus time at the start of the cycle, in milliseconds.
+    pub time_ms: u64,
+    /// Ground truth: every telegram actually transmitted on the wire.
+    pub on_wire: Vec<Telegram>,
+    /// Per-tap observations after fault injection, indexed by tap.
+    pub observations: Vec<TapObservation>,
+}
+
+/// The simulated MVB: a bus master polling devices on a time-triggered
+/// schedule, observed by `n` taps with per-tap fault injection.
+///
+/// # Examples
+///
+/// ```
+/// use zugchain_mvb::{Bus, BusConfig, PayloadDevice, PortAddress, Nsdb, SignalDescriptor, SignalKind};
+///
+/// let mut nsdb = Nsdb::new();
+/// nsdb.add(SignalDescriptor {
+///     name: "payload".into(),
+///     port: PortAddress(0x200),
+///     kind: SignalKind::Opaque { width: 128 },
+///     period_cycles: 1,
+/// });
+/// let mut bus = Bus::new(BusConfig::with_nsdb(64, nsdb), 4, 1);
+/// bus.attach_device(Box::new(PayloadDevice::new(PortAddress(0x200), 128, 2)));
+///
+/// let out = bus.run_cycle();
+/// assert_eq!(out.on_wire.len(), 1);
+/// assert_eq!(out.on_wire[0].payload.len(), 128);
+/// ```
+#[derive(Debug)]
+pub struct Bus {
+    config: BusConfig,
+    devices: Vec<Box<dyn Device>>,
+    faults: BusFaultPlan,
+    cycle: u64,
+}
+
+impl Bus {
+    /// Creates a bus with `n_taps` fault-free taps.
+    pub fn new(config: BusConfig, n_taps: usize, seed: u64) -> Self {
+        Self {
+            config,
+            devices: Vec::new(),
+            faults: BusFaultPlan::reliable(n_taps, seed),
+            cycle: 0,
+        }
+    }
+
+    /// Replaces the fault plan (must cover the same number of taps).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan's tap count differs from the bus's.
+    pub fn set_fault_plan(&mut self, plan: BusFaultPlan) {
+        assert_eq!(
+            plan.tap_count(),
+            self.faults.tap_count(),
+            "fault plan must cover every tap"
+        );
+        self.faults = plan;
+    }
+
+    /// Attaches a follower device to the bus.
+    pub fn attach_device(&mut self, device: Box<dyn Device>) {
+        self.devices.push(device);
+    }
+
+    /// The configured cycle time in milliseconds.
+    pub fn cycle_ms(&self) -> u64 {
+        self.config.cycle_ms
+    }
+
+    /// The next cycle index that [`run_cycle`](Self::run_cycle) will execute.
+    pub fn next_cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Current bus time in milliseconds (start of the next cycle).
+    pub fn time_ms(&self) -> u64 {
+        self.cycle * self.config.cycle_ms
+    }
+
+    /// Executes one bus cycle: the master polls every port due this cycle,
+    /// devices answer, and each tap observes the resulting telegrams
+    /// through its fault filter.
+    pub fn run_cycle(&mut self) -> CycleOutput {
+        let cycle = self.cycle;
+        let time_ms = self.time_ms();
+        self.cycle += 1;
+
+        let mut on_wire = Vec::new();
+        for descriptor in self.config.nsdb.ports_due(cycle) {
+            // First device that serves the port answers; a real MVB has
+            // exactly one source per port.
+            for device in &mut self.devices {
+                if let Some(payload) = device.poll(descriptor.port, cycle, time_ms) {
+                    on_wire.push(Telegram::new(descriptor.port, cycle, time_ms, payload));
+                    break;
+                }
+            }
+        }
+
+        let observations = (0..self.faults.tap_count())
+            .map(|tap| TapObservation {
+                tap,
+                telegrams: self.faults.observe(tap, &on_wire),
+            })
+            .collect();
+
+        CycleOutput {
+            cycle,
+            time_ms,
+            on_wire,
+            observations,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{PayloadDevice, PortAddress, SignalDescriptor, SignalGenerator, SignalKind, TapFaults};
+
+    #[test]
+    fn cycle_time_is_clamped_to_mvb_minimum() {
+        let bus = Bus::new(BusConfig::jru_default(8), 1, 0);
+        assert_eq!(bus.cycle_ms(), MIN_CYCLE_MS);
+    }
+
+    #[test]
+    fn master_polls_only_due_ports() {
+        let mut bus = Bus::new(BusConfig::jru_default(64), 1, 0);
+        bus.attach_device(Box::new(SignalGenerator::new(1)));
+        let cycle0 = bus.run_cycle();
+        let cycle1 = bus.run_cycle();
+        // Cycle 0 polls all ports including period-2/period-4 ones.
+        assert!(cycle0.on_wire.len() > cycle1.on_wire.len());
+    }
+
+    #[test]
+    fn all_taps_see_identical_data_without_faults() {
+        let mut bus = Bus::new(BusConfig::jru_default(64), 4, 0);
+        bus.attach_device(Box::new(SignalGenerator::new(1)));
+        let out = bus.run_cycle();
+        for observation in &out.observations {
+            assert_eq!(observation.telegrams, out.on_wire);
+        }
+    }
+
+    #[test]
+    fn faulty_tap_diverges_from_ground_truth() {
+        let mut bus = Bus::new(BusConfig::jru_default(64), 2, 3);
+        bus.attach_device(Box::new(SignalGenerator::new(1)));
+        let mut plan = BusFaultPlan::reliable(2, 3);
+        plan.set_tap(
+            1,
+            TapFaults {
+                drop_probability: 1.0,
+                ..TapFaults::NONE
+            },
+        );
+        bus.set_fault_plan(plan);
+        let out = bus.run_cycle();
+        assert_eq!(out.observations[0].telegrams, out.on_wire);
+        assert!(out.observations[1].telegrams.is_empty());
+    }
+
+    #[test]
+    fn unserved_ports_produce_no_telegrams() {
+        // NSDB configures a port, but no device answers it.
+        let mut nsdb = Nsdb::new();
+        nsdb.add(SignalDescriptor {
+            name: "ghost".into(),
+            port: PortAddress(0x999),
+            kind: SignalKind::Bool,
+            period_cycles: 1,
+        });
+        let mut bus = Bus::new(BusConfig::with_nsdb(64, nsdb), 1, 0);
+        let out = bus.run_cycle();
+        assert!(out.on_wire.is_empty());
+    }
+
+    #[test]
+    fn time_advances_by_cycle_length() {
+        let mut bus = Bus::new(BusConfig::jru_default(128), 1, 0);
+        bus.attach_device(Box::new(PayloadDevice::new(PortAddress(0x100), 8, 0)));
+        assert_eq!(bus.run_cycle().time_ms, 0);
+        assert_eq!(bus.run_cycle().time_ms, 128);
+        assert_eq!(bus.run_cycle().time_ms, 256);
+        assert_eq!(bus.next_cycle(), 3);
+    }
+}

@@ -1,0 +1,235 @@
+use rand::{RngExt as _, SeedableRng as _};
+
+use crate::Telegram;
+
+/// Per-tap bus fault rates.
+///
+/// All probabilities are in `[0, 1]` and applied independently per
+/// telegram. These model the unreliable reception §III-B describes: a
+/// replica may miss signals in a cycle, receive them late (during a
+/// different cycle), or see corrupted bits — so nodes can observe
+/// *diverging* input for the same cycle.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TapFaults {
+    /// Probability that a telegram is not received by this tap at all.
+    pub drop_probability: f64,
+    /// Probability that a telegram is delayed into the next cycle's
+    /// observation instead of the current one.
+    pub delay_probability: f64,
+    /// Probability that one bit of the payload is flipped on reception.
+    pub bit_flip_probability: f64,
+}
+
+impl TapFaults {
+    /// A perfectly reliable tap.
+    pub const NONE: TapFaults = TapFaults {
+        drop_probability: 0.0,
+        delay_probability: 0.0,
+        bit_flip_probability: 0.0,
+    };
+
+    /// Typical background fault rates for a healthy MVB: errors occur but
+    /// are rare (bit flips "still occur despite its robust design",
+    /// paper §II-A).
+    pub const BACKGROUND: TapFaults = TapFaults {
+        drop_probability: 0.001,
+        delay_probability: 0.002,
+        bit_flip_probability: 0.0005,
+    };
+
+    /// Returns `true` if all rates are zero.
+    pub fn is_none(&self) -> bool {
+        self.drop_probability == 0.0
+            && self.delay_probability == 0.0
+            && self.bit_flip_probability == 0.0
+    }
+}
+
+impl Default for TapFaults {
+    fn default() -> Self {
+        TapFaults::NONE
+    }
+}
+
+/// The fault plan of the whole bus: one [`TapFaults`] entry per tap plus a
+/// seeded RNG, so fault sequences are reproducible.
+#[derive(Debug)]
+pub struct BusFaultPlan {
+    taps: Vec<TapFaults>,
+    rng: rand::rngs::StdRng,
+    /// Telegrams delayed at each tap, delivered with the next cycle.
+    delayed: Vec<Vec<Telegram>>,
+}
+
+impl BusFaultPlan {
+    /// Creates a plan with `n_taps` fault-free taps.
+    pub fn reliable(n_taps: usize, seed: u64) -> Self {
+        Self::new(vec![TapFaults::NONE; n_taps], seed)
+    }
+
+    /// Creates a plan from explicit per-tap fault rates.
+    pub fn new(taps: Vec<TapFaults>, seed: u64) -> Self {
+        let delayed = taps.iter().map(|_| Vec::new()).collect();
+        Self {
+            taps,
+            rng: rand::rngs::StdRng::seed_from_u64(seed),
+            delayed,
+        }
+    }
+
+    /// Number of taps covered by the plan.
+    pub fn tap_count(&self) -> usize {
+        self.taps.len()
+    }
+
+    /// Sets the fault rates for one tap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tap` is out of range.
+    pub fn set_tap(&mut self, tap: usize, faults: TapFaults) {
+        self.taps[tap] = faults;
+    }
+
+    /// Applies this tap's faults to the telegrams broadcast in one cycle,
+    /// returning what the tap actually observes: possibly a subset, with
+    /// delayed telegrams from earlier cycles prepended and bit flips
+    /// applied.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tap` is out of range.
+    pub fn observe(&mut self, tap: usize, telegrams: &[Telegram]) -> Vec<Telegram> {
+        let faults = self.taps[tap];
+        // Deliver anything that was delayed into this cycle first: this is
+        // the reordering §III-B describes (signals of one bus cycle
+        // received during a different one).
+        let mut observed: Vec<Telegram> = std::mem::take(&mut self.delayed[tap]);
+        for telegram in telegrams {
+            if faults.drop_probability > 0.0 && self.rng.random_bool(faults.drop_probability) {
+                continue;
+            }
+            let mut telegram = telegram.clone();
+            if faults.bit_flip_probability > 0.0
+                && !telegram.payload.is_empty()
+                && self.rng.random_bool(faults.bit_flip_probability)
+            {
+                let byte = self.rng.random_range(0..telegram.payload.len());
+                let bit = self.rng.random_range(0..8u8);
+                telegram.payload[byte] ^= 1 << bit;
+            }
+            if faults.delay_probability > 0.0 && self.rng.random_bool(faults.delay_probability) {
+                self.delayed[tap].push(telegram);
+            } else {
+                observed.push(telegram);
+            }
+        }
+        observed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PortAddress;
+
+    fn telegrams(n: usize) -> Vec<Telegram> {
+        (0..n)
+            .map(|i| Telegram::new(PortAddress(i as u16), 0, 0, vec![0xAA, 0xBB]))
+            .collect()
+    }
+
+    #[test]
+    fn fault_free_tap_observes_everything() {
+        let mut plan = BusFaultPlan::reliable(2, 1);
+        let input = telegrams(5);
+        assert_eq!(plan.observe(0, &input), input);
+        assert_eq!(plan.observe(1, &input), input);
+    }
+
+    #[test]
+    fn dropping_tap_loses_telegrams() {
+        let mut plan = BusFaultPlan::new(
+            vec![TapFaults {
+                drop_probability: 1.0,
+                ..TapFaults::NONE
+            }],
+            1,
+        );
+        assert!(plan.observe(0, &telegrams(5)).is_empty());
+    }
+
+    #[test]
+    fn delayed_telegrams_arrive_next_cycle() {
+        let mut plan = BusFaultPlan::new(
+            vec![TapFaults {
+                delay_probability: 1.0,
+                ..TapFaults::NONE
+            }],
+            1,
+        );
+        let first = telegrams(3);
+        assert!(plan.observe(0, &first).is_empty());
+        // Next cycle: previous telegrams arrive (and this cycle's get delayed).
+        let second = plan.observe(0, &telegrams(2));
+        assert_eq!(second, first);
+    }
+
+    #[test]
+    fn bit_flips_corrupt_payload_but_keep_length() {
+        let mut plan = BusFaultPlan::new(
+            vec![TapFaults {
+                bit_flip_probability: 1.0,
+                ..TapFaults::NONE
+            }],
+            1,
+        );
+        let input = telegrams(1);
+        let observed = plan.observe(0, &input);
+        assert_eq!(observed.len(), 1);
+        assert_eq!(observed[0].payload.len(), input[0].payload.len());
+        assert_ne!(observed[0].payload, input[0].payload);
+        // Exactly one bit differs.
+        let diff: u32 = observed[0]
+            .payload
+            .iter()
+            .zip(&input[0].payload)
+            .map(|(a, b)| (a ^ b).count_ones())
+            .sum();
+        assert_eq!(diff, 1);
+    }
+
+    #[test]
+    fn taps_fail_independently() {
+        let mut plan = BusFaultPlan::new(
+            vec![
+                TapFaults {
+                    drop_probability: 1.0,
+                    ..TapFaults::NONE
+                },
+                TapFaults::NONE,
+            ],
+            1,
+        );
+        let input = telegrams(4);
+        assert!(plan.observe(0, &input).is_empty());
+        assert_eq!(plan.observe(1, &input), input);
+    }
+
+    #[test]
+    fn fault_sequences_are_reproducible() {
+        let run = |seed| {
+            let mut plan = BusFaultPlan::new(
+                vec![TapFaults {
+                    drop_probability: 0.5,
+                    ..TapFaults::NONE
+                }],
+                seed,
+            );
+            (0..20)
+                .map(|_| plan.observe(0, &telegrams(10)).len())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(3), run(3));
+    }
+}

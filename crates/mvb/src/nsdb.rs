@@ -1,0 +1,222 @@
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::PortAddress;
+
+/// Data type of a configured signal, as declared in the NSDB.
+///
+/// Widths follow the process-data variables the JRU records per IEC 62625:
+/// booleans for discrete events (brake applied, doors released), scaled
+/// integers for analog values (speed, pressure), and raw byte strings for
+/// opaque pre-encrypted payloads that ZugChain logs as-is (paper §III-A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SignalKind {
+    /// One discrete on/off value, encoded in 1 byte.
+    Bool,
+    /// Unsigned 16-bit scaled value (e.g. speed in 0.01 km/h steps).
+    U16,
+    /// Unsigned 32-bit scaled value (e.g. odometer in metres).
+    U32,
+    /// Signed 16-bit scaled value (e.g. acceleration).
+    I16,
+    /// Opaque bytes logged without interpretation (already encrypted at the
+    /// source, per the paper).
+    Opaque {
+        /// Fixed payload width in bytes.
+        width: u16,
+    },
+}
+
+impl SignalKind {
+    /// Encoded width of the signal value in bytes.
+    pub fn width(&self) -> usize {
+        match self {
+            SignalKind::Bool => 1,
+            SignalKind::U16 | SignalKind::I16 => 2,
+            SignalKind::U32 => 4,
+            SignalKind::Opaque { width } => *width as usize,
+        }
+    }
+}
+
+impl fmt::Display for SignalKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SignalKind::Bool => write!(f, "bool"),
+            SignalKind::U16 => write!(f, "u16"),
+            SignalKind::U32 => write!(f, "u32"),
+            SignalKind::I16 => write!(f, "i16"),
+            SignalKind::Opaque { width } => write!(f, "opaque[{width}]"),
+        }
+    }
+}
+
+/// One signal entry of the node supervisor database (NSDB).
+///
+/// The real NSDB is a proprietary per-device file specifying which signals
+/// a component writes or reads; the paper discovers data type and cycle
+/// time of signals dynamically from the bus configuration file. This
+/// structure carries the fields that discovery yields.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SignalDescriptor {
+    /// Human-readable signal name (e.g. `"v_actual"`).
+    pub name: String,
+    /// Port on which the signal's source device answers polls.
+    pub port: PortAddress,
+    /// Value encoding.
+    pub kind: SignalKind,
+    /// Polling period in bus cycles (1 = every cycle).
+    pub period_cycles: u32,
+}
+
+/// The bus configuration table: which ports carry which signals, at which
+/// rate.
+///
+/// # Examples
+///
+/// ```
+/// use zugchain_mvb::{Nsdb, SignalDescriptor, SignalKind, PortAddress};
+///
+/// let mut nsdb = Nsdb::new();
+/// nsdb.add(SignalDescriptor {
+///     name: "v_actual".into(),
+///     port: PortAddress(0x100),
+///     kind: SignalKind::U16,
+///     period_cycles: 1,
+/// });
+/// assert_eq!(nsdb.lookup(PortAddress(0x100)).unwrap().name, "v_actual");
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Nsdb {
+    by_port: BTreeMap<PortAddress, SignalDescriptor>,
+}
+
+impl Nsdb {
+    /// Creates an empty configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a signal. Replaces any previous descriptor on the same
+    /// port (the last write wins, mirroring configuration-file reload).
+    pub fn add(&mut self, descriptor: SignalDescriptor) {
+        self.by_port.insert(descriptor.port, descriptor);
+    }
+
+    /// Looks up the signal configured on `port`.
+    pub fn lookup(&self, port: PortAddress) -> Option<&SignalDescriptor> {
+        self.by_port.get(&port)
+    }
+
+    /// All ports that must be polled during cycle `cycle`, in port order.
+    ///
+    /// A port with `period_cycles = p` is polled when `cycle % p == 0`,
+    /// mirroring the MVB basic-period schedule.
+    pub fn ports_due(&self, cycle: u64) -> impl Iterator<Item = &SignalDescriptor> {
+        self.by_port
+            .values()
+            .filter(move |d| cycle % u64::from(d.period_cycles.max(1)) == 0)
+    }
+
+    /// Number of configured signals.
+    pub fn len(&self) -> usize {
+        self.by_port.len()
+    }
+
+    /// Returns `true` if no signals are configured.
+    pub fn is_empty(&self) -> bool {
+        self.by_port.is_empty()
+    }
+
+    /// Iterates over all descriptors in port order.
+    pub fn iter(&self) -> impl Iterator<Item = &SignalDescriptor> {
+        self.by_port.values()
+    }
+
+    /// The default JRU signal set used throughout the evaluation: the
+    /// IEC 62625 events the introduction names (speed, brake activation,
+    /// door activity, ATP intervention, emergency stop, odometer).
+    pub fn jru_default() -> Self {
+        let mut nsdb = Nsdb::new();
+        let signals = [
+            ("v_actual", 0x100u16, SignalKind::U16, 1),
+            ("v_target", 0x101, SignalKind::U16, 1),
+            ("odometer_m", 0x102, SignalKind::U32, 1),
+            ("accel_actual", 0x103, SignalKind::I16, 1),
+            ("brake_pipe_pressure", 0x110, SignalKind::U16, 1),
+            ("brake_applied", 0x111, SignalKind::Bool, 1),
+            ("emergency_brake", 0x112, SignalKind::Bool, 1),
+            ("doors_released", 0x120, SignalKind::Bool, 2),
+            ("doors_closed", 0x121, SignalKind::Bool, 2),
+            ("atp_intervention", 0x130, SignalKind::Bool, 1),
+            ("atp_cab_signal", 0x131, SignalKind::U16, 2),
+            ("driver_command", 0x140, SignalKind::U16, 1),
+            ("pantograph_up", 0x150, SignalKind::Bool, 4),
+            ("traction_effort", 0x151, SignalKind::I16, 2),
+        ];
+        for (name, port, kind, period) in signals {
+            nsdb.add(SignalDescriptor {
+                name: name.to_string(),
+                port: PortAddress(port),
+                kind,
+                period_cycles: period,
+            });
+        }
+        nsdb
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jru_default_has_core_signals() {
+        let nsdb = Nsdb::jru_default();
+        assert!(nsdb.len() >= 10);
+        let names: Vec<&str> = nsdb.iter().map(|d| d.name.as_str()).collect();
+        for required in ["v_actual", "brake_applied", "emergency_brake", "doors_released"] {
+            assert!(names.contains(&required), "missing {required}");
+        }
+    }
+
+    #[test]
+    fn period_schedule_filters_ports() {
+        let nsdb = Nsdb::jru_default();
+        let every_cycle = nsdb.ports_due(1).count();
+        let cycle_zero = nsdb.ports_due(0).count();
+        // Cycle 0 polls everything; odd cycles skip period-2 and period-4 ports.
+        assert!(cycle_zero > every_cycle);
+        assert!(nsdb.ports_due(1).all(|d| d.period_cycles == 1));
+        assert!(nsdb.ports_due(2).any(|d| d.period_cycles == 2));
+    }
+
+    #[test]
+    fn add_replaces_existing_port() {
+        let mut nsdb = Nsdb::new();
+        let port = PortAddress(0x1);
+        nsdb.add(SignalDescriptor {
+            name: "a".into(),
+            port,
+            kind: SignalKind::Bool,
+            period_cycles: 1,
+        });
+        nsdb.add(SignalDescriptor {
+            name: "b".into(),
+            port,
+            kind: SignalKind::U16,
+            period_cycles: 1,
+        });
+        assert_eq!(nsdb.len(), 1);
+        assert_eq!(nsdb.lookup(port).unwrap().name, "b");
+    }
+
+    #[test]
+    fn signal_widths() {
+        assert_eq!(SignalKind::Bool.width(), 1);
+        assert_eq!(SignalKind::U16.width(), 2);
+        assert_eq!(SignalKind::I16.width(), 2);
+        assert_eq!(SignalKind::U32.width(), 4);
+        assert_eq!(SignalKind::Opaque { width: 64 }.width(), 64);
+    }
+}

@@ -1,0 +1,626 @@
+use zugchain_crypto::{Digest, KeyPair, Keystore, Signature};
+use zugchain_wire::{decode_seq, encode_seq, Decode, Encode, Reader, WireError, Writer};
+
+use crate::{NodeId, ProposedRequest};
+
+/// The primary's proposal assigning sequence number `sn` to a request in
+/// `view` (PBFT preprepare phase).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PrePrepare {
+    /// View in which the proposal is made.
+    pub view: u64,
+    /// Assigned sequence number.
+    pub sn: u64,
+    /// The proposed request.
+    pub request: ProposedRequest,
+}
+
+impl Encode for PrePrepare {
+    fn encode(&self, w: &mut Writer) {
+        w.write_u64(self.view);
+        w.write_u64(self.sn);
+        self.request.encode(w);
+    }
+}
+
+impl Decode for PrePrepare {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(PrePrepare {
+            view: r.read_u64()?,
+            sn: r.read_u64()?,
+            request: ProposedRequest::decode(r)?,
+        })
+    }
+}
+
+/// A backup's confirmation that it accepted the preprepare for
+/// `(view, sn, digest)` (PBFT prepare phase).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Prepare {
+    /// View of the confirmed proposal.
+    pub view: u64,
+    /// Sequence number of the confirmed proposal.
+    pub sn: u64,
+    /// Digest of the confirmed request.
+    pub digest: Digest,
+}
+
+impl Encode for Prepare {
+    fn encode(&self, w: &mut Writer) {
+        w.write_u64(self.view);
+        w.write_u64(self.sn);
+        self.digest.encode(w);
+    }
+}
+
+impl Decode for Prepare {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(Prepare {
+            view: r.read_u64()?,
+            sn: r.read_u64()?,
+            digest: Digest::decode(r)?,
+        })
+    }
+}
+
+/// A replica's commitment to execute `(view, sn, digest)` once 2f+1
+/// replicas commit (PBFT commit phase). Same fields as [`Prepare`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Commit {
+    /// View of the committed proposal.
+    pub view: u64,
+    /// Sequence number of the committed proposal.
+    pub sn: u64,
+    /// Digest of the committed request.
+    pub digest: Digest,
+}
+
+impl Encode for Commit {
+    fn encode(&self, w: &mut Writer) {
+        w.write_u64(self.view);
+        w.write_u64(self.sn);
+        self.digest.encode(w);
+    }
+}
+
+impl Decode for Commit {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(Commit {
+            view: r.read_u64()?,
+            sn: r.read_u64()?,
+            digest: Digest::decode(r)?,
+        })
+    }
+}
+
+/// A replica's signed snapshot declaration at sequence number `sn`.
+///
+/// ZugChain creates one checkpoint per block (§III-C): `state_digest` is
+/// the hash of the block covering everything up to `sn`, so a stable
+/// checkpoint's 2f+1 signatures prove that block's place in the chain —
+/// the export protocol (§III-D) is built on exactly this.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Checkpoint {
+    /// Sequence number the snapshot covers (inclusive).
+    pub sn: u64,
+    /// Application state digest (the block hash in ZugChain).
+    pub state_digest: Digest,
+}
+
+impl Encode for Checkpoint {
+    fn encode(&self, w: &mut Writer) {
+        w.write_u64(self.sn);
+        self.state_digest.encode(w);
+    }
+}
+
+impl Decode for Checkpoint {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(Checkpoint {
+            sn: r.read_u64()?,
+            state_digest: Digest::decode(r)?,
+        })
+    }
+}
+
+/// Proof that a checkpoint became stable: 2f+1 replica signatures over the
+/// same [`Checkpoint`] message.
+///
+/// This is the verifiable artifact data centers download during export.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckpointProof {
+    /// The checkpoint the signatures cover.
+    pub checkpoint: Checkpoint,
+    /// `(signer, signature)` pairs; signatures are over the canonical
+    /// encoding of `checkpoint`.
+    pub signatures: Vec<(NodeId, Signature)>,
+}
+
+impl CheckpointProof {
+    /// Verifies the proof: at least `quorum` distinct, valid signatures
+    /// from keys in `keystore`.
+    ///
+    /// Signatures are over the canonical encoding of
+    /// `Message::Checkpoint(checkpoint)` — exactly the bytes each replica
+    /// signed when broadcasting its checkpoint message, so proofs are
+    /// assembled from the protocol messages without re-signing.
+    pub fn verify(&self, keystore: &Keystore, quorum: usize) -> bool {
+        let message = zugchain_wire::to_bytes(&Message::Checkpoint(self.checkpoint));
+        let mut seen = std::collections::BTreeSet::new();
+        let mut valid = 0usize;
+        for (signer, signature) in &self.signatures {
+            if !seen.insert(signer.0) {
+                continue; // duplicate signer never counts twice
+            }
+            if keystore.verify(signer.0, &message, signature).is_ok() {
+                valid += 1;
+            }
+        }
+        valid >= quorum
+    }
+}
+
+impl Encode for CheckpointProof {
+    fn encode(&self, w: &mut Writer) {
+        self.checkpoint.encode(w);
+        w.write_varint(self.signatures.len() as u64);
+        for (signer, signature) in &self.signatures {
+            signer.encode(w);
+            signature.encode(w);
+        }
+    }
+}
+
+impl Decode for CheckpointProof {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let checkpoint = Checkpoint::decode(r)?;
+        let count = r.read_varint()?;
+        if count > 1024 {
+            return Err(WireError::LengthLimitExceeded {
+                declared: count,
+                limit: 1024,
+            });
+        }
+        let mut signatures = Vec::with_capacity(count as usize);
+        for _ in 0..count {
+            signatures.push((NodeId::decode(r)?, Signature::decode(r)?));
+        }
+        Ok(CheckpointProof {
+            checkpoint,
+            signatures,
+        })
+    }
+}
+
+/// Evidence that `(view, sn, request)` was prepared: the request itself
+/// plus 2f prepare signatures, carried in view-change messages so the new
+/// primary can re-propose in-flight requests.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PreparedCert {
+    /// View in which the request prepared.
+    pub view: u64,
+    /// Sequence number of the prepared request.
+    pub sn: u64,
+    /// The prepared request (full payload, so the new primary can
+    /// re-propose it even if it never saw the original preprepare).
+    pub request: ProposedRequest,
+    /// Prepare signatures from distinct backups over the canonical
+    /// encoding of the matching [`Prepare`].
+    pub prepare_signatures: Vec<(NodeId, Signature)>,
+}
+
+impl PreparedCert {
+    /// Verifies the certificate: at least `prepare_quorum` distinct valid
+    /// prepare signatures matching this view/sn/request digest.
+    pub fn verify(&self, keystore: &Keystore, prepare_quorum: usize) -> bool {
+        let prepare = Prepare {
+            view: self.view,
+            sn: self.sn,
+            digest: self.request.digest(),
+        };
+        let message = zugchain_wire::to_bytes(&Message::Prepare(prepare));
+        let mut seen = std::collections::BTreeSet::new();
+        let mut valid = 0usize;
+        for (signer, signature) in &self.prepare_signatures {
+            if !seen.insert(signer.0) {
+                continue;
+            }
+            if keystore.verify(signer.0, &message, signature).is_ok() {
+                valid += 1;
+            }
+        }
+        valid >= prepare_quorum
+    }
+}
+
+impl Encode for PreparedCert {
+    fn encode(&self, w: &mut Writer) {
+        w.write_u64(self.view);
+        w.write_u64(self.sn);
+        self.request.encode(w);
+        w.write_varint(self.prepare_signatures.len() as u64);
+        for (signer, signature) in &self.prepare_signatures {
+            signer.encode(w);
+            signature.encode(w);
+        }
+    }
+}
+
+impl Decode for PreparedCert {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let view = r.read_u64()?;
+        let sn = r.read_u64()?;
+        let request = ProposedRequest::decode(r)?;
+        let count = r.read_varint()?;
+        if count > 1024 {
+            return Err(WireError::LengthLimitExceeded {
+                declared: count,
+                limit: 1024,
+            });
+        }
+        let mut prepare_signatures = Vec::with_capacity(count as usize);
+        for _ in 0..count {
+            prepare_signatures.push((NodeId::decode(r)?, Signature::decode(r)?));
+        }
+        Ok(PreparedCert {
+            view,
+            sn,
+            request,
+            prepare_signatures,
+        })
+    }
+}
+
+/// A replica's vote to move to `new_view`, reporting its stable checkpoint
+/// and prepared-but-undecided requests.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ViewChange {
+    /// The view the sender wants to move to.
+    pub new_view: u64,
+    /// Sequence number of the sender's last stable checkpoint.
+    pub last_stable_sn: u64,
+    /// Proof of that checkpoint (absent before the first checkpoint).
+    pub checkpoint_proof: Option<CheckpointProof>,
+    /// Prepared certificates for requests above the stable checkpoint.
+    pub prepared: Vec<PreparedCert>,
+}
+
+impl Encode for ViewChange {
+    fn encode(&self, w: &mut Writer) {
+        w.write_u64(self.new_view);
+        w.write_u64(self.last_stable_sn);
+        self.checkpoint_proof.encode(w);
+        encode_seq(&self.prepared, w);
+    }
+}
+
+impl Decode for ViewChange {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(ViewChange {
+            new_view: r.read_u64()?,
+            last_stable_sn: r.read_u64()?,
+            checkpoint_proof: Option::<CheckpointProof>::decode(r)?,
+            prepared: decode_seq(r)?,
+        })
+    }
+}
+
+/// The new primary's announcement of `view`: the 2f+1 view-change votes it
+/// collected and the preprepares that re-propose every prepared request
+/// (gaps filled with no-ops).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NewView {
+    /// The view being started.
+    pub view: u64,
+    /// The signed view-change votes justifying the new view.
+    pub view_changes: Vec<SignedMessage>,
+    /// Re-issued preprepares, in ascending sequence order.
+    pub preprepares: Vec<PrePrepare>,
+}
+
+impl Encode for NewView {
+    fn encode(&self, w: &mut Writer) {
+        w.write_u64(self.view);
+        encode_seq(&self.view_changes, w);
+        encode_seq(&self.preprepares, w);
+    }
+}
+
+impl Decode for NewView {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(NewView {
+            view: r.read_u64()?,
+            view_changes: decode_seq(r)?,
+            preprepares: decode_seq(r)?,
+        })
+    }
+}
+
+/// The PBFT protocol message set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[allow(clippy::large_enum_variant)]
+pub enum Message {
+    /// Primary's proposal.
+    PrePrepare(PrePrepare),
+    /// Backup's acceptance.
+    Prepare(Prepare),
+    /// Replica's commitment.
+    Commit(Commit),
+    /// Snapshot declaration.
+    Checkpoint(Checkpoint),
+    /// Vote to change view.
+    ViewChange(ViewChange),
+    /// New primary's announcement.
+    NewView(NewView),
+}
+
+impl Message {
+    const TAG_PREPREPARE: u8 = 0;
+    const TAG_PREPARE: u8 = 1;
+    const TAG_COMMIT: u8 = 2;
+    const TAG_CHECKPOINT: u8 = 3;
+    const TAG_VIEWCHANGE: u8 = 4;
+    const TAG_NEWVIEW: u8 = 5;
+
+    /// Short name for logs and counters.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Message::PrePrepare(_) => "preprepare",
+            Message::Prepare(_) => "prepare",
+            Message::Commit(_) => "commit",
+            Message::Checkpoint(_) => "checkpoint",
+            Message::ViewChange(_) => "viewchange",
+            Message::NewView(_) => "newview",
+        }
+    }
+}
+
+impl Encode for Message {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            Message::PrePrepare(m) => {
+                w.write_u8(Self::TAG_PREPREPARE);
+                m.encode(w);
+            }
+            Message::Prepare(m) => {
+                w.write_u8(Self::TAG_PREPARE);
+                m.encode(w);
+            }
+            Message::Commit(m) => {
+                w.write_u8(Self::TAG_COMMIT);
+                m.encode(w);
+            }
+            Message::Checkpoint(m) => {
+                w.write_u8(Self::TAG_CHECKPOINT);
+                m.encode(w);
+            }
+            Message::ViewChange(m) => {
+                w.write_u8(Self::TAG_VIEWCHANGE);
+                m.encode(w);
+            }
+            Message::NewView(m) => {
+                w.write_u8(Self::TAG_NEWVIEW);
+                m.encode(w);
+            }
+        }
+    }
+}
+
+impl Decode for Message {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match r.read_u8()? {
+            Self::TAG_PREPREPARE => Ok(Message::PrePrepare(PrePrepare::decode(r)?)),
+            Self::TAG_PREPARE => Ok(Message::Prepare(Prepare::decode(r)?)),
+            Self::TAG_COMMIT => Ok(Message::Commit(Commit::decode(r)?)),
+            Self::TAG_CHECKPOINT => Ok(Message::Checkpoint(Checkpoint::decode(r)?)),
+            Self::TAG_VIEWCHANGE => Ok(Message::ViewChange(ViewChange::decode(r)?)),
+            Self::TAG_NEWVIEW => Ok(Message::NewView(NewView::decode(r)?)),
+            tag => Err(WireError::InvalidDiscriminant {
+                type_name: "Message",
+                value: u64::from(tag),
+            }),
+        }
+    }
+}
+
+/// A protocol message with its sender id and signature over the canonical
+/// message encoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SignedMessage {
+    /// Claimed sender (verified against the keystore).
+    pub from: NodeId,
+    /// The protocol message.
+    pub message: Message,
+    /// Ed25519 signature over the canonical encoding of `message`.
+    pub signature: Signature,
+}
+
+impl SignedMessage {
+    /// Signs `message` as `from`.
+    pub fn sign(from: NodeId, message: Message, key: &KeyPair) -> Self {
+        let signature = key.sign(&zugchain_wire::to_bytes(&message));
+        Self {
+            from,
+            message,
+            signature,
+        }
+    }
+
+    /// Verifies the signature against the sender's registered key.
+    pub fn verify(&self, keystore: &Keystore) -> bool {
+        keystore
+            .verify(
+                self.from.0,
+                &zugchain_wire::to_bytes(&self.message),
+                &self.signature,
+            )
+            .is_ok()
+    }
+
+    /// Encoded size in bytes — used for network accounting.
+    pub fn wire_size(&self) -> usize {
+        self.encoded_len()
+    }
+}
+
+impl Encode for SignedMessage {
+    fn encode(&self, w: &mut Writer) {
+        self.from.encode(w);
+        self.message.encode(w);
+        self.signature.encode(w);
+    }
+}
+
+impl Decode for SignedMessage {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(SignedMessage {
+            from: NodeId::decode(r)?,
+            message: Message::decode(r)?,
+            signature: Signature::decode(r)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zugchain_crypto::Keystore;
+
+    fn request() -> ProposedRequest {
+        ProposedRequest::application(vec![7; 32], NodeId(1))
+    }
+
+    #[test]
+    fn every_message_round_trips() {
+        let messages = vec![
+            Message::PrePrepare(PrePrepare {
+                view: 1,
+                sn: 2,
+                request: request(),
+            }),
+            Message::Prepare(Prepare {
+                view: 1,
+                sn: 2,
+                digest: request().digest(),
+            }),
+            Message::Commit(Commit {
+                view: 1,
+                sn: 2,
+                digest: request().digest(),
+            }),
+            Message::Checkpoint(Checkpoint {
+                sn: 10,
+                state_digest: Digest::of(b"block"),
+            }),
+            Message::ViewChange(ViewChange {
+                new_view: 3,
+                last_stable_sn: 10,
+                checkpoint_proof: None,
+                prepared: vec![PreparedCert {
+                    view: 2,
+                    sn: 11,
+                    request: request(),
+                    prepare_signatures: vec![],
+                }],
+            }),
+            Message::NewView(NewView {
+                view: 3,
+                view_changes: vec![],
+                preprepares: vec![PrePrepare {
+                    view: 3,
+                    sn: 11,
+                    request: ProposedRequest::noop(NodeId(3)),
+                }],
+            }),
+        ];
+        for message in messages {
+            let back: Message =
+                zugchain_wire::from_bytes(&zugchain_wire::to_bytes(&message)).unwrap();
+            assert_eq!(back, message);
+        }
+    }
+
+    #[test]
+    fn signed_message_verifies_and_rejects_tampering() {
+        let (pairs, keystore) = Keystore::generate(4, 0);
+        let message = Message::Prepare(Prepare {
+            view: 0,
+            sn: 1,
+            digest: Digest::of(b"r"),
+        });
+        let signed = SignedMessage::sign(NodeId(2), message, &pairs[2]);
+        assert!(signed.verify(&keystore));
+
+        // Wrong claimed sender.
+        let mut forged = signed.clone();
+        forged.from = NodeId(3);
+        assert!(!forged.verify(&keystore));
+
+        // Tampered content.
+        let mut tampered = signed;
+        tampered.message = Message::Prepare(Prepare {
+            view: 0,
+            sn: 2,
+            digest: Digest::of(b"r"),
+        });
+        assert!(!tampered.verify(&keystore));
+    }
+
+    #[test]
+    fn checkpoint_proof_requires_distinct_quorum() {
+        let (pairs, keystore) = Keystore::generate(4, 0);
+        let checkpoint = Checkpoint {
+            sn: 10,
+            state_digest: Digest::of(b"block"),
+        };
+        let message = zugchain_wire::to_bytes(&Message::Checkpoint(checkpoint));
+        let sign = |id: usize| (NodeId(id as u64), pairs[id].sign(&message));
+
+        let valid = CheckpointProof {
+            checkpoint,
+            signatures: vec![sign(0), sign(1), sign(2)],
+        };
+        assert!(valid.verify(&keystore, 3));
+
+        // Same signer repeated does not reach quorum.
+        let duplicated = CheckpointProof {
+            checkpoint,
+            signatures: vec![sign(0), sign(0), sign(0)],
+        };
+        assert!(!duplicated.verify(&keystore, 3));
+
+        // A forged signature does not count.
+        let mut forged = valid.clone();
+        forged.signatures[2] = (NodeId(2), pairs[3].sign(&message));
+        assert!(!forged.verify(&keystore, 3));
+        assert!(forged.verify(&keystore, 2));
+    }
+
+    #[test]
+    fn prepared_cert_verification() {
+        let (pairs, keystore) = Keystore::generate(4, 0);
+        let request = request();
+        let prepare = Prepare {
+            view: 1,
+            sn: 5,
+            digest: request.digest(),
+        };
+        let message = zugchain_wire::to_bytes(&Message::Prepare(prepare));
+        let cert = PreparedCert {
+            view: 1,
+            sn: 5,
+            request,
+            prepare_signatures: vec![
+                (NodeId(1), pairs[1].sign(&message)),
+                (NodeId(2), pairs[2].sign(&message)),
+            ],
+        };
+        assert!(cert.verify(&keystore, 2));
+        assert!(!cert.verify(&keystore, 3));
+
+        // A cert over a different request does not verify.
+        let mut wrong = cert;
+        wrong.request = ProposedRequest::application(vec![1], NodeId(0));
+        assert!(!wrong.verify(&keystore, 2));
+    }
+}

@@ -1,0 +1,968 @@
+use std::collections::{BTreeMap, VecDeque};
+
+use zugchain_crypto::{Digest, KeyPair, Keystore, Signature};
+
+use crate::{
+    Checkpoint, CheckpointProof, Config, Message, NewView, NodeId, PrePrepare, Prepare,
+    PreparedCert, ProposedRequest, SignedMessage, ViewChange,
+};
+use crate::messages::Commit;
+
+/// An output of the replica state machine, to be executed by the runtime.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[allow(clippy::large_enum_variant)]
+pub enum Action {
+    /// Send a signed message to every *other* replica.
+    Broadcast {
+        /// The message to send.
+        message: SignedMessage,
+    },
+    /// Send a signed message to one replica.
+    Send {
+        /// Destination replica.
+        to: NodeId,
+        /// The message to send.
+        message: SignedMessage,
+    },
+    /// A request is totally ordered: the `DECIDE(r, sn)` up-call of
+    /// Table I. Emitted in strict sequence order.
+    Decide {
+        /// The assigned sequence number.
+        sn: u64,
+        /// The ordered request (may be a no-op gap filler).
+        request: ProposedRequest,
+    },
+    /// A view change completed: the `NEWPRIMARY` up-call of Table I.
+    NewPrimary {
+        /// The new view number.
+        view: u64,
+        /// The primary of that view.
+        primary: NodeId,
+    },
+    /// A valid preprepare was accepted — the ZugChain layer uses this as
+    /// an early indicator that the request will be ordered and cancels
+    /// its soft timeout (§III-C optimization).
+    PrePrepareSeen {
+        /// Sequence number assigned by the primary.
+        sn: u64,
+        /// Content digest of the proposed request's payload.
+        payload_digest: Digest,
+    },
+    /// A checkpoint became stable (2f+1 matching signatures). The export
+    /// protocol persists and serves these proofs.
+    StableCheckpoint {
+        /// The verifiable checkpoint proof.
+        proof: CheckpointProof,
+    },
+    /// Start (or restart) the view-change timer: if no `NewView` for
+    /// `view` arrives before expiry, the runtime calls
+    /// [`Replica::on_view_change_timeout`].
+    StartViewChangeTimer {
+        /// The view being waited for.
+        view: u64,
+    },
+    /// Cancel the view-change timer (a `NewView` arrived).
+    CancelViewChangeTimer,
+    /// The replica discovered a stable checkpoint beyond what it decided:
+    /// it missed requests and the application must fetch state (blocks)
+    /// from peers — §III-D scenario (ii).
+    NeedStateTransfer {
+        /// First missing sequence number.
+        from_sn: u64,
+        /// The stable checkpoint sequence number to catch up to.
+        to_sn: u64,
+    },
+}
+
+/// Counters exposed for evaluation and debugging.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReplicaStats {
+    /// Valid protocol messages processed.
+    pub messages_processed: u64,
+    /// Messages dropped due to bad signatures.
+    pub invalid_signatures: u64,
+    /// Messages dropped as stale/out-of-window/wrong-view.
+    pub ignored: u64,
+    /// Requests decided.
+    pub decided: u64,
+    /// View changes completed.
+    pub view_changes: u64,
+}
+
+/// Per-sequence-number ordering state.
+#[derive(Debug, Default)]
+struct Slot {
+    /// Accepted preprepare for the current view.
+    preprepare: Option<PrePrepare>,
+    /// Prepare votes: sender → (digest, signature over the prepare).
+    prepares: BTreeMap<NodeId, (Digest, Signature)>,
+    /// Commit votes: sender → digest.
+    commits: BTreeMap<NodeId, Digest>,
+    prepared: bool,
+    committed: bool,
+    decided: bool,
+}
+
+impl Slot {
+    fn matching_prepares(&self, digest: &Digest) -> usize {
+        self.prepares.values().filter(|(d, _)| d == digest).count()
+    }
+
+    fn matching_commits(&self, digest: &Digest) -> usize {
+        self.commits.values().filter(|d| *d == digest).count()
+    }
+}
+
+/// Checkpoint votes being collected for one sequence number.
+#[derive(Debug, Default)]
+struct CheckpointVotes {
+    /// sender → (state digest, signature over the checkpoint message).
+    votes: BTreeMap<NodeId, (Digest, Signature)>,
+}
+
+/// State of an in-progress view change.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct ViewChangeState {
+    /// The view this replica is trying to move to.
+    target: u64,
+}
+
+/// A PBFT replica: the deterministic state machine at the heart of
+/// ZugChain's ordering (see the crate docs for the interface mapping to
+/// the paper's Table I).
+#[derive(Debug)]
+pub struct Replica {
+    id: NodeId,
+    config: Config,
+    key: KeyPair,
+    keystore: Keystore,
+
+    view: u64,
+    phase: Option<ViewChangeState>,
+    /// Primary only: next sequence number to assign.
+    next_sn: u64,
+    /// Primary only: proposals waiting for watermark headroom.
+    backlog: VecDeque<ProposedRequest>,
+    /// Last stable checkpoint sequence number (low watermark).
+    low_watermark: u64,
+    /// All decides up to this sequence number have been emitted.
+    decided_up_to: u64,
+    slots: BTreeMap<u64, Slot>,
+    checkpoints: BTreeMap<u64, CheckpointVotes>,
+    last_stable_proof: Option<CheckpointProof>,
+    /// View-change votes per target view.
+    view_change_votes: BTreeMap<u64, BTreeMap<NodeId, SignedMessage>>,
+    /// Ordering messages that arrived during a view change or for a view
+    /// ahead of ours (e.g. prepares racing the `NewView` on another
+    /// link). Replayed after entering a view — dropping them instead
+    /// wedges this replica behind the in-order execution point and
+    /// causes spurious suspicions.
+    buffered: VecDeque<SignedMessage>,
+    actions: Vec<Action>,
+    stats: ReplicaStats,
+}
+
+/// Upper bound on buffered out-of-view ordering messages; beyond this the
+/// oldest are dropped (state transfer recovers if anything important is
+/// lost).
+const MAX_BUFFERED_MESSAGES: usize = 8192;
+
+impl Replica {
+    /// Creates a replica in view 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keystore` does not contain a key for every replica id in
+    /// `0..config.n`.
+    pub fn new(id: NodeId, config: Config, key: KeyPair, keystore: Keystore) -> Self {
+        for replica in 0..config.n as u64 {
+            assert!(
+                keystore.get(replica).is_some(),
+                "keystore is missing replica {replica}"
+            );
+        }
+        Self {
+            id,
+            config,
+            key,
+            keystore,
+            view: 0,
+            phase: None,
+            next_sn: 1,
+            backlog: VecDeque::new(),
+            low_watermark: 0,
+            decided_up_to: 0,
+            slots: BTreeMap::new(),
+            checkpoints: BTreeMap::new(),
+            last_stable_proof: None,
+            view_change_votes: BTreeMap::new(),
+            buffered: VecDeque::new(),
+            actions: Vec::new(),
+            stats: ReplicaStats::default(),
+        }
+    }
+
+    /// Creates a replica resuming from a stable checkpoint — the restart
+    /// path after a power loss, once the application has reloaded its
+    /// state (blocks) from disk. Ordering continues after the
+    /// checkpoint's sequence number; the view restarts at 0 (all replicas
+    /// of a train power-cycle together, so they re-align from scratch).
+    ///
+    /// # Panics
+    ///
+    /// As [`new`](Self::new), if the keystore is incomplete.
+    pub fn resume(
+        id: NodeId,
+        config: Config,
+        key: KeyPair,
+        keystore: Keystore,
+        last_stable: CheckpointProof,
+    ) -> Self {
+        let mut replica = Self::new(id, config, key, keystore);
+        let sn = last_stable.checkpoint.sn;
+        replica.low_watermark = sn;
+        replica.decided_up_to = sn;
+        replica.next_sn = sn + 1;
+        replica.last_stable_proof = Some(last_stable);
+        replica
+    }
+
+    /// This replica's id.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// The current view number.
+    pub fn view(&self) -> u64 {
+        self.view
+    }
+
+    /// The primary of the current view.
+    pub fn primary(&self) -> NodeId {
+        self.config.primary_of(self.view)
+    }
+
+    /// Returns `true` if this replica is the current primary.
+    pub fn is_primary(&self) -> bool {
+        self.primary() == self.id
+    }
+
+    /// Returns `true` while a view change is in progress.
+    pub fn in_view_change(&self) -> bool {
+        self.phase.is_some()
+    }
+
+    /// The last stable checkpoint sequence number.
+    pub fn low_watermark(&self) -> u64 {
+        self.low_watermark
+    }
+
+    /// Proof of the last stable checkpoint, once one exists.
+    pub fn last_stable_proof(&self) -> Option<&CheckpointProof> {
+        self.last_stable_proof.as_ref()
+    }
+
+    /// The group configuration.
+    pub fn config(&self) -> &Config {
+        &self.config
+    }
+
+    /// The keystore of the permissioned group.
+    pub fn keystore(&self) -> &Keystore {
+        &self.keystore
+    }
+
+    /// Snapshot of undecided slots for diagnostics:
+    /// `(sn, has_preprepare, prepares, commits, prepared, committed)`.
+    pub fn slot_snapshot(&self) -> Vec<(u64, bool, usize, usize, bool, bool)> {
+        self.slots
+            .iter()
+            .filter(|(_, slot)| !slot.decided)
+            .map(|(sn, slot)| {
+                (
+                    *sn,
+                    slot.preprepare.is_some(),
+                    slot.prepares.len(),
+                    slot.commits.len(),
+                    slot.prepared,
+                    slot.committed,
+                )
+            })
+            .collect()
+    }
+
+    /// `(view, low watermark, decided_up_to, next_sn, buffered)` snapshot.
+    pub fn progress_snapshot(&self) -> (u64, u64, u64, u64, usize) {
+        (
+            self.view,
+            self.low_watermark,
+            self.decided_up_to,
+            self.next_sn,
+            self.buffered.len(),
+        )
+    }
+
+    /// Returns `true` if a request with this payload digest has a running
+    /// consensus instance (a preprepare accepted but not yet decided).
+    ///
+    /// The ZugChain layer uses this after a view change: open requests
+    /// are re-proposed only when they have *no* running instance
+    /// (paper §III-C) — re-proposing one that the `NewView` already
+    /// re-preprepared would order it twice and falsely incriminate the
+    /// new primary.
+    pub fn has_in_flight_payload(&self, digest: &Digest) -> bool {
+        self.slots.values().any(|slot| {
+            !slot.decided
+                && slot
+                    .preprepare
+                    .as_ref()
+                    .is_some_and(|pp| pp.request.payload_digest() == *digest)
+        })
+    }
+
+    /// Statistics counters.
+    pub fn stats(&self) -> ReplicaStats {
+        self.stats
+    }
+
+    /// Rough resident memory of consensus state in bytes (payloads held in
+    /// slots and backlog) — used by the evaluation's memory accounting.
+    pub fn approx_memory_bytes(&self) -> usize {
+        let slot_bytes: usize = self
+            .slots
+            .values()
+            .map(|slot| {
+                slot.preprepare
+                    .as_ref()
+                    .map_or(0, |pp| pp.request.payload.len() + 128)
+                    + (slot.prepares.len() + slot.commits.len()) * 104
+            })
+            .sum();
+        let backlog_bytes: usize = self.backlog.iter().map(|r| r.payload.len() + 64).sum();
+        slot_bytes + backlog_bytes
+    }
+
+    /// Drains the actions produced since the last call.
+    ///
+    /// The runtime must execute them in order.
+    pub fn drain_actions(&mut self) -> Vec<Action> {
+        std::mem::take(&mut self.actions)
+    }
+
+    fn sign(&self, message: Message) -> SignedMessage {
+        SignedMessage::sign(self.id, message, &self.key)
+    }
+
+    fn broadcast(&mut self, message: Message) -> SignedMessage {
+        let signed = self.sign(message);
+        self.actions.push(Action::Broadcast {
+            message: signed.clone(),
+        });
+        signed
+    }
+
+    // ------------------------------------------------------------------
+    // Interface ① down-calls (Table I)
+    // ------------------------------------------------------------------
+
+    /// `PROPOSE(r)`: proposes a request to the consensus group.
+    ///
+    /// Only meaningful on the primary; backups' proposals are silently
+    /// buffered until they become primary (the ZugChain layer routes
+    /// proposals to the primary, so this is a defensive backstop).
+    pub fn propose(&mut self, request: ProposedRequest) {
+        if !self.is_primary() || self.in_view_change() {
+            self.backlog.push_back(request);
+            return;
+        }
+        self.backlog.push_back(request);
+        self.drain_backlog();
+    }
+
+    fn drain_backlog(&mut self) {
+        while let Some(request) = self.backlog.front() {
+            let sn = self.next_sn;
+            if sn > self.low_watermark + self.config.watermark_window {
+                // No headroom: wait for a checkpoint to advance the window.
+                break;
+            }
+            let request = request.clone();
+            self.backlog.pop_front();
+            self.next_sn += 1;
+            let preprepare = PrePrepare {
+                view: self.view,
+                sn,
+                request,
+            };
+            // Record locally, then broadcast to the backups.
+            self.accept_preprepare(preprepare.clone());
+            self.broadcast(Message::PrePrepare(preprepare));
+        }
+    }
+
+    /// `SUSPECT(id)`: suspects a node; if it is the current primary this
+    /// initiates a view change (Table I).
+    pub fn suspect(&mut self, id: NodeId) {
+        if id != self.primary() || self.in_view_change() {
+            return;
+        }
+        let target = self.view + 1;
+        self.start_view_change(target);
+    }
+
+    // ------------------------------------------------------------------
+    // Checkpointing (application-triggered, one per block)
+    // ------------------------------------------------------------------
+
+    /// Declares the application snapshot at `sn` (ZugChain: the hash of
+    /// the block whose last request is `sn`). Broadcasts a checkpoint
+    /// message; once 2f+1 replicas match, the checkpoint becomes stable.
+    pub fn record_checkpoint(&mut self, sn: u64, state_digest: Digest) {
+        let checkpoint = Checkpoint { sn, state_digest };
+        let signed = self.broadcast(Message::Checkpoint(checkpoint));
+        self.store_checkpoint_vote(self.id, checkpoint, signed.signature);
+    }
+
+    fn store_checkpoint_vote(&mut self, from: NodeId, checkpoint: Checkpoint, signature: Signature) {
+        if checkpoint.sn <= self.low_watermark {
+            return;
+        }
+        let votes = self.checkpoints.entry(checkpoint.sn).or_default();
+        votes
+            .votes
+            .entry(from)
+            .or_insert((checkpoint.state_digest, signature));
+        self.maybe_stabilize_checkpoint(checkpoint.sn);
+    }
+
+    fn maybe_stabilize_checkpoint(&mut self, sn: u64) {
+        let Some(votes) = self.checkpoints.get(&sn) else {
+            return;
+        };
+        // Group by digest; a quorum must agree on the same state.
+        let mut counts: BTreeMap<Digest, usize> = BTreeMap::new();
+        for (digest, _) in votes.votes.values() {
+            *counts.entry(*digest).or_default() += 1;
+        }
+        let Some((digest, _)) = counts
+            .iter()
+            .find(|(_, count)| **count >= self.config.quorum())
+        else {
+            return;
+        };
+        let digest = *digest;
+        let signatures: Vec<(NodeId, Signature)> = votes
+            .votes
+            .iter()
+            .filter(|(_, (d, _))| *d == digest)
+            .map(|(id, (_, sig))| (*id, *sig))
+            .collect();
+        let proof = CheckpointProof {
+            checkpoint: Checkpoint {
+                sn,
+                state_digest: digest,
+            },
+            signatures,
+        };
+        self.stabilize(proof);
+    }
+
+    fn stabilize(&mut self, proof: CheckpointProof) {
+        let sn = proof.checkpoint.sn;
+        if sn <= self.low_watermark {
+            return;
+        }
+        self.low_watermark = sn;
+        self.last_stable_proof = Some(proof.clone());
+        // Garbage collect ordering state covered by the checkpoint.
+        self.slots.retain(|slot_sn, _| *slot_sn > sn);
+        self.checkpoints.retain(|cp_sn, _| *cp_sn > sn);
+        if self.decided_up_to < sn {
+            // We missed decides that the quorum already checkpointed.
+            self.actions.push(Action::NeedStateTransfer {
+                from_sn: self.decided_up_to + 1,
+                to_sn: sn,
+            });
+            self.decided_up_to = sn;
+        }
+        if self.next_sn <= sn {
+            self.next_sn = sn + 1;
+        }
+        self.actions.push(Action::StableCheckpoint { proof });
+        // The window may have opened: the primary can propose backlog.
+        if self.is_primary() && !self.in_view_change() {
+            self.drain_backlog();
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Message handling
+    // ------------------------------------------------------------------
+
+    /// Processes a protocol message from the network.
+    ///
+    /// Invalid signatures are counted and dropped — a Byzantine peer
+    /// cannot impersonate others or corrupt state with garbage.
+    pub fn on_message(&mut self, message: SignedMessage) {
+        if message.from == self.id {
+            return; // our own broadcast echoed back
+        }
+        if message.from.0 >= self.config.n as u64 {
+            self.stats.ignored += 1;
+            return;
+        }
+        if !message.verify(&self.keystore) {
+            self.stats.invalid_signatures += 1;
+            return;
+        }
+        self.stats.messages_processed += 1;
+        self.dispatch(message);
+    }
+
+    /// Routes one verified message, buffering ordering traffic that this
+    /// replica cannot act on yet (mid-view-change, or for a future view).
+    fn dispatch(&mut self, message: SignedMessage) {
+        let ordering_view = match &message.message {
+            Message::PrePrepare(m) => Some(m.view),
+            Message::Prepare(m) => Some(m.view),
+            Message::Commit(m) => Some(m.view),
+            _ => None,
+        };
+        if let Some(view) = ordering_view {
+            if view > self.view || (view == self.view && self.in_view_change()) {
+                if self.buffered.len() >= MAX_BUFFERED_MESSAGES {
+                    self.buffered.pop_front();
+                }
+                self.buffered.push_back(message);
+                return;
+            }
+        }
+        let from = message.from;
+        match message.message.clone() {
+            Message::PrePrepare(preprepare) => self.on_preprepare(from, preprepare),
+            Message::Prepare(prepare) => self.on_prepare(from, prepare, message.signature),
+            Message::Commit(commit) => self.on_commit(from, commit),
+            Message::Checkpoint(checkpoint) => {
+                self.store_checkpoint_vote(from, checkpoint, message.signature);
+            }
+            Message::ViewChange(_) => self.on_view_change_vote(message),
+            Message::NewView(new_view) => self.on_new_view(from, new_view),
+        }
+    }
+
+    fn in_window(&self, sn: u64) -> bool {
+        sn > self.low_watermark && sn <= self.low_watermark + self.config.watermark_window
+    }
+
+    fn on_preprepare(&mut self, from: NodeId, preprepare: PrePrepare) {
+        if self.in_view_change()
+            || preprepare.view != self.view
+            || from != self.primary()
+            || !self.in_window(preprepare.sn)
+        {
+            self.stats.ignored += 1;
+            return;
+        }
+        let slot = self.slots.entry(preprepare.sn).or_default();
+        if let Some(existing) = &slot.preprepare {
+            if existing.request.digest() != preprepare.request.digest() {
+                // Primary equivocation: two different proposals for the
+                // same (view, sn). Initiate a view change.
+                let primary = self.primary();
+                self.suspect(primary);
+            }
+            return;
+        }
+        let digest = preprepare.request.digest();
+        let payload_digest = preprepare.request.payload_digest();
+        let sn = preprepare.sn;
+        self.accept_preprepare(preprepare);
+        self.actions.push(Action::PrePrepareSeen { sn, payload_digest });
+        // Backups confirm with a prepare.
+        let prepare = Prepare {
+            view: self.view,
+            sn,
+            digest,
+        };
+        let signed = self.broadcast(Message::Prepare(prepare));
+        if let Some(slot) = self.slots.get_mut(&sn) {
+            slot.prepares.insert(self.id, (digest, signed.signature));
+        }
+        self.maybe_advance(sn);
+    }
+
+    /// Records a preprepare into its slot (primary: own proposal; backup:
+    /// accepted proposal).
+    fn accept_preprepare(&mut self, preprepare: PrePrepare) {
+        let sn = preprepare.sn;
+        let slot = self.slots.entry(sn).or_default();
+        slot.preprepare = Some(preprepare);
+        self.maybe_advance(sn);
+    }
+
+    fn on_prepare(&mut self, from: NodeId, prepare: Prepare, signature: Signature) {
+        if self.in_view_change() || prepare.view != self.view || !self.in_window(prepare.sn) {
+            self.stats.ignored += 1;
+            return;
+        }
+        if from == self.primary() {
+            // The primary's preprepare is its prepare; a prepare from the
+            // primary is protocol noise.
+            self.stats.ignored += 1;
+            return;
+        }
+        let slot = self.slots.entry(prepare.sn).or_default();
+        slot.prepares.entry(from).or_insert((prepare.digest, signature));
+        self.maybe_advance(prepare.sn);
+    }
+
+    fn on_commit(&mut self, from: NodeId, commit: Commit) {
+        if self.in_view_change() || commit.view != self.view || !self.in_window(commit.sn) {
+            self.stats.ignored += 1;
+            return;
+        }
+        let slot = self.slots.entry(commit.sn).or_default();
+        slot.commits.entry(from).or_insert(commit.digest);
+        self.maybe_advance(commit.sn);
+    }
+
+    /// Advances the three-phase protocol for `sn` as far as possible.
+    fn maybe_advance(&mut self, sn: u64) {
+        let view = self.view;
+        let prepare_quorum = self.config.prepare_quorum();
+        let quorum = self.config.quorum();
+
+        let Some(slot) = self.slots.get_mut(&sn) else {
+            return;
+        };
+        let Some(preprepare) = slot.preprepare.clone() else {
+            return;
+        };
+        let digest = preprepare.request.digest();
+
+        if !slot.prepared && slot.matching_prepares(&digest) >= prepare_quorum {
+            slot.prepared = true;
+            slot.commits.insert(self.id, digest);
+            let commit = Commit { view, sn, digest };
+            self.broadcast(Message::Commit(commit));
+        }
+
+        let Some(slot) = self.slots.get_mut(&sn) else {
+            return;
+        };
+        if slot.prepared && !slot.committed && slot.matching_commits(&digest) >= quorum {
+            slot.committed = true;
+            self.try_decide();
+        }
+    }
+
+    /// Emits `Decide` actions for every committed slot in sequence order.
+    fn try_decide(&mut self) {
+        loop {
+            let next = self.decided_up_to + 1;
+            let Some(slot) = self.slots.get_mut(&next) else {
+                return;
+            };
+            if !slot.committed || slot.decided {
+                return;
+            }
+            slot.decided = true;
+            let request = slot
+                .preprepare
+                .as_ref()
+                .expect("committed slot has a preprepare")
+                .request
+                .clone();
+            self.decided_up_to = next;
+            self.stats.decided += 1;
+            self.actions.push(Action::Decide { sn: next, request });
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // View change
+    // ------------------------------------------------------------------
+
+    /// Called by the runtime when the view-change timer expires without a
+    /// `NewView`: move on to the next view.
+    pub fn on_view_change_timeout(&mut self) {
+        if let Some(state) = self.phase {
+            self.start_view_change(state.target + 1);
+        }
+    }
+
+    fn prepared_certs(&self) -> Vec<PreparedCert> {
+        self.slots
+            .iter()
+            .filter(|(sn, slot)| **sn > self.low_watermark && slot.prepared)
+            .map(|(sn, slot)| {
+                let preprepare = slot
+                    .preprepare
+                    .as_ref()
+                    .expect("prepared slot has a preprepare");
+                PreparedCert {
+                    view: preprepare.view,
+                    sn: *sn,
+                    request: preprepare.request.clone(),
+                    prepare_signatures: slot
+                        .prepares
+                        .iter()
+                        .filter(|(_, (d, _))| *d == preprepare.request.digest())
+                        .map(|(id, (_, sig))| (*id, *sig))
+                        .collect(),
+                }
+            })
+            .collect()
+    }
+
+    fn start_view_change(&mut self, target: u64) {
+        if target <= self.view {
+            return;
+        }
+        self.phase = Some(ViewChangeState { target });
+        let view_change = ViewChange {
+            new_view: target,
+            last_stable_sn: self.low_watermark,
+            checkpoint_proof: self.last_stable_proof.clone(),
+            prepared: self.prepared_certs(),
+        };
+        let signed = self.broadcast(Message::ViewChange(view_change));
+        self.actions.push(Action::StartViewChangeTimer { view: target });
+        // Count our own vote; if we are the new primary and votes from the
+        // others already arrived, this may complete the view change.
+        self.store_view_change_vote(signed);
+        self.maybe_assemble_new_view(target);
+    }
+
+    fn on_view_change_vote(&mut self, signed: SignedMessage) {
+        let Message::ViewChange(ref view_change) = signed.message else {
+            return;
+        };
+        if view_change.new_view <= self.view {
+            self.stats.ignored += 1;
+            return;
+        }
+        let new_view = view_change.new_view;
+        self.store_view_change_vote(signed);
+
+        // Liveness rule: join a view change once f+1 distinct replicas
+        // vote for a view above ours — at least one of them is correct.
+        let joined_target = self.phase.map_or(self.view, |s| s.target);
+        if new_view > joined_target {
+            let votes = self
+                .view_change_votes
+                .get(&new_view)
+                .map_or(0, BTreeMap::len);
+            if votes >= self.config.suspicion_quorum() {
+                self.start_view_change(new_view);
+            }
+        }
+        self.maybe_assemble_new_view(new_view);
+    }
+
+    fn store_view_change_vote(&mut self, signed: SignedMessage) {
+        let Message::ViewChange(ref view_change) = signed.message else {
+            return;
+        };
+        self.view_change_votes
+            .entry(view_change.new_view)
+            .or_default()
+            .entry(signed.from)
+            .or_insert(signed.clone());
+    }
+
+    fn maybe_assemble_new_view(&mut self, target: u64) {
+        if self.config.primary_of(target) != self.id {
+            return;
+        }
+        if self.phase != Some(ViewChangeState { target }) {
+            return;
+        }
+        let Some(votes) = self.view_change_votes.get(&target) else {
+            return;
+        };
+        if votes.len() < self.config.quorum() {
+            return;
+        }
+        let view_changes: Vec<SignedMessage> = votes.values().cloned().collect();
+        let (preprepares, _min_s) =
+            compute_new_view_preprepares(&self.config, &self.keystore, target, self.id, &view_changes);
+        let new_view = NewView {
+            view: target,
+            view_changes,
+            preprepares: preprepares.clone(),
+        };
+        self.broadcast(Message::NewView(new_view));
+        self.enter_view(target, preprepares);
+    }
+
+    fn on_new_view(&mut self, from: NodeId, new_view: NewView) {
+        if new_view.view <= self.view || from != self.config.primary_of(new_view.view) {
+            self.stats.ignored += 1;
+            return;
+        }
+        // Verify the 2f+1 distinct, valid view-change votes.
+        let mut voters = std::collections::BTreeSet::new();
+        let mut valid_votes = Vec::new();
+        for vote in &new_view.view_changes {
+            let Message::ViewChange(ref view_change) = vote.message else {
+                continue;
+            };
+            if view_change.new_view != new_view.view || !vote.verify(&self.keystore) {
+                continue;
+            }
+            if voters.insert(vote.from.0) {
+                valid_votes.push(vote.clone());
+            }
+        }
+        if valid_votes.len() < self.config.quorum() {
+            self.stats.ignored += 1;
+            return;
+        }
+        // Recompute the preprepare set and require it to match: a
+        // Byzantine new primary cannot smuggle in different requests.
+        let (expected, _min_s) = compute_new_view_preprepares(
+            &self.config,
+            &self.keystore,
+            new_view.view,
+            from,
+            &valid_votes,
+        );
+        if expected != new_view.preprepares {
+            self.stats.ignored += 1;
+            return;
+        }
+        // Adopt any newer stable checkpoint carried in the votes.
+        let best_proof = valid_votes
+            .iter()
+            .filter_map(|vote| match &vote.message {
+                Message::ViewChange(vc) => vc.checkpoint_proof.clone(),
+                _ => None,
+            })
+            .filter(|proof| proof.verify(&self.keystore, self.config.quorum()))
+            .max_by_key(|proof| proof.checkpoint.sn);
+        if let Some(proof) = best_proof {
+            if proof.checkpoint.sn > self.low_watermark {
+                self.stabilize(proof);
+            }
+        }
+        self.enter_view(new_view.view, new_view.preprepares);
+    }
+
+    /// Switches to `view` and replays the new primary's preprepares.
+    fn enter_view(&mut self, view: u64, preprepares: Vec<PrePrepare>) {
+        self.view = view;
+        self.phase = None;
+        self.stats.view_changes += 1;
+        self.view_change_votes.retain(|target, _| *target > view);
+        self.actions.push(Action::CancelViewChangeTimer);
+
+        // Reset per-view slot state above the checkpoint: prepares and
+        // commits from the old view are void in the new one.
+        let max_pp = preprepares.iter().map(|p| p.sn).max();
+        self.slots.retain(|_, slot| slot.decided);
+        self.next_sn = preprepares
+            .iter()
+            .map(|p| p.sn + 1)
+            .max()
+            .unwrap_or(self.low_watermark + 1)
+            .max(self.decided_up_to + 1);
+
+        let primary = self.config.primary_of(view);
+        self.actions.push(Action::NewPrimary { view, primary });
+
+        for preprepare in preprepares {
+            if preprepare.sn <= self.decided_up_to {
+                continue; // already decided locally
+            }
+            let digest = preprepare.request.digest();
+            let sn = preprepare.sn;
+            let payload_digest = preprepare.request.payload_digest();
+            self.accept_preprepare(preprepare);
+            self.actions.push(Action::PrePrepareSeen { sn, payload_digest });
+            if self.id != primary {
+                let prepare = Prepare { view, sn, digest };
+                let signed = self.broadcast(Message::Prepare(prepare));
+                if let Some(slot) = self.slots.get_mut(&sn) {
+                    slot.prepares.insert(self.id, (digest, signed.signature));
+                }
+                self.maybe_advance(sn);
+            }
+        }
+        let _ = max_pp;
+        // The new primary re-proposes anything still in its backlog.
+        if self.is_primary() {
+            self.drain_backlog();
+        }
+        // Replay ordering traffic that raced the view change; anything
+        // still ahead of the new view goes straight back into the buffer.
+        let buffered: Vec<SignedMessage> = self.buffered.drain(..).collect();
+        for message in buffered {
+            self.dispatch(message);
+        }
+    }
+}
+
+/// Deterministically computes the preprepares a new primary must issue
+/// from a set of view-change votes: for every sequence number above the
+/// highest stable checkpoint that some vote proves prepared, re-propose
+/// that request (highest view wins); fill interior gaps with no-ops.
+///
+/// Both the new primary and every backup run this function, so a
+/// fabricated `NewView` is rejected by comparison.
+fn compute_new_view_preprepares(
+    config: &Config,
+    keystore: &Keystore,
+    view: u64,
+    primary: NodeId,
+    votes: &[SignedMessage],
+) -> (Vec<PrePrepare>, u64) {
+    let mut min_s = 0u64;
+    for vote in votes {
+        if let Message::ViewChange(vc) = &vote.message {
+            // Only checkpoint claims backed by a valid proof count.
+            let proven = match &vc.checkpoint_proof {
+                Some(proof) => {
+                    proof.checkpoint.sn == vc.last_stable_sn
+                        && proof.verify(keystore, config.quorum())
+                }
+                None => vc.last_stable_sn == 0,
+            };
+            if proven {
+                min_s = min_s.max(vc.last_stable_sn);
+            }
+        }
+    }
+
+    // Pick, per sequence number, the prepared cert from the highest view.
+    let mut chosen: BTreeMap<u64, &PreparedCert> = BTreeMap::new();
+    for vote in votes {
+        if let Message::ViewChange(vc) = &vote.message {
+            for cert in &vc.prepared {
+                if cert.sn <= min_s || !cert.verify(keystore, config.prepare_quorum()) {
+                    continue;
+                }
+                match chosen.get(&cert.sn) {
+                    Some(existing) if existing.view >= cert.view => {}
+                    _ => {
+                        chosen.insert(cert.sn, cert);
+                    }
+                }
+            }
+        }
+    }
+
+    let max_s = chosen.keys().max().copied().unwrap_or(min_s);
+    let mut preprepares = Vec::new();
+    for sn in (min_s + 1)..=max_s {
+        let request = chosen
+            .get(&sn)
+            .map(|cert| cert.request.clone())
+            .unwrap_or_else(|| ProposedRequest::noop(primary));
+        preprepares.push(PrePrepare { view, sn, request });
+    }
+    (preprepares, min_s)
+}
+
+#[cfg(test)]
+mod tests;

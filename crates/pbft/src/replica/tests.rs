@@ -1,0 +1,636 @@
+use std::collections::VecDeque;
+
+use zugchain_crypto::{Digest, Keystore};
+
+use crate::{
+    Action, Config, Message, NodeId, PrePrepare, ProposedRequest, Replica, SignedMessage,
+};
+
+/// Events collected from all replicas during a harness run.
+#[derive(Debug, Default)]
+struct Collected {
+    /// `(replica, sn, request)` per decide.
+    decides: Vec<(NodeId, u64, ProposedRequest)>,
+    /// `(replica, view, primary)` per completed view change.
+    new_primaries: Vec<(NodeId, u64, NodeId)>,
+    /// `(replica, checkpoint sn)` per stable checkpoint.
+    stable_checkpoints: Vec<(NodeId, u64)>,
+    /// `(replica, from_sn, to_sn)` per requested state transfer.
+    state_transfers: Vec<(NodeId, u64, u64)>,
+}
+
+/// A synchronous in-memory router driving a replica group: executes every
+/// action, delivering messages until the system is quiet.
+struct Cluster {
+    replicas: Vec<Replica>,
+    queue: VecDeque<(usize, SignedMessage)>,
+    /// Per-destination message filter: return `false` to drop.
+    filter: Box<dyn Fn(usize, &SignedMessage) -> bool>,
+    collected: Collected,
+    /// Replicas whose view-change timer is armed (target view).
+    vc_timers: Vec<Option<u64>>,
+}
+
+impl Cluster {
+    fn new(n: usize) -> Self {
+        let config = Config::new(n).unwrap();
+        let (pairs, keystore) = Keystore::generate(n, 42);
+        let replicas = pairs
+            .into_iter()
+            .enumerate()
+            .map(|(id, key)| Replica::new(NodeId(id as u64), config.clone(), key, keystore.clone()))
+            .collect();
+        Self {
+            replicas,
+            queue: VecDeque::new(),
+            filter: Box::new(|_, _| true),
+            collected: Collected::default(),
+            vc_timers: vec![None; n],
+        }
+    }
+
+    fn keystore(&self) -> Keystore {
+        let (_, keystore) = Keystore::generate(self.replicas.len(), 42);
+        keystore
+    }
+
+    fn set_filter(&mut self, filter: impl Fn(usize, &SignedMessage) -> bool + 'static) {
+        self.filter = Box::new(filter);
+    }
+
+    /// Collects actions from one replica into the queue / event log.
+    fn pump(&mut self, index: usize) {
+        let actions = self.replicas[index].drain_actions();
+        let id = self.replicas[index].id();
+        for action in actions {
+            match action {
+                Action::Broadcast { message } => {
+                    for dest in 0..self.replicas.len() {
+                        if dest != index && (self.filter)(dest, &message) {
+                            self.queue.push_back((dest, message.clone()));
+                        }
+                    }
+                }
+                Action::Send { to, message } => {
+                    let dest = to.0 as usize;
+                    if dest != index && (self.filter)(dest, &message) {
+                        self.queue.push_back((dest, message));
+                    }
+                }
+                Action::Decide { sn, request } => {
+                    self.collected.decides.push((id, sn, request));
+                }
+                Action::NewPrimary { view, primary } => {
+                    self.collected.new_primaries.push((id, view, primary));
+                }
+                Action::StableCheckpoint { proof } => {
+                    self.collected
+                        .stable_checkpoints
+                        .push((id, proof.checkpoint.sn));
+                }
+                Action::NeedStateTransfer { from_sn, to_sn } => {
+                    self.collected.state_transfers.push((id, from_sn, to_sn));
+                }
+                Action::StartViewChangeTimer { view } => {
+                    self.vc_timers[index] = Some(view);
+                }
+                Action::CancelViewChangeTimer => {
+                    self.vc_timers[index] = None;
+                }
+                Action::PrePrepareSeen { .. } => {}
+            }
+        }
+    }
+
+    /// Delivers queued messages until no replica produces more output.
+    fn run_until_quiet(&mut self) {
+        for index in 0..self.replicas.len() {
+            self.pump(index);
+        }
+        while let Some((dest, message)) = self.queue.pop_front() {
+            self.replicas[dest].on_message(message);
+            self.pump(dest);
+        }
+    }
+
+    /// Sequence of decided `(sn, payload)` on one replica.
+    fn decides_on(&self, id: usize) -> Vec<(u64, Vec<u8>)> {
+        self.collected
+            .decides
+            .iter()
+            .filter(|(node, _, _)| node.0 == id as u64)
+            .map(|(_, sn, request)| (*sn, request.payload.clone()))
+            .collect()
+    }
+}
+
+fn request(tag: u8, origin: u64) -> ProposedRequest {
+    ProposedRequest::application(vec![tag; 16], NodeId(origin))
+}
+
+#[test]
+fn normal_case_every_replica_decides() {
+    let mut cluster = Cluster::new(4);
+    cluster.replicas[0].propose(request(1, 0));
+    cluster.run_until_quiet();
+    for id in 0..4 {
+        assert_eq!(
+            cluster.decides_on(id),
+            vec![(1, vec![1; 16])],
+            "replica {id} must decide the request at sn 1"
+        );
+    }
+}
+
+#[test]
+fn requests_decide_in_sequence_order() {
+    let mut cluster = Cluster::new(4);
+    for tag in 1..=5 {
+        cluster.replicas[0].propose(request(tag, 0));
+    }
+    cluster.run_until_quiet();
+    for id in 0..4 {
+        let decides = cluster.decides_on(id);
+        assert_eq!(decides.len(), 5);
+        let sns: Vec<u64> = decides.iter().map(|(sn, _)| *sn).collect();
+        assert_eq!(sns, vec![1, 2, 3, 4, 5]);
+        let tags: Vec<u8> = decides.iter().map(|(_, payload)| payload[0]).collect();
+        assert_eq!(tags, vec![1, 2, 3, 4, 5]);
+    }
+}
+
+#[test]
+fn seven_replica_group_orders_too() {
+    let mut cluster = Cluster::new(7);
+    cluster.replicas[0].propose(request(9, 0));
+    cluster.run_until_quiet();
+    for id in 0..7 {
+        assert_eq!(cluster.decides_on(id), vec![(1, vec![9; 16])]);
+    }
+}
+
+#[test]
+fn decides_survive_one_silent_backup() {
+    let mut cluster = Cluster::new(4);
+    // Node 3 receives nothing: a crashed replica.
+    cluster.set_filter(|dest, _| dest != 3);
+    cluster.replicas[0].propose(request(2, 0));
+    cluster.run_until_quiet();
+    for id in 0..3 {
+        assert_eq!(cluster.decides_on(id).len(), 1, "replica {id}");
+    }
+    assert!(cluster.decides_on(3).is_empty());
+}
+
+#[test]
+fn checkpoint_becomes_stable_and_garbage_collects() {
+    let mut cluster = Cluster::new(4);
+    for tag in 1..=3 {
+        cluster.replicas[0].propose(request(tag, 0));
+    }
+    cluster.run_until_quiet();
+
+    let state = Digest::of(b"block-1");
+    for replica in &mut cluster.replicas {
+        replica.record_checkpoint(3, state);
+    }
+    cluster.run_until_quiet();
+
+    assert_eq!(cluster.collected.stable_checkpoints.len(), 4);
+    for replica in &cluster.replicas {
+        assert_eq!(replica.low_watermark(), 3);
+        let proof = replica.last_stable_proof().expect("stable proof exists");
+        assert!(proof.verify(&cluster.keystore(), 3));
+        assert_eq!(proof.checkpoint.state_digest, state);
+    }
+}
+
+#[test]
+fn divergent_checkpoint_from_one_faulty_replica_does_not_stabilize_wrong_state() {
+    let mut cluster = Cluster::new(4);
+    cluster.replicas[0].propose(request(1, 0));
+    cluster.run_until_quiet();
+
+    // Three replicas agree; the fourth lies about its state.
+    for id in 0..3 {
+        cluster.replicas[id].record_checkpoint(1, Digest::of(b"good"));
+    }
+    cluster.replicas[3].record_checkpoint(1, Digest::of(b"evil"));
+    cluster.run_until_quiet();
+
+    for replica in &cluster.replicas {
+        if let Some(proof) = replica.last_stable_proof() {
+            assert_eq!(proof.checkpoint.state_digest, Digest::of(b"good"));
+        }
+    }
+}
+
+#[test]
+fn suspicion_by_two_nodes_changes_the_view() {
+    let mut cluster = Cluster::new(4);
+    // f+1 = 2 replicas suspect the primary; the join rule pulls in the rest.
+    cluster.replicas[1].suspect(NodeId(0));
+    cluster.replicas[2].suspect(NodeId(0));
+    cluster.run_until_quiet();
+
+    for replica in &cluster.replicas {
+        if replica.id().0 == 0 {
+            continue; // the deposed primary may lag
+        }
+        assert_eq!(replica.view(), 1, "replica {} view", replica.id().0);
+        assert_eq!(replica.primary(), NodeId(1));
+        assert!(!replica.in_view_change());
+    }
+    assert!(cluster
+        .collected
+        .new_primaries
+        .iter()
+        .any(|(_, view, primary)| *view == 1 && *primary == NodeId(1)));
+}
+
+#[test]
+fn single_faulty_suspicion_does_not_change_view() {
+    let mut cluster = Cluster::new(4);
+    cluster.replicas[3].suspect(NodeId(0));
+    cluster.run_until_quiet();
+    // Nobody else suspects: no quorum, view stays 0 everywhere else.
+    for id in 0..3 {
+        assert_eq!(cluster.replicas[id].view(), 0);
+    }
+}
+
+#[test]
+fn view_change_preserves_prepared_requests() {
+    let mut cluster = Cluster::new(4);
+    // Let the request prepare but block every commit, so it is prepared
+    // but not decided when the view change hits.
+    cluster.set_filter(|_, message| !matches!(message.message, Message::Commit(_)));
+    cluster.replicas[0].propose(request(7, 0));
+    cluster.run_until_quiet();
+    assert!(cluster.collected.decides.is_empty());
+
+    cluster.set_filter(|_, _| true);
+    cluster.replicas[1].suspect(NodeId(0));
+    cluster.replicas[2].suspect(NodeId(0));
+    cluster.run_until_quiet();
+
+    // The request decides in the new view with its original payload.
+    for id in 1..4 {
+        let decides = cluster.decides_on(id);
+        assert_eq!(decides.len(), 1, "replica {id} decides after view change");
+        assert_eq!(decides[0].1, vec![7; 16]);
+    }
+}
+
+#[test]
+fn new_primary_fills_gaps_with_noops() {
+    let mut cluster = Cluster::new(4);
+    // Drop the preprepare for sn 1 entirely; sn 2 prepares normally but
+    // cannot decide (in-order execution). Commits for sn 2 are also
+    // dropped so it stays merely prepared.
+    cluster.set_filter(|_, message| match &message.message {
+        Message::PrePrepare(pp) => pp.sn != 1,
+        Message::Commit(_) => false,
+        _ => true,
+    });
+    cluster.replicas[0].propose(request(1, 0));
+    cluster.replicas[0].propose(request(2, 0));
+    cluster.run_until_quiet();
+    assert!(cluster.collected.decides.is_empty());
+
+    cluster.set_filter(|_, _| true);
+    cluster.replicas[1].suspect(NodeId(0));
+    cluster.replicas[2].suspect(NodeId(0));
+    cluster.run_until_quiet();
+
+    for id in 1..4 {
+        let decides = cluster.decides_on(id);
+        assert_eq!(decides.len(), 2, "replica {id}");
+        assert_eq!(decides[0].0, 1);
+        assert!(decides[0].1.is_empty(), "sn 1 must be a noop");
+        assert_eq!(decides[1], (2, vec![2; 16]));
+    }
+}
+
+#[test]
+fn equivocating_primary_is_suspected() {
+    let mut cluster = Cluster::new(4);
+    let (pairs, _) = Keystore::generate(4, 42);
+
+    // Byzantine primary: two different requests for the same (view, sn).
+    let pp_a = SignedMessage::sign(
+        NodeId(0),
+        Message::PrePrepare(PrePrepare {
+            view: 0,
+            sn: 1,
+            request: request(1, 0),
+        }),
+        &pairs[0],
+    );
+    let pp_b = SignedMessage::sign(
+        NodeId(0),
+        Message::PrePrepare(PrePrepare {
+            view: 0,
+            sn: 1,
+            request: request(2, 0),
+        }),
+        &pairs[0],
+    );
+    cluster.replicas[1].on_message(pp_a);
+    cluster.replicas[1].on_message(pp_b);
+    let actions = cluster.replicas[1].drain_actions();
+    assert!(
+        actions.iter().any(|action| matches!(
+            action,
+            Action::Broadcast { message } if matches!(message.message, Message::ViewChange(_))
+        )),
+        "equivocation must trigger a view-change vote"
+    );
+}
+
+#[test]
+fn forged_signatures_are_rejected() {
+    let mut cluster = Cluster::new(4);
+    let (pairs, _) = Keystore::generate(4, 42);
+    // Node 3 forges a preprepare claiming to be from the primary.
+    let forged = SignedMessage::sign(
+        NodeId(3),
+        Message::PrePrepare(PrePrepare {
+            view: 0,
+            sn: 1,
+            request: request(9, 3),
+        }),
+        &pairs[3],
+    );
+    let mut impersonated = forged;
+    impersonated.from = NodeId(0);
+    cluster.replicas[1].on_message(impersonated);
+    assert_eq!(cluster.replicas[1].stats().invalid_signatures, 1);
+    assert!(cluster.replicas[1].drain_actions().is_empty());
+}
+
+#[test]
+fn out_of_range_sender_is_ignored() {
+    let mut cluster = Cluster::new(4);
+    let (pairs, _) = Keystore::generate(1, 999);
+    let msg = SignedMessage::sign(
+        NodeId(77),
+        Message::Prepare(crate::Prepare {
+            view: 0,
+            sn: 1,
+            digest: Digest::ZERO,
+        }),
+        &pairs[0],
+    );
+    cluster.replicas[0].on_message(msg);
+    assert_eq!(cluster.replicas[0].stats().ignored, 1);
+}
+
+#[test]
+fn watermark_window_throttles_the_primary() {
+    let mut cluster = Cluster::new(4);
+    let config = Config::new(4).unwrap().with_watermark_window(2);
+    let (pairs, keystore) = Keystore::generate(4, 42);
+    cluster.replicas = pairs
+        .into_iter()
+        .enumerate()
+        .map(|(id, key)| Replica::new(NodeId(id as u64), config.clone(), key, keystore.clone()))
+        .collect();
+
+    for tag in 1..=5 {
+        cluster.replicas[0].propose(request(tag, 0));
+    }
+    cluster.run_until_quiet();
+    // Only sn 1 and 2 fit in the window.
+    assert_eq!(cluster.decides_on(1).len(), 2);
+
+    // A checkpoint at 2 opens the window for 3 and 4.
+    let state = Digest::of(b"block");
+    for replica in &mut cluster.replicas {
+        replica.record_checkpoint(2, state);
+    }
+    cluster.run_until_quiet();
+    assert_eq!(cluster.decides_on(1).len(), 4);
+}
+
+#[test]
+fn lagging_replica_detects_missed_state_via_checkpoints() {
+    let mut cluster = Cluster::new(4);
+    // Node 3 misses all ordering traffic.
+    cluster.set_filter(|dest, message| {
+        dest != 3 || matches!(message.message, Message::Checkpoint(_))
+    });
+    for tag in 1..=3 {
+        cluster.replicas[0].propose(request(tag, 0));
+    }
+    cluster.run_until_quiet();
+
+    for id in 0..3 {
+        cluster.replicas[id].record_checkpoint(3, Digest::of(b"block"));
+    }
+    cluster.run_until_quiet();
+
+    // Node 3 saw 3 matching checkpoints (a quorum) and realizes it missed
+    // sn 1..=3.
+    assert!(cluster
+        .collected
+        .state_transfers
+        .iter()
+        .any(|(node, from, to)| node.0 == 3 && *from == 1 && *to == 3));
+}
+
+#[test]
+fn stats_count_processing() {
+    let mut cluster = Cluster::new(4);
+    cluster.replicas[0].propose(request(1, 0));
+    cluster.run_until_quiet();
+    let stats = cluster.replicas[1].stats();
+    assert!(stats.messages_processed > 0);
+    assert_eq!(stats.decided, 1);
+    assert_eq!(stats.invalid_signatures, 0);
+}
+
+#[test]
+fn view_change_timeout_escalates_to_next_view() {
+    let mut cluster = Cluster::new(4);
+    // Nodes 1 and 2 suspect, but node 1 (the would-be new primary) is
+    // silenced, so view 1 never assembles.
+    cluster.set_filter(|dest, _| dest != 1);
+    cluster.replicas[2].suspect(NodeId(0));
+    cluster.replicas[3].suspect(NodeId(0));
+    cluster.run_until_quiet();
+    assert!(cluster.replicas[2].in_view_change());
+
+    // Timers fire: everyone escalates to view 2, whose primary (node 2)
+    // is alive.
+    cluster.set_filter(|_, _| true);
+    for id in [0usize, 2, 3] {
+        if cluster.vc_timers[id].is_some() {
+            cluster.replicas[id].on_view_change_timeout();
+        }
+    }
+    cluster.run_until_quiet();
+    for id in [0usize, 2, 3] {
+        assert_eq!(cluster.replicas[id].view(), 2, "replica {id}");
+        assert_eq!(cluster.replicas[id].primary(), NodeId(2));
+    }
+}
+
+#[test]
+fn ordering_continues_in_the_new_view() {
+    let mut cluster = Cluster::new(4);
+    cluster.replicas[0].propose(request(1, 0));
+    cluster.run_until_quiet();
+
+    cluster.replicas[1].suspect(NodeId(0));
+    cluster.replicas[2].suspect(NodeId(0));
+    cluster.run_until_quiet();
+    assert_eq!(cluster.replicas[1].view(), 1);
+
+    // The new primary (node 1) proposes; everything still decides.
+    cluster.replicas[1].propose(request(5, 1));
+    cluster.run_until_quiet();
+    let decides = cluster.decides_on(2);
+    assert_eq!(decides.last().unwrap().1, vec![5; 16]);
+}
+
+#[test]
+fn memory_accounting_reflects_in_flight_payloads() {
+    let mut cluster = Cluster::new(4);
+    let before = cluster.replicas[0].approx_memory_bytes();
+    // Block all traffic so proposals pile up undecided.
+    cluster.set_filter(|_, _| false);
+    for tag in 1..=10 {
+        cluster.replicas[0].propose(ProposedRequest::application(vec![tag; 1024], NodeId(0)));
+    }
+    cluster.run_until_quiet();
+    let during = cluster.replicas[0].approx_memory_bytes();
+    assert!(during > before + 10 * 1024);
+}
+
+#[test]
+fn view_change_carries_checkpoint_to_lagging_replica() {
+    let mut cluster = Cluster::new(4);
+    // Node 3 misses all traffic while 5 requests are ordered and
+    // checkpointed at sn 5.
+    cluster.set_filter(|dest, _| dest != 3);
+    for tag in 1..=5 {
+        cluster.replicas[0].propose(request(tag, 0));
+    }
+    cluster.run_until_quiet();
+    for id in 0..3 {
+        cluster.replicas[id].record_checkpoint(5, Digest::of(b"block-5"));
+    }
+    cluster.run_until_quiet();
+    assert_eq!(cluster.replicas[3].low_watermark(), 0, "node 3 is behind");
+
+    // A view change happens; the view-change votes carry the stable
+    // checkpoint proof, and node 3 adopts it when processing NewView.
+    cluster.set_filter(|_, _| true);
+    cluster.replicas[1].suspect(NodeId(0));
+    cluster.replicas[2].suspect(NodeId(0));
+    cluster.run_until_quiet();
+    assert_eq!(
+        cluster.replicas[3].low_watermark(),
+        5,
+        "NewView carried the checkpoint"
+    );
+    assert!(cluster
+        .collected
+        .state_transfers
+        .iter()
+        .any(|(node, _, to)| node.0 == 3 && *to == 5));
+}
+
+#[test]
+fn buffered_prepares_racing_the_new_view_are_replayed() {
+    let mut cluster = Cluster::new(4);
+    // Prepare-but-don't-commit a request, then view change.
+    cluster.set_filter(|_, message| !matches!(message.message, Message::Commit(_)));
+    cluster.replicas[0].propose(request(5, 0));
+    cluster.run_until_quiet();
+
+    cluster.set_filter(|_, _| true);
+    cluster.replicas[1].suspect(NodeId(0));
+    cluster.replicas[2].suspect(NodeId(0));
+    cluster.run_until_quiet();
+
+    // All correct replicas decided it in the new view despite the raced
+    // messages (the buffer/replay path).
+    for id in 1..4 {
+        assert_eq!(cluster.decides_on(id).len(), 1, "replica {id}");
+    }
+    // And the system keeps working afterwards.
+    cluster.replicas[1].propose(request(6, 1));
+    cluster.run_until_quiet();
+    for id in 1..4 {
+        assert_eq!(cluster.decides_on(id).len(), 2, "replica {id}");
+    }
+}
+
+#[test]
+fn noop_decides_advance_sequence_without_payload() {
+    let mut cluster = Cluster::new(4);
+    // sn 1's preprepare is censored; sn 2 prepares but cannot decide.
+    cluster.set_filter(|_, message| match &message.message {
+        Message::PrePrepare(pp) => pp.sn != 1,
+        Message::Commit(_) => false,
+        _ => true,
+    });
+    cluster.replicas[0].propose(request(1, 0));
+    cluster.replicas[0].propose(request(2, 0));
+    cluster.run_until_quiet();
+
+    cluster.set_filter(|_, _| true);
+    cluster.replicas[1].suspect(NodeId(0));
+    cluster.replicas[2].suspect(NodeId(0));
+    cluster.run_until_quiet();
+
+    // The noop at sn 1 is decided (empty payload, noop kind) so sn 2 can
+    // execute; ordering continues at sn 3 afterwards.
+    cluster.replicas[1].propose(request(7, 1));
+    cluster.run_until_quiet();
+    let decides = cluster.decides_on(2);
+    assert_eq!(decides.len(), 3);
+    assert_eq!(decides[2].0, 3, "fresh proposal took sn 3");
+}
+
+#[test]
+fn resumed_replica_continues_after_its_checkpoint() {
+    // Run a group, checkpoint at sn 3, then "power-cycle" every replica
+    // via Replica::resume and order new requests.
+    let mut cluster = Cluster::new(4);
+    for tag in 1..=3 {
+        cluster.replicas[0].propose(request(tag, 0));
+    }
+    cluster.run_until_quiet();
+    let state = Digest::of(b"block-1");
+    for replica in &mut cluster.replicas {
+        replica.record_checkpoint(3, state);
+    }
+    cluster.run_until_quiet();
+    let proof = cluster.replicas[0]
+        .last_stable_proof()
+        .expect("stable")
+        .clone();
+
+    // Restart all four from the proof.
+    let config = Config::new(4).unwrap();
+    let (pairs, keystore) = Keystore::generate(4, 42);
+    cluster.replicas = pairs
+        .into_iter()
+        .enumerate()
+        .map(|(id, key)| {
+            Replica::resume(NodeId(id as u64), config.clone(), key, keystore.clone(), proof.clone())
+        })
+        .collect();
+    cluster.collected = Default::default();
+
+    assert_eq!(cluster.replicas[1].low_watermark(), 3);
+    cluster.replicas[0].propose(request(9, 0));
+    cluster.run_until_quiet();
+    for id in 0..4 {
+        let decides = cluster.decides_on(id);
+        assert_eq!(decides, vec![(4, vec![9; 16])], "replica {id} continues at sn 4");
+    }
+}

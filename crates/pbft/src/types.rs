@@ -1,0 +1,187 @@
+use std::fmt;
+
+use zugchain_crypto::Digest;
+use zugchain_wire::{Decode, Encode, Reader, WireError, Writer};
+
+/// Identifier of a replica in the permissioned group.
+///
+/// Node ids double as key ids in the [`Keystore`](zugchain_crypto::Keystore).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u64);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node {}", self.0)
+    }
+}
+
+impl Encode for NodeId {
+    fn encode(&self, w: &mut Writer) {
+        w.write_u64(self.0);
+    }
+}
+
+impl Decode for NodeId {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(NodeId(r.read_u64()?))
+    }
+}
+
+/// Discriminates real application requests from protocol-internal no-ops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RequestKind {
+    /// A request carrying application data to be logged.
+    Application,
+    /// A gap filler assigned by a new primary during view change so that
+    /// sequence numbers stay contiguous; never logged by the application.
+    Noop,
+}
+
+impl Encode for RequestKind {
+    fn encode(&self, w: &mut Writer) {
+        w.write_u8(match self {
+            RequestKind::Application => 0,
+            RequestKind::Noop => 1,
+        });
+    }
+}
+
+impl Decode for RequestKind {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match r.read_u8()? {
+            0 => Ok(RequestKind::Application),
+            1 => Ok(RequestKind::Noop),
+            tag => Err(WireError::InvalidDiscriminant {
+                type_name: "RequestKind",
+                value: u64::from(tag),
+            }),
+        }
+    }
+}
+
+/// A request as handed to consensus: the opaque payload plus the id of the
+/// node that received it from the bus.
+///
+/// The ZugChain layer signs `(payload, origin)` before proposing
+/// (Alg. 1 ln. 8, "authenticate and include node id"); that outer
+/// signature travels in the layer's own messages. Inside PBFT, the
+/// request is opaque — ordering binds to its [`digest`](Self::digest).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProposedRequest {
+    /// What kind of request this is.
+    pub kind: RequestKind,
+    /// The opaque request payload (a consolidated bus cycle).
+    pub payload: Vec<u8>,
+    /// Node that read the payload from the bus.
+    pub origin: NodeId,
+    /// Bus time at which the origin received the payload, in
+    /// milliseconds. Part of the ordered request (and thus identical on
+    /// every replica), so deterministic block bundling can stamp block
+    /// headers with it — replicas must never consult local clocks for
+    /// agreed state.
+    pub time_ms: u64,
+}
+
+impl ProposedRequest {
+    /// Creates an application request with origin time 0 (tests and
+    /// benchmarks); production paths use [`with_time`](Self::with_time).
+    pub fn application(payload: Vec<u8>, origin: NodeId) -> Self {
+        Self {
+            kind: RequestKind::Application,
+            payload,
+            origin,
+            time_ms: 0,
+        }
+    }
+
+    /// Stamps the origin's bus reception time.
+    #[must_use]
+    pub fn with_time(mut self, time_ms: u64) -> Self {
+        self.time_ms = time_ms;
+        self
+    }
+
+    /// Creates a no-op gap filler attributed to the new primary.
+    pub fn noop(origin: NodeId) -> Self {
+        Self {
+            kind: RequestKind::Noop,
+            payload: Vec::new(),
+            origin,
+            time_ms: 0,
+        }
+    }
+
+    /// Returns `true` for protocol no-ops.
+    pub fn is_noop(&self) -> bool {
+        self.kind == RequestKind::Noop
+    }
+
+    /// Digest binding the whole request (kind, payload, origin) — what
+    /// prepares and commits certify.
+    pub fn digest(&self) -> Digest {
+        Digest::of_encoded(self)
+    }
+
+    /// Digest of the payload only — the content identity the ZugChain
+    /// layer filters duplicates on (two nodes reading the same bus cycle
+    /// produce the same payload digest but different request digests).
+    pub fn payload_digest(&self) -> Digest {
+        Digest::of(&self.payload)
+    }
+}
+
+impl Encode for ProposedRequest {
+    fn encode(&self, w: &mut Writer) {
+        self.kind.encode(w);
+        w.write_bytes(&self.payload);
+        self.origin.encode(w);
+        w.write_u64(self.time_ms);
+    }
+}
+
+impl Decode for ProposedRequest {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(ProposedRequest {
+            kind: RequestKind::decode(r)?,
+            payload: r.read_bytes()?.to_vec(),
+            origin: NodeId::decode(r)?,
+            time_ms: r.read_u64()?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_digests_distinguish_origin() {
+        let a = ProposedRequest::application(vec![1, 2, 3], NodeId(0));
+        let b = ProposedRequest::application(vec![1, 2, 3], NodeId(1));
+        assert_ne!(a.digest(), b.digest(), "request digest binds origin");
+        assert_eq!(
+            a.payload_digest(),
+            b.payload_digest(),
+            "payload digest is content-only"
+        );
+    }
+
+    #[test]
+    fn noop_is_flagged() {
+        assert!(ProposedRequest::noop(NodeId(2)).is_noop());
+        assert!(!ProposedRequest::application(vec![], NodeId(2)).is_noop());
+    }
+
+    #[test]
+    fn request_wire_round_trip() {
+        let request = ProposedRequest::application(vec![9; 100], NodeId(3));
+        let back: ProposedRequest =
+            zugchain_wire::from_bytes(&zugchain_wire::to_bytes(&request)).unwrap();
+        assert_eq!(back, request);
+    }
+
+    #[test]
+    fn kind_rejects_unknown_tag() {
+        assert!(zugchain_wire::from_bytes::<RequestKind>(&[7]).is_err());
+    }
+}

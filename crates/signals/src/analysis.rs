@@ -1,0 +1,346 @@
+//! Post-operational analysis of exported ZugChain data.
+//!
+//! The paper leaves interpretation of the logged data to "lab analysis
+//! after export" (§III-B): reconstructing the chain of events, flagging
+//! out-of-order or fabricated records, and producing the speed/brake
+//! timeline investigators need. This module implements that analysis over
+//! decoded [`Request`]s, in a format compatible with the decoded JRU
+//! events.
+//!
+//! # Examples
+//!
+//! ```
+//! use zugchain_mvb::PortAddress;
+//! use zugchain_signals::{analysis::Timeline, Request, SignalValue, TrainEvent};
+//!
+//! let request = Request::new(3, 192, vec![TrainEvent {
+//!     name: "emergency_brake".into(),
+//!     port: PortAddress(0x112),
+//!     cycle: 3,
+//!     time_ms: 192,
+//!     value: SignalValue::Bool(true),
+//! }]);
+//! let timeline = Timeline::from_requests([(1, 0, request)]);
+//! assert_eq!(timeline.emergency_brakings().count(), 1);
+//! ```
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::{Request, SignalValue, TrainEvent};
+
+/// One analyzed record: a logged event with its ordering metadata.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AnalyzedEvent {
+    /// BFT sequence number the enclosing request was ordered at.
+    pub sn: u64,
+    /// Node that received the request from the bus.
+    pub origin: u64,
+    /// The decoded event.
+    pub event: TrainEvent,
+}
+
+/// A finding the analysis flags for investigators.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Finding {
+    /// An event's bus time precedes an earlier-ordered event's bus time
+    /// by more than the tolerance — data included long after its
+    /// creation, to be "regarded sceptical during analysis" (§III-B).
+    OutOfOrder {
+        /// Sequence number of the suspicious request.
+        sn: u64,
+        /// Bus time of the event.
+        time_ms: u64,
+        /// Highest bus time seen before it.
+        latest_before_ms: u64,
+    },
+    /// An emergency braking was recorded.
+    EmergencyBraking {
+        /// Bus time of activation.
+        time_ms: u64,
+        /// Speed at (or nearest before) activation, in 0.01 km/h.
+        speed_ckmh: Option<u16>,
+    },
+    /// An ATP intervention was recorded.
+    AtpIntervention {
+        /// Bus time of the intervention.
+        time_ms: u64,
+    },
+    /// Doors were released while the train was moving.
+    DoorsReleasedWhileMoving {
+        /// Bus time of the release.
+        time_ms: u64,
+        /// Speed at that moment in 0.01 km/h.
+        speed_ckmh: u16,
+    },
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Finding::OutOfOrder {
+                sn,
+                time_ms,
+                latest_before_ms,
+            } => write!(
+                f,
+                "sn {sn}: bus time {time_ms} ms precedes already-logged {latest_before_ms} ms"
+            ),
+            Finding::EmergencyBraking { time_ms, speed_ckmh } => match speed_ckmh {
+                Some(speed) => write!(
+                    f,
+                    "[{time_ms} ms] EMERGENCY BRAKE at {:.1} km/h",
+                    f64::from(*speed) / 100.0
+                ),
+                None => write!(f, "[{time_ms} ms] EMERGENCY BRAKE (speed unknown)"),
+            },
+            Finding::AtpIntervention { time_ms } => {
+                write!(f, "[{time_ms} ms] ATP intervention")
+            }
+            Finding::DoorsReleasedWhileMoving { time_ms, speed_ckmh } => write!(
+                f,
+                "[{time_ms} ms] doors released at {:.1} km/h",
+                f64::from(*speed_ckmh) / 100.0
+            ),
+        }
+    }
+}
+
+/// The reconstructed operational timeline of a (partial) journey.
+#[derive(Debug, Clone, Default)]
+pub struct Timeline {
+    /// All analyzed events in log order (sequence-number order).
+    events: Vec<AnalyzedEvent>,
+    /// Speed samples `(time_ms, speed in 0.01 km/h)` in log order.
+    speed_profile: Vec<(u64, u16)>,
+    findings: Vec<Finding>,
+}
+
+impl Timeline {
+    /// Tolerance for out-of-order bus times before flagging (one typical
+    /// soft+hard timeout budget).
+    pub const REORDER_TOLERANCE_MS: u64 = 500;
+
+    /// Builds a timeline from decoded requests with their ordering
+    /// metadata `(sn, origin, request)`, given in log order.
+    pub fn from_requests(requests: impl IntoIterator<Item = (u64, u64, Request)>) -> Self {
+        let mut timeline = Timeline::default();
+        let mut latest_time_ms = 0u64;
+        let mut last_speed: Option<u16> = None;
+
+        for (sn, origin, request) in requests {
+            if request.time_ms + Self::REORDER_TOLERANCE_MS < latest_time_ms {
+                timeline.findings.push(Finding::OutOfOrder {
+                    sn,
+                    time_ms: request.time_ms,
+                    latest_before_ms: latest_time_ms,
+                });
+            }
+            latest_time_ms = latest_time_ms.max(request.time_ms);
+
+            for event in request.events {
+                match (event.name.as_str(), &event.value) {
+                    ("v_actual", SignalValue::U16(speed)) => {
+                        last_speed = Some(*speed);
+                        timeline.speed_profile.push((event.time_ms, *speed));
+                    }
+                    ("emergency_brake", SignalValue::Bool(true)) => {
+                        timeline.findings.push(Finding::EmergencyBraking {
+                            time_ms: event.time_ms,
+                            speed_ckmh: last_speed,
+                        });
+                    }
+                    ("atp_intervention", SignalValue::Bool(true)) => {
+                        timeline
+                            .findings
+                            .push(Finding::AtpIntervention { time_ms: event.time_ms });
+                    }
+                    ("doors_released", SignalValue::Bool(true)) => {
+                        if let Some(speed) = last_speed {
+                            if speed > 100 {
+                                // > 1 km/h: releasing doors while moving.
+                                timeline.findings.push(Finding::DoorsReleasedWhileMoving {
+                                    time_ms: event.time_ms,
+                                    speed_ckmh: speed,
+                                });
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+                timeline.events.push(AnalyzedEvent {
+                    sn,
+                    origin,
+                    event,
+                });
+            }
+        }
+        timeline
+    }
+
+    /// All analyzed events, in log order.
+    pub fn events(&self) -> &[AnalyzedEvent] {
+        &self.events
+    }
+
+    /// All findings, in log order.
+    pub fn findings(&self) -> &[Finding] {
+        &self.findings
+    }
+
+    /// The speed profile `(time_ms, 0.01 km/h)` samples in log order.
+    pub fn speed_profile(&self) -> &[(u64, u16)] {
+        &self.speed_profile
+    }
+
+    /// Emergency brakings found.
+    pub fn emergency_brakings(&self) -> impl Iterator<Item = &Finding> {
+        self.findings
+            .iter()
+            .filter(|f| matches!(f, Finding::EmergencyBraking { .. }))
+    }
+
+    /// Out-of-order inclusions to treat sceptically.
+    pub fn suspicious_orderings(&self) -> impl Iterator<Item = &Finding> {
+        self.findings
+            .iter()
+            .filter(|f| matches!(f, Finding::OutOfOrder { .. }))
+    }
+
+    /// The highest speed recorded, in 0.01 km/h.
+    pub fn max_speed_ckmh(&self) -> Option<u16> {
+        self.speed_profile.iter().map(|(_, s)| *s).max()
+    }
+
+    /// Events contributed per origin node — useful to spot a node that
+    /// fabricated data (its origin id is attached to everything it
+    /// injected, §III-B).
+    pub fn events_by_origin(&self) -> BTreeMap<u64, usize> {
+        let mut counts = BTreeMap::new();
+        for analyzed in &self.events {
+            *counts.entry(analyzed.origin).or_default() += 1;
+        }
+        counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zugchain_mvb::PortAddress;
+
+    fn event(name: &str, time_ms: u64, value: SignalValue) -> TrainEvent {
+        TrainEvent {
+            name: name.into(),
+            port: PortAddress(0),
+            cycle: time_ms / 64,
+            time_ms,
+            value,
+        }
+    }
+
+    fn request(sn: u64, time_ms: u64, events: Vec<TrainEvent>) -> (u64, u64, Request) {
+        (sn, sn % 4, Request::new(time_ms / 64, time_ms, events))
+    }
+
+    #[test]
+    fn speed_profile_is_extracted_in_order() {
+        let timeline = Timeline::from_requests([
+            request(1, 64, vec![event("v_actual", 64, SignalValue::U16(1000))]),
+            request(2, 128, vec![event("v_actual", 128, SignalValue::U16(1200))]),
+        ]);
+        assert_eq!(timeline.speed_profile(), &[(64, 1000), (128, 1200)]);
+        assert_eq!(timeline.max_speed_ckmh(), Some(1200));
+    }
+
+    #[test]
+    fn emergency_brake_is_paired_with_speed() {
+        let timeline = Timeline::from_requests([
+            request(1, 64, vec![event("v_actual", 64, SignalValue::U16(14_000))]),
+            request(
+                2,
+                128,
+                vec![event("emergency_brake", 128, SignalValue::Bool(true))],
+            ),
+        ]);
+        let brakings: Vec<_> = timeline.emergency_brakings().collect();
+        assert_eq!(brakings.len(), 1);
+        assert!(matches!(
+            brakings[0],
+            Finding::EmergencyBraking {
+                time_ms: 128,
+                speed_ckmh: Some(14_000)
+            }
+        ));
+    }
+
+    #[test]
+    fn out_of_order_inclusion_is_flagged() {
+        let timeline = Timeline::from_requests([
+            request(1, 5_000, vec![event("v_actual", 5_000, SignalValue::U16(1))]),
+            // Included long after its creation: > tolerance behind.
+            request(2, 1_000, vec![event("v_actual", 1_000, SignalValue::U16(2))]),
+        ]);
+        assert_eq!(timeline.suspicious_orderings().count(), 1);
+    }
+
+    #[test]
+    fn small_reorderings_are_tolerated() {
+        let timeline = Timeline::from_requests([
+            request(1, 1_000, vec![]),
+            request(2, 900, vec![]), // within the 500 ms tolerance
+        ]);
+        assert_eq!(timeline.suspicious_orderings().count(), 0);
+    }
+
+    #[test]
+    fn doors_while_moving_is_flagged() {
+        let timeline = Timeline::from_requests([
+            request(1, 64, vec![event("v_actual", 64, SignalValue::U16(5_000))]),
+            request(
+                2,
+                128,
+                vec![event("doors_released", 128, SignalValue::Bool(true))],
+            ),
+        ]);
+        assert!(matches!(
+            timeline.findings()[0],
+            Finding::DoorsReleasedWhileMoving { speed_ckmh: 5_000, .. }
+        ));
+    }
+
+    #[test]
+    fn doors_at_standstill_are_fine() {
+        let timeline = Timeline::from_requests([
+            request(1, 64, vec![event("v_actual", 64, SignalValue::U16(0))]),
+            request(
+                2,
+                128,
+                vec![event("doors_released", 128, SignalValue::Bool(true))],
+            ),
+        ]);
+        assert!(timeline.findings().is_empty());
+    }
+
+    #[test]
+    fn origin_attribution_counts_events() {
+        let timeline = Timeline::from_requests([
+            request(1, 64, vec![event("v_actual", 64, SignalValue::U16(1))]),
+            request(2, 128, vec![event("v_actual", 128, SignalValue::U16(2))]),
+            request(5, 192, vec![event("v_actual", 192, SignalValue::U16(3))]),
+        ]);
+        let by_origin = timeline.events_by_origin();
+        assert_eq!(by_origin.values().sum::<usize>(), 3);
+        assert_eq!(by_origin.get(&1), Some(&2), "origins 1 (sn 1, sn 5)");
+    }
+
+    #[test]
+    fn findings_render_for_reports() {
+        let finding = Finding::EmergencyBraking {
+            time_ms: 640,
+            speed_ckmh: Some(12_340),
+        };
+        assert_eq!(finding.to_string(), "[640 ms] EMERGENCY BRAKE at 123.4 km/h");
+    }
+}

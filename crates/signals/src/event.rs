@@ -1,0 +1,194 @@
+use std::fmt;
+
+use zugchain_mvb::PortAddress;
+use zugchain_wire::{Decode, Encode, Reader, WireError, Writer};
+
+/// A decoded signal value.
+///
+/// The variants match the NSDB signal kinds
+/// ([`SignalKind`](zugchain_mvb::SignalKind)); [`SignalValue::Raw`] records
+/// telegrams that failed to decode (width mismatch after bus corruption) or
+/// that are opaque by configuration — both must still be logged.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum SignalValue {
+    /// A discrete on/off signal.
+    Bool(bool),
+    /// An unsigned 16-bit scaled value.
+    U16(u16),
+    /// An unsigned 32-bit scaled value.
+    U32(u32),
+    /// A signed 16-bit scaled value.
+    I16(i16),
+    /// Undecoded payload bytes, logged as-is.
+    Raw(Vec<u8>),
+}
+
+impl SignalValue {
+    const TAG_BOOL: u8 = 0;
+    const TAG_U16: u8 = 1;
+    const TAG_U32: u8 = 2;
+    const TAG_I16: u8 = 3;
+    const TAG_RAW: u8 = 4;
+}
+
+impl fmt::Display for SignalValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SignalValue::Bool(v) => write!(f, "{v}"),
+            SignalValue::U16(v) => write!(f, "{v}"),
+            SignalValue::U32(v) => write!(f, "{v}"),
+            SignalValue::I16(v) => write!(f, "{v}"),
+            SignalValue::Raw(bytes) => write!(f, "raw[{} bytes]", bytes.len()),
+        }
+    }
+}
+
+impl Encode for SignalValue {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            SignalValue::Bool(v) => {
+                w.write_u8(Self::TAG_BOOL);
+                v.encode(w);
+            }
+            SignalValue::U16(v) => {
+                w.write_u8(Self::TAG_U16);
+                w.write_u16(*v);
+            }
+            SignalValue::U32(v) => {
+                w.write_u8(Self::TAG_U32);
+                w.write_u32(*v);
+            }
+            SignalValue::I16(v) => {
+                w.write_u8(Self::TAG_I16);
+                w.write_u16(*v as u16);
+            }
+            SignalValue::Raw(bytes) => {
+                w.write_u8(Self::TAG_RAW);
+                w.write_bytes(bytes);
+            }
+        }
+    }
+}
+
+impl Decode for SignalValue {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match r.read_u8()? {
+            Self::TAG_BOOL => Ok(SignalValue::Bool(bool::decode(r)?)),
+            Self::TAG_U16 => Ok(SignalValue::U16(r.read_u16()?)),
+            Self::TAG_U32 => Ok(SignalValue::U32(r.read_u32()?)),
+            Self::TAG_I16 => Ok(SignalValue::I16(r.read_u16()? as i16)),
+            Self::TAG_RAW => Ok(SignalValue::Raw(r.read_bytes()?.to_vec())),
+            tag => Err(WireError::InvalidDiscriminant {
+                type_name: "SignalValue",
+                value: u64::from(tag),
+            }),
+        }
+    }
+}
+
+/// One juridically relevant train event: a named signal observation with
+/// its bus timestamp, in a format compatible with JRU analysis tooling.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct TrainEvent {
+    /// Signal name from the NSDB (e.g. `"emergency_brake"`), or a
+    /// placeholder for unconfigured ports.
+    pub name: String,
+    /// Source port on the bus.
+    pub port: PortAddress,
+    /// Bus cycle during which the signal was transmitted.
+    pub cycle: u64,
+    /// Bus time of transmission in milliseconds.
+    pub time_ms: u64,
+    /// The decoded value.
+    pub value: SignalValue,
+}
+
+impl fmt::Display for TrainEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{} ms] {} = {} ({})",
+            self.time_ms, self.name, self.value, self.port
+        )
+    }
+}
+
+impl Encode for TrainEvent {
+    fn encode(&self, w: &mut Writer) {
+        self.name.encode(w);
+        self.port.encode(w);
+        w.write_u64(self.cycle);
+        w.write_u64(self.time_ms);
+        self.value.encode(w);
+    }
+}
+
+impl Decode for TrainEvent {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(TrainEvent {
+            name: String::decode(r)?,
+            port: PortAddress::decode(r)?,
+            cycle: r.read_u64()?,
+            time_ms: r.read_u64()?,
+            value: SignalValue::decode(r)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TrainEvent {
+        TrainEvent {
+            name: "v_actual".into(),
+            port: PortAddress(0x100),
+            cycle: 12,
+            time_ms: 768,
+            value: SignalValue::U16(14_250),
+        }
+    }
+
+    #[test]
+    fn event_wire_round_trip() {
+        let event = sample();
+        let back: TrainEvent =
+            zugchain_wire::from_bytes(&zugchain_wire::to_bytes(&event)).unwrap();
+        assert_eq!(back, event);
+    }
+
+    #[test]
+    fn every_value_variant_round_trips() {
+        let values = [
+            SignalValue::Bool(true),
+            SignalValue::Bool(false),
+            SignalValue::U16(65_535),
+            SignalValue::U32(4_000_000_000),
+            SignalValue::I16(-220),
+            SignalValue::Raw(vec![1, 2, 3]),
+            SignalValue::Raw(vec![]),
+        ];
+        for value in values {
+            let back: SignalValue =
+                zugchain_wire::from_bytes(&zugchain_wire::to_bytes(&value)).unwrap();
+            assert_eq!(back, value);
+        }
+    }
+
+    #[test]
+    fn unknown_value_tag_is_rejected() {
+        let err = zugchain_wire::from_bytes::<SignalValue>(&[9]).unwrap_err();
+        assert!(matches!(
+            err,
+            zugchain_wire::WireError::InvalidDiscriminant { type_name: "SignalValue", value: 9 }
+        ));
+    }
+
+    #[test]
+    fn display_is_analysis_friendly() {
+        assert_eq!(
+            sample().to_string(),
+            "[768 ms] v_actual = 14250 (port 0x100)"
+        );
+    }
+}

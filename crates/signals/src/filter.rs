@@ -1,0 +1,163 @@
+use std::collections::HashMap;
+
+use zugchain_mvb::PortAddress;
+
+use crate::{SignalValue, TrainEvent};
+
+/// JRU-style on-change filtering.
+///
+/// JRUs reduce volume by logging analog signals only upon changes (paper
+/// §III-A: *"filter the data according to relevance and for higher
+/// efficiency as is common practice in JRUs, e.g., to log the speed only
+/// upon changes"*). The filter keeps the last logged value per port and
+/// passes an event only if its value differs.
+///
+/// Raw values (corrupted or opaque payloads) always pass: they cannot be
+/// compared semantically and must never be dropped.
+///
+/// # Examples
+///
+/// ```
+/// use zugchain_mvb::PortAddress;
+/// use zugchain_signals::{ChangeFilter, SignalValue, TrainEvent};
+///
+/// let mut filter = ChangeFilter::new();
+/// let event = TrainEvent {
+///     name: "v_actual".into(),
+///     port: PortAddress(0x100),
+///     cycle: 0,
+///     time_ms: 0,
+///     value: SignalValue::U16(100),
+/// };
+/// assert!(filter.admit(&event));       // first observation logs
+/// assert!(!filter.admit(&event));      // unchanged value is filtered
+/// let mut changed = event.clone();
+/// changed.value = SignalValue::U16(101);
+/// assert!(filter.admit(&changed));     // change logs again
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ChangeFilter {
+    last: HashMap<PortAddress, SignalValue>,
+    admitted: u64,
+    suppressed: u64,
+}
+
+impl ChangeFilter {
+    /// Creates a filter with no history: the first event on every port is
+    /// admitted.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Decides whether `event` must be logged, updating the per-port
+    /// history.
+    pub fn admit(&mut self, event: &TrainEvent) -> bool {
+        let admit = match &event.value {
+            // Raw payloads always log: they may be corrupt duplicates, but
+            // completeness beats efficiency for unparseable data.
+            SignalValue::Raw(_) => true,
+            value => self.last.get(&event.port) != Some(value),
+        };
+        if admit {
+            self.last.insert(event.port, event.value.clone());
+            self.admitted += 1;
+        } else {
+            self.suppressed += 1;
+        }
+        admit
+    }
+
+    /// Applies the filter to a batch, keeping admitted events in order.
+    pub fn filter_batch(&mut self, events: Vec<TrainEvent>) -> Vec<TrainEvent> {
+        events.into_iter().filter(|e| self.admit(e)).collect()
+    }
+
+    /// Number of events admitted so far.
+    pub fn admitted(&self) -> u64 {
+        self.admitted
+    }
+
+    /// Number of events suppressed as unchanged so far.
+    pub fn suppressed(&self) -> u64 {
+        self.suppressed
+    }
+
+    /// Forgets all history; the next event on every port is admitted again.
+    pub fn reset(&mut self) {
+        self.last.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn event(port: u16, value: SignalValue) -> TrainEvent {
+        TrainEvent {
+            name: format!("sig_{port}"),
+            port: PortAddress(port),
+            cycle: 0,
+            time_ms: 0,
+            value,
+        }
+    }
+
+    #[test]
+    fn ports_are_filtered_independently() {
+        let mut filter = ChangeFilter::new();
+        assert!(filter.admit(&event(1, SignalValue::Bool(true))));
+        assert!(filter.admit(&event(2, SignalValue::Bool(true))));
+        assert!(!filter.admit(&event(1, SignalValue::Bool(true))));
+        assert!(!filter.admit(&event(2, SignalValue::Bool(true))));
+    }
+
+    #[test]
+    fn value_type_change_is_a_change() {
+        let mut filter = ChangeFilter::new();
+        assert!(filter.admit(&event(1, SignalValue::U16(1))));
+        assert!(filter.admit(&event(1, SignalValue::U32(1))));
+    }
+
+    #[test]
+    fn raw_values_always_pass() {
+        let mut filter = ChangeFilter::new();
+        let raw = event(1, SignalValue::Raw(vec![1, 2]));
+        assert!(filter.admit(&raw));
+        assert!(filter.admit(&raw));
+        assert_eq!(filter.suppressed(), 0);
+    }
+
+    #[test]
+    fn batch_preserves_order_of_admitted_events() {
+        let mut filter = ChangeFilter::new();
+        filter.admit(&event(1, SignalValue::U16(5)));
+        let batch = vec![
+            event(1, SignalValue::U16(5)),  // suppressed
+            event(2, SignalValue::U16(7)),  // admitted
+            event(1, SignalValue::U16(6)),  // admitted (changed)
+        ];
+        let out = filter.filter_batch(batch);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].port, PortAddress(2));
+        assert_eq!(out[1].port, PortAddress(1));
+    }
+
+    #[test]
+    fn counters_track_decisions() {
+        let mut filter = ChangeFilter::new();
+        filter.admit(&event(1, SignalValue::U16(5)));
+        filter.admit(&event(1, SignalValue::U16(5)));
+        filter.admit(&event(1, SignalValue::U16(6)));
+        assert_eq!(filter.admitted(), 2);
+        assert_eq!(filter.suppressed(), 1);
+    }
+
+    #[test]
+    fn reset_readmits_unchanged_values() {
+        let mut filter = ChangeFilter::new();
+        filter.admit(&event(1, SignalValue::U16(5)));
+        assert!(!filter.admit(&event(1, SignalValue::U16(5))));
+        filter.reset();
+        assert!(filter.admit(&event(1, SignalValue::U16(5))));
+    }
+}

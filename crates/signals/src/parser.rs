@@ -1,0 +1,160 @@
+use zugchain_mvb::{Nsdb, SignalKind, Telegram};
+
+use crate::{SignalValue, TrainEvent};
+
+/// How a telegram was turned into an event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParseOutcome {
+    /// The telegram matched its NSDB descriptor and decoded cleanly.
+    Decoded,
+    /// The payload width did not match the configured kind (e.g. after
+    /// corruption); the raw bytes were logged instead.
+    WidthMismatch,
+    /// No NSDB entry exists for the port; the raw bytes were logged.
+    UnknownPort,
+}
+
+/// Decodes raw telegrams into typed [`TrainEvent`]s using the NSDB.
+///
+/// The parser never drops data: telegrams that cannot be decoded are
+/// recorded as raw events, because everything sent over the bus must be
+/// logged (paper §III-B).
+///
+/// # Examples
+///
+/// ```
+/// use zugchain_mvb::{Nsdb, PortAddress, Telegram};
+/// use zugchain_signals::{SignalParser, SignalValue};
+///
+/// let parser = SignalParser::new(Nsdb::jru_default());
+/// let telegram = Telegram::new(PortAddress(0x100), 0, 0, vec![0x34, 0x12]);
+/// let (event, _) = parser.parse(&telegram);
+/// assert_eq!(event.name, "v_actual");
+/// assert_eq!(event.value, SignalValue::U16(0x1234));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SignalParser {
+    nsdb: Nsdb,
+}
+
+impl SignalParser {
+    /// Creates a parser for the given signal configuration.
+    pub fn new(nsdb: Nsdb) -> Self {
+        Self { nsdb }
+    }
+
+    /// The configuration this parser decodes against.
+    pub fn nsdb(&self) -> &Nsdb {
+        &self.nsdb
+    }
+
+    /// Parses one telegram. Infallible by design: undecodable telegrams
+    /// become raw events.
+    pub fn parse(&self, telegram: &Telegram) -> (TrainEvent, ParseOutcome) {
+        let Some(descriptor) = self.nsdb.lookup(telegram.port) else {
+            return (
+                TrainEvent {
+                    name: format!("unknown_{:#05x}", telegram.port.0),
+                    port: telegram.port,
+                    cycle: telegram.cycle,
+                    time_ms: telegram.time_ms,
+                    value: SignalValue::Raw(telegram.payload.clone()),
+                },
+                ParseOutcome::UnknownPort,
+            );
+        };
+
+        let payload = telegram.payload.as_slice();
+        let decoded = match descriptor.kind {
+            _ if payload.len() != descriptor.kind.width() => None,
+            SignalKind::Bool => Some(SignalValue::Bool(payload[0] != 0)),
+            SignalKind::U16 => Some(SignalValue::U16(u16::from_le_bytes([payload[0], payload[1]]))),
+            SignalKind::I16 => Some(SignalValue::I16(i16::from_le_bytes([payload[0], payload[1]]))),
+            SignalKind::U32 => Some(SignalValue::U32(u32::from_le_bytes([
+                payload[0], payload[1], payload[2], payload[3],
+            ]))),
+            SignalKind::Opaque { .. } => Some(SignalValue::Raw(payload.to_vec())),
+        };
+
+        let (value, outcome) = match decoded {
+            Some(SignalValue::Raw(bytes)) => (SignalValue::Raw(bytes), ParseOutcome::Decoded),
+            Some(value) => (value, ParseOutcome::Decoded),
+            None => (
+                SignalValue::Raw(payload.to_vec()),
+                ParseOutcome::WidthMismatch,
+            ),
+        };
+
+        (
+            TrainEvent {
+                name: descriptor.name.clone(),
+                port: telegram.port,
+                cycle: telegram.cycle,
+                time_ms: telegram.time_ms,
+                value,
+            },
+            outcome,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zugchain_mvb::PortAddress;
+
+    fn parser() -> SignalParser {
+        SignalParser::new(Nsdb::jru_default())
+    }
+
+    #[test]
+    fn decodes_bool_signal() {
+        let telegram = Telegram::new(PortAddress(0x112), 3, 192, vec![1]);
+        let (event, outcome) = parser().parse(&telegram);
+        assert_eq!(outcome, ParseOutcome::Decoded);
+        assert_eq!(event.name, "emergency_brake");
+        assert_eq!(event.value, SignalValue::Bool(true));
+    }
+
+    #[test]
+    fn decodes_u32_signal() {
+        let telegram = Telegram::new(PortAddress(0x102), 0, 0, 123_456u32.to_le_bytes().to_vec());
+        let (event, outcome) = parser().parse(&telegram);
+        assert_eq!(outcome, ParseOutcome::Decoded);
+        assert_eq!(event.value, SignalValue::U32(123_456));
+    }
+
+    #[test]
+    fn decodes_negative_i16() {
+        let telegram = Telegram::new(PortAddress(0x103), 0, 0, (-220i16).to_le_bytes().to_vec());
+        let (event, _) = parser().parse(&telegram);
+        assert_eq!(event.value, SignalValue::I16(-220));
+    }
+
+    #[test]
+    fn width_mismatch_preserves_raw_bytes() {
+        // v_actual is u16 but we deliver 3 bytes (corrupted frame).
+        let telegram = Telegram::new(PortAddress(0x100), 0, 0, vec![1, 2, 3]);
+        let (event, outcome) = parser().parse(&telegram);
+        assert_eq!(outcome, ParseOutcome::WidthMismatch);
+        assert_eq!(event.value, SignalValue::Raw(vec![1, 2, 3]));
+        assert_eq!(event.name, "v_actual", "name still identifies the port");
+    }
+
+    #[test]
+    fn unknown_port_is_logged_not_dropped() {
+        let telegram = Telegram::new(PortAddress(0xABC), 5, 320, vec![9]);
+        let (event, outcome) = parser().parse(&telegram);
+        assert_eq!(outcome, ParseOutcome::UnknownPort);
+        assert_eq!(event.name, "unknown_0xabc");
+        assert_eq!(event.value, SignalValue::Raw(vec![9]));
+    }
+
+    #[test]
+    fn timestamps_carry_through() {
+        let telegram = Telegram::new(PortAddress(0x111), 7, 448, vec![0]);
+        let (event, _) = parser().parse(&telegram);
+        assert_eq!(event.cycle, 7);
+        assert_eq!(event.time_ms, 448);
+    }
+}

@@ -1,0 +1,220 @@
+use std::fmt;
+
+use zugchain_crypto::Digest;
+use zugchain_mvb::{Nsdb, Telegram};
+use zugchain_wire::{decode_seq, encode_seq, Decode, Encode, Reader, WireError, Writer};
+
+use crate::{ChangeFilter, SignalParser, TrainEvent};
+
+/// The digest identifying a request by payload.
+///
+/// ZugChain's filtering is *content-based*: "duplicate requests are
+/// filtered based on their payload" (paper §III-C). Two requests with the
+/// same events have the same digest regardless of which node submitted
+/// them.
+pub type RequestDigest = Digest;
+
+/// One consolidated BFT request: all juridically relevant signals of one
+/// bus cycle (paper §III-B).
+///
+/// Requests read from the bus are unique (the cycle index and the filtered
+/// values make them so), but the *same* request is read by multiple nodes —
+/// the ZugChain layer deduplicates them by [`digest`](Request::digest).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Bus cycle this request covers.
+    pub cycle: u64,
+    /// Bus time at the start of the cycle in milliseconds.
+    pub time_ms: u64,
+    /// Filtered events of this cycle, in bus poll order.
+    pub events: Vec<TrainEvent>,
+}
+
+impl Request {
+    /// Creates a request from already-filtered events.
+    pub fn new(cycle: u64, time_ms: u64, events: Vec<TrainEvent>) -> Self {
+        Self {
+            cycle,
+            time_ms,
+            events,
+        }
+    }
+
+    /// The content digest identifying this request's payload.
+    pub fn digest(&self) -> RequestDigest {
+        Digest::of_encoded(self)
+    }
+
+    /// Total encoded size in bytes (the request's network payload).
+    pub fn payload_len(&self) -> usize {
+        self.encoded_len()
+    }
+}
+
+impl fmt::Display for Request {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "request(cycle {}, {} events, digest {})",
+            self.cycle,
+            self.events.len(),
+            self.digest().short()
+        )
+    }
+}
+
+impl Encode for Request {
+    fn encode(&self, w: &mut Writer) {
+        w.write_u64(self.cycle);
+        w.write_u64(self.time_ms);
+        encode_seq(&self.events, w);
+    }
+}
+
+impl Decode for Request {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(Request {
+            cycle: r.read_u64()?,
+            time_ms: r.read_u64()?,
+            events: decode_seq(r)?,
+        })
+    }
+}
+
+/// Turns per-cycle telegram observations into consolidated requests.
+///
+/// Combines the [`SignalParser`] and the [`ChangeFilter`]: parse every
+/// telegram, admit changed values, and bundle the survivors into one
+/// [`Request`]. Returns `None` when nothing in the cycle needs logging.
+#[derive(Debug, Clone)]
+pub struct CycleConsolidator {
+    parser: SignalParser,
+    filter: ChangeFilter,
+}
+
+impl CycleConsolidator {
+    /// Creates a consolidator for the given bus configuration.
+    pub fn new(nsdb: Nsdb) -> Self {
+        Self {
+            parser: SignalParser::new(nsdb),
+            filter: ChangeFilter::new(),
+        }
+    }
+
+    /// Consolidates one cycle's observed telegrams into a request.
+    ///
+    /// Returns `None` if every signal was unchanged (nothing to log this
+    /// cycle).
+    pub fn consolidate(
+        &mut self,
+        cycle: u64,
+        time_ms: u64,
+        telegrams: &[Telegram],
+    ) -> Option<Request> {
+        let mut events = Vec::new();
+        for telegram in telegrams {
+            let (event, _) = self.parser.parse(telegram);
+            if self.filter.admit(&event) {
+                events.push(event);
+            }
+        }
+        if events.is_empty() {
+            None
+        } else {
+            Some(Request::new(cycle, time_ms, events))
+        }
+    }
+
+    /// Filter statistics: `(admitted, suppressed)` event counts.
+    pub fn filter_stats(&self) -> (u64, u64) {
+        (self.filter.admitted(), self.filter.suppressed())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zugchain_mvb::PortAddress;
+
+    fn speed_telegram(cycle: u64, speed: u16) -> Telegram {
+        Telegram::new(PortAddress(0x100), cycle, cycle * 64, speed.to_le_bytes().to_vec())
+    }
+
+    #[test]
+    fn request_digest_depends_only_on_content() {
+        let e = TrainEvent {
+            name: "v_actual".into(),
+            port: PortAddress(0x100),
+            cycle: 1,
+            time_ms: 64,
+            value: crate::SignalValue::U16(5),
+        };
+        let a = Request::new(1, 64, vec![e.clone()]);
+        let b = Request::new(1, 64, vec![e]);
+        assert_eq!(a.digest(), b.digest());
+
+        let mut c = a.clone();
+        c.events[0].value = crate::SignalValue::U16(6);
+        assert_ne!(a.digest(), c.digest());
+    }
+
+    #[test]
+    fn request_wire_round_trip() {
+        let request = Request::new(
+            3,
+            192,
+            vec![TrainEvent {
+                name: "brake_applied".into(),
+                port: PortAddress(0x111),
+                cycle: 3,
+                time_ms: 192,
+                value: crate::SignalValue::Bool(true),
+            }],
+        );
+        let back: Request =
+            zugchain_wire::from_bytes(&zugchain_wire::to_bytes(&request)).unwrap();
+        assert_eq!(back, request);
+        assert_eq!(back.digest(), request.digest());
+    }
+
+    #[test]
+    fn unchanged_cycle_produces_no_request() {
+        let mut consolidator = CycleConsolidator::new(Nsdb::jru_default());
+        let first = consolidator.consolidate(0, 0, &[speed_telegram(0, 100)]);
+        assert!(first.is_some());
+        let second = consolidator.consolidate(1, 64, &[speed_telegram(1, 100)]);
+        assert!(second.is_none(), "unchanged speed must be filtered");
+    }
+
+    #[test]
+    fn changed_cycle_produces_request_with_only_changes() {
+        let mut consolidator = CycleConsolidator::new(Nsdb::jru_default());
+        let brake = |cycle: u64, applied: u8| {
+            Telegram::new(PortAddress(0x111), cycle, cycle * 64, vec![applied])
+        };
+        consolidator.consolidate(0, 0, &[speed_telegram(0, 100), brake(0, 0)]);
+        let request = consolidator
+            .consolidate(1, 64, &[speed_telegram(1, 100), brake(1, 1)])
+            .expect("brake change must be logged");
+        assert_eq!(request.events.len(), 1);
+        assert_eq!(request.events[0].name, "brake_applied");
+    }
+
+    #[test]
+    fn consolidated_requests_are_unique_across_cycles() {
+        let mut consolidator = CycleConsolidator::new(Nsdb::jru_default());
+        let a = consolidator
+            .consolidate(0, 0, &[speed_telegram(0, 100)])
+            .unwrap();
+        let b = consolidator
+            .consolidate(1, 64, &[speed_telegram(1, 101)])
+            .unwrap();
+        assert_ne!(a.digest(), b.digest());
+    }
+
+    #[test]
+    fn empty_cycle_is_none() {
+        let mut consolidator = CycleConsolidator::new(Nsdb::jru_default());
+        assert!(consolidator.consolidate(0, 0, &[]).is_none());
+    }
+}

@@ -1,0 +1,126 @@
+/// CPU service times, calibrated to the paper's testbed CPU (Freescale
+/// i.MX6 quad-core Cortex-A9 @ 800 MHz).
+///
+/// The dominant consensus costs are Ed25519 operations: on a Cortex-A9 at
+/// 800 MHz a signature takes on the order of 0.7–0.9 ms and a
+/// verification roughly twice that. Hashing (SHA-256) costs tens of
+/// cycles per byte. The defaults below reproduce the paper's headline
+/// normal-case latency (~14 ms from bus reception to finalized commit at
+/// a 64 ms cycle with 1 kB payloads); see `EXPERIMENTS.md` for the
+/// calibration notes.
+///
+/// All values are in **nanoseconds** of busy CPU time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostModel {
+    /// One Ed25519 signature.
+    pub sign_ns: u64,
+    /// One Ed25519 verification.
+    pub verify_ns: u64,
+    /// SHA-256, per byte hashed.
+    pub hash_per_byte_ns: u64,
+    /// Serialization/deserialization, per byte.
+    pub serde_per_byte_ns: u64,
+    /// Fixed dispatch overhead per protocol message (syscalls, queueing,
+    /// allocator).
+    pub per_message_ns: u64,
+    /// Fixed cost of parsing one bus telegram.
+    pub telegram_parse_ns: u64,
+    /// Fixed process memory baseline in bytes (binary, runtime, buffers) —
+    /// added to the nodes' own accounting when reporting memory.
+    pub process_base_bytes: usize,
+    /// Number of CPU cores per node (the M-COM has 4); utilization is
+    /// reported as a percentage of `cores × 100 %`.
+    pub cores: u32,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        Self::cortex_a9()
+    }
+}
+
+impl CostModel {
+    /// The calibrated M-COM / Cortex-A9 model used for all evaluations.
+    pub fn cortex_a9() -> Self {
+        Self {
+            sign_ns: 800_000,        // 0.8 ms
+            verify_ns: 1_600_000,    // 1.6 ms
+            hash_per_byte_ns: 80,    // ~64 cycles/byte at 800 MHz
+            serde_per_byte_ns: 30,   // copy + Protobuf-equivalent framing
+            per_message_ns: 150_000, // 0.15 ms dispatch overhead
+            telegram_parse_ns: 20_000,
+            process_base_bytes: 7 * 1024 * 1024,
+            cores: 4,
+        }
+    }
+
+    /// A model for the AWS `t2.xlarge` data-center VM (x86, much faster
+    /// single-core crypto than the ARM nodes).
+    pub fn aws_t2_xlarge() -> Self {
+        Self {
+            sign_ns: 60_000,
+            verify_ns: 140_000,
+            hash_per_byte_ns: 5,
+            serde_per_byte_ns: 2,
+            per_message_ns: 20_000,
+            telegram_parse_ns: 2_000,
+            process_base_bytes: 64 * 1024 * 1024,
+            cores: 4,
+        }
+    }
+
+    /// Cost of receiving and processing one protocol message of
+    /// `bytes` length carrying `signatures` signatures to verify.
+    pub fn receive_message_ns(&self, bytes: usize, signatures: usize) -> u64 {
+        self.per_message_ns
+            + self.verify_ns * signatures as u64
+            + self.serde_per_byte_ns * bytes as u64
+            + self.hash_per_byte_ns * bytes as u64 / 4 // digest of the payload part
+    }
+
+    /// Cost of producing and sending one message of `bytes` length that
+    /// must be signed once.
+    pub fn send_message_ns(&self, bytes: usize) -> u64 {
+        self.per_message_ns / 2 + self.sign_ns + self.serde_per_byte_ns * bytes as u64
+    }
+
+    /// Cost of parsing and consolidating one bus cycle of `telegrams`
+    /// telegrams totalling `bytes` payload bytes.
+    pub fn bus_cycle_ns(&self, telegrams: usize, bytes: usize) -> u64 {
+        self.telegram_parse_ns * telegrams as u64
+            + self.serde_per_byte_ns * bytes as u64
+            + self.hash_per_byte_ns * bytes as u64
+    }
+
+    /// Cost of hashing `bytes` (block creation, chain verification).
+    pub fn hash_ns(&self, bytes: usize) -> u64 {
+        self.hash_per_byte_ns * bytes as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verification_dominates_reception() {
+        let model = CostModel::cortex_a9();
+        let with_sig = model.receive_message_ns(1024, 1);
+        let without = model.receive_message_ns(1024, 0);
+        assert_eq!(with_sig - without, model.verify_ns);
+    }
+
+    #[test]
+    fn costs_scale_with_size() {
+        let model = CostModel::cortex_a9();
+        assert!(model.send_message_ns(8192) > model.send_message_ns(32));
+        assert!(model.bus_cycle_ns(10, 1024) > model.bus_cycle_ns(1, 32));
+    }
+
+    #[test]
+    fn datacenter_cpu_is_faster() {
+        let arm = CostModel::cortex_a9();
+        let x86 = CostModel::aws_t2_xlarge();
+        assert!(x86.verify_ns < arm.verify_ns / 5);
+    }
+}

@@ -1,0 +1,132 @@
+/// Latency statistics over request samples.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LatencyStats {
+    /// `(birth time ms, latency ms)` per logged request, in birth order.
+    pub samples: Vec<(f64, f64)>,
+}
+
+impl LatencyStats {
+    /// Records one sample.
+    pub fn record(&mut self, birth_ms: f64, latency_ms: f64) {
+        self.samples.push((birth_ms, latency_ms));
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Returns `true` if no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Arithmetic mean latency in milliseconds (0 if empty).
+    pub fn mean_ms(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().map(|(_, l)| l).sum::<f64>() / self.samples.len() as f64
+    }
+
+    /// The `q`-quantile latency (e.g. 0.99), by nearest-rank.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile_ms(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1]");
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        let mut sorted: Vec<f64> = self.samples.iter().map(|(_, l)| *l).collect();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        sorted[rank - 1]
+    }
+
+    /// Maximum latency in milliseconds.
+    pub fn max_ms(&self) -> f64 {
+        self.samples.iter().map(|(_, l)| *l).fold(0.0, f64::max)
+    }
+}
+
+/// The measurements of one simulated evaluation run — the quantities the
+/// paper's figures plot.
+#[derive(Debug, Clone, Default)]
+pub struct RunMetrics {
+    /// Scenario wall-clock duration in milliseconds.
+    pub duration_ms: f64,
+    /// Requests appended to the log (on the reference node).
+    pub logged_requests: u64,
+    /// Blocks created (on the reference node).
+    pub blocks_created: u64,
+    /// Request latency from bus reception to finalized commit.
+    pub latency: LatencyStats,
+    /// Network throughput of the busiest node (send + receive), in
+    /// megabytes per second — Fig. 6's network utilization.
+    pub network_mbps: f64,
+    /// CPU utilization of the busiest node as a percentage of the node's
+    /// total capacity (4 cores = 400 % in the paper's plots; this value is
+    /// of the *total*, i.e. 100 % means all four cores busy).
+    pub cpu_percent_of_total: f64,
+    /// Mean resident memory of the busiest node in megabytes.
+    pub memory_mb_mean: f64,
+    /// Peak resident memory of the busiest node in megabytes.
+    pub memory_mb_max: f64,
+    /// Completed view changes observed across the run.
+    pub view_changes: u64,
+    /// Requests read from the bus but never logged by the end of the run
+    /// (dropped or still queued — the overload signal).
+    pub unlogged_requests: u64,
+}
+
+impl RunMetrics {
+    /// Events logged per second.
+    pub fn events_per_second(&self) -> f64 {
+        if self.duration_ms == 0.0 {
+            return 0.0;
+        }
+        self.logged_requests as f64 / (self.duration_ms / 1000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_and_mean() {
+        let mut stats = LatencyStats::default();
+        for latency in [1.0, 2.0, 3.0, 4.0, 100.0] {
+            stats.record(0.0, latency);
+        }
+        assert!((stats.mean_ms() - 22.0).abs() < 1e-9);
+        assert_eq!(stats.quantile_ms(0.5), 3.0);
+        assert_eq!(stats.quantile_ms(1.0), 100.0);
+        assert_eq!(stats.max_ms(), 100.0);
+    }
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let stats = LatencyStats::default();
+        assert_eq!(stats.mean_ms(), 0.0);
+        assert_eq!(stats.quantile_ms(0.99), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile")]
+    fn bad_quantile_panics() {
+        LatencyStats::default().quantile_ms(1.5);
+    }
+
+    #[test]
+    fn events_per_second() {
+        let metrics = RunMetrics {
+            duration_ms: 2_000.0,
+            logged_requests: 31,
+            ..RunMetrics::default()
+        };
+        assert!((metrics.events_per_second() - 15.5).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,131 @@
+use std::collections::HashMap;
+
+/// A store-and-forward network of point-to-point links with per-link
+/// bandwidth serialization and propagation latency.
+///
+/// Models the testbed's switched 100 Mbit/s Ethernet between M-COMs: each
+/// ordered node pair has an independent outbound queue (full duplex), so
+/// a node's broadcasts serialize on its own uplink.
+#[derive(Debug, Clone)]
+pub struct NetworkModel {
+    /// Link bandwidth in bits per second.
+    pub bandwidth_bps: u64,
+    /// One-way propagation + switching latency in nanoseconds.
+    pub latency_ns: u64,
+    /// Fixed framing overhead added to every message (Ethernet/IP/TCP
+    /// headers), in bytes.
+    pub frame_overhead_bytes: usize,
+    /// Next instant each ordered link (src, dst) is free to transmit.
+    link_free_ns: HashMap<(usize, usize), u64>,
+    /// Bytes put on the wire, per source node.
+    bytes_sent: HashMap<usize, u64>,
+    /// Bytes received, per destination node.
+    bytes_received: HashMap<usize, u64>,
+}
+
+impl NetworkModel {
+    /// The testbed Ethernet: 100 Mbit/s, ~100 µs one-way latency.
+    pub fn testbed_ethernet() -> Self {
+        Self::new(100_000_000, 100_000, 66)
+    }
+
+    /// The LTE uplink from the train: ~8.5 Mbit/s (paper §V-B), ~40 ms
+    /// one-way latency.
+    pub fn lte() -> Self {
+        Self::new(8_500_000, 40_000_000, 66)
+    }
+
+    /// Creates a network model from raw parameters.
+    pub fn new(bandwidth_bps: u64, latency_ns: u64, frame_overhead_bytes: usize) -> Self {
+        Self {
+            bandwidth_bps,
+            latency_ns,
+            frame_overhead_bytes,
+            link_free_ns: HashMap::new(),
+            bytes_sent: HashMap::new(),
+            bytes_received: HashMap::new(),
+        }
+    }
+
+    /// Transmission time of `bytes` on the wire, in nanoseconds.
+    pub fn transmission_ns(&self, bytes: usize) -> u64 {
+        let total_bits = (bytes + self.frame_overhead_bytes) as u64 * 8;
+        total_bits * 1_000_000_000 / self.bandwidth_bps
+    }
+
+    /// Schedules a transmission of `bytes` from `src` to `dst`, ready at
+    /// `ready_ns`. Returns the arrival time at `dst`.
+    pub fn send(&mut self, src: usize, dst: usize, bytes: usize, ready_ns: u64) -> u64 {
+        let tx = self.transmission_ns(bytes);
+        let link = self.link_free_ns.entry((src, dst)).or_insert(0);
+        let depart = ready_ns.max(*link);
+        *link = depart + tx;
+        let wire_bytes = (bytes + self.frame_overhead_bytes) as u64;
+        *self.bytes_sent.entry(src).or_default() += wire_bytes;
+        *self.bytes_received.entry(dst).or_default() += wire_bytes;
+        depart + tx + self.latency_ns
+    }
+
+    /// Total bytes sent by `node` (including framing).
+    pub fn bytes_sent_by(&self, node: usize) -> u64 {
+        self.bytes_sent.get(&node).copied().unwrap_or(0)
+    }
+
+    /// Total bytes received by `node` (including framing).
+    pub fn bytes_received_by(&self, node: usize) -> u64 {
+        self.bytes_received.get(&node).copied().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transmission_time_matches_bandwidth() {
+        let net = NetworkModel::new(100_000_000, 0, 0);
+        // 1250 bytes = 10_000 bits at 100 Mbit/s = 100 µs.
+        assert_eq!(net.transmission_ns(1250), 100_000);
+    }
+
+    #[test]
+    fn back_to_back_sends_serialize_on_the_link() {
+        let mut net = NetworkModel::new(100_000_000, 0, 0);
+        let first = net.send(0, 1, 1250, 0);
+        let second = net.send(0, 1, 1250, 0);
+        assert_eq!(first, 100_000);
+        assert_eq!(second, 200_000, "second waits for the first");
+    }
+
+    #[test]
+    fn distinct_links_do_not_interfere() {
+        let mut net = NetworkModel::new(100_000_000, 0, 0);
+        net.send(0, 1, 1250, 0);
+        let other = net.send(0, 2, 1250, 0);
+        assert_eq!(other, 100_000, "different destination, fresh link");
+        let reverse = net.send(1, 0, 1250, 0);
+        assert_eq!(reverse, 100_000, "full duplex");
+    }
+
+    #[test]
+    fn latency_is_added_after_transmission() {
+        let mut net = NetworkModel::new(100_000_000, 50_000, 0);
+        assert_eq!(net.send(0, 1, 1250, 0), 150_000);
+    }
+
+    #[test]
+    fn byte_accounting_includes_framing() {
+        let mut net = NetworkModel::new(100_000_000, 0, 66);
+        net.send(0, 1, 1000, 0);
+        assert_eq!(net.bytes_sent_by(0), 1066);
+        assert_eq!(net.bytes_received_by(1), 1066);
+        assert_eq!(net.bytes_sent_by(1), 0);
+    }
+
+    #[test]
+    fn lte_is_slow() {
+        let lte = NetworkModel::lte();
+        let eth = NetworkModel::testbed_ethernet();
+        assert!(lte.transmission_ns(100_000) > 10 * eth.transmission_ns(100_000));
+    }
+}

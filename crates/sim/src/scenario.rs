@@ -1,0 +1,138 @@
+use zugchain::NodeConfig;
+
+use crate::{CostModel, NetworkModel};
+
+/// Which system the scenario runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// ZugChain's communication layer (content-based filtering).
+    Zugchain,
+    /// PBFT with traditional per-node clients (paper baseline): identical
+    /// bus data is ordered up to n times.
+    Baseline,
+}
+
+/// What the bus delivers each cycle.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Workload {
+    /// A unique opaque payload of fixed size per cycle, delivered to all
+    /// nodes — the paper's own method for its parameter sweeps ("we
+    /// instead simulate receiving messages over the bus").
+    SyntheticPayload {
+        /// Consolidated request size in bytes.
+        bytes: usize,
+    },
+    /// Realistic JRU signals from the ATP signal generator over the
+    /// simulated MVB, with per-tap background fault rates.
+    JruSignals {
+        /// Seed of the signal generator.
+        generator_seed: u64,
+        /// Apply background bus faults (drops/delays/bit flips) per tap.
+        background_faults: bool,
+    },
+}
+
+/// Byzantine / fault injections of a scenario (paper Figs. 8 and 9).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SimFaults {
+    /// Crash (silence) this node at the given time.
+    pub crash: Option<(usize, u64)>,
+    /// A faulty backup broadcasts a fabricated request for this fraction
+    /// of bus cycles (Fig. 9: 25 %, 75 %, 100 %).
+    pub fabricate: Option<(usize, f64)>,
+    /// The primary delays its outbound preprepares by this many
+    /// milliseconds (Fig. 9: 250 ms, triggering soft but not hard
+    /// timeouts).
+    pub primary_preprepare_delay_ms: Option<u64>,
+    /// The initial primary censors: it ignores its own bus input and all
+    /// layer requests, so nothing is ordered until the soft+hard timeout
+    /// chain deposes it (used by the timeout ablation).
+    pub primary_censors: bool,
+    /// Network partition: between `start_ms` and `heal_ms`, nodes in
+    /// `island` can only talk to each other (and the rest only among
+    /// themselves). With an island smaller than 2f+1 on both sides,
+    /// ordering stalls until the partition heals — the partial-synchrony
+    /// behaviour of §III-B.
+    pub partition: Option<PartitionFault>,
+}
+
+/// A temporary network partition (see [`SimFaults::partition`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartitionFault {
+    /// Nodes on one side of the cut.
+    pub island: Vec<usize>,
+    /// Partition start (virtual ms).
+    pub start_ms: u64,
+    /// Partition heal time (virtual ms).
+    pub heal_ms: u64,
+}
+
+/// Full configuration of one simulated evaluation run.
+#[derive(Debug, Clone)]
+pub struct ScenarioConfig {
+    /// System under test.
+    pub mode: Mode,
+    /// Number of replicas (paper: 4).
+    pub n_nodes: usize,
+    /// Bus cycle time in milliseconds (32 = MVB minimum).
+    pub bus_cycle_ms: u64,
+    /// Run length in (virtual) milliseconds.
+    pub duration_ms: u64,
+    /// The bus workload.
+    pub workload: Workload,
+    /// Node configuration (block size, timeouts, rate limits).
+    pub node_config: NodeConfig,
+    /// CPU cost model.
+    pub cost: CostModel,
+    /// Replica network model.
+    pub network: NetworkModel,
+    /// Fault injections.
+    pub faults: SimFaults,
+}
+
+impl Default for ScenarioConfig {
+    fn default() -> Self {
+        Self {
+            mode: Mode::Zugchain,
+            n_nodes: 4,
+            bus_cycle_ms: 64,
+            duration_ms: 30_000,
+            workload: Workload::SyntheticPayload { bytes: 1024 },
+            node_config: NodeConfig::evaluation_default().with_limit_from_bus_cycle(64),
+            cost: CostModel::cortex_a9(),
+            network: NetworkModel::testbed_ethernet(),
+            faults: SimFaults::default(),
+        }
+    }
+}
+
+impl ScenarioConfig {
+    /// The paper's evaluation setup for a given mode, bus cycle and
+    /// payload size (Fig. 6/7 sweeps): n=4, block size 10, 5-minute runs.
+    pub fn evaluation(mode: Mode, bus_cycle_ms: u64, payload_bytes: usize) -> Self {
+        Self {
+            mode,
+            bus_cycle_ms,
+            duration_ms: 5 * 60 * 1000,
+            workload: Workload::SyntheticPayload {
+                bytes: payload_bytes,
+            },
+            node_config: NodeConfig::evaluation_default().with_limit_from_bus_cycle(bus_cycle_ms),
+            ..Self::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evaluation_config_matches_paper_defaults() {
+        let config = ScenarioConfig::evaluation(Mode::Baseline, 64, 1024);
+        assert_eq!(config.n_nodes, 4);
+        assert_eq!(config.duration_ms, 300_000);
+        assert_eq!(config.node_config.block_size, 10);
+        assert_eq!(config.mode, Mode::Baseline);
+    }
+}

@@ -1,0 +1,862 @@
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashMap, HashSet};
+
+use rand::{Rng as _, RngExt as _, SeedableRng as _};
+use zugchain::{
+    BaselineNode, LayerMessage, NodeAction, NodeMessage, SignedRequest, TimerId, TrainNode,
+    ZugchainNode,
+};
+use zugchain_crypto::{Digest, KeyPair, Keystore};
+use zugchain_mvb::{Bus, BusConfig, BusFaultPlan, Nsdb, PortAddress, SignalDescriptor, SignalGenerator, SignalKind, TapFaults, Telegram};
+use zugchain_pbft::{Message, NodeId, ProposedRequest};
+use zugchain_signals::CycleConsolidator;
+
+use crate::{LatencyStats, Mode, RunMetrics, ScenarioConfig, Workload};
+
+const NS_PER_MS: u64 = 1_000_000;
+
+/// Work delivered to a node.
+#[derive(Debug)]
+enum Work {
+    /// A synthetic consolidated bus payload (sweep workloads).
+    RawPayload(Vec<u8>),
+    /// Observed telegrams of one bus cycle (JRU workload).
+    Telegrams {
+        cycle: u64,
+        time_ms: u64,
+        telegrams: Vec<Telegram>,
+    },
+    /// A network message.
+    Message(NodeMessage),
+    /// A timer expiry.
+    Timer(TimerId, u64),
+}
+
+#[derive(Debug)]
+enum EventKind {
+    BusCycle(u64),
+    Deliver { node: usize, work: Work },
+    MemorySample,
+}
+
+struct Event {
+    at_ns: u64,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.at_ns == other.at_ns && self.seq == other.seq
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap: earlier time (then lower seq) is "greater".
+        other
+            .at_ns
+            .cmp(&self.at_ns)
+            .then(other.seq.cmp(&self.seq))
+    }
+}
+
+/// The discrete-event simulation of one evaluation run.
+///
+/// Use [`run_scenario`] unless you need step-level control.
+pub struct Simulation {
+    config: ScenarioConfig,
+    nodes: Vec<Box<dyn TrainNode>>,
+    pairs: Vec<KeyPair>,
+    crashed: Vec<bool>,
+    /// Busy-until per node and lane (0 = consensus loop, 1 = bus I/O).
+    lane_busy: Vec<[u64; 2]>,
+    cpu_busy_ns: Vec<u64>,
+    events: BinaryHeap<Event>,
+    seq: u64,
+    now_ns: u64,
+    net: crate::NetworkModel,
+    /// Timer generations: stale fired timers are ignored.
+    timer_gen: HashMap<(usize, TimerId), u64>,
+    /// Birth time per payload digest.
+    births: HashMap<Digest, u64>,
+    /// Digests already counted in the latency series.
+    first_logged: HashSet<Digest>,
+    latency: LatencyStats,
+    logged_count: Vec<u64>,
+    blocks_count: Vec<u64>,
+    view_changes: u64,
+    memory_samples: Vec<usize>,
+    rng: rand::rngs::StdRng,
+    /// JRU-signal workload state.
+    jru: Option<JruWorkload>,
+    fabricate_counter: u64,
+}
+
+struct JruWorkload {
+    bus: Bus,
+    reference: CycleConsolidator,
+}
+
+impl Simulation {
+    /// Builds a simulation for `config`, seeding all randomness with
+    /// `seed`.
+    pub fn new(config: &ScenarioConfig, seed: u64) -> Self {
+        let n = config.n_nodes;
+        let (pairs, keystore) = Keystore::generate(n, seed);
+        let nsdb = sweep_nsdb(&config.workload);
+        let nodes: Vec<Box<dyn TrainNode>> = pairs
+            .iter()
+            .enumerate()
+            .map(|(id, key)| match config.mode {
+                Mode::Zugchain => Box::new(ZugchainNode::new(
+                    id as u64,
+                    config.node_config.clone(),
+                    nsdb.clone(),
+                    key.clone(),
+                    keystore.clone(),
+                )) as Box<dyn TrainNode>,
+                Mode::Baseline => Box::new(BaselineNode::new(
+                    id as u64,
+                    config.node_config.clone(),
+                    nsdb.clone(),
+                    key.clone(),
+                    keystore.clone(),
+                )) as Box<dyn TrainNode>,
+            })
+            .collect();
+
+        let jru = match &config.workload {
+            Workload::SyntheticPayload { .. } => None,
+            Workload::JruSignals {
+                generator_seed,
+                background_faults,
+            } => {
+                let bus_config = BusConfig::jru_default(config.bus_cycle_ms);
+                let mut bus = Bus::new(bus_config.clone(), n, seed ^ 0xB05);
+                bus.attach_device(Box::new(SignalGenerator::new(*generator_seed)));
+                if *background_faults {
+                    let plan =
+                        BusFaultPlan::new(vec![TapFaults::BACKGROUND; n], seed ^ 0xFA01);
+                    bus.set_fault_plan(plan);
+                }
+                Some(JruWorkload {
+                    bus,
+                    reference: CycleConsolidator::new(bus_config.nsdb),
+                })
+            }
+        };
+
+        let mut sim = Self {
+            nodes,
+            pairs,
+            crashed: vec![false; n],
+            lane_busy: vec![[0, 0]; n],
+            cpu_busy_ns: vec![0; n],
+            events: BinaryHeap::new(),
+            seq: 0,
+            now_ns: 0,
+            net: config.network.clone(),
+            timer_gen: HashMap::new(),
+            births: HashMap::new(),
+            first_logged: HashSet::new(),
+            latency: LatencyStats::default(),
+            logged_count: vec![0; n],
+            blocks_count: vec![0; n],
+            view_changes: 0,
+            memory_samples: Vec::new(),
+            rng: rand::rngs::StdRng::seed_from_u64(seed ^ 0x51A1),
+            jru,
+            fabricate_counter: 0,
+            config: config.clone(),
+        };
+        sim.push(0, EventKind::BusCycle(0));
+        sim.push(500 * NS_PER_MS, EventKind::MemorySample);
+        sim
+    }
+
+    fn push(&mut self, at_ns: u64, kind: EventKind) {
+        self.seq += 1;
+        self.events.push(Event {
+            at_ns,
+            seq: self.seq,
+            kind,
+        });
+    }
+
+    /// Runs the scenario to completion and returns the metrics.
+    pub fn run(mut self) -> RunMetrics {
+        let end_ns = self.config.duration_ms * NS_PER_MS;
+        // Grace period lets in-flight requests finish ordering.
+        let drain_ns = end_ns + 2_000 * NS_PER_MS;
+        while let Some(event) = self.events.pop() {
+            if event.at_ns > drain_ns {
+                break;
+            }
+            self.now_ns = event.at_ns;
+            match event.kind {
+                EventKind::BusCycle(cycle) => self.on_bus_cycle(cycle, event.at_ns, end_ns),
+                EventKind::Deliver { node, work } => self.deliver(node, work, event.at_ns),
+                EventKind::MemorySample => {
+                    if event.at_ns <= end_ns {
+                        let peak = (0..self.nodes.len())
+                            .filter(|&i| !self.crashed[i])
+                            .map(|i| self.nodes[i].approx_memory_bytes())
+                            .max()
+                            .unwrap_or(0)
+                            + self.config.cost.process_base_bytes;
+                        self.memory_samples.push(peak);
+                        self.push(event.at_ns + 500 * NS_PER_MS, EventKind::MemorySample);
+                    }
+                }
+            }
+        }
+        self.finish(end_ns)
+    }
+
+    fn on_bus_cycle(&mut self, cycle: u64, at_ns: u64, end_ns: u64) {
+        if at_ns >= end_ns {
+            return; // stop generating load at the end of the run
+        }
+        let time_ms = at_ns / NS_PER_MS;
+        match &mut self.jru {
+            None => {
+                let Workload::SyntheticPayload { bytes } = self.config.workload else {
+                    unreachable!("jru workload carries its own bus");
+                };
+                // Unique payload per cycle: cycle stamp + seeded noise.
+                let mut payload = vec![0u8; bytes.max(8)];
+                payload[..8].copy_from_slice(&cycle.to_le_bytes());
+                if payload.len() > 8 {
+                    self.rng.fill_bytes(&mut payload[8..]);
+                }
+                self.births.insert(Digest::of(&payload), at_ns);
+                for node in 0..self.nodes.len() {
+                    if self.config.faults.primary_censors && node == 0 {
+                        continue; // the censor pretends it saw nothing
+                    }
+                    if !self.crashed[node] {
+                        self.push(
+                            at_ns,
+                            EventKind::Deliver {
+                                node,
+                                work: Work::RawPayload(payload.clone()),
+                            },
+                        );
+                    }
+                }
+            }
+            Some(jru) => {
+                let out = jru.bus.run_cycle();
+                // Ground truth: what an ideal node would consolidate.
+                if let Some(request) =
+                    jru.reference
+                        .consolidate(out.cycle, out.time_ms, &out.on_wire)
+                {
+                    self.births
+                        .insert(Digest::of(&zugchain_wire::to_bytes(&request)), at_ns);
+                }
+                for obs in out.observations {
+                    if !self.crashed[obs.tap] {
+                        self.push(
+                            at_ns,
+                            EventKind::Deliver {
+                                node: obs.tap,
+                                work: Work::Telegrams {
+                                    cycle: out.cycle,
+                                    time_ms: out.time_ms,
+                                    telegrams: obs.telegrams,
+                                },
+                            },
+                        );
+                    }
+                }
+            }
+        }
+
+        // Fig. 9 fault: a faulty backup injects a fabricated request for a
+        // fraction of cycles.
+        if let Some((faulty, fraction)) = self.config.faults.fabricate {
+            if !self.crashed[faulty] && self.rng.random_bool(fraction.clamp(0.0, 1.0)) {
+                self.inject_fabricated(faulty, at_ns);
+            }
+        }
+
+        // Crash fault.
+        if let Some((node, when_ms)) = self.config.faults.crash {
+            if !self.crashed[node] && time_ms >= when_ms {
+                self.crashed[node] = true;
+            }
+        }
+
+        self.push(
+            at_ns + self.config.bus_cycle_ms * NS_PER_MS,
+            EventKind::BusCycle(cycle + 1),
+        );
+    }
+
+    /// A faulty node broadcasts a fabricated request (never on the bus).
+    fn inject_fabricated(&mut self, faulty: usize, at_ns: u64) {
+        self.fabricate_counter += 1;
+        let size = match self.config.workload {
+            Workload::SyntheticPayload { bytes } => bytes.max(16),
+            Workload::JruSignals { .. } => 256,
+        };
+        let mut payload = vec![0u8; size];
+        payload[..8].copy_from_slice(&self.fabricate_counter.to_le_bytes());
+        payload[8..16].copy_from_slice(b"FABRICAT");
+        self.births.insert(Digest::of(&payload), at_ns);
+        let request = ProposedRequest::application(payload, NodeId(faulty as u64));
+        let signed = SignedRequest::sign(request, &self.pairs[faulty]);
+        let message = NodeMessage::Layer(LayerMessage::BroadcastRequest(signed));
+        let bytes = message.wire_size();
+        for dst in 0..self.nodes.len() {
+            if dst == faulty || self.crashed[dst] {
+                continue;
+            }
+            let arrival = self.net.send(faulty, dst, bytes, at_ns);
+            self.push(
+                arrival,
+                EventKind::Deliver {
+                    node: dst,
+                    work: Work::Message(message.clone()),
+                },
+            );
+        }
+    }
+
+    fn work_cost(&self, work: &Work) -> u64 {
+        let cost = &self.config.cost;
+        match work {
+            Work::RawPayload(payload) => cost.bus_cycle_ns(1, payload.len()),
+            Work::Telegrams { telegrams, .. } => {
+                let bytes: usize = telegrams.iter().map(|t| t.payload.len()).sum();
+                cost.bus_cycle_ns(telegrams.len(), bytes)
+            }
+            Work::Message(message) => {
+                let signatures = match message {
+                    // Layer requests carry the origin signature.
+                    NodeMessage::Layer(_) => 1,
+                    NodeMessage::Consensus(_) => 1,
+                };
+                cost.receive_message_ns(message.wire_size(), signatures)
+            }
+            Work::Timer(..) => 10_000,
+        }
+    }
+
+    fn deliver(&mut self, node: usize, work: Work, arrival_ns: u64) {
+        if self.crashed[node] {
+            return;
+        }
+        // A censoring primary drops layer requests so it never proposes.
+        if self.config.faults.primary_censors
+            && node == 0
+            && matches!(&work, Work::Message(NodeMessage::Layer(_)))
+        {
+            return;
+        }
+        // Stale timers are dropped without cost.
+        if let Work::Timer(id, generation) = &work {
+            if self.timer_gen.get(&(node, *id)).copied().unwrap_or(0) != *generation {
+                return;
+            }
+        }
+        let lane = match work {
+            Work::RawPayload(_) | Work::Telegrams { .. } => 1,
+            _ => 0,
+        };
+        let start = arrival_ns.max(self.lane_busy[node][lane]);
+        let cost = self.work_cost(&work);
+        let finish = start + cost;
+        self.lane_busy[node][lane] = finish;
+        self.cpu_busy_ns[node] += cost;
+
+        match work {
+            Work::RawPayload(payload) => {
+                self.nodes[node].on_raw_bus_payload(payload, finish / NS_PER_MS);
+            }
+            Work::Telegrams {
+                cycle,
+                time_ms,
+                telegrams,
+            } => self.nodes[node].on_bus_cycle(0, cycle, time_ms, &telegrams),
+            Work::Message(message) => self.nodes[node].on_message(message),
+            Work::Timer(id, _) => self.nodes[node].on_timer(id),
+        }
+        self.route_actions(node, finish);
+    }
+
+    /// Executes the actions a node produced, charging consensus-lane CPU
+    /// for each outbound message and dispatching over the network model.
+    fn route_actions(&mut self, node: usize, ready_ns: u64) {
+        let actions = self.nodes[node].drain_actions();
+        if actions.is_empty() {
+            return;
+        }
+        let cost_model = self.config.cost.clone();
+        let mut t = ready_ns.max(self.lane_busy[node][0]);
+        for action in actions {
+            match action {
+                NodeAction::Broadcast { message } => {
+                    let bytes = message.wire_size();
+                    let cost = cost_model.send_message_ns(bytes);
+                    t += cost;
+                    self.cpu_busy_ns[node] += cost;
+                    for dst in 0..self.nodes.len() {
+                        if dst == node || self.crashed[dst] || self.partitioned(node, dst, t) {
+                            continue;
+                        }
+                        let ready = t + self.attack_delay_ns(node, &message);
+                        let arrival = self.net.send(node, dst, bytes, ready);
+                        self.push(
+                            arrival,
+                            EventKind::Deliver {
+                                node: dst,
+                                work: Work::Message(message.clone()),
+                            },
+                        );
+                    }
+                }
+                NodeAction::Send { to, message } => {
+                    let dst = to.0 as usize;
+                    let bytes = message.wire_size();
+                    let cost = cost_model.send_message_ns(bytes);
+                    t += cost;
+                    self.cpu_busy_ns[node] += cost;
+                    if dst < self.nodes.len()
+                        && dst != node
+                        && !self.crashed[dst]
+                        && !self.partitioned(node, dst, t)
+                    {
+                        let ready = t + self.attack_delay_ns(node, &message);
+                        let arrival = self.net.send(node, dst, bytes, ready);
+                        self.push(
+                            arrival,
+                            EventKind::Deliver {
+                                node: dst,
+                                work: Work::Message(message),
+                            },
+                        );
+                    }
+                }
+                NodeAction::SetTimer { id, duration_ms } => {
+                    let generation = self.timer_gen.entry((node, id)).or_insert(0);
+                    *generation += 1;
+                    let generation = *generation;
+                    self.push(
+                        t + duration_ms * NS_PER_MS,
+                        EventKind::Deliver {
+                            node,
+                            work: Work::Timer(id, generation),
+                        },
+                    );
+                }
+                NodeAction::CancelTimer { id } => {
+                    *self.timer_gen.entry((node, id)).or_insert(0) += 1;
+                }
+                NodeAction::Logged { payload, .. } => {
+                    self.logged_count[node] += 1;
+                    let digest = self.payload_identity(&payload);
+                    if let Some(birth) = self.births.get(&digest).copied() {
+                        if self.first_logged.insert(digest) {
+                            let latency_ms = (t.saturating_sub(birth)) as f64 / 1e6;
+                            self.latency.record(birth as f64 / 1e6, latency_ms);
+                        }
+                    }
+                }
+                NodeAction::BlockCreated { block } => {
+                    self.blocks_count[node] += 1;
+                    let cost = cost_model.hash_ns(block.encoded_size());
+                    t += cost;
+                    self.cpu_busy_ns[node] += cost;
+                }
+                NodeAction::NewPrimary { .. } => {
+                    if node == 1 {
+                        // Count once per completed view change, observed
+                        // on a fixed reference node.
+                        self.view_changes += 1;
+                    }
+                }
+                NodeAction::CheckpointStable { .. } | NodeAction::StateTransferNeeded { .. } => {}
+            }
+        }
+        self.lane_busy[node][0] = self.lane_busy[node][0].max(t);
+    }
+
+    /// Returns `true` if the partition fault currently separates the two
+    /// nodes.
+    fn partitioned(&self, a: usize, b: usize, at_ns: u64) -> bool {
+        let Some(partition) = &self.config.faults.partition else {
+            return false;
+        };
+        let at_ms = at_ns / NS_PER_MS;
+        if at_ms < partition.start_ms || at_ms >= partition.heal_ms {
+            return false;
+        }
+        partition.island.contains(&a) != partition.island.contains(&b)
+    }
+
+    /// The Fig. 9 primary attack: node 0 (the initial primary) delays its
+    /// outbound preprepares.
+    fn attack_delay_ns(&self, src: usize, message: &NodeMessage) -> u64 {
+        let Some(delay_ms) = self.config.faults.primary_preprepare_delay_ms else {
+            return 0;
+        };
+        if src != 0 {
+            return 0;
+        }
+        match message {
+            NodeMessage::Consensus(signed) if matches!(signed.message, Message::PrePrepare(_)) => {
+                delay_ms * NS_PER_MS
+            }
+            _ => 0,
+        }
+    }
+
+    /// Maps a logged payload back to its bus-payload digest (baseline
+    /// logs client-framed payloads).
+    fn payload_identity(&self, logged: &[u8]) -> Digest {
+        match self.config.mode {
+            Mode::Zugchain => Digest::of(logged),
+            Mode::Baseline => {
+                // Framing: client id (u64) + client seq (u64) + bytes.
+                let mut reader = zugchain_wire::Reader::new(logged);
+                let inner = (|| -> Result<Vec<u8>, zugchain_wire::WireError> {
+                    let _client = reader.read_u64()?;
+                    let _seq = reader.read_u64()?;
+                    Ok(reader.read_bytes()?.to_vec())
+                })();
+                match inner {
+                    Ok(inner) if reader.is_empty() => Digest::of(&inner),
+                    _ => Digest::of(logged),
+                }
+            }
+        }
+    }
+
+    fn finish(self, end_ns: u64) -> RunMetrics {
+        let duration_ms = end_ns as f64 / 1e6;
+        let duration_s = duration_ms / 1e3;
+        let n = self.nodes.len();
+
+        let busiest = (0..n)
+            .max_by_key(|&i| self.cpu_busy_ns[i])
+            .expect("at least one node");
+        let cpu_percent_of_total = self.cpu_busy_ns[busiest] as f64
+            / (end_ns as f64 * f64::from(self.config.cost.cores))
+            * 100.0;
+
+        let network_mbps = (0..n)
+            .map(|i| {
+                (self.net.bytes_sent_by(i) + self.net.bytes_received_by(i)) as f64
+                    / duration_s
+                    / 1e6
+            })
+            .fold(0.0, f64::max);
+
+        let memory_mb_mean = if self.memory_samples.is_empty() {
+            0.0
+        } else {
+            self.memory_samples.iter().sum::<usize>() as f64
+                / self.memory_samples.len() as f64
+                / 1e6
+        };
+        let memory_mb_max = self.memory_samples.iter().copied().max().unwrap_or(0) as f64 / 1e6;
+
+        let logged_requests = self.logged_count.iter().copied().max().unwrap_or(0);
+        let unlogged = self
+            .births
+            .len()
+            .saturating_sub(self.first_logged.len()) as u64;
+
+        RunMetrics {
+            duration_ms,
+            logged_requests,
+            blocks_created: self.blocks_count.iter().copied().max().unwrap_or(0),
+            latency: self.latency,
+            network_mbps,
+            cpu_percent_of_total,
+            memory_mb_mean,
+            memory_mb_max,
+            view_changes: self.view_changes,
+            unlogged_requests: unlogged,
+        }
+    }
+}
+
+/// An NSDB for synthetic sweep workloads (unused ports; nodes receive raw
+/// payloads directly), or the JRU default otherwise.
+fn sweep_nsdb(workload: &Workload) -> Nsdb {
+    match workload {
+        Workload::SyntheticPayload { bytes } => {
+            let mut nsdb = Nsdb::new();
+            nsdb.add(SignalDescriptor {
+                name: "sweep_payload".into(),
+                port: PortAddress(0x200),
+                kind: SignalKind::Opaque {
+                    width: (*bytes).min(u16::MAX as usize) as u16,
+                },
+                period_cycles: 1,
+            });
+            nsdb
+        }
+        Workload::JruSignals { .. } => Nsdb::jru_default(),
+    }
+}
+
+/// Runs one evaluation scenario to completion.
+///
+/// Deterministic: the same `(config, seed)` always produces the same
+/// [`RunMetrics`].
+pub fn run_scenario(config: &ScenarioConfig, seed: u64) -> RunMetrics {
+    Simulation::new(config, seed).run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(mode: Mode, bus_cycle_ms: u64, bytes: usize) -> ScenarioConfig {
+        ScenarioConfig {
+            mode,
+            bus_cycle_ms,
+            duration_ms: 10_000,
+            workload: Workload::SyntheticPayload { bytes },
+            ..ScenarioConfig::default()
+        }
+    }
+
+    #[test]
+    fn zugchain_normal_case_orders_everything() {
+        let metrics = run_scenario(&quick(Mode::Zugchain, 64, 1024), 1);
+        let expected = 10_000 / 64;
+        assert!(
+            metrics.logged_requests >= expected - 2,
+            "logged {} of ~{expected}",
+            metrics.logged_requests
+        );
+        assert_eq!(metrics.unlogged_requests, 0);
+        assert_eq!(metrics.view_changes, 0);
+        // The paper's headline: ~14 ms ordering latency at 64 ms cycles.
+        let mean = metrics.latency.mean_ms();
+        assert!((8.0..25.0).contains(&mean), "mean latency {mean} ms");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let config = quick(Mode::Zugchain, 64, 256);
+        let a = run_scenario(&config, 7);
+        let b = run_scenario(&config, 7);
+        assert_eq!(a.logged_requests, b.logged_requests);
+        assert_eq!(a.latency.samples, b.latency.samples);
+        assert_eq!(a.network_mbps, b.network_mbps);
+    }
+
+    #[test]
+    fn baseline_uses_roughly_4x_network() {
+        let zc = run_scenario(&quick(Mode::Zugchain, 64, 1024), 3);
+        let bl = run_scenario(&quick(Mode::Baseline, 64, 1024), 3);
+        let ratio = bl.network_mbps / zc.network_mbps;
+        assert!(
+            (2.5..6.0).contains(&ratio),
+            "network ratio {ratio} (zc {} bl {})",
+            zc.network_mbps,
+            bl.network_mbps
+        );
+    }
+
+    #[test]
+    fn baseline_latency_is_higher() {
+        let zc = run_scenario(&quick(Mode::Zugchain, 64, 1024), 3);
+        let bl = run_scenario(&quick(Mode::Baseline, 64, 1024), 3);
+        assert!(
+            bl.latency.mean_ms() > zc.latency.mean_ms() * 1.2,
+            "zc {} bl {}",
+            zc.latency.mean_ms(),
+            bl.latency.mean_ms()
+        );
+    }
+
+    #[test]
+    fn baseline_collapses_at_fast_cycles() {
+        let bl = run_scenario(&quick(Mode::Baseline, 32, 1024), 3);
+        let zc = run_scenario(&quick(Mode::Zugchain, 32, 1024), 3);
+        assert!(
+            bl.latency.mean_ms() > 20.0 * zc.latency.mean_ms(),
+            "baseline must collapse: zc {} bl {}",
+            zc.latency.mean_ms(),
+            bl.latency.mean_ms()
+        );
+    }
+
+    #[test]
+    fn crash_of_primary_triggers_view_change_and_recovers() {
+        let mut config = quick(Mode::Zugchain, 64, 512);
+        config.faults.crash = Some((0, 3_000));
+        let metrics = run_scenario(&config, 5);
+        assert!(metrics.view_changes >= 1);
+        // Requests keep being logged after the view change.
+        let after = metrics
+            .latency
+            .samples
+            .iter()
+            .filter(|(birth, _)| *birth > 5_000.0)
+            .count();
+        assert!(after > 20, "requests logged after recovery: {after}");
+    }
+
+    #[test]
+    fn fabricated_requests_increase_load() {
+        let clean = run_scenario(&quick(Mode::Zugchain, 64, 512), 9);
+        let mut config = quick(Mode::Zugchain, 64, 512);
+        config.faults.fabricate = Some((3, 1.0));
+        let attacked = run_scenario(&config, 9);
+        assert!(attacked.cpu_percent_of_total > clean.cpu_percent_of_total);
+        assert!(attacked.logged_requests > clean.logged_requests);
+        assert!(attacked.latency.mean_ms() > clean.latency.mean_ms());
+    }
+
+    #[test]
+    fn delayed_preprepares_inflate_latency_without_view_change() {
+        let mut config = quick(Mode::Zugchain, 64, 512);
+        config.faults.primary_preprepare_delay_ms = Some(100);
+        // Soft timeout (250 ms) stays above the delay: no view change.
+        let metrics = run_scenario(&config, 11);
+        assert_eq!(metrics.view_changes, 0);
+        assert!(
+            metrics.latency.mean_ms() > 90.0,
+            "latency {} must reflect the delay",
+            metrics.latency.mean_ms()
+        );
+    }
+
+    #[test]
+    fn jru_signal_workload_runs() {
+        let config = ScenarioConfig {
+            mode: Mode::Zugchain,
+            duration_ms: 10_000,
+            workload: Workload::JruSignals {
+                generator_seed: 2,
+                background_faults: true,
+            },
+            ..ScenarioConfig::default()
+        };
+        let metrics = run_scenario(&config, 2);
+        assert!(metrics.logged_requests > 50, "logged {}", metrics.logged_requests);
+        assert!(metrics.latency.mean_ms() < 300.0);
+    }
+
+    #[test]
+    fn seven_node_group_tolerates_two_crashes() {
+        let mut config = quick(Mode::Zugchain, 64, 512);
+        config.n_nodes = 7;
+        config.node_config.pbft = zugchain_pbft::Config::new(7).unwrap();
+        config.faults.crash = Some((0, 3_000));
+        let metrics = run_scenario(&config, 12);
+        assert!(metrics.view_changes >= 1);
+        let after = metrics
+            .latency
+            .samples
+            .iter()
+            .filter(|(birth, _)| *birth > 6_000.0)
+            .count();
+        assert!(after > 30, "f=2 group keeps ordering after a crash: {after}");
+    }
+
+    #[test]
+    fn censoring_primary_is_deposed_and_nothing_is_lost() {
+        let mut config = quick(Mode::Zugchain, 64, 512);
+        config.faults.primary_censors = true;
+        let metrics = run_scenario(&config, 13);
+        assert!(metrics.view_changes >= 1, "censor deposed");
+        assert_eq!(metrics.unlogged_requests, 0, "completeness holds");
+        // The worst-cast latency is bounded by soft+hard+view change.
+        assert!(metrics.latency.max_ms() < 1_500.0);
+    }
+
+    #[test]
+    fn minority_partition_stalls_and_heals() {
+        use crate::PartitionFault;
+        let mut config = quick(Mode::Zugchain, 64, 512);
+        config.duration_ms = 16_000;
+        // Cut nodes {0,1} from {2,3}: neither side has 2f+1 = 3 nodes, so
+        // ordering must stall entirely during the partition.
+        config.faults.partition = Some(PartitionFault {
+            island: vec![0, 1],
+            start_ms: 5_000,
+            heal_ms: 9_000,
+        });
+        let metrics = run_scenario(&config, 31);
+
+        let logged_during = metrics
+            .latency
+            .samples
+            .iter()
+            .filter(|(birth, latency)| {
+                let done = birth + latency;
+                (5_200.0..8_800.0).contains(&done)
+            })
+            .count();
+        assert_eq!(logged_during, 0, "no quorum, no progress");
+
+        // After healing, everything buffered during the cut is ordered:
+        // nothing is lost.
+        assert_eq!(metrics.unlogged_requests, 0);
+        let healed: Vec<f64> = metrics
+            .latency
+            .samples
+            .iter()
+            .filter(|(birth, _)| *birth > 10_000.0)
+            .map(|(_, l)| *l)
+            .collect();
+        assert!(!healed.is_empty());
+        let mean = healed.iter().sum::<f64>() / healed.len() as f64;
+        assert!(mean < 60.0, "post-heal latency {mean}");
+    }
+
+    #[test]
+    fn memory_grows_with_chain() {
+        let short = run_scenario(&quick(Mode::Zugchain, 64, 1024), 4);
+        let mut long_config = quick(Mode::Zugchain, 64, 1024);
+        long_config.duration_ms = 20_000;
+        let long = run_scenario(&long_config, 4);
+        assert!(long.memory_mb_max > short.memory_mb_max);
+    }
+}
+
+#[cfg(test)]
+mod regression_tests {
+    use super::*;
+    use crate::{Mode, ScenarioConfig, Workload};
+
+    /// Regression for the view-change storm fixed during Fig. 8 bring-up:
+    /// a primary crash must cost exactly ONE view change — not a cascade
+    /// from re-proposing in-flight requests or stale self-accusing
+    /// timers — and the paper-profile latency must return to steady state
+    /// within ~250 ms of the new view.
+    #[test]
+    fn primary_crash_costs_exactly_one_view_change() {
+        let mut config = ScenarioConfig::evaluation(Mode::Zugchain, 64, 1024);
+        config.duration_ms = 25_000;
+        config.workload = Workload::SyntheticPayload { bytes: 1024 };
+        config.faults.crash = Some((0, 10_000));
+        let metrics = run_scenario(&config, 42);
+        assert_eq!(metrics.view_changes, 1, "exactly one view change");
+        assert_eq!(metrics.unlogged_requests, 0);
+        let late: Vec<f64> = metrics
+            .latency
+            .samples
+            .iter()
+            .filter(|(birth, _)| *birth > 11_000.0)
+            .map(|(_, l)| *l)
+            .collect();
+        let mean = late.iter().sum::<f64>() / late.len().max(1) as f64;
+        assert!(mean < 20.0, "stabilized at {mean} ms");
+    }
+}

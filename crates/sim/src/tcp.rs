@@ -1,0 +1,388 @@
+//! A TCP transport for ZugChain clusters: the same node state machines as
+//! [`runtime`](crate::runtime), but with consensus traffic carried over
+//! real sockets in the canonical wire encoding — the shape of an actual
+//! deployment on the train's Ethernet.
+//!
+//! Frames are length-prefixed: a big-endian `u32` byte count followed by
+//! the canonical [`NodeMessage`] encoding. Malformed frames from a peer
+//! are dropped (and the connection closed), never trusted.
+
+use std::collections::BTreeMap;
+use std::io::{self, Read as _, Write as _};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::Mutex;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
+use zugchain::{NodeAction, NodeConfig, NodeMessage, TimerId, TrainNode, ZugchainNode};
+use zugchain_crypto::Keystore;
+use zugchain_mvb::Nsdb;
+
+use crate::runtime::{ClusterEvent, NodeSummary};
+
+/// Maximum accepted frame size (matches the wire crate's field limit).
+const MAX_FRAME_BYTES: u32 = 16 * 1024 * 1024;
+
+/// Writes one length-prefixed frame.
+fn write_frame(stream: &mut TcpStream, message: &NodeMessage) -> io::Result<()> {
+    let bytes = zugchain_wire::to_bytes(message);
+    let len = u32::try_from(bytes.len())
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "frame too large"))?;
+    stream.write_all(&len.to_be_bytes())?;
+    stream.write_all(&bytes)?;
+    Ok(())
+}
+
+/// Reads one length-prefixed frame; `Ok(None)` on clean EOF.
+fn read_frame(stream: &mut TcpStream) -> io::Result<Option<NodeMessage>> {
+    let mut len_buf = [0u8; 4];
+    match stream.read_exact(&mut len_buf) {
+        Ok(()) => {}
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_be_bytes(len_buf);
+    if len > MAX_FRAME_BYTES {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "oversized frame"));
+    }
+    let mut buf = vec![0u8; len as usize];
+    stream.read_exact(&mut buf)?;
+    zugchain_wire::from_bytes(&buf)
+        .map(Some)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+}
+
+/// Input to a TCP node thread.
+enum Input {
+    /// A consolidated bus payload.
+    RawPayload(Vec<u8>),
+    /// A consensus/layer message decoded from a socket.
+    Message(NodeMessage),
+    /// Stop and report state.
+    Shutdown,
+}
+
+/// A live ZugChain cluster whose replica network is real TCP on loopback.
+///
+/// # Examples
+///
+/// ```no_run
+/// use zugchain::NodeConfig;
+/// use zugchain_sim::tcp::TcpCluster;
+///
+/// # fn main() -> std::io::Result<()> {
+/// let cluster = TcpCluster::start(4, NodeConfig::evaluation_default())?;
+/// cluster.feed_bus_payload_all(b"cycle 0".to_vec());
+/// std::thread::sleep(std::time::Duration::from_millis(300));
+/// let summaries = cluster.shutdown();
+/// assert_eq!(summaries.len(), 4);
+/// # Ok(())
+/// # }
+/// ```
+pub struct TcpCluster {
+    inboxes: Vec<Sender<Input>>,
+    events: Receiver<ClusterEvent>,
+    handles: Vec<JoinHandle<NodeSummary>>,
+    /// Socket addresses the nodes listen on, by node id.
+    pub addresses: Vec<SocketAddr>,
+}
+
+impl TcpCluster {
+    /// Starts `n` nodes listening on loopback and fully meshed over TCP.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors from binding, accepting, or connecting.
+    pub fn start(n: usize, config: NodeConfig) -> io::Result<Self> {
+        let (pairs, keystore) = Keystore::generate(n, 0x7C9);
+        let (event_tx, event_rx) = unbounded();
+
+        // Bind every node's listener first so all addresses are known.
+        let listeners: Vec<TcpListener> = (0..n)
+            .map(|_| TcpListener::bind("127.0.0.1:0"))
+            .collect::<io::Result<_>>()?;
+        let addresses: Vec<SocketAddr> = listeners
+            .iter()
+            .map(TcpListener::local_addr)
+            .collect::<io::Result<_>>()?;
+
+        let mut inboxes = Vec::with_capacity(n);
+        let mut inbox_rxs = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (tx, rx) = bounded::<Input>(4096);
+            inboxes.push(tx);
+            inbox_rxs.push(rx);
+        }
+
+        // Full mesh: node i owns outbound connections to every peer.
+        // Connect in index order while acceptor threads feed inbound
+        // frames to the owning node's inbox.
+        let mut acceptors = Vec::new();
+        for (id, listener) in listeners.into_iter().enumerate() {
+            let inbox = inboxes[id].clone();
+            let expected = n - 1;
+            acceptors.push(std::thread::spawn(move || -> io::Result<()> {
+                for _ in 0..expected {
+                    let (mut stream, _) = listener.accept()?;
+                    stream.set_nodelay(true)?;
+                    let inbox = inbox.clone();
+                    std::thread::spawn(move || {
+                        loop {
+                            match read_frame(&mut stream) {
+                                Ok(Some(message)) => {
+                                    if inbox.send(Input::Message(message)).is_err() {
+                                        return;
+                                    }
+                                }
+                                Ok(None) | Err(_) => return,
+                            }
+                        }
+                    });
+                }
+                Ok(())
+            }));
+        }
+
+        let mut outbound: Vec<Vec<Option<Mutex<TcpStream>>>> = Vec::with_capacity(n);
+        for id in 0..n {
+            let mut streams = Vec::with_capacity(n);
+            for (peer, address) in addresses.iter().enumerate() {
+                if peer == id {
+                    streams.push(None);
+                } else {
+                    let stream = TcpStream::connect(address)?;
+                    stream.set_nodelay(true)?;
+                    streams.push(Some(Mutex::new(stream)));
+                }
+            }
+            outbound.push(streams);
+        }
+        for acceptor in acceptors {
+            acceptor
+                .join()
+                .map_err(|_| io::Error::other("acceptor panicked"))??;
+        }
+
+        let handles = inbox_rxs
+            .into_iter()
+            .enumerate()
+            .map(|(id, rx)| {
+                let node = ZugchainNode::new(
+                    id as u64,
+                    config.clone(),
+                    Nsdb::jru_default(),
+                    pairs[id].clone(),
+                    keystore.clone(),
+                );
+                let streams = std::mem::take(&mut outbound[id]);
+                let events = event_tx.clone();
+                std::thread::Builder::new()
+                    .name(format!("zugchain-tcp-{id}"))
+                    .spawn(move || tcp_node_thread(node, rx, streams, events))
+                    .expect("spawn node thread")
+            })
+            .collect();
+
+        Ok(Self {
+            inboxes,
+            events: event_rx,
+            handles,
+            addresses,
+        })
+    }
+
+    /// Delivers the same consolidated payload to every node.
+    pub fn feed_bus_payload_all(&self, payload: Vec<u8>) {
+        for inbox in &self.inboxes {
+            let _ = inbox.send(Input::RawPayload(payload.clone()));
+        }
+    }
+
+    /// The event stream.
+    pub fn events(&self) -> &Receiver<ClusterEvent> {
+        &self.events
+    }
+
+    /// Stops all nodes and returns their final state.
+    pub fn shutdown(self) -> Vec<NodeSummary> {
+        for inbox in &self.inboxes {
+            let _ = inbox.send(Input::Shutdown);
+        }
+        self.handles
+            .into_iter()
+            .map(|handle| handle.join().expect("node thread panicked"))
+            .collect()
+    }
+}
+
+/// The TCP node event loop: like the channel runtime's, with sends going
+/// through the outbound sockets.
+fn tcp_node_thread(
+    mut node: ZugchainNode,
+    inbox: Receiver<Input>,
+    streams: Vec<Option<Mutex<TcpStream>>>,
+    events: Sender<ClusterEvent>,
+) -> NodeSummary {
+    let id = node.id();
+    let start = Instant::now();
+    let mut timers: BTreeMap<TimerId, Instant> = BTreeMap::new();
+
+    let send_to = |peer: usize, message: &NodeMessage| {
+        if let Some(Some(stream)) = streams.get(peer) {
+            let mut stream = stream.lock().expect("stream lock");
+            // A failed peer write is a dead link, not a node error.
+            let _ = write_frame(&mut stream, message);
+        }
+    };
+
+    loop {
+        let now = Instant::now();
+        let timeout = timers
+            .values()
+            .min()
+            .map(|deadline| deadline.saturating_duration_since(now))
+            .unwrap_or(Duration::from_millis(100));
+
+        match inbox.recv_timeout(timeout) {
+            Ok(Input::Shutdown) | Err(RecvTimeoutError::Disconnected) => break,
+            Ok(Input::RawPayload(payload)) => {
+                let time_ms = start.elapsed().as_millis() as u64;
+                node.on_raw_bus_payload(payload, time_ms);
+            }
+            Ok(Input::Message(message)) => node.on_message(message),
+            Err(RecvTimeoutError::Timeout) => {}
+        }
+
+        let now = Instant::now();
+        let due: Vec<TimerId> = timers
+            .iter()
+            .filter(|(_, deadline)| **deadline <= now)
+            .map(|(timer, _)| *timer)
+            .collect();
+        for timer in due {
+            timers.remove(&timer);
+            node.on_timer(timer);
+        }
+
+        for action in node.drain_actions() {
+            match action {
+                NodeAction::Broadcast { message } => {
+                    for peer in 0..streams.len() {
+                        if peer as u64 != id.0 {
+                            send_to(peer, &message);
+                        }
+                    }
+                }
+                NodeAction::Send { to, message } => {
+                    if to != id {
+                        send_to(to.0 as usize, &message);
+                    }
+                }
+                NodeAction::SetTimer { id: timer, duration_ms } => {
+                    timers.insert(timer, Instant::now() + Duration::from_millis(duration_ms));
+                }
+                NodeAction::CancelTimer { id: timer } => {
+                    timers.remove(&timer);
+                }
+                NodeAction::Logged { sn, origin, payload } => {
+                    let _ = events.send(ClusterEvent::Logged {
+                        node: id,
+                        sn,
+                        origin,
+                        payload_len: payload.len(),
+                    });
+                }
+                NodeAction::BlockCreated { block } => {
+                    let _ = events.send(ClusterEvent::BlockCreated {
+                        node: id,
+                        height: block.height(),
+                        hash: block.hash(),
+                    });
+                }
+                NodeAction::CheckpointStable { proof } => {
+                    let _ = events.send(ClusterEvent::CheckpointStable {
+                        node: id,
+                        sn: proof.checkpoint.sn,
+                    });
+                }
+                NodeAction::NewPrimary { view, primary } => {
+                    let _ = events.send(ClusterEvent::ViewChange {
+                        node: id,
+                        view,
+                        primary,
+                    });
+                }
+                NodeAction::StateTransferNeeded { .. } => {}
+            }
+        }
+    }
+
+    NodeSummary {
+        id,
+        stats: node.stats(),
+        stable_proofs: node.stable_proofs().to_vec(),
+        chain: std::mem::take(node.chain_mut()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zugchain_pbft::NodeId;
+
+    #[test]
+    fn tcp_cluster_orders_over_real_sockets() {
+        let config = NodeConfig::evaluation_default().with_block_size(3);
+        let cluster = TcpCluster::start(4, config).expect("loopback sockets");
+        for tag in 0..6u8 {
+            cluster.feed_bus_payload_all(vec![tag; 128]);
+            std::thread::sleep(Duration::from_millis(25));
+        }
+        // Wait until every node reports block #2.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        let mut done = [false; 4];
+        while !done.iter().all(|d| *d) && Instant::now() < deadline {
+            if let Ok(ClusterEvent::BlockCreated { node, height, .. }) =
+                cluster.events().recv_timeout(Duration::from_millis(200))
+            {
+                if height >= 2 {
+                    done[node.0 as usize] = true;
+                }
+            }
+        }
+        let summaries = cluster.shutdown();
+        let head = summaries[0].chain.head_hash();
+        for summary in &summaries {
+            assert_eq!(summary.chain.height(), 2, "node {}", summary.id.0);
+            assert_eq!(summary.chain.head_hash(), head);
+            assert_eq!(summary.stats.logged, 6);
+        }
+    }
+
+    #[test]
+    fn frame_codec_round_trips_and_rejects_oversize() {
+        // Codec-level check without sockets: encode, then decode through
+        // a loopback pair.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let address = listener.local_addr().unwrap();
+        let sender = std::thread::spawn(move || {
+            let mut stream = TcpStream::connect(address).unwrap();
+            let (pairs, _) = Keystore::generate(1, 1);
+            let message = NodeMessage::Layer(zugchain::LayerMessage::BroadcastRequest(
+                zugchain::SignedRequest::sign(
+                    zugchain_pbft::ProposedRequest::application(vec![7; 64], NodeId(0)),
+                    &pairs[0],
+                ),
+            ));
+            write_frame(&mut stream, &message).unwrap();
+            message
+        });
+        let (mut conn, _) = listener.accept().unwrap();
+        let received = read_frame(&mut conn).unwrap().expect("one frame");
+        let sent = sender.join().unwrap();
+        assert_eq!(received, sent);
+        // EOF is a clean None.
+        assert!(read_frame(&mut conn).unwrap().is_none());
+    }
+}

@@ -1,0 +1,82 @@
+use std::fmt;
+
+/// Errors produced while decoding the ZugChain wire format.
+///
+/// Encoding is infallible; only decoding of untrusted bytes can fail.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum WireError {
+    /// The input ended before the value was complete.
+    UnexpectedEof {
+        /// How many more bytes were needed.
+        needed: usize,
+        /// How many bytes were still available.
+        available: usize,
+    },
+    /// A varint used more bytes than permitted for its target width.
+    VarintOverflow,
+    /// A varint was not minimally encoded (canonical form violation).
+    NonCanonicalVarint,
+    /// A length prefix exceeded the configured decode limit.
+    LengthLimitExceeded {
+        /// The declared length.
+        declared: u64,
+        /// The maximum permitted length.
+        limit: u64,
+    },
+    /// A presence byte for `Option<T>` was neither 0 nor 1.
+    InvalidOptionTag(u8),
+    /// An enum discriminant did not match any known variant.
+    InvalidDiscriminant {
+        /// Name of the type being decoded.
+        type_name: &'static str,
+        /// The offending discriminant value.
+        value: u64,
+    },
+    /// A byte string declared as UTF-8 was not valid UTF-8.
+    InvalidUtf8,
+    /// The value decoded correctly but bytes remained in the input.
+    TrailingBytes {
+        /// Number of unconsumed bytes.
+        remaining: usize,
+    },
+    /// A fixed-size field (digest, key, signature) had the wrong length.
+    InvalidLength {
+        /// Expected byte length.
+        expected: usize,
+        /// Actual byte length.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::UnexpectedEof { needed, available } => write!(
+                f,
+                "unexpected end of input: needed {needed} bytes, {available} available"
+            ),
+            WireError::VarintOverflow => write!(f, "varint overflows target integer width"),
+            WireError::NonCanonicalVarint => write!(f, "varint is not minimally encoded"),
+            WireError::LengthLimitExceeded { declared, limit } => write!(
+                f,
+                "declared length {declared} exceeds decode limit {limit}"
+            ),
+            WireError::InvalidOptionTag(tag) => {
+                write!(f, "invalid option presence byte {tag}, expected 0 or 1")
+            }
+            WireError::InvalidDiscriminant { type_name, value } => {
+                write!(f, "invalid discriminant {value} for {type_name}")
+            }
+            WireError::InvalidUtf8 => write!(f, "byte string is not valid utf-8"),
+            WireError::TrailingBytes { remaining } => {
+                write!(f, "{remaining} trailing bytes after value")
+            }
+            WireError::InvalidLength { expected, actual } => {
+                write!(f, "invalid field length: expected {expected}, got {actual}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireError {}

@@ -1,0 +1,229 @@
+use crate::WireError;
+
+/// Maximum length a single length-prefixed field may declare.
+///
+/// Bounds allocation when decoding untrusted bytes (e.g. consensus messages
+/// from a Byzantine replica). 16 MiB is far above any legitimate ZugChain
+/// message: MVB payloads are ≤8 kB and blocks bundle tens of requests.
+pub const MAX_FIELD_LEN: u64 = 16 * 1024 * 1024;
+
+/// A cursor over a byte slice for decoding the ZugChain wire format.
+///
+/// # Examples
+///
+/// ```
+/// use zugchain_wire::Reader;
+///
+/// # fn main() -> Result<(), zugchain_wire::WireError> {
+/// let mut r = Reader::new(&[3, b'a', b'b', b'c']);
+/// assert_eq!(r.read_bytes()?, b"abc");
+/// assert!(r.is_empty());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Creates a reader over `buf` starting at offset 0.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Returns `true` if all input has been consumed.
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return Err(WireError::UnexpectedEof {
+                needed: n,
+                available: self.remaining(),
+            });
+        }
+        let slice = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    /// Reads a single byte.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::UnexpectedEof`] if the input is exhausted.
+    pub fn read_u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u16`.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::UnexpectedEof`] if fewer than 2 bytes remain.
+    pub fn read_u16(&mut self) -> Result<u16, WireError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian `u32`.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::UnexpectedEof`] if fewer than 4 bytes remain.
+    pub fn read_u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian `u64`.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::UnexpectedEof`] if fewer than 8 bytes remain.
+    pub fn read_u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian `i64`.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::UnexpectedEof`] if fewer than 8 bytes remain.
+    pub fn read_i64(&mut self) -> Result<i64, WireError> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian IEEE-754 `f64`.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::UnexpectedEof`] if fewer than 8 bytes remain.
+    pub fn read_f64(&mut self) -> Result<f64, WireError> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Reads a canonical LEB128 varint.
+    ///
+    /// # Errors
+    ///
+    /// * [`WireError::UnexpectedEof`] if the input ends mid-varint.
+    /// * [`WireError::VarintOverflow`] if more than 10 groups are used.
+    /// * [`WireError::NonCanonicalVarint`] if the encoding is not minimal.
+    pub fn read_varint(&mut self) -> Result<u64, WireError> {
+        let mut value: u64 = 0;
+        let mut shift = 0u32;
+        loop {
+            let byte = self.read_u8()?;
+            if shift == 63 && byte > 1 {
+                return Err(WireError::VarintOverflow);
+            }
+            value |= u64::from(byte & 0x7f) << shift;
+            if byte & 0x80 == 0 {
+                // Reject e.g. `0x80 0x00` for 0: a non-final zero group.
+                if byte == 0 && shift != 0 {
+                    return Err(WireError::NonCanonicalVarint);
+                }
+                return Ok(value);
+            }
+            shift += 7;
+            if shift > 63 {
+                return Err(WireError::VarintOverflow);
+            }
+        }
+    }
+
+    /// Reads a varint-length-prefixed byte string.
+    ///
+    /// # Errors
+    ///
+    /// Varint errors, [`WireError::LengthLimitExceeded`] if the declared
+    /// length exceeds [`MAX_FIELD_LEN`], or [`WireError::UnexpectedEof`].
+    pub fn read_bytes(&mut self) -> Result<&'a [u8], WireError> {
+        let len = self.read_varint()?;
+        if len > MAX_FIELD_LEN {
+            return Err(WireError::LengthLimitExceeded {
+                declared: len,
+                limit: MAX_FIELD_LEN,
+            });
+        }
+        self.take(len as usize)
+    }
+
+    /// Reads exactly `n` raw bytes (no length prefix).
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::UnexpectedEof`] if fewer than `n` bytes remain.
+    pub fn read_raw(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        self.take(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Writer;
+
+    #[test]
+    fn varint_round_trip_boundaries() {
+        for value in [0, 1, 127, 128, 16383, 16384, u32::MAX as u64, u64::MAX] {
+            let mut w = Writer::new();
+            w.write_varint(value);
+            let bytes = w.into_bytes();
+            let mut r = Reader::new(&bytes);
+            assert_eq!(r.read_varint().unwrap(), value);
+            assert!(r.is_empty());
+        }
+    }
+
+    #[test]
+    fn varint_rejects_non_minimal_encoding() {
+        // 0 encoded with a redundant continuation group.
+        let mut r = Reader::new(&[0x80, 0x00]);
+        assert_eq!(r.read_varint(), Err(WireError::NonCanonicalVarint));
+    }
+
+    #[test]
+    fn varint_rejects_overflow() {
+        // 11 continuation bytes.
+        let bytes = [0xff; 11];
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.read_varint(), Err(WireError::VarintOverflow));
+        // 10 bytes but top bits exceed u64.
+        let bytes = [0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f];
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.read_varint(), Err(WireError::VarintOverflow));
+    }
+
+    #[test]
+    fn eof_is_reported_with_counts() {
+        let mut r = Reader::new(&[1, 2]);
+        let err = r.read_u32().unwrap_err();
+        assert_eq!(
+            err,
+            WireError::UnexpectedEof {
+                needed: 4,
+                available: 2
+            }
+        );
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected() {
+        let mut w = Writer::new();
+        w.write_varint(MAX_FIELD_LEN + 1);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert!(matches!(
+            r.read_bytes(),
+            Err(WireError::LengthLimitExceeded { .. })
+        ));
+    }
+}

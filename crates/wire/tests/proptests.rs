@@ -1,0 +1,77 @@
+//! Property-based tests for the canonical wire format.
+
+use proptest::prelude::*;
+use zugchain_wire::{from_bytes, to_bytes, Reader, Writer};
+
+proptest! {
+    #[test]
+    fn varint_round_trips(value: u64) {
+        let mut w = Writer::new();
+        w.write_varint(value);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        prop_assert_eq!(r.read_varint().unwrap(), value);
+        prop_assert!(r.is_empty());
+    }
+
+    #[test]
+    fn varint_encoding_is_minimal(value: u64) {
+        let mut w = Writer::new();
+        w.write_varint(value);
+        let expected_len = if value == 0 { 1 } else { (64 - value.leading_zeros() as usize).div_ceil(7) };
+        prop_assert_eq!(w.len(), expected_len);
+    }
+
+    #[test]
+    fn integers_round_trip(a: u8, b: u16, c: u32, d: u64, e: i64) {
+        prop_assert_eq!(from_bytes::<u8>(&to_bytes(&a)).unwrap(), a);
+        prop_assert_eq!(from_bytes::<u16>(&to_bytes(&b)).unwrap(), b);
+        prop_assert_eq!(from_bytes::<u32>(&to_bytes(&c)).unwrap(), c);
+        prop_assert_eq!(from_bytes::<u64>(&to_bytes(&d)).unwrap(), d);
+        prop_assert_eq!(from_bytes::<i64>(&to_bytes(&e)).unwrap(), e);
+    }
+
+    #[test]
+    fn f64_round_trips_bit_exact(bits: u64) {
+        let value = f64::from_bits(bits);
+        let back = from_bytes::<f64>(&to_bytes(&value)).unwrap();
+        prop_assert_eq!(back.to_bits(), bits);
+    }
+
+    #[test]
+    fn byte_strings_round_trip(data: Vec<u8>) {
+        prop_assert_eq!(from_bytes::<Vec<u8>>(&to_bytes(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn strings_round_trip(s: String) {
+        prop_assert_eq!(from_bytes::<String>(&to_bytes(&s)).unwrap(), s);
+    }
+
+    #[test]
+    fn encoding_is_deterministic(data: Vec<u8>, n: u64) {
+        let first = to_bytes(&(n, data.clone()));
+        let second = to_bytes(&(n, data));
+        prop_assert_eq!(first, second);
+    }
+
+    /// Decoding arbitrary garbage must never panic — it is fed to replicas
+    /// by potentially Byzantine peers.
+    #[test]
+    fn decoding_garbage_never_panics(bytes: Vec<u8>) {
+        let _ = from_bytes::<u64>(&bytes);
+        let _ = from_bytes::<String>(&bytes);
+        let _ = from_bytes::<Vec<u8>>(&bytes);
+        let _ = from_bytes::<Option<(u64, Vec<u8>)>>(&bytes);
+        let mut r = Reader::new(&bytes);
+        let _ = r.read_varint();
+    }
+
+    #[test]
+    fn tuples_preserve_field_order(a: u64, s: String) {
+        let bytes = to_bytes(&(a, s.clone()));
+        let (back_a, back_s): (u64, String) = from_bytes(&bytes).unwrap();
+        prop_assert_eq!(back_a, a);
+        prop_assert_eq!(back_s, s);
+    }
+}

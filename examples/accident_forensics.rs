@@ -1,0 +1,127 @@
+//! Accident forensics: the scenario the JRU exists for.
+//!
+//! A train brakes hard; moments later three of the four ZugChain nodes
+//! are destroyed in the crash. The single surviving node's blockchain is
+//! salvaged, its integrity is verified externally, and the recorded
+//! events are reconstructed — including a tamper check demonstrating why
+//! a blockchain beats independent log files.
+//!
+//! ```text
+//! cargo run --example accident_forensics
+//! ```
+
+use std::time::Duration;
+
+use zugchain::NodeConfig;
+use zugchain_mvb::{Bus, BusConfig, SignalGenerator};
+use zugchain_signals::analysis::Timeline;
+use zugchain_signals::Request;
+use zugchain_sim::runtime::ThreadedCluster;
+
+fn main() {
+    println!("» Regular operation: recording ATP data");
+    let config = NodeConfig::evaluation_default().with_block_size(4);
+    let cluster = ThreadedCluster::start(4, config);
+
+    let mut bus = Bus::new(BusConfig::jru_default(64), 4, 3);
+    // The drill scripts an emergency braking 4 s into the run; the
+    // "impact" follows while the train is still decelerating.
+    bus.attach_device(Box::new(SignalGenerator::with_emergency_at(1337, 4_000)));
+
+    for _ in 0..100 {
+        let out = bus.run_cycle();
+        for obs in out.observations {
+            cluster.feed_telegrams(obs.tap, out.cycle, out.time_ms, obs.telegrams);
+        }
+        std::thread::sleep(Duration::from_millis(4));
+    }
+    std::thread::sleep(Duration::from_millis(400));
+
+    println!("» IMPACT — nodes 0, 2 and 3 are destroyed");
+    cluster.crash(0);
+    cluster.crash(2);
+    cluster.crash(3);
+    std::thread::sleep(Duration::from_millis(100));
+
+    let summaries = cluster.shutdown();
+    // Salvage the single surviving node (node 1).
+    let survivor = &summaries[1];
+    println!(
+        "» Salvage: node {} recovered with chain height {}",
+        survivor.id.0,
+        survivor.chain.height()
+    );
+
+    // --- Lab analysis -------------------------------------------------------
+    // 1. Integrity: the chain verifies from genesis without trusting the
+    //    salvaged device.
+    zugchain_blockchain::verify_chain(survivor.chain.blocks(), None)
+        .expect("salvaged chain must verify");
+    println!("  chain integrity: VERIFIED (hash-linked from genesis)");
+
+    // 2. Checkpoint signatures: each block is backed by 2f+1 replica
+    //    signatures, so even one surviving copy is trustworthy evidence.
+    let verified_proofs = survivor
+        .stable_proofs
+        .iter()
+        .filter(|proof| proof.verify(&summaries_keystore(), 3))
+        .count();
+    println!(
+        "  {} of {} per-block checkpoints carry valid 2f+1 signatures",
+        verified_proofs,
+        survivor.stable_proofs.len()
+    );
+
+    // 3. Event reconstruction: decode the logged requests back into JRU
+    //    events and run the post-operational analysis (§III-B's "lab
+    //    analysis") over the salvaged chain.
+    let decoded = survivor.chain.blocks().iter().flat_map(|block| {
+        block.requests.iter().filter_map(|logged| {
+            let request = zugchain_wire::from_bytes::<Request>(&logged.payload).ok()?;
+            Some((logged.sn, logged.origin, request))
+        })
+    });
+    let timeline = Timeline::from_requests(decoded);
+    for finding in timeline.findings() {
+        println!("  finding: {finding}");
+    }
+    let last_speed = timeline.speed_profile().last().map(|(_, s)| *s).unwrap_or(0);
+    println!(
+        "  reconstruction: {} events, max speed {:.1} km/h, last recorded speed {:.1} km/h",
+        timeline.events().len(),
+        f64::from(timeline.max_speed_ckmh().unwrap_or(0)) / 100.0,
+        f64::from(last_speed) / 100.0
+    );
+    println!(
+        "  events per origin node: {:?} (attribution survives the crash)",
+        timeline.events_by_origin()
+    );
+    assert!(
+        timeline.emergency_brakings().count() >= 1,
+        "the emergency braking must be on the chain"
+    );
+
+    // 4. Tamper demonstration: altering a single recorded byte after the
+    //    fact is detected immediately.
+    let mut tampered: Vec<_> = survivor.chain.blocks().to_vec();
+    if let Some(first) = tampered
+        .iter_mut()
+        .find(|block| !block.requests.is_empty())
+    {
+        first.requests[0].payload[0] ^= 0xFF;
+    }
+    assert!(
+        zugchain_blockchain::verify_chain(&tampered, None).is_err(),
+        "tampering must be detected"
+    );
+    println!("  tamper check: single-byte manipulation detected ✓");
+    println!("» Forensics complete: juridical record intact despite losing 3 of 4 nodes");
+}
+
+/// The cluster keystore is deterministic (seed 0xC10C in the runtime);
+/// rebuild it for verification, as an external analyst would load the
+/// registered public keys.
+fn summaries_keystore() -> zugchain_crypto::Keystore {
+    let (_, keystore) = zugchain_crypto::Keystore::generate(4, 0xC10C);
+    keystore
+}

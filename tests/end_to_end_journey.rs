@@ -1,0 +1,111 @@
+//! End-to-end integration: a full synthetic train journey flows from the
+//! simulated MVB through parsing, filtering, the ZugChain layer, PBFT,
+//! and into identical blockchains on every node.
+
+use zugchain::NodeConfig;
+use zugchain_sim::runtime::{ClusterEvent, ThreadedCluster};
+use zugchain_sim::{run_scenario, Mode, ScenarioConfig, Workload};
+
+#[test]
+fn simulated_journey_logs_consistently_on_all_nodes() {
+    let config = ScenarioConfig {
+        mode: Mode::Zugchain,
+        duration_ms: 30_000,
+        workload: Workload::JruSignals {
+            generator_seed: 99,
+            background_faults: true,
+        },
+        ..ScenarioConfig::default()
+    };
+    let metrics = run_scenario(&config, 123);
+    // An accelerating train changes speed/odometer every cycle: most of
+    // the ~469 cycles must be logged.
+    assert!(
+        metrics.logged_requests > 300,
+        "logged {}",
+        metrics.logged_requests
+    );
+    assert!(metrics.blocks_created >= 30, "blocks {}", metrics.blocks_created);
+    assert_eq!(metrics.view_changes, 0, "no faults, no view changes");
+    assert!(
+        metrics.latency.mean_ms() < 50.0,
+        "latency {}",
+        metrics.latency.mean_ms()
+    );
+}
+
+#[test]
+fn synthetic_sweep_meets_jru_requirements() {
+    // The §V-B requirement: 10 events/s stored within 500 ms.
+    let config = ScenarioConfig {
+        mode: Mode::Zugchain,
+        duration_ms: 30_000,
+        bus_cycle_ms: 64,
+        workload: Workload::SyntheticPayload { bytes: 1024 },
+        ..ScenarioConfig::default()
+    };
+    let metrics = run_scenario(&config, 7);
+    assert!(metrics.events_per_second() > 10.0);
+    assert!(metrics.latency.quantile_ms(0.99) < 500.0);
+    assert!(
+        metrics.cpu_percent_of_total < 25.0,
+        "cpu {}",
+        metrics.cpu_percent_of_total
+    );
+}
+
+#[test]
+fn threaded_cluster_builds_identical_chains() {
+    // Paper-scale timeouts (250 ms soft/hard) so scheduling jitter under
+    // a loaded test machine cannot trigger spurious view changes.
+    let config = NodeConfig::evaluation_default().with_block_size(3);
+    let cluster = ThreadedCluster::start(4, config);
+    for tag in 0..9u8 {
+        cluster.feed_bus_payload_all(vec![tag; 128]);
+        std::thread::sleep(std::time::Duration::from_millis(25));
+    }
+
+    // Wait (bounded) until every node reported block #3.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    let mut done = [false; 4];
+    while !done.iter().all(|d| *d) && std::time::Instant::now() < deadline {
+        match cluster
+            .events()
+            .recv_timeout(std::time::Duration::from_millis(200))
+        {
+            Ok(ClusterEvent::BlockCreated { node, height, .. }) if height >= 3 => {
+                done[node.0 as usize] = true;
+            }
+            _ => {}
+        }
+    }
+    let summaries = cluster.shutdown();
+    let head = summaries[0].chain.head_hash();
+    for summary in &summaries {
+        assert_eq!(summary.chain.height(), 3, "node {}", summary.id.0);
+        assert_eq!(summary.chain.head_hash(), head, "chains agree");
+        assert!(zugchain_blockchain::verify_chain(summary.chain.blocks(), None).is_ok());
+        // One checkpoint per block.
+        assert_eq!(summary.stable_proofs.len(), 3);
+    }
+}
+
+#[test]
+fn diverging_bus_reception_loses_nothing() {
+    let cluster = ThreadedCluster::start(4, NodeConfig::default_for_testing());
+    // Three payloads, each seen by a different single node.
+    cluster.feed_bus_payload(1, b"seen-by-1".to_vec());
+    cluster.feed_bus_payload(2, b"seen-by-2".to_vec());
+    cluster.feed_bus_payload(3, b"seen-by-3".to_vec());
+    // Soft timeouts (50 ms in the test config) fire, requests get
+    // broadcast and ordered.
+    std::thread::sleep(std::time::Duration::from_millis(600));
+    let summaries = cluster.shutdown();
+    for summary in &summaries {
+        assert_eq!(
+            summary.stats.logged, 3,
+            "node {} logged {}",
+            summary.id.0, summary.stats.logged
+        );
+    }
+}

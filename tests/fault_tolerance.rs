@@ -1,0 +1,121 @@
+//! Fault-tolerance integration: the behaviours §III-B/§V-B promise under
+//! crashes and Byzantine behaviour, exercised through the deterministic
+//! simulator.
+
+use zugchain_sim::{run_scenario, Mode, ScenarioConfig, Workload};
+
+fn base(mode: Mode) -> ScenarioConfig {
+    ScenarioConfig {
+        mode,
+        duration_ms: 20_000,
+        bus_cycle_ms: 64,
+        workload: Workload::SyntheticPayload { bytes: 512 },
+        ..ScenarioConfig::default()
+    }
+}
+
+#[test]
+fn primary_crash_recovers_within_the_timeout_budget() {
+    let mut config = base(Mode::Zugchain);
+    config.faults.crash = Some((0, 5_000));
+    let metrics = run_scenario(&config, 21);
+    assert!(metrics.view_changes >= 1, "view change happened");
+
+    // Requests born just after the crash pay the soft+hard timeout and
+    // the view change (≤ ~1 s); afterwards latency returns to normal.
+    let worst_during = metrics
+        .latency
+        .samples
+        .iter()
+        .filter(|(birth, _)| (5_000.0..6_500.0).contains(birth))
+        .map(|(_, l)| *l)
+        .fold(0.0, f64::max);
+    assert!(
+        (300.0..3_000.0).contains(&worst_during),
+        "crash-window latency {worst_during}"
+    );
+
+    let after: Vec<f64> = metrics
+        .latency
+        .samples
+        .iter()
+        .filter(|(birth, _)| *birth > 8_000.0)
+        .map(|(_, l)| *l)
+        .collect();
+    assert!(!after.is_empty(), "ordering resumed after the view change");
+    let mean_after = after.iter().sum::<f64>() / after.len() as f64;
+    assert!(mean_after < 60.0, "stabilized at {mean_after} ms");
+}
+
+#[test]
+fn backup_crash_is_harmless() {
+    let mut config = base(Mode::Zugchain);
+    config.faults.crash = Some((3, 5_000));
+    let metrics = run_scenario(&config, 22);
+    assert_eq!(metrics.view_changes, 0, "no view change for a dead backup");
+    assert_eq!(metrics.unlogged_requests, 0, "nothing is lost");
+}
+
+#[test]
+fn fabrication_at_full_rate_stays_within_bounds() {
+    // Fig. 9: even at 100 % fabrication the system keeps ordering within
+    // JRU bounds thanks to the per-origin rate limit.
+    let mut config = base(Mode::Zugchain);
+    config.faults.fabricate = Some((3, 1.0));
+    let metrics = run_scenario(&config, 23);
+    let clean = run_scenario(&base(Mode::Zugchain), 23);
+    assert!(metrics.latency.mean_ms() < 500.0, "within JRU bounds");
+    assert!(metrics.latency.mean_ms() > clean.latency.mean_ms());
+    // Legit requests are still all logged.
+    assert!(metrics.logged_requests >= clean.logged_requests);
+}
+
+#[test]
+fn preprepare_delay_stalls_but_never_escalates() {
+    let mut config = base(Mode::Zugchain);
+    config.faults.primary_preprepare_delay_ms = Some(200);
+    // Keep the delay below the soft timeout: stalling, not suspicion.
+    config.node_config = config.node_config.with_timeouts(250, 250);
+    let metrics = run_scenario(&config, 24);
+    assert_eq!(metrics.view_changes, 0);
+    assert!(metrics.latency.mean_ms() > 150.0);
+    assert_eq!(metrics.unlogged_requests, 0);
+}
+
+#[test]
+fn preprepare_delay_beyond_hard_timeout_changes_view() {
+    let mut config = base(Mode::Zugchain);
+    // Delay longer than soft+hard: backups escalate.
+    config.faults.primary_preprepare_delay_ms = Some(800);
+    let metrics = run_scenario(&config, 25);
+    assert!(metrics.view_changes >= 1);
+}
+
+#[test]
+fn baseline_and_zugchain_survive_the_same_crash() {
+    for mode in [Mode::Zugchain, Mode::Baseline] {
+        let mut config = base(mode);
+        config.faults.crash = Some((0, 5_000));
+        let metrics = run_scenario(&config, 26);
+        assert!(metrics.view_changes >= 1, "{mode:?}");
+        let late_logged = metrics
+            .latency
+            .samples
+            .iter()
+            .filter(|(birth, _)| *birth > 10_000.0)
+            .count();
+        assert!(late_logged > 50, "{mode:?} kept ordering: {late_logged}");
+    }
+}
+
+#[test]
+fn deterministic_fault_runs_are_reproducible() {
+    let mut config = base(Mode::Zugchain);
+    config.faults.crash = Some((0, 4_000));
+    config.faults.fabricate = Some((2, 0.5));
+    let a = run_scenario(&config, 99);
+    let b = run_scenario(&config, 99);
+    assert_eq!(a.logged_requests, b.logged_requests);
+    assert_eq!(a.view_changes, b.view_changes);
+    assert_eq!(a.latency.samples, b.latency.samples);
+}
