@@ -70,12 +70,23 @@ fn bench_chain_verify(c: &mut Criterion) {
                 blocks.push(block);
             }
         }
-        group.bench_with_input(BenchmarkId::from_parameter(n_blocks), &blocks, |b, blocks| {
-            b.iter(|| zugchain_blockchain::verify_chain(std::hint::black_box(blocks), None).unwrap());
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(n_blocks),
+            &blocks,
+            |b, blocks| {
+                b.iter(|| {
+                    zugchain_blockchain::verify_chain(std::hint::black_box(blocks), None).unwrap()
+                });
+            },
+        );
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_block_creation, bench_disk_write, bench_chain_verify);
+criterion_group!(
+    benches,
+    bench_block_creation,
+    bench_disk_write,
+    bench_chain_verify
+);
 criterion_main!(benches);

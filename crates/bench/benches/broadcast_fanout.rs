@@ -1,0 +1,64 @@
+//! Broadcast fan-out cost: per-peer re-encoding (what the TCP transport
+//! did before frames) versus the serialize-once [`Frame`], at cluster
+//! sizes 4, 8 and 16. The frame encodes the message exactly once per
+//! broadcast and hands every peer the same reference-counted bytes, so
+//! its cost should stay flat while per-peer encoding grows linearly.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use zugchain::{LayerMessage, NodeMessage, SignedRequest};
+use zugchain_crypto::Keystore;
+use zugchain_machine::Frame;
+use zugchain_pbft::{NodeId, ProposedRequest};
+
+/// A representative broadcast: a signed 1 KiB consolidated bus request.
+fn broadcast_message() -> NodeMessage {
+    let (pairs, _) = Keystore::generate(4, 4242);
+    let request = ProposedRequest::application(vec![0xAB; 1024], NodeId(0));
+    NodeMessage::Layer(LayerMessage::BroadcastRequest(SignedRequest::sign(
+        request, &pairs[0],
+    )))
+}
+
+fn bench_fanout(c: &mut Criterion) {
+    let message = broadcast_message();
+    let wire_len = zugchain_wire::to_bytes(&message).len() as u64;
+
+    let mut group = c.benchmark_group("broadcast/per_peer_encode");
+    for n in [4usize, 8, 16] {
+        group.throughput(Throughput::Bytes(wire_len * (n as u64 - 1)));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                // The pre-frame transport: encode the same message again
+                // for every peer.
+                let mut sent = 0usize;
+                for _ in 0..n - 1 {
+                    sent += zugchain_wire::to_bytes(std::hint::black_box(&message)).len();
+                }
+                sent
+            });
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("broadcast/serialize_once");
+    for n in [4usize, 8, 16] {
+        group.throughput(Throughput::Bytes(wire_len * (n as u64 - 1)));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                // The frame path: one encode per broadcast, every peer
+                // writes the same shared bytes.
+                let frame = Frame::new(std::hint::black_box(message.clone()));
+                let mut sent = 0usize;
+                for _ in 0..n - 1 {
+                    sent += frame.bytes().len();
+                }
+                assert_eq!(frame.encode_count(), 1);
+                sent
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fanout);
+criterion_main!(benches);

@@ -68,9 +68,14 @@ fn bench_transfer_install(c: &mut Criterion) {
             &package,
             |b, package| {
                 b.iter(|| {
-                    let store =
-                        install_transfer(std::hint::black_box(package), &keystore, &dc_keystore, 3, 2)
-                            .unwrap();
+                    let store = install_transfer(
+                        std::hint::black_box(package),
+                        &keystore,
+                        &dc_keystore,
+                        3,
+                        2,
+                    )
+                    .unwrap();
                     store.height()
                 });
             },

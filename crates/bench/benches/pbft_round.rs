@@ -4,7 +4,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use zugchain_crypto::Keystore;
-use zugchain_pbft::{Action, Config, NodeId, ProposedRequest, Replica};
+use zugchain_machine::Effect;
+use zugchain_pbft::{Config, NodeId, ProposedRequest, Replica, ReplicaEvent};
 
 /// Drives one request through a fresh 4-replica group until all decide.
 fn order_once(payload: &[u8]) -> usize {
@@ -21,10 +22,10 @@ fn order_once(payload: &[u8]) -> usize {
     loop {
         let mut traffic = Vec::new();
         for replica in &mut replicas {
-            for action in replica.drain_actions() {
-                match action {
-                    Action::Broadcast { message } => traffic.push(message),
-                    Action::Decide { .. } => decided += 1,
+            for effect in replica.drain_effects() {
+                match effect {
+                    Effect::Broadcast { message } => traffic.push(message),
+                    Effect::Output(ReplicaEvent::Decide { .. }) => decided += 1,
                     _ => {}
                 }
             }
@@ -78,17 +79,16 @@ fn bench_pipelined_ordering(c: &mut Criterion) {
             },
             |mut replicas| {
                 for tag in 0..10u8 {
-                    replicas[0]
-                        .propose(ProposedRequest::application(vec![tag; 1024], NodeId(0)));
+                    replicas[0].propose(ProposedRequest::application(vec![tag; 1024], NodeId(0)));
                 }
                 let mut decided = 0usize;
                 loop {
                     let mut traffic = Vec::new();
                     for replica in &mut replicas {
-                        for action in replica.drain_actions() {
-                            match action {
-                                Action::Broadcast { message } => traffic.push(message),
-                                Action::Decide { .. } => decided += 1,
+                        for effect in replica.drain_effects() {
+                            match effect {
+                                Effect::Broadcast { message } => traffic.push(message),
+                                Effect::Output(ReplicaEvent::Decide { .. }) => decided += 1,
                                 _ => {}
                             }
                         }

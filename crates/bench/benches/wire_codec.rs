@@ -40,9 +40,7 @@ fn bench_decode(c: &mut Criterion) {
         let bytes = zugchain_wire::to_bytes(&sample_request(events));
         group.throughput(Throughput::Bytes(bytes.len() as u64));
         group.bench_with_input(BenchmarkId::from_parameter(events), &bytes, |b, bytes| {
-            b.iter(|| {
-                zugchain_wire::from_bytes::<Request>(std::hint::black_box(bytes)).unwrap()
-            });
+            b.iter(|| zugchain_wire::from_bytes::<Request>(std::hint::black_box(bytes)).unwrap());
         });
     }
     group.finish();

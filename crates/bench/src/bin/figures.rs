@@ -111,10 +111,7 @@ fn fig6_cycles(profile: Profile) {
     header("Fig. 6 (left): network & latency vs bus cycle (payload 1 kB)");
     println!(
         "{}",
-        row(
-            "bus cycle [ms]",
-            &CYCLE_SWEEP_MS.map(|c| c.to_string()).to_vec()
-        )
+        row("bus cycle [ms]", &CYCLE_SWEEP_MS.map(|c| c.to_string()))
     );
     let mut net_zc = Vec::new();
     let mut net_bl = Vec::new();
@@ -139,10 +136,7 @@ fn fig6_payloads(profile: Profile) {
     header("Fig. 6 (right): network & latency vs payload (cycle 64 ms)");
     println!(
         "{}",
-        row(
-            "payload [B]",
-            &PAYLOAD_SWEEP_BYTES.map(|b| b.to_string()).to_vec()
-        )
+        row("payload [B]", &PAYLOAD_SWEEP_BYTES.map(|b| b.to_string()))
     );
     let mut net_zc = Vec::new();
     let mut net_bl = Vec::new();
@@ -166,10 +160,7 @@ fn fig7_cycles(profile: Profile) {
     header("Fig. 7 (left): CPU & memory vs bus cycle (payload 1 kB)");
     println!(
         "{}",
-        row(
-            "bus cycle [ms]",
-            &CYCLE_SWEEP_MS.map(|c| c.to_string()).to_vec()
-        )
+        row("bus cycle [ms]", &CYCLE_SWEEP_MS.map(|c| c.to_string()))
     );
     let mut cpu_zc = Vec::new();
     let mut cpu_bl = Vec::new();
@@ -193,10 +184,7 @@ fn fig7_payloads(profile: Profile) {
     header("Fig. 7 (right): CPU & memory vs payload (cycle 64 ms)");
     println!(
         "{}",
-        row(
-            "payload [B]",
-            &PAYLOAD_SWEEP_BYTES.map(|b| b.to_string()).to_vec()
-        )
+        row("payload [B]", &PAYLOAD_SWEEP_BYTES.map(|b| b.to_string()))
     );
     let mut cpu_zc = Vec::new();
     let mut cpu_bl = Vec::new();
@@ -270,10 +258,7 @@ fn table2_export() {
     header("Table II: read / delete / verify latency of the export [s]");
     println!(
         "{}",
-        row(
-            "#blocks",
-            &EXPORT_BLOCK_COUNTS.map(|n| n.to_string()).to_vec()
-        )
+        row("#blocks", &EXPORT_BLOCK_COUNTS.map(|n| n.to_string()))
     );
     let mut read = Vec::new();
     let mut delete = Vec::new();
@@ -345,7 +330,10 @@ fn jru_requirements(profile: Profile) {
     header("JRU requirements check (§V-B)");
     let metrics = run_averaged(Mode::Zugchain, 64, 1024, profile.duration_ms, profile.runs);
     let eps = metrics.events_per_second() * profile.runs as f64 / profile.runs as f64;
-    println!("events per second:        {:.1} (paper: 15.6, requirement: 10)", eps);
+    println!(
+        "events per second:        {:.1} (paper: 15.6, requirement: 10)",
+        eps
+    );
     println!(
         "mean ordering latency:    {} ms (paper: ~14 ms, requirement: 500 ms)",
         fmt(metrics.latency.mean_ms())
@@ -359,7 +347,10 @@ fn jru_requirements(profile: Profile) {
         fmt(metrics.cpu_percent_of_total)
     );
     let ok = metrics.latency.quantile_ms(0.99) < 500.0 && eps >= 10.0;
-    println!("requirement met:          {}", if ok { "YES" } else { "NO" });
+    println!(
+        "requirement met:          {}",
+        if ok { "YES" } else { "NO" }
+    );
 }
 
 /// Ablation: block size (= checkpoint interval). The paper fixes both at

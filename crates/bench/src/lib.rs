@@ -30,8 +30,20 @@ pub fn run_pair(
     duration_ms: u64,
     runs: u64,
 ) -> (RunMetrics, RunMetrics) {
-    let zc = run_averaged(Mode::Zugchain, bus_cycle_ms, payload_bytes, duration_ms, runs);
-    let bl = run_averaged(Mode::Baseline, bus_cycle_ms, payload_bytes, duration_ms, runs);
+    let zc = run_averaged(
+        Mode::Zugchain,
+        bus_cycle_ms,
+        payload_bytes,
+        duration_ms,
+        runs,
+    );
+    let bl = run_averaged(
+        Mode::Baseline,
+        bus_cycle_ms,
+        payload_bytes,
+        duration_ms,
+        runs,
+    );
     (zc, bl)
 }
 
@@ -100,7 +112,10 @@ mod tests {
     fn run_pair_produces_comparable_metrics() {
         let (zc, bl) = run_pair(64, 256, 3_000, 1);
         assert!(zc.logged_requests > 10);
-        assert!(bl.logged_requests > zc.logged_requests * 2, "baseline logs n copies");
+        assert!(
+            bl.logged_requests > zc.logged_requests * 2,
+            "baseline logs n copies"
+        );
         assert!(bl.network_mbps > zc.network_mbps);
     }
 

@@ -136,8 +136,16 @@ impl Block {
     ///
     /// Panics if `requests` is empty or not sorted by `sn` — block
     /// creation is deterministic on ordered input by construction.
-    pub fn next(height: u64, prev_hash: Digest, requests: Vec<LoggedRequest>, time_ms: u64) -> Self {
-        assert!(!requests.is_empty(), "a non-genesis block bundles at least one request");
+    pub fn next(
+        height: u64,
+        prev_hash: Digest,
+        requests: Vec<LoggedRequest>,
+        time_ms: u64,
+    ) -> Self {
+        assert!(
+            !requests.is_empty(),
+            "a non-genesis block bundles at least one request"
+        );
         assert!(
             requests.windows(2).all(|w| w[0].sn < w[1].sn),
             "requests must be strictly ordered by sequence number"

@@ -129,7 +129,9 @@ mod tests {
     fn blocks_chain_correctly() {
         let mut builder = BlockBuilder::new(2);
         assert!(builder.push(req(1), 0).is_none());
-        let b1 = builder.push(req(2), 64).expect("second push completes the block");
+        let b1 = builder
+            .push(req(2), 64)
+            .expect("second push completes the block");
         assert!(builder.push(req(3), 128).is_none());
         let b2 = builder.push(req(4), 192).expect("fourth push completes");
         assert_eq!(b1.height(), 1);

@@ -136,7 +136,10 @@ impl DiskStore {
         for entry in fs::read_dir(&self.dir)? {
             let name = entry?.file_name();
             let name = name.to_string_lossy();
-            if let Some(number) = name.strip_prefix("ckpt-").and_then(|s| s.strip_suffix(".zcp")) {
+            if let Some(number) = name
+                .strip_prefix("ckpt-")
+                .and_then(|s| s.strip_suffix(".zcp"))
+            {
                 if let Ok(sn) = number.parse::<u64>() {
                     sns.push(sn);
                 }
@@ -222,10 +225,7 @@ mod tests {
     use crate::{BlockBuilder, LoggedRequest};
 
     fn tempdir(tag: &str) -> PathBuf {
-        let dir = std::env::temp_dir().join(format!(
-            "zugchain-disk-{tag}-{}",
-            std::process::id()
-        ));
+        let dir = std::env::temp_dir().join(format!("zugchain-disk-{tag}-{}", std::process::id()));
         let _ = fs::remove_dir_all(&dir);
         dir
     }

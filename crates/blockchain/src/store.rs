@@ -315,7 +315,10 @@ mod tests {
         let block = block_at(5, store.head_hash());
         assert!(matches!(
             store.append(block),
-            Err(ChainError::WrongHeight { expected: 3, actual: 5 })
+            Err(ChainError::WrongHeight {
+                expected: 3,
+                actual: 5
+            })
         ));
     }
 

@@ -55,10 +55,16 @@ impl fmt::Display for ChainViolation {
                 write!(f, "block {height} payload does not match its header")
             }
             ChainViolation::WrongBase { expected, actual } => {
-                write!(f, "segment base {actual} does not match expected {expected}")
+                write!(
+                    f,
+                    "segment base {actual} does not match expected {expected}"
+                )
             }
             ChainViolation::SequenceOverlap { height } => {
-                write!(f, "block {height} overlaps its predecessor's sequence numbers")
+                write!(
+                    f,
+                    "block {height} overlaps its predecessor's sequence numbers"
+                )
             }
         }
     }

@@ -2,15 +2,16 @@ use std::collections::BTreeMap;
 
 use zugchain_blockchain::{BlockBuilder, ChainStore, LoggedRequest};
 use zugchain_crypto::{Digest, KeyPair, Keystore};
+use zugchain_machine::Effect;
 use zugchain_mvb::{Nsdb, Telegram};
 use zugchain_pbft::{
-    Action as PbftAction, CheckpointProof, NodeId, ProposedRequest, Replica,
+    CheckpointProof, NodeId, ProposedRequest, Replica, ReplicaEvent, ReplicaTimer,
 };
 use zugchain_signals::CycleConsolidator;
 use zugchain_wire::{Encode, Writer};
 
+use crate::node::{NodeEffect, NodeEvent, NodeStats, TrainNode};
 use crate::{LayerMessage, NodeConfig, NodeMessage, SignedRequest, TimerId};
-use crate::node::{NodeAction, NodeStats, TrainNode};
 
 /// The evaluation baseline: PBFT with traditional client handling
 /// (paper §V-A).
@@ -41,16 +42,19 @@ pub struct BaselineNode {
     builder: BlockBuilder,
     store: ChainStore,
     stable_proofs: Vec<CheckpointProof>,
-    armed_vc_timer: Option<u64>,
     last_time_ms: u64,
-    actions: Vec<NodeAction>,
+    effects: Vec<NodeEffect>,
     stats: NodeStats,
 }
 
 impl BaselineNode {
     /// Creates a baseline node with a single bus input source.
     pub fn new(id: u64, config: NodeConfig, nsdb: Nsdb, key: KeyPair, keystore: Keystore) -> Self {
-        let replica = Replica::new(NodeId(id), config.pbft.clone(), key.clone(), keystore);
+        let pbft_config = config
+            .pbft
+            .clone()
+            .with_view_change_timeout(config.view_change_timeout_ms);
+        let replica = Replica::new(NodeId(id), pbft_config, key.clone(), keystore);
         Self {
             id: NodeId(id),
             sources: vec![CycleConsolidator::new(nsdb.clone())],
@@ -60,9 +64,8 @@ impl BaselineNode {
             builder: BlockBuilder::new(config.block_size),
             store: ChainStore::new(),
             stable_proofs: Vec::new(),
-            armed_vc_timer: None,
             last_time_ms: 0,
-            actions: Vec::new(),
+            effects: Vec::new(),
             stats: NodeStats::default(),
             config,
             key,
@@ -107,7 +110,7 @@ impl BaselineNode {
         self.open.insert(digest, request.clone());
 
         // Client-side view-change timer: suspect if not ordered in time.
-        self.actions.push(NodeAction::SetTimer {
+        self.effects.push(Effect::SetTimer {
             id: TimerId::Hard(digest),
             duration_ms: self.config.view_change_timeout_ms,
         });
@@ -119,7 +122,7 @@ impl BaselineNode {
         } else {
             let signed = SignedRequest::sign(request, &self.key);
             let primary = self.replica.primary();
-            self.actions.push(NodeAction::Send {
+            self.effects.push(Effect::Send {
                 to: primary,
                 message: NodeMessage::Layer(LayerMessage::ClientRequest(signed)),
             });
@@ -132,17 +135,17 @@ impl BaselineNode {
         }
         let digest = request.payload_digest();
         if self.open.remove(&digest).is_some() {
-            self.actions.push(NodeAction::CancelTimer {
+            self.effects.push(Effect::CancelTimer {
                 id: TimerId::Hard(digest),
             });
         }
         // No duplicate filtering: the baseline logs every ordered copy.
         self.stats.logged += 1;
-        self.actions.push(NodeAction::Logged {
+        self.effects.push(Effect::Output(NodeEvent::Logged {
             sn,
             origin: request.origin,
             payload: request.payload.clone(),
-        });
+        }));
         let logged = LoggedRequest {
             sn,
             origin: request.origin.0,
@@ -155,19 +158,21 @@ impl BaselineNode {
                 .append(block.clone())
                 .expect("builder output always extends the local chain");
             self.stats.blocks_created += 1;
-            self.actions.push(NodeAction::BlockCreated { block });
+            self.effects
+                .push(Effect::Output(NodeEvent::BlockCreated { block }));
             self.replica.record_checkpoint(last_sn, block_hash);
             self.pump_replica();
         }
     }
 
     fn on_new_primary(&mut self, view: u64, primary: NodeId) {
-        self.actions.push(NodeAction::NewPrimary { view, primary });
+        self.effects
+            .push(Effect::Output(NodeEvent::NewPrimary { view, primary }));
         // The client resends its open requests to the new primary.
         let open: Vec<ProposedRequest> = self.open.values().cloned().collect();
         for request in open {
             let digest = request.payload_digest();
-            self.actions.push(NodeAction::SetTimer {
+            self.effects.push(Effect::SetTimer {
                 id: TimerId::Hard(digest),
                 duration_ms: self.config.view_change_timeout_ms,
             });
@@ -176,7 +181,7 @@ impl BaselineNode {
                 self.replica.propose(request);
             } else {
                 let signed = SignedRequest::sign(request, &self.key);
-                self.actions.push(NodeAction::Send {
+                self.effects.push(Effect::Send {
                     to: primary,
                     message: NodeMessage::Layer(LayerMessage::ClientRequest(signed)),
                 });
@@ -188,44 +193,50 @@ impl BaselineNode {
     }
 
     fn pump_replica(&mut self) {
-        let actions = self.replica.drain_actions();
-        for action in actions {
-            match action {
-                PbftAction::Broadcast { message } => self.actions.push(NodeAction::Broadcast {
+        let effects = self.replica.drain_effects();
+        for effect in effects {
+            match effect {
+                Effect::Broadcast { message } => self.effects.push(Effect::Broadcast {
                     message: NodeMessage::Consensus(message),
                 }),
-                PbftAction::Send { to, message } => self.actions.push(NodeAction::Send {
+                Effect::Send { to, message } => self.effects.push(Effect::Send {
                     to,
                     message: NodeMessage::Consensus(message),
                 }),
-                PbftAction::Decide { sn, request } => self.on_decide(sn, request),
-                PbftAction::NewPrimary { view, primary } => self.on_new_primary(view, primary),
-                PbftAction::PrePrepareSeen { .. } => {}
-                PbftAction::StableCheckpoint { proof } => {
-                    self.stable_proofs.push(proof.clone());
-                    self.actions.push(NodeAction::CheckpointStable { proof });
-                }
-                PbftAction::StartViewChangeTimer { view } => {
-                    if let Some(old) = self.armed_vc_timer.replace(view) {
-                        self.actions.push(NodeAction::CancelTimer {
-                            id: TimerId::ViewChange(old),
-                        });
-                    }
-                    self.actions.push(NodeAction::SetTimer {
+                Effect::SetTimer {
+                    id: ReplicaTimer::ViewChange(view),
+                    duration_ms,
+                } => {
+                    self.effects.push(Effect::SetTimer {
                         id: TimerId::ViewChange(view),
-                        duration_ms: self.config.view_change_timeout_ms,
+                        duration_ms,
                     });
                 }
-                PbftAction::CancelViewChangeTimer => {
-                    if let Some(view) = self.armed_vc_timer.take() {
-                        self.actions.push(NodeAction::CancelTimer {
-                            id: TimerId::ViewChange(view),
-                        });
-                    }
+                Effect::CancelTimer {
+                    id: ReplicaTimer::ViewChange(view),
+                } => {
+                    self.effects.push(Effect::CancelTimer {
+                        id: TimerId::ViewChange(view),
+                    });
                 }
-                PbftAction::NeedStateTransfer { from_sn, to_sn } => {
-                    self.actions
-                        .push(NodeAction::StateTransferNeeded { from_sn, to_sn });
+                Effect::Output(ReplicaEvent::Decide { sn, request }) => {
+                    self.on_decide(sn, request);
+                }
+                Effect::Output(ReplicaEvent::NewPrimary { view, primary }) => {
+                    self.on_new_primary(view, primary);
+                }
+                Effect::Output(ReplicaEvent::PrePrepareSeen { .. }) => {}
+                Effect::Output(ReplicaEvent::StableCheckpoint { proof }) => {
+                    self.stable_proofs.push(proof.clone());
+                    self.effects
+                        .push(Effect::Output(NodeEvent::CheckpointStable { proof }));
+                }
+                Effect::Output(ReplicaEvent::NeedStateTransfer { from_sn, to_sn }) => {
+                    self.effects
+                        .push(Effect::Output(NodeEvent::StateTransferNeeded {
+                            from_sn,
+                            to_sn,
+                        }));
                 }
             }
         }
@@ -301,15 +312,15 @@ impl TrainNode for BaselineNode {
             TimerId::Soft(_) => {
                 // The baseline has no soft timers.
             }
-            TimerId::ViewChange(_) => {
-                self.replica.on_view_change_timeout();
+            TimerId::ViewChange(view) => {
+                self.replica.on_timer(ReplicaTimer::ViewChange(view));
                 self.pump_replica();
             }
         }
     }
 
-    fn drain_actions(&mut self) -> Vec<NodeAction> {
-        std::mem::take(&mut self.actions)
+    fn drain_effects(&mut self) -> Vec<NodeEffect> {
+        std::mem::take(&mut self.effects)
     }
 
     fn chain(&self) -> &ChainStore {
@@ -346,7 +357,9 @@ impl TrainNode for BaselineNode {
 
     fn approx_memory_bytes(&self) -> usize {
         let open_bytes: usize = self.open.values().map(|r| r.payload.len() + 96).sum();
-        self.replica.approx_memory_bytes() + self.store.resident_bytes() + open_bytes
+        self.replica.approx_memory_bytes()
+            + self.store.resident_bytes()
+            + open_bytes
             + self.stable_proofs.len() * 512
     }
 }

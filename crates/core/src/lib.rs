@@ -61,4 +61,6 @@ pub use baseline::BaselineNode;
 pub use config::NodeConfig;
 pub use dedup::DedupLog;
 pub use messages::{LayerMessage, NodeMessage, SignedRequest, TimerId};
-pub use node::{NodeAction, NodeStats, TrainNode, ZugchainNode};
+pub use node::{
+    NodeEffect, NodeEvent, NodeInput, NodeStats, TrainMachine, TrainNode, ZugchainNode,
+};

@@ -179,6 +179,15 @@ impl Decode for NodeMessage {
     }
 }
 
+/// The canonical encoding used by wire transports. Frames built from a
+/// `NodeMessage` are encoded at most once per broadcast (see
+/// `zugchain_machine::Frame`).
+impl zugchain_machine::WireMessage for NodeMessage {
+    fn encode_wire(&self) -> Vec<u8> {
+        zugchain_wire::to_bytes(self)
+    }
+}
+
 /// Timers a node asks its runtime to schedule.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum TimerId {

@@ -2,42 +2,21 @@ use std::collections::{BTreeMap, HashMap, HashSet};
 
 use zugchain_blockchain::{Block, BlockBuilder, ChainStore, LoggedRequest};
 use zugchain_crypto::{Digest, KeyPair, Keystore};
+use zugchain_machine::{Effect, Machine};
 use zugchain_mvb::{Nsdb, Telegram};
 use zugchain_pbft::{
-    Action as PbftAction, CheckpointProof, NodeId, ProposedRequest, Replica,
+    CheckpointProof, NodeId, ProposedRequest, Replica, ReplicaEvent, ReplicaTimer,
 };
 use zugchain_signals::CycleConsolidator;
 
-use crate::{LayerMessage, NodeConfig, NodeMessage, SignedRequest, TimerId};
 use crate::dedup::DedupLog;
+use crate::{LayerMessage, NodeConfig, NodeMessage, SignedRequest, TimerId};
 
-/// An output of a ZugChain node, to be executed by its runtime.
+/// An application event of a ZugChain node (the `Output` of its
+/// [`Machine`] contract): the juridical-recording up-calls a runtime
+/// reacts to, as opposed to the mechanical send/timer effects.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub enum NodeAction {
-    /// Send a message to one peer over the replica network.
-    Send {
-        /// Destination node.
-        to: NodeId,
-        /// The message.
-        message: NodeMessage,
-    },
-    /// Send a message to every other node.
-    Broadcast {
-        /// The message.
-        message: NodeMessage,
-    },
-    /// Arm (or re-arm) a timer.
-    SetTimer {
-        /// Timer identity.
-        id: TimerId,
-        /// Duration until expiry in milliseconds.
-        duration_ms: u64,
-    },
-    /// Disarm a timer (no-op if not armed).
-    CancelTimer {
-        /// Timer identity.
-        id: TimerId,
-    },
+pub enum NodeEvent {
     /// `LOG(req, id, sn)` of Table I: a request entered the totally
     /// ordered log.
     Logged {
@@ -73,6 +52,38 @@ pub enum NodeAction {
         /// Target sequence number.
         to_sn: u64,
     },
+}
+
+/// An effect of a ZugChain node, to be executed by its runtime: the
+/// shared [`Effect`] vocabulary over [`NodeMessage`], [`TimerId`] and
+/// [`NodeEvent`].
+pub type NodeEffect = Effect<NodeId, NodeMessage, TimerId, NodeEvent>;
+
+/// An input to a train node when driven through the [`Machine`] trait —
+/// the union of everything the three runtimes feed a node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NodeInput {
+    /// An already-consolidated request payload (benchmarks, fault
+    /// injectors).
+    RawPayload {
+        /// The consolidated payload.
+        payload: Vec<u8>,
+        /// Bus time of the observation in milliseconds.
+        time_ms: u64,
+    },
+    /// One bus cycle's observed telegrams from one input source.
+    BusCycle {
+        /// Input source (bus link) index.
+        source: usize,
+        /// Bus cycle counter.
+        cycle: u64,
+        /// Bus time in milliseconds.
+        time_ms: u64,
+        /// The telegrams observed in this cycle.
+        telegrams: Vec<Telegram>,
+    },
+    /// A message from a peer node.
+    Message(NodeMessage),
 }
 
 /// Counters for evaluation and debugging.
@@ -138,8 +149,8 @@ pub trait TrainNode {
     /// Fires an armed timer.
     fn on_timer(&mut self, timer: TimerId);
 
-    /// Drains the actions produced since the last call.
-    fn drain_actions(&mut self) -> Vec<NodeAction>;
+    /// Drains the effects produced since the last call.
+    fn drain_effects(&mut self) -> Vec<NodeEffect>;
 
     /// The node's blockchain store.
     fn chain(&self) -> &ChainStore;
@@ -170,6 +181,63 @@ pub trait TrainNode {
     fn progress_snapshot(&self) -> (u64, u64, u64, u64, usize);
 }
 
+/// Boxed nodes are nodes, so a runtime can drive a heterogeneous
+/// [`TrainMachine<Box<dyn TrainNode>>`] (the simulator switches between
+/// ZugChain and the baseline this way).
+impl<N: TrainNode + ?Sized> TrainNode for Box<N> {
+    fn id(&self) -> NodeId {
+        (**self).id()
+    }
+    fn view(&self) -> u64 {
+        (**self).view()
+    }
+    fn is_primary(&self) -> bool {
+        (**self).is_primary()
+    }
+    fn on_raw_bus_payload(&mut self, payload: Vec<u8>, time_ms: u64) {
+        (**self).on_raw_bus_payload(payload, time_ms);
+    }
+    fn on_bus_cycle(&mut self, source: usize, cycle: u64, time_ms: u64, telegrams: &[Telegram]) {
+        (**self).on_bus_cycle(source, cycle, time_ms, telegrams);
+    }
+    fn on_message(&mut self, message: NodeMessage) {
+        (**self).on_message(message);
+    }
+    fn on_timer(&mut self, timer: TimerId) {
+        (**self).on_timer(timer);
+    }
+    fn drain_effects(&mut self) -> Vec<NodeEffect> {
+        (**self).drain_effects()
+    }
+    fn chain(&self) -> &ChainStore {
+        (**self).chain()
+    }
+    fn chain_mut(&mut self) -> &mut ChainStore {
+        (**self).chain_mut()
+    }
+    fn stable_proofs(&self) -> &[CheckpointProof] {
+        (**self).stable_proofs()
+    }
+    fn stats(&self) -> NodeStats {
+        (**self).stats()
+    }
+    fn approx_memory_bytes(&self) -> usize {
+        (**self).approx_memory_bytes()
+    }
+    fn open_requests(&self) -> usize {
+        (**self).open_requests()
+    }
+    fn consensus_stats(&self) -> zugchain_pbft::ReplicaStats {
+        (**self).consensus_stats()
+    }
+    fn slot_snapshot(&self) -> Vec<(u64, bool, usize, usize, bool, bool)> {
+        (**self).slot_snapshot()
+    }
+    fn progress_snapshot(&self) -> (u64, u64, u64, u64, usize) {
+        (**self).progress_snapshot()
+    }
+}
+
 /// A ZugChain node: the communication layer of Algorithm 1 wired to a
 /// PBFT replica and the blockchain application.
 ///
@@ -194,18 +262,20 @@ pub struct ZugchainNode {
     builder: BlockBuilder,
     store: ChainStore,
     stable_proofs: Vec<CheckpointProof>,
-    /// The armed view-change timer's target view, if any.
-    armed_vc_timer: Option<u64>,
     /// Latest bus time observed, stamped into blocks.
     last_time_ms: u64,
-    actions: Vec<NodeAction>,
+    effects: Vec<NodeEffect>,
     stats: NodeStats,
 }
 
 impl ZugchainNode {
     /// Creates a node with a single bus input source.
     pub fn new(id: u64, config: NodeConfig, nsdb: Nsdb, key: KeyPair, keystore: Keystore) -> Self {
-        let replica = Replica::new(NodeId(id), config.pbft.clone(), key.clone(), keystore);
+        let pbft_config = config
+            .pbft
+            .clone()
+            .with_view_change_timeout(config.view_change_timeout_ms);
+        let replica = Replica::new(NodeId(id), pbft_config, key.clone(), keystore);
         Self {
             id: NodeId(id),
             sources: vec![CycleConsolidator::new(nsdb.clone())],
@@ -216,9 +286,8 @@ impl ZugchainNode {
             builder: BlockBuilder::new(config.block_size),
             store: ChainStore::new(),
             stable_proofs: Vec::new(),
-            armed_vc_timer: None,
             last_time_ms: 0,
-            actions: Vec::new(),
+            effects: Vec::new(),
             stats: NodeStats::default(),
             config,
             key,
@@ -246,19 +315,19 @@ impl ZugchainNode {
         store: zugchain_blockchain::ChainStore,
         proofs: Vec<CheckpointProof>,
     ) -> Self {
-        let last = proofs.last().expect("recovery requires a stable checkpoint");
+        let last = proofs
+            .last()
+            .expect("recovery requires a stable checkpoint");
         assert_eq!(
             last.checkpoint.state_digest,
             store.head_hash(),
             "checkpoint proof must cover the reloaded chain head"
         );
-        let replica = Replica::resume(
-            NodeId(id),
-            config.pbft.clone(),
-            key.clone(),
-            keystore,
-            last.clone(),
-        );
+        let pbft_config = config
+            .pbft
+            .clone()
+            .with_view_change_timeout(config.view_change_timeout_ms);
+        let replica = Replica::resume(NodeId(id), pbft_config, key.clone(), keystore, last.clone());
         let mut dedup = DedupLog::new(config.dedup_window_checkpoints);
         for block in store.blocks() {
             for request in &block.requests {
@@ -277,9 +346,8 @@ impl ZugchainNode {
             builder,
             store,
             stable_proofs: proofs,
-            armed_vc_timer: None,
             last_time_ms: 0,
-            actions: Vec::new(),
+            effects: Vec::new(),
             stats: NodeStats::default(),
             config,
             key,
@@ -323,8 +391,7 @@ impl ZugchainNode {
             self.stats.duplicates_filtered += 1;
             return;
         }
-        let request =
-            ProposedRequest::application(payload, self.id).with_time(self.last_time_ms);
+        let request = ProposedRequest::application(payload, self.id).with_time(self.last_time_ms);
         self.pending.insert(
             digest,
             Pending {
@@ -339,7 +406,7 @@ impl ZugchainNode {
             self.pump_replica();
         } else {
             // ln. 11: backups arm the soft timeout.
-            self.actions.push(NodeAction::SetTimer {
+            self.effects.push(Effect::SetTimer {
                 id: TimerId::Soft(digest),
                 duration_ms: self.config.soft_timeout_ms,
             });
@@ -359,10 +426,10 @@ impl ZugchainNode {
             if let Some(open) = self.open_by_origin.get_mut(&origin) {
                 open.remove(&digest);
             }
-            self.actions.push(NodeAction::CancelTimer {
+            self.effects.push(Effect::CancelTimer {
                 id: TimerId::Soft(digest),
             });
-            self.actions.push(NodeAction::CancelTimer {
+            self.effects.push(Effect::CancelTimer {
                 id: TimerId::Hard(digest),
             });
         }
@@ -380,11 +447,11 @@ impl ZugchainNode {
         // ln. 20: append to the log with the origin's id.
         self.dedup.record(digest, sn);
         self.stats.logged += 1;
-        self.actions.push(NodeAction::Logged {
+        self.effects.push(Effect::Output(NodeEvent::Logged {
             sn,
             origin: request.origin,
             payload: request.payload.clone(),
-        });
+        }));
         let logged = LoggedRequest {
             sn,
             origin: request.origin.0,
@@ -399,7 +466,8 @@ impl ZugchainNode {
                 .append(block.clone())
                 .expect("builder output always extends the local chain");
             self.stats.blocks_created += 1;
-            self.actions.push(NodeAction::BlockCreated { block });
+            self.effects
+                .push(Effect::Output(NodeEvent::BlockCreated { block }));
             // One checkpoint per block (§III-C): the checkpoint digest is
             // the block hash, backing the block with replica signatures.
             self.replica.record_checkpoint(last_sn, block_hash);
@@ -414,22 +482,20 @@ impl ZugchainNode {
     /// re-preprepared must not be proposed (or timed) again — ordering
     /// them twice would make honest nodes suspect the new primary.
     fn on_new_primary(&mut self, view: u64, primary: NodeId) {
-        self.actions.push(NodeAction::NewPrimary { view, primary });
-        let pending: Vec<(Digest, Pending)> = self
-            .pending
-            .iter()
-            .map(|(d, p)| (*d, p.clone()))
-            .collect();
+        self.effects
+            .push(Effect::Output(NodeEvent::NewPrimary { view, primary }));
+        let pending: Vec<(Digest, Pending)> =
+            self.pending.iter().map(|(d, p)| (*d, p.clone())).collect();
         if primary == self.id {
             // ln. 39–41: the new primary proposes all open requests. Its
             // own timers from when it was a backup are void — it cannot
             // censor itself, and a stale hard timer must not push the
             // fresh primary into suspecting itself.
             for (digest, entry) in pending {
-                self.actions.push(NodeAction::CancelTimer {
+                self.effects.push(Effect::CancelTimer {
                     id: TimerId::Soft(digest),
                 });
-                self.actions.push(NodeAction::CancelTimer {
+                self.effects.push(Effect::CancelTimer {
                     id: TimerId::Hard(digest),
                 });
                 if !self.dedup.contains(&digest) && !self.replica.has_in_flight_payload(&digest) {
@@ -447,10 +513,10 @@ impl ZugchainNode {
                     // Its re-preprepare is already running: disarm any
                     // timer left over from the old view so the about-to-
                     // arrive decide is not mistaken for censorship.
-                    self.actions.push(NodeAction::CancelTimer {
+                    self.effects.push(Effect::CancelTimer {
                         id: TimerId::Soft(digest),
                     });
-                    self.actions.push(NodeAction::CancelTimer {
+                    self.effects.push(Effect::CancelTimer {
                         id: TimerId::Hard(digest),
                     });
                     continue;
@@ -458,10 +524,10 @@ impl ZugchainNode {
                 // A fresh primary gets a fresh accusation window: void
                 // timers armed against the deposed primary before
                 // re-arming (ln. 43 "restart their SOFT_TIMEOUTs").
-                self.actions.push(NodeAction::CancelTimer {
+                self.effects.push(Effect::CancelTimer {
                     id: TimerId::Soft(digest),
                 });
-                self.actions.push(NodeAction::CancelTimer {
+                self.effects.push(Effect::CancelTimer {
                     id: TimerId::Hard(digest),
                 });
                 let (id, duration_ms) = if entry.mine {
@@ -469,7 +535,7 @@ impl ZugchainNode {
                 } else {
                     (TimerId::Hard(digest), self.config.hard_timeout_ms)
                 };
-                self.actions.push(NodeAction::SetTimer { id, duration_ms });
+                self.effects.push(Effect::SetTimer { id, duration_ms });
             }
         }
     }
@@ -528,12 +594,12 @@ impl ZugchainNode {
                     // ln. 31–32: arm the hard timeout and make sure the
                     // primary receives the request even if the (possibly
                     // faulty) broadcaster omitted it.
-                    self.actions.push(NodeAction::SetTimer {
+                    self.effects.push(Effect::SetTimer {
                         id: TimerId::Hard(digest),
                         duration_ms: self.config.hard_timeout_ms,
                     });
                     let primary = self.replica.primary();
-                    self.actions.push(NodeAction::Send {
+                    self.effects.push(Effect::Send {
                         to: primary,
                         message: NodeMessage::Layer(LayerMessage::ForwardRequest(signed)),
                     });
@@ -558,55 +624,63 @@ impl ZugchainNode {
         self.replica.keystore()
     }
 
-    /// Translates buffered PBFT actions into node actions.
+    /// Translates buffered PBFT effects into node effects. The replica
+    /// owns its view-change timer; this layer only relabels the timer id
+    /// into the node's [`TimerId`] vocabulary.
     fn pump_replica(&mut self) {
-        let actions = self.replica.drain_actions();
-        for action in actions {
-            match action {
-                PbftAction::Broadcast { message } => self.actions.push(NodeAction::Broadcast {
+        let effects = self.replica.drain_effects();
+        for effect in effects {
+            match effect {
+                Effect::Broadcast { message } => self.effects.push(Effect::Broadcast {
                     message: NodeMessage::Consensus(message),
                 }),
-                PbftAction::Send { to, message } => self.actions.push(NodeAction::Send {
+                Effect::Send { to, message } => self.effects.push(Effect::Send {
                     to,
                     message: NodeMessage::Consensus(message),
                 }),
-                PbftAction::Decide { sn, request } => self.on_decide(sn, request),
-                PbftAction::NewPrimary { view, primary } => self.on_new_primary(view, primary),
-                PbftAction::PrePrepareSeen { payload_digest, .. } => {
+                Effect::SetTimer {
+                    id: ReplicaTimer::ViewChange(view),
+                    duration_ms,
+                } => {
+                    self.effects.push(Effect::SetTimer {
+                        id: TimerId::ViewChange(view),
+                        duration_ms,
+                    });
+                }
+                Effect::CancelTimer {
+                    id: ReplicaTimer::ViewChange(view),
+                } => {
+                    self.effects.push(Effect::CancelTimer {
+                        id: TimerId::ViewChange(view),
+                    });
+                }
+                Effect::Output(ReplicaEvent::Decide { sn, request }) => {
+                    self.on_decide(sn, request);
+                }
+                Effect::Output(ReplicaEvent::NewPrimary { view, primary }) => {
+                    self.on_new_primary(view, primary);
+                }
+                Effect::Output(ReplicaEvent::PrePrepareSeen { payload_digest, .. }) => {
                     // §III-C optimization: the preprepare is a reliable
                     // enough signal to cancel the soft timeout early.
                     if self.pending.contains_key(&payload_digest) {
-                        self.actions.push(NodeAction::CancelTimer {
+                        self.effects.push(Effect::CancelTimer {
                             id: TimerId::Soft(payload_digest),
                         });
                     }
                 }
-                PbftAction::StableCheckpoint { proof } => {
+                Effect::Output(ReplicaEvent::StableCheckpoint { proof }) => {
                     self.dedup.on_checkpoint();
                     self.stable_proofs.push(proof.clone());
-                    self.actions.push(NodeAction::CheckpointStable { proof });
+                    self.effects
+                        .push(Effect::Output(NodeEvent::CheckpointStable { proof }));
                 }
-                PbftAction::StartViewChangeTimer { view } => {
-                    if let Some(old) = self.armed_vc_timer.replace(view) {
-                        self.actions.push(NodeAction::CancelTimer {
-                            id: TimerId::ViewChange(old),
-                        });
-                    }
-                    self.actions.push(NodeAction::SetTimer {
-                        id: TimerId::ViewChange(view),
-                        duration_ms: self.config.view_change_timeout_ms,
-                    });
-                }
-                PbftAction::CancelViewChangeTimer => {
-                    if let Some(view) = self.armed_vc_timer.take() {
-                        self.actions.push(NodeAction::CancelTimer {
-                            id: TimerId::ViewChange(view),
-                        });
-                    }
-                }
-                PbftAction::NeedStateTransfer { from_sn, to_sn } => {
-                    self.actions
-                        .push(NodeAction::StateTransferNeeded { from_sn, to_sn });
+                Effect::Output(ReplicaEvent::NeedStateTransfer { from_sn, to_sn }) => {
+                    self.effects
+                        .push(Effect::Output(NodeEvent::StateTransferNeeded {
+                            from_sn,
+                            to_sn,
+                        }));
                 }
             }
         }
@@ -674,11 +748,11 @@ impl TrainNode for ZugchainNode {
                 }
                 self.stats.soft_timeouts += 1;
                 let signed = SignedRequest::sign(pending.request.clone(), &self.key);
-                self.actions.push(NodeAction::SetTimer {
+                self.effects.push(Effect::SetTimer {
                     id: TimerId::Hard(digest),
                     duration_ms: self.config.hard_timeout_ms,
                 });
-                self.actions.push(NodeAction::Broadcast {
+                self.effects.push(Effect::Broadcast {
                     message: NodeMessage::Layer(LayerMessage::BroadcastRequest(signed)),
                 });
             }
@@ -703,15 +777,15 @@ impl TrainNode for ZugchainNode {
                     self.pump_replica();
                 }
             }
-            TimerId::ViewChange(_) => {
-                self.replica.on_view_change_timeout();
+            TimerId::ViewChange(view) => {
+                self.replica.on_timer(ReplicaTimer::ViewChange(view));
                 self.pump_replica();
             }
         }
     }
 
-    fn drain_actions(&mut self) -> Vec<NodeAction> {
-        std::mem::take(&mut self.actions)
+    fn drain_effects(&mut self) -> Vec<NodeEffect> {
+        std::mem::take(&mut self.effects)
     }
 
     fn chain(&self) -> &ChainStore {
@@ -760,7 +834,49 @@ impl TrainNode for ZugchainNode {
     }
 }
 
-#[cfg(test)]
-pub(crate) mod testutil;
+/// Adapter implementing the shared [`Machine`] contract for any
+/// [`TrainNode`] — the glue that lets one generic driver run
+/// [`ZugchainNode`] and [`BaselineNode`](crate::BaselineNode) under the
+/// simulator, the threaded runtime, and the TCP runtime alike.
+///
+/// (A blanket `impl Machine for N: TrainNode` would be a foreign-trait
+/// blanket impl, which coherence forbids; the newtype keeps both traits
+/// usable.)
+#[derive(Debug)]
+pub struct TrainMachine<N>(pub N);
+
+impl<N: TrainNode> Machine for TrainMachine<N> {
+    type Addr = NodeId;
+    type Message = NodeMessage;
+    type Timer = TimerId;
+    type Output = NodeEvent;
+    type Input = NodeInput;
+
+    fn on_input(&mut self, input: NodeInput) -> Vec<NodeEffect> {
+        match input {
+            NodeInput::RawPayload { payload, time_ms } => {
+                self.0.on_raw_bus_payload(payload, time_ms);
+            }
+            NodeInput::BusCycle {
+                source,
+                cycle,
+                time_ms,
+                telegrams,
+            } => {
+                self.0.on_bus_cycle(source, cycle, time_ms, &telegrams);
+            }
+            NodeInput::Message(message) => self.0.on_message(message),
+        }
+        self.0.drain_effects()
+    }
+
+    fn on_timer(&mut self, timer: TimerId) -> Vec<NodeEffect> {
+        self.0.on_timer(timer);
+        self.0.drain_effects()
+    }
+}
+
 #[cfg(test)]
 mod tests;
+#[cfg(test)]
+pub(crate) mod testutil;

@@ -1,7 +1,5 @@
 use zugchain_crypto::Digest;
-use zugchain_pbft::{
-    Commit, Message, NodeId, PrePrepare, Prepare, ProposedRequest, SignedMessage,
-};
+use zugchain_pbft::{Commit, Message, NodeId, PrePrepare, Prepare, ProposedRequest, SignedMessage};
 
 use crate::node::testutil::Cluster;
 use crate::node::TrainNode;
@@ -166,8 +164,7 @@ fn flooding_node_is_rate_limited() {
     let limit = crate::NodeConfig::default_for_testing().open_request_limit;
     // Node 3 floods node 1 with distinct fabricated requests.
     for tag in 0..(limit as u32 + 10) {
-        let request =
-            ProposedRequest::application(tag.to_le_bytes().to_vec(), NodeId(3));
+        let request = ProposedRequest::application(tag.to_le_bytes().to_vec(), NodeId(3));
         let signed = SignedRequest::sign(request, &cluster.pairs[3]);
         cluster
             .node_mut(1)
@@ -187,7 +184,7 @@ fn broadcast_to_backup_arms_hard_timer_and_forwards_to_primary() {
     cluster
         .node_mut(1)
         .on_message(NodeMessage::Layer(LayerMessage::BroadcastRequest(signed)));
-    cluster.collect_actions();
+    cluster.collect_effects();
     assert_eq!(cluster.armed_timers(1), 1, "hard timer armed");
     cluster.run_until_quiet();
     // Forwarding reached the primary, which proposed; all log it.
@@ -269,14 +266,14 @@ fn ordered_duplicate_from_faulty_primary_triggers_suspicion() {
     for message in order_at(1).into_iter().chain(order_at(2)) {
         node.on_message(NodeMessage::Consensus(message));
     }
-    let actions = node.drain_actions();
+    let effects = node.drain_effects();
 
     assert_eq!(node.stats().logged, 1, "payload logged exactly once");
     assert_eq!(node.stats().primary_duplicates_detected, 1);
     // The node must have initiated a view change (Alg. 1 ln. 17–18).
-    assert!(actions.iter().any(|action| matches!(
-        action,
-        crate::NodeAction::Broadcast {
+    assert!(effects.iter().any(|effect| matches!(
+        effect,
+        zugchain_machine::Effect::Broadcast {
             message: NodeMessage::Consensus(m)
         } if matches!(m.message, Message::ViewChange(_))
     )));

@@ -9,10 +9,11 @@
 use std::collections::{BTreeMap, VecDeque};
 
 use zugchain_crypto::{KeyPair, Keystore};
+use zugchain_machine::Effect;
 use zugchain_mvb::Nsdb;
 use zugchain_pbft::NodeId;
 
-use crate::node::{NodeAction, TrainNode, ZugchainNode};
+use crate::node::{NodeEvent, TrainNode, ZugchainNode};
 use crate::{BaselineNode, NodeConfig, NodeMessage, TimerId};
 
 /// One logged entry observed on a node.
@@ -144,7 +145,10 @@ impl Cluster {
 
     /// Number of timers currently armed for a node.
     pub fn armed_timers(&self, index: usize) -> usize {
-        self.timers.keys().filter(|(_, node, _)| *node == index).count()
+        self.timers
+            .keys()
+            .filter(|(_, node, _)| *node == index)
+            .count()
     }
 
     /// Feeds the same raw payload to every node, as if all read it from
@@ -164,12 +168,12 @@ impl Cluster {
         }
     }
 
-    /// Collects a node's actions into the queue / records.
+    /// Collects a node's effects into the queue / records.
     fn pump(&mut self, index: usize) {
-        let actions = self.nodes[index].drain_actions();
-        for action in actions {
-            match action {
-                NodeAction::Broadcast { message } => {
+        let effects = self.nodes[index].drain_effects();
+        for effect in effects {
+            match effect {
+                Effect::Broadcast { message } => {
                     if self.silenced[index] {
                         continue;
                     }
@@ -179,40 +183,49 @@ impl Cluster {
                         }
                     }
                 }
-                NodeAction::Send { to, message } => {
+                Effect::Send { to, message } => {
                     let dest = to.0 as usize;
                     if !self.silenced[index] && dest != index && !self.silenced[dest] {
                         self.queue.push_back((dest, message));
                     }
                 }
-                NodeAction::SetTimer { id, duration_ms } => {
+                Effect::SetTimer { id, duration_ms } => {
                     // Re-arming replaces the previous deadline.
-                    self.timers.retain(|(_, node, timer), ()| {
-                        !(*node == index && *timer == id)
+                    self.timers
+                        .retain(|(_, node, timer), ()| !(*node == index && *timer == id));
+                    self.timers
+                        .insert((self.now_ms + duration_ms, index, id), ());
+                }
+                Effect::CancelTimer { id } => {
+                    self.timers
+                        .retain(|(_, node, timer), ()| !(*node == index && *timer == id));
+                }
+                Effect::Output(NodeEvent::Logged {
+                    sn,
+                    origin,
+                    payload,
+                }) => {
+                    self.logged[index].push(LoggedEntry {
+                        sn,
+                        origin,
+                        payload,
                     });
-                    self.timers.insert((self.now_ms + duration_ms, index, id), ());
                 }
-                NodeAction::CancelTimer { id } => {
-                    self.timers.retain(|(_, node, timer), ()| {
-                        !(*node == index && *timer == id)
-                    });
-                }
-                NodeAction::Logged { sn, origin, payload } => {
-                    self.logged[index].push(LoggedEntry { sn, origin, payload });
-                }
-                NodeAction::NewPrimary { view, primary } => {
+                Effect::Output(NodeEvent::NewPrimary { view, primary }) => {
                     self.new_primaries.push((index, view, primary));
                 }
-                NodeAction::BlockCreated { .. }
-                | NodeAction::CheckpointStable { .. }
-                | NodeAction::StateTransferNeeded { .. } => {}
+                Effect::Output(
+                    NodeEvent::BlockCreated { .. }
+                    | NodeEvent::CheckpointStable { .. }
+                    | NodeEvent::StateTransferNeeded { .. },
+                ) => {}
             }
         }
     }
 
-    /// Pumps every node's pending actions (arming timers, queueing
+    /// Pumps every node's pending effects (arming timers, queueing
     /// messages) without delivering any queued message.
-    pub fn collect_actions(&mut self) {
+    pub fn collect_effects(&mut self) {
         for index in 0..self.nodes.len() {
             self.pump(index);
         }
@@ -236,10 +249,7 @@ impl Cluster {
         // Flush buffered actions first so freshly-armed timers are seen.
         self.run_until_quiet();
         let deadline = self.now_ms + ms;
-        loop {
-            let Some((&(when, index, id), ())) = self.timers.iter().next() else {
-                break;
-            };
+        while let Some((&(when, index, id), ())) = self.timers.iter().next() {
             if when > deadline {
                 break;
             }

@@ -30,7 +30,11 @@ impl Keystore {
     /// Builds a keystore assigning ids `0..n` to the given keys in order.
     pub fn new(keys: impl IntoIterator<Item = PublicKey>) -> Self {
         Self {
-            keys: keys.into_iter().enumerate().map(|(i, k)| (i as u64, k)).collect(),
+            keys: keys
+                .into_iter()
+                .enumerate()
+                .map(|(i, k)| (i as u64, k))
+                .collect(),
         }
     }
 
@@ -46,7 +50,9 @@ impl Keystore {
     /// Convenience for tests and simulations: node `i` gets
     /// `KeyPair::from_seed(seed_base + i)`.
     pub fn generate(n: usize, seed_base: u64) -> (Vec<KeyPair>, Keystore) {
-        let pairs: Vec<KeyPair> = (0..n as u64).map(|i| KeyPair::from_seed(seed_base + i)).collect();
+        let pairs: Vec<KeyPair> = (0..n as u64)
+            .map(|i| KeyPair::from_seed(seed_base + i))
+            .collect();
         let store = Keystore::new(pairs.iter().map(KeyPair::public_key));
         (pairs, store)
     }
@@ -76,7 +82,12 @@ impl Keystore {
     /// # Errors
     ///
     /// [`SignatureError`] if `id` is unknown or the signature is invalid.
-    pub fn verify(&self, id: u64, message: &[u8], signature: &Signature) -> Result<(), SignatureError> {
+    pub fn verify(
+        &self,
+        id: u64,
+        message: &[u8],
+        signature: &Signature,
+    ) -> Result<(), SignatureError> {
         let key = self.keys.get(&id).ok_or(SignatureError)?;
         key.verify(message, signature)
     }

@@ -2,11 +2,10 @@ use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 use zugchain_blockchain::{verify_chain, Block};
 use zugchain_crypto::{Digest, KeyPair, Keystore};
+use zugchain_machine::{Effect, Machine, NoTimer};
 use zugchain_pbft::NodeId;
 
-use crate::{
-    CheckpointReply, DcId, DeleteCmd, ExportMessage, SignedAck, SignedDelete,
-};
+use crate::{CheckpointReply, DcId, DeleteCmd, ExportMessage, SignedAck, SignedDelete};
 
 /// Configuration of a data center.
 #[derive(Debug, Clone)]
@@ -33,30 +32,42 @@ pub struct ExportOutcome {
     pub delete_issued: bool,
 }
 
-/// An action the data-center runtime must execute.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum DcAction {
-    /// Send a message to one replica on the train.
-    ToReplica {
-        /// Destination replica.
-        to: NodeId,
+/// Address space of the export protocol: replicas on the train and peer
+/// data centers share one [`Effect::Send`] vocabulary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum DcAddr {
+    /// A replica on the train.
+    Replica(NodeId),
+    /// A peer data center.
+    DataCenter(DcId),
+}
+
+/// Effects a data center emits. `Broadcast` addresses every replica on
+/// the train (data centers are reached point-to-point via
+/// [`DcAddr::DataCenter`]); the export protocol has no timers.
+pub type DcEffect = Effect<DcAddr, ExportMessage, NoTimer, ExportOutcome>;
+
+/// Inputs driving a [`DataCenter`] when used through the
+/// [`Machine`] interface.
+#[derive(Debug, Clone)]
+pub enum DcInput {
+    /// Step ①: start an export round, fetching blocks from `blocks_from`.
+    BeginExport {
+        /// Replica asked for the full blocks.
+        blocks_from: NodeId,
+    },
+    /// A message arriving from a replica on the train.
+    FromReplica {
+        /// Sending replica.
+        from: NodeId,
         /// The message.
         message: ExportMessage,
     },
-    /// Send a message to every replica.
-    BroadcastToReplicas {
-        /// The message.
+    /// A synchronization message from a peer data center.
+    FromDataCenter {
+        /// The message (only [`ExportMessage::DcSync`] is meaningful).
         message: ExportMessage,
     },
-    /// Send a message to a peer data center.
-    ToDataCenter {
-        /// Destination data center.
-        to: DcId,
-        /// The message.
-        message: ExportMessage,
-    },
-    /// The export round finished.
-    Completed(ExportOutcome),
 }
 
 /// State of an in-progress export round.
@@ -152,13 +163,13 @@ impl DataCenter {
     /// timed out on a non-responsive replica and retries with another —
     /// paper §V-B: a faulty node denying to respond only delays the
     /// export "until another node is queried").
-    pub fn begin_export(&mut self, blocks_from: NodeId) -> Vec<DcAction> {
+    pub fn begin_export(&mut self, blocks_from: NodeId) -> Vec<DcEffect> {
         self.round = Some(Round {
             replies: BTreeMap::new(),
             staged_blocks: Vec::new(),
             range_requested: false,
         });
-        vec![DcAction::BroadcastToReplicas {
+        vec![Effect::Broadcast {
             message: ExportMessage::Read {
                 last_height: self.last_height,
                 blocks_from,
@@ -167,7 +178,7 @@ impl DataCenter {
     }
 
     /// Handles a message from a replica (steps ②, ④, ⑦).
-    pub fn on_replica_message(&mut self, from: NodeId, message: ExportMessage) -> Vec<DcAction> {
+    pub fn on_replica_message(&mut self, from: NodeId, message: ExportMessage) -> Vec<DcEffect> {
         match message {
             ExportMessage::Checkpoint(reply) => {
                 if let Some(round) = &mut self.round {
@@ -196,7 +207,7 @@ impl DataCenter {
     /// Handles a synchronization message from a peer data center
     /// (step ③ / scenario (iv): a delayed data center catches up from its
     /// peers rather than from the train).
-    pub fn on_dc_sync(&mut self, message: ExportMessage) -> Vec<DcAction> {
+    pub fn on_dc_sync(&mut self, message: ExportMessage) -> Vec<DcEffect> {
         let ExportMessage::DcSync { proof, blocks } = message else {
             return Vec::new();
         };
@@ -229,7 +240,7 @@ impl DataCenter {
             hash: self.last_hash,
         };
         let delete = SignedDelete::sign(cmd, self.config.id, &self.key);
-        vec![DcAction::BroadcastToReplicas {
+        vec![Effect::Broadcast {
             message: ExportMessage::Delete(delete),
         }]
     }
@@ -253,7 +264,7 @@ impl DataCenter {
     }
 
     /// Steps ③–⑤ once enough replies are in.
-    fn try_finalize(&mut self) -> Vec<DcAction> {
+    fn try_finalize(&mut self) -> Vec<DcEffect> {
         let Some(round) = &self.round else {
             return Vec::new();
         };
@@ -284,7 +295,7 @@ impl DataCenter {
             // No verifiable checkpoint yet (system just started): round
             // completes empty once quorum answered.
             self.round = None;
-            return vec![DcAction::Completed(ExportOutcome {
+            return vec![Effect::Output(ExportOutcome {
                 exported_blocks: 0,
                 new_height: self.last_height,
                 delete_issued: false,
@@ -294,7 +305,7 @@ impl DataCenter {
         if best.block_height <= self.last_height {
             // Nothing new since the last export.
             self.round = None;
-            return vec![DcAction::Completed(ExportOutcome {
+            return vec![Effect::Output(ExportOutcome {
                 exported_blocks: 0,
                 new_height: self.last_height,
                 delete_issued: false,
@@ -314,8 +325,7 @@ impl DataCenter {
                 }
             })
             .count();
-        let covers = have_up_to > 0
-            && staged[have_up_to - 1].height() >= best.block_height;
+        let covers = have_up_to > 0 && staged[have_up_to - 1].height() >= best.block_height;
 
         if !covers {
             // Step ④ second round: fetch what is missing from the replica
@@ -338,8 +348,8 @@ impl DataCenter {
             if let Some(round) = &mut self.round {
                 round.range_requested = true;
             }
-            return vec![DcAction::ToReplica {
-                to: target,
+            return vec![Effect::Send {
+                to: DcAddr::Replica(target),
                 message: ExportMessage::BlockRange {
                     from_height,
                     to_height,
@@ -360,7 +370,7 @@ impl DataCenter {
             // Corrupt blocks from a faulty replica: retry the round with a
             // different block source next time.
             self.round = None;
-            return vec![DcAction::Completed(ExportOutcome {
+            return vec![Effect::Output(ExportOutcome {
                 exported_blocks: 0,
                 new_height: self.last_height,
                 delete_issued: false,
@@ -375,8 +385,8 @@ impl DataCenter {
         let mut actions = Vec::new();
         // Step ③: synchronize with the other companies' data centers.
         for peer in self.config.peers.clone() {
-            actions.push(DcAction::ToDataCenter {
-                to: peer,
+            actions.push(Effect::Send {
+                to: DcAddr::DataCenter(peer),
                 message: ExportMessage::DcSync {
                     proof: proof.clone(),
                     blocks: self.archive[self.archive.len() - exported..].to_vec(),
@@ -389,15 +399,39 @@ impl DataCenter {
             hash: self.last_hash,
         };
         let delete = SignedDelete::sign(cmd, self.config.id, &self.key);
-        actions.push(DcAction::BroadcastToReplicas {
+        actions.push(Effect::Broadcast {
             message: ExportMessage::Delete(delete),
         });
-        actions.push(DcAction::Completed(ExportOutcome {
+        actions.push(Effect::Output(ExportOutcome {
             exported_blocks: exported,
             new_height: self.last_height,
             delete_issued: true,
         }));
         actions
+    }
+}
+
+/// A [`DataCenter`] is a sans-io [`Machine`]: the round-trip protocol of
+/// Fig. 4 expressed as inputs in, effects out. The export protocol is
+/// purely request-driven, so the timer vocabulary is the uninhabited
+/// [`NoTimer`].
+impl Machine for DataCenter {
+    type Addr = DcAddr;
+    type Message = ExportMessage;
+    type Timer = NoTimer;
+    type Output = ExportOutcome;
+    type Input = DcInput;
+
+    fn on_input(&mut self, input: DcInput) -> Vec<DcEffect> {
+        match input {
+            DcInput::BeginExport { blocks_from } => self.begin_export(blocks_from),
+            DcInput::FromReplica { from, message } => self.on_replica_message(from, message),
+            DcInput::FromDataCenter { message } => self.on_dc_sync(message),
+        }
+    }
+
+    fn on_timer(&mut self, timer: NoTimer) -> Vec<DcEffect> {
+        match timer {}
     }
 }
 
@@ -431,8 +465,7 @@ mod tests {
             sn: block.header.last_sn,
             state_digest: block.hash(),
         };
-        let message =
-            zugchain_wire::to_bytes(&zugchain_pbft::Message::Checkpoint(checkpoint));
+        let message = zugchain_wire::to_bytes(&zugchain_pbft::Message::Checkpoint(checkpoint));
         CheckpointProof {
             checkpoint,
             signatures: (0..3)
@@ -472,7 +505,7 @@ mod tests {
         let actions = dc.begin_export(NodeId(0));
         assert!(matches!(
             actions[0],
-            DcAction::BroadcastToReplicas {
+            Effect::Broadcast {
                 message: ExportMessage::Read { last_height: 0, .. }
             }
         ));
@@ -494,10 +527,13 @@ mod tests {
         // Sync to the peer + delete broadcast + completion.
         assert!(actions.iter().any(|a| matches!(
             a,
-            DcAction::ToDataCenter { to: DcId(1), message: ExportMessage::DcSync { .. } }
+            Effect::Send {
+                to: DcAddr::DataCenter(DcId(1)),
+                message: ExportMessage::DcSync { .. }
+            }
         )));
         let delete = actions.iter().find_map(|a| match a {
-            DcAction::BroadcastToReplicas {
+            Effect::Broadcast {
                 message: ExportMessage::Delete(d),
             } => Some(d.clone()),
             _ => None,
@@ -507,7 +543,7 @@ mod tests {
         assert_eq!(delete.cmd.hash, blocks[3].hash());
         assert!(actions.iter().any(|a| matches!(
             a,
-            DcAction::Completed(ExportOutcome {
+            Effect::Output(ExportOutcome {
                 exported_blocks: 4,
                 new_height: 4,
                 delete_issued: true
@@ -576,12 +612,13 @@ mod tests {
         dc.on_replica_message(NodeId(1), checkpoint_reply(&blocks[3], &pairs));
         let actions = dc.on_replica_message(NodeId(2), checkpoint_reply(&blocks[3], &pairs));
         let range = actions.iter().find_map(|a| match a {
-            DcAction::ToReplica {
-                to,
-                message: ExportMessage::BlockRange {
-                    from_height,
-                    to_height,
-                },
+            Effect::Send {
+                to: DcAddr::Replica(to),
+                message:
+                    ExportMessage::BlockRange {
+                        from_height,
+                        to_height,
+                    },
             } => Some((*to, *from_height, *to_height)),
             _ => None,
         });
@@ -599,7 +636,7 @@ mod tests {
         assert_eq!(dc.archive_height(), 4);
         assert!(actions
             .iter()
-            .any(|a| matches!(a, DcAction::Completed(o) if o.exported_blocks == 4)));
+            .any(|a| matches!(a, Effect::Output(o) if o.exported_blocks == 4)));
     }
 
     #[test]
@@ -615,7 +652,7 @@ mod tests {
         assert_eq!(dc.archive_height(), 0, "corrupt segment rejected");
         assert!(actions
             .iter()
-            .any(|a| matches!(a, DcAction::Completed(o) if o.exported_blocks == 0)));
+            .any(|a| matches!(a, Effect::Output(o) if o.exported_blocks == 0)));
     }
 
     #[test]
@@ -665,7 +702,11 @@ mod tests {
         for id in 0..3u64 {
             dc.on_replica_message(
                 NodeId(id),
-                ExportMessage::Ack(SignedAck::sign(cmd, NodeId(id), &replica_pairs[id as usize])),
+                ExportMessage::Ack(SignedAck::sign(
+                    cmd,
+                    NodeId(id),
+                    &replica_pairs[id as usize],
+                )),
             );
         }
         // A duplicate does not double count.
@@ -705,7 +746,7 @@ mod tests {
         assert_eq!(dc.archive_height(), 4);
         assert!(actions
             .iter()
-            .any(|a| matches!(a, DcAction::Completed(o) if o.exported_blocks == 4)));
+            .any(|a| matches!(a, Effect::Output(o) if o.exported_blocks == 4)));
     }
 
     #[test]
@@ -743,7 +784,7 @@ mod tests {
         let actions = dc.on_replica_message(NodeId(2), empty);
         assert!(actions.iter().any(|a| matches!(
             a,
-            DcAction::Completed(ExportOutcome {
+            Effect::Output(ExportOutcome {
                 exported_blocks: 0,
                 delete_issued: false,
                 ..

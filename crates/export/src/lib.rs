@@ -31,8 +31,9 @@
 //! lagging replica.
 //!
 //! Everything here is sans-io, like the rest of ZugChain: handlers take
-//! messages and return actions/replies; the simulator and the threaded
-//! runtime provide transport.
+//! messages and return effects/replies (the [`DataCenter`] implements
+//! `zugchain_machine::Machine`); the simulator and the threaded runtime
+//! provide transport.
 
 #![warn(missing_docs)]
 
@@ -41,7 +42,7 @@ mod messages;
 mod replica;
 mod transfer;
 
-pub use datacenter::{DataCenter, DcAction, DcConfig, ExportOutcome};
+pub use datacenter::{DataCenter, DcAddr, DcConfig, DcEffect, DcInput, ExportOutcome};
 pub use messages::{
     CheckpointReply, DcId, DeleteCmd, DeleteStatus, ExportMessage, SignedAck, SignedDelete,
 };

@@ -81,7 +81,11 @@ impl SignedDelete {
     /// Verifies against the data-center keystore.
     pub fn verify(&self, dc_keystore: &Keystore) -> bool {
         dc_keystore
-            .verify(self.dc.0, &zugchain_wire::to_bytes(&self.cmd), &self.signature)
+            .verify(
+                self.dc.0,
+                &zugchain_wire::to_bytes(&self.cmd),
+                &self.signature,
+            )
             .is_ok()
     }
 }
@@ -130,7 +134,11 @@ impl SignedAck {
     /// Verifies against the replica keystore.
     pub fn verify(&self, keystore: &Keystore) -> bool {
         keystore
-            .verify(self.node.0, &zugchain_wire::to_bytes(&self.cmd), &self.signature)
+            .verify(
+                self.node.0,
+                &zugchain_wire::to_bytes(&self.cmd),
+                &self.signature,
+            )
             .is_ok()
     }
 }

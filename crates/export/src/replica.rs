@@ -1,8 +1,8 @@
 use std::collections::{BTreeMap, HashMap};
 
 use zugchain_blockchain::{ChainStore, PrunedBase};
-use zugchain_crypto::{Digest, KeyPair};
 use zugchain_crypto::Keystore;
+use zugchain_crypto::{Digest, KeyPair};
 use zugchain_pbft::{CheckpointProof, NodeId};
 use zugchain_wire::{encode_seq, Writer};
 
@@ -70,7 +70,12 @@ impl ExportReplica {
     ///
     /// `dc_keystore` holds the data centers' public keys (step ⑤
     /// verification); `key` signs acknowledgements (step ⑦).
-    pub fn new(id: NodeId, key: KeyPair, dc_keystore: Keystore, config: ReplicaExportConfig) -> Self {
+    pub fn new(
+        id: NodeId,
+        key: KeyPair,
+        dc_keystore: Keystore,
+        config: ReplicaExportConfig,
+    ) -> Self {
         Self {
             id,
             key,
@@ -285,9 +290,9 @@ impl ExportReplica {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::{DcId, DeleteCmd};
     use zugchain_blockchain::{Block, BlockBuilder, LoggedRequest};
     use zugchain_crypto::Keystore;
-    use crate::{DcId, DeleteCmd};
 
     fn chain_of(n: u64, store: &mut ChainStore) -> Vec<Block> {
         let mut builder = BlockBuilder::new(2);
@@ -308,7 +313,13 @@ mod tests {
         blocks
     }
 
-    fn setup() -> (ExportReplica, ChainStore, Vec<Block>, Vec<zugchain_crypto::KeyPair>, Keystore) {
+    fn setup() -> (
+        ExportReplica,
+        ChainStore,
+        Vec<Block>,
+        Vec<zugchain_crypto::KeyPair>,
+        Keystore,
+    ) {
         let (node_pairs, _) = Keystore::generate(4, 10);
         let (dc_pairs, dc_keystore) = Keystore::generate(3, 20);
         let replica = ExportReplica::new(
@@ -339,7 +350,7 @@ mod tests {
                 blocks_from: NodeId(1),
             },
             &mut store,
-            &[proof.clone()],
+            std::slice::from_ref(&proof),
         );
         assert_eq!(replies.len(), 2);
         let ExportMessage::Checkpoint(reply) = &replies[0] else {
@@ -505,7 +516,13 @@ mod tests {
         let (mut replica, mut store, _, _, _) = setup();
         let before = store.resident_bytes();
         let record = replica.emergency_reclaim(&mut store, 2).expect("stubbed");
-        assert_eq!(record, EmergencyPrune { first_height: 1, last_height: 2 });
+        assert_eq!(
+            record,
+            EmergencyPrune {
+                first_height: 1,
+                last_height: 2
+            }
+        );
         assert!(store.resident_bytes() < before);
         assert_eq!(store.header_stubs().len(), 2);
         let payload = record.to_payload();

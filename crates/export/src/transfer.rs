@@ -1,7 +1,7 @@
 use std::fmt;
 
-use zugchain_blockchain::{verify_chain, ChainStore, ChainViolation, PrunedBase};
 use zugchain_blockchain::Block;
+use zugchain_blockchain::{verify_chain, ChainStore, ChainViolation, PrunedBase};
 use zugchain_crypto::Keystore;
 use zugchain_pbft::CheckpointProof;
 

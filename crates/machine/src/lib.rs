@@ -1,0 +1,631 @@
+//! The sans-io contract shared by every ZugChain state machine.
+//!
+//! DESIGN.md's architectural bet is "deterministic state machines driven
+//! by interchangeable runtimes". This crate makes that contract explicit:
+//!
+//! * [`Machine`] — a deterministic state machine consuming inputs and
+//!   timer expiries, producing [`Effect`]s. The PBFT replica, the
+//!   ZugChain/baseline nodes, and the export endpoints all implement it.
+//! * [`Effect`] — the common effect vocabulary: `Send`, `Broadcast`,
+//!   `SetTimer`, `CancelTimer`, and `Output` (application up-calls).
+//! * [`Frame`] — a reference-counted, **lazily encoded** wire frame. A
+//!   broadcast is wire-encoded at most once no matter how many peers the
+//!   transport fans it out to; in-process transports never encode at all.
+//! * [`TimerTable`] — explicit timer-*generation* semantics: re-arming or
+//!   cancelling a timer invalidates queued expiries, so a runtime that
+//!   cannot unschedule a wakeup (e.g. a discrete-event queue) simply lets
+//!   stale ones fire and the [`Driver`] drops them.
+//! * [`Driver`] — the single generic dispatch loop. It owns the machine
+//!   and its timer table, wraps outbound messages into `Frame`s, and
+//!   delegates the *mechanics* (socket writes, channel sends, event
+//!   queues, clocks) to a runtime-provided [`Host`].
+//!
+//! Runtimes differ only in their `Host` implementation; the `match` over
+//! effects lives here, exactly once.
+//!
+//! # Examples
+//!
+//! ```
+//! use zugchain_machine::{Driver, Effect, Frame, Host, Machine, WireMessage};
+//!
+//! /// A machine that echoes every input to all peers.
+//! struct Echo;
+//!
+//! /// The wire message (a newtype so we can give it an encoding).
+//! #[derive(Clone)]
+//! struct Text(String);
+//!
+//! impl WireMessage for Text {
+//!     fn encode_wire(&self) -> Vec<u8> {
+//!         self.0.as_bytes().to_vec()
+//!     }
+//! }
+//!
+//! impl Machine for Echo {
+//!     type Addr = usize;
+//!     type Message = Text;
+//!     type Timer = u8;
+//!     type Output = ();
+//!     type Input = Text;
+//!
+//!     fn on_input(&mut self, input: Text) -> Vec<Effect<usize, Text, u8, ()>> {
+//!         vec![Effect::Broadcast { message: input }]
+//!     }
+//!
+//!     fn on_timer(&mut self, _timer: u8) -> Vec<Effect<usize, Text, u8, ()>> {
+//!         Vec::new()
+//!     }
+//! }
+//!
+//! #[derive(Default)]
+//! struct Collect(Vec<Vec<u8>>);
+//!
+//! impl Host<Echo> for Collect {
+//!     fn send(&mut self, _to: usize, frame: &Frame<Text>) {
+//!         self.0.push(frame.bytes().to_vec());
+//!     }
+//!     fn broadcast(&mut self, frame: &Frame<Text>) {
+//!         // Fan out to three peers: the frame encodes once.
+//!         for _ in 0..3 {
+//!             self.0.push(frame.bytes().to_vec());
+//!         }
+//!     }
+//!     fn set_timer(&mut self, _id: u8, _gen: u64, _duration_ms: u64) {}
+//!     fn cancel_timer(&mut self, _id: u8) {}
+//!     fn output(&mut self, _output: ()) {}
+//! }
+//!
+//! let mut driver = Driver::new(Echo);
+//! let mut host = Collect::default();
+//! driver.on_input(Text("hello".to_string()), &mut host);
+//! assert_eq!(host.0.len(), 3);
+//! ```
+
+#![warn(missing_docs)]
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+/// An effect a [`Machine`] asks its runtime to perform.
+///
+/// `A` addresses peers, `M` is the wire message type, `T` identifies
+/// timers, and `O` is the application-facing output (up-call) type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Effect<A, M, T, O> {
+    /// Send a message to one peer.
+    Send {
+        /// Destination address.
+        to: A,
+        /// The message.
+        message: M,
+    },
+    /// Send a message to every other peer.
+    Broadcast {
+        /// The message.
+        message: M,
+    },
+    /// Arm (or re-arm) a timer. Re-arming invalidates earlier expiries of
+    /// the same timer id (see [`TimerTable`]).
+    SetTimer {
+        /// Timer identity.
+        id: T,
+        /// Duration until expiry in milliseconds.
+        duration_ms: u64,
+    },
+    /// Disarm a timer (no-op if not armed). Queued expiries become stale.
+    CancelTimer {
+        /// Timer identity.
+        id: T,
+    },
+    /// An application up-call (decide, logged, block created, …).
+    Output(O),
+}
+
+/// The [`Effect`] type of a machine `M`.
+pub type MachineEffect<M> = Effect<
+    <M as Machine>::Addr,
+    <M as Machine>::Message,
+    <M as Machine>::Timer,
+    <M as Machine>::Output,
+>;
+
+/// A deterministic sans-io state machine.
+///
+/// A machine never performs I/O and never reads a clock: it consumes
+/// inputs and timer expiries and returns the effects the runtime must
+/// execute, in order. Determinism is the property the whole evaluation
+/// rests on — the same input sequence must produce the same effect
+/// sequence on every runtime.
+pub trait Machine {
+    /// Peer address type (e.g. a replica id).
+    type Addr;
+    /// Wire message type.
+    type Message;
+    /// Timer identity type.
+    type Timer: Copy + Ord;
+    /// Application output (up-call) type.
+    type Output;
+    /// Input type (bus payloads, network messages, …).
+    type Input;
+
+    /// Consumes one input, returning the effects it caused.
+    fn on_input(&mut self, input: Self::Input) -> Vec<MachineEffect<Self>>;
+
+    /// Fires an armed timer, returning the effects it caused. The
+    /// [`Driver`] guarantees only *current* (non-stale) expiries arrive.
+    fn on_timer(&mut self, timer: Self::Timer) -> Vec<MachineEffect<Self>>;
+}
+
+// ---------------------------------------------------------------------
+// Serialize-once frames
+// ---------------------------------------------------------------------
+
+/// A message type with a canonical wire encoding.
+pub trait WireMessage {
+    /// Encodes the message into its canonical byte representation.
+    fn encode_wire(&self) -> Vec<u8>;
+}
+
+#[derive(Debug)]
+struct FrameInner<M> {
+    message: M,
+    encoded: OnceLock<Arc<[u8]>>,
+    encodes: AtomicU64,
+}
+
+/// A reference-counted, lazily encoded wire frame.
+///
+/// The [`Driver`] wraps every outbound message into a `Frame` exactly
+/// once per `Send`/`Broadcast` effect. Cloning a frame is an `Arc` clone;
+/// [`bytes`](Frame::bytes) encodes on first call and returns the cached
+/// buffer afterwards — so a broadcast over any number of TCP peers
+/// serializes the message once, and in-process transports (channels, the
+/// discrete-event simulator) never serialize at all.
+#[derive(Debug)]
+pub struct Frame<M>(Arc<FrameInner<M>>);
+
+impl<M> Clone for Frame<M> {
+    fn clone(&self) -> Self {
+        Self(Arc::clone(&self.0))
+    }
+}
+
+impl<M> Frame<M> {
+    /// Wraps a message.
+    pub fn new(message: M) -> Self {
+        Self(Arc::new(FrameInner {
+            message,
+            encoded: OnceLock::new(),
+            encodes: AtomicU64::new(0),
+        }))
+    }
+
+    /// The wrapped message.
+    pub fn message(&self) -> &M {
+        &self.0.message
+    }
+
+    /// How many times the message has been wire-encoded. At most 1 by
+    /// construction; the encode-count regression tests assert on this.
+    pub fn encode_count(&self) -> u64 {
+        self.0.encodes.load(Ordering::Relaxed)
+    }
+}
+
+impl<M: Clone> Frame<M> {
+    /// Clones the message out of the frame (in-process delivery).
+    pub fn to_message(&self) -> M {
+        self.0.message.clone()
+    }
+}
+
+impl<M: WireMessage> Frame<M> {
+    /// The canonical encoding, computed once and cached.
+    pub fn bytes(&self) -> Arc<[u8]> {
+        self.0
+            .encoded
+            .get_or_init(|| {
+                self.0.encodes.fetch_add(1, Ordering::Relaxed);
+                Arc::from(self.0.message.encode_wire())
+            })
+            .clone()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Timer generations
+// ---------------------------------------------------------------------
+
+/// Timer-generation bookkeeping shared by every runtime.
+///
+/// Arming a timer id bumps its generation; the runtime schedules a wakeup
+/// carrying `(id, generation)`. Cancelling (or re-arming) bumps the
+/// generation again, so a wakeup that was already queued fires with a
+/// stale generation and is dropped by [`fire`](TimerTable::fire). This
+/// gives runtimes that cannot unschedule wakeups (discrete-event queues)
+/// and runtimes that can (deadline maps) identical cancellation
+/// semantics — the divergence that previously let a cancelled-then-
+/// refired soft timeout double-propose on some runtimes.
+#[derive(Debug, Default)]
+pub struct TimerTable<T: Ord> {
+    generations: BTreeMap<T, u64>,
+    /// Generations currently armed (a fired or cancelled timer stays in
+    /// `generations` so late duplicates remain stale, but leaves `armed`).
+    armed: BTreeMap<T, u64>,
+}
+
+impl<T: Copy + Ord> TimerTable<T> {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self {
+            generations: BTreeMap::new(),
+            armed: BTreeMap::new(),
+        }
+    }
+
+    /// Arms `id`, invalidating any queued expiry, and returns the new
+    /// generation to schedule.
+    pub fn arm(&mut self, id: T) -> u64 {
+        let generation = self.generations.entry(id).or_insert(0);
+        *generation += 1;
+        self.armed.insert(id, *generation);
+        *generation
+    }
+
+    /// Cancels `id`: any queued expiry becomes stale.
+    pub fn cancel(&mut self, id: T) {
+        if self.armed.remove(&id).is_some() {
+            *self.generations.entry(id).or_insert(0) += 1;
+        }
+    }
+
+    /// Returns `true` if `(id, generation)` is the currently armed expiry.
+    pub fn is_current(&self, id: T, generation: u64) -> bool {
+        self.armed.get(&id) == Some(&generation)
+    }
+
+    /// Consumes an expiry: returns `true` exactly once per armed
+    /// generation, `false` for stale or duplicate firings.
+    pub fn fire(&mut self, id: T, generation: u64) -> bool {
+        if self.is_current(id, generation) {
+            self.armed.remove(&id);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Number of currently armed timers.
+    pub fn armed_len(&self) -> usize {
+        self.armed.len()
+    }
+
+    /// Disarms everything (crash simulation).
+    pub fn clear(&mut self) {
+        let armed: Vec<T> = self.armed.keys().copied().collect();
+        for id in armed {
+            self.cancel(id);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// The generic driver
+// ---------------------------------------------------------------------
+
+/// What a runtime provides for the [`Driver`] to execute effects.
+///
+/// Hosts implement *mechanics only*: how to move a frame, how to schedule
+/// a wakeup, where outputs go. All protocol-visible policy (timer
+/// generations, serialize-once) lives in the driver.
+pub trait Host<M: Machine> {
+    /// Delivers a frame to one peer.
+    fn send(&mut self, to: M::Addr, frame: &Frame<M::Message>);
+    /// Delivers a frame to every other peer. The frame is shared: a
+    /// wire transport should call [`Frame::bytes`] once and write the
+    /// same buffer to each peer.
+    fn broadcast(&mut self, frame: &Frame<M::Message>);
+    /// Schedules a wakeup for `(id, gen)` after `duration_ms`. The
+    /// runtime reports the expiry via [`Driver::on_timer_fired`].
+    fn set_timer(&mut self, id: M::Timer, gen: u64, duration_ms: u64);
+    /// Unschedules `id` if the runtime can; stale expiries are dropped by
+    /// the driver regardless, so this is an optimization hook.
+    fn cancel_timer(&mut self, id: M::Timer);
+    /// Receives an application output.
+    fn output(&mut self, output: M::Output);
+}
+
+/// The single generic dispatch loop: owns a [`Machine`] and its
+/// [`TimerTable`], routes effects to a [`Host`].
+///
+/// This replaces the three hand-rolled `match action` loops the
+/// discrete-event simulator, the threaded runtime, and the TCP mesh used
+/// to carry — and is the one place broadcast frames are created, so a
+/// message is encoded/signed once per broadcast regardless of fan-out.
+#[derive(Debug)]
+pub struct Driver<M: Machine> {
+    machine: M,
+    timers: TimerTable<M::Timer>,
+}
+
+impl<M: Machine> Driver<M> {
+    /// Wraps a machine.
+    pub fn new(machine: M) -> Self {
+        Self {
+            machine,
+            timers: TimerTable::new(),
+        }
+    }
+
+    /// The wrapped machine.
+    pub fn machine(&self) -> &M {
+        &self.machine
+    }
+
+    /// Mutable access to the wrapped machine.
+    pub fn machine_mut(&mut self) -> &mut M {
+        &mut self.machine
+    }
+
+    /// Unwraps the machine (shutdown/state collection).
+    pub fn into_machine(self) -> M {
+        self.machine
+    }
+
+    /// Feeds one input through the machine and routes its effects.
+    pub fn on_input<H: Host<M>>(&mut self, input: M::Input, host: &mut H) {
+        let effects = self.machine.on_input(input);
+        self.route(effects, host);
+    }
+
+    /// Reports a timer expiry. Stale generations (cancelled or re-armed
+    /// since scheduling) are dropped; returns whether the timer fired.
+    pub fn on_timer_fired<H: Host<M>>(&mut self, id: M::Timer, gen: u64, host: &mut H) -> bool {
+        if !self.timers.fire(id, gen) {
+            return false;
+        }
+        let effects = self.machine.on_timer(id);
+        self.route(effects, host);
+        true
+    }
+
+    /// Returns `true` if `(id, gen)` is still the armed expiry — lets a
+    /// cost-modelling runtime skip charging for stale wakeups.
+    pub fn timer_is_current(&self, id: M::Timer, gen: u64) -> bool {
+        self.timers.is_current(id, gen)
+    }
+
+    /// Number of currently armed timers.
+    pub fn armed_timers(&self) -> usize {
+        self.timers.armed_len()
+    }
+
+    /// Disarms all timers (crash simulation): queued expiries go stale.
+    pub fn clear_timers(&mut self) {
+        self.timers.clear();
+    }
+
+    fn route<H: Host<M>>(&mut self, effects: Vec<MachineEffect<M>>, host: &mut H) {
+        for effect in effects {
+            match effect {
+                Effect::Send { to, message } => host.send(to, &Frame::new(message)),
+                Effect::Broadcast { message } => host.broadcast(&Frame::new(message)),
+                Effect::SetTimer { id, duration_ms } => {
+                    let gen = self.timers.arm(id);
+                    host.set_timer(id, gen, duration_ms);
+                }
+                Effect::CancelTimer { id } => {
+                    self.timers.cancel(id);
+                    host.cancel_timer(id);
+                }
+                Effect::Output(output) => host.output(output),
+            }
+        }
+    }
+}
+
+/// An uninhabited timer type for machines that never arm timers (e.g.
+/// the export data center).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum NoTimer {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    /// A message whose encoder counts global invocations.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    struct Msg(Vec<u8>);
+
+    static ENCODES: AtomicUsize = AtomicUsize::new(0);
+
+    impl WireMessage for Msg {
+        fn encode_wire(&self) -> Vec<u8> {
+            ENCODES.fetch_add(1, Ordering::SeqCst);
+            self.0.clone()
+        }
+    }
+
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    enum Out {
+        Fired(u8),
+    }
+
+    /// Scriptable test machine: each input is a list of effects to emit.
+    struct Scripted;
+
+    type Fx = Effect<usize, Msg, u8, Out>;
+
+    impl Machine for Scripted {
+        type Addr = usize;
+        type Message = Msg;
+        type Timer = u8;
+        type Output = Out;
+        type Input = Vec<Fx>;
+
+        fn on_input(&mut self, input: Vec<Fx>) -> Vec<Fx> {
+            input
+        }
+
+        fn on_timer(&mut self, timer: u8) -> Vec<Fx> {
+            vec![Effect::Output(Out::Fired(timer))]
+        }
+    }
+
+    /// Records everything; fans broadcasts out to `peers` wire writes.
+    #[derive(Default)]
+    struct MockHost {
+        peers: usize,
+        wire_writes: Vec<Arc<[u8]>>,
+        frames: Vec<Frame<Msg>>,
+        timers_set: Vec<(u8, u64, u64)>,
+        outputs: Vec<Out>,
+    }
+
+    impl Host<Scripted> for MockHost {
+        fn send(&mut self, _to: usize, frame: &Frame<Msg>) {
+            self.wire_writes.push(frame.bytes());
+            self.frames.push(frame.clone());
+        }
+        fn broadcast(&mut self, frame: &Frame<Msg>) {
+            for _ in 0..self.peers {
+                self.wire_writes.push(frame.bytes());
+            }
+            self.frames.push(frame.clone());
+        }
+        fn set_timer(&mut self, id: u8, gen: u64, duration_ms: u64) {
+            self.timers_set.push((id, gen, duration_ms));
+        }
+        fn cancel_timer(&mut self, _id: u8) {}
+        fn output(&mut self, output: Out) {
+            self.outputs.push(output);
+        }
+    }
+
+    #[test]
+    fn broadcast_encodes_exactly_once_regardless_of_fanout() {
+        let before = ENCODES.load(Ordering::SeqCst);
+        let mut driver = Driver::new(Scripted);
+        let mut host = MockHost {
+            peers: 16,
+            ..MockHost::default()
+        };
+        driver.on_input(
+            vec![Effect::Broadcast {
+                message: Msg(vec![42; 128]),
+            }],
+            &mut host,
+        );
+        assert_eq!(host.wire_writes.len(), 16);
+        // One frame, one encode, sixteen writes of the same buffer.
+        assert_eq!(host.frames.len(), 1);
+        assert_eq!(host.frames[0].encode_count(), 1);
+        assert_eq!(ENCODES.load(Ordering::SeqCst) - before, 1);
+        let first = &host.wire_writes[0];
+        assert!(host.wire_writes.iter().all(|w| Arc::ptr_eq(w, first)));
+    }
+
+    #[test]
+    fn in_process_delivery_never_encodes() {
+        let before = ENCODES.load(Ordering::SeqCst);
+        let frame = Frame::new(Msg(vec![1, 2, 3]));
+        let copies: Vec<Msg> = (0..8).map(|_| frame.to_message()).collect();
+        assert!(copies.iter().all(|m| m.0 == vec![1, 2, 3]));
+        assert_eq!(frame.encode_count(), 0);
+        assert_eq!(ENCODES.load(Ordering::SeqCst), before);
+    }
+
+    #[test]
+    fn cancelled_timer_expiry_is_stale() {
+        let mut driver = Driver::new(Scripted);
+        let mut host = MockHost::default();
+        driver.on_input(
+            vec![Effect::SetTimer {
+                id: 7,
+                duration_ms: 50,
+            }],
+            &mut host,
+        );
+        let (id, gen, _) = host.timers_set[0];
+        driver.on_input(vec![Effect::CancelTimer { id: 7 }], &mut host);
+        // The queued expiry fires anyway (a runtime that cannot
+        // unschedule); the driver must drop it.
+        assert!(!driver.on_timer_fired(id, gen, &mut host));
+        assert!(host.outputs.is_empty());
+    }
+
+    #[test]
+    fn cancelled_then_rearmed_timer_fires_only_the_new_generation() {
+        let mut driver = Driver::new(Scripted);
+        let mut host = MockHost::default();
+        driver.on_input(
+            vec![Effect::SetTimer {
+                id: 3,
+                duration_ms: 50,
+            }],
+            &mut host,
+        );
+        let (_, gen1, _) = host.timers_set[0];
+        driver.on_input(vec![Effect::CancelTimer { id: 3 }], &mut host);
+        driver.on_input(
+            vec![Effect::SetTimer {
+                id: 3,
+                duration_ms: 50,
+            }],
+            &mut host,
+        );
+        let (_, gen2, _) = host.timers_set[1];
+        assert_ne!(gen1, gen2);
+        // Old expiry: stale. New expiry: fires once, then its duplicate
+        // is dropped too.
+        assert!(!driver.on_timer_fired(3, gen1, &mut host));
+        assert!(driver.on_timer_fired(3, gen2, &mut host));
+        assert!(!driver.on_timer_fired(3, gen2, &mut host));
+        assert_eq!(host.outputs, vec![Out::Fired(3)]);
+    }
+
+    #[test]
+    fn rearm_without_cancel_invalidates_the_old_expiry() {
+        let mut table: TimerTable<u8> = TimerTable::new();
+        let gen1 = table.arm(1);
+        let gen2 = table.arm(1);
+        assert!(!table.fire(1, gen1));
+        assert!(table.fire(1, gen2));
+    }
+
+    #[test]
+    fn clear_disarms_everything() {
+        let mut table: TimerTable<u8> = TimerTable::new();
+        let gen_a = table.arm(1);
+        let gen_b = table.arm(2);
+        assert_eq!(table.armed_len(), 2);
+        table.clear();
+        assert_eq!(table.armed_len(), 0);
+        assert!(!table.fire(1, gen_a));
+        assert!(!table.fire(2, gen_b));
+    }
+
+    #[test]
+    fn effects_route_in_order() {
+        let mut driver = Driver::new(Scripted);
+        let mut host = MockHost {
+            peers: 2,
+            ..MockHost::default()
+        };
+        driver.on_input(
+            vec![
+                Effect::Output(Out::Fired(1)),
+                Effect::Send {
+                    to: 1,
+                    message: Msg(vec![9]),
+                },
+                Effect::Output(Out::Fired(2)),
+            ],
+            &mut host,
+        );
+        assert_eq!(host.outputs, vec![Out::Fired(1), Out::Fired(2)]);
+        assert_eq!(host.wire_writes.len(), 1);
+    }
+}

@@ -165,7 +165,9 @@ impl Bus {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{PayloadDevice, PortAddress, SignalDescriptor, SignalGenerator, SignalKind, TapFaults};
+    use crate::{
+        PayloadDevice, PortAddress, SignalDescriptor, SignalGenerator, SignalKind, TapFaults,
+    };
 
     #[test]
     fn cycle_time_is_clamped_to_mvb_minimum() {

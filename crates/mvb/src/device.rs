@@ -135,7 +135,7 @@ impl SignalGenerator {
             }
             DrivePhase::Cruising => {
                 self.driver_command = 2; // hold
-                // Small speed jitter around the target.
+                                         // Small speed jitter around the target.
                 let jitter: i32 = self.rng.random_range(-20..=20);
                 self.speed_ckmh = self
                     .speed_ckmh
@@ -186,8 +186,12 @@ impl SignalGenerator {
 
     fn value_for(&self, name: &str, kind: SignalKind) -> Vec<u8> {
         match (name, kind) {
-            ("v_actual", _) => (self.speed_ckmh.min(u32::from(u16::MAX)) as u16).to_le_bytes().to_vec(),
-            ("v_target", _) => (self.target_ckmh.min(u32::from(u16::MAX)) as u16).to_le_bytes().to_vec(),
+            ("v_actual", _) => (self.speed_ckmh.min(u32::from(u16::MAX)) as u16)
+                .to_le_bytes()
+                .to_vec(),
+            ("v_target", _) => (self.target_ckmh.min(u32::from(u16::MAX)) as u16)
+                .to_le_bytes()
+                .to_vec(),
             ("odometer_m", _) => self.odometer_m.to_le_bytes().to_vec(),
             ("accel_actual", _) => {
                 let accel: i16 = match self.phase {
@@ -204,9 +208,7 @@ impl SignalGenerator {
             ("doors_released", _) => vec![u8::from(self.doors_released)],
             ("doors_closed", _) => vec![u8::from(!self.doors_released)],
             ("atp_intervention", _) => vec![u8::from(self.atp_intervention)],
-            ("atp_cab_signal", _) => {
-                ((self.target_ckmh / 100) as u16).to_le_bytes().to_vec()
-            }
+            ("atp_cab_signal", _) => ((self.target_ckmh / 100) as u16).to_le_bytes().to_vec(),
             ("driver_command", _) => self.driver_command.to_le_bytes().to_vec(),
             ("pantograph_up", _) => vec![1],
             ("traction_effort", _) => {

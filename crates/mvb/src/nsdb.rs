@@ -175,7 +175,12 @@ mod tests {
         let nsdb = Nsdb::jru_default();
         assert!(nsdb.len() >= 10);
         let names: Vec<&str> = nsdb.iter().map(|d| d.name.as_str()).collect();
-        for required in ["v_actual", "brake_applied", "emergency_brake", "doors_released"] {
+        for required in [
+            "v_actual",
+            "brake_applied",
+            "emergency_brake",
+            "doors_released",
+        ] {
             assert!(names.contains(&required), "missing {required}");
         }
     }

@@ -9,6 +9,10 @@ pub struct Config {
     pub f: usize,
     /// Window of sequence numbers accepted above the low watermark.
     pub watermark_window: u64,
+    /// How long the replica waits for a `NewView` after voting for a view
+    /// change before escalating to the next view, in milliseconds. The
+    /// replica arms this timer itself via `Effect::SetTimer`.
+    pub view_change_timeout_ms: u64,
 }
 
 /// Error constructing a [`Config`] with too few replicas.
@@ -20,7 +24,11 @@ pub struct InvalidGroupSize {
 
 impl fmt::Display for InvalidGroupSize {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "group of {} replicas cannot tolerate any fault (need n >= 4)", self.n)
+        write!(
+            f,
+            "group of {} replicas cannot tolerate any fault (need n >= 4)",
+            self.n
+        )
     }
 }
 
@@ -41,6 +49,7 @@ impl Config {
             n,
             f: (n - 1) / 3,
             watermark_window: 256,
+            view_change_timeout_ms: 500,
         })
     }
 
@@ -48,6 +57,13 @@ impl Config {
     #[must_use]
     pub fn with_watermark_window(mut self, window: u64) -> Self {
         self.watermark_window = window;
+        self
+    }
+
+    /// Overrides the view-change timeout.
+    #[must_use]
+    pub fn with_view_change_timeout(mut self, timeout_ms: u64) -> Self {
+        self.view_change_timeout_ms = timeout_ms;
         self
     }
 

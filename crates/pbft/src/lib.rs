@@ -10,12 +10,14 @@
 //! |---|---|---|
 //! | down | [`Replica::propose`] | propose request to consensus group |
 //! | down | [`Replica::suspect`] | suspect node, initiate view change |
-//! | up | [`Action::Decide`] | totally ordered request and seq. no. |
-//! | up | [`Action::NewPrimary`] | new primary after view change |
+//! | up | [`ReplicaEvent::Decide`] | totally ordered request and seq. no. |
+//! | up | [`ReplicaEvent::NewPrimary`] | new primary after view change |
 //!
-//! The replica is a **pure state machine**: it consumes inputs (protocol
-//! messages, timer expirations, proposals) and emits [`Action`]s (send,
-//! broadcast, decide, timers). It performs no I/O and reads no clock, so
+//! The replica is a **pure state machine** implementing the shared
+//! [`Machine`](zugchain_machine::Machine) contract of `zugchain-machine`:
+//! it consumes inputs (protocol messages, timer expirations, proposals)
+//! and emits [`ReplicaEffect`]s (send, broadcast, timers, and
+//! [`ReplicaEvent`] up-calls). It performs no I/O and reads no clock, so
 //! the same code runs under the deterministic simulator and the threaded
 //! runtime, and every protocol path is unit-testable.
 //!
@@ -29,7 +31,8 @@
 //!
 //! ```
 //! use zugchain_crypto::Keystore;
-//! use zugchain_pbft::{Action, Config, NodeId, ProposedRequest, Replica};
+//! use zugchain_machine::Effect;
+//! use zugchain_pbft::{Config, NodeId, ProposedRequest, Replica, ReplicaEvent};
 //!
 //! let config = Config::new(4).unwrap();
 //! let (pairs, keystore) = Keystore::generate(4, 0);
@@ -48,10 +51,10 @@
 //! loop {
 //!     let mut traffic = Vec::new();
 //!     for replica in &mut replicas {
-//!         for action in replica.drain_actions() {
-//!             match action {
-//!                 Action::Broadcast { message } => traffic.push(message),
-//!                 Action::Decide { .. } => decided += 1,
+//!         for effect in replica.drain_effects() {
+//!             match effect {
+//!                 Effect::Broadcast { message } => traffic.push(message),
+//!                 Effect::Output(ReplicaEvent::Decide { .. }) => decided += 1,
 //!                 _ => {}
 //!             }
 //!         }
@@ -78,5 +81,5 @@ pub use messages::{
     Checkpoint, CheckpointProof, Commit, Message, NewView, PrePrepare, Prepare, PreparedCert,
     SignedMessage, ViewChange,
 };
-pub use replica::{Action, Replica, ReplicaStats};
+pub use replica::{Replica, ReplicaEffect, ReplicaEvent, ReplicaInput, ReplicaStats, ReplicaTimer};
 pub use types::{NodeId, ProposedRequest, RequestKind};

@@ -1,29 +1,26 @@
 use std::collections::{BTreeMap, VecDeque};
 
 use zugchain_crypto::{Digest, KeyPair, Keystore, Signature};
+use zugchain_machine::{Effect, Machine};
 
+use crate::messages::Commit;
 use crate::{
     Checkpoint, CheckpointProof, Config, Message, NewView, NodeId, PrePrepare, Prepare,
     PreparedCert, ProposedRequest, SignedMessage, ViewChange,
 };
-use crate::messages::Commit;
 
-/// An output of the replica state machine, to be executed by the runtime.
+/// The replica's timer vocabulary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum ReplicaTimer {
+    /// Waiting for the `NewView` of this target view; on expiry the
+    /// replica escalates to the next view.
+    ViewChange(u64),
+}
+
+/// An application up-call of the replica state machine (Table I ①).
 #[derive(Debug, Clone, PartialEq, Eq)]
 #[allow(clippy::large_enum_variant)]
-pub enum Action {
-    /// Send a signed message to every *other* replica.
-    Broadcast {
-        /// The message to send.
-        message: SignedMessage,
-    },
-    /// Send a signed message to one replica.
-    Send {
-        /// Destination replica.
-        to: NodeId,
-        /// The message to send.
-        message: SignedMessage,
-    },
+pub enum ReplicaEvent {
     /// A request is totally ordered: the `DECIDE(r, sn)` up-call of
     /// Table I. Emitted in strict sequence order.
     Decide {
@@ -54,15 +51,6 @@ pub enum Action {
         /// The verifiable checkpoint proof.
         proof: CheckpointProof,
     },
-    /// Start (or restart) the view-change timer: if no `NewView` for
-    /// `view` arrives before expiry, the runtime calls
-    /// [`Replica::on_view_change_timeout`].
-    StartViewChangeTimer {
-        /// The view being waited for.
-        view: u64,
-    },
-    /// Cancel the view-change timer (a `NewView` arrived).
-    CancelViewChangeTimer,
     /// The replica discovered a stable checkpoint beyond what it decided:
     /// it missed requests and the application must fetch state (blocks)
     /// from peers — §III-D scenario (ii).
@@ -71,6 +59,37 @@ pub enum Action {
         from_sn: u64,
         /// The stable checkpoint sequence number to catch up to.
         to_sn: u64,
+    },
+}
+
+/// An effect of the replica state machine, to be executed by the runtime.
+///
+/// The shared [`Effect`] vocabulary of `zugchain-machine`: network sends,
+/// broadcasts, timers (the replica arms its own view-change timer), and
+/// [`ReplicaEvent`] up-calls.
+pub type ReplicaEffect = Effect<NodeId, SignedMessage, ReplicaTimer, ReplicaEvent>;
+
+/// An input to the replica when driven through the [`Machine`] trait.
+///
+/// Mirrors the interface ① down-calls of Table I plus network delivery;
+/// the granular inherent methods ([`Replica::propose`],
+/// [`Replica::on_message`], …) remain available for embedding the
+/// replica inside a larger machine, as the ZugChain node does.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[allow(clippy::large_enum_variant)]
+pub enum ReplicaInput {
+    /// A signed protocol message from the network.
+    Message(SignedMessage),
+    /// `PROPOSE(r)`: propose a request (primary).
+    Propose(ProposedRequest),
+    /// `SUSPECT(id)`: suspect a node.
+    Suspect(NodeId),
+    /// The application snapshot at `sn` (checkpoint declaration).
+    RecordCheckpoint {
+        /// Covered sequence number.
+        sn: u64,
+        /// Application state digest (ZugChain: the block hash).
+        state_digest: Digest,
     },
 }
 
@@ -94,6 +113,13 @@ pub struct ReplicaStats {
 struct Slot {
     /// Accepted preprepare for the current view.
     preprepare: Option<PrePrepare>,
+    /// Request digest of the accepted preprepare, hashed once on accept
+    /// and reused by every quorum check instead of re-hashing the request
+    /// per prepare/commit arrival.
+    request_digest: Option<Digest>,
+    /// Payload content digest of the accepted preprepare, cached for the
+    /// in-flight lookups the ZugChain layer performs per open request.
+    payload_digest: Option<Digest>,
     /// Prepare votes: sender → (digest, signature over the prepare).
     prepares: BTreeMap<NodeId, (Digest, Signature)>,
     /// Commit votes: sender → digest.
@@ -158,7 +184,11 @@ pub struct Replica {
     /// wedges this replica behind the in-order execution point and
     /// causes spurious suspicions.
     buffered: VecDeque<SignedMessage>,
-    actions: Vec<Action>,
+    /// The view-change timer the replica currently has armed (the target
+    /// view it is waiting on), if any. The replica owns this bookkeeping
+    /// so every runtime gets identical escalation behaviour for free.
+    armed_vc_timer: Option<u64>,
+    effects: Vec<ReplicaEffect>,
     stats: ReplicaStats,
 }
 
@@ -197,7 +227,8 @@ impl Replica {
             last_stable_proof: None,
             view_change_votes: BTreeMap::new(),
             buffered: VecDeque::new(),
-            actions: Vec::new(),
+            armed_vc_timer: None,
+            effects: Vec::new(),
             stats: ReplicaStats::default(),
         }
     }
@@ -311,13 +342,9 @@ impl Replica {
     /// re-preprepared would order it twice and falsely incriminate the
     /// new primary.
     pub fn has_in_flight_payload(&self, digest: &Digest) -> bool {
-        self.slots.values().any(|slot| {
-            !slot.decided
-                && slot
-                    .preprepare
-                    .as_ref()
-                    .is_some_and(|pp| pp.request.payload_digest() == *digest)
-        })
+        self.slots
+            .values()
+            .any(|slot| !slot.decided && slot.payload_digest.as_ref() == Some(digest))
     }
 
     /// Statistics counters.
@@ -342,11 +369,11 @@ impl Replica {
         slot_bytes + backlog_bytes
     }
 
-    /// Drains the actions produced since the last call.
+    /// Drains the effects produced since the last call.
     ///
     /// The runtime must execute them in order.
-    pub fn drain_actions(&mut self) -> Vec<Action> {
-        std::mem::take(&mut self.actions)
+    pub fn drain_effects(&mut self) -> Vec<ReplicaEffect> {
+        std::mem::take(&mut self.effects)
     }
 
     fn sign(&self, message: Message) -> SignedMessage {
@@ -355,7 +382,7 @@ impl Replica {
 
     fn broadcast(&mut self, message: Message) -> SignedMessage {
         let signed = self.sign(message);
-        self.actions.push(Action::Broadcast {
+        self.effects.push(Effect::Broadcast {
             message: signed.clone(),
         });
         signed
@@ -423,7 +450,12 @@ impl Replica {
         self.store_checkpoint_vote(self.id, checkpoint, signed.signature);
     }
 
-    fn store_checkpoint_vote(&mut self, from: NodeId, checkpoint: Checkpoint, signature: Signature) {
+    fn store_checkpoint_vote(
+        &mut self,
+        from: NodeId,
+        checkpoint: Checkpoint,
+        signature: Signature,
+    ) {
         if checkpoint.sn <= self.low_watermark {
             return;
         }
@@ -479,16 +511,18 @@ impl Replica {
         self.checkpoints.retain(|cp_sn, _| *cp_sn > sn);
         if self.decided_up_to < sn {
             // We missed decides that the quorum already checkpointed.
-            self.actions.push(Action::NeedStateTransfer {
-                from_sn: self.decided_up_to + 1,
-                to_sn: sn,
-            });
+            self.effects
+                .push(Effect::Output(ReplicaEvent::NeedStateTransfer {
+                    from_sn: self.decided_up_to + 1,
+                    to_sn: sn,
+                }));
             self.decided_up_to = sn;
         }
         if self.next_sn <= sn {
             self.next_sn = sn + 1;
         }
-        self.actions.push(Action::StableCheckpoint { proof });
+        self.effects
+            .push(Effect::Output(ReplicaEvent::StableCheckpoint { proof }));
         // The window may have opened: the primary can propose backlog.
         if self.is_primary() && !self.in_view_change() {
             self.drain_backlog();
@@ -564,8 +598,8 @@ impl Replica {
             return;
         }
         let slot = self.slots.entry(preprepare.sn).or_default();
-        if let Some(existing) = &slot.preprepare {
-            if existing.request.digest() != preprepare.request.digest() {
+        if slot.preprepare.is_some() {
+            if slot.request_digest != Some(preprepare.request.digest()) {
                 // Primary equivocation: two different proposals for the
                 // same (view, sn). Initiate a view change.
                 let primary = self.primary();
@@ -573,11 +607,13 @@ impl Replica {
             }
             return;
         }
-        let digest = preprepare.request.digest();
-        let payload_digest = preprepare.request.payload_digest();
         let sn = preprepare.sn;
-        self.accept_preprepare(preprepare);
-        self.actions.push(Action::PrePrepareSeen { sn, payload_digest });
+        let (digest, payload_digest) = self.accept_preprepare(preprepare);
+        self.effects
+            .push(Effect::Output(ReplicaEvent::PrePrepareSeen {
+                sn,
+                payload_digest,
+            }));
         // Backups confirm with a prepare.
         let prepare = Prepare {
             view: self.view,
@@ -592,12 +628,18 @@ impl Replica {
     }
 
     /// Records a preprepare into its slot (primary: own proposal; backup:
-    /// accepted proposal).
-    fn accept_preprepare(&mut self, preprepare: PrePrepare) {
+    /// accepted proposal), hashing the request exactly once and caching
+    /// both digests on the slot. Returns `(request digest, payload digest)`.
+    fn accept_preprepare(&mut self, preprepare: PrePrepare) -> (Digest, Digest) {
         let sn = preprepare.sn;
+        let request_digest = preprepare.request.digest();
+        let payload_digest = preprepare.request.payload_digest();
         let slot = self.slots.entry(sn).or_default();
+        slot.request_digest = Some(request_digest);
+        slot.payload_digest = Some(payload_digest);
         slot.preprepare = Some(preprepare);
         self.maybe_advance(sn);
+        (request_digest, payload_digest)
     }
 
     fn on_prepare(&mut self, from: NodeId, prepare: Prepare, signature: Signature) {
@@ -612,7 +654,9 @@ impl Replica {
             return;
         }
         let slot = self.slots.entry(prepare.sn).or_default();
-        slot.prepares.entry(from).or_insert((prepare.digest, signature));
+        slot.prepares
+            .entry(from)
+            .or_insert((prepare.digest, signature));
         self.maybe_advance(prepare.sn);
     }
 
@@ -635,10 +679,12 @@ impl Replica {
         let Some(slot) = self.slots.get_mut(&sn) else {
             return;
         };
-        let Some(preprepare) = slot.preprepare.clone() else {
+        if slot.preprepare.is_none() {
             return;
-        };
-        let digest = preprepare.request.digest();
+        }
+        let digest = slot
+            .request_digest
+            .expect("slot with a preprepare has a cached request digest");
 
         if !slot.prepared && slot.matching_prepares(&digest) >= prepare_quorum {
             slot.prepared = true;
@@ -675,7 +721,8 @@ impl Replica {
                 .clone();
             self.decided_up_to = next;
             self.stats.decided += 1;
-            self.actions.push(Action::Decide { sn: next, request });
+            self.effects
+                .push(Effect::Output(ReplicaEvent::Decide { sn: next, request }));
         }
     }
 
@@ -683,11 +730,23 @@ impl Replica {
     // View change
     // ------------------------------------------------------------------
 
-    /// Called by the runtime when the view-change timer expires without a
-    /// `NewView`: move on to the next view.
-    pub fn on_view_change_timeout(&mut self) {
-        if let Some(state) = self.phase {
-            self.start_view_change(state.target + 1);
+    /// Called by the runtime when a replica timer expires.
+    ///
+    /// `ViewChange(view)`: no `NewView` for `view` arrived in time — move
+    /// on to the next view. Stale expiries (a generation the runtime
+    /// failed to drop, or a view this replica already left) are ignored,
+    /// so every runtime gets identical escalation semantics.
+    pub fn on_timer(&mut self, timer: ReplicaTimer) {
+        match timer {
+            ReplicaTimer::ViewChange(view) => {
+                if self.armed_vc_timer != Some(view) {
+                    return;
+                }
+                self.armed_vc_timer = None;
+                if self.phase == Some(ViewChangeState { target: view }) {
+                    self.start_view_change(view + 1);
+                }
+            }
         }
     }
 
@@ -700,6 +759,9 @@ impl Replica {
                     .preprepare
                     .as_ref()
                     .expect("prepared slot has a preprepare");
+                let digest = slot
+                    .request_digest
+                    .expect("slot with a preprepare has a cached request digest");
                 PreparedCert {
                     view: preprepare.view,
                     sn: *sn,
@@ -707,7 +769,7 @@ impl Replica {
                     prepare_signatures: slot
                         .prepares
                         .iter()
-                        .filter(|(_, (d, _))| *d == preprepare.request.digest())
+                        .filter(|(_, (d, _))| *d == digest)
                         .map(|(id, (_, sig))| (*id, *sig))
                         .collect(),
                 }
@@ -727,7 +789,18 @@ impl Replica {
             prepared: self.prepared_certs(),
         };
         let signed = self.broadcast(Message::ViewChange(view_change));
-        self.actions.push(Action::StartViewChangeTimer { view: target });
+        // (Re-)arm the view-change timer for the new target. Cancelling
+        // the previous arm keeps at most one live generation per replica.
+        if let Some(old) = self.armed_vc_timer.take() {
+            self.effects.push(Effect::CancelTimer {
+                id: ReplicaTimer::ViewChange(old),
+            });
+        }
+        self.armed_vc_timer = Some(target);
+        self.effects.push(Effect::SetTimer {
+            id: ReplicaTimer::ViewChange(target),
+            duration_ms: self.config.view_change_timeout_ms,
+        });
         // Count our own vote; if we are the new primary and votes from the
         // others already arrived, this may complete the view change.
         self.store_view_change_vote(signed);
@@ -785,8 +858,13 @@ impl Replica {
             return;
         }
         let view_changes: Vec<SignedMessage> = votes.values().cloned().collect();
-        let (preprepares, _min_s) =
-            compute_new_view_preprepares(&self.config, &self.keystore, target, self.id, &view_changes);
+        let (preprepares, _min_s) = compute_new_view_preprepares(
+            &self.config,
+            &self.keystore,
+            target,
+            self.id,
+            &view_changes,
+        );
         let new_view = NewView {
             view: target,
             view_changes,
@@ -855,7 +933,11 @@ impl Replica {
         self.phase = None;
         self.stats.view_changes += 1;
         self.view_change_votes.retain(|target, _| *target > view);
-        self.actions.push(Action::CancelViewChangeTimer);
+        if let Some(armed) = self.armed_vc_timer.take() {
+            self.effects.push(Effect::CancelTimer {
+                id: ReplicaTimer::ViewChange(armed),
+            });
+        }
 
         // Reset per-view slot state above the checkpoint: prepares and
         // commits from the old view are void in the new one.
@@ -869,17 +951,20 @@ impl Replica {
             .max(self.decided_up_to + 1);
 
         let primary = self.config.primary_of(view);
-        self.actions.push(Action::NewPrimary { view, primary });
+        self.effects
+            .push(Effect::Output(ReplicaEvent::NewPrimary { view, primary }));
 
         for preprepare in preprepares {
             if preprepare.sn <= self.decided_up_to {
                 continue; // already decided locally
             }
-            let digest = preprepare.request.digest();
             let sn = preprepare.sn;
-            let payload_digest = preprepare.request.payload_digest();
-            self.accept_preprepare(preprepare);
-            self.actions.push(Action::PrePrepareSeen { sn, payload_digest });
+            let (digest, payload_digest) = self.accept_preprepare(preprepare);
+            self.effects
+                .push(Effect::Output(ReplicaEvent::PrePrepareSeen {
+                    sn,
+                    payload_digest,
+                }));
             if self.id != primary {
                 let prepare = Prepare { view, sn, digest };
                 let signed = self.broadcast(Message::Prepare(prepare));
@@ -900,6 +985,31 @@ impl Replica {
         for message in buffered {
             self.dispatch(message);
         }
+    }
+}
+
+impl Machine for Replica {
+    type Addr = NodeId;
+    type Message = SignedMessage;
+    type Timer = ReplicaTimer;
+    type Output = ReplicaEvent;
+    type Input = ReplicaInput;
+
+    fn on_input(&mut self, input: ReplicaInput) -> Vec<ReplicaEffect> {
+        match input {
+            ReplicaInput::Message(message) => self.on_message(message),
+            ReplicaInput::Propose(request) => self.propose(request),
+            ReplicaInput::Suspect(id) => self.suspect(id),
+            ReplicaInput::RecordCheckpoint { sn, state_digest } => {
+                self.record_checkpoint(sn, state_digest);
+            }
+        }
+        self.drain_effects()
+    }
+
+    fn on_timer(&mut self, timer: ReplicaTimer) -> Vec<ReplicaEffect> {
+        Replica::on_timer(self, timer);
+        self.drain_effects()
     }
 }
 

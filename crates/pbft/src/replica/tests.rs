@@ -1,9 +1,11 @@
 use std::collections::VecDeque;
 
 use zugchain_crypto::{Digest, Keystore};
+use zugchain_machine::Effect;
 
 use crate::{
-    Action, Config, Message, NodeId, PrePrepare, ProposedRequest, Replica, SignedMessage,
+    Config, Message, NodeId, PrePrepare, ProposedRequest, Replica, ReplicaEvent, ReplicaTimer,
+    SignedMessage,
 };
 
 /// Events collected from all replicas during a harness run.
@@ -21,11 +23,13 @@ struct Collected {
 
 /// A synchronous in-memory router driving a replica group: executes every
 /// action, delivering messages until the system is quiet.
+/// Per-destination message filter: return `false` to drop.
+type MessageFilter = Box<dyn Fn(usize, &SignedMessage) -> bool>;
+
 struct Cluster {
     replicas: Vec<Replica>,
     queue: VecDeque<(usize, SignedMessage)>,
-    /// Per-destination message filter: return `false` to drop.
-    filter: Box<dyn Fn(usize, &SignedMessage) -> bool>,
+    filter: MessageFilter,
     collected: Collected,
     /// Replicas whose view-change timer is armed (target view).
     vc_timers: Vec<Option<u64>>,
@@ -58,46 +62,49 @@ impl Cluster {
         self.filter = Box::new(filter);
     }
 
-    /// Collects actions from one replica into the queue / event log.
+    /// Collects effects from one replica into the queue / event log.
     fn pump(&mut self, index: usize) {
-        let actions = self.replicas[index].drain_actions();
+        let effects = self.replicas[index].drain_effects();
         let id = self.replicas[index].id();
-        for action in actions {
-            match action {
-                Action::Broadcast { message } => {
+        for effect in effects {
+            match effect {
+                Effect::Broadcast { message } => {
                     for dest in 0..self.replicas.len() {
                         if dest != index && (self.filter)(dest, &message) {
                             self.queue.push_back((dest, message.clone()));
                         }
                     }
                 }
-                Action::Send { to, message } => {
+                Effect::Send { to, message } => {
                     let dest = to.0 as usize;
                     if dest != index && (self.filter)(dest, &message) {
                         self.queue.push_back((dest, message));
                     }
                 }
-                Action::Decide { sn, request } => {
+                Effect::SetTimer {
+                    id: ReplicaTimer::ViewChange(view),
+                    ..
+                } => {
+                    self.vc_timers[index] = Some(view);
+                }
+                Effect::CancelTimer { .. } => {
+                    self.vc_timers[index] = None;
+                }
+                Effect::Output(ReplicaEvent::Decide { sn, request }) => {
                     self.collected.decides.push((id, sn, request));
                 }
-                Action::NewPrimary { view, primary } => {
+                Effect::Output(ReplicaEvent::NewPrimary { view, primary }) => {
                     self.collected.new_primaries.push((id, view, primary));
                 }
-                Action::StableCheckpoint { proof } => {
+                Effect::Output(ReplicaEvent::StableCheckpoint { proof }) => {
                     self.collected
                         .stable_checkpoints
                         .push((id, proof.checkpoint.sn));
                 }
-                Action::NeedStateTransfer { from_sn, to_sn } => {
+                Effect::Output(ReplicaEvent::NeedStateTransfer { from_sn, to_sn }) => {
                     self.collected.state_transfers.push((id, from_sn, to_sn));
                 }
-                Action::StartViewChangeTimer { view } => {
-                    self.vc_timers[index] = Some(view);
-                }
-                Action::CancelViewChangeTimer => {
-                    self.vc_timers[index] = None;
-                }
-                Action::PrePrepareSeen { .. } => {}
+                Effect::Output(ReplicaEvent::PrePrepareSeen { .. }) => {}
             }
         }
     }
@@ -338,11 +345,11 @@ fn equivocating_primary_is_suspected() {
     );
     cluster.replicas[1].on_message(pp_a);
     cluster.replicas[1].on_message(pp_b);
-    let actions = cluster.replicas[1].drain_actions();
+    let effects = cluster.replicas[1].drain_effects();
     assert!(
-        actions.iter().any(|action| matches!(
-            action,
-            Action::Broadcast { message } if matches!(message.message, Message::ViewChange(_))
+        effects.iter().any(|effect| matches!(
+            effect,
+            Effect::Broadcast { message } if matches!(message.message, Message::ViewChange(_))
         )),
         "equivocation must trigger a view-change vote"
     );
@@ -366,7 +373,7 @@ fn forged_signatures_are_rejected() {
     impersonated.from = NodeId(0);
     cluster.replicas[1].on_message(impersonated);
     assert_eq!(cluster.replicas[1].stats().invalid_signatures, 1);
-    assert!(cluster.replicas[1].drain_actions().is_empty());
+    assert!(cluster.replicas[1].drain_effects().is_empty());
 }
 
 #[test]
@@ -417,9 +424,8 @@ fn watermark_window_throttles_the_primary() {
 fn lagging_replica_detects_missed_state_via_checkpoints() {
     let mut cluster = Cluster::new(4);
     // Node 3 misses all ordering traffic.
-    cluster.set_filter(|dest, message| {
-        dest != 3 || matches!(message.message, Message::Checkpoint(_))
-    });
+    cluster
+        .set_filter(|dest, message| dest != 3 || matches!(message.message, Message::Checkpoint(_)));
     for tag in 1..=3 {
         cluster.replicas[0].propose(request(tag, 0));
     }
@@ -465,8 +471,8 @@ fn view_change_timeout_escalates_to_next_view() {
     // is alive.
     cluster.set_filter(|_, _| true);
     for id in [0usize, 2, 3] {
-        if cluster.vc_timers[id].is_some() {
-            cluster.replicas[id].on_view_change_timeout();
+        if let Some(view) = cluster.vc_timers[id] {
+            cluster.replicas[id].on_timer(ReplicaTimer::ViewChange(view));
         }
     }
     cluster.run_until_quiet();
@@ -621,7 +627,13 @@ fn resumed_replica_continues_after_its_checkpoint() {
         .into_iter()
         .enumerate()
         .map(|(id, key)| {
-            Replica::resume(NodeId(id as u64), config.clone(), key, keystore.clone(), proof.clone())
+            Replica::resume(
+                NodeId(id as u64),
+                config.clone(),
+                key,
+                keystore.clone(),
+                proof.clone(),
+            )
         })
         .collect();
     cluster.collected = Default::default();
@@ -631,6 +643,10 @@ fn resumed_replica_continues_after_its_checkpoint() {
     cluster.run_until_quiet();
     for id in 0..4 {
         let decides = cluster.decides_on(id);
-        assert_eq!(decides, vec![(4, vec![9; 16])], "replica {id} continues at sn 4");
+        assert_eq!(
+            decides,
+            vec![(4, vec![9; 16])],
+            "replica {id} continues at sn 4"
+        );
     }
 }

@@ -5,7 +5,8 @@
 
 use proptest::prelude::*;
 use zugchain_crypto::Keystore;
-use zugchain_pbft::{Action, Config, NodeId, ProposedRequest, Replica, SignedMessage};
+use zugchain_machine::Effect;
+use zugchain_pbft::{Config, NodeId, ProposedRequest, Replica, ReplicaEvent, SignedMessage};
 
 /// A scripted run: proposals interleaved with a delivery schedule.
 #[derive(Debug, Clone)]
@@ -40,28 +41,24 @@ fn run(schedule: &Schedule) -> Vec<Vec<(u64, Vec<u8>)>> {
     // Pending deliveries: (destination, message).
     let mut queue: Vec<(usize, SignedMessage)> = Vec::new();
 
-    let mut pump = |replicas: &mut Vec<Replica>,
-                    queue: &mut Vec<(usize, SignedMessage)>,
-                    decided: &mut Vec<Vec<(u64, Vec<u8>)>>| {
+    let pump = |replicas: &mut Vec<Replica>,
+                queue: &mut Vec<(usize, SignedMessage)>,
+                decided: &mut Vec<Vec<(u64, Vec<u8>)>>| {
         for index in 0..replicas.len() {
-            for action in replicas[index].drain_actions() {
-                match action {
-                    Action::Broadcast { message } => {
+            for effect in replicas[index].drain_effects() {
+                match effect {
+                    Effect::Broadcast { message } => {
                         for dest in 0..4 {
                             if dest != index {
                                 queue.push((dest, message.clone()));
                             }
                         }
                     }
-                    Action::Send { to, message } => {
-                        if to.0 as usize != index {
-                            queue.push((to.0 as usize, message));
-                        }
+                    Effect::Send { to, message } if to.0 as usize != index => {
+                        queue.push((to.0 as usize, message));
                     }
-                    Action::Decide { sn, request } => {
-                        if !request.is_noop() {
-                            decided[index].push((sn, request.payload));
-                        }
+                    Effect::Output(ReplicaEvent::Decide { sn, request }) if !request.is_noop() => {
+                        decided[index].push((sn, request.payload));
                     }
                     _ => {}
                 }

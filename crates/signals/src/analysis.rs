@@ -87,7 +87,10 @@ impl fmt::Display for Finding {
                 f,
                 "sn {sn}: bus time {time_ms} ms precedes already-logged {latest_before_ms} ms"
             ),
-            Finding::EmergencyBraking { time_ms, speed_ckmh } => match speed_ckmh {
+            Finding::EmergencyBraking {
+                time_ms,
+                speed_ckmh,
+            } => match speed_ckmh {
                 Some(speed) => write!(
                     f,
                     "[{time_ms} ms] EMERGENCY BRAKE at {:.1} km/h",
@@ -98,7 +101,10 @@ impl fmt::Display for Finding {
             Finding::AtpIntervention { time_ms } => {
                 write!(f, "[{time_ms} ms] ATP intervention")
             }
-            Finding::DoorsReleasedWhileMoving { time_ms, speed_ckmh } => write!(
+            Finding::DoorsReleasedWhileMoving {
+                time_ms,
+                speed_ckmh,
+            } => write!(
                 f,
                 "[{time_ms} ms] doors released at {:.1} km/h",
                 f64::from(*speed_ckmh) / 100.0
@@ -152,9 +158,9 @@ impl Timeline {
                         });
                     }
                     ("atp_intervention", SignalValue::Bool(true)) => {
-                        timeline
-                            .findings
-                            .push(Finding::AtpIntervention { time_ms: event.time_ms });
+                        timeline.findings.push(Finding::AtpIntervention {
+                            time_ms: event.time_ms,
+                        });
                     }
                     ("doors_released", SignalValue::Bool(true)) => {
                         if let Some(speed) = last_speed {
@@ -169,11 +175,7 @@ impl Timeline {
                     }
                     _ => {}
                 }
-                timeline.events.push(AnalyzedEvent {
-                    sn,
-                    origin,
-                    event,
-                });
+                timeline.events.push(AnalyzedEvent { sn, origin, event });
             }
         }
         timeline
@@ -278,9 +280,17 @@ mod tests {
     #[test]
     fn out_of_order_inclusion_is_flagged() {
         let timeline = Timeline::from_requests([
-            request(1, 5_000, vec![event("v_actual", 5_000, SignalValue::U16(1))]),
+            request(
+                1,
+                5_000,
+                vec![event("v_actual", 5_000, SignalValue::U16(1))],
+            ),
             // Included long after its creation: > tolerance behind.
-            request(2, 1_000, vec![event("v_actual", 1_000, SignalValue::U16(2))]),
+            request(
+                2,
+                1_000,
+                vec![event("v_actual", 1_000, SignalValue::U16(2))],
+            ),
         ]);
         assert_eq!(timeline.suspicious_orderings().count(), 1);
     }
@@ -306,7 +316,10 @@ mod tests {
         ]);
         assert!(matches!(
             timeline.findings()[0],
-            Finding::DoorsReleasedWhileMoving { speed_ckmh: 5_000, .. }
+            Finding::DoorsReleasedWhileMoving {
+                speed_ckmh: 5_000,
+                ..
+            }
         ));
     }
 
@@ -341,6 +354,9 @@ mod tests {
             time_ms: 640,
             speed_ckmh: Some(12_340),
         };
-        assert_eq!(finding.to_string(), "[640 ms] EMERGENCY BRAKE at 123.4 km/h");
+        assert_eq!(
+            finding.to_string(),
+            "[640 ms] EMERGENCY BRAKE at 123.4 km/h"
+        );
     }
 }

@@ -152,8 +152,7 @@ mod tests {
     #[test]
     fn event_wire_round_trip() {
         let event = sample();
-        let back: TrainEvent =
-            zugchain_wire::from_bytes(&zugchain_wire::to_bytes(&event)).unwrap();
+        let back: TrainEvent = zugchain_wire::from_bytes(&zugchain_wire::to_bytes(&event)).unwrap();
         assert_eq!(back, event);
     }
 
@@ -180,7 +179,10 @@ mod tests {
         let err = zugchain_wire::from_bytes::<SignalValue>(&[9]).unwrap_err();
         assert!(matches!(
             err,
-            zugchain_wire::WireError::InvalidDiscriminant { type_name: "SignalValue", value: 9 }
+            zugchain_wire::WireError::InvalidDiscriminant {
+                type_name: "SignalValue",
+                value: 9
+            }
         ));
     }
 

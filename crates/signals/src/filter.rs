@@ -132,9 +132,9 @@ mod tests {
         let mut filter = ChangeFilter::new();
         filter.admit(&event(1, SignalValue::U16(5)));
         let batch = vec![
-            event(1, SignalValue::U16(5)),  // suppressed
-            event(2, SignalValue::U16(7)),  // admitted
-            event(1, SignalValue::U16(6)),  // admitted (changed)
+            event(1, SignalValue::U16(5)), // suppressed
+            event(2, SignalValue::U16(7)), // admitted
+            event(1, SignalValue::U16(6)), // admitted (changed)
         ];
         let out = filter.filter_batch(batch);
         assert_eq!(out.len(), 2);

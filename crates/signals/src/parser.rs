@@ -68,8 +68,12 @@ impl SignalParser {
         let decoded = match descriptor.kind {
             _ if payload.len() != descriptor.kind.width() => None,
             SignalKind::Bool => Some(SignalValue::Bool(payload[0] != 0)),
-            SignalKind::U16 => Some(SignalValue::U16(u16::from_le_bytes([payload[0], payload[1]]))),
-            SignalKind::I16 => Some(SignalValue::I16(i16::from_le_bytes([payload[0], payload[1]]))),
+            SignalKind::U16 => Some(SignalValue::U16(u16::from_le_bytes([
+                payload[0], payload[1],
+            ]))),
+            SignalKind::I16 => Some(SignalValue::I16(i16::from_le_bytes([
+                payload[0], payload[1],
+            ]))),
             SignalKind::U32 => Some(SignalValue::U32(u32::from_le_bytes([
                 payload[0], payload[1], payload[2], payload[3],
             ]))),

@@ -137,7 +137,12 @@ mod tests {
     use zugchain_mvb::PortAddress;
 
     fn speed_telegram(cycle: u64, speed: u16) -> Telegram {
-        Telegram::new(PortAddress(0x100), cycle, cycle * 64, speed.to_le_bytes().to_vec())
+        Telegram::new(
+            PortAddress(0x100),
+            cycle,
+            cycle * 64,
+            speed.to_le_bytes().to_vec(),
+        )
     }
 
     #[test]
@@ -171,8 +176,7 @@ mod tests {
                 value: crate::SignalValue::Bool(true),
             }],
         );
-        let back: Request =
-            zugchain_wire::from_bytes(&zugchain_wire::to_bytes(&request)).unwrap();
+        let back: Request = zugchain_wire::from_bytes(&zugchain_wire::to_bytes(&request)).unwrap();
         assert_eq!(back, request);
         assert_eq!(back.digest(), request.digest());
     }

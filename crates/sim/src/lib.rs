@@ -50,9 +50,10 @@ mod cost;
 mod export_sim;
 mod metrics;
 mod network;
+mod node_loop;
+pub mod runtime;
 mod scenario;
 mod sim;
-pub mod runtime;
 pub mod tcp;
 
 pub use cost::CostModel;

@@ -79,6 +79,10 @@ pub struct RunMetrics {
     /// Requests read from the bus but never logged by the end of the run
     /// (dropped or still queued — the overload signal).
     pub unlogged_requests: u64,
+    /// Per-node decided log: `(sn, payload digest)` in decide order.
+    /// The cross-runtime conformance suite compares these sequences
+    /// against the threaded and TCP runtimes.
+    pub decided: Vec<Vec<(u64, zugchain_crypto::Digest)>>,
 }
 
 impl RunMetrics {

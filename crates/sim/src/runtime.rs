@@ -2,36 +2,16 @@
 //! time — the examples use this to run a live ZugChain cluster inside one
 //! process, with crossbeam channels standing in for the testbed Ethernet.
 
-use std::collections::BTreeMap;
 use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
 
-use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
-use zugchain::{NodeAction, NodeConfig, NodeMessage, TimerId, TrainNode, ZugchainNode};
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use zugchain::{NodeConfig, ZugchainNode};
 use zugchain_blockchain::{ChainStore, DiskStore};
 use zugchain_crypto::{Digest, KeyPair, Keystore};
 use zugchain_mvb::{Nsdb, Telegram};
 use zugchain_pbft::{CheckpointProof, NodeId};
 
-/// Input to a node thread.
-#[derive(Debug)]
-enum NodeInput {
-    /// A consolidated bus payload delivered to this node.
-    RawPayload(Vec<u8>),
-    /// Telegrams of one bus cycle.
-    Telegrams {
-        cycle: u64,
-        time_ms: u64,
-        telegrams: Vec<Telegram>,
-    },
-    /// A network message from a peer.
-    Message(NodeMessage),
-    /// Crash the node (stop processing, keep the thread for state
-    /// collection).
-    Crash,
-    /// Stop and report state.
-    Shutdown,
-}
+use crate::node_loop::{node_loop, ChannelLink, LoopInput};
 
 /// Events a running cluster reports to the caller.
 #[derive(Debug, Clone)]
@@ -46,6 +26,9 @@ pub enum ClusterEvent {
         origin: NodeId,
         /// Payload length in bytes.
         payload_len: usize,
+        /// Payload digest — lets callers compare decided sequences across
+        /// runtimes without shipping payloads around.
+        digest: Digest,
     },
     /// A block was created.
     BlockCreated {
@@ -102,7 +85,7 @@ pub struct NodeSummary {
 /// assert_eq!(summaries.len(), 4);
 /// ```
 pub struct ThreadedCluster {
-    inboxes: Vec<Sender<NodeInput>>,
+    inboxes: Vec<Sender<LoopInput>>,
     events: Receiver<ClusterEvent>,
     handles: Vec<JoinHandle<NodeSummary>>,
     /// The group keystore, exposed for export-side verification.
@@ -148,9 +131,9 @@ impl ThreadedCluster {
         let dir = dir.as_ref().to_path_buf();
         let (pairs, keystore) = Keystore::generate(n, 0xC10C);
         let (event_tx, event_rx) = unbounded();
-        let channels: Vec<(Sender<NodeInput>, Receiver<NodeInput>)> =
+        let channels: Vec<(Sender<LoopInput>, Receiver<LoopInput>)> =
             (0..n).map(|_| bounded(4096)).collect();
-        let inboxes: Vec<Sender<NodeInput>> = channels.iter().map(|(tx, _)| tx.clone()).collect();
+        let inboxes: Vec<Sender<LoopInput>> = channels.iter().map(|(tx, _)| tx.clone()).collect();
 
         let handles = channels
             .into_iter()
@@ -163,9 +146,7 @@ impl ThreadedCluster {
                     .load_proofs()
                     .expect("proofs load")
                     .into_iter()
-                    .map(|(_, bytes)| {
-                        zugchain_wire::from_bytes(&bytes).expect("proof decodes")
-                    })
+                    .map(|(_, bytes)| zugchain_wire::from_bytes(&bytes).expect("proof decodes"))
                     .collect();
                 // Keep the chain up to the last proven block; anything
                 // after it lacked a stable checkpoint at power loss and
@@ -192,11 +173,13 @@ impl ThreadedCluster {
                     store,
                     proofs,
                 );
-                let peers = inboxes.clone();
+                let link = ChannelLink {
+                    peers: inboxes.clone(),
+                };
                 let events = event_tx.clone();
                 std::thread::Builder::new()
                     .name(format!("zugchain-node-{id}"))
-                    .spawn(move || node_thread(node, rx, peers, events, Some(disk)))
+                    .spawn(move || node_loop(node, rx, link, events, Some(disk)))
                     .expect("spawn node thread")
             })
             .collect();
@@ -218,9 +201,9 @@ impl ThreadedCluster {
     ) -> Self {
         let (pairs, keystore) = Keystore::generate(n, 0xC10C);
         let (event_tx, event_rx) = unbounded();
-        let channels: Vec<(Sender<NodeInput>, Receiver<NodeInput>)> =
+        let channels: Vec<(Sender<LoopInput>, Receiver<LoopInput>)> =
             (0..n).map(|_| bounded(4096)).collect();
-        let inboxes: Vec<Sender<NodeInput>> = channels.iter().map(|(tx, _)| tx.clone()).collect();
+        let inboxes: Vec<Sender<LoopInput>> = channels.iter().map(|(tx, _)| tx.clone()).collect();
 
         let handles = channels
             .into_iter()
@@ -233,7 +216,9 @@ impl ThreadedCluster {
                     pairs[id].clone(),
                     keystore.clone(),
                 );
-                let peers = inboxes.clone();
+                let link = ChannelLink {
+                    peers: inboxes.clone(),
+                };
                 let events = event_tx.clone();
                 let disk = disk_dir.as_ref().map(|dir| {
                     DiskStore::open(dir.join(format!("node-{id}")))
@@ -241,7 +226,7 @@ impl ThreadedCluster {
                 });
                 std::thread::Builder::new()
                     .name(format!("zugchain-node-{id}"))
-                    .spawn(move || node_thread(node, rx, peers, events, disk))
+                    .spawn(move || node_loop(node, rx, link, events, disk))
                     .expect("spawn node thread")
             })
             .collect();
@@ -269,18 +254,18 @@ impl ThreadedCluster {
     /// read it from one bus cycle.
     pub fn feed_bus_payload_all(&self, payload: Vec<u8>) {
         for inbox in &self.inboxes {
-            let _ = inbox.send(NodeInput::RawPayload(payload.clone()));
+            let _ = inbox.send(LoopInput::RawPayload(payload.clone()));
         }
     }
 
     /// Delivers a payload to one node only (diverging reception).
     pub fn feed_bus_payload(&self, node: usize, payload: Vec<u8>) {
-        let _ = self.inboxes[node].send(NodeInput::RawPayload(payload));
+        let _ = self.inboxes[node].send(LoopInput::RawPayload(payload));
     }
 
     /// Delivers one bus cycle's telegrams to a node.
     pub fn feed_telegrams(&self, node: usize, cycle: u64, time_ms: u64, telegrams: Vec<Telegram>) {
-        let _ = self.inboxes[node].send(NodeInput::Telegrams {
+        let _ = self.inboxes[node].send(LoopInput::Telegrams {
             cycle,
             time_ms,
             telegrams,
@@ -290,7 +275,7 @@ impl ThreadedCluster {
     /// Crashes a node: it stops processing but its thread stays alive so
     /// its state can still be collected at shutdown.
     pub fn crash(&self, node: usize) {
-        let _ = self.inboxes[node].send(NodeInput::Crash);
+        let _ = self.inboxes[node].send(LoopInput::Crash);
     }
 
     /// The event stream (logged requests, blocks, view changes).
@@ -301,7 +286,7 @@ impl ThreadedCluster {
     /// Stops all nodes and returns their final state.
     pub fn shutdown(self) -> Vec<NodeSummary> {
         for inbox in &self.inboxes {
-            let _ = inbox.send(NodeInput::Shutdown);
+            let _ = inbox.send(LoopInput::Shutdown);
         }
         self.handles
             .into_iter()
@@ -310,141 +295,10 @@ impl ThreadedCluster {
     }
 }
 
-/// The per-node event loop: messages in, actions routed out, timers via
-/// `recv_timeout`.
-fn node_thread(
-    mut node: ZugchainNode,
-    inbox: Receiver<NodeInput>,
-    peers: Vec<Sender<NodeInput>>,
-    events: Sender<ClusterEvent>,
-    disk: Option<DiskStore>,
-) -> NodeSummary {
-    let id = node.id();
-    let start = Instant::now();
-    let mut timers: BTreeMap<TimerId, Instant> = BTreeMap::new();
-    let mut crashed = false;
-
-    loop {
-        let now = Instant::now();
-        let timeout = timers
-            .values()
-            .min()
-            .map(|deadline| deadline.saturating_duration_since(now))
-            .unwrap_or(Duration::from_millis(100));
-
-        match inbox.recv_timeout(timeout) {
-            Ok(NodeInput::Shutdown) | Err(RecvTimeoutError::Disconnected) => break,
-            Ok(NodeInput::Crash) => {
-                crashed = true;
-                timers.clear();
-            }
-            Ok(input) if crashed => drop(input),
-            Ok(NodeInput::RawPayload(payload)) => {
-                let time_ms = start.elapsed().as_millis() as u64;
-                node.on_raw_bus_payload(payload, time_ms);
-            }
-            Ok(NodeInput::Telegrams {
-                cycle,
-                time_ms,
-                telegrams,
-            }) => node.on_bus_cycle(0, cycle, time_ms, &telegrams),
-            Ok(NodeInput::Message(message)) => node.on_message(message),
-            Err(RecvTimeoutError::Timeout) => {}
-        }
-
-        // Fire due timers.
-        if !crashed {
-            let now = Instant::now();
-            let due: Vec<TimerId> = timers
-                .iter()
-                .filter(|(_, deadline)| **deadline <= now)
-                .map(|(id, _)| *id)
-                .collect();
-            for timer in due {
-                timers.remove(&timer);
-                node.on_timer(timer);
-            }
-        }
-
-        // Route actions.
-        for action in node.drain_actions() {
-            if crashed {
-                continue;
-            }
-            match action {
-                NodeAction::Broadcast { message } => {
-                    for (peer, sender) in peers.iter().enumerate() {
-                        if peer as u64 != id.0 {
-                            let _ = sender.send(NodeInput::Message(message.clone()));
-                        }
-                    }
-                }
-                NodeAction::Send { to, message } => {
-                    if let Some(sender) = peers.get(to.0 as usize) {
-                        if to != id {
-                            let _ = sender.send(NodeInput::Message(message));
-                        }
-                    }
-                }
-                NodeAction::SetTimer { id: timer, duration_ms } => {
-                    timers.insert(timer, Instant::now() + Duration::from_millis(duration_ms));
-                }
-                NodeAction::CancelTimer { id: timer } => {
-                    timers.remove(&timer);
-                }
-                NodeAction::Logged { sn, origin, payload } => {
-                    let _ = events.send(ClusterEvent::Logged {
-                        node: id,
-                        sn,
-                        origin,
-                        payload_len: payload.len(),
-                    });
-                }
-                NodeAction::BlockCreated { block } => {
-                    if let Some(disk) = &disk {
-                        // Durable before reported: a block is only
-                        // announced once it would survive power loss.
-                        disk.write_block(&block).expect("persist block");
-                    }
-                    let _ = events.send(ClusterEvent::BlockCreated {
-                        node: id,
-                        height: block.height(),
-                        hash: block.hash(),
-                    });
-                }
-                NodeAction::CheckpointStable { proof } => {
-                    if let Some(disk) = &disk {
-                        disk.write_proof(proof.checkpoint.sn, &zugchain_wire::to_bytes(&proof))
-                            .expect("persist checkpoint proof");
-                    }
-                    let _ = events.send(ClusterEvent::CheckpointStable {
-                        node: id,
-                        sn: proof.checkpoint.sn,
-                    });
-                }
-                NodeAction::NewPrimary { view, primary } => {
-                    let _ = events.send(ClusterEvent::ViewChange {
-                        node: id,
-                        view,
-                        primary,
-                    });
-                }
-                NodeAction::StateTransferNeeded { .. } => {}
-            }
-        }
-    }
-
-    NodeSummary {
-        id,
-        stats: node.stats(),
-        stable_proofs: node.stable_proofs().to_vec(),
-        chain: std::mem::take(node.chain_mut()),
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::time::Duration;
 
     #[test]
     fn threaded_cluster_orders_and_shuts_down() {
@@ -499,11 +353,13 @@ mod tests {
 #[cfg(test)]
 mod disk_tests {
     use super::*;
+    use std::time::{Duration, Instant};
     use zugchain_blockchain::DiskStore;
 
     #[test]
     fn blocks_survive_power_loss_on_disk() {
-        let dir = std::env::temp_dir().join(format!("zugchain-runtime-disk-{}", std::process::id()));
+        let dir =
+            std::env::temp_dir().join(format!("zugchain-runtime-disk-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
 
         let config = NodeConfig::evaluation_default().with_block_size(3);
@@ -542,6 +398,7 @@ mod disk_tests {
 #[cfg(test)]
 mod recovery_tests {
     use super::*;
+    use std::time::{Duration, Instant};
 
     /// Full power-loss drill: run, lose power, restart from disk, keep
     /// recording — one continuous verified chain across the outage.

@@ -30,6 +30,13 @@ pub enum Workload {
         /// Apply background bus faults (drops/delays/bit flips) per tap.
         background_faults: bool,
     },
+    /// An explicit script of `(time_ms, payload)` deliveries to all
+    /// (non-crashed) nodes — used by the cross-runtime conformance suite,
+    /// where every runtime must decide the identical sequence.
+    Scripted {
+        /// Payloads by delivery time, sorted ascending.
+        payloads: Vec<(u64, Vec<u8>)>,
+    },
 }
 
 /// Byzantine / fault injections of a scenario (paper Figs. 8 and 9).

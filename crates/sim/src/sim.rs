@@ -3,17 +3,25 @@ use std::collections::{BinaryHeap, HashMap, HashSet};
 
 use rand::{Rng as _, RngExt as _, SeedableRng as _};
 use zugchain::{
-    BaselineNode, LayerMessage, NodeAction, NodeMessage, SignedRequest, TimerId, TrainNode,
-    ZugchainNode,
+    BaselineNode, LayerMessage, NodeEvent, NodeInput, NodeMessage, SignedRequest, TimerId,
+    TrainMachine, TrainNode, ZugchainNode,
 };
 use zugchain_crypto::{Digest, KeyPair, Keystore};
-use zugchain_mvb::{Bus, BusConfig, BusFaultPlan, Nsdb, PortAddress, SignalDescriptor, SignalGenerator, SignalKind, TapFaults, Telegram};
+use zugchain_machine::{Driver, Frame, Host};
+use zugchain_mvb::{
+    Bus, BusConfig, BusFaultPlan, Nsdb, PortAddress, SignalDescriptor, SignalGenerator, SignalKind,
+    TapFaults, Telegram,
+};
 use zugchain_pbft::{Message, NodeId, ProposedRequest};
 use zugchain_signals::CycleConsolidator;
 
 use crate::{LatencyStats, Mode, RunMetrics, ScenarioConfig, Workload};
 
 const NS_PER_MS: u64 = 1_000_000;
+
+/// The driver type the simulator runs: either node flavour behind the
+/// same generic dispatch loop the threaded and TCP runtimes use.
+type SimDriver = Driver<TrainMachine<Box<dyn TrainNode>>>;
 
 /// Work delivered to a node.
 #[derive(Debug)]
@@ -26,9 +34,12 @@ enum Work {
         time_ms: u64,
         telegrams: Vec<Telegram>,
     },
-    /// A network message.
-    Message(NodeMessage),
-    /// A timer expiry.
+    /// A network message, shared by reference: all recipients of a
+    /// broadcast hold the same frame, and in-process delivery never
+    /// wire-encodes it.
+    Message(Frame<NodeMessage>),
+    /// A timer expiry `(id, generation)`; stale generations are dropped
+    /// without cost.
     Timer(TimerId, u64),
 }
 
@@ -59,10 +70,7 @@ impl PartialOrd for Event {
 impl Ord for Event {
     fn cmp(&self, other: &Self) -> Ordering {
         // Min-heap: earlier time (then lower seq) is "greater".
-        other
-            .at_ns
-            .cmp(&self.at_ns)
-            .then(other.seq.cmp(&self.seq))
+        other.at_ns.cmp(&self.at_ns).then(other.seq.cmp(&self.seq))
     }
 }
 
@@ -70,8 +78,19 @@ impl Ord for Event {
 ///
 /// Use [`run_scenario`] unless you need step-level control.
 pub struct Simulation {
+    /// One [`Driver`] per node; the driver owns timer generations and
+    /// routes effects into a [`SimHost`].
+    drivers: Vec<SimDriver>,
+    world: World,
+    /// JRU-signal workload state.
+    jru: Option<JruWorkload>,
+}
+
+/// Everything in the simulation that is not a node: the event heap, cost
+/// accounting, fault state, and metrics. Split from the drivers so a
+/// [`SimHost`] can borrow the world while its driver is borrowed mutably.
+struct World {
     config: ScenarioConfig,
-    nodes: Vec<Box<dyn TrainNode>>,
     pairs: Vec<KeyPair>,
     crashed: Vec<bool>,
     /// Busy-until per node and lane (0 = consensus loop, 1 = bus I/O).
@@ -79,10 +98,7 @@ pub struct Simulation {
     cpu_busy_ns: Vec<u64>,
     events: BinaryHeap<Event>,
     seq: u64,
-    now_ns: u64,
     net: crate::NetworkModel,
-    /// Timer generations: stale fired timers are ignored.
-    timer_gen: HashMap<(usize, TimerId), u64>,
     /// Birth time per payload digest.
     births: HashMap<Digest, u64>,
     /// Digests already counted in the latency series.
@@ -90,12 +106,14 @@ pub struct Simulation {
     latency: LatencyStats,
     logged_count: Vec<u64>,
     blocks_count: Vec<u64>,
+    /// Per-node decided log for the conformance suite.
+    decided: Vec<Vec<(u64, Digest)>>,
     view_changes: u64,
     memory_samples: Vec<usize>,
     rng: rand::rngs::StdRng,
-    /// JRU-signal workload state.
-    jru: Option<JruWorkload>,
     fabricate_counter: u64,
+    /// Next undelivered index into a scripted workload.
+    scripted_next: usize,
 }
 
 struct JruWorkload {
@@ -103,81 +121,9 @@ struct JruWorkload {
     reference: CycleConsolidator,
 }
 
-impl Simulation {
-    /// Builds a simulation for `config`, seeding all randomness with
-    /// `seed`.
-    pub fn new(config: &ScenarioConfig, seed: u64) -> Self {
-        let n = config.n_nodes;
-        let (pairs, keystore) = Keystore::generate(n, seed);
-        let nsdb = sweep_nsdb(&config.workload);
-        let nodes: Vec<Box<dyn TrainNode>> = pairs
-            .iter()
-            .enumerate()
-            .map(|(id, key)| match config.mode {
-                Mode::Zugchain => Box::new(ZugchainNode::new(
-                    id as u64,
-                    config.node_config.clone(),
-                    nsdb.clone(),
-                    key.clone(),
-                    keystore.clone(),
-                )) as Box<dyn TrainNode>,
-                Mode::Baseline => Box::new(BaselineNode::new(
-                    id as u64,
-                    config.node_config.clone(),
-                    nsdb.clone(),
-                    key.clone(),
-                    keystore.clone(),
-                )) as Box<dyn TrainNode>,
-            })
-            .collect();
-
-        let jru = match &config.workload {
-            Workload::SyntheticPayload { .. } => None,
-            Workload::JruSignals {
-                generator_seed,
-                background_faults,
-            } => {
-                let bus_config = BusConfig::jru_default(config.bus_cycle_ms);
-                let mut bus = Bus::new(bus_config.clone(), n, seed ^ 0xB05);
-                bus.attach_device(Box::new(SignalGenerator::new(*generator_seed)));
-                if *background_faults {
-                    let plan =
-                        BusFaultPlan::new(vec![TapFaults::BACKGROUND; n], seed ^ 0xFA01);
-                    bus.set_fault_plan(plan);
-                }
-                Some(JruWorkload {
-                    bus,
-                    reference: CycleConsolidator::new(bus_config.nsdb),
-                })
-            }
-        };
-
-        let mut sim = Self {
-            nodes,
-            pairs,
-            crashed: vec![false; n],
-            lane_busy: vec![[0, 0]; n],
-            cpu_busy_ns: vec![0; n],
-            events: BinaryHeap::new(),
-            seq: 0,
-            now_ns: 0,
-            net: config.network.clone(),
-            timer_gen: HashMap::new(),
-            births: HashMap::new(),
-            first_logged: HashSet::new(),
-            latency: LatencyStats::default(),
-            logged_count: vec![0; n],
-            blocks_count: vec![0; n],
-            view_changes: 0,
-            memory_samples: Vec::new(),
-            rng: rand::rngs::StdRng::seed_from_u64(seed ^ 0x51A1),
-            jru,
-            fabricate_counter: 0,
-            config: config.clone(),
-        };
-        sim.push(0, EventKind::BusCycle(0));
-        sim.push(500 * NS_PER_MS, EventKind::MemorySample);
-        sim
+impl World {
+    fn n(&self) -> usize {
+        self.crashed.len()
     }
 
     fn push(&mut self, at_ns: u64, kind: EventKind) {
@@ -189,147 +135,6 @@ impl Simulation {
         });
     }
 
-    /// Runs the scenario to completion and returns the metrics.
-    pub fn run(mut self) -> RunMetrics {
-        let end_ns = self.config.duration_ms * NS_PER_MS;
-        // Grace period lets in-flight requests finish ordering.
-        let drain_ns = end_ns + 2_000 * NS_PER_MS;
-        while let Some(event) = self.events.pop() {
-            if event.at_ns > drain_ns {
-                break;
-            }
-            self.now_ns = event.at_ns;
-            match event.kind {
-                EventKind::BusCycle(cycle) => self.on_bus_cycle(cycle, event.at_ns, end_ns),
-                EventKind::Deliver { node, work } => self.deliver(node, work, event.at_ns),
-                EventKind::MemorySample => {
-                    if event.at_ns <= end_ns {
-                        let peak = (0..self.nodes.len())
-                            .filter(|&i| !self.crashed[i])
-                            .map(|i| self.nodes[i].approx_memory_bytes())
-                            .max()
-                            .unwrap_or(0)
-                            + self.config.cost.process_base_bytes;
-                        self.memory_samples.push(peak);
-                        self.push(event.at_ns + 500 * NS_PER_MS, EventKind::MemorySample);
-                    }
-                }
-            }
-        }
-        self.finish(end_ns)
-    }
-
-    fn on_bus_cycle(&mut self, cycle: u64, at_ns: u64, end_ns: u64) {
-        if at_ns >= end_ns {
-            return; // stop generating load at the end of the run
-        }
-        let time_ms = at_ns / NS_PER_MS;
-        match &mut self.jru {
-            None => {
-                let Workload::SyntheticPayload { bytes } = self.config.workload else {
-                    unreachable!("jru workload carries its own bus");
-                };
-                // Unique payload per cycle: cycle stamp + seeded noise.
-                let mut payload = vec![0u8; bytes.max(8)];
-                payload[..8].copy_from_slice(&cycle.to_le_bytes());
-                if payload.len() > 8 {
-                    self.rng.fill_bytes(&mut payload[8..]);
-                }
-                self.births.insert(Digest::of(&payload), at_ns);
-                for node in 0..self.nodes.len() {
-                    if self.config.faults.primary_censors && node == 0 {
-                        continue; // the censor pretends it saw nothing
-                    }
-                    if !self.crashed[node] {
-                        self.push(
-                            at_ns,
-                            EventKind::Deliver {
-                                node,
-                                work: Work::RawPayload(payload.clone()),
-                            },
-                        );
-                    }
-                }
-            }
-            Some(jru) => {
-                let out = jru.bus.run_cycle();
-                // Ground truth: what an ideal node would consolidate.
-                if let Some(request) =
-                    jru.reference
-                        .consolidate(out.cycle, out.time_ms, &out.on_wire)
-                {
-                    self.births
-                        .insert(Digest::of(&zugchain_wire::to_bytes(&request)), at_ns);
-                }
-                for obs in out.observations {
-                    if !self.crashed[obs.tap] {
-                        self.push(
-                            at_ns,
-                            EventKind::Deliver {
-                                node: obs.tap,
-                                work: Work::Telegrams {
-                                    cycle: out.cycle,
-                                    time_ms: out.time_ms,
-                                    telegrams: obs.telegrams,
-                                },
-                            },
-                        );
-                    }
-                }
-            }
-        }
-
-        // Fig. 9 fault: a faulty backup injects a fabricated request for a
-        // fraction of cycles.
-        if let Some((faulty, fraction)) = self.config.faults.fabricate {
-            if !self.crashed[faulty] && self.rng.random_bool(fraction.clamp(0.0, 1.0)) {
-                self.inject_fabricated(faulty, at_ns);
-            }
-        }
-
-        // Crash fault.
-        if let Some((node, when_ms)) = self.config.faults.crash {
-            if !self.crashed[node] && time_ms >= when_ms {
-                self.crashed[node] = true;
-            }
-        }
-
-        self.push(
-            at_ns + self.config.bus_cycle_ms * NS_PER_MS,
-            EventKind::BusCycle(cycle + 1),
-        );
-    }
-
-    /// A faulty node broadcasts a fabricated request (never on the bus).
-    fn inject_fabricated(&mut self, faulty: usize, at_ns: u64) {
-        self.fabricate_counter += 1;
-        let size = match self.config.workload {
-            Workload::SyntheticPayload { bytes } => bytes.max(16),
-            Workload::JruSignals { .. } => 256,
-        };
-        let mut payload = vec![0u8; size];
-        payload[..8].copy_from_slice(&self.fabricate_counter.to_le_bytes());
-        payload[8..16].copy_from_slice(b"FABRICAT");
-        self.births.insert(Digest::of(&payload), at_ns);
-        let request = ProposedRequest::application(payload, NodeId(faulty as u64));
-        let signed = SignedRequest::sign(request, &self.pairs[faulty]);
-        let message = NodeMessage::Layer(LayerMessage::BroadcastRequest(signed));
-        let bytes = message.wire_size();
-        for dst in 0..self.nodes.len() {
-            if dst == faulty || self.crashed[dst] {
-                continue;
-            }
-            let arrival = self.net.send(faulty, dst, bytes, at_ns);
-            self.push(
-                arrival,
-                EventKind::Deliver {
-                    node: dst,
-                    work: Work::Message(message.clone()),
-                },
-            );
-        }
-    }
-
     fn work_cost(&self, work: &Work) -> u64 {
         let cost = &self.config.cost;
         match work {
@@ -338,155 +143,46 @@ impl Simulation {
                 let bytes: usize = telegrams.iter().map(|t| t.payload.len()).sum();
                 cost.bus_cycle_ns(telegrams.len(), bytes)
             }
-            Work::Message(message) => {
-                let signatures = match message {
+            Work::Message(frame) => {
+                let signatures = match frame.message() {
                     // Layer requests carry the origin signature.
                     NodeMessage::Layer(_) => 1,
                     NodeMessage::Consensus(_) => 1,
                 };
-                cost.receive_message_ns(message.wire_size(), signatures)
+                cost.receive_message_ns(frame.message().wire_size(), signatures)
             }
             Work::Timer(..) => 10_000,
         }
     }
 
-    fn deliver(&mut self, node: usize, work: Work, arrival_ns: u64) {
-        if self.crashed[node] {
-            return;
-        }
-        // A censoring primary drops layer requests so it never proposes.
-        if self.config.faults.primary_censors
-            && node == 0
-            && matches!(&work, Work::Message(NodeMessage::Layer(_)))
-        {
-            return;
-        }
-        // Stale timers are dropped without cost.
-        if let Work::Timer(id, generation) = &work {
-            if self.timer_gen.get(&(node, *id)).copied().unwrap_or(0) != *generation {
-                return;
-            }
-        }
-        let lane = match work {
-            Work::RawPayload(_) | Work::Telegrams { .. } => 1,
-            _ => 0,
+    /// A faulty node broadcasts a fabricated request (never on the bus).
+    fn inject_fabricated(&mut self, faulty: usize, at_ns: u64) {
+        self.fabricate_counter += 1;
+        let size = match self.config.workload {
+            Workload::SyntheticPayload { bytes } => bytes.max(16),
+            Workload::JruSignals { .. } | Workload::Scripted { .. } => 256,
         };
-        let start = arrival_ns.max(self.lane_busy[node][lane]);
-        let cost = self.work_cost(&work);
-        let finish = start + cost;
-        self.lane_busy[node][lane] = finish;
-        self.cpu_busy_ns[node] += cost;
-
-        match work {
-            Work::RawPayload(payload) => {
-                self.nodes[node].on_raw_bus_payload(payload, finish / NS_PER_MS);
+        let mut payload = vec![0u8; size];
+        payload[..8].copy_from_slice(&self.fabricate_counter.to_le_bytes());
+        payload[8..16].copy_from_slice(b"FABRICAT");
+        self.births.insert(Digest::of(&payload), at_ns);
+        let request = ProposedRequest::application(payload, NodeId(faulty as u64));
+        let signed = SignedRequest::sign(request, &self.pairs[faulty]);
+        let frame = Frame::new(NodeMessage::Layer(LayerMessage::BroadcastRequest(signed)));
+        let bytes = frame.message().wire_size();
+        for dst in 0..self.n() {
+            if dst == faulty || self.crashed[dst] {
+                continue;
             }
-            Work::Telegrams {
-                cycle,
-                time_ms,
-                telegrams,
-            } => self.nodes[node].on_bus_cycle(0, cycle, time_ms, &telegrams),
-            Work::Message(message) => self.nodes[node].on_message(message),
-            Work::Timer(id, _) => self.nodes[node].on_timer(id),
+            let arrival = self.net.send(faulty, dst, bytes, at_ns);
+            self.push(
+                arrival,
+                EventKind::Deliver {
+                    node: dst,
+                    work: Work::Message(frame.clone()),
+                },
+            );
         }
-        self.route_actions(node, finish);
-    }
-
-    /// Executes the actions a node produced, charging consensus-lane CPU
-    /// for each outbound message and dispatching over the network model.
-    fn route_actions(&mut self, node: usize, ready_ns: u64) {
-        let actions = self.nodes[node].drain_actions();
-        if actions.is_empty() {
-            return;
-        }
-        let cost_model = self.config.cost.clone();
-        let mut t = ready_ns.max(self.lane_busy[node][0]);
-        for action in actions {
-            match action {
-                NodeAction::Broadcast { message } => {
-                    let bytes = message.wire_size();
-                    let cost = cost_model.send_message_ns(bytes);
-                    t += cost;
-                    self.cpu_busy_ns[node] += cost;
-                    for dst in 0..self.nodes.len() {
-                        if dst == node || self.crashed[dst] || self.partitioned(node, dst, t) {
-                            continue;
-                        }
-                        let ready = t + self.attack_delay_ns(node, &message);
-                        let arrival = self.net.send(node, dst, bytes, ready);
-                        self.push(
-                            arrival,
-                            EventKind::Deliver {
-                                node: dst,
-                                work: Work::Message(message.clone()),
-                            },
-                        );
-                    }
-                }
-                NodeAction::Send { to, message } => {
-                    let dst = to.0 as usize;
-                    let bytes = message.wire_size();
-                    let cost = cost_model.send_message_ns(bytes);
-                    t += cost;
-                    self.cpu_busy_ns[node] += cost;
-                    if dst < self.nodes.len()
-                        && dst != node
-                        && !self.crashed[dst]
-                        && !self.partitioned(node, dst, t)
-                    {
-                        let ready = t + self.attack_delay_ns(node, &message);
-                        let arrival = self.net.send(node, dst, bytes, ready);
-                        self.push(
-                            arrival,
-                            EventKind::Deliver {
-                                node: dst,
-                                work: Work::Message(message),
-                            },
-                        );
-                    }
-                }
-                NodeAction::SetTimer { id, duration_ms } => {
-                    let generation = self.timer_gen.entry((node, id)).or_insert(0);
-                    *generation += 1;
-                    let generation = *generation;
-                    self.push(
-                        t + duration_ms * NS_PER_MS,
-                        EventKind::Deliver {
-                            node,
-                            work: Work::Timer(id, generation),
-                        },
-                    );
-                }
-                NodeAction::CancelTimer { id } => {
-                    *self.timer_gen.entry((node, id)).or_insert(0) += 1;
-                }
-                NodeAction::Logged { payload, .. } => {
-                    self.logged_count[node] += 1;
-                    let digest = self.payload_identity(&payload);
-                    if let Some(birth) = self.births.get(&digest).copied() {
-                        if self.first_logged.insert(digest) {
-                            let latency_ms = (t.saturating_sub(birth)) as f64 / 1e6;
-                            self.latency.record(birth as f64 / 1e6, latency_ms);
-                        }
-                    }
-                }
-                NodeAction::BlockCreated { block } => {
-                    self.blocks_count[node] += 1;
-                    let cost = cost_model.hash_ns(block.encoded_size());
-                    t += cost;
-                    self.cpu_busy_ns[node] += cost;
-                }
-                NodeAction::NewPrimary { .. } => {
-                    if node == 1 {
-                        // Count once per completed view change, observed
-                        // on a fixed reference node.
-                        self.view_changes += 1;
-                    }
-                }
-                NodeAction::CheckpointStable { .. } | NodeAction::StateTransferNeeded { .. } => {}
-            }
-        }
-        self.lane_busy[node][0] = self.lane_busy[node][0].max(t);
     }
 
     /// Returns `true` if the partition fault currently separates the two
@@ -543,7 +239,7 @@ impl Simulation {
     fn finish(self, end_ns: u64) -> RunMetrics {
         let duration_ms = end_ns as f64 / 1e6;
         let duration_s = duration_ms / 1e3;
-        let n = self.nodes.len();
+        let n = self.n();
 
         let busiest = (0..n)
             .max_by_key(|&i| self.cpu_busy_ns[i])
@@ -570,10 +266,7 @@ impl Simulation {
         let memory_mb_max = self.memory_samples.iter().copied().max().unwrap_or(0) as f64 / 1e6;
 
         let logged_requests = self.logged_count.iter().copied().max().unwrap_or(0);
-        let unlogged = self
-            .births
-            .len()
-            .saturating_sub(self.first_logged.len()) as u64;
+        let unlogged = self.births.len().saturating_sub(self.first_logged.len()) as u64;
 
         RunMetrics {
             duration_ms,
@@ -586,7 +279,391 @@ impl Simulation {
             memory_mb_max,
             view_changes: self.view_changes,
             unlogged_requests: unlogged,
+            decided: self.decided,
         }
+    }
+}
+
+/// The cost-modelling [`Host`] the drivers route effects into. A send or
+/// broadcast charges consensus-lane CPU **once per effect** — a broadcast
+/// is one encode/sign regardless of fan-out, the same serialize-once
+/// behaviour the wire transports get from [`Frame`] — then schedules
+/// per-recipient deliveries through the network model. Timers go into the
+/// event heap carrying their generation; outputs feed the metrics.
+struct SimHost<'a> {
+    world: &'a mut World,
+    node: usize,
+    /// Consensus-lane time cursor, advanced by outbound work.
+    t: u64,
+}
+
+impl SimHost<'_> {
+    fn dispatch(&mut self, frame: &Frame<NodeMessage>, dst: usize, bytes: usize) {
+        let node = self.node;
+        if dst < self.world.n()
+            && dst != node
+            && !self.world.crashed[dst]
+            && !self.world.partitioned(node, dst, self.t)
+        {
+            let ready = self.t + self.world.attack_delay_ns(node, frame.message());
+            let arrival = self.world.net.send(node, dst, bytes, ready);
+            self.world.push(
+                arrival,
+                EventKind::Deliver {
+                    node: dst,
+                    work: Work::Message(frame.clone()),
+                },
+            );
+        }
+    }
+}
+
+impl Host<TrainMachine<Box<dyn TrainNode>>> for SimHost<'_> {
+    fn send(&mut self, to: NodeId, frame: &Frame<NodeMessage>) {
+        let bytes = frame.message().wire_size();
+        let cost = self.world.config.cost.send_message_ns(bytes);
+        self.t += cost;
+        self.world.cpu_busy_ns[self.node] += cost;
+        self.dispatch(frame, to.0 as usize, bytes);
+    }
+
+    fn broadcast(&mut self, frame: &Frame<NodeMessage>) {
+        let bytes = frame.message().wire_size();
+        let cost = self.world.config.cost.send_message_ns(bytes);
+        self.t += cost;
+        self.world.cpu_busy_ns[self.node] += cost;
+        for dst in 0..self.world.n() {
+            self.dispatch(frame, dst, bytes);
+        }
+    }
+
+    fn set_timer(&mut self, id: TimerId, generation: u64, duration_ms: u64) {
+        let node = self.node;
+        self.world.push(
+            self.t + duration_ms * NS_PER_MS,
+            EventKind::Deliver {
+                node,
+                work: Work::Timer(id, generation),
+            },
+        );
+    }
+
+    fn cancel_timer(&mut self, _id: TimerId) {
+        // The queued expiry stays in the heap; its generation is stale and
+        // it is dropped cost-free on arrival.
+    }
+
+    fn output(&mut self, event: NodeEvent) {
+        let node = self.node;
+        match event {
+            NodeEvent::Logged { sn, payload, .. } => {
+                self.world.logged_count[node] += 1;
+                let digest = self.world.payload_identity(&payload);
+                self.world.decided[node].push((sn, digest));
+                if let Some(birth) = self.world.births.get(&digest).copied() {
+                    if self.world.first_logged.insert(digest) {
+                        let latency_ms = (self.t.saturating_sub(birth)) as f64 / 1e6;
+                        self.world.latency.record(birth as f64 / 1e6, latency_ms);
+                    }
+                }
+            }
+            NodeEvent::BlockCreated { block } => {
+                self.world.blocks_count[node] += 1;
+                let cost = self.world.config.cost.hash_ns(block.encoded_size());
+                self.t += cost;
+                self.world.cpu_busy_ns[node] += cost;
+            }
+            NodeEvent::NewPrimary { .. } => {
+                if node == 1 {
+                    // Count once per completed view change, observed on a
+                    // fixed reference node.
+                    self.world.view_changes += 1;
+                }
+            }
+            NodeEvent::CheckpointStable { .. } | NodeEvent::StateTransferNeeded { .. } => {}
+        }
+    }
+}
+
+impl Simulation {
+    /// Builds a simulation for `config`, seeding all randomness with
+    /// `seed`.
+    pub fn new(config: &ScenarioConfig, seed: u64) -> Self {
+        let n = config.n_nodes;
+        let (pairs, keystore) = Keystore::generate(n, seed);
+        let nsdb = sweep_nsdb(&config.workload);
+        let drivers: Vec<SimDriver> = pairs
+            .iter()
+            .enumerate()
+            .map(|(id, key)| match config.mode {
+                Mode::Zugchain => Box::new(ZugchainNode::new(
+                    id as u64,
+                    config.node_config.clone(),
+                    nsdb.clone(),
+                    key.clone(),
+                    keystore.clone(),
+                )) as Box<dyn TrainNode>,
+                Mode::Baseline => Box::new(BaselineNode::new(
+                    id as u64,
+                    config.node_config.clone(),
+                    nsdb.clone(),
+                    key.clone(),
+                    keystore.clone(),
+                )) as Box<dyn TrainNode>,
+            })
+            .map(|node| Driver::new(TrainMachine(node)))
+            .collect();
+
+        let jru = match &config.workload {
+            Workload::SyntheticPayload { .. } | Workload::Scripted { .. } => None,
+            Workload::JruSignals {
+                generator_seed,
+                background_faults,
+            } => {
+                let bus_config = BusConfig::jru_default(config.bus_cycle_ms);
+                let mut bus = Bus::new(bus_config.clone(), n, seed ^ 0xB05);
+                bus.attach_device(Box::new(SignalGenerator::new(*generator_seed)));
+                if *background_faults {
+                    let plan = BusFaultPlan::new(vec![TapFaults::BACKGROUND; n], seed ^ 0xFA01);
+                    bus.set_fault_plan(plan);
+                }
+                Some(JruWorkload {
+                    bus,
+                    reference: CycleConsolidator::new(bus_config.nsdb),
+                })
+            }
+        };
+
+        let mut world = World {
+            pairs,
+            crashed: vec![false; n],
+            lane_busy: vec![[0, 0]; n],
+            cpu_busy_ns: vec![0; n],
+            events: BinaryHeap::new(),
+            seq: 0,
+            net: config.network.clone(),
+            births: HashMap::new(),
+            first_logged: HashSet::new(),
+            latency: LatencyStats::default(),
+            logged_count: vec![0; n],
+            blocks_count: vec![0; n],
+            decided: vec![Vec::new(); n],
+            view_changes: 0,
+            memory_samples: Vec::new(),
+            rng: rand::rngs::StdRng::seed_from_u64(seed ^ 0x51A1),
+            fabricate_counter: 0,
+            scripted_next: 0,
+            config: config.clone(),
+        };
+        world.push(0, EventKind::BusCycle(0));
+        world.push(500 * NS_PER_MS, EventKind::MemorySample);
+        Self {
+            drivers,
+            world,
+            jru,
+        }
+    }
+
+    /// Runs the scenario to completion and returns the metrics.
+    pub fn run(mut self) -> RunMetrics {
+        let end_ns = self.world.config.duration_ms * NS_PER_MS;
+        // Grace period lets in-flight requests finish ordering.
+        let drain_ns = end_ns + 2_000 * NS_PER_MS;
+        while let Some(event) = self.world.events.pop() {
+            if event.at_ns > drain_ns {
+                break;
+            }
+            match event.kind {
+                EventKind::BusCycle(cycle) => self.on_bus_cycle(cycle, event.at_ns, end_ns),
+                EventKind::Deliver { node, work } => self.deliver(node, work, event.at_ns),
+                EventKind::MemorySample => {
+                    if event.at_ns <= end_ns {
+                        let peak = (0..self.drivers.len())
+                            .filter(|&i| !self.world.crashed[i])
+                            .map(|i| self.drivers[i].machine().0.approx_memory_bytes())
+                            .max()
+                            .unwrap_or(0)
+                            + self.world.config.cost.process_base_bytes;
+                        self.world.memory_samples.push(peak);
+                        self.world
+                            .push(event.at_ns + 500 * NS_PER_MS, EventKind::MemorySample);
+                    }
+                }
+            }
+        }
+        self.world.finish(end_ns)
+    }
+
+    fn on_bus_cycle(&mut self, cycle: u64, at_ns: u64, end_ns: u64) {
+        if at_ns >= end_ns {
+            return; // stop generating load at the end of the run
+        }
+        let time_ms = at_ns / NS_PER_MS;
+        match &mut self.jru {
+            None => {
+                let payloads: Vec<Vec<u8>> = match &self.world.config.workload {
+                    Workload::SyntheticPayload { bytes } => {
+                        // Unique payload per cycle: cycle stamp + seeded
+                        // noise.
+                        let bytes = *bytes;
+                        let mut payload = vec![0u8; bytes.max(8)];
+                        payload[..8].copy_from_slice(&cycle.to_le_bytes());
+                        if payload.len() > 8 {
+                            self.world.rng.fill_bytes(&mut payload[8..]);
+                        }
+                        vec![payload]
+                    }
+                    Workload::Scripted { payloads } => {
+                        let due: Vec<Vec<u8>> = payloads
+                            .iter()
+                            .skip(self.world.scripted_next)
+                            .take_while(|(at_ms, _)| *at_ms <= time_ms)
+                            .map(|(_, payload)| payload.clone())
+                            .collect();
+                        self.world.scripted_next += due.len();
+                        due
+                    }
+                    Workload::JruSignals { .. } => {
+                        unreachable!("jru workload carries its own bus")
+                    }
+                };
+                for payload in payloads {
+                    self.world.births.insert(Digest::of(&payload), at_ns);
+                    for node in 0..self.drivers.len() {
+                        if self.world.config.faults.primary_censors && node == 0 {
+                            continue; // the censor pretends it saw nothing
+                        }
+                        if !self.world.crashed[node] {
+                            self.world.push(
+                                at_ns,
+                                EventKind::Deliver {
+                                    node,
+                                    work: Work::RawPayload(payload.clone()),
+                                },
+                            );
+                        }
+                    }
+                }
+            }
+            Some(jru) => {
+                let out = jru.bus.run_cycle();
+                // Ground truth: what an ideal node would consolidate.
+                if let Some(request) =
+                    jru.reference
+                        .consolidate(out.cycle, out.time_ms, &out.on_wire)
+                {
+                    self.world
+                        .births
+                        .insert(Digest::of(&zugchain_wire::to_bytes(&request)), at_ns);
+                }
+                for obs in out.observations {
+                    if !self.world.crashed[obs.tap] {
+                        self.world.push(
+                            at_ns,
+                            EventKind::Deliver {
+                                node: obs.tap,
+                                work: Work::Telegrams {
+                                    cycle: out.cycle,
+                                    time_ms: out.time_ms,
+                                    telegrams: obs.telegrams,
+                                },
+                            },
+                        );
+                    }
+                }
+            }
+        }
+
+        // Fig. 9 fault: a faulty backup injects a fabricated request for a
+        // fraction of cycles.
+        if let Some((faulty, fraction)) = self.world.config.faults.fabricate {
+            if !self.world.crashed[faulty] && self.world.rng.random_bool(fraction.clamp(0.0, 1.0)) {
+                self.world.inject_fabricated(faulty, at_ns);
+            }
+        }
+
+        // Crash fault.
+        if let Some((node, when_ms)) = self.world.config.faults.crash {
+            if !self.world.crashed[node] && time_ms >= when_ms {
+                self.world.crashed[node] = true;
+            }
+        }
+
+        self.world.push(
+            at_ns + self.world.config.bus_cycle_ms * NS_PER_MS,
+            EventKind::BusCycle(cycle + 1),
+        );
+    }
+
+    /// Delivers one unit of work through the node's driver, charging lane
+    /// CPU; the driver routes the resulting effects into a [`SimHost`].
+    fn deliver(&mut self, node: usize, work: Work, arrival_ns: u64) {
+        let world = &mut self.world;
+        if world.crashed[node] {
+            return;
+        }
+        // A censoring primary drops layer requests so it never proposes.
+        if world.config.faults.primary_censors
+            && node == 0
+            && matches!(&work, Work::Message(frame)
+                if matches!(frame.message(), NodeMessage::Layer(_)))
+        {
+            return;
+        }
+        // Stale timers are dropped without cost.
+        if let Work::Timer(id, generation) = &work {
+            if !self.drivers[node].timer_is_current(*id, *generation) {
+                return;
+            }
+        }
+        let lane = match work {
+            Work::RawPayload(_) | Work::Telegrams { .. } => 1,
+            _ => 0,
+        };
+        let start = arrival_ns.max(world.lane_busy[node][lane]);
+        let cost = world.work_cost(&work);
+        let finish = start + cost;
+        world.lane_busy[node][lane] = finish;
+        world.cpu_busy_ns[node] += cost;
+
+        // Effects run on the consensus lane, after any work queued there.
+        let effects_start = finish.max(world.lane_busy[node][0]);
+        let driver = &mut self.drivers[node];
+        let mut host = SimHost {
+            world,
+            node,
+            t: effects_start,
+        };
+        match work {
+            Work::RawPayload(payload) => driver.on_input(
+                NodeInput::RawPayload {
+                    payload,
+                    time_ms: finish / NS_PER_MS,
+                },
+                &mut host,
+            ),
+            Work::Telegrams {
+                cycle,
+                time_ms,
+                telegrams,
+            } => driver.on_input(
+                NodeInput::BusCycle {
+                    source: 0,
+                    cycle,
+                    time_ms,
+                    telegrams,
+                },
+                &mut host,
+            ),
+            Work::Message(frame) => {
+                driver.on_input(NodeInput::Message(frame.to_message()), &mut host)
+            }
+            Work::Timer(id, generation) => {
+                driver.on_timer_fired(id, generation, &mut host);
+            }
+        }
+        let t = host.t;
+        self.world.lane_busy[node][0] = self.world.lane_busy[node][0].max(t);
     }
 }
 
@@ -602,6 +679,16 @@ fn sweep_nsdb(workload: &Workload) -> Nsdb {
                 kind: SignalKind::Opaque {
                     width: (*bytes).min(u16::MAX as usize) as u16,
                 },
+                period_cycles: 1,
+            });
+            nsdb
+        }
+        Workload::Scripted { .. } => {
+            let mut nsdb = Nsdb::new();
+            nsdb.add(SignalDescriptor {
+                name: "scripted_payload".into(),
+                port: PortAddress(0x200),
+                kind: SignalKind::Opaque { width: 256 },
                 period_cycles: 1,
             });
             nsdb
@@ -656,6 +743,7 @@ mod tests {
         assert_eq!(a.logged_requests, b.logged_requests);
         assert_eq!(a.latency.samples, b.latency.samples);
         assert_eq!(a.network_mbps, b.network_mbps);
+        assert_eq!(a.decided, b.decided);
     }
 
     #[test]
@@ -748,7 +836,11 @@ mod tests {
             ..ScenarioConfig::default()
         };
         let metrics = run_scenario(&config, 2);
-        assert!(metrics.logged_requests > 50, "logged {}", metrics.logged_requests);
+        assert!(
+            metrics.logged_requests > 50,
+            "logged {}",
+            metrics.logged_requests
+        );
         assert!(metrics.latency.mean_ms() < 300.0);
     }
 
@@ -766,7 +858,10 @@ mod tests {
             .iter()
             .filter(|(birth, _)| *birth > 6_000.0)
             .count();
-        assert!(after > 30, "f=2 group keeps ordering after a crash: {after}");
+        assert!(
+            after > 30,
+            "f=2 group keeps ordering after a crash: {after}"
+        );
     }
 
     #[test]
@@ -827,6 +922,26 @@ mod tests {
         long_config.duration_ms = 20_000;
         let long = run_scenario(&long_config, 4);
         assert!(long.memory_mb_max > short.memory_mb_max);
+    }
+
+    #[test]
+    fn scripted_workload_decides_identically_on_all_nodes() {
+        let config = ScenarioConfig {
+            mode: Mode::Zugchain,
+            duration_ms: 8_000,
+            workload: Workload::Scripted {
+                payloads: (0..5u8)
+                    .map(|i| (500 + 500 * u64::from(i), vec![i; 64]))
+                    .collect(),
+            },
+            ..ScenarioConfig::default()
+        };
+        let metrics = run_scenario(&config, 21);
+        assert_eq!(metrics.logged_requests, 5);
+        assert_eq!(metrics.unlogged_requests, 0);
+        // All nodes decided the identical (sn, digest) sequence.
+        assert!(!metrics.decided[0].is_empty());
+        assert!(metrics.decided.iter().all(|d| *d == metrics.decided[0]));
     }
 }
 

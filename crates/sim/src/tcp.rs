@@ -6,27 +6,33 @@
 //! Frames are length-prefixed: a big-endian `u32` byte count followed by
 //! the canonical [`NodeMessage`] encoding. Malformed frames from a peer
 //! are dropped (and the connection closed), never trusted.
+//!
+//! Outbound frames come from the shared [`node_loop`](crate::node_loop)
+//! as [`Frame`]s: a broadcast encodes (and signs) the message **once**
+//! and writes the same cached buffer to every peer socket, instead of
+//! re-encoding per recipient.
 
-use std::collections::BTreeMap;
 use std::io::{self, Read as _, Write as _};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::Mutex;
 use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
 
-use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
-use zugchain::{NodeAction, NodeConfig, NodeMessage, TimerId, TrainNode, ZugchainNode};
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use zugchain::{NodeConfig, NodeMessage, ZugchainNode};
 use zugchain_crypto::Keystore;
+use zugchain_machine::Frame;
 use zugchain_mvb::Nsdb;
 
+use crate::node_loop::{node_loop, LoopInput, PeerLink};
 use crate::runtime::{ClusterEvent, NodeSummary};
 
 /// Maximum accepted frame size (matches the wire crate's field limit).
 const MAX_FRAME_BYTES: u32 = 16 * 1024 * 1024;
 
-/// Writes one length-prefixed frame.
-fn write_frame(stream: &mut TcpStream, message: &NodeMessage) -> io::Result<()> {
-    let bytes = zugchain_wire::to_bytes(message);
+/// Writes one length-prefixed frame. The frame's encoding is computed at
+/// most once and shared across every peer this frame is written to.
+fn write_frame(stream: &mut TcpStream, frame: &Frame<NodeMessage>) -> io::Result<()> {
+    let bytes = frame.bytes();
     let len = u32::try_from(bytes.len())
         .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "frame too large"))?;
     stream.write_all(&len.to_be_bytes())?;
@@ -44,7 +50,10 @@ fn read_frame(stream: &mut TcpStream) -> io::Result<Option<NodeMessage>> {
     }
     let len = u32::from_be_bytes(len_buf);
     if len > MAX_FRAME_BYTES {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "oversized frame"));
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "oversized frame",
+        ));
     }
     let mut buf = vec![0u8; len as usize];
     stream.read_exact(&mut buf)?;
@@ -53,14 +62,23 @@ fn read_frame(stream: &mut TcpStream) -> io::Result<Option<NodeMessage>> {
         .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
 }
 
-/// Input to a TCP node thread.
-enum Input {
-    /// A consolidated bus payload.
-    RawPayload(Vec<u8>),
-    /// A consensus/layer message decoded from a socket.
-    Message(NodeMessage),
-    /// Stop and report state.
-    Shutdown,
+/// The socket link: frames leave as length-prefixed canonical bytes.
+struct TcpLink {
+    streams: Vec<Option<Mutex<TcpStream>>>,
+}
+
+impl PeerLink for TcpLink {
+    fn peer_count(&self) -> usize {
+        self.streams.len()
+    }
+
+    fn deliver(&mut self, to: usize, frame: &Frame<NodeMessage>) {
+        if let Some(Some(stream)) = self.streams.get(to) {
+            let mut stream = stream.lock().expect("stream lock");
+            // A failed peer write is a dead link, not a node error.
+            let _ = write_frame(&mut stream, frame);
+        }
+    }
 }
 
 /// A live ZugChain cluster whose replica network is real TCP on loopback.
@@ -81,7 +99,7 @@ enum Input {
 /// # }
 /// ```
 pub struct TcpCluster {
-    inboxes: Vec<Sender<Input>>,
+    inboxes: Vec<Sender<LoopInput>>,
     events: Receiver<ClusterEvent>,
     handles: Vec<JoinHandle<NodeSummary>>,
     /// Socket addresses the nodes listen on, by node id.
@@ -110,7 +128,7 @@ impl TcpCluster {
         let mut inboxes = Vec::with_capacity(n);
         let mut inbox_rxs = Vec::with_capacity(n);
         for _ in 0..n {
-            let (tx, rx) = bounded::<Input>(4096);
+            let (tx, rx) = bounded::<LoopInput>(4096);
             inboxes.push(tx);
             inbox_rxs.push(rx);
         }
@@ -127,16 +145,14 @@ impl TcpCluster {
                     let (mut stream, _) = listener.accept()?;
                     stream.set_nodelay(true)?;
                     let inbox = inbox.clone();
-                    std::thread::spawn(move || {
-                        loop {
-                            match read_frame(&mut stream) {
-                                Ok(Some(message)) => {
-                                    if inbox.send(Input::Message(message)).is_err() {
-                                        return;
-                                    }
+                    std::thread::spawn(move || loop {
+                        match read_frame(&mut stream) {
+                            Ok(Some(message)) => {
+                                if inbox.send(LoopInput::Message(message)).is_err() {
+                                    return;
                                 }
-                                Ok(None) | Err(_) => return,
                             }
+                            Ok(None) | Err(_) => return,
                         }
                     });
                 }
@@ -175,11 +191,13 @@ impl TcpCluster {
                     pairs[id].clone(),
                     keystore.clone(),
                 );
-                let streams = std::mem::take(&mut outbound[id]);
+                let link = TcpLink {
+                    streams: std::mem::take(&mut outbound[id]),
+                };
                 let events = event_tx.clone();
                 std::thread::Builder::new()
                     .name(format!("zugchain-tcp-{id}"))
-                    .spawn(move || tcp_node_thread(node, rx, streams, events))
+                    .spawn(move || node_loop(node, rx, link, events, None))
                     .expect("spawn node thread")
             })
             .collect();
@@ -195,8 +213,19 @@ impl TcpCluster {
     /// Delivers the same consolidated payload to every node.
     pub fn feed_bus_payload_all(&self, payload: Vec<u8>) {
         for inbox in &self.inboxes {
-            let _ = inbox.send(Input::RawPayload(payload.clone()));
+            let _ = inbox.send(LoopInput::RawPayload(payload.clone()));
         }
+    }
+
+    /// Delivers a payload to one node only (diverging reception).
+    pub fn feed_bus_payload(&self, node: usize, payload: Vec<u8>) {
+        let _ = self.inboxes[node].send(LoopInput::RawPayload(payload));
+    }
+
+    /// Crashes a node: it stops processing but its thread stays alive so
+    /// its state can still be collected at shutdown.
+    pub fn crash(&self, node: usize) {
+        let _ = self.inboxes[node].send(LoopInput::Crash);
     }
 
     /// The event stream.
@@ -207,7 +236,7 @@ impl TcpCluster {
     /// Stops all nodes and returns their final state.
     pub fn shutdown(self) -> Vec<NodeSummary> {
         for inbox in &self.inboxes {
-            let _ = inbox.send(Input::Shutdown);
+            let _ = inbox.send(LoopInput::Shutdown);
         }
         self.handles
             .into_iter()
@@ -216,119 +245,10 @@ impl TcpCluster {
     }
 }
 
-/// The TCP node event loop: like the channel runtime's, with sends going
-/// through the outbound sockets.
-fn tcp_node_thread(
-    mut node: ZugchainNode,
-    inbox: Receiver<Input>,
-    streams: Vec<Option<Mutex<TcpStream>>>,
-    events: Sender<ClusterEvent>,
-) -> NodeSummary {
-    let id = node.id();
-    let start = Instant::now();
-    let mut timers: BTreeMap<TimerId, Instant> = BTreeMap::new();
-
-    let send_to = |peer: usize, message: &NodeMessage| {
-        if let Some(Some(stream)) = streams.get(peer) {
-            let mut stream = stream.lock().expect("stream lock");
-            // A failed peer write is a dead link, not a node error.
-            let _ = write_frame(&mut stream, message);
-        }
-    };
-
-    loop {
-        let now = Instant::now();
-        let timeout = timers
-            .values()
-            .min()
-            .map(|deadline| deadline.saturating_duration_since(now))
-            .unwrap_or(Duration::from_millis(100));
-
-        match inbox.recv_timeout(timeout) {
-            Ok(Input::Shutdown) | Err(RecvTimeoutError::Disconnected) => break,
-            Ok(Input::RawPayload(payload)) => {
-                let time_ms = start.elapsed().as_millis() as u64;
-                node.on_raw_bus_payload(payload, time_ms);
-            }
-            Ok(Input::Message(message)) => node.on_message(message),
-            Err(RecvTimeoutError::Timeout) => {}
-        }
-
-        let now = Instant::now();
-        let due: Vec<TimerId> = timers
-            .iter()
-            .filter(|(_, deadline)| **deadline <= now)
-            .map(|(timer, _)| *timer)
-            .collect();
-        for timer in due {
-            timers.remove(&timer);
-            node.on_timer(timer);
-        }
-
-        for action in node.drain_actions() {
-            match action {
-                NodeAction::Broadcast { message } => {
-                    for peer in 0..streams.len() {
-                        if peer as u64 != id.0 {
-                            send_to(peer, &message);
-                        }
-                    }
-                }
-                NodeAction::Send { to, message } => {
-                    if to != id {
-                        send_to(to.0 as usize, &message);
-                    }
-                }
-                NodeAction::SetTimer { id: timer, duration_ms } => {
-                    timers.insert(timer, Instant::now() + Duration::from_millis(duration_ms));
-                }
-                NodeAction::CancelTimer { id: timer } => {
-                    timers.remove(&timer);
-                }
-                NodeAction::Logged { sn, origin, payload } => {
-                    let _ = events.send(ClusterEvent::Logged {
-                        node: id,
-                        sn,
-                        origin,
-                        payload_len: payload.len(),
-                    });
-                }
-                NodeAction::BlockCreated { block } => {
-                    let _ = events.send(ClusterEvent::BlockCreated {
-                        node: id,
-                        height: block.height(),
-                        hash: block.hash(),
-                    });
-                }
-                NodeAction::CheckpointStable { proof } => {
-                    let _ = events.send(ClusterEvent::CheckpointStable {
-                        node: id,
-                        sn: proof.checkpoint.sn,
-                    });
-                }
-                NodeAction::NewPrimary { view, primary } => {
-                    let _ = events.send(ClusterEvent::ViewChange {
-                        node: id,
-                        view,
-                        primary,
-                    });
-                }
-                NodeAction::StateTransferNeeded { .. } => {}
-            }
-        }
-    }
-
-    NodeSummary {
-        id,
-        stats: node.stats(),
-        stable_proofs: node.stable_proofs().to_vec(),
-        chain: std::mem::take(node.chain_mut()),
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::time::{Duration, Instant};
     use zugchain_pbft::NodeId;
 
     #[test]
@@ -375,7 +295,7 @@ mod tests {
                     &pairs[0],
                 ),
             ));
-            write_frame(&mut stream, &message).unwrap();
+            write_frame(&mut stream, &Frame::new(message.clone())).unwrap();
             message
         });
         let (mut conn, _) = listener.accept().unwrap();
@@ -384,5 +304,48 @@ mod tests {
         assert_eq!(received, sent);
         // EOF is a clean None.
         assert!(read_frame(&mut conn).unwrap().is_none());
+    }
+
+    /// Regression for the per-peer re-encoding bug: broadcasting one
+    /// frame to three peers must wire-encode the message exactly once —
+    /// the byte buffer is cached in the frame and shared by every socket
+    /// write.
+    #[test]
+    fn broadcast_frame_encodes_once_across_three_peers() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let address = listener.local_addr().unwrap();
+
+        let writer = std::thread::spawn(move || {
+            let (pairs, _) = Keystore::generate(1, 2);
+            let message = NodeMessage::Layer(zugchain::LayerMessage::BroadcastRequest(
+                zugchain::SignedRequest::sign(
+                    zugchain_pbft::ProposedRequest::application(vec![9; 256], NodeId(0)),
+                    &pairs[0],
+                ),
+            ));
+            let frame = Frame::new(message);
+            assert_eq!(frame.encode_count(), 0, "lazily encoded");
+            let mut link = TcpLink {
+                streams: (0..3)
+                    .map(|_| {
+                        let stream = TcpStream::connect(address).unwrap();
+                        Some(Mutex::new(stream))
+                    })
+                    .collect(),
+            };
+            for peer in 0..3 {
+                link.deliver(peer, &frame);
+            }
+            frame.encode_count()
+        });
+
+        let mut received = Vec::new();
+        for _ in 0..3 {
+            let (mut conn, _) = listener.accept().unwrap();
+            received.push(read_frame(&mut conn).unwrap().expect("one frame"));
+        }
+        let encodes = writer.join().unwrap();
+        assert_eq!(encodes, 1, "one broadcast, one encode, three writes");
+        assert!(received.iter().all(|m| *m == received[0]));
     }
 }

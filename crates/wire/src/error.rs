@@ -58,10 +58,9 @@ impl fmt::Display for WireError {
             ),
             WireError::VarintOverflow => write!(f, "varint overflows target integer width"),
             WireError::NonCanonicalVarint => write!(f, "varint is not minimally encoded"),
-            WireError::LengthLimitExceeded { declared, limit } => write!(
-                f,
-                "declared length {declared} exceeds decode limit {limit}"
-            ),
+            WireError::LengthLimitExceeded { declared, limit } => {
+                write!(f, "declared length {declared} exceeds decode limit {limit}")
+            }
             WireError::InvalidOptionTag(tag) => {
                 write!(f, "invalid option presence byte {tag}, expected 0 or 1")
             }

@@ -286,7 +286,10 @@ mod tests {
             from_bytes::<Option<u64>>(&to_bytes(&Some(9u64))).unwrap(),
             Some(9)
         );
-        assert_eq!(from_bytes::<Option<u64>>(&to_bytes(&None::<u64>)).unwrap(), None);
+        assert_eq!(
+            from_bytes::<Option<u64>>(&to_bytes(&None::<u64>)).unwrap(),
+            None
+        );
     }
 
     #[test]
@@ -310,7 +313,10 @@ mod tests {
         let s = "Notbremse aktiviert".to_string();
         assert_eq!(from_bytes::<String>(&to_bytes(&s)).unwrap(), s);
         // Length 1, invalid UTF-8 byte.
-        assert_eq!(from_bytes::<String>(&[1, 0xff]), Err(WireError::InvalidUtf8));
+        assert_eq!(
+            from_bytes::<String>(&[1, 0xff]),
+            Err(WireError::InvalidUtf8)
+        );
     }
 
     #[test]

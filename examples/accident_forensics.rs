@@ -85,7 +85,11 @@ fn main() {
     for finding in timeline.findings() {
         println!("  finding: {finding}");
     }
-    let last_speed = timeline.speed_profile().last().map(|(_, s)| *s).unwrap_or(0);
+    let last_speed = timeline
+        .speed_profile()
+        .last()
+        .map(|(_, s)| *s)
+        .unwrap_or(0);
     println!(
         "  reconstruction: {} events, max speed {:.1} km/h, last recorded speed {:.1} km/h",
         timeline.events().len(),
@@ -104,10 +108,7 @@ fn main() {
     // 4. Tamper demonstration: altering a single recorded byte after the
     //    fact is detected immediately.
     let mut tampered: Vec<_> = survivor.chain.blocks().to_vec();
-    if let Some(first) = tampered
-        .iter_mut()
-        .find(|block| !block.requests.is_empty())
-    {
+    if let Some(first) = tampered.iter_mut().find(|block| !block.requests.is_empty()) {
         first.requests[0].payload[0] ^= 0xFF;
     }
     assert!(

@@ -92,5 +92,8 @@ fn main() {
         "  view changes {} | worst latency during fail-over {:.0} ms | stabilized at {:.1} ms",
         crash.view_changes, worst, stabilized
     );
-    println!("  → no request was lost: {} unlogged", crash.unlogged_requests);
+    println!(
+        "  → no request was lost: {} unlogged",
+        crash.unlogged_requests
+    );
 }

@@ -31,7 +31,9 @@ fn main() {
     let mut blocks = 0;
     while let Ok(event) = cluster.events().try_recv() {
         match event {
-            ClusterEvent::Logged { node, sn, origin, .. } if node.0 == 0 => {
+            ClusterEvent::Logged {
+                node, sn, origin, ..
+            } if node.0 == 0 => {
                 logged += 1;
                 println!("  logged sn {sn} (origin {origin})");
             }

@@ -11,10 +11,10 @@
 use std::time::Duration;
 
 use zugchain::NodeConfig;
-use zugchain_export::{
-    DataCenter, DcAction, DcConfig, DcId, ExportMessage, ExportReplica, ReplicaExportConfig,
-};
 use zugchain_crypto::Keystore;
+use zugchain_export::{
+    DataCenter, DcAddr, DcConfig, DcEffect, DcId, ExportMessage, ExportReplica, ReplicaExportConfig,
+};
 use zugchain_mvb::{Bus, BusConfig, SignalGenerator};
 use zugchain_pbft::NodeId;
 use zugchain_sim::runtime::{ClusterEvent, ThreadedCluster};
@@ -97,36 +97,44 @@ fn main() {
         3,
     );
 
-    let mut actions = dc0.begin_export(NodeId(1));
-    while let Some(action) = actions.pop() {
-        match action {
-            DcAction::BroadcastToReplicas { message } => {
+    let mut effects = dc0.begin_export(NodeId(1));
+    while let Some(effect) = effects.pop() {
+        match effect {
+            DcEffect::Broadcast { message } => {
                 for id in 0..4usize {
-                    for reply in replicas[id].handle(message.clone(), &mut chains[id], &proofs[id]) {
+                    for reply in replicas[id].handle(message.clone(), &mut chains[id], &proofs[id])
+                    {
                         if matches!(reply, ExportMessage::Ack(_)) {
                             dc0.on_replica_message(NodeId(id as u64), reply.clone());
                             dc1.on_replica_message(NodeId(id as u64), reply);
                         } else {
-                            actions.extend(dc0.on_replica_message(NodeId(id as u64), reply));
+                            effects.extend(dc0.on_replica_message(NodeId(id as u64), reply));
                         }
                     }
                 }
             }
-            DcAction::ToReplica { to, message } => {
+            DcEffect::Send {
+                to: DcAddr::Replica(to),
+                message,
+            } => {
                 let id = to.0 as usize;
                 for reply in replicas[id].handle(message, &mut chains[id], &proofs[id]) {
-                    actions.extend(dc0.on_replica_message(NodeId(id as u64), reply));
+                    effects.extend(dc0.on_replica_message(NodeId(id as u64), reply));
                 }
             }
-            DcAction::ToDataCenter { message, .. } => {
-                actions.extend(dc1.on_dc_sync(message));
+            DcEffect::Send {
+                to: DcAddr::DataCenter(_),
+                message,
+            } => {
+                effects.extend(dc1.on_dc_sync(message));
             }
-            DcAction::Completed(outcome) => {
+            DcEffect::Output(outcome) => {
                 println!(
                     "  exported {} blocks (archive height {}), delete issued: {}",
                     outcome.exported_blocks, outcome.new_height, outcome.delete_issued
                 );
             }
+            effect => panic!("unexpected effect {effect:?}"),
         }
     }
 

@@ -1,0 +1,210 @@
+//! Local stand-in for the `ed25519-dalek` crate (the build environment has
+//! no crates.io access).
+//!
+//! **This is not Ed25519.** It is a deterministic, hash-based signature
+//! stand-in with the same API shape and the same observable contract the
+//! ZugChain test-suite relies on:
+//!
+//! * signing is deterministic: same key + message → same 64-byte signature;
+//! * a signature verifies only under the signer's public key and only for
+//!   the signed message (wrong key or tampered message ⇒ rejection);
+//! * distinct seeds produce distinct keys and signatures;
+//! * keys and signatures round-trip through their 32-/64-byte encodings.
+//!
+//! Construction: `pk = H(domain_pk ‖ secret)`; `sig = H(domain_s1 ‖ pk ‖
+//! msg) ‖ H(domain_s2 ‖ pk ‖ msg)`. Verification recomputes the signature
+//! from the public key and compares. Because the signature depends only on
+//! public data, this scheme is **unforgeable only against adversaries that
+//! follow the API** (as in tests) — adequate for a reproduction without
+//! network adversaries, and trivially swappable for the real dalek crate
+//! when a registry is available, since only this shim would change.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+
+use sha2::{Digest as _, Sha256};
+
+const DOMAIN_PK: &[u8] = b"zugchain-shim-ed25519-pk-v1";
+const DOMAIN_SIG1: &[u8] = b"zugchain-shim-ed25519-sig1-v1";
+const DOMAIN_SIG2: &[u8] = b"zugchain-shim-ed25519-sig2-v1";
+
+/// Error returned on failed verification or malformed key bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SignatureError;
+
+impl fmt::Display for SignatureError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "signature verification failed")
+    }
+}
+
+impl std::error::Error for SignatureError {}
+
+/// Trait for objects that can sign messages (mirrors `ed25519::signature::Signer`).
+pub trait Signer<S> {
+    /// Signs `message`.
+    fn sign(&self, message: &[u8]) -> S;
+}
+
+/// Trait for objects that can verify signatures (mirrors `ed25519::signature::Verifier`).
+pub trait Verifier<S> {
+    /// Verifies `signature` over `message`.
+    ///
+    /// # Errors
+    ///
+    /// [`SignatureError`] if the signature does not match.
+    fn verify(&self, message: &[u8], signature: &S) -> Result<(), SignatureError>;
+}
+
+fn hash3(domain: &[u8], a: &[u8], b: &[u8]) -> [u8; 32] {
+    let mut hasher = Sha256::new();
+    hasher.update(domain);
+    hasher.update(a);
+    hasher.update(b);
+    hasher.finalize().into()
+}
+
+/// A signing (secret) key.
+#[derive(Clone)]
+pub struct SigningKey {
+    secret: [u8; 32],
+    public: [u8; 32],
+}
+
+impl SigningKey {
+    /// Builds a signing key from 32 secret bytes.
+    pub fn from_bytes(secret: &[u8; 32]) -> Self {
+        let public = hash3(DOMAIN_PK, secret, &[]);
+        Self {
+            secret: *secret,
+            public,
+        }
+    }
+
+    /// The secret bytes this key was built from.
+    pub fn to_bytes(&self) -> [u8; 32] {
+        self.secret
+    }
+
+    /// The corresponding verification key.
+    pub fn verifying_key(&self) -> VerifyingKey {
+        VerifyingKey { bytes: self.public }
+    }
+}
+
+impl fmt::Debug for SigningKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Never print the secret.
+        f.debug_struct("SigningKey")
+            .field("public", &self.verifying_key())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Signer<Signature> for SigningKey {
+    fn sign(&self, message: &[u8]) -> Signature {
+        self.verifying_key().expected_signature(message)
+    }
+}
+
+/// A verification (public) key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct VerifyingKey {
+    bytes: [u8; 32],
+}
+
+impl VerifyingKey {
+    /// Parses a verification key from its 32-byte encoding.
+    ///
+    /// # Errors
+    ///
+    /// Never fails in the stand-in (real Ed25519 rejects non-curve
+    /// points); the `Result` keeps the dalek signature shape.
+    pub fn from_bytes(bytes: &[u8; 32]) -> Result<Self, SignatureError> {
+        Ok(Self { bytes: *bytes })
+    }
+
+    /// The key's 32-byte encoding.
+    pub fn to_bytes(&self) -> [u8; 32] {
+        self.bytes
+    }
+
+    fn expected_signature(&self, message: &[u8]) -> Signature {
+        let lo = hash3(DOMAIN_SIG1, &self.bytes, message);
+        let hi = hash3(DOMAIN_SIG2, &self.bytes, message);
+        let mut bytes = [0u8; 64];
+        bytes[..32].copy_from_slice(&lo);
+        bytes[32..].copy_from_slice(&hi);
+        Signature { bytes }
+    }
+}
+
+impl Verifier<Signature> for VerifyingKey {
+    fn verify(&self, message: &[u8], signature: &Signature) -> Result<(), SignatureError> {
+        if self.expected_signature(message) == *signature {
+            Ok(())
+        } else {
+            Err(SignatureError)
+        }
+    }
+}
+
+/// A 64-byte signature.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub struct Signature {
+    bytes: [u8; 64],
+}
+
+impl Signature {
+    /// Builds a signature from its 64-byte encoding (any bytes parse).
+    pub fn from_bytes(bytes: &[u8; 64]) -> Self {
+        Self { bytes: *bytes }
+    }
+
+    /// The signature's 64-byte encoding.
+    pub fn to_bytes(&self) -> [u8; 64] {
+        self.bytes
+    }
+}
+
+impl fmt::Debug for Signature {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Signature({:02x}{:02x}..)", self.bytes[0], self.bytes[1])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sign_verify_round_trip() {
+        let key = SigningKey::from_bytes(&[7u8; 32]);
+        let sig = key.sign(b"msg");
+        assert!(key.verifying_key().verify(b"msg", &sig).is_ok());
+        assert!(key.verifying_key().verify(b"other", &sig).is_err());
+    }
+
+    #[test]
+    fn wrong_key_rejects() {
+        let a = SigningKey::from_bytes(&[1u8; 32]);
+        let b = SigningKey::from_bytes(&[2u8; 32]);
+        let sig = a.sign(b"msg");
+        assert!(b.verifying_key().verify(b"msg", &sig).is_err());
+    }
+
+    #[test]
+    fn deterministic_and_distinct() {
+        let a = SigningKey::from_bytes(&[1u8; 32]);
+        assert_eq!(a.sign(b"m").to_bytes(), a.sign(b"m").to_bytes());
+        assert_ne!(a.sign(b"m").to_bytes(), a.sign(b"n").to_bytes());
+    }
+
+    #[test]
+    fn keys_round_trip() {
+        let key = SigningKey::from_bytes(&[9u8; 32]).verifying_key();
+        let back = VerifyingKey::from_bytes(&key.to_bytes()).unwrap();
+        assert_eq!(key, back);
+    }
+}

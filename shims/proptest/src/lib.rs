@@ -1,0 +1,416 @@
+//! Local stand-in for the `proptest` crate (the build environment has no
+//! crates.io access). Provides deterministic, seeded random sampling
+//! behind the proptest API surface ZugChain's property tests use:
+//!
+//! * the [`proptest!`] macro with both argument forms
+//!   (`fn f(x: u64)` and `fn f(x in strategy)`), doc comments, attributes,
+//!   and `#![proptest_config(..)]`;
+//! * [`Strategy`] with `prop_map` and `boxed`, [`Just`], ranges, tuples,
+//!   [`collection::vec`], [`prop_oneof!`], and [`any`]/[`Arbitrary`];
+//! * [`prop_assert!`], [`prop_assert_eq!`], [`prop_assert_ne!`] and
+//!   [`prop_assume!`].
+//!
+//! Differences from upstream: cases are sampled from a fixed per-test
+//! seed (fully deterministic, no `PROPTEST_CASES`/persistence files), and
+//! **failures are not shrunk** — the failing case is reported as-is.
+
+#![warn(missing_docs)]
+
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+pub mod test_runner;
+
+pub use test_runner::{TestCaseError, TestRng};
+
+/// Per-test configuration. Only `cases` is honoured.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per test.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+/// A generator of random values of one type.
+pub trait Strategy {
+    /// The type of the generated values.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Erases the strategy type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+/// A [`Strategy`] returning clones of one fixed value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// The result of [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+trait SampleDyn<T> {
+    fn sample_dyn(&self, rng: &mut TestRng) -> T;
+}
+
+impl<S: Strategy> SampleDyn<S::Value> for S {
+    fn sample_dyn(&self, rng: &mut TestRng) -> S::Value {
+        self.sample(rng)
+    }
+}
+
+/// A type-erased [`Strategy`].
+pub struct BoxedStrategy<T>(Box<dyn SampleDyn<T>>);
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        self.0.sample_dyn(rng)
+    }
+}
+
+/// Uniform choice between several strategies (the [`prop_oneof!`] macro).
+pub struct Union<T>(Vec<BoxedStrategy<T>>);
+
+impl<T> Union<T> {
+    /// Builds a union over `options`; each case picks one uniformly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `options` is empty.
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Self(options)
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        let index = (rng.next_u64() % self.0.len() as u64) as usize;
+        self.0[index].sample(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let offset = (u128::from(rng.next_u64()) % span) as i128;
+                (self.start as i128 + offset) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range strategy");
+                let span = (end as i128 - start as i128) as u128 + 1;
+                let offset = (u128::from(rng.next_u64()) % span) as i128;
+                (start as i128 + offset) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident),+);)*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A, B);
+    (A, B, C);
+    (A, B, C, D);
+    (A, B, C, D, E);
+}
+
+/// Types with a canonical random generator, used by [`any`] and the
+/// typed-argument form of [`proptest!`].
+pub trait Arbitrary {
+    /// Draws an arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                // Mix magnitudes: uniform bits, but a quarter of draws are
+                // masked small so boundary-adjacent values appear often.
+                let raw = rng.next_u64();
+                let value = match rng.next_u64() % 4 {
+                    0 => raw % 17,
+                    _ => raw,
+                };
+                value as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary(rng: &mut TestRng) -> char {
+        // Mostly ASCII, some multibyte, to exercise UTF-8 handling.
+        match rng.next_u64() % 8 {
+            0 => '\u{00e9}',
+            1 => '\u{4e9c}',
+            2 => '\u{1f682}',
+            _ => (b' ' + (rng.next_u64() % 95) as u8) as char,
+        }
+    }
+}
+
+impl Arbitrary for String {
+    fn arbitrary(rng: &mut TestRng) -> String {
+        let len = (rng.next_u64() % 33) as usize;
+        (0..len).map(|_| char::arbitrary(rng)).collect()
+    }
+}
+
+impl<T: Arbitrary> Arbitrary for Vec<T> {
+    fn arbitrary(rng: &mut TestRng) -> Vec<T> {
+        let len = (rng.next_u64() % 65) as usize;
+        (0..len).map(|_| T::arbitrary(rng)).collect()
+    }
+}
+
+/// The canonical strategy for `T`: see [`Arbitrary`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(PhantomData<fn() -> T>);
+
+/// Returns the canonical strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// A strategy for `Vec`s with lengths drawn from `size` and elements
+    /// from `element`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "empty vec size range");
+        VecStrategy { element, size }
+    }
+
+    /// The result of [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.end - self.size.start) as u64;
+            let len = self.size.start + (rng.next_u64() % span) as usize;
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// The common imports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        Arbitrary, BoxedStrategy, Just, ProptestConfig, Strategy,
+    };
+}
+
+/// Defines property tests. Supports typed arguments (`fn f(x: u64)`,
+/// sampled via [`Arbitrary`]) and strategy arguments (`fn f(x in expr)`),
+/// with optional `#![proptest_config(..)]` as the first token.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!(@cfg ($config) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!(@cfg ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Internal muncher for [`proptest!`]; not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (@cfg ($config:expr)) => {};
+    // Strategy-argument form: `fn name(arg in strategy, ...) { .. }`
+    (@cfg ($config:expr)
+        $(#[$attr:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$attr])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $config;
+            $crate::test_runner::run(config, stringify!($name), |__proptest_rng| {
+                $(let $arg = $crate::Strategy::sample(&($strategy), __proptest_rng);)+
+                $body
+                Ok(())
+            });
+        }
+        $crate::__proptest_impl!(@cfg ($config) $($rest)*);
+    };
+    // Typed-argument form: `fn name(arg: Type, ...) { .. }`
+    (@cfg ($config:expr)
+        $(#[$attr:meta])*
+        fn $name:ident($($arg:ident : $ty:ty),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$attr])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $config;
+            $crate::test_runner::run(config, stringify!($name), |__proptest_rng| {
+                $(let $arg = <$ty as $crate::Arbitrary>::arbitrary(__proptest_rng);)+
+                $body
+                Ok(())
+            });
+        }
+        $crate::__proptest_impl!(@cfg ($config) $($rest)*);
+    };
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)));
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Fails the current case unless the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), left, right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(*left == *right, $($fmt)+);
+    }};
+}
+
+/// Fails the current case if the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left), stringify!($right), left
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(*left != *right, $($fmt)+);
+    }};
+}
+
+/// Discards the current case (drawing a fresh one) unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return Err($crate::TestCaseError::reject(concat!(
+                "assumption failed: ",
+                stringify!($cond)
+            )));
+        }
+    };
+}
+
+/// Uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($strategy)),+])
+    };
+}

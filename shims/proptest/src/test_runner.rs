@@ -1,0 +1,132 @@
+//! Case execution: a deterministic seeded RNG and the run loop behind the
+//! [`proptest!`](crate::proptest) macro.
+
+use crate::ProptestConfig;
+
+/// Why a single case did not pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// The case failed an assertion.
+    Fail(String),
+    /// The case was discarded by [`prop_assume!`](crate::prop_assume).
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// A failing case with the given message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError::Fail(message.into())
+    }
+
+    /// A discarded case with the given reason.
+    pub fn reject(reason: impl Into<String>) -> Self {
+        TestCaseError::Reject(reason.into())
+    }
+}
+
+/// The deterministic generator handed to strategies (splitmix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// The next 64 uniformly random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+/// Derives a stable per-test seed from the test name (FNV-1a).
+fn seed_for(name: &str) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for byte in name.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Runs `case` for `config.cases` accepted cases, retrying rejected ones.
+///
+/// # Panics
+///
+/// Panics on the first failing case (no shrinking) or when more than
+/// `cases × 16` consecutive rejections occur.
+pub fn run(
+    config: ProptestConfig,
+    name: &str,
+    mut case: impl FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+) {
+    let mut rng = TestRng::seed_from_u64(seed_for(name));
+    let mut accepted = 0u32;
+    let mut rejected = 0u64;
+    let max_rejects = u64::from(config.cases) * 16;
+    while accepted < config.cases {
+        match case(&mut rng) {
+            Ok(()) => accepted += 1,
+            Err(TestCaseError::Reject(reason)) => {
+                rejected += 1;
+                assert!(
+                    rejected <= max_rejects,
+                    "{name}: too many rejected cases ({rejected}), last: {reason}"
+                );
+            }
+            Err(TestCaseError::Fail(message)) => {
+                panic!(
+                    "{name}: case {accepted} failed (seed {:#x}):\n{message}",
+                    seed_for(name)
+                )
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic_per_name() {
+        let mut a = TestRng::seed_from_u64(seed_for("t"));
+        let mut b = TestRng::seed_from_u64(seed_for("t"));
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = TestRng::seed_from_u64(seed_for("u"));
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn run_counts_accepted_cases() {
+        let mut n = 0;
+        run(ProptestConfig::with_cases(10), "count", |_| {
+            n += 1;
+            Ok(())
+        });
+        assert_eq!(n, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn failures_panic() {
+        run(ProptestConfig::with_cases(3), "fails", |_| {
+            Err(TestCaseError::fail("boom"))
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "too many rejected")]
+    fn endless_rejection_panics() {
+        run(ProptestConfig::with_cases(2), "rejects", |_| {
+            Err(TestCaseError::reject("never"))
+        });
+    }
+}

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/block_persistence-fb3e4ab672cb12be.d: crates/bench/benches/block_persistence.rs Cargo.toml
+
+/root/repo/target/debug/deps/libblock_persistence-fb3e4ab672cb12be.rmeta: crates/bench/benches/block_persistence.rs Cargo.toml
+
+crates/bench/benches/block_persistence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

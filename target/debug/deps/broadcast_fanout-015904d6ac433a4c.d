@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/broadcast_fanout-015904d6ac433a4c.d: crates/bench/benches/broadcast_fanout.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbroadcast_fanout-015904d6ac433a4c.rmeta: crates/bench/benches/broadcast_fanout.rs Cargo.toml
+
+crates/bench/benches/broadcast_fanout.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

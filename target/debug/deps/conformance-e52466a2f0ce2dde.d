@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/conformance-e52466a2f0ce2dde.d: crates/integration/../../tests/conformance.rs
+
+/root/repo/target/debug/deps/conformance-e52466a2f0ce2dde: crates/integration/../../tests/conformance.rs
+
+crates/integration/../../tests/conformance.rs:

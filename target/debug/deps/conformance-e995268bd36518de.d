@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/conformance-e995268bd36518de.d: crates/integration/../../tests/conformance.rs Cargo.toml
+
+/root/repo/target/debug/deps/libconformance-e995268bd36518de.rmeta: crates/integration/../../tests/conformance.rs Cargo.toml
+
+crates/integration/../../tests/conformance.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/crypto_ops-a8f3f5918e62a2a1.d: crates/bench/benches/crypto_ops.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcrypto_ops-a8f3f5918e62a2a1.rmeta: crates/bench/benches/crypto_ops.rs Cargo.toml
+
+crates/bench/benches/crypto_ops.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

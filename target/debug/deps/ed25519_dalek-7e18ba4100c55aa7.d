@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ed25519_dalek-7e18ba4100c55aa7.d: shims/ed25519-dalek/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libed25519_dalek-7e18ba4100c55aa7.rmeta: shims/ed25519-dalek/src/lib.rs Cargo.toml
+
+shims/ed25519-dalek/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

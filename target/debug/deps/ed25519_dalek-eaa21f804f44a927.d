@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/ed25519_dalek-eaa21f804f44a927.d: shims/ed25519-dalek/src/lib.rs
+
+/root/repo/target/debug/deps/libed25519_dalek-eaa21f804f44a927.rlib: shims/ed25519-dalek/src/lib.rs
+
+/root/repo/target/debug/deps/libed25519_dalek-eaa21f804f44a927.rmeta: shims/ed25519-dalek/src/lib.rs
+
+shims/ed25519-dalek/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ed25519_dalek-fcbe73babf65ad6a.d: shims/ed25519-dalek/src/lib.rs
+
+/root/repo/target/debug/deps/ed25519_dalek-fcbe73babf65ad6a: shims/ed25519-dalek/src/lib.rs
+
+shims/ed25519-dalek/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/end_to_end_journey-08fd31f3b87f5489.d: crates/integration/../../tests/end_to_end_journey.rs Cargo.toml
+
+/root/repo/target/debug/deps/libend_to_end_journey-08fd31f3b87f5489.rmeta: crates/integration/../../tests/end_to_end_journey.rs Cargo.toml
+
+crates/integration/../../tests/end_to_end_journey.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

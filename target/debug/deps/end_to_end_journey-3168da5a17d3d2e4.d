@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end_journey-3168da5a17d3d2e4.d: crates/integration/../../tests/end_to_end_journey.rs
+
+/root/repo/target/debug/deps/end_to_end_journey-3168da5a17d3d2e4: crates/integration/../../tests/end_to_end_journey.rs
+
+crates/integration/../../tests/end_to_end_journey.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end_journey-744efba3edb0adc0.d: crates/integration/../../tests/end_to_end_journey.rs
+
+/root/repo/target/debug/deps/end_to_end_journey-744efba3edb0adc0: crates/integration/../../tests/end_to_end_journey.rs
+
+crates/integration/../../tests/end_to_end_journey.rs:

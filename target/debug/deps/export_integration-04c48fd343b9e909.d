@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/export_integration-04c48fd343b9e909.d: crates/integration/../../tests/export_integration.rs
+
+/root/repo/target/debug/deps/export_integration-04c48fd343b9e909: crates/integration/../../tests/export_integration.rs
+
+crates/integration/../../tests/export_integration.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/export_integration-4afd378a6e4e00c1.d: crates/integration/../../tests/export_integration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexport_integration-4afd378a6e4e00c1.rmeta: crates/integration/../../tests/export_integration.rs Cargo.toml
+
+crates/integration/../../tests/export_integration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/export_integration-80e094daecfeb9cd.d: crates/integration/../../tests/export_integration.rs
+
+/root/repo/target/debug/deps/export_integration-80e094daecfeb9cd: crates/integration/../../tests/export_integration.rs
+
+crates/integration/../../tests/export_integration.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/export_verify-2b94a8cabad71f39.d: crates/bench/benches/export_verify.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexport_verify-2b94a8cabad71f39.rmeta: crates/bench/benches/export_verify.rs Cargo.toml
+
+crates/bench/benches/export_verify.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_tolerance-3689792d193bab55.d: crates/integration/../../tests/fault_tolerance.rs
+
+/root/repo/target/debug/deps/fault_tolerance-3689792d193bab55: crates/integration/../../tests/fault_tolerance.rs
+
+crates/integration/../../tests/fault_tolerance.rs:

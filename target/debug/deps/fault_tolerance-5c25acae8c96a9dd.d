@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fault_tolerance-5c25acae8c96a9dd.d: crates/integration/../../tests/fault_tolerance.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfault_tolerance-5c25acae8c96a9dd.rmeta: crates/integration/../../tests/fault_tolerance.rs Cargo.toml
+
+crates/integration/../../tests/fault_tolerance.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

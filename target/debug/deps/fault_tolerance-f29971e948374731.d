@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_tolerance-f29971e948374731.d: crates/integration/../../tests/fault_tolerance.rs
+
+/root/repo/target/debug/deps/fault_tolerance-f29971e948374731: crates/integration/../../tests/fault_tolerance.rs
+
+crates/integration/../../tests/fault_tolerance.rs:

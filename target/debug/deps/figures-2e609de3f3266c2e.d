@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures-2e609de3f3266c2e.d: crates/bench/src/bin/figures.rs
+
+/root/repo/target/debug/deps/figures-2e609de3f3266c2e: crates/bench/src/bin/figures.rs
+
+crates/bench/src/bin/figures.rs:

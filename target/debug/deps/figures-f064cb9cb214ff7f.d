@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures-f064cb9cb214ff7f.d: crates/bench/src/bin/figures.rs
+
+/root/repo/target/debug/deps/figures-f064cb9cb214ff7f: crates/bench/src/bin/figures.rs
+
+crates/bench/src/bin/figures.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/jru_pipeline_properties-7771c01fc08fdd83.d: crates/integration/../../tests/jru_pipeline_properties.rs
+
+/root/repo/target/debug/deps/jru_pipeline_properties-7771c01fc08fdd83: crates/integration/../../tests/jru_pipeline_properties.rs
+
+crates/integration/../../tests/jru_pipeline_properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/jru_pipeline_properties-9c6ac995d08ffedf.d: crates/integration/../../tests/jru_pipeline_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libjru_pipeline_properties-9c6ac995d08ffedf.rmeta: crates/integration/../../tests/jru_pipeline_properties.rs Cargo.toml
+
+crates/integration/../../tests/jru_pipeline_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

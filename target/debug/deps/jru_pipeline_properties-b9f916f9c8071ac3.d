@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/jru_pipeline_properties-b9f916f9c8071ac3.d: crates/integration/../../tests/jru_pipeline_properties.rs
+
+/root/repo/target/debug/deps/jru_pipeline_properties-b9f916f9c8071ac3: crates/integration/../../tests/jru_pipeline_properties.rs
+
+crates/integration/../../tests/jru_pipeline_properties.rs:

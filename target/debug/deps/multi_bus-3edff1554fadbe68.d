@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/multi_bus-3edff1554fadbe68.d: crates/integration/../../tests/multi_bus.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmulti_bus-3edff1554fadbe68.rmeta: crates/integration/../../tests/multi_bus.rs Cargo.toml
+
+crates/integration/../../tests/multi_bus.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

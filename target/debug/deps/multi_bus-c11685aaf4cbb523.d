@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/multi_bus-c11685aaf4cbb523.d: crates/integration/../../tests/multi_bus.rs
+
+/root/repo/target/debug/deps/multi_bus-c11685aaf4cbb523: crates/integration/../../tests/multi_bus.rs
+
+crates/integration/../../tests/multi_bus.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/multi_bus-c2f4d809c342b878.d: crates/integration/../../tests/multi_bus.rs
+
+/root/repo/target/debug/deps/multi_bus-c2f4d809c342b878: crates/integration/../../tests/multi_bus.rs
+
+crates/integration/../../tests/multi_bus.rs:

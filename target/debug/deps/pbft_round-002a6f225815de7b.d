@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pbft_round-002a6f225815de7b.d: crates/bench/benches/pbft_round.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpbft_round-002a6f225815de7b.rmeta: crates/bench/benches/pbft_round.rs Cargo.toml
+
+crates/bench/benches/pbft_round.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_safety-0b28e2d722d3c9da.d: crates/pbft/tests/proptest_safety.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_safety-0b28e2d722d3c9da.rmeta: crates/pbft/tests/proptest_safety.rs Cargo.toml
+
+crates/pbft/tests/proptest_safety.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_safety-b162a10d07a1cb10.d: crates/pbft/tests/proptest_safety.rs
+
+/root/repo/target/debug/deps/proptest_safety-b162a10d07a1cb10: crates/pbft/tests/proptest_safety.rs
+
+crates/pbft/tests/proptest_safety.rs:

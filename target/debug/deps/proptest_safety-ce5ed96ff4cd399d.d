@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_safety-ce5ed96ff4cd399d.d: crates/pbft/tests/proptest_safety.rs
+
+/root/repo/target/debug/deps/proptest_safety-ce5ed96ff4cd399d: crates/pbft/tests/proptest_safety.rs
+
+crates/pbft/tests/proptest_safety.rs:

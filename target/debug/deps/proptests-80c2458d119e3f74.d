@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-80c2458d119e3f74.d: crates/wire/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-80c2458d119e3f74: crates/wire/tests/proptests.rs
+
+crates/wire/tests/proptests.rs:

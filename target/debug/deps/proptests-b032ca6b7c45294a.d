@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-b032ca6b7c45294a.d: crates/wire/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-b032ca6b7c45294a.rmeta: crates/wire/tests/proptests.rs Cargo.toml
+
+crates/wire/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

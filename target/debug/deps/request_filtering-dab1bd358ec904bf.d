@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/request_filtering-dab1bd358ec904bf.d: crates/bench/benches/request_filtering.rs Cargo.toml
+
+/root/repo/target/debug/deps/librequest_filtering-dab1bd358ec904bf.rmeta: crates/bench/benches/request_filtering.rs Cargo.toml
+
+crates/bench/benches/request_filtering.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sha2-67f5e8dd2298b164.d: shims/sha2/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsha2-67f5e8dd2298b164.rmeta: shims/sha2/src/lib.rs Cargo.toml
+
+shims/sha2/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/sha2-93c743fcb1ae5213.d: shims/sha2/src/lib.rs
+
+/root/repo/target/debug/deps/libsha2-93c743fcb1ae5213.rlib: shims/sha2/src/lib.rs
+
+/root/repo/target/debug/deps/libsha2-93c743fcb1ae5213.rmeta: shims/sha2/src/lib.rs
+
+shims/sha2/src/lib.rs:

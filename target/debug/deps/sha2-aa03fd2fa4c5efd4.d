@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sha2-aa03fd2fa4c5efd4.d: shims/sha2/src/lib.rs
+
+/root/repo/target/debug/deps/sha2-aa03fd2fa4c5efd4: shims/sha2/src/lib.rs
+
+shims/sha2/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sha2-c4b2aafc0ce52bb0.d: shims/sha2/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsha2-c4b2aafc0ce52bb0.rmeta: shims/sha2/src/lib.rs Cargo.toml
+
+shims/sha2/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

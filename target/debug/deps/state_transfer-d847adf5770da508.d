@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/state_transfer-d847adf5770da508.d: crates/integration/../../tests/state_transfer.rs
+
+/root/repo/target/debug/deps/state_transfer-d847adf5770da508: crates/integration/../../tests/state_transfer.rs
+
+crates/integration/../../tests/state_transfer.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/state_transfer-eaa9dfe5c9556b57.d: crates/integration/../../tests/state_transfer.rs
+
+/root/repo/target/debug/deps/state_transfer-eaa9dfe5c9556b57: crates/integration/../../tests/state_transfer.rs
+
+crates/integration/../../tests/state_transfer.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/state_transfer-ef6cb82cf417a5ff.d: crates/integration/../../tests/state_transfer.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstate_transfer-ef6cb82cf417a5ff.rmeta: crates/integration/../../tests/state_transfer.rs Cargo.toml
+
+crates/integration/../../tests/state_transfer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

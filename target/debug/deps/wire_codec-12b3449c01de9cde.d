@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/wire_codec-12b3449c01de9cde.d: crates/bench/benches/wire_codec.rs Cargo.toml
+
+/root/repo/target/debug/deps/libwire_codec-12b3449c01de9cde.rmeta: crates/bench/benches/wire_codec.rs Cargo.toml
+
+crates/bench/benches/wire_codec.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/zugchain-0fd6ad2f84be97dc.d: crates/core/src/lib.rs crates/core/src/baseline.rs crates/core/src/config.rs crates/core/src/dedup.rs crates/core/src/messages.rs crates/core/src/node.rs crates/core/src/node/tests.rs crates/core/src/node/testutil.rs Cargo.toml
+
+/root/repo/target/debug/deps/libzugchain-0fd6ad2f84be97dc.rmeta: crates/core/src/lib.rs crates/core/src/baseline.rs crates/core/src/config.rs crates/core/src/dedup.rs crates/core/src/messages.rs crates/core/src/node.rs crates/core/src/node/tests.rs crates/core/src/node/testutil.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/baseline.rs:
+crates/core/src/config.rs:
+crates/core/src/dedup.rs:
+crates/core/src/messages.rs:
+crates/core/src/node.rs:
+crates/core/src/node/tests.rs:
+crates/core/src/node/testutil.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

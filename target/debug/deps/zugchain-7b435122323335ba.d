@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/zugchain-7b435122323335ba.d: crates/core/src/lib.rs crates/core/src/baseline.rs crates/core/src/config.rs crates/core/src/dedup.rs crates/core/src/messages.rs crates/core/src/node.rs
+
+/root/repo/target/debug/deps/libzugchain-7b435122323335ba.rlib: crates/core/src/lib.rs crates/core/src/baseline.rs crates/core/src/config.rs crates/core/src/dedup.rs crates/core/src/messages.rs crates/core/src/node.rs
+
+/root/repo/target/debug/deps/libzugchain-7b435122323335ba.rmeta: crates/core/src/lib.rs crates/core/src/baseline.rs crates/core/src/config.rs crates/core/src/dedup.rs crates/core/src/messages.rs crates/core/src/node.rs
+
+crates/core/src/lib.rs:
+crates/core/src/baseline.rs:
+crates/core/src/config.rs:
+crates/core/src/dedup.rs:
+crates/core/src/messages.rs:
+crates/core/src/node.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/zugchain-c7f416ed2290ecb2.d: crates/core/src/lib.rs crates/core/src/baseline.rs crates/core/src/config.rs crates/core/src/dedup.rs crates/core/src/messages.rs crates/core/src/node.rs crates/core/src/node/tests.rs crates/core/src/node/testutil.rs
+
+/root/repo/target/debug/deps/zugchain-c7f416ed2290ecb2: crates/core/src/lib.rs crates/core/src/baseline.rs crates/core/src/config.rs crates/core/src/dedup.rs crates/core/src/messages.rs crates/core/src/node.rs crates/core/src/node/tests.rs crates/core/src/node/testutil.rs
+
+crates/core/src/lib.rs:
+crates/core/src/baseline.rs:
+crates/core/src/config.rs:
+crates/core/src/dedup.rs:
+crates/core/src/messages.rs:
+crates/core/src/node.rs:
+crates/core/src/node/tests.rs:
+crates/core/src/node/testutil.rs:

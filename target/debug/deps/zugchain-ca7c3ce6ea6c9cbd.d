@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/zugchain-ca7c3ce6ea6c9cbd.d: crates/core/src/lib.rs crates/core/src/baseline.rs crates/core/src/config.rs crates/core/src/dedup.rs crates/core/src/messages.rs crates/core/src/node.rs Cargo.toml
+
+/root/repo/target/debug/deps/libzugchain-ca7c3ce6ea6c9cbd.rmeta: crates/core/src/lib.rs crates/core/src/baseline.rs crates/core/src/config.rs crates/core/src/dedup.rs crates/core/src/messages.rs crates/core/src/node.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/baseline.rs:
+crates/core/src/config.rs:
+crates/core/src/dedup.rs:
+crates/core/src/messages.rs:
+crates/core/src/node.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

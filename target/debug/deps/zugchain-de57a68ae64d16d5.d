@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/zugchain-de57a68ae64d16d5.d: crates/core/src/lib.rs crates/core/src/baseline.rs crates/core/src/config.rs crates/core/src/dedup.rs crates/core/src/messages.rs crates/core/src/node.rs
+
+/root/repo/target/debug/deps/libzugchain-de57a68ae64d16d5.rlib: crates/core/src/lib.rs crates/core/src/baseline.rs crates/core/src/config.rs crates/core/src/dedup.rs crates/core/src/messages.rs crates/core/src/node.rs
+
+/root/repo/target/debug/deps/libzugchain-de57a68ae64d16d5.rmeta: crates/core/src/lib.rs crates/core/src/baseline.rs crates/core/src/config.rs crates/core/src/dedup.rs crates/core/src/messages.rs crates/core/src/node.rs
+
+crates/core/src/lib.rs:
+crates/core/src/baseline.rs:
+crates/core/src/config.rs:
+crates/core/src/dedup.rs:
+crates/core/src/messages.rs:
+crates/core/src/node.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/zugchain_bench-416b41f734131a68.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libzugchain_bench-416b41f734131a68.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/zugchain_bench-b7e1e4afb4ebc953.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libzugchain_bench-b7e1e4afb4ebc953.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libzugchain_bench-b7e1e4afb4ebc953.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

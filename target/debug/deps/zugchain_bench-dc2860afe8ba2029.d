@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/zugchain_bench-dc2860afe8ba2029.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libzugchain_bench-dc2860afe8ba2029.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libzugchain_bench-dc2860afe8ba2029.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

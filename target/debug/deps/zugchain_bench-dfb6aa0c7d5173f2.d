@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/zugchain_bench-dfb6aa0c7d5173f2.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/zugchain_bench-dfb6aa0c7d5173f2: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/zugchain_bench-fa8c630ad2bddf13.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/zugchain_bench-fa8c630ad2bddf13: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

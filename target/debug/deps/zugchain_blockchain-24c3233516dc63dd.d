@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/zugchain_blockchain-24c3233516dc63dd.d: crates/blockchain/src/lib.rs crates/blockchain/src/block.rs crates/blockchain/src/builder.rs crates/blockchain/src/disk.rs crates/blockchain/src/store.rs crates/blockchain/src/verify.rs Cargo.toml
+
+/root/repo/target/debug/deps/libzugchain_blockchain-24c3233516dc63dd.rmeta: crates/blockchain/src/lib.rs crates/blockchain/src/block.rs crates/blockchain/src/builder.rs crates/blockchain/src/disk.rs crates/blockchain/src/store.rs crates/blockchain/src/verify.rs Cargo.toml
+
+crates/blockchain/src/lib.rs:
+crates/blockchain/src/block.rs:
+crates/blockchain/src/builder.rs:
+crates/blockchain/src/disk.rs:
+crates/blockchain/src/store.rs:
+crates/blockchain/src/verify.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

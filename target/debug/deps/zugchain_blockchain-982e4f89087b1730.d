@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/zugchain_blockchain-982e4f89087b1730.d: crates/blockchain/src/lib.rs crates/blockchain/src/block.rs crates/blockchain/src/builder.rs crates/blockchain/src/disk.rs crates/blockchain/src/store.rs crates/blockchain/src/verify.rs
+
+/root/repo/target/debug/deps/libzugchain_blockchain-982e4f89087b1730.rlib: crates/blockchain/src/lib.rs crates/blockchain/src/block.rs crates/blockchain/src/builder.rs crates/blockchain/src/disk.rs crates/blockchain/src/store.rs crates/blockchain/src/verify.rs
+
+/root/repo/target/debug/deps/libzugchain_blockchain-982e4f89087b1730.rmeta: crates/blockchain/src/lib.rs crates/blockchain/src/block.rs crates/blockchain/src/builder.rs crates/blockchain/src/disk.rs crates/blockchain/src/store.rs crates/blockchain/src/verify.rs
+
+crates/blockchain/src/lib.rs:
+crates/blockchain/src/block.rs:
+crates/blockchain/src/builder.rs:
+crates/blockchain/src/disk.rs:
+crates/blockchain/src/store.rs:
+crates/blockchain/src/verify.rs:

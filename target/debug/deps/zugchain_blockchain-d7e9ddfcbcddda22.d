@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/zugchain_blockchain-d7e9ddfcbcddda22.d: crates/blockchain/src/lib.rs crates/blockchain/src/block.rs crates/blockchain/src/builder.rs crates/blockchain/src/disk.rs crates/blockchain/src/store.rs crates/blockchain/src/verify.rs
+
+/root/repo/target/debug/deps/zugchain_blockchain-d7e9ddfcbcddda22: crates/blockchain/src/lib.rs crates/blockchain/src/block.rs crates/blockchain/src/builder.rs crates/blockchain/src/disk.rs crates/blockchain/src/store.rs crates/blockchain/src/verify.rs
+
+crates/blockchain/src/lib.rs:
+crates/blockchain/src/block.rs:
+crates/blockchain/src/builder.rs:
+crates/blockchain/src/disk.rs:
+crates/blockchain/src/store.rs:
+crates/blockchain/src/verify.rs:

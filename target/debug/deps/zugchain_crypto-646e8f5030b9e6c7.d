@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/zugchain_crypto-646e8f5030b9e6c7.d: crates/crypto/src/lib.rs crates/crypto/src/digest.rs crates/crypto/src/keys.rs crates/crypto/src/keystore.rs Cargo.toml
+
+/root/repo/target/debug/deps/libzugchain_crypto-646e8f5030b9e6c7.rmeta: crates/crypto/src/lib.rs crates/crypto/src/digest.rs crates/crypto/src/keys.rs crates/crypto/src/keystore.rs Cargo.toml
+
+crates/crypto/src/lib.rs:
+crates/crypto/src/digest.rs:
+crates/crypto/src/keys.rs:
+crates/crypto/src/keystore.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/zugchain_crypto-b582c42612b2253c.d: crates/crypto/src/lib.rs crates/crypto/src/digest.rs crates/crypto/src/keys.rs crates/crypto/src/keystore.rs
+
+/root/repo/target/debug/deps/libzugchain_crypto-b582c42612b2253c.rlib: crates/crypto/src/lib.rs crates/crypto/src/digest.rs crates/crypto/src/keys.rs crates/crypto/src/keystore.rs
+
+/root/repo/target/debug/deps/libzugchain_crypto-b582c42612b2253c.rmeta: crates/crypto/src/lib.rs crates/crypto/src/digest.rs crates/crypto/src/keys.rs crates/crypto/src/keystore.rs
+
+crates/crypto/src/lib.rs:
+crates/crypto/src/digest.rs:
+crates/crypto/src/keys.rs:
+crates/crypto/src/keystore.rs:

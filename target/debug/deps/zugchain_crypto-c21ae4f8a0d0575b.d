@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/zugchain_crypto-c21ae4f8a0d0575b.d: crates/crypto/src/lib.rs crates/crypto/src/digest.rs crates/crypto/src/keys.rs crates/crypto/src/keystore.rs
+
+/root/repo/target/debug/deps/zugchain_crypto-c21ae4f8a0d0575b: crates/crypto/src/lib.rs crates/crypto/src/digest.rs crates/crypto/src/keys.rs crates/crypto/src/keystore.rs
+
+crates/crypto/src/lib.rs:
+crates/crypto/src/digest.rs:
+crates/crypto/src/keys.rs:
+crates/crypto/src/keystore.rs:

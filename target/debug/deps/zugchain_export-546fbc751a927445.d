@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/zugchain_export-546fbc751a927445.d: crates/export/src/lib.rs crates/export/src/datacenter.rs crates/export/src/messages.rs crates/export/src/replica.rs crates/export/src/transfer.rs
+
+/root/repo/target/debug/deps/libzugchain_export-546fbc751a927445.rlib: crates/export/src/lib.rs crates/export/src/datacenter.rs crates/export/src/messages.rs crates/export/src/replica.rs crates/export/src/transfer.rs
+
+/root/repo/target/debug/deps/libzugchain_export-546fbc751a927445.rmeta: crates/export/src/lib.rs crates/export/src/datacenter.rs crates/export/src/messages.rs crates/export/src/replica.rs crates/export/src/transfer.rs
+
+crates/export/src/lib.rs:
+crates/export/src/datacenter.rs:
+crates/export/src/messages.rs:
+crates/export/src/replica.rs:
+crates/export/src/transfer.rs:

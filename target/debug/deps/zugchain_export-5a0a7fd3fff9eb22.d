@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/zugchain_export-5a0a7fd3fff9eb22.d: crates/export/src/lib.rs crates/export/src/datacenter.rs crates/export/src/messages.rs crates/export/src/replica.rs crates/export/src/transfer.rs
+
+/root/repo/target/debug/deps/zugchain_export-5a0a7fd3fff9eb22: crates/export/src/lib.rs crates/export/src/datacenter.rs crates/export/src/messages.rs crates/export/src/replica.rs crates/export/src/transfer.rs
+
+crates/export/src/lib.rs:
+crates/export/src/datacenter.rs:
+crates/export/src/messages.rs:
+crates/export/src/replica.rs:
+crates/export/src/transfer.rs:

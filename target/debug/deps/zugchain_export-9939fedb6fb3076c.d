@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/zugchain_export-9939fedb6fb3076c.d: crates/export/src/lib.rs crates/export/src/datacenter.rs crates/export/src/messages.rs crates/export/src/replica.rs crates/export/src/transfer.rs
+
+/root/repo/target/debug/deps/zugchain_export-9939fedb6fb3076c: crates/export/src/lib.rs crates/export/src/datacenter.rs crates/export/src/messages.rs crates/export/src/replica.rs crates/export/src/transfer.rs
+
+crates/export/src/lib.rs:
+crates/export/src/datacenter.rs:
+crates/export/src/messages.rs:
+crates/export/src/replica.rs:
+crates/export/src/transfer.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/zugchain_export-c2ddfe4e0ebf8559.d: crates/export/src/lib.rs crates/export/src/datacenter.rs crates/export/src/messages.rs crates/export/src/replica.rs crates/export/src/transfer.rs Cargo.toml
+
+/root/repo/target/debug/deps/libzugchain_export-c2ddfe4e0ebf8559.rmeta: crates/export/src/lib.rs crates/export/src/datacenter.rs crates/export/src/messages.rs crates/export/src/replica.rs crates/export/src/transfer.rs Cargo.toml
+
+crates/export/src/lib.rs:
+crates/export/src/datacenter.rs:
+crates/export/src/messages.rs:
+crates/export/src/replica.rs:
+crates/export/src/transfer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

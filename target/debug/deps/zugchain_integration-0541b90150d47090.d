@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/zugchain_integration-0541b90150d47090.d: crates/integration/src/lib.rs
+
+/root/repo/target/debug/deps/libzugchain_integration-0541b90150d47090.rlib: crates/integration/src/lib.rs
+
+/root/repo/target/debug/deps/libzugchain_integration-0541b90150d47090.rmeta: crates/integration/src/lib.rs
+
+crates/integration/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/zugchain_integration-32d903bcd24a3ede.d: crates/integration/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libzugchain_integration-32d903bcd24a3ede.rmeta: crates/integration/src/lib.rs Cargo.toml
+
+crates/integration/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/zugchain_integration-67574d2462af1239.d: crates/integration/src/lib.rs
+
+/root/repo/target/debug/deps/zugchain_integration-67574d2462af1239: crates/integration/src/lib.rs
+
+crates/integration/src/lib.rs:

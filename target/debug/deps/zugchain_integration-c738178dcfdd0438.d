@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/zugchain_integration-c738178dcfdd0438.d: crates/integration/src/lib.rs
+
+/root/repo/target/debug/deps/zugchain_integration-c738178dcfdd0438: crates/integration/src/lib.rs
+
+crates/integration/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/zugchain_integration-eb695edfaa5597fb.d: crates/integration/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libzugchain_integration-eb695edfaa5597fb.rmeta: crates/integration/src/lib.rs Cargo.toml
+
+crates/integration/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/zugchain_machine-4c2a6aa0850d1bcb.d: crates/machine/src/lib.rs
+
+/root/repo/target/debug/deps/zugchain_machine-4c2a6aa0850d1bcb: crates/machine/src/lib.rs
+
+crates/machine/src/lib.rs:

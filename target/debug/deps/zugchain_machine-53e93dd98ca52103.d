@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/zugchain_machine-53e93dd98ca52103.d: crates/machine/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libzugchain_machine-53e93dd98ca52103.rmeta: crates/machine/src/lib.rs Cargo.toml
+
+crates/machine/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

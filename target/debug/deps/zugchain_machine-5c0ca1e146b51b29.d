@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/zugchain_machine-5c0ca1e146b51b29.d: crates/machine/src/lib.rs
+
+/root/repo/target/debug/deps/libzugchain_machine-5c0ca1e146b51b29.rlib: crates/machine/src/lib.rs
+
+/root/repo/target/debug/deps/libzugchain_machine-5c0ca1e146b51b29.rmeta: crates/machine/src/lib.rs
+
+crates/machine/src/lib.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/zugchain_mvb-0dc99880997f8703.d: crates/mvb/src/lib.rs crates/mvb/src/bus.rs crates/mvb/src/device.rs crates/mvb/src/fault.rs crates/mvb/src/nsdb.rs crates/mvb/src/profinet.rs crates/mvb/src/telegram.rs Cargo.toml
+
+/root/repo/target/debug/deps/libzugchain_mvb-0dc99880997f8703.rmeta: crates/mvb/src/lib.rs crates/mvb/src/bus.rs crates/mvb/src/device.rs crates/mvb/src/fault.rs crates/mvb/src/nsdb.rs crates/mvb/src/profinet.rs crates/mvb/src/telegram.rs Cargo.toml
+
+crates/mvb/src/lib.rs:
+crates/mvb/src/bus.rs:
+crates/mvb/src/device.rs:
+crates/mvb/src/fault.rs:
+crates/mvb/src/nsdb.rs:
+crates/mvb/src/profinet.rs:
+crates/mvb/src/telegram.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/zugchain_mvb-30c92b80d8544a0c.d: crates/mvb/src/lib.rs crates/mvb/src/bus.rs crates/mvb/src/device.rs crates/mvb/src/fault.rs crates/mvb/src/nsdb.rs crates/mvb/src/profinet.rs crates/mvb/src/telegram.rs
+
+/root/repo/target/debug/deps/zugchain_mvb-30c92b80d8544a0c: crates/mvb/src/lib.rs crates/mvb/src/bus.rs crates/mvb/src/device.rs crates/mvb/src/fault.rs crates/mvb/src/nsdb.rs crates/mvb/src/profinet.rs crates/mvb/src/telegram.rs
+
+crates/mvb/src/lib.rs:
+crates/mvb/src/bus.rs:
+crates/mvb/src/device.rs:
+crates/mvb/src/fault.rs:
+crates/mvb/src/nsdb.rs:
+crates/mvb/src/profinet.rs:
+crates/mvb/src/telegram.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/zugchain_mvb-404315c0c35db18a.d: crates/mvb/src/lib.rs crates/mvb/src/bus.rs crates/mvb/src/device.rs crates/mvb/src/fault.rs crates/mvb/src/nsdb.rs crates/mvb/src/profinet.rs crates/mvb/src/telegram.rs
+
+/root/repo/target/debug/deps/libzugchain_mvb-404315c0c35db18a.rlib: crates/mvb/src/lib.rs crates/mvb/src/bus.rs crates/mvb/src/device.rs crates/mvb/src/fault.rs crates/mvb/src/nsdb.rs crates/mvb/src/profinet.rs crates/mvb/src/telegram.rs
+
+/root/repo/target/debug/deps/libzugchain_mvb-404315c0c35db18a.rmeta: crates/mvb/src/lib.rs crates/mvb/src/bus.rs crates/mvb/src/device.rs crates/mvb/src/fault.rs crates/mvb/src/nsdb.rs crates/mvb/src/profinet.rs crates/mvb/src/telegram.rs
+
+crates/mvb/src/lib.rs:
+crates/mvb/src/bus.rs:
+crates/mvb/src/device.rs:
+crates/mvb/src/fault.rs:
+crates/mvb/src/nsdb.rs:
+crates/mvb/src/profinet.rs:
+crates/mvb/src/telegram.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/zugchain_pbft-976b62dc092b4740.d: crates/pbft/src/lib.rs crates/pbft/src/config.rs crates/pbft/src/messages.rs crates/pbft/src/replica.rs crates/pbft/src/replica/tests.rs crates/pbft/src/types.rs
+
+/root/repo/target/debug/deps/zugchain_pbft-976b62dc092b4740: crates/pbft/src/lib.rs crates/pbft/src/config.rs crates/pbft/src/messages.rs crates/pbft/src/replica.rs crates/pbft/src/replica/tests.rs crates/pbft/src/types.rs
+
+crates/pbft/src/lib.rs:
+crates/pbft/src/config.rs:
+crates/pbft/src/messages.rs:
+crates/pbft/src/replica.rs:
+crates/pbft/src/replica/tests.rs:
+crates/pbft/src/types.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/zugchain_pbft-9ebf70a7dc2c029b.d: crates/pbft/src/lib.rs crates/pbft/src/config.rs crates/pbft/src/messages.rs crates/pbft/src/replica.rs crates/pbft/src/types.rs
+
+/root/repo/target/debug/deps/libzugchain_pbft-9ebf70a7dc2c029b.rlib: crates/pbft/src/lib.rs crates/pbft/src/config.rs crates/pbft/src/messages.rs crates/pbft/src/replica.rs crates/pbft/src/types.rs
+
+/root/repo/target/debug/deps/libzugchain_pbft-9ebf70a7dc2c029b.rmeta: crates/pbft/src/lib.rs crates/pbft/src/config.rs crates/pbft/src/messages.rs crates/pbft/src/replica.rs crates/pbft/src/types.rs
+
+crates/pbft/src/lib.rs:
+crates/pbft/src/config.rs:
+crates/pbft/src/messages.rs:
+crates/pbft/src/replica.rs:
+crates/pbft/src/types.rs:

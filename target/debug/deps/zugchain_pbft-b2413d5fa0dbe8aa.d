@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/zugchain_pbft-b2413d5fa0dbe8aa.d: crates/pbft/src/lib.rs crates/pbft/src/config.rs crates/pbft/src/messages.rs crates/pbft/src/replica.rs crates/pbft/src/types.rs
+
+/root/repo/target/debug/deps/libzugchain_pbft-b2413d5fa0dbe8aa.rlib: crates/pbft/src/lib.rs crates/pbft/src/config.rs crates/pbft/src/messages.rs crates/pbft/src/replica.rs crates/pbft/src/types.rs
+
+/root/repo/target/debug/deps/libzugchain_pbft-b2413d5fa0dbe8aa.rmeta: crates/pbft/src/lib.rs crates/pbft/src/config.rs crates/pbft/src/messages.rs crates/pbft/src/replica.rs crates/pbft/src/types.rs
+
+crates/pbft/src/lib.rs:
+crates/pbft/src/config.rs:
+crates/pbft/src/messages.rs:
+crates/pbft/src/replica.rs:
+crates/pbft/src/types.rs:

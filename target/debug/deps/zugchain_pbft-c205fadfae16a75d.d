@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/zugchain_pbft-c205fadfae16a75d.d: crates/pbft/src/lib.rs crates/pbft/src/config.rs crates/pbft/src/messages.rs crates/pbft/src/replica.rs crates/pbft/src/replica/tests.rs crates/pbft/src/types.rs Cargo.toml
+
+/root/repo/target/debug/deps/libzugchain_pbft-c205fadfae16a75d.rmeta: crates/pbft/src/lib.rs crates/pbft/src/config.rs crates/pbft/src/messages.rs crates/pbft/src/replica.rs crates/pbft/src/replica/tests.rs crates/pbft/src/types.rs Cargo.toml
+
+crates/pbft/src/lib.rs:
+crates/pbft/src/config.rs:
+crates/pbft/src/messages.rs:
+crates/pbft/src/replica.rs:
+crates/pbft/src/replica/tests.rs:
+crates/pbft/src/types.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

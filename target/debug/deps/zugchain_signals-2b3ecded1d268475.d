@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/zugchain_signals-2b3ecded1d268475.d: crates/signals/src/lib.rs crates/signals/src/analysis.rs crates/signals/src/event.rs crates/signals/src/filter.rs crates/signals/src/parser.rs crates/signals/src/request.rs
+
+/root/repo/target/debug/deps/zugchain_signals-2b3ecded1d268475: crates/signals/src/lib.rs crates/signals/src/analysis.rs crates/signals/src/event.rs crates/signals/src/filter.rs crates/signals/src/parser.rs crates/signals/src/request.rs
+
+crates/signals/src/lib.rs:
+crates/signals/src/analysis.rs:
+crates/signals/src/event.rs:
+crates/signals/src/filter.rs:
+crates/signals/src/parser.rs:
+crates/signals/src/request.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/zugchain_signals-a26e3a2d44aec8f1.d: crates/signals/src/lib.rs crates/signals/src/analysis.rs crates/signals/src/event.rs crates/signals/src/filter.rs crates/signals/src/parser.rs crates/signals/src/request.rs
+
+/root/repo/target/debug/deps/libzugchain_signals-a26e3a2d44aec8f1.rlib: crates/signals/src/lib.rs crates/signals/src/analysis.rs crates/signals/src/event.rs crates/signals/src/filter.rs crates/signals/src/parser.rs crates/signals/src/request.rs
+
+/root/repo/target/debug/deps/libzugchain_signals-a26e3a2d44aec8f1.rmeta: crates/signals/src/lib.rs crates/signals/src/analysis.rs crates/signals/src/event.rs crates/signals/src/filter.rs crates/signals/src/parser.rs crates/signals/src/request.rs
+
+crates/signals/src/lib.rs:
+crates/signals/src/analysis.rs:
+crates/signals/src/event.rs:
+crates/signals/src/filter.rs:
+crates/signals/src/parser.rs:
+crates/signals/src/request.rs:

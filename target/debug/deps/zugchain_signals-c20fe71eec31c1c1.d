@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/zugchain_signals-c20fe71eec31c1c1.d: crates/signals/src/lib.rs crates/signals/src/analysis.rs crates/signals/src/event.rs crates/signals/src/filter.rs crates/signals/src/parser.rs crates/signals/src/request.rs Cargo.toml
+
+/root/repo/target/debug/deps/libzugchain_signals-c20fe71eec31c1c1.rmeta: crates/signals/src/lib.rs crates/signals/src/analysis.rs crates/signals/src/event.rs crates/signals/src/filter.rs crates/signals/src/parser.rs crates/signals/src/request.rs Cargo.toml
+
+crates/signals/src/lib.rs:
+crates/signals/src/analysis.rs:
+crates/signals/src/event.rs:
+crates/signals/src/filter.rs:
+crates/signals/src/parser.rs:
+crates/signals/src/request.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/zugchain_sim-1d2bb35e77127a29.d: crates/sim/src/lib.rs crates/sim/src/cost.rs crates/sim/src/export_sim.rs crates/sim/src/metrics.rs crates/sim/src/network.rs crates/sim/src/scenario.rs crates/sim/src/sim.rs crates/sim/src/runtime.rs crates/sim/src/tcp.rs
+
+/root/repo/target/debug/deps/libzugchain_sim-1d2bb35e77127a29.rlib: crates/sim/src/lib.rs crates/sim/src/cost.rs crates/sim/src/export_sim.rs crates/sim/src/metrics.rs crates/sim/src/network.rs crates/sim/src/scenario.rs crates/sim/src/sim.rs crates/sim/src/runtime.rs crates/sim/src/tcp.rs
+
+/root/repo/target/debug/deps/libzugchain_sim-1d2bb35e77127a29.rmeta: crates/sim/src/lib.rs crates/sim/src/cost.rs crates/sim/src/export_sim.rs crates/sim/src/metrics.rs crates/sim/src/network.rs crates/sim/src/scenario.rs crates/sim/src/sim.rs crates/sim/src/runtime.rs crates/sim/src/tcp.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/cost.rs:
+crates/sim/src/export_sim.rs:
+crates/sim/src/metrics.rs:
+crates/sim/src/network.rs:
+crates/sim/src/scenario.rs:
+crates/sim/src/sim.rs:
+crates/sim/src/runtime.rs:
+crates/sim/src/tcp.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/zugchain_sim-27a2a8a1a1918496.d: crates/sim/src/lib.rs crates/sim/src/cost.rs crates/sim/src/export_sim.rs crates/sim/src/metrics.rs crates/sim/src/network.rs crates/sim/src/node_loop.rs crates/sim/src/runtime.rs crates/sim/src/scenario.rs crates/sim/src/sim.rs crates/sim/src/tcp.rs
+
+/root/repo/target/debug/deps/libzugchain_sim-27a2a8a1a1918496.rlib: crates/sim/src/lib.rs crates/sim/src/cost.rs crates/sim/src/export_sim.rs crates/sim/src/metrics.rs crates/sim/src/network.rs crates/sim/src/node_loop.rs crates/sim/src/runtime.rs crates/sim/src/scenario.rs crates/sim/src/sim.rs crates/sim/src/tcp.rs
+
+/root/repo/target/debug/deps/libzugchain_sim-27a2a8a1a1918496.rmeta: crates/sim/src/lib.rs crates/sim/src/cost.rs crates/sim/src/export_sim.rs crates/sim/src/metrics.rs crates/sim/src/network.rs crates/sim/src/node_loop.rs crates/sim/src/runtime.rs crates/sim/src/scenario.rs crates/sim/src/sim.rs crates/sim/src/tcp.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/cost.rs:
+crates/sim/src/export_sim.rs:
+crates/sim/src/metrics.rs:
+crates/sim/src/network.rs:
+crates/sim/src/node_loop.rs:
+crates/sim/src/runtime.rs:
+crates/sim/src/scenario.rs:
+crates/sim/src/sim.rs:
+crates/sim/src/tcp.rs:

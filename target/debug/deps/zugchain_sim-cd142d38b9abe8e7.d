@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/zugchain_sim-cd142d38b9abe8e7.d: crates/sim/src/lib.rs crates/sim/src/cost.rs crates/sim/src/export_sim.rs crates/sim/src/metrics.rs crates/sim/src/network.rs crates/sim/src/node_loop.rs crates/sim/src/runtime.rs crates/sim/src/scenario.rs crates/sim/src/sim.rs crates/sim/src/tcp.rs Cargo.toml
+
+/root/repo/target/debug/deps/libzugchain_sim-cd142d38b9abe8e7.rmeta: crates/sim/src/lib.rs crates/sim/src/cost.rs crates/sim/src/export_sim.rs crates/sim/src/metrics.rs crates/sim/src/network.rs crates/sim/src/node_loop.rs crates/sim/src/runtime.rs crates/sim/src/scenario.rs crates/sim/src/sim.rs crates/sim/src/tcp.rs Cargo.toml
+
+crates/sim/src/lib.rs:
+crates/sim/src/cost.rs:
+crates/sim/src/export_sim.rs:
+crates/sim/src/metrics.rs:
+crates/sim/src/network.rs:
+crates/sim/src/node_loop.rs:
+crates/sim/src/runtime.rs:
+crates/sim/src/scenario.rs:
+crates/sim/src/sim.rs:
+crates/sim/src/tcp.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

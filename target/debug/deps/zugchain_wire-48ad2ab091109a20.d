@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/zugchain_wire-48ad2ab091109a20.d: crates/wire/src/lib.rs crates/wire/src/error.rs crates/wire/src/reader.rs crates/wire/src/traits.rs crates/wire/src/writer.rs
+
+/root/repo/target/debug/deps/zugchain_wire-48ad2ab091109a20: crates/wire/src/lib.rs crates/wire/src/error.rs crates/wire/src/reader.rs crates/wire/src/traits.rs crates/wire/src/writer.rs
+
+crates/wire/src/lib.rs:
+crates/wire/src/error.rs:
+crates/wire/src/reader.rs:
+crates/wire/src/traits.rs:
+crates/wire/src/writer.rs:

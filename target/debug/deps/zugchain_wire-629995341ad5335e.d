@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/zugchain_wire-629995341ad5335e.d: crates/wire/src/lib.rs crates/wire/src/error.rs crates/wire/src/reader.rs crates/wire/src/traits.rs crates/wire/src/writer.rs
+
+/root/repo/target/debug/deps/libzugchain_wire-629995341ad5335e.rlib: crates/wire/src/lib.rs crates/wire/src/error.rs crates/wire/src/reader.rs crates/wire/src/traits.rs crates/wire/src/writer.rs
+
+/root/repo/target/debug/deps/libzugchain_wire-629995341ad5335e.rmeta: crates/wire/src/lib.rs crates/wire/src/error.rs crates/wire/src/reader.rs crates/wire/src/traits.rs crates/wire/src/writer.rs
+
+crates/wire/src/lib.rs:
+crates/wire/src/error.rs:
+crates/wire/src/reader.rs:
+crates/wire/src/traits.rs:
+crates/wire/src/writer.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/zugchain_wire-9f9a20256fb6bc4b.d: crates/wire/src/lib.rs crates/wire/src/error.rs crates/wire/src/reader.rs crates/wire/src/traits.rs crates/wire/src/writer.rs Cargo.toml
+
+/root/repo/target/debug/deps/libzugchain_wire-9f9a20256fb6bc4b.rmeta: crates/wire/src/lib.rs crates/wire/src/error.rs crates/wire/src/reader.rs crates/wire/src/traits.rs crates/wire/src/writer.rs Cargo.toml
+
+crates/wire/src/lib.rs:
+crates/wire/src/error.rs:
+crates/wire/src/reader.rs:
+crates/wire/src/traits.rs:
+crates/wire/src/writer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

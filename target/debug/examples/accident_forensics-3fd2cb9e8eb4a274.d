@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/accident_forensics-3fd2cb9e8eb4a274.d: crates/core/../../examples/accident_forensics.rs Cargo.toml
+
+/root/repo/target/debug/examples/libaccident_forensics-3fd2cb9e8eb4a274.rmeta: crates/core/../../examples/accident_forensics.rs Cargo.toml
+
+crates/core/../../examples/accident_forensics.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/accident_forensics-445da7eac62932d2.d: crates/core/../../examples/accident_forensics.rs
+
+/root/repo/target/debug/examples/accident_forensics-445da7eac62932d2: crates/core/../../examples/accident_forensics.rs
+
+crates/core/../../examples/accident_forensics.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/accident_forensics-76bb83deefb8147c.d: crates/core/../../examples/accident_forensics.rs
+
+/root/repo/target/debug/examples/accident_forensics-76bb83deefb8147c: crates/core/../../examples/accident_forensics.rs
+
+crates/core/../../examples/accident_forensics.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/byzantine_drill-ace8bfccdcb1da81.d: crates/core/../../examples/byzantine_drill.rs
+
+/root/repo/target/debug/examples/byzantine_drill-ace8bfccdcb1da81: crates/core/../../examples/byzantine_drill.rs
+
+crates/core/../../examples/byzantine_drill.rs:

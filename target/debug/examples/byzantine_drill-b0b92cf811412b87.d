@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/byzantine_drill-b0b92cf811412b87.d: crates/core/../../examples/byzantine_drill.rs
+
+/root/repo/target/debug/examples/byzantine_drill-b0b92cf811412b87: crates/core/../../examples/byzantine_drill.rs
+
+crates/core/../../examples/byzantine_drill.rs:

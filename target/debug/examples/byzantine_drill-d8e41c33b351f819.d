@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/byzantine_drill-d8e41c33b351f819.d: crates/core/../../examples/byzantine_drill.rs Cargo.toml
+
+/root/repo/target/debug/examples/libbyzantine_drill-d8e41c33b351f819.rmeta: crates/core/../../examples/byzantine_drill.rs Cargo.toml
+
+crates/core/../../examples/byzantine_drill.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-13097fa88e922f0b.d: crates/core/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-13097fa88e922f0b: crates/core/../../examples/quickstart.rs
+
+crates/core/../../examples/quickstart.rs:

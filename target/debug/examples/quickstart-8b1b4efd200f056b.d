@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-8b1b4efd200f056b.d: crates/core/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-8b1b4efd200f056b: crates/core/../../examples/quickstart.rs
+
+crates/core/../../examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/train_journey-3f853ed2823940ce.d: crates/core/../../examples/train_journey.rs
+
+/root/repo/target/debug/examples/train_journey-3f853ed2823940ce: crates/core/../../examples/train_journey.rs
+
+crates/core/../../examples/train_journey.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/train_journey-4e4e88c129ffbfaf.d: crates/core/../../examples/train_journey.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtrain_journey-4e4e88c129ffbfaf.rmeta: crates/core/../../examples/train_journey.rs Cargo.toml
+
+crates/core/../../examples/train_journey.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

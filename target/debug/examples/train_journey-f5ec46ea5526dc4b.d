@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/train_journey-f5ec46ea5526dc4b.d: crates/core/../../examples/train_journey.rs
+
+/root/repo/target/debug/examples/train_journey-f5ec46ea5526dc4b: crates/core/../../examples/train_journey.rs
+
+crates/core/../../examples/train_journey.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/broadcast_fanout-e6b2b54c1e292b44.d: crates/bench/benches/broadcast_fanout.rs
+
+/root/repo/target/release/deps/broadcast_fanout-e6b2b54c1e292b44: crates/bench/benches/broadcast_fanout.rs
+
+crates/bench/benches/broadcast_fanout.rs:

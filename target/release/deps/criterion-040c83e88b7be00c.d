@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-040c83e88b7be00c.d: shims/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-040c83e88b7be00c.rlib: shims/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-040c83e88b7be00c.rmeta: shims/criterion/src/lib.rs
+
+shims/criterion/src/lib.rs:

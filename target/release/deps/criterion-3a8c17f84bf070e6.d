@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-3a8c17f84bf070e6.d: shims/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-3a8c17f84bf070e6.rlib: shims/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-3a8c17f84bf070e6.rmeta: shims/criterion/src/lib.rs
+
+shims/criterion/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/ed25519_dalek-e8ba19c100421465.d: shims/ed25519-dalek/src/lib.rs
+
+/root/repo/target/release/deps/libed25519_dalek-e8ba19c100421465.rlib: shims/ed25519-dalek/src/lib.rs
+
+/root/repo/target/release/deps/libed25519_dalek-e8ba19c100421465.rmeta: shims/ed25519-dalek/src/lib.rs
+
+shims/ed25519-dalek/src/lib.rs:

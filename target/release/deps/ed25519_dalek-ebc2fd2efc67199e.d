@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/ed25519_dalek-ebc2fd2efc67199e.d: shims/ed25519-dalek/src/lib.rs
+
+/root/repo/target/release/deps/libed25519_dalek-ebc2fd2efc67199e.rlib: shims/ed25519-dalek/src/lib.rs
+
+/root/repo/target/release/deps/libed25519_dalek-ebc2fd2efc67199e.rmeta: shims/ed25519-dalek/src/lib.rs
+
+shims/ed25519-dalek/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figures-a6edd7b2762cf69c.d: crates/bench/src/bin/figures.rs
+
+/root/repo/target/release/deps/figures-a6edd7b2762cf69c: crates/bench/src/bin/figures.rs
+
+crates/bench/src/bin/figures.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figures-c0e434fa5b6a28ed.d: crates/bench/src/bin/figures.rs
+
+/root/repo/target/release/deps/figures-c0e434fa5b6a28ed: crates/bench/src/bin/figures.rs
+
+crates/bench/src/bin/figures.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figures-f5a2a40d46585bbb.d: crates/bench/src/bin/figures.rs
+
+/root/repo/target/release/deps/figures-f5a2a40d46585bbb: crates/bench/src/bin/figures.rs
+
+crates/bench/src/bin/figures.rs:

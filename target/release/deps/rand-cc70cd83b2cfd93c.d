@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-cc70cd83b2cfd93c.d: shims/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-cc70cd83b2cfd93c.rlib: shims/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-cc70cd83b2cfd93c.rmeta: shims/rand/src/lib.rs
+
+shims/rand/src/lib.rs:

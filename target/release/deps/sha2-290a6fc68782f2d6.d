@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/sha2-290a6fc68782f2d6.d: shims/sha2/src/lib.rs
+
+/root/repo/target/release/deps/libsha2-290a6fc68782f2d6.rlib: shims/sha2/src/lib.rs
+
+/root/repo/target/release/deps/libsha2-290a6fc68782f2d6.rmeta: shims/sha2/src/lib.rs
+
+shims/sha2/src/lib.rs:

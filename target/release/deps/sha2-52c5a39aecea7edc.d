@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/sha2-52c5a39aecea7edc.d: shims/sha2/src/lib.rs
+
+/root/repo/target/release/deps/libsha2-52c5a39aecea7edc.rlib: shims/sha2/src/lib.rs
+
+/root/repo/target/release/deps/libsha2-52c5a39aecea7edc.rmeta: shims/sha2/src/lib.rs
+
+shims/sha2/src/lib.rs:

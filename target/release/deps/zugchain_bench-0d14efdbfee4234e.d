@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/zugchain_bench-0d14efdbfee4234e.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libzugchain_bench-0d14efdbfee4234e.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libzugchain_bench-0d14efdbfee4234e.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/zugchain_bench-2253288c05a37833.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libzugchain_bench-2253288c05a37833.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libzugchain_bench-2253288c05a37833.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/zugchain_bench-de7becc91766f58a.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libzugchain_bench-de7becc91766f58a.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libzugchain_bench-de7becc91766f58a.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

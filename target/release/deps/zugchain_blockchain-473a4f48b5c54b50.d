@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/zugchain_blockchain-473a4f48b5c54b50.d: crates/blockchain/src/lib.rs crates/blockchain/src/block.rs crates/blockchain/src/builder.rs crates/blockchain/src/disk.rs crates/blockchain/src/store.rs crates/blockchain/src/verify.rs
+
+/root/repo/target/release/deps/libzugchain_blockchain-473a4f48b5c54b50.rlib: crates/blockchain/src/lib.rs crates/blockchain/src/block.rs crates/blockchain/src/builder.rs crates/blockchain/src/disk.rs crates/blockchain/src/store.rs crates/blockchain/src/verify.rs
+
+/root/repo/target/release/deps/libzugchain_blockchain-473a4f48b5c54b50.rmeta: crates/blockchain/src/lib.rs crates/blockchain/src/block.rs crates/blockchain/src/builder.rs crates/blockchain/src/disk.rs crates/blockchain/src/store.rs crates/blockchain/src/verify.rs
+
+crates/blockchain/src/lib.rs:
+crates/blockchain/src/block.rs:
+crates/blockchain/src/builder.rs:
+crates/blockchain/src/disk.rs:
+crates/blockchain/src/store.rs:
+crates/blockchain/src/verify.rs:

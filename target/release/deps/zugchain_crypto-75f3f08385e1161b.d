@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/zugchain_crypto-75f3f08385e1161b.d: crates/crypto/src/lib.rs crates/crypto/src/digest.rs crates/crypto/src/keys.rs crates/crypto/src/keystore.rs
+
+/root/repo/target/release/deps/libzugchain_crypto-75f3f08385e1161b.rlib: crates/crypto/src/lib.rs crates/crypto/src/digest.rs crates/crypto/src/keys.rs crates/crypto/src/keystore.rs
+
+/root/repo/target/release/deps/libzugchain_crypto-75f3f08385e1161b.rmeta: crates/crypto/src/lib.rs crates/crypto/src/digest.rs crates/crypto/src/keys.rs crates/crypto/src/keystore.rs
+
+crates/crypto/src/lib.rs:
+crates/crypto/src/digest.rs:
+crates/crypto/src/keys.rs:
+crates/crypto/src/keystore.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/zugchain_crypto-7a36ede2d6f69dd4.d: crates/crypto/src/lib.rs crates/crypto/src/digest.rs crates/crypto/src/keys.rs crates/crypto/src/keystore.rs
+
+/root/repo/target/release/deps/libzugchain_crypto-7a36ede2d6f69dd4.rlib: crates/crypto/src/lib.rs crates/crypto/src/digest.rs crates/crypto/src/keys.rs crates/crypto/src/keystore.rs
+
+/root/repo/target/release/deps/libzugchain_crypto-7a36ede2d6f69dd4.rmeta: crates/crypto/src/lib.rs crates/crypto/src/digest.rs crates/crypto/src/keys.rs crates/crypto/src/keystore.rs
+
+crates/crypto/src/lib.rs:
+crates/crypto/src/digest.rs:
+crates/crypto/src/keys.rs:
+crates/crypto/src/keystore.rs:

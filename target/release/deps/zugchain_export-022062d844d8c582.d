@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/zugchain_export-022062d844d8c582.d: crates/export/src/lib.rs crates/export/src/datacenter.rs crates/export/src/messages.rs crates/export/src/replica.rs crates/export/src/transfer.rs
+
+/root/repo/target/release/deps/libzugchain_export-022062d844d8c582.rlib: crates/export/src/lib.rs crates/export/src/datacenter.rs crates/export/src/messages.rs crates/export/src/replica.rs crates/export/src/transfer.rs
+
+/root/repo/target/release/deps/libzugchain_export-022062d844d8c582.rmeta: crates/export/src/lib.rs crates/export/src/datacenter.rs crates/export/src/messages.rs crates/export/src/replica.rs crates/export/src/transfer.rs
+
+crates/export/src/lib.rs:
+crates/export/src/datacenter.rs:
+crates/export/src/messages.rs:
+crates/export/src/replica.rs:
+crates/export/src/transfer.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/zugchain_export-25aed25648505252.d: crates/export/src/lib.rs crates/export/src/datacenter.rs crates/export/src/messages.rs crates/export/src/replica.rs crates/export/src/transfer.rs
+
+/root/repo/target/release/deps/libzugchain_export-25aed25648505252.rlib: crates/export/src/lib.rs crates/export/src/datacenter.rs crates/export/src/messages.rs crates/export/src/replica.rs crates/export/src/transfer.rs
+
+/root/repo/target/release/deps/libzugchain_export-25aed25648505252.rmeta: crates/export/src/lib.rs crates/export/src/datacenter.rs crates/export/src/messages.rs crates/export/src/replica.rs crates/export/src/transfer.rs
+
+crates/export/src/lib.rs:
+crates/export/src/datacenter.rs:
+crates/export/src/messages.rs:
+crates/export/src/replica.rs:
+crates/export/src/transfer.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/zugchain_integration-c2b38c33e61ffb3f.d: crates/integration/src/lib.rs
+
+/root/repo/target/release/deps/libzugchain_integration-c2b38c33e61ffb3f.rlib: crates/integration/src/lib.rs
+
+/root/repo/target/release/deps/libzugchain_integration-c2b38c33e61ffb3f.rmeta: crates/integration/src/lib.rs
+
+crates/integration/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/zugchain_machine-272a0e530a4c4c77.d: crates/machine/src/lib.rs
+
+/root/repo/target/release/deps/libzugchain_machine-272a0e530a4c4c77.rlib: crates/machine/src/lib.rs
+
+/root/repo/target/release/deps/libzugchain_machine-272a0e530a4c4c77.rmeta: crates/machine/src/lib.rs
+
+crates/machine/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/zugchain_machine-82222357d4701bb5.d: crates/machine/src/lib.rs
+
+/root/repo/target/release/deps/libzugchain_machine-82222357d4701bb5.rlib: crates/machine/src/lib.rs
+
+/root/repo/target/release/deps/libzugchain_machine-82222357d4701bb5.rmeta: crates/machine/src/lib.rs
+
+crates/machine/src/lib.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/zugchain_mvb-b116f5b8ab7acb06.d: crates/mvb/src/lib.rs crates/mvb/src/bus.rs crates/mvb/src/device.rs crates/mvb/src/fault.rs crates/mvb/src/nsdb.rs crates/mvb/src/profinet.rs crates/mvb/src/telegram.rs
+
+/root/repo/target/release/deps/libzugchain_mvb-b116f5b8ab7acb06.rlib: crates/mvb/src/lib.rs crates/mvb/src/bus.rs crates/mvb/src/device.rs crates/mvb/src/fault.rs crates/mvb/src/nsdb.rs crates/mvb/src/profinet.rs crates/mvb/src/telegram.rs
+
+/root/repo/target/release/deps/libzugchain_mvb-b116f5b8ab7acb06.rmeta: crates/mvb/src/lib.rs crates/mvb/src/bus.rs crates/mvb/src/device.rs crates/mvb/src/fault.rs crates/mvb/src/nsdb.rs crates/mvb/src/profinet.rs crates/mvb/src/telegram.rs
+
+crates/mvb/src/lib.rs:
+crates/mvb/src/bus.rs:
+crates/mvb/src/device.rs:
+crates/mvb/src/fault.rs:
+crates/mvb/src/nsdb.rs:
+crates/mvb/src/profinet.rs:
+crates/mvb/src/telegram.rs:

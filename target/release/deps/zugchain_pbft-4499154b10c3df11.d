@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/zugchain_pbft-4499154b10c3df11.d: crates/pbft/src/lib.rs crates/pbft/src/config.rs crates/pbft/src/messages.rs crates/pbft/src/replica.rs crates/pbft/src/types.rs
+
+/root/repo/target/release/deps/libzugchain_pbft-4499154b10c3df11.rlib: crates/pbft/src/lib.rs crates/pbft/src/config.rs crates/pbft/src/messages.rs crates/pbft/src/replica.rs crates/pbft/src/types.rs
+
+/root/repo/target/release/deps/libzugchain_pbft-4499154b10c3df11.rmeta: crates/pbft/src/lib.rs crates/pbft/src/config.rs crates/pbft/src/messages.rs crates/pbft/src/replica.rs crates/pbft/src/types.rs
+
+crates/pbft/src/lib.rs:
+crates/pbft/src/config.rs:
+crates/pbft/src/messages.rs:
+crates/pbft/src/replica.rs:
+crates/pbft/src/types.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/zugchain_signals-1864c4ab25fec7bb.d: crates/signals/src/lib.rs crates/signals/src/analysis.rs crates/signals/src/event.rs crates/signals/src/filter.rs crates/signals/src/parser.rs crates/signals/src/request.rs
+
+/root/repo/target/release/deps/libzugchain_signals-1864c4ab25fec7bb.rlib: crates/signals/src/lib.rs crates/signals/src/analysis.rs crates/signals/src/event.rs crates/signals/src/filter.rs crates/signals/src/parser.rs crates/signals/src/request.rs
+
+/root/repo/target/release/deps/libzugchain_signals-1864c4ab25fec7bb.rmeta: crates/signals/src/lib.rs crates/signals/src/analysis.rs crates/signals/src/event.rs crates/signals/src/filter.rs crates/signals/src/parser.rs crates/signals/src/request.rs
+
+crates/signals/src/lib.rs:
+crates/signals/src/analysis.rs:
+crates/signals/src/event.rs:
+crates/signals/src/filter.rs:
+crates/signals/src/parser.rs:
+crates/signals/src/request.rs:

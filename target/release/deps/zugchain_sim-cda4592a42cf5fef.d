@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/zugchain_sim-cda4592a42cf5fef.d: crates/sim/src/lib.rs crates/sim/src/cost.rs crates/sim/src/export_sim.rs crates/sim/src/metrics.rs crates/sim/src/network.rs crates/sim/src/node_loop.rs crates/sim/src/runtime.rs crates/sim/src/scenario.rs crates/sim/src/sim.rs crates/sim/src/tcp.rs
+
+/root/repo/target/release/deps/libzugchain_sim-cda4592a42cf5fef.rlib: crates/sim/src/lib.rs crates/sim/src/cost.rs crates/sim/src/export_sim.rs crates/sim/src/metrics.rs crates/sim/src/network.rs crates/sim/src/node_loop.rs crates/sim/src/runtime.rs crates/sim/src/scenario.rs crates/sim/src/sim.rs crates/sim/src/tcp.rs
+
+/root/repo/target/release/deps/libzugchain_sim-cda4592a42cf5fef.rmeta: crates/sim/src/lib.rs crates/sim/src/cost.rs crates/sim/src/export_sim.rs crates/sim/src/metrics.rs crates/sim/src/network.rs crates/sim/src/node_loop.rs crates/sim/src/runtime.rs crates/sim/src/scenario.rs crates/sim/src/sim.rs crates/sim/src/tcp.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/cost.rs:
+crates/sim/src/export_sim.rs:
+crates/sim/src/metrics.rs:
+crates/sim/src/network.rs:
+crates/sim/src/node_loop.rs:
+crates/sim/src/runtime.rs:
+crates/sim/src/scenario.rs:
+crates/sim/src/sim.rs:
+crates/sim/src/tcp.rs:

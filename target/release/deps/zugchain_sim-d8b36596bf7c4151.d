@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/zugchain_sim-d8b36596bf7c4151.d: crates/sim/src/lib.rs crates/sim/src/cost.rs crates/sim/src/export_sim.rs crates/sim/src/metrics.rs crates/sim/src/network.rs crates/sim/src/scenario.rs crates/sim/src/sim.rs crates/sim/src/runtime.rs crates/sim/src/tcp.rs
+
+/root/repo/target/release/deps/libzugchain_sim-d8b36596bf7c4151.rlib: crates/sim/src/lib.rs crates/sim/src/cost.rs crates/sim/src/export_sim.rs crates/sim/src/metrics.rs crates/sim/src/network.rs crates/sim/src/scenario.rs crates/sim/src/sim.rs crates/sim/src/runtime.rs crates/sim/src/tcp.rs
+
+/root/repo/target/release/deps/libzugchain_sim-d8b36596bf7c4151.rmeta: crates/sim/src/lib.rs crates/sim/src/cost.rs crates/sim/src/export_sim.rs crates/sim/src/metrics.rs crates/sim/src/network.rs crates/sim/src/scenario.rs crates/sim/src/sim.rs crates/sim/src/runtime.rs crates/sim/src/tcp.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/cost.rs:
+crates/sim/src/export_sim.rs:
+crates/sim/src/metrics.rs:
+crates/sim/src/network.rs:
+crates/sim/src/scenario.rs:
+crates/sim/src/sim.rs:
+crates/sim/src/runtime.rs:
+crates/sim/src/tcp.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/zugchain_wire-ae5772c92fa20153.d: crates/wire/src/lib.rs crates/wire/src/error.rs crates/wire/src/reader.rs crates/wire/src/traits.rs crates/wire/src/writer.rs
+
+/root/repo/target/release/deps/libzugchain_wire-ae5772c92fa20153.rlib: crates/wire/src/lib.rs crates/wire/src/error.rs crates/wire/src/reader.rs crates/wire/src/traits.rs crates/wire/src/writer.rs
+
+/root/repo/target/release/deps/libzugchain_wire-ae5772c92fa20153.rmeta: crates/wire/src/lib.rs crates/wire/src/error.rs crates/wire/src/reader.rs crates/wire/src/traits.rs crates/wire/src/writer.rs
+
+crates/wire/src/lib.rs:
+crates/wire/src/error.rs:
+crates/wire/src/reader.rs:
+crates/wire/src/traits.rs:
+crates/wire/src/writer.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/zugchain_wire-bc3f87c2a6b25ea1.d: crates/wire/src/lib.rs crates/wire/src/error.rs crates/wire/src/reader.rs crates/wire/src/traits.rs crates/wire/src/writer.rs
+
+/root/repo/target/release/deps/libzugchain_wire-bc3f87c2a6b25ea1.rlib: crates/wire/src/lib.rs crates/wire/src/error.rs crates/wire/src/reader.rs crates/wire/src/traits.rs crates/wire/src/writer.rs
+
+/root/repo/target/release/deps/libzugchain_wire-bc3f87c2a6b25ea1.rmeta: crates/wire/src/lib.rs crates/wire/src/error.rs crates/wire/src/reader.rs crates/wire/src/traits.rs crates/wire/src/writer.rs
+
+crates/wire/src/lib.rs:
+crates/wire/src/error.rs:
+crates/wire/src/reader.rs:
+crates/wire/src/traits.rs:
+crates/wire/src/writer.rs:

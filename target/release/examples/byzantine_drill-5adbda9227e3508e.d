@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/byzantine_drill-5adbda9227e3508e.d: crates/core/../../examples/byzantine_drill.rs
+
+/root/repo/target/release/examples/byzantine_drill-5adbda9227e3508e: crates/core/../../examples/byzantine_drill.rs
+
+crates/core/../../examples/byzantine_drill.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-85b2bcf11954b15b.d: crates/core/../../examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-85b2bcf11954b15b: crates/core/../../examples/quickstart.rs
+
+crates/core/../../examples/quickstart.rs:

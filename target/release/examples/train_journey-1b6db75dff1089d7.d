@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/train_journey-1b6db75dff1089d7.d: crates/core/../../examples/train_journey.rs
+
+/root/repo/target/release/examples/train_journey-1b6db75dff1089d7: crates/core/../../examples/train_journey.rs
+
+crates/core/../../examples/train_journey.rs:

@@ -25,7 +25,11 @@ fn simulated_journey_logs_consistently_on_all_nodes() {
         "logged {}",
         metrics.logged_requests
     );
-    assert!(metrics.blocks_created >= 30, "blocks {}", metrics.blocks_created);
+    assert!(
+        metrics.blocks_created >= 30,
+        "blocks {}",
+        metrics.blocks_created
+    );
     assert_eq!(metrics.view_changes, 0, "no faults, no view changes");
     assert!(
         metrics.latency.mean_ms() < 50.0,

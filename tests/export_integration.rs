@@ -2,10 +2,10 @@
 //! are exported to multiple data centers, verified, synchronized, and
 //! pruned from the nodes with signed acknowledgements.
 
-use zugchain::{NodeConfig, TrainNode as _};
+use zugchain::NodeConfig;
 use zugchain_crypto::Keystore;
 use zugchain_export::{
-    DataCenter, DcAction, DcConfig, DcId, ExportMessage, ExportReplica, ReplicaExportConfig,
+    DataCenter, DcAddr, DcConfig, DcEffect, DcId, ExportMessage, ExportReplica, ReplicaExportConfig,
 };
 use zugchain_pbft::NodeId;
 use zugchain_sim::runtime::ThreadedCluster;
@@ -76,44 +76,48 @@ fn full_export_round_against_live_chains() {
         3,
     );
 
-    // Route DC actions against the replicas synchronously.
-    let mut actions = dc0.begin_export(NodeId(2));
+    // Route DC effects against the replicas synchronously.
+    let mut effects = dc0.begin_export(NodeId(2));
     let mut delete_acks = 0;
-    while let Some(action) = actions.pop() {
-        match action {
-            DcAction::BroadcastToReplicas { message } => {
+    while let Some(effect) = effects.pop() {
+        match effect {
+            DcEffect::Broadcast { message } => {
                 for id in 0..4usize {
-                    for reply in replicas[id].handle(
-                        message.clone(),
-                        &mut chains[id],
-                        &proofs[id],
-                    ) {
+                    for reply in replicas[id].handle(message.clone(), &mut chains[id], &proofs[id])
+                    {
                         if matches!(reply, ExportMessage::Ack(_)) {
                             delete_acks += 1;
                             dc0.on_replica_message(NodeId(id as u64), reply.clone());
                             dc1.on_replica_message(NodeId(id as u64), reply);
                         } else {
-                            actions.extend(dc0.on_replica_message(NodeId(id as u64), reply));
+                            effects.extend(dc0.on_replica_message(NodeId(id as u64), reply));
                         }
                     }
                 }
             }
-            DcAction::ToReplica { to, message } => {
+            DcEffect::Send {
+                to: DcAddr::Replica(to),
+                message,
+            } => {
                 let id = to.0 as usize;
                 for reply in replicas[id].handle(message, &mut chains[id], &proofs[id]) {
-                    actions.extend(dc0.on_replica_message(NodeId(id as u64), reply));
+                    effects.extend(dc0.on_replica_message(NodeId(id as u64), reply));
                 }
             }
-            DcAction::ToDataCenter { to, message } => {
+            DcEffect::Send {
+                to: DcAddr::DataCenter(to),
+                message,
+            } => {
                 assert_eq!(to, DcId(1));
                 // dc1 verifies the sync and contributes its own signed
                 // delete — required for the replicas' quorum of 2.
-                actions.extend(dc1.on_dc_sync(message));
+                effects.extend(dc1.on_dc_sync(message));
             }
-            DcAction::Completed(outcome) => {
+            DcEffect::Output(outcome) => {
                 assert!(outcome.exported_blocks >= 3);
                 assert!(outcome.delete_issued);
             }
+            effect => panic!("unexpected effect {effect:?}"),
         }
     }
 
@@ -129,9 +133,18 @@ fn full_export_round_against_live_chains() {
             "replica {id} kept {} blocks after pruning",
             chain.len()
         );
-        assert!(chain.pruned_base().is_some(), "replica {id} has a prune proof");
+        assert!(
+            chain.pruned_base().is_some(),
+            "replica {id} has a prune proof"
+        );
     }
-    assert_eq!(dc0.acks_for(dc0.archive_height(), dc0.archive()[dc0.archive().len()-1].hash()), 4);
+    assert_eq!(
+        dc0.acks_for(
+            dc0.archive_height(),
+            dc0.archive()[dc0.archive().len() - 1].hash()
+        ),
+        4
+    );
 }
 
 #[test]
@@ -161,30 +174,37 @@ fn second_export_continues_from_pruned_chains() {
     );
 
     // Round 1.
-    let mut round = |dc: &mut DataCenter,
-                     replicas: &mut Vec<ExportReplica>,
-                     chains: &mut Vec<zugchain_blockchain::ChainStore>| {
-        let mut actions = dc.begin_export(NodeId(1));
+    let round = |dc: &mut DataCenter,
+                 replicas: &mut Vec<ExportReplica>,
+                 chains: &mut Vec<zugchain_blockchain::ChainStore>| {
+        let mut effects = dc.begin_export(NodeId(1));
         let mut exported = 0;
-        while let Some(action) = actions.pop() {
-            match action {
-                DcAction::BroadcastToReplicas { message } => {
+        while let Some(effect) = effects.pop() {
+            match effect {
+                DcEffect::Broadcast { message } => {
                     for id in 0..4usize {
                         for reply in
                             replicas[id].handle(message.clone(), &mut chains[id], &proofs[id])
                         {
-                            actions.extend(dc.on_replica_message(NodeId(id as u64), reply));
+                            effects.extend(dc.on_replica_message(NodeId(id as u64), reply));
                         }
                     }
                 }
-                DcAction::ToReplica { to, message } => {
+                DcEffect::Send {
+                    to: DcAddr::Replica(to),
+                    message,
+                } => {
                     let id = to.0 as usize;
                     for reply in replicas[id].handle(message, &mut chains[id], &proofs[id]) {
-                        actions.extend(dc.on_replica_message(NodeId(id as u64), reply));
+                        effects.extend(dc.on_replica_message(NodeId(id as u64), reply));
                     }
                 }
-                DcAction::ToDataCenter { .. } => {}
-                DcAction::Completed(outcome) => exported = outcome.exported_blocks,
+                DcEffect::Send {
+                    to: DcAddr::DataCenter(_),
+                    ..
+                } => {}
+                DcEffect::Output(outcome) => exported = outcome.exported_blocks,
+                effect => panic!("unexpected effect {effect:?}"),
             }
         }
         exported

@@ -20,9 +20,14 @@ fn telegram_strategy() -> impl Strategy<Value = Telegram> {
         Just(0x130),
         0x300u16..0x400, // unconfigured
     ];
-    (ports, proptest::collection::vec(any::<u8>(), 0..6), 0u64..100).prop_map(
-        |(port, payload, cycle)| Telegram::new(PortAddress(port), cycle, cycle * 64, payload),
+    (
+        ports,
+        proptest::collection::vec(any::<u8>(), 0..6),
+        0u64..100,
     )
+        .prop_map(|(port, payload, cycle)| {
+            Telegram::new(PortAddress(port), cycle, cycle * 64, payload)
+        })
 }
 
 proptest! {
@@ -96,7 +101,7 @@ proptest! {
                 store.append(block).unwrap();
             }
         }
-        prop_assume!(store.len() > 0);
+        prop_assume!(!store.is_empty());
         prop_assert!(verify_chain(store.blocks(), None).is_ok());
 
         // Tamper with one byte of one payload.

@@ -5,7 +5,9 @@
 use zugchain::{NodeConfig, TrainNode as _, ZugchainNode};
 use zugchain_crypto::Keystore;
 use zugchain_mvb::profinet::ProfinetBus;
-use zugchain_mvb::{Bus, BusConfig, Nsdb, PortAddress, SignalDescriptor, SignalGenerator, SignalKind};
+use zugchain_mvb::{
+    Bus, BusConfig, Nsdb, PortAddress, SignalDescriptor, SignalGenerator, SignalKind,
+};
 use zugchain_pbft::NodeId;
 
 /// A minimal synchronous router (mirror of the unit-test harness, but
@@ -42,47 +44,36 @@ impl Router {
         }
     }
 
-    fn pump(&mut self) {
-        for index in 0..self.nodes.len() {
-            for action in self.nodes[index].drain_actions() {
-                match action {
-                    zugchain::NodeAction::Broadcast { message } => {
-                        for dest in 0..self.nodes.len() {
-                            if dest != index {
-                                self.queue.push_back((dest, message.clone()));
-                            }
+    fn route(&mut self, index: usize) {
+        for effect in self.nodes[index].drain_effects() {
+            match effect {
+                zugchain::NodeEffect::Broadcast { message } => {
+                    for dest in 0..self.nodes.len() {
+                        if dest != index {
+                            self.queue.push_back((dest, message.clone()));
                         }
                     }
-                    zugchain::NodeAction::Send { to, message } => {
-                        self.queue.push_back((to.0 as usize, message));
-                    }
-                    zugchain::NodeAction::Logged { sn, origin, .. } => {
-                        self.logged[index].push((sn, origin));
-                    }
-                    _ => {}
                 }
+                zugchain::NodeEffect::Send { to, message } => {
+                    self.queue.push_back((to.0 as usize, message));
+                }
+                zugchain::NodeEffect::Output(zugchain::NodeEvent::Logged {
+                    sn, origin, ..
+                }) => {
+                    self.logged[index].push((sn, origin));
+                }
+                _ => {}
             }
+        }
+    }
+
+    fn pump(&mut self) {
+        for index in 0..self.nodes.len() {
+            self.route(index);
         }
         while let Some((dest, message)) = self.queue.pop_front() {
             self.nodes[dest].on_message(message);
-            for action in self.nodes[dest].drain_actions() {
-                match action {
-                    zugchain::NodeAction::Broadcast { message } => {
-                        for peer in 0..self.nodes.len() {
-                            if peer != dest {
-                                self.queue.push_back((peer, message.clone()));
-                            }
-                        }
-                    }
-                    zugchain::NodeAction::Send { to, message } => {
-                        self.queue.push_back((to.0 as usize, message));
-                    }
-                    zugchain::NodeAction::Logged { sn, origin, .. } => {
-                        self.logged[dest].push((sn, origin));
-                    }
-                    _ => {}
-                }
-            }
+            self.route(dest);
         }
     }
 }
@@ -197,9 +188,8 @@ fn per_source_filtering_is_independent() {
     });
     let mut router = Router::new(4, nsdb);
 
-    let telegram = |cycle: u64| {
-        zugchain_mvb::Telegram::new(PortAddress(0x600), cycle, cycle * 64, vec![7, 0])
-    };
+    let telegram =
+        |cycle: u64| zugchain_mvb::Telegram::new(PortAddress(0x600), cycle, cycle * 64, vec![7, 0]);
     // Source 0 sees the value at cycle 0; source 1 sees the *same value*
     // at cycle 1. Different sources → both logged.
     for id in 0..4 {
