@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures-7b8fbaa2de868a06.d: crates/bench/src/bin/figures.rs
+
+/root/repo/target/debug/deps/figures-7b8fbaa2de868a06: crates/bench/src/bin/figures.rs
+
+crates/bench/src/bin/figures.rs:

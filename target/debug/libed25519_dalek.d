@@ -1,0 +1,1 @@
+/root/repo/target/debug/libed25519_dalek.rlib: /root/repo/shims/ed25519-dalek/src/lib.rs /root/repo/shims/sha2/src/lib.rs

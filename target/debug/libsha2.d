@@ -1,0 +1,1 @@
+/root/repo/target/debug/libsha2.rlib: /root/repo/shims/sha2/src/lib.rs

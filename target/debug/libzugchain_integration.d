@@ -1,0 +1,1 @@
+/root/repo/target/debug/libzugchain_integration.rlib: /root/repo/crates/integration/src/lib.rs

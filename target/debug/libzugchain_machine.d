@@ -1,0 +1,1 @@
+/root/repo/target/debug/libzugchain_machine.rlib: /root/repo/crates/machine/src/lib.rs
