@@ -32,6 +32,17 @@ pub struct DiskStore {
     dir: PathBuf,
 }
 
+/// What [`DiskStore::recover_chain`] salvaged from a block directory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveredChain {
+    /// The longest valid chain prefix, ascending, starting just above
+    /// the recovery anchor (genesis or the pruned base).
+    pub blocks: Vec<Block>,
+    /// Heights whose files were damaged, unlinkable, or stale and were
+    /// deleted from disk.
+    pub discarded: Vec<u64>,
+}
+
 impl DiskStore {
     /// Magic bytes prefixed to every block file.
     const MAGIC: &'static [u8; 4] = b"ZGC1";
@@ -199,6 +210,73 @@ impl DiskStore {
         Ok(heights)
     }
 
+    /// Recovers the longest valid chain prefix from a possibly damaged
+    /// block directory — the restart path after power loss mid-write.
+    ///
+    /// Stored blocks are read ascending by height. The walk stops at the
+    /// first height that is missing, torn (digest mismatch), undecodable,
+    /// or does not link onto the block before it; everything from that
+    /// height on is deleted from disk so the store is self-consistent for
+    /// subsequent appends. `base` is the pruned-base anchor for chains
+    /// whose early blocks were pruned after export: the first stored
+    /// block must sit at `base` height + 1 and link to the base hash, or
+    /// the whole directory is discarded. Without a `base`, the first
+    /// stored block must be the genesis block or link directly onto it.
+    ///
+    /// # Errors
+    ///
+    /// Only environment I/O errors (directory unreadable, deletion
+    /// failing). Damaged data is never an error — it is truncated away
+    /// and reported in [`RecoveredChain::discarded`].
+    pub fn recover_chain(&self, base: Option<(u64, Digest)>) -> io::Result<RecoveredChain> {
+        let heights = self.heights()?;
+        let (base_height, base_hash) = match base {
+            Some((height, hash)) => (height, hash),
+            None => {
+                let genesis = Block::genesis();
+                (genesis.height(), genesis.hash())
+            }
+        };
+        let mut blocks: Vec<Block> = Vec::new();
+        let mut discarded = Vec::new();
+        let mut damaged = false;
+        for height in heights {
+            // Files at or below the anchor do not affect the suffix:
+            // keep an intact genesis file when anchoring at genesis,
+            // delete stale remnants from before the last pruning.
+            if height <= base_height {
+                let intact_genesis = base.is_none()
+                    && height == base_height
+                    && matches!(self.read_block(height), Ok(b) if b.hash() == base_hash);
+                if !intact_genesis {
+                    self.remove_block(height)?;
+                    discarded.push(height);
+                }
+                continue;
+            }
+            if !damaged {
+                let expected_height = base_height + blocks.len() as u64 + 1;
+                let expected_prev = blocks.last().map_or(base_hash, Block::hash);
+                match self.read_block(height) {
+                    Ok(block)
+                        if height == expected_height
+                            && block.header.prev_hash == expected_prev
+                            && block.payload_is_consistent() =>
+                    {
+                        blocks.push(block);
+                        continue;
+                    }
+                    _ => damaged = true,
+                }
+            }
+            // The first damage truncates the rest of the directory.
+            self.remove_block(height)?;
+            discarded.push(height);
+        }
+        debug_assert!(blocks.is_empty() || verify_chain(&blocks, Some(base_hash)).is_ok());
+        Ok(RecoveredChain { blocks, discarded })
+    }
+
     /// Loads every stored block and verifies the chain linkage.
     ///
     /// # Errors
@@ -302,6 +380,111 @@ mod tests {
         store.remove_block(1).unwrap();
         store.remove_block(1).unwrap();
         assert!(store.heights().unwrap().is_empty());
+    }
+
+    /// Simulates a torn write by cutting the stored file mid-record.
+    fn truncate_file(store: &DiskStore, height: u64) {
+        let path = store.path_for(height);
+        let raw = fs::read(&path).unwrap();
+        fs::write(&path, &raw[..raw.len() / 2]).unwrap();
+    }
+
+    #[test]
+    fn recover_after_torn_write_keeps_valid_prefix() {
+        let dir = tempdir("recover-torn");
+        let chain = sample_chain(5);
+        {
+            let store = DiskStore::open(&dir).unwrap();
+            for block in &chain {
+                store.write_block(block).unwrap();
+            }
+            // Power loss mid-write of block 4.
+            truncate_file(&store, 4);
+        }
+        // Reopen, as a restarting node would.
+        let store = DiskStore::open(&dir).unwrap();
+        let recovered = store.recover_chain(None).unwrap();
+        assert_eq!(recovered.blocks, chain[1..4].to_vec());
+        assert_eq!(recovered.discarded, vec![4, 5]);
+        // The directory is now self-consistent: recovery is idempotent.
+        assert_eq!(store.heights().unwrap(), vec![0, 1, 2, 3]);
+        let again = store.recover_chain(None).unwrap();
+        assert_eq!(again.blocks, recovered.blocks);
+        assert!(again.discarded.is_empty());
+    }
+
+    #[test]
+    fn recover_clean_chain_is_lossless() {
+        let store = DiskStore::open(tempdir("recover-clean")).unwrap();
+        let chain = sample_chain(4);
+        for block in &chain {
+            store.write_block(block).unwrap();
+        }
+        let recovered = store.recover_chain(None).unwrap();
+        assert_eq!(recovered.blocks, chain[1..].to_vec());
+        assert!(recovered.discarded.is_empty());
+    }
+
+    #[test]
+    fn recover_truncates_at_height_gap() {
+        let store = DiskStore::open(tempdir("recover-gap")).unwrap();
+        let chain = sample_chain(5);
+        for block in &chain {
+            store.write_block(block).unwrap();
+        }
+        store.remove_block(3).unwrap();
+        let recovered = store.recover_chain(None).unwrap();
+        assert_eq!(recovered.blocks, chain[1..3].to_vec());
+        // Blocks after the gap cannot be trusted to extend the prefix.
+        assert_eq!(recovered.discarded, vec![4, 5]);
+    }
+
+    #[test]
+    fn recover_verifies_against_pruned_base() {
+        let dir = tempdir("recover-base");
+        let chain = sample_chain(5);
+        {
+            let store = DiskStore::open(&dir).unwrap();
+            // Blocks 1–2 were pruned after export; 3–5 remain, plus a
+            // stale remnant of block 1.
+            for block in &chain[3..] {
+                store.write_block(block).unwrap();
+            }
+            store.write_block(&chain[1]).unwrap();
+        }
+        let store = DiskStore::open(&dir).unwrap();
+        let base = (chain[2].height(), chain[2].hash());
+        let recovered = store.recover_chain(Some(base)).unwrap();
+        assert_eq!(recovered.blocks, chain[3..].to_vec());
+        assert_eq!(recovered.discarded, vec![1]);
+
+        // A wrong base hash discards the whole suffix: nothing on disk
+        // verifiably extends the claimed export state.
+        let bogus = store
+            .recover_chain(Some((chain[2].height(), Digest::ZERO)))
+            .unwrap();
+        assert!(bogus.blocks.is_empty());
+        assert_eq!(bogus.discarded, vec![3, 4, 5]);
+    }
+
+    #[test]
+    fn recover_discards_corrupted_genesis_remnant() {
+        let dir = tempdir("recover-genesis");
+        let chain = sample_chain(2);
+        {
+            let store = DiskStore::open(&dir).unwrap();
+            store.write_block(&Block::genesis()).unwrap();
+            for block in &chain[1..] {
+                store.write_block(block).unwrap();
+            }
+            truncate_file(&store, 0);
+        }
+        // A torn genesis file is dropped; the suffix still anchors on
+        // the well-known genesis hash.
+        let store = DiskStore::open(&dir).unwrap();
+        let recovered = store.recover_chain(None).unwrap();
+        assert_eq!(recovered.blocks, chain[1..].to_vec());
+        assert_eq!(recovered.discarded, vec![0]);
     }
 
     #[test]

@@ -50,6 +50,6 @@ mod verify;
 
 pub use block::{Block, BlockHeader, LoggedRequest};
 pub use builder::BlockBuilder;
-pub use disk::DiskStore;
+pub use disk::{DiskStore, RecoveredChain};
 pub use store::{ChainError, ChainStore, PrunedBase};
 pub use verify::{verify_chain, ChainViolation};

@@ -1,0 +1,162 @@
+//! End-to-end harness tests: the honest seed bank, execution
+//! determinism, and the injected-bug detection pipeline (catch →
+//! minimize → persist → replay).
+
+use zugchain_chaos::{
+    execute, minimize, parse_repro, run_seed, write_repro, ChaosPlan, NetPlan, ViolationKind,
+};
+
+/// Seeds checked on every `cargo test`. The extended bank (see
+/// `honest_seed_bank_extended`) and the CI `chaos-smoke` job cover
+/// hundreds more in release mode; EXPERIMENTS.md records the
+/// convention.
+const SEED_BANK: u64 = 24;
+
+#[test]
+fn honest_seed_bank_has_no_violations() {
+    for seed in 0..SEED_BANK {
+        let (plan, outcome) = run_seed(seed, false);
+        assert!(
+            outcome.violation.is_none(),
+            "seed {seed} violated an invariant: {}\nplan: {plan:#?}",
+            outcome.violation.unwrap(),
+        );
+        // Untouched majorities must actually make progress, otherwise
+        // the invariant checks are vacuous.
+        assert!(outcome.blocks_created > 0, "seed {seed} created no blocks");
+        assert!(
+            outcome.delivered_messages > 0,
+            "seed {seed} delivered no messages"
+        );
+    }
+}
+
+/// Release-mode deep sweep (`cargo test --release -- --ignored`): the
+/// acceptance target is 500+ seeds in under a minute.
+#[test]
+#[ignore = "release-mode sweep; run explicitly or via the chaos-smoke CI job"]
+fn honest_seed_bank_extended() {
+    for seed in 0..500 {
+        let (_, outcome) = run_seed(seed, false);
+        assert!(
+            outcome.violation.is_none(),
+            "seed {seed} violated an invariant: {}",
+            outcome.violation.unwrap(),
+        );
+    }
+}
+
+#[test]
+fn execution_is_deterministic() {
+    for seed in [3, 11, 17] {
+        let (_, first) = run_seed(seed, false);
+        let (_, second) = run_seed(seed, false);
+        assert_eq!(first.decided, second.decided, "seed {seed}");
+        assert_eq!(first.max_view, second.max_view, "seed {seed}");
+        assert_eq!(first.blocks_created, second.blocks_created, "seed {seed}");
+        assert_eq!(
+            first.delivered_messages, second.delivered_messages,
+            "seed {seed}"
+        );
+    }
+}
+
+/// A quiet, fault-free baseline plan the mutation tests build on.
+fn honest_baseline(seed: u64, n_ops: usize) -> ChaosPlan {
+    ChaosPlan {
+        seed,
+        n_nodes: 4,
+        block_size: 2,
+        ops: (0..n_ops)
+            .map(|i| zugchain_chaos::plan::OpPlan {
+                at_ms: 20 + 40 * i as u64,
+                size: 32,
+            })
+            .collect(),
+        crashes: Vec::new(),
+        partition: None,
+        byzantine: Vec::new(),
+        exports: Vec::new(),
+        net: NetPlan::RELIABLE,
+        mutation: false,
+    }
+}
+
+#[test]
+fn honest_baseline_passes() {
+    let outcome = execute(&honest_baseline(99, 8));
+    assert!(outcome.violation.is_none(), "{:?}", outcome.violation);
+    assert!(outcome.blocks_created > 0);
+}
+
+/// The acceptance-gate test: arm the `mutation-hooks` equivocation bug
+/// on the initial primary, catch it as a safety violation, minimize the
+/// failing schedule, persist the repro file, parse it back, and replay
+/// it — deterministically, twice.
+#[test]
+fn injected_equivocation_bug_is_caught_minimized_and_replayed() {
+    // 1. Catch: the bug makes node 0 send a conflicting preprepare to
+    //    one victim; the outbound-frame observer must flag it.
+    let plan = honest_baseline(4242, 8).with_mutation();
+    let outcome = execute(&plan);
+    let violation = outcome.violation.expect("armed bug must be caught");
+    assert_eq!(violation.kind, ViolationKind::Equivocation);
+
+    // 2. Minimize: a single op suffices to trigger a primary proposal,
+    //    so the schedule must shrink to one.
+    let minimized = minimize(&plan, violation.kind, 100);
+    assert!(minimized.ops.len() <= 1, "minimized: {minimized:#?}");
+    assert!(minimized.crashes.is_empty());
+    assert!(minimized.exports.is_empty());
+
+    // 3. Persist + parse back.
+    let repro = write_repro(&minimized, violation.kind);
+    let dir = std::env::temp_dir();
+    let path = dir.join(format!("chaos-repro-{}.ron", minimized.seed));
+    std::fs::write(&path, &repro).expect("write repro file");
+    let text = std::fs::read_to_string(&path).expect("read repro file");
+    let (replay_plan, expected_kind) = parse_repro(&text).expect("parse repro file");
+    assert_eq!(replay_plan, minimized);
+    assert_eq!(expected_kind, ViolationKind::Equivocation);
+
+    // 4. Replay, twice: same violation kind, same detail, same time.
+    let first = execute(&replay_plan).violation.expect("replay reproduces");
+    let second = execute(&replay_plan).violation.expect("replay reproduces");
+    assert_eq!(first.kind, ViolationKind::Equivocation);
+    assert_eq!(first, second, "replay must be deterministic");
+
+    let _ = std::fs::remove_file(&path);
+}
+
+/// The bug must also be caught under full generated chaos (not just the
+/// quiet baseline), as long as node 0 is neither crashed before it can
+/// propose nor wrapped as Byzantine (which would exempt it from the
+/// honest-node tripwire).
+#[test]
+fn injected_bug_is_caught_under_generated_chaos() {
+    let mut caught = 0;
+    let mut eligible = 0;
+    for seed in 0..40u64 {
+        let plan = ChaosPlan::generate(seed);
+        let node0_clean = !plan.byzantine.iter().any(|b| b.node == 0)
+            && !plan.crashes.iter().any(|c| c.node == 0)
+            && plan
+                .partition
+                .as_ref()
+                .is_none_or(|p| !p.island.contains(&0));
+        if !node0_clean {
+            continue;
+        }
+        eligible += 1;
+        let outcome = execute(&plan.with_mutation());
+        if let Some(v) = outcome.violation {
+            assert_eq!(v.kind, ViolationKind::Equivocation, "seed {seed}");
+            caught += 1;
+        }
+    }
+    assert!(eligible > 0, "no eligible seeds in range");
+    assert_eq!(
+        caught, eligible,
+        "equivocation must be caught on every eligible seed"
+    );
+}

@@ -355,6 +355,68 @@ impl ZugchainNode {
         }
     }
 
+    /// Mutation hook (chaos harness only): makes this node's replica
+    /// equivocate while primary — see
+    /// [`Replica::enable_equivocation_bug`].
+    #[cfg(feature = "mutation-hooks")]
+    pub fn enable_equivocation_bug(&mut self) {
+        self.replica.enable_equivocation_bug();
+    }
+
+    /// Installs a state-transfer package fetched from a peer: a chain
+    /// whose head is covered by `proofs.last()`, replacing this node's
+    /// (lagging) chain, stable proofs, dedup log, and block builder.
+    ///
+    /// The consensus replica is deliberately untouched. A node requests
+    /// a transfer when a stable checkpoint overtakes its decide stream
+    /// (`NodeEvent::StateTransferNeeded`); at that point the replica has
+    /// already advanced its watermark and decide cursor past the gap and
+    /// kept its view — only the logging layer is behind. Rebuilding the
+    /// replica instead (as crash recovery does) would reset its view and
+    /// strand the node if it can no longer learn the cluster's current
+    /// view.
+    ///
+    /// Pending requests bundled in the transferred blocks are cleared
+    /// and their timers cancelled, exactly as if their decides had been
+    /// observed locally.
+    pub fn install_transfer(
+        &mut self,
+        store: zugchain_blockchain::ChainStore,
+        proofs: Vec<CheckpointProof>,
+    ) {
+        let last = proofs
+            .last()
+            .expect("a state transfer carries a stable checkpoint");
+        assert_eq!(
+            last.checkpoint.state_digest,
+            store.head_hash(),
+            "checkpoint proof must cover the transferred chain head"
+        );
+        let mut dedup = DedupLog::new(self.config.dedup_window_checkpoints);
+        for block in store.blocks() {
+            for request in &block.requests {
+                dedup.record(request.payload_digest(), request.sn);
+                if let Some(pending) = self.pending.remove(&request.payload_digest()) {
+                    if let Some(open) = self.open_by_origin.get_mut(&pending.request.origin) {
+                        open.remove(&request.payload_digest());
+                    }
+                    self.effects.push(Effect::CancelTimer {
+                        id: TimerId::Soft(request.payload_digest()),
+                    });
+                    self.effects.push(Effect::CancelTimer {
+                        id: TimerId::Hard(request.payload_digest()),
+                    });
+                }
+            }
+            dedup.on_checkpoint();
+        }
+        self.dedup = dedup;
+        self.builder =
+            BlockBuilder::resume(self.config.block_size, store.height(), store.head_hash());
+        self.store = store;
+        self.stable_proofs = proofs;
+    }
+
     /// Attaches an additional bus input source, returning its index.
     pub fn add_input_source(&mut self) -> usize {
         self.sources.push(CycleConsolidator::new(self.nsdb.clone()));

@@ -1,0 +1,142 @@
+//! Property tests for the export-protocol wire codec: every
+//! [`ExportMessage`] variant must survive an encode/decode roundtrip
+//! unchanged, every strict prefix of an encoding must be rejected (a
+//! torn TCP read never yields a phantom protocol step), and trailing
+//! garbage after a valid encoding must be rejected.
+
+use proptest::prelude::*;
+use proptest::test_runner::TestCaseError;
+use zugchain_blockchain::{Block, BlockBuilder, LoggedRequest};
+use zugchain_crypto::{Digest, KeyPair, Keystore};
+use zugchain_export::{CheckpointReply, DcId, DeleteCmd, ExportMessage, SignedAck, SignedDelete};
+use zugchain_pbft::{Checkpoint, CheckpointProof, NodeId};
+use zugchain_wire::{from_bytes, to_bytes};
+
+/// Roundtrip + truncation + trailing-garbage checks for one message.
+fn check_codec(message: &ExportMessage, garbage: &[u8]) -> Result<(), TestCaseError> {
+    let bytes = to_bytes(message);
+
+    let decoded: ExportMessage = match from_bytes(&bytes) {
+        Ok(decoded) => decoded,
+        Err(e) => return Err(TestCaseError::fail(format!("decode failed: {e:?}"))),
+    };
+    prop_assert_eq!(&decoded, message);
+
+    for cut in 0..bytes.len() {
+        prop_assert!(
+            from_bytes::<ExportMessage>(&bytes[..cut]).is_err(),
+            "prefix of length {} of a {}-byte encoding decoded",
+            cut,
+            bytes.len(),
+        );
+    }
+
+    let mut extended = bytes;
+    extended.extend_from_slice(garbage);
+    prop_assert!(
+        from_bytes::<ExportMessage>(&extended).is_err(),
+        "encoding with {} trailing garbage bytes decoded",
+        garbage.len(),
+    );
+    Ok(())
+}
+
+/// Builds a valid chain of single-request blocks from the payloads.
+fn sample_blocks(payloads: &[Vec<u8>]) -> Vec<Block> {
+    let mut builder = BlockBuilder::new(1);
+    let mut blocks = Vec::new();
+    for (index, payload) in payloads.iter().enumerate() {
+        let request = LoggedRequest {
+            sn: index as u64 + 1,
+            origin: index as u64 % 4,
+            payload: payload.clone(),
+        };
+        if let Some(block) = builder.push(request, 10 * (index as u64 + 1)) {
+            blocks.push(block);
+        }
+    }
+    blocks
+}
+
+/// A checkpoint proof over `digest`, signed by every replica key.
+fn sample_proof(sn: u64, digest: Digest, keys: &[KeyPair]) -> CheckpointProof {
+    let checkpoint = Checkpoint {
+        sn,
+        state_digest: digest,
+    };
+    CheckpointProof {
+        signatures: keys
+            .iter()
+            .enumerate()
+            .map(|(id, key)| (NodeId(id as u64), key.sign(&to_bytes(&checkpoint))))
+            .collect(),
+        checkpoint,
+    }
+}
+
+/// One exemplar of every [`ExportMessage`] variant (the optional
+/// checkpoint reply gets both its populated and empty form).
+fn export_messages(
+    height: u64,
+    sn: u64,
+    payloads: &[Vec<u8>],
+    replica_keys: &[KeyPair],
+    dc_key: &KeyPair,
+) -> Vec<ExportMessage> {
+    let blocks = sample_blocks(payloads);
+    let head_hash = blocks.last().map_or(Digest::ZERO, Block::hash);
+    let proof = sample_proof(sn, head_hash, replica_keys);
+    let cmd = DeleteCmd {
+        height,
+        hash: head_hash,
+    };
+    vec![
+        ExportMessage::Read {
+            last_height: height,
+            blocks_from: NodeId(height % 4),
+        },
+        ExportMessage::Checkpoint(CheckpointReply {
+            proof: Some(proof.clone()),
+            block_height: height,
+            block_hash: head_hash,
+        }),
+        ExportMessage::Checkpoint(CheckpointReply {
+            proof: None,
+            block_height: 0,
+            block_hash: Digest::ZERO,
+        }),
+        ExportMessage::Blocks {
+            blocks: blocks.clone(),
+        },
+        ExportMessage::BlockRange {
+            from_height: height,
+            to_height: height + payloads.len() as u64,
+        },
+        ExportMessage::Delete(SignedDelete::sign(cmd, DcId(0), dc_key)),
+        ExportMessage::Ack(SignedAck::sign(cmd, NodeId(1), &replica_keys[1])),
+        ExportMessage::DcSync { proof, blocks },
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    /// All eight export-protocol message shapes roundtrip and reject
+    /// torn or padded encodings.
+    fn export_message_codec_is_exact(
+        height in 0u64..100_000,
+        sn in 0u64..100_000,
+        payloads in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 0..32),
+            0..4,
+        ),
+        garbage in proptest::collection::vec(any::<u8>(), 1..8),
+    ) {
+        let (replica_keys, _) = Keystore::generate(4, 0xE1);
+        let (dc_keys, _) = Keystore::generate(1, 0xDC);
+        for message in export_messages(height, sn, &payloads, &replica_keys, &dc_keys[0]) {
+            check_codec(&message, &garbage)?;
+        }
+    }
+}

@@ -122,6 +122,38 @@ pub enum Effect<A, M, T, O> {
     Output(O),
 }
 
+/// The discriminant of an [`Effect`], independent of its type parameters.
+///
+/// Drivers and test harnesses that classify effects (accounting, fault
+/// injection, tracing) can match on this instead of writing a full
+/// four-parameter generic match.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EffectKind {
+    /// [`Effect::Send`].
+    Send,
+    /// [`Effect::Broadcast`].
+    Broadcast,
+    /// [`Effect::SetTimer`].
+    SetTimer,
+    /// [`Effect::CancelTimer`].
+    CancelTimer,
+    /// [`Effect::Output`].
+    Output,
+}
+
+impl<A, M, T, O> Effect<A, M, T, O> {
+    /// The discriminant of this effect.
+    pub fn kind(&self) -> EffectKind {
+        match self {
+            Effect::Send { .. } => EffectKind::Send,
+            Effect::Broadcast { .. } => EffectKind::Broadcast,
+            Effect::SetTimer { .. } => EffectKind::SetTimer,
+            Effect::CancelTimer { .. } => EffectKind::CancelTimer,
+            Effect::Output(_) => EffectKind::Output,
+        }
+    }
+}
+
 /// The [`Effect`] type of a machine `M`.
 pub type MachineEffect<M> = Effect<
     <M as Machine>::Addr,
@@ -627,5 +659,35 @@ mod tests {
         );
         assert_eq!(host.outputs, vec![Out::Fired(1), Out::Fired(2)]);
         assert_eq!(host.wire_writes.len(), 1);
+    }
+
+    #[test]
+    fn effect_kinds_match_variants() {
+        let effects: Vec<Fx> = vec![
+            Effect::Send {
+                to: 1,
+                message: Msg(vec![]),
+            },
+            Effect::Broadcast {
+                message: Msg(vec![]),
+            },
+            Effect::SetTimer {
+                id: 1,
+                duration_ms: 10,
+            },
+            Effect::CancelTimer { id: 1 },
+            Effect::Output(Out::Fired(0)),
+        ];
+        let kinds: Vec<EffectKind> = effects.iter().map(Effect::kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                EffectKind::Send,
+                EffectKind::Broadcast,
+                EffectKind::SetTimer,
+                EffectKind::CancelTimer,
+                EffectKind::Output,
+            ]
+        );
     }
 }

@@ -18,6 +18,14 @@ pub struct TapFaults {
     pub delay_probability: f64,
     /// Probability that one bit of the payload is flipped on reception.
     pub bit_flip_probability: f64,
+    /// Probability that a telegram is received twice (link-layer
+    /// retransmission after a lost acknowledgement): once in the current
+    /// cycle and once more in the next cycle's observation.
+    pub duplicate_probability: f64,
+    /// Probability that a received telegram is displaced within its
+    /// cycle's observation (device polling order jitter), so consumers
+    /// cannot rely on in-cycle arrival order.
+    pub reorder_probability: f64,
 }
 
 impl TapFaults {
@@ -26,6 +34,8 @@ impl TapFaults {
         drop_probability: 0.0,
         delay_probability: 0.0,
         bit_flip_probability: 0.0,
+        duplicate_probability: 0.0,
+        reorder_probability: 0.0,
     };
 
     /// Typical background fault rates for a healthy MVB: errors occur but
@@ -35,6 +45,8 @@ impl TapFaults {
         drop_probability: 0.001,
         delay_probability: 0.002,
         bit_flip_probability: 0.0005,
+        duplicate_probability: 0.001,
+        reorder_probability: 0.002,
     };
 
     /// Returns `true` if all rates are zero.
@@ -42,6 +54,8 @@ impl TapFaults {
         self.drop_probability == 0.0
             && self.delay_probability == 0.0
             && self.bit_flip_probability == 0.0
+            && self.duplicate_probability == 0.0
+            && self.reorder_probability == 0.0
     }
 }
 
@@ -118,10 +132,23 @@ impl BusFaultPlan {
                 let bit = self.rng.random_range(0..8u8);
                 telegram.payload[byte] ^= 1 << bit;
             }
+            if faults.duplicate_probability > 0.0
+                && self.rng.random_bool(faults.duplicate_probability)
+            {
+                self.delayed[tap].push(telegram.clone());
+            }
             if faults.delay_probability > 0.0 && self.rng.random_bool(faults.delay_probability) {
                 self.delayed[tap].push(telegram);
             } else {
                 observed.push(telegram);
+            }
+        }
+        if faults.reorder_probability > 0.0 && observed.len() > 1 {
+            for i in 0..observed.len() {
+                if self.rng.random_bool(faults.reorder_probability) {
+                    let j = self.rng.random_range(0..observed.len());
+                    observed.swap(i, j);
+                }
             }
         }
         observed
@@ -214,6 +241,47 @@ mod tests {
         let input = telegrams(4);
         assert!(plan.observe(0, &input).is_empty());
         assert_eq!(plan.observe(1, &input), input);
+    }
+
+    #[test]
+    fn duplicated_telegrams_reappear_next_cycle() {
+        let mut plan = BusFaultPlan::new(
+            vec![TapFaults {
+                duplicate_probability: 1.0,
+                ..TapFaults::NONE
+            }],
+            1,
+        );
+        let first = telegrams(3);
+        // Current cycle still sees every telegram exactly once…
+        assert_eq!(plan.observe(0, &first), first);
+        // …and the retransmitted copies land in the next cycle, ahead of
+        // that cycle's own (also duplicated) telegrams.
+        let second = plan.observe(0, &telegrams(2));
+        assert_eq!(second.len(), 3 + 2);
+        assert_eq!(&second[..3], &first[..]);
+    }
+
+    #[test]
+    fn reordering_permutes_but_never_loses_telegrams() {
+        let mut plan = BusFaultPlan::new(
+            vec![TapFaults {
+                reorder_probability: 1.0,
+                ..TapFaults::NONE
+            }],
+            7,
+        );
+        let input = telegrams(8);
+        let mut reordered_at_least_once = false;
+        for _ in 0..10 {
+            let observed = plan.observe(0, &input);
+            assert_eq!(observed.len(), input.len());
+            let mut sorted = observed.clone();
+            sorted.sort_by_key(|t| t.port.0);
+            assert_eq!(sorted, input, "a permutation of the input");
+            reordered_at_least_once |= observed != input;
+        }
+        assert!(reordered_at_least_once);
     }
 
     #[test]

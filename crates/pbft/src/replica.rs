@@ -190,6 +190,10 @@ pub struct Replica {
     armed_vc_timer: Option<u64>,
     effects: Vec<ReplicaEffect>,
     stats: ReplicaStats,
+    /// Mutation hook (chaos harness only): when set, this replica
+    /// equivocates as primary — see [`Replica::enable_equivocation_bug`].
+    #[cfg(feature = "mutation-hooks")]
+    equivocate: bool,
 }
 
 /// Upper bound on buffered out-of-view ordering messages; beyond this the
@@ -230,6 +234,8 @@ impl Replica {
             armed_vc_timer: None,
             effects: Vec::new(),
             stats: ReplicaStats::default(),
+            #[cfg(feature = "mutation-hooks")]
+            equivocate: false,
         }
     }
 
@@ -423,8 +429,48 @@ impl Replica {
             };
             // Record locally, then broadcast to the backups.
             self.accept_preprepare(preprepare.clone());
+            #[cfg(feature = "mutation-hooks")]
+            self.maybe_equivocate(&preprepare);
             self.broadcast(Message::PrePrepare(preprepare));
         }
+    }
+
+    /// Mutation hook: enables a deliberately injected equivocation bug.
+    ///
+    /// While primary, this replica assigns each sequence number twice:
+    /// the honest preprepare is broadcast as usual, but the highest-id
+    /// backup is privately sent a *conflicting* preprepare for the same
+    /// `(view, sn)` with tampered payload bytes. A correct PBFT primary
+    /// never does this; the chaos harness must flag it as a safety
+    /// violation (and correct backups that see both proposals suspect the
+    /// primary).
+    #[cfg(feature = "mutation-hooks")]
+    pub fn enable_equivocation_bug(&mut self) {
+        self.equivocate = true;
+    }
+
+    #[cfg(feature = "mutation-hooks")]
+    fn maybe_equivocate(&mut self, preprepare: &PrePrepare) {
+        if !self.equivocate {
+            return;
+        }
+        let victim = (0..self.config.n as u64)
+            .rev()
+            .map(NodeId)
+            .find(|id| *id != self.id)
+            .expect("groups have n >= 4 replicas");
+        let mut request = preprepare.request.clone();
+        request.payload.push(0xE0);
+        let conflicting = PrePrepare {
+            view: preprepare.view,
+            sn: preprepare.sn,
+            request,
+        };
+        let signed = self.sign(Message::PrePrepare(conflicting));
+        self.effects.push(Effect::Send {
+            to: victim,
+            message: signed,
+        });
     }
 
     /// `SUSPECT(id)`: suspects a node; if it is the current primary this

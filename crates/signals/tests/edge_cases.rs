@@ -1,0 +1,223 @@
+//! Edge-case tests for the signal pipeline: malformed telegrams must be
+//! logged (never dropped, never poisoning analysis), extreme speed
+//! values must flow through decoding and analysis intact, and on-change
+//! suppression must behave correctly across bus-cycle boundaries.
+
+use zugchain_mvb::{Nsdb, PortAddress, Telegram};
+use zugchain_signals::{
+    analysis::Timeline, CycleConsolidator, ParseOutcome, Request, SignalParser, SignalValue,
+    TrainEvent,
+};
+
+const V_ACTUAL: PortAddress = PortAddress(0x100);
+const ODOMETER: PortAddress = PortAddress(0x102);
+const EMERGENCY: PortAddress = PortAddress(0x112);
+
+fn speed_telegram(cycle: u64, speed: u16) -> Telegram {
+    Telegram::new(V_ACTUAL, cycle, cycle * 64, speed.to_le_bytes().to_vec())
+}
+
+// --- malformed telegrams ------------------------------------------------
+
+#[test]
+fn empty_payload_on_known_port_is_logged_raw() {
+    let parser = SignalParser::new(Nsdb::jru_default());
+    let (event, outcome) = parser.parse(&Telegram::new(V_ACTUAL, 0, 0, vec![]));
+    assert_eq!(outcome, ParseOutcome::WidthMismatch);
+    assert_eq!(event.value, SignalValue::Raw(vec![]));
+    assert_eq!(event.name, "v_actual", "port identity survives corruption");
+}
+
+#[test]
+fn truncated_u32_payload_is_logged_raw() {
+    // odometer_m is u32; deliver only 3 of its 4 bytes.
+    let parser = SignalParser::new(Nsdb::jru_default());
+    let (event, outcome) = parser.parse(&Telegram::new(ODOMETER, 2, 128, vec![0xAA, 0xBB, 0xCC]));
+    assert_eq!(outcome, ParseOutcome::WidthMismatch);
+    assert_eq!(event.value, SignalValue::Raw(vec![0xAA, 0xBB, 0xCC]));
+}
+
+#[test]
+fn oversized_bool_payload_is_logged_raw() {
+    let parser = SignalParser::new(Nsdb::jru_default());
+    let (event, outcome) = parser.parse(&Telegram::new(EMERGENCY, 0, 0, vec![1, 0]));
+    assert_eq!(outcome, ParseOutcome::WidthMismatch);
+    assert_eq!(event.value, SignalValue::Raw(vec![1, 0]));
+}
+
+#[test]
+fn unknown_port_with_empty_payload_is_logged() {
+    let parser = SignalParser::new(Nsdb::jru_default());
+    let (event, outcome) = parser.parse(&Telegram::new(PortAddress(0x7FF), 0, 0, vec![]));
+    assert_eq!(outcome, ParseOutcome::UnknownPort);
+    assert_eq!(event.name, "unknown_0x7ff");
+    assert_eq!(event.value, SignalValue::Raw(vec![]));
+}
+
+#[test]
+fn malformed_telegrams_are_never_suppressed_across_cycles() {
+    // The same corrupt frame arriving cycle after cycle must be logged
+    // every time: raw bytes cannot be compared semantically.
+    let mut consolidator = CycleConsolidator::new(Nsdb::jru_default());
+    for cycle in 0..4 {
+        let corrupt = Telegram::new(V_ACTUAL, cycle, cycle * 64, vec![1, 2, 3]);
+        let request = consolidator.consolidate(cycle, cycle * 64, &[corrupt]);
+        assert!(request.is_some(), "cycle {cycle} dropped a corrupt frame");
+    }
+    let (admitted, suppressed) = consolidator.filter_stats();
+    assert_eq!((admitted, suppressed), (4, 0));
+}
+
+// --- out-of-range speeds ------------------------------------------------
+
+#[test]
+fn maximum_encodable_speed_flows_through_analysis() {
+    // u16::MAX is 655.35 km/h — far beyond any train, but the pipeline
+    // must log and report it faithfully rather than clamp or drop it;
+    // judging plausibility is the investigators' job.
+    let parser = SignalParser::new(Nsdb::jru_default());
+    let (event, outcome) = parser.parse(&speed_telegram(1, u16::MAX));
+    assert_eq!(outcome, ParseOutcome::Decoded);
+    assert_eq!(event.value, SignalValue::U16(u16::MAX));
+
+    let timeline = Timeline::from_requests([(1, 0, Request::new(1, 64, vec![event]))]);
+    assert_eq!(timeline.max_speed_ckmh(), Some(u16::MAX));
+    assert_eq!(timeline.speed_profile(), &[(64, u16::MAX)]);
+}
+
+#[test]
+fn corrupted_speed_does_not_poison_the_speed_profile() {
+    // A width-mismatched speed telegram is logged raw; it must not enter
+    // the speed profile, and an emergency braking afterwards must pair
+    // with the last *valid* speed, not the garbage.
+    let parser = SignalParser::new(Nsdb::jru_default());
+    let (good, _) = parser.parse(&speed_telegram(1, 12_000));
+    let (corrupt, _) = parser.parse(&Telegram::new(V_ACTUAL, 2, 128, vec![0xFF; 5]));
+    let (brake, _) = parser.parse(&Telegram::new(EMERGENCY, 3, 192, vec![1]));
+
+    let timeline = Timeline::from_requests([
+        (1, 0, Request::new(1, 64, vec![good])),
+        (2, 1, Request::new(2, 128, vec![corrupt])),
+        (3, 2, Request::new(3, 192, vec![brake])),
+    ]);
+    assert_eq!(timeline.speed_profile(), &[(64, 12_000)]);
+    assert!(timeline
+        .emergency_brakings()
+        .any(|f| f.to_string().contains("120.0 km/h")));
+}
+
+#[test]
+fn zero_speed_is_a_logged_sample_not_an_absence() {
+    let timeline = Timeline::from_requests([(
+        1,
+        0,
+        Request::new(
+            1,
+            64,
+            vec![TrainEvent {
+                name: "v_actual".into(),
+                port: V_ACTUAL,
+                cycle: 1,
+                time_ms: 64,
+                value: SignalValue::U16(0),
+            }],
+        ),
+    )]);
+    assert_eq!(timeline.max_speed_ckmh(), Some(0));
+}
+
+// --- on-change suppression across cycle boundaries ----------------------
+
+#[test]
+fn unchanged_value_is_suppressed_over_many_cycles() {
+    let mut consolidator = CycleConsolidator::new(Nsdb::jru_default());
+    assert!(consolidator
+        .consolidate(0, 0, &[speed_telegram(0, 500)])
+        .is_some());
+    for cycle in 1..10 {
+        assert!(
+            consolidator
+                .consolidate(cycle, cycle * 64, &[speed_telegram(cycle, 500)])
+                .is_none(),
+            "cycle {cycle} re-logged an unchanged speed"
+        );
+    }
+    let (admitted, suppressed) = consolidator.filter_stats();
+    assert_eq!((admitted, suppressed), (1, 9));
+}
+
+#[test]
+fn change_after_long_suppression_is_admitted() {
+    let mut consolidator = CycleConsolidator::new(Nsdb::jru_default());
+    consolidator.consolidate(0, 0, &[speed_telegram(0, 500)]);
+    for cycle in 1..5 {
+        consolidator.consolidate(cycle, cycle * 64, &[speed_telegram(cycle, 500)]);
+    }
+    let request = consolidator
+        .consolidate(5, 320, &[speed_telegram(5, 501)])
+        .expect("changed speed must be logged");
+    assert_eq!(request.cycle, 5);
+    assert_eq!(request.events[0].value, SignalValue::U16(501));
+}
+
+#[test]
+fn value_returning_to_earlier_reading_is_a_change() {
+    // A → B → A across three cycles: the return to A differs from the
+    // *last logged* value B, so it must be admitted — the filter keeps
+    // one value of history, not a set of values ever seen.
+    let mut consolidator = CycleConsolidator::new(Nsdb::jru_default());
+    for (cycle, speed) in [(0, 100u16), (1, 200), (2, 100)] {
+        let request = consolidator.consolidate(cycle, cycle * 64, &[speed_telegram(cycle, speed)]);
+        assert!(request.is_some(), "cycle {cycle} suppressed a change");
+    }
+    let (admitted, suppressed) = consolidator.filter_stats();
+    assert_eq!((admitted, suppressed), (3, 0));
+}
+
+#[test]
+fn suppression_is_per_port_across_cycles() {
+    // The speed stays constant while the brake toggles: only the brake
+    // events cross the filter after cycle 0.
+    let mut consolidator = CycleConsolidator::new(Nsdb::jru_default());
+    let brake = |cycle: u64, applied: u8| {
+        Telegram::new(PortAddress(0x111), cycle, cycle * 64, vec![applied])
+    };
+
+    let first = consolidator
+        .consolidate(0, 0, &[speed_telegram(0, 900), brake(0, 0)])
+        .expect("first cycle logs both signals");
+    assert_eq!(first.events.len(), 2);
+
+    for cycle in 1..4 {
+        let request = consolidator
+            .consolidate(
+                cycle,
+                cycle * 64,
+                &[speed_telegram(cycle, 900), brake(cycle, (cycle % 2) as u8)],
+            )
+            .expect("brake toggles every cycle");
+        assert_eq!(request.events.len(), 1, "cycle {cycle}");
+        assert_eq!(request.events[0].name, "brake_applied");
+    }
+}
+
+#[test]
+fn duplicate_telegrams_within_one_cycle_are_suppressed_too() {
+    // A chattering device repeats the same frame inside a single cycle;
+    // only the first instance is juridically relevant.
+    let mut consolidator = CycleConsolidator::new(Nsdb::jru_default());
+    let request = consolidator
+        .consolidate(
+            0,
+            0,
+            &[
+                speed_telegram(0, 700),
+                speed_telegram(0, 700),
+                speed_telegram(0, 700),
+            ],
+        )
+        .expect("first instance logs");
+    assert_eq!(request.events.len(), 1);
+    let (admitted, suppressed) = consolidator.filter_stats();
+    assert_eq!((admitted, suppressed), (1, 2));
+}

@@ -76,6 +76,9 @@ pub struct RunMetrics {
     pub memory_mb_max: f64,
     /// Completed view changes observed across the run.
     pub view_changes: u64,
+    /// State-transfer requests signalled by replicas that fell behind a
+    /// stable checkpoint (each one is a gap a recovery service must fill).
+    pub state_transfers: u64,
     /// Requests read from the bus but never logged by the end of the run
     /// (dropped or still queued — the overload signal).
     pub unlogged_requests: u64,

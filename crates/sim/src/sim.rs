@@ -109,6 +109,7 @@ struct World {
     /// Per-node decided log for the conformance suite.
     decided: Vec<Vec<(u64, Digest)>>,
     view_changes: u64,
+    state_transfers: u64,
     memory_samples: Vec<usize>,
     rng: rand::rngs::StdRng,
     fabricate_counter: u64,
@@ -278,6 +279,7 @@ impl World {
             memory_mb_mean,
             memory_mb_max,
             view_changes: self.view_changes,
+            state_transfers: self.state_transfers,
             unlogged_requests: unlogged,
             decided: self.decided,
         }
@@ -380,7 +382,10 @@ impl Host<TrainMachine<Box<dyn TrainNode>>> for SimHost<'_> {
                     self.world.view_changes += 1;
                 }
             }
-            NodeEvent::CheckpointStable { .. } | NodeEvent::StateTransferNeeded { .. } => {}
+            NodeEvent::StateTransferNeeded { .. } => {
+                self.world.state_transfers += 1;
+            }
+            NodeEvent::CheckpointStable { .. } => {}
         }
     }
 }
@@ -449,6 +454,7 @@ impl Simulation {
             blocks_count: vec![0; n],
             decided: vec![Vec::new(); n],
             view_changes: 0,
+            state_transfers: 0,
             memory_samples: Vec::new(),
             rng: rand::rngs::StdRng::seed_from_u64(seed ^ 0x51A1),
             fabricate_counter: 0,
