@@ -1,0 +1,611 @@
+//! The juridical archive proper: verified ingestion, durable segment
+//! storage with crash recovery, and the indexed query surface.
+//!
+//! # Storage layout
+//!
+//! An on-disk archive directory contains:
+//!
+//! * `seg-<seq>.zas` — one file per segment: magic `ZGS1`, a content
+//!   digest, and the canonical [`Segment`] encoding (the
+//!   write-temp-fsync-rename discipline of the on-train `DiskStore`);
+//! * `index.zai` — a small summary (`ZGI1`) of the expected segment
+//!   sequence, used only to *detect* divergence on restart. Segments
+//!   carry quorum certificates; the summary does not — so on any
+//!   disagreement the segments win and the indexes are rebuilt.
+//!
+//! # Recovery
+//!
+//! [`Archive::open`] walks segment files ascending and keeps the longest
+//! prefix that is gap-free, undamaged, chain-continuous, and passes full
+//! [`Segment::verify`]; everything after the first defect is deleted so
+//! the directory is append-consistent again. The in-memory indexes are
+//! always rebuilt from the surviving segments.
+
+use std::fs;
+use std::io::{self, Write as _};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, RwLock};
+
+use zugchain_blockchain::Block;
+use zugchain_crypto::{Digest, Keystore};
+use zugchain_export::CertifiedSegment;
+use zugchain_signals::analysis::Timeline;
+use zugchain_signals::Request;
+use zugchain_wire::{decode_seq, encode_seq, Decode, Encode, Reader, WireError, Writer};
+
+use crate::bundle::AuditBundle;
+use crate::index::{ArchiveIndex, EventKind, RequestLocation};
+use crate::merkle::MerklePath;
+use crate::segment::{block_leaves, Segment, SegmentViolation};
+
+/// Magic prefix of a segment (`.zas`) file.
+pub const SEGMENT_MAGIC: &[u8; 4] = b"ZGS1";
+/// Magic prefix of the index summary (`index.zai`) file.
+pub const INDEX_MAGIC: &[u8; 4] = b"ZGI1";
+
+/// Why a certified segment was refused at ingestion.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum IngestError {
+    /// The segment does not extend the archive head.
+    NotContiguous {
+        /// Height the archive expected the segment to build on.
+        expected_height: u64,
+        /// Hash the archive expected the segment to build on.
+        expected_hash: Digest,
+        /// Base height the segment declared.
+        got_height: u64,
+        /// Base hash the segment declared.
+        got_hash: Digest,
+    },
+    /// The segment failed verification.
+    Invalid(SegmentViolation),
+    /// Persisting the verified segment failed; the in-memory state was
+    /// left unchanged.
+    Io(String),
+}
+
+impl std::fmt::Display for IngestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IngestError::NotContiguous {
+                expected_height,
+                expected_hash,
+                got_height,
+                got_hash,
+            } => write!(
+                f,
+                "segment base (height {got_height}, {}) does not extend archive head \
+                 (height {expected_height}, {})",
+                got_hash.short(),
+                expected_hash.short()
+            ),
+            IngestError::Invalid(v) => write!(f, "segment rejected: {v}"),
+            IngestError::Io(e) => write!(f, "segment could not be persisted: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for IngestError {}
+
+impl From<SegmentViolation> for IngestError {
+    fn from(v: SegmentViolation) -> Self {
+        IngestError::Invalid(v)
+    }
+}
+
+/// What [`Archive::open`] found and fixed while recovering a directory.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RecoveryReport {
+    /// Segments that survived recovery.
+    pub segments_recovered: usize,
+    /// Sequence numbers whose files were damaged, gapped, discontinuous,
+    /// or unverifiable and were deleted.
+    pub segments_discarded: Vec<u64>,
+    /// Whether the index summary was missing, corrupt, or divergent and
+    /// had to be rebuilt from the segments.
+    pub index_rebuilt: bool,
+}
+
+/// One line of the on-disk index summary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct IndexEntry {
+    seq: u64,
+    last_height: u64,
+    head_hash: Digest,
+}
+
+impl Encode for IndexEntry {
+    fn encode(&self, w: &mut Writer) {
+        w.write_u64(self.seq);
+        w.write_u64(self.last_height);
+        self.head_hash.encode(w);
+    }
+}
+
+impl Decode for IndexEntry {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(IndexEntry {
+            seq: r.read_u64()?,
+            last_height: r.read_u64()?,
+            head_hash: Digest::decode(r)?,
+        })
+    }
+}
+
+/// Durable segment files under one directory.
+#[derive(Debug, Clone)]
+struct SegmentStore {
+    dir: PathBuf,
+}
+
+impl SegmentStore {
+    fn open(dir: impl AsRef<Path>) -> io::Result<Self> {
+        let dir = dir.as_ref().to_path_buf();
+        fs::create_dir_all(&dir)?;
+        Ok(Self { dir })
+    }
+
+    fn segment_path(&self, seq: u64) -> PathBuf {
+        self.dir.join(format!("seg-{seq:010}.zas"))
+    }
+
+    fn index_path(&self) -> PathBuf {
+        self.dir.join("index.zai")
+    }
+
+    fn write_record(path: &Path, magic: &[u8; 4], body: &[u8]) -> io::Result<()> {
+        let tmp = path.with_extension("tmp");
+        {
+            let mut file = fs::File::create(&tmp)?;
+            file.write_all(magic)?;
+            file.write_all(Digest::of(body).as_bytes())?;
+            file.write_all(body)?;
+            file.sync_all()?;
+        }
+        fs::rename(&tmp, path)
+    }
+
+    fn read_record(path: &Path, magic: &[u8; 4]) -> io::Result<Vec<u8>> {
+        let raw = fs::read(path)?;
+        let invalid = |what: &str| io::Error::new(io::ErrorKind::InvalidData, what.to_string());
+        if raw.len() < 36 || &raw[..4] != magic {
+            return Err(invalid("bad magic"));
+        }
+        let stored = Digest::from_bytes(raw[4..36].try_into().expect("length checked"));
+        let body = &raw[36..];
+        if Digest::of(body) != stored {
+            return Err(invalid("digest mismatch (torn or corrupted write)"));
+        }
+        Ok(body.to_vec())
+    }
+
+    fn write_segment(&self, segment: &Segment) -> io::Result<()> {
+        Self::write_record(
+            &self.segment_path(segment.header.seq),
+            SEGMENT_MAGIC,
+            &zugchain_wire::to_bytes(segment),
+        )
+    }
+
+    fn read_segment(&self, seq: u64) -> io::Result<Segment> {
+        let body = Self::read_record(&self.segment_path(seq), SEGMENT_MAGIC)?;
+        zugchain_wire::from_bytes(&body).map_err(|e| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("undecodable segment: {e}"),
+            )
+        })
+    }
+
+    fn remove_segment(&self, seq: u64) -> io::Result<()> {
+        match fs::remove_file(self.segment_path(seq)) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(e),
+        }
+    }
+
+    fn seqs(&self) -> io::Result<Vec<u64>> {
+        let mut seqs = Vec::new();
+        for entry in fs::read_dir(&self.dir)? {
+            let name = entry?.file_name();
+            let name = name.to_string_lossy();
+            if let Some(number) = name
+                .strip_prefix("seg-")
+                .and_then(|s| s.strip_suffix(".zas"))
+            {
+                if let Ok(seq) = number.parse() {
+                    seqs.push(seq);
+                }
+            }
+        }
+        seqs.sort_unstable();
+        Ok(seqs)
+    }
+
+    fn write_summary(&self, entries: &[IndexEntry]) -> io::Result<()> {
+        let mut w = Writer::new();
+        encode_seq(entries, &mut w);
+        Self::write_record(&self.index_path(), INDEX_MAGIC, w.as_bytes())
+    }
+
+    /// Reads the summary; `Ok(None)` means missing or unusable (any
+    /// corruption is treated as "needs rebuild", never as fatal).
+    fn read_summary(&self) -> Option<Vec<IndexEntry>> {
+        let body = Self::read_record(&self.index_path(), INDEX_MAGIC).ok()?;
+        let mut r = Reader::new(&body);
+        let entries = decode_seq(&mut r).ok()?;
+        r.is_empty().then_some(entries)
+    }
+}
+
+/// The juridical archive: verified, indexed, durable block storage on the
+/// data-center side of the export protocol.
+#[derive(Debug)]
+pub struct Archive {
+    keystore: Keystore,
+    quorum: usize,
+    storage: Option<SegmentStore>,
+    segments: Vec<Segment>,
+    index: ArchiveIndex,
+}
+
+impl Archive {
+    /// Creates an ephemeral archive with no backing directory — used by
+    /// the chaos harness and tests. Verification is identical to the
+    /// durable form.
+    pub fn in_memory(keystore: Keystore, quorum: usize) -> Self {
+        Archive {
+            keystore,
+            quorum,
+            storage: None,
+            segments: Vec::new(),
+            index: ArchiveIndex::new(),
+        }
+    }
+
+    /// Opens (creating if necessary) a durable archive at `dir`,
+    /// recovering the longest verified segment prefix from whatever the
+    /// directory contains.
+    ///
+    /// # Errors
+    ///
+    /// Only environment I/O errors. Damaged or unverifiable data is never
+    /// an error — it is truncated away and reported in the
+    /// [`RecoveryReport`].
+    pub fn open(
+        dir: impl AsRef<Path>,
+        keystore: Keystore,
+        quorum: usize,
+    ) -> io::Result<(Self, RecoveryReport)> {
+        let storage = SegmentStore::open(dir)?;
+        let mut report = RecoveryReport::default();
+
+        // Walk segment files ascending; the first gap, damaged file,
+        // wrong embedded seq, chain discontinuity, or verification
+        // failure truncates the rest.
+        let mut segments: Vec<Segment> = Vec::new();
+        let mut damaged = false;
+        for seq in storage.seqs()? {
+            if !damaged {
+                let expected_seq = segments.len() as u64;
+                let continuous = |segment: &Segment| match segments.last() {
+                    None => true,
+                    Some(prev) => {
+                        segment.header.base_height == prev.header.last_height
+                            && segment.header.base_hash == prev.header.head_hash
+                    }
+                };
+                match storage.read_segment(seq) {
+                    Ok(segment)
+                        if seq == expected_seq
+                            && segment.header.seq == seq
+                            && continuous(&segment)
+                            && segment.verify(&keystore, quorum).is_ok() =>
+                    {
+                        segments.push(segment);
+                        continue;
+                    }
+                    _ => damaged = true,
+                }
+            }
+            storage.remove_segment(seq)?;
+            report.segments_discarded.push(seq);
+        }
+        report.segments_recovered = segments.len();
+
+        // The summary only detects divergence; segments always win.
+        let expected: Vec<IndexEntry> = segments
+            .iter()
+            .map(|s| IndexEntry {
+                seq: s.header.seq,
+                last_height: s.header.last_height,
+                head_hash: s.header.head_hash,
+            })
+            .collect();
+        if storage.read_summary().as_deref() != Some(&expected[..]) {
+            storage.write_summary(&expected)?;
+            report.index_rebuilt = true;
+        }
+
+        let mut index = ArchiveIndex::new();
+        for segment in &segments {
+            for block in &segment.blocks {
+                index.index_block(block);
+            }
+        }
+        Ok((
+            Archive {
+                keystore,
+                quorum,
+                storage: Some(storage),
+                segments,
+                index,
+            },
+            report,
+        ))
+    }
+
+    /// The `(height, hash)` the next segment must build on, or `None`
+    /// while the archive is empty (the first segment fixes the base).
+    pub fn head(&self) -> Option<(u64, Digest)> {
+        self.segments
+            .last()
+            .map(|s| (s.header.last_height, s.header.head_hash))
+    }
+
+    /// Number of archived segments.
+    pub fn segment_count(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Number of indexed requests across all segments.
+    pub fn request_count(&self) -> usize {
+        self.index.len()
+    }
+
+    /// All archived blocks, ascending by height — one contiguous run.
+    pub fn blocks(&self) -> impl Iterator<Item = &Block> {
+        self.segments.iter().flat_map(|s| s.blocks.iter())
+    }
+
+    /// Verifies and ingests one certified segment from the export path,
+    /// returning its archive sequence number.
+    ///
+    /// The segment must extend the current head exactly (the archive is
+    /// append-only); it is fully re-verified — chain linkage, pruned-base
+    /// continuity, and the 2f+1 checkpoint certificate — before anything
+    /// is persisted or indexed. Persistence is segment file first, then
+    /// index summary, then in-memory state, so a crash at any point leaves
+    /// a directory [`Archive::open`] recovers cleanly.
+    ///
+    /// # Errors
+    ///
+    /// See [`IngestError`]; on error the archive is unchanged (except
+    /// possibly an orphaned next-seq segment file on a summary-write
+    /// failure, which recovery reconciles).
+    pub fn ingest(&mut self, certified: &CertifiedSegment) -> Result<u64, IngestError> {
+        if let Some((expected_height, expected_hash)) = self.head() {
+            if certified.base_height != expected_height || certified.base_hash != expected_hash {
+                return Err(IngestError::NotContiguous {
+                    expected_height,
+                    expected_hash,
+                    got_height: certified.base_height,
+                    got_hash: certified.base_hash,
+                });
+            }
+        }
+        let seq = self.segments.len() as u64;
+        let segment = Segment::build(seq, certified)?;
+        segment.verify(&self.keystore, self.quorum)?;
+
+        if let Some(storage) = &self.storage {
+            storage
+                .write_segment(&segment)
+                .map_err(|e| IngestError::Io(e.to_string()))?;
+            let mut entries: Vec<IndexEntry> = self
+                .segments
+                .iter()
+                .chain(std::iter::once(&segment))
+                .map(|s| IndexEntry {
+                    seq: s.header.seq,
+                    last_height: s.header.last_height,
+                    head_hash: s.header.head_hash,
+                })
+                .collect();
+            entries.sort_unstable_by_key(|e| e.seq);
+            storage
+                .write_summary(&entries)
+                .map_err(|e| IngestError::Io(e.to_string()))?;
+        }
+
+        for block in &segment.blocks {
+            self.index.index_block(block);
+        }
+        self.segments.push(segment);
+        Ok(seq)
+    }
+
+    fn segment_of_height(&self, height: u64) -> Option<&Segment> {
+        let idx = self
+            .segments
+            .partition_point(|s| s.header.last_height < height);
+        let segment = self.segments.get(idx)?;
+        (segment.header.first_height <= height).then_some(segment)
+    }
+
+    /// The archived block at `height`, if any.
+    pub fn block_at(&self, height: u64) -> Option<&Block> {
+        let segment = self.segment_of_height(height)?;
+        segment
+            .blocks
+            .get((height - segment.header.first_height) as usize)
+    }
+
+    /// The archived block containing BFT sequence number `sn`, if any.
+    pub fn block_by_sn(&self, sn: u64) -> Option<&Block> {
+        self.block_at(self.index.height_of_sn(sn)?)
+    }
+
+    fn resolve(&self, locations: Vec<RequestLocation>) -> Vec<(u64, u64, Request)> {
+        let mut out = Vec::with_capacity(locations.len());
+        for location in locations {
+            let Some(block) = self.block_at(location.height) else {
+                continue;
+            };
+            let Some(logged) = block.requests.iter().find(|r| r.sn == location.sn) else {
+                continue;
+            };
+            if let Ok(request) = zugchain_wire::from_bytes::<Request>(&logged.payload) {
+                out.push((logged.sn, logged.origin, request));
+            }
+        }
+        out
+    }
+
+    /// All decodable signal requests with `from_ms <= time_ms <= to_ms`,
+    /// as `(sn, origin, request)` in time order — the shape
+    /// [`Timeline::from_requests`] consumes.
+    pub fn requests_in(&self, from_ms: u64, to_ms: u64) -> Vec<(u64, u64, Request)> {
+        self.resolve(self.index.in_time_range(from_ms, to_ms))
+    }
+
+    /// Like [`requests_in`](Self::requests_in), restricted to requests
+    /// carrying at least one event of one of `kinds`.
+    pub fn requests_of_kinds(
+        &self,
+        from_ms: u64,
+        to_ms: u64,
+        kinds: &[EventKind],
+    ) -> Vec<(u64, u64, Request)> {
+        self.resolve(self.index.in_time_range_of_kinds(from_ms, to_ms, kinds))
+    }
+
+    /// Reconstructs the juridical [`Timeline`] over a time range.
+    pub fn timeline(&self, from_ms: u64, to_ms: u64) -> Timeline {
+        Timeline::from_requests(self.requests_in(from_ms, to_ms))
+    }
+
+    /// Builds a court-ready [`AuditBundle`] for the block at `height`:
+    /// the block bytes, its Merkle inclusion path, the header chain to
+    /// the segment head, and the checkpoint certificate.
+    pub fn audit_bundle(&self, height: u64) -> Option<AuditBundle> {
+        let segment = self.segment_of_height(height)?;
+        let idx = (height - segment.header.first_height) as usize;
+        let leaves = block_leaves(&segment.blocks);
+        Some(AuditBundle {
+            block_bytes: zugchain_wire::to_bytes(&segment.blocks[idx]),
+            merkle_path: MerklePath::build(&leaves, idx),
+            merkle_root: segment.header.merkle_root,
+            link_headers: segment.blocks[idx + 1..]
+                .iter()
+                .map(|b| b.header.clone())
+                .collect(),
+            proof: segment.proof.clone(),
+        })
+    }
+
+    /// Builds audit bundles for every block containing a request in the
+    /// given time range — "give me provable records for that day".
+    pub fn audit_bundles_in(&self, from_ms: u64, to_ms: u64) -> Vec<AuditBundle> {
+        let mut heights: Vec<u64> = self
+            .index
+            .in_time_range(from_ms, to_ms)
+            .into_iter()
+            .map(|l| l.height)
+            .collect();
+        heights.sort_unstable();
+        heights.dedup();
+        heights
+            .into_iter()
+            .filter_map(|h| self.audit_bundle(h))
+            .collect()
+    }
+}
+
+/// Concurrent handle over an [`Archive`]: ingestion takes the write
+/// lock, queries share the read lock, and clones are cheap — the query
+/// path of a data center serving several auditors while export keeps
+/// appending.
+#[derive(Debug, Clone)]
+pub struct QueryEngine {
+    inner: Arc<RwLock<Archive>>,
+}
+
+impl QueryEngine {
+    /// Wraps an archive for shared use.
+    pub fn new(archive: Archive) -> Self {
+        QueryEngine {
+            inner: Arc::new(RwLock::new(archive)),
+        }
+    }
+
+    fn read(&self) -> std::sync::RwLockReadGuard<'_, Archive> {
+        self.inner.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Ingests a certified segment (writer-isolated; readers block only
+    /// for the in-memory swap, not for verification I/O done under the
+    /// same lock here for simplicity).
+    ///
+    /// # Errors
+    ///
+    /// See [`Archive::ingest`].
+    pub fn ingest(&self, certified: &CertifiedSegment) -> Result<u64, IngestError> {
+        self.inner
+            .write()
+            .unwrap_or_else(|e| e.into_inner())
+            .ingest(certified)
+    }
+
+    /// See [`Archive::head`].
+    pub fn head(&self) -> Option<(u64, Digest)> {
+        self.read().head()
+    }
+
+    /// See [`Archive::segment_count`].
+    pub fn segment_count(&self) -> usize {
+        self.read().segment_count()
+    }
+
+    /// See [`Archive::request_count`].
+    pub fn request_count(&self) -> usize {
+        self.read().request_count()
+    }
+
+    /// See [`Archive::block_by_sn`] (cloned out of the lock).
+    pub fn block_by_sn(&self, sn: u64) -> Option<Block> {
+        self.read().block_by_sn(sn).cloned()
+    }
+
+    /// See [`Archive::requests_in`].
+    pub fn requests_in(&self, from_ms: u64, to_ms: u64) -> Vec<(u64, u64, Request)> {
+        self.read().requests_in(from_ms, to_ms)
+    }
+
+    /// See [`Archive::requests_of_kinds`].
+    pub fn requests_of_kinds(
+        &self,
+        from_ms: u64,
+        to_ms: u64,
+        kinds: &[EventKind],
+    ) -> Vec<(u64, u64, Request)> {
+        self.read().requests_of_kinds(from_ms, to_ms, kinds)
+    }
+
+    /// See [`Archive::timeline`].
+    pub fn timeline(&self, from_ms: u64, to_ms: u64) -> Timeline {
+        self.read().timeline(from_ms, to_ms)
+    }
+
+    /// See [`Archive::audit_bundle`].
+    pub fn audit_bundle(&self, height: u64) -> Option<AuditBundle> {
+        self.read().audit_bundle(height)
+    }
+
+    /// See [`Archive::audit_bundles_in`].
+    pub fn audit_bundles_in(&self, from_ms: u64, to_ms: u64) -> Vec<AuditBundle> {
+        self.read().audit_bundles_in(from_ms, to_ms)
+    }
+}

@@ -1,0 +1,129 @@
+//! Standalone offline audit-bundle verifier.
+//!
+//! Verifies court-ready audit bundles (`.zab` files emitted by the
+//! juridical archive) against nothing but the consensus group's public
+//! keys. It shares no state with the archive that produced the bundles:
+//! everything it checks — block decoding, payload consistency, Merkle
+//! inclusion, hash-chain links, and the 2f+1 checkpoint certificate — is
+//! recomputed from the bundle bytes and the key file.
+//!
+//! ```text
+//! zugchain-audit --keys replica-keys.txt --quorum 3 bundle1.zab bundle2.zab
+//! ```
+//!
+//! Exit status 0 iff every bundle verifies.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use zugchain_archive::{keyfile, AuditBundle};
+
+struct Args {
+    keys: PathBuf,
+    quorum: usize,
+    bundles: Vec<PathBuf>,
+}
+
+const USAGE: &str = "usage: zugchain-audit --keys <replica-key-file> --quorum <n> <bundle.zab>...";
+
+fn parse_args() -> Result<Args, String> {
+    let mut keys = None;
+    let mut quorum = None;
+    let mut bundles = Vec::new();
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--keys" => {
+                let value = argv.next().ok_or("--keys needs a file path")?;
+                keys = Some(PathBuf::from(value));
+            }
+            "--quorum" => {
+                let value = argv.next().ok_or("--quorum needs a number")?;
+                quorum = Some(
+                    value
+                        .parse::<usize>()
+                        .map_err(|_| format!("invalid quorum `{value}`"))?,
+                );
+            }
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            _ if arg.starts_with('-') => return Err(format!("unknown flag `{arg}`\n{USAGE}")),
+            _ => bundles.push(PathBuf::from(arg)),
+        }
+    }
+    let keys = keys.ok_or(format!("missing --keys\n{USAGE}"))?;
+    let quorum = quorum.ok_or(format!("missing --quorum\n{USAGE}"))?;
+    if quorum == 0 {
+        return Err("quorum must be at least 1".to_string());
+    }
+    if bundles.is_empty() {
+        return Err(format!("no bundle files given\n{USAGE}"));
+    }
+    Ok(Args {
+        keys,
+        quorum,
+        bundles,
+    })
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let keystore = match keyfile::read_keys(&args.keys) {
+        Ok(keystore) => keystore,
+        Err(e) => {
+            eprintln!("cannot load keys from {}: {e}", args.keys.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "loaded {} replica public keys from {} (quorum {})",
+        keystore.len(),
+        args.keys.display(),
+        args.quorum
+    );
+
+    let mut failures = 0usize;
+    for path in &args.bundles {
+        let verdict = AuditBundle::read_from(path)
+            .map_err(|e| e.to_string())
+            .and_then(|bundle| {
+                bundle
+                    .verify(&keystore, args.quorum)
+                    .map_err(|e| e.to_string())
+            });
+        match verdict {
+            Ok(block) => {
+                println!(
+                    "OK   {}: block height {} ({} requests, sn {}..={}, hash {})",
+                    path.display(),
+                    block.height(),
+                    block.requests.len(),
+                    block.header.first_sn,
+                    block.header.last_sn,
+                    block.hash().short()
+                );
+            }
+            Err(reason) => {
+                failures += 1;
+                println!("FAIL {}: {reason}", path.display());
+            }
+        }
+    }
+
+    if failures > 0 {
+        eprintln!(
+            "{failures} of {} bundle(s) FAILED verification",
+            args.bundles.len()
+        );
+        ExitCode::FAILURE
+    } else {
+        println!("all {} bundle(s) verified", args.bundles.len());
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,284 @@
+//! Checkpoint-certified block segments — the archive's unit of storage.
+//!
+//! The export protocol hands the data center contiguous runs of blocks
+//! covered by a stable-checkpoint certificate ([`CertifiedSegment`]).
+//! The archive re-verifies each run and persists it as a [`Segment`]:
+//! the blocks, the 2f+1 certificate that makes them juridically binding,
+//! and a header of derived commitments (chain endpoints, Merkle root,
+//! time bounds) that the indexes and audit bundles are built from.
+//! `Segment::verify` recomputes every derived field, so a segment read
+//! back from disk is trusted only after it passes the same checks as one
+//! arriving fresh from the export path.
+
+use std::fmt;
+
+use zugchain_blockchain::{verify_chain, Block, ChainViolation};
+use zugchain_crypto::{Digest, Keystore};
+use zugchain_export::CertifiedSegment;
+use zugchain_pbft::CheckpointProof;
+use zugchain_wire::{decode_seq, encode_seq, Decode, Encode, Reader, WireError, Writer};
+
+use crate::merkle::{leaf_digest, merkle_root};
+
+/// Derived commitments over one segment's blocks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SegmentHeader {
+    /// Position of this segment in the archive's append-only sequence.
+    pub seq: u64,
+    /// Height of the last block *before* this segment (0 for genesis).
+    pub base_height: u64,
+    /// Hash the first block's `prev_hash` must equal.
+    pub base_hash: Digest,
+    /// Height of the first block in the segment.
+    pub first_height: u64,
+    /// Height of the last block in the segment.
+    pub last_height: u64,
+    /// Hash of the last block — what the checkpoint certificate covers.
+    pub head_hash: Digest,
+    /// Merkle root over the canonical encodings of the blocks.
+    pub merkle_root: Digest,
+    /// Earliest block timestamp in the segment (milliseconds).
+    pub min_time_ms: u64,
+    /// Latest block timestamp in the segment (milliseconds).
+    pub max_time_ms: u64,
+}
+
+impl Encode for SegmentHeader {
+    fn encode(&self, w: &mut Writer) {
+        w.write_u64(self.seq);
+        w.write_u64(self.base_height);
+        self.base_hash.encode(w);
+        w.write_u64(self.first_height);
+        w.write_u64(self.last_height);
+        self.head_hash.encode(w);
+        self.merkle_root.encode(w);
+        w.write_u64(self.min_time_ms);
+        w.write_u64(self.max_time_ms);
+    }
+}
+
+impl Decode for SegmentHeader {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(SegmentHeader {
+            seq: r.read_u64()?,
+            base_height: r.read_u64()?,
+            base_hash: Digest::decode(r)?,
+            first_height: r.read_u64()?,
+            last_height: r.read_u64()?,
+            head_hash: Digest::decode(r)?,
+            merkle_root: Digest::decode(r)?,
+            min_time_ms: r.read_u64()?,
+            max_time_ms: r.read_u64()?,
+        })
+    }
+}
+
+/// One archived segment: header commitments, the blocks themselves, and
+/// the checkpoint certificate binding them to 2f+1 replicas.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Segment {
+    /// Derived commitments; re-checked against the blocks on every verify.
+    pub header: SegmentHeader,
+    /// The contiguous block run, lowest height first.
+    pub blocks: Vec<Block>,
+    /// Stable-checkpoint certificate whose `state_digest` is `head_hash`.
+    pub proof: CheckpointProof,
+}
+
+/// Why a segment failed verification or ingestion.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SegmentViolation {
+    /// The segment contains no blocks.
+    Empty,
+    /// The chain inside the segment is inconsistent.
+    Chain(ChainViolation),
+    /// The first block's height does not follow the declared base.
+    BaseHeightGap {
+        /// `base_height` from the header.
+        base_height: u64,
+        /// Height actually found on the first block.
+        first_height: u64,
+    },
+    /// A header field disagrees with what the blocks derive to.
+    HeaderMismatch {
+        /// Name of the inconsistent field.
+        field: &'static str,
+    },
+    /// The checkpoint certificate does not cover the segment head.
+    CertifiesWrongHead {
+        /// Hash of the last block in the segment.
+        head_hash: Digest,
+        /// `state_digest` the certificate actually covers.
+        certified: Digest,
+    },
+    /// The certificate lacks a quorum of valid replica signatures.
+    BadCertificate,
+}
+
+impl fmt::Display for SegmentViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SegmentViolation::Empty => write!(f, "segment contains no blocks"),
+            SegmentViolation::Chain(v) => write!(f, "segment chain invalid: {v}"),
+            SegmentViolation::BaseHeightGap {
+                base_height,
+                first_height,
+            } => write!(
+                f,
+                "first block height {first_height} does not follow base height {base_height}"
+            ),
+            SegmentViolation::HeaderMismatch { field } => {
+                write!(f, "segment header field `{field}` does not match blocks")
+            }
+            SegmentViolation::CertifiesWrongHead {
+                head_hash,
+                certified,
+            } => write!(
+                f,
+                "certificate covers {} but segment head is {}",
+                certified.short(),
+                head_hash.short()
+            ),
+            SegmentViolation::BadCertificate => {
+                write!(f, "checkpoint certificate lacks a valid signature quorum")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SegmentViolation {}
+
+impl From<ChainViolation> for SegmentViolation {
+    fn from(v: ChainViolation) -> Self {
+        SegmentViolation::Chain(v)
+    }
+}
+
+/// Computes the Merkle leaf digests for a run of blocks (leaf = canonical
+/// block encoding under the leaf domain prefix).
+pub fn block_leaves(blocks: &[Block]) -> Vec<Digest> {
+    blocks
+        .iter()
+        .map(|b| leaf_digest(&zugchain_wire::to_bytes(b)))
+        .collect()
+}
+
+impl Segment {
+    /// Builds a segment at archive position `seq` from a certified run of
+    /// blocks, computing all derived header fields.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SegmentViolation::Empty`] if the run has no blocks; all
+    /// other invariants are checked by [`Segment::verify`].
+    pub fn build(seq: u64, certified: &CertifiedSegment) -> Result<Self, SegmentViolation> {
+        let blocks = &certified.blocks;
+        let first = blocks.first().ok_or(SegmentViolation::Empty)?;
+        let last = blocks.last().expect("nonempty");
+        let header = SegmentHeader {
+            seq,
+            base_height: certified.base_height,
+            base_hash: certified.base_hash,
+            first_height: first.height(),
+            last_height: last.height(),
+            head_hash: last.hash(),
+            merkle_root: merkle_root(&block_leaves(blocks)),
+            min_time_ms: blocks
+                .iter()
+                .map(|b| b.header.time_ms)
+                .min()
+                .expect("nonempty"),
+            max_time_ms: blocks
+                .iter()
+                .map(|b| b.header.time_ms)
+                .max()
+                .expect("nonempty"),
+        };
+        Ok(Segment {
+            header,
+            blocks: blocks.clone(),
+            proof: certified.proof.clone(),
+        })
+    }
+
+    /// Fully re-verifies the segment: chain consistency against the
+    /// declared base, every derived header field, and the checkpoint
+    /// certificate (quorum signatures *and* that it covers the head).
+    ///
+    /// # Errors
+    ///
+    /// The first [`SegmentViolation`] found.
+    pub fn verify(&self, keystore: &Keystore, quorum: usize) -> Result<(), SegmentViolation> {
+        let first = self.blocks.first().ok_or(SegmentViolation::Empty)?;
+        let last = self.blocks.last().expect("nonempty");
+        if first.height() != self.header.base_height + 1 {
+            return Err(SegmentViolation::BaseHeightGap {
+                base_height: self.header.base_height,
+                first_height: first.height(),
+            });
+        }
+        verify_chain(&self.blocks, Some(self.header.base_hash))?;
+
+        let mismatch = |field| Err(SegmentViolation::HeaderMismatch { field });
+        if self.header.first_height != first.height() {
+            return mismatch("first_height");
+        }
+        if self.header.last_height != last.height() {
+            return mismatch("last_height");
+        }
+        if self.header.head_hash != last.hash() {
+            return mismatch("head_hash");
+        }
+        if self.header.merkle_root != merkle_root(&block_leaves(&self.blocks)) {
+            return mismatch("merkle_root");
+        }
+        let min = self
+            .blocks
+            .iter()
+            .map(|b| b.header.time_ms)
+            .min()
+            .expect("nonempty");
+        let max = self
+            .blocks
+            .iter()
+            .map(|b| b.header.time_ms)
+            .max()
+            .expect("nonempty");
+        if self.header.min_time_ms != min {
+            return mismatch("min_time_ms");
+        }
+        if self.header.max_time_ms != max {
+            return mismatch("max_time_ms");
+        }
+
+        if self.proof.checkpoint.state_digest != self.header.head_hash {
+            return Err(SegmentViolation::CertifiesWrongHead {
+                head_hash: self.header.head_hash,
+                certified: self.proof.checkpoint.state_digest,
+            });
+        }
+        if !self.proof.verify(keystore, quorum) {
+            return Err(SegmentViolation::BadCertificate);
+        }
+        Ok(())
+    }
+}
+
+impl Encode for Segment {
+    fn encode(&self, w: &mut Writer) {
+        self.header.encode(w);
+        encode_seq(&self.blocks, w);
+        self.proof.encode(w);
+    }
+}
+
+impl Decode for Segment {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(Segment {
+            header: SegmentHeader::decode(r)?,
+            blocks: decode_seq(r)?,
+            proof: CheckpointProof::decode(r)?,
+        })
+    }
+}

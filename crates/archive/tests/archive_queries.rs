@@ -1,0 +1,209 @@
+//! Query-surface tests: indexed lookups, event-kind filters, timeline
+//! reconstruction, audit bundles, and the concurrent [`QueryEngine`].
+
+mod common;
+
+use zugchain_archive::{Archive, AuditError, EventKind, QueryEngine};
+use zugchain_blockchain::{Block, BlockBuilder, LoggedRequest};
+use zugchain_export::CertifiedSegment;
+use zugchain_signals::analysis::Finding;
+use zugchain_signals::SignalValue;
+
+use common::{certify, keys, signal_payload, QUORUM};
+
+/// One certified segment with a scripted emergency-stop sequence: speed
+/// ramp, emergency brake at t = 500 ms, doors at t = 700 ms, plus one
+/// undecodable foreign payload.
+fn scripted_segment(pairs: &[zugchain_crypto::KeyPair]) -> CertifiedSegment {
+    let script: Vec<(u64, Vec<u8>)> = vec![
+        (
+            100,
+            signal_payload(1, 100, "v_actual", SignalValue::U16(160)),
+        ),
+        (
+            200,
+            signal_payload(2, 200, "v_actual", SignalValue::U16(158)),
+        ),
+        (
+            300,
+            signal_payload(3, 300, "atp_intervention", SignalValue::Bool(true)),
+        ),
+        (
+            400,
+            signal_payload(4, 400, "v_actual", SignalValue::U16(140)),
+        ),
+        (
+            500,
+            signal_payload(5, 500, "emergency_brake", SignalValue::Bool(true)),
+        ),
+        (
+            600,
+            signal_payload(6, 600, "v_actual", SignalValue::U16(60)),
+        ),
+        (
+            700,
+            signal_payload(7, 700, "doors_released", SignalValue::Bool(true)),
+        ),
+        (800, b"\xde\xad\xbe\xef not a signals request".to_vec()),
+    ];
+    let mut builder = BlockBuilder::new(2);
+    let mut blocks = Vec::new();
+    for (index, (time_ms, payload)) in script.into_iter().enumerate() {
+        let sn = index as u64 + 1;
+        if let Some(block) = builder.push(
+            LoggedRequest {
+                sn,
+                origin: 0,
+                payload,
+            },
+            time_ms,
+        ) {
+            blocks.push(block);
+        }
+    }
+    let base = Block::genesis();
+    let head = blocks.last().unwrap().clone();
+    CertifiedSegment {
+        base_height: base.height(),
+        base_hash: base.hash(),
+        blocks,
+        proof: certify(pairs, 8, &head),
+    }
+}
+
+fn scripted_archive() -> Archive {
+    let (pairs, keystore) = keys();
+    let mut archive = Archive::in_memory(keystore, QUORUM);
+    archive.ingest(&scripted_segment(&pairs)).unwrap();
+    archive
+}
+
+#[test]
+fn point_lookup_by_sequence_number() {
+    let archive = scripted_archive();
+    let block = archive.block_by_sn(5).expect("sn 5 archived");
+    assert!(block.requests.iter().any(|r| r.sn == 5));
+    assert!(archive.block_by_sn(99).is_none());
+}
+
+#[test]
+fn kind_filtered_time_range_hits_only_matching_requests() {
+    let archive = scripted_archive();
+    let brakes = archive.requests_of_kinds(0, 10_000, &[EventKind::Brake]);
+    assert_eq!(brakes.len(), 1);
+    assert_eq!(brakes[0].2.time_ms, 500);
+    assert_eq!(brakes[0].2.events[0].name, "emergency_brake");
+
+    let doors_and_atp = archive.requests_of_kinds(0, 10_000, &[EventKind::Door, EventKind::Atp]);
+    let times: Vec<u64> = doors_and_atp.iter().map(|(_, _, r)| r.time_ms).collect();
+    assert_eq!(times, vec![300, 700]);
+
+    // Time bounds are inclusive and actually bound.
+    assert!(archive
+        .requests_of_kinds(501, 10_000, &[EventKind::Brake])
+        .is_empty());
+    assert_eq!(
+        archive
+            .requests_of_kinds(500, 500, &[EventKind::Brake])
+            .len(),
+        1
+    );
+
+    // The undecodable payload is reachable under Other, by block time.
+    let other = archive.requests_of_kinds(0, 10_000, &[EventKind::Other]);
+    assert!(
+        other.is_empty(),
+        "undecodable payloads index but do not decode"
+    );
+}
+
+#[test]
+fn timeline_reconstruction_reports_the_emergency_stop() {
+    let archive = scripted_archive();
+    let timeline = archive.timeline(0, 10_000);
+    assert!(
+        timeline
+            .findings()
+            .iter()
+            .any(|f| matches!(f, Finding::EmergencyBraking { time_ms: 500, .. })),
+        "expected an emergency-braking finding at t=500, got {:?}",
+        timeline.findings()
+    );
+}
+
+#[test]
+fn audit_bundles_verify_for_every_archived_block() {
+    let (pairs, keystore) = keys();
+    let mut archive = Archive::in_memory(keystore.clone(), QUORUM);
+    archive.ingest(&scripted_segment(&pairs)).unwrap();
+    let heights: Vec<u64> = archive.blocks().map(|b| b.height()).collect();
+    assert!(heights.len() >= 3);
+    for height in heights {
+        let bundle = archive.audit_bundle(height).unwrap();
+        let block = bundle.verify(&keystore, QUORUM).unwrap();
+        assert_eq!(block.height(), height);
+    }
+    assert!(archive.audit_bundle(999).is_none());
+}
+
+#[test]
+fn audit_bundle_fails_against_wrong_keys_or_raised_quorum() {
+    let (pairs, keystore) = keys();
+    let mut archive = Archive::in_memory(keystore.clone(), QUORUM);
+    archive.ingest(&scripted_segment(&pairs)).unwrap();
+    let bundle = archive.audit_bundle(1).unwrap();
+
+    let (_, strangers) = zugchain_crypto::Keystore::generate(4, 0xBAD5EED);
+    assert_eq!(
+        bundle.verify(&strangers, QUORUM).unwrap_err(),
+        AuditError::BadCertificate
+    );
+    // All 4 replicas signed; demanding 5 must fail.
+    assert_eq!(
+        bundle.verify(&keystore, 5).unwrap_err(),
+        AuditError::BadCertificate
+    );
+}
+
+#[test]
+fn query_engine_serves_readers_while_a_writer_ingests() {
+    let (pairs, keystore) = keys();
+    let engine = QueryEngine::new(Archive::in_memory(keystore, QUORUM));
+    let segments = common::certified_chain(&pairs, 8, 2);
+
+    let writer = {
+        let engine = engine.clone();
+        std::thread::spawn(move || {
+            for certified in &segments {
+                engine.ingest(certified).unwrap();
+            }
+        })
+    };
+    let readers: Vec<_> = (0..4)
+        .map(|_| {
+            let engine = engine.clone();
+            std::thread::spawn(move || {
+                // Concurrent queries must always see a consistent prefix:
+                // every visible speed reading decodes and stays ordered.
+                let mut max_seen = 0;
+                for _ in 0..200 {
+                    let speeds = engine.requests_of_kinds(0, u64::MAX, &[EventKind::Speed]);
+                    assert!(speeds.len() >= max_seen, "archive shrank mid-query");
+                    max_seen = speeds.len();
+                    let mut last = 0;
+                    for (_, _, request) in &speeds {
+                        assert!(request.time_ms >= last, "time order violated");
+                        last = request.time_ms;
+                    }
+                }
+                max_seen
+            })
+        })
+        .collect();
+    writer.join().unwrap();
+    for reader in readers {
+        reader.join().unwrap();
+    }
+    assert_eq!(engine.segment_count(), 8);
+    assert!(engine.head().is_some());
+}

@@ -15,6 +15,7 @@ use rand::{rngs::StdRng, RngExt as _, SeedableRng as _};
 use zugchain::{
     NodeConfig, NodeEvent, NodeInput, NodeMessage, TimerId, TrainMachine, TrainNode, ZugchainNode,
 };
+use zugchain_archive::Archive;
 use zugchain_blockchain::{verify_chain, ChainStore};
 use zugchain_crypto::{Digest, KeyPair, Keystore};
 use zugchain_export::{
@@ -47,6 +48,10 @@ pub enum ViolationKind {
     /// A data center's archive failed verification or disagreed with
     /// the blocks the cluster created.
     ExportMismatch,
+    /// The juridical archive refused a certified segment, archived a
+    /// block the cluster never decided, or emitted an audit bundle that
+    /// failed offline verification (I8).
+    ArchiveAudit,
     /// An untouched correct node failed to decide a planned operation by
     /// quiescence, or the run never quiesced.
     LivenessLoss,
@@ -63,6 +68,7 @@ impl ViolationKind {
             ViolationKind::ChainInvalid => "chain-invalid",
             ViolationKind::Equivocation => "equivocation",
             ViolationKind::ExportMismatch => "export-mismatch",
+            ViolationKind::ArchiveAudit => "archive-audit",
             ViolationKind::LivenessLoss => "liveness-loss",
             ViolationKind::ViewBound => "view-bound",
         }
@@ -76,6 +82,7 @@ impl ViolationKind {
             "chain-invalid" => ViolationKind::ChainInvalid,
             "equivocation" => ViolationKind::Equivocation,
             "export-mismatch" => ViolationKind::ExportMismatch,
+            "archive-audit" => ViolationKind::ArchiveAudit,
             "liveness-loss" => ViolationKind::LivenessLoss,
             "view-bound" => ViolationKind::ViewBound,
             _ => return None,
@@ -120,6 +127,8 @@ pub struct ChaosOutcome {
     pub blocks_created: u64,
     /// Blocks adopted into data-center archives.
     pub exported_blocks: u64,
+    /// Certified segments ingested into the juridical archives (I8).
+    pub archived_segments: u64,
     /// State transfers requested by lagging nodes.
     pub state_transfers: u64,
     /// Point-to-point messages delivered.
@@ -433,8 +442,12 @@ struct Chaos {
     drivers: Vec<Driver<TrainMachine<ByzNode>>>,
     world: World,
     dcs: Vec<DataCenter>,
+    /// One in-memory juridical archive per data center, fed from the
+    /// certified segments the export protocol finalizes (I8).
+    archives: Vec<Archive>,
     export_replicas: Vec<ExportReplica>,
     exported_blocks: u64,
+    archived_segments: u64,
     // Materials needed to rebuild a node on recovery.
     config: NodeConfig,
     nsdb: Nsdb,
@@ -510,6 +523,9 @@ impl Chaos {
                 )
             })
             .collect();
+        let archives = (0..2)
+            .map(|_| Archive::in_memory(keystore.clone(), quorum))
+            .collect();
         let export_replicas = (0..n)
             .map(|i| {
                 ExportReplica::new(
@@ -563,8 +579,10 @@ impl Chaos {
             drivers,
             world,
             dcs,
+            archives,
             export_replicas,
             exported_blocks: 0,
+            archived_segments: 0,
             config,
             nsdb,
             pairs,
@@ -633,6 +651,7 @@ impl Chaos {
             max_view: self.world.max_view,
             blocks_created: self.world.blocks_created,
             exported_blocks: self.exported_blocks,
+            archived_segments: self.archived_segments,
             state_transfers: self.world.state_transfers,
             delivered_messages: self.world.delivered,
             quiesced,
@@ -960,6 +979,7 @@ impl Chaos {
             }
         }
         self.check_archives();
+        self.ingest_archives();
     }
 
     /// Runs one export message through a node's replica-side handler.
@@ -1019,6 +1039,80 @@ impl Chaos {
                                 "data center {i} archived {} at height {} but the cluster built {expected}",
                                 block.hash(),
                                 block.height()
+                            ),
+                        );
+                        return;
+                    }
+                }
+            }
+        }
+    }
+
+    /// I8: the juridical archive path. Every certified segment a data
+    /// center finalizes must (a) pass the archive's full re-verification
+    /// (chain linkage, pruned-base continuity, 2f+1 certificate), (b)
+    /// contain only blocks the cluster actually decided — i.e. the
+    /// archive holds a prefix of a correct node's chain — and (c) yield
+    /// audit bundles that verify *offline*, after a wire roundtrip,
+    /// against the replica public keys alone.
+    fn ingest_archives(&mut self) {
+        let quorum = 2 * self.world.plan.f() + 1;
+        for dc in 0..self.dcs.len() {
+            for certified in self.dcs[dc].drain_certified_segments() {
+                if let Err(e) = self.archives[dc].ingest(&certified) {
+                    self.world.fail(
+                        ViolationKind::ArchiveAudit,
+                        format!("data center {dc} archive refused a certified segment: {e}"),
+                    );
+                    return;
+                }
+                self.archived_segments += 1;
+                for block in &certified.blocks {
+                    if let Some(&expected) = self.world.block_at.get(&block.height()) {
+                        if expected != block.hash() {
+                            self.world.fail(
+                                ViolationKind::ArchiveAudit,
+                                format!(
+                                    "data center {dc} archived {} at height {} but the cluster built {expected}",
+                                    block.hash(),
+                                    block.height()
+                                ),
+                            );
+                            return;
+                        }
+                    }
+                }
+                // Sample the segment's endpoints: the first block has the
+                // longest link-header run, the head has an empty one.
+                let sample = [
+                    certified.blocks.first().map(|b| b.height()),
+                    certified.blocks.last().map(|b| b.height()),
+                ];
+                for height in sample.into_iter().flatten() {
+                    let Some(bundle) = self.archives[dc].audit_bundle(height) else {
+                        self.world.fail(
+                            ViolationKind::ArchiveAudit,
+                            format!(
+                                "data center {dc} has no audit bundle for archived height {height}"
+                            ),
+                        );
+                        return;
+                    };
+                    let offline = zugchain_wire::from_bytes::<zugchain_archive::AuditBundle>(
+                        &zugchain_wire::to_bytes(&bundle),
+                    );
+                    let verdict = match offline {
+                        Ok(bundle) => bundle
+                            .verify(&self.keystore, quorum)
+                            .map(|_| ())
+                            .map_err(|e| e.to_string()),
+                        Err(e) => Err(format!("bundle codec roundtrip failed: {e}")),
+                    };
+                    if let Err(reason) = verdict {
+                        self.world.fail(
+                            ViolationKind::ArchiveAudit,
+                            format!(
+                                "data center {dc} audit bundle for height {height} failed offline verification: {reason}"
                             ),
                         );
                         return;

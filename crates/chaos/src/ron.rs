@@ -487,6 +487,7 @@ mod tests {
             ViolationKind::ChainInvalid,
             ViolationKind::Equivocation,
             ViolationKind::ExportMismatch,
+            ViolationKind::ArchiveAudit,
             ViolationKind::LivenessLoss,
             ViolationKind::ViewBound,
         ] {

@@ -89,6 +89,35 @@ fn honest_baseline_passes() {
     assert!(outcome.blocks_created > 0);
 }
 
+/// I8 must actually run, not pass vacuously: an export round over an
+/// honest run feeds the data centers' juridical archives, every
+/// certified segment ingests cleanly, and its sampled audit bundles
+/// verify offline (any failure surfaces as an `archive-audit`
+/// violation).
+#[test]
+fn export_rounds_feed_the_juridical_archives() {
+    let mut plan = honest_baseline(77, 8);
+    plan.exports = vec![
+        zugchain_chaos::plan::ExportPlan {
+            at_ms: 250,
+            dc: 0,
+            blocks_from: 1,
+        },
+        zugchain_chaos::plan::ExportPlan {
+            at_ms: 420,
+            dc: 1,
+            blocks_from: 2,
+        },
+    ];
+    let outcome = execute(&plan);
+    assert!(outcome.violation.is_none(), "{:?}", outcome.violation);
+    assert!(outcome.exported_blocks > 0, "export rounds moved no blocks");
+    assert!(
+        outcome.archived_segments > 0,
+        "no certified segment reached an archive — I8 never ran"
+    );
+}
+
 /// The acceptance-gate test: arm the `mutation-hooks` equivocation bug
 /// on the initial primary, catch it as a safety violation, minimize the
 /// failing schedule, persist the repro file, parse it back, and replay

@@ -3,7 +3,7 @@ use std::collections::{BTreeMap, BTreeSet, HashMap};
 use zugchain_blockchain::{verify_chain, Block};
 use zugchain_crypto::{Digest, KeyPair, Keystore};
 use zugchain_machine::{Effect, Machine, NoTimer};
-use zugchain_pbft::NodeId;
+use zugchain_pbft::{CheckpointProof, NodeId};
 
 use crate::{CheckpointReply, DcId, DeleteCmd, ExportMessage, SignedAck, SignedDelete};
 
@@ -19,6 +19,27 @@ pub struct DcConfig {
     pub replica_quorum: usize,
     /// The other data centers to synchronize with.
     pub peers: Vec<DcId>,
+}
+
+/// One contiguous, checkpoint-certified chain extension adopted by a
+/// data center — the unit of ingestion for the juridical archive.
+///
+/// Every certified segment the data center emits satisfies, at emission
+/// time: `blocks` is non-empty, chains onto `(base_height, base_hash)`
+/// via [`verify_chain`], and `proof` is a 2f+1 checkpoint certificate
+/// whose state digest equals the last block's hash. The archive
+/// re-verifies all of this on ingest — it does not trust the data-center
+/// process that handed the segment over.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CertifiedSegment {
+    /// Height of the archived block this segment extends.
+    pub base_height: u64,
+    /// Hash of that block (the first new block's `prev_hash`).
+    pub base_hash: Digest,
+    /// The newly adopted blocks, oldest first.
+    pub blocks: Vec<Block>,
+    /// The 2f+1 checkpoint certificate covering the last block.
+    pub proof: CheckpointProof,
 }
 
 /// Result of a completed export round.
@@ -101,6 +122,9 @@ pub struct DataCenter {
     round: Option<Round>,
     /// Acks per delete command: set of acknowledging replicas.
     acks: HashMap<(u64, Digest), BTreeSet<u64>>,
+    /// Certified segments adopted since the last
+    /// [`drain_certified_segments`](Self::drain_certified_segments) call.
+    certified: Vec<CertifiedSegment>,
 }
 
 impl DataCenter {
@@ -122,6 +146,7 @@ impl DataCenter {
             archive: vec![genesis],
             round: None,
             acks: HashMap::new(),
+            certified: Vec::new(),
         }
     }
 
@@ -154,6 +179,15 @@ impl DataCenter {
     /// Returns `true` while an export round is in flight.
     pub fn round_in_progress(&self) -> bool {
         self.round.is_some()
+    }
+
+    /// Takes the certified segments adopted since the last call — the
+    /// ingestion hookup for the juridical archive. Each segment carries
+    /// the blocks, the base they chain onto, and the checkpoint
+    /// certificate, in adoption order (so feeding them to an archive in
+    /// order preserves chain continuity).
+    pub fn drain_certified_segments(&mut self) -> Vec<CertifiedSegment> {
+        std::mem::take(&mut self.certified)
     }
 
     /// Step ①: starts an export round, asking every replica for its
@@ -231,6 +265,12 @@ impl DataCenter {
         if last.hash() != proof.checkpoint.state_digest {
             return Vec::new();
         }
+        self.certified.push(CertifiedSegment {
+            base_height: self.last_height,
+            base_hash: self.last_hash,
+            blocks: new_blocks.clone(),
+            proof: proof.clone(),
+        });
         self.adopt(new_blocks);
         // Step ⑤: "the data centers each sign a delete message" — having
         // verified and stored the blocks, this data center adds its own
@@ -379,6 +419,12 @@ impl DataCenter {
 
         let exported = segment.len();
         let proof = best.proof.clone().expect("verified above");
+        self.certified.push(CertifiedSegment {
+            base_height: self.last_height,
+            base_hash: self.last_hash,
+            blocks: segment.clone(),
+            proof: proof.clone(),
+        });
         self.adopt(segment);
         self.round = None;
 
@@ -549,6 +595,36 @@ mod tests {
                 delete_issued: true
             })
         )));
+    }
+
+    #[test]
+    fn finalized_export_queues_a_certified_segment_for_the_archive() {
+        let (mut dc, blocks, pairs) = setup();
+        assert!(dc.drain_certified_segments().is_empty());
+        dc.begin_export(NodeId(0));
+        dc.on_replica_message(
+            NodeId(0),
+            ExportMessage::Blocks {
+                blocks: blocks.clone(),
+            },
+        );
+        dc.on_replica_message(NodeId(0), checkpoint_reply(&blocks[3], &pairs));
+        dc.on_replica_message(NodeId(1), checkpoint_reply(&blocks[3], &pairs));
+        dc.on_replica_message(NodeId(2), checkpoint_reply(&blocks[3], &pairs));
+
+        let segments = dc.drain_certified_segments();
+        assert_eq!(segments.len(), 1);
+        let segment = &segments[0];
+        let genesis = Block::genesis();
+        assert_eq!(segment.base_height, genesis.height());
+        assert_eq!(segment.base_hash, genesis.hash());
+        assert_eq!(segment.blocks, blocks);
+        assert_eq!(
+            segment.proof.checkpoint.state_digest,
+            blocks[3].hash(),
+            "certificate covers the segment head"
+        );
+        assert!(dc.drain_certified_segments().is_empty(), "drain empties");
     }
 
     #[test]

@@ -42,7 +42,9 @@ mod messages;
 mod replica;
 mod transfer;
 
-pub use datacenter::{DataCenter, DcAddr, DcConfig, DcEffect, DcInput, ExportOutcome};
+pub use datacenter::{
+    CertifiedSegment, DataCenter, DcAddr, DcConfig, DcEffect, DcInput, ExportOutcome,
+};
 pub use messages::{
     CheckpointReply, DcId, DeleteCmd, DeleteStatus, ExportMessage, SignedAck, SignedDelete,
 };
