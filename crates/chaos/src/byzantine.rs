@@ -11,7 +11,9 @@ use zugchain_blockchain::ChainStore;
 use zugchain_crypto::KeyPair;
 use zugchain_machine::Effect;
 use zugchain_mvb::Telegram;
-use zugchain_pbft::{CheckpointProof, Message, NodeId, PrePrepare, SignedMessage};
+use zugchain_pbft::{
+    CheckpointProof, Message, NodeId, PrePrepare, ProposedBatch, ProposedRequest, SignedMessage,
+};
 
 use crate::plan::ByzBehavior;
 
@@ -69,17 +71,19 @@ impl ByzNode {
     }
 
     /// Splits one of this node's own preprepare broadcasts into
-    /// per-peer sends, with the highest-id peer receiving a conflicting
-    /// proposal (tampered payload, re-signed) for the same slot.
-    fn equivocate(&self, signed: &SignedMessage, preprepare: &PrePrepare) -> Vec<NodeEffect> {
+    /// per-peer sends, with the highest-id peer receiving `conflicting`
+    /// (re-signed) for the same slot.
+    fn split_with_conflicting(
+        &self,
+        signed: &SignedMessage,
+        conflicting: PrePrepare,
+    ) -> Vec<NodeEffect> {
         let me = self.inner.id();
         let victim = (0..self.n_nodes as u64)
             .map(NodeId)
             .filter(|&peer| peer != me)
             .max()
             .expect("cluster has peers");
-        let mut conflicting = preprepare.clone();
-        conflicting.request.payload.push(0xB7);
         let forged = SignedMessage::sign(me, Message::PrePrepare(conflicting), &self.key);
         (0..self.n_nodes as u64)
             .map(NodeId)
@@ -93,6 +97,36 @@ impl ByzNode {
                 Effect::Send { to: peer, message }
             })
             .collect()
+    }
+
+    /// A conflicting proposal with the last request's payload tampered —
+    /// same batch shape, different content, correctly re-signed.
+    fn tampered_payload(preprepare: &PrePrepare) -> PrePrepare {
+        let mut requests = preprepare.batch.requests().to_vec();
+        requests
+            .last_mut()
+            .expect("batches are never empty")
+            .payload
+            .push(0xB7);
+        PrePrepare {
+            view: preprepare.view,
+            sn: preprepare.sn,
+            batch: ProposedBatch::new(requests),
+        }
+    }
+
+    /// A conflicting batch differing in exactly one request: the first
+    /// request is swapped for a protocol no-op attributed to this node
+    /// (same length, one differing element — the batch-equivocation
+    /// attack of the chaos plan).
+    fn swapped_request(&self, preprepare: &PrePrepare) -> PrePrepare {
+        let mut requests = preprepare.batch.requests().to_vec();
+        requests[0] = ProposedRequest::noop(self.inner.id());
+        PrePrepare {
+            view: preprepare.view,
+            sn: preprepare.sn,
+            batch: ProposedBatch::new(requests),
+        }
     }
 }
 
@@ -129,7 +163,9 @@ impl TrainNode for ByzNode {
                 .into_iter()
                 .filter(|e| !matches!(e, Effect::Send { .. } | Effect::Broadcast { .. }))
                 .collect(),
-            Some(ByzBehavior::EquivocatePreprepares) => {
+            Some(
+                behavior @ (ByzBehavior::EquivocatePreprepares | ByzBehavior::EquivocateBatch),
+            ) => {
                 let me = self.inner.id();
                 let mut out = Vec::with_capacity(effects.len());
                 for effect in effects {
@@ -138,7 +174,11 @@ impl TrainNode for ByzNode {
                             message: NodeMessage::Consensus(signed),
                         } if signed.from == me => {
                             if let Message::PrePrepare(pp) = &signed.message {
-                                out.extend(self.equivocate(signed, pp));
+                                let conflicting = match behavior {
+                                    ByzBehavior::EquivocateBatch => self.swapped_request(pp),
+                                    _ => Self::tampered_payload(pp),
+                                };
+                                out.extend(self.split_with_conflicting(signed, conflicting));
                                 continue;
                             }
                             out.push(effect);

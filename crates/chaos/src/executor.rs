@@ -212,7 +212,7 @@ struct World {
     decided_sn: HashMap<u64, Digest>,
     /// I2: global block height → block hash.
     block_at: HashMap<u64, Digest>,
-    /// I4: `(node, view, sn)` → proposed request digest.
+    /// I4: `(node, view, sn)` → proposed batch digest.
     preprepares: HashMap<(usize, u64, u64), Digest>,
     /// Per-node set of decided payload digests (liveness check).
     decided_by: Vec<HashSet<Digest>>,
@@ -270,6 +270,9 @@ impl World {
         if self.partitioned(src, dst, self.now_ns) {
             return;
         }
+        if self.prepare_lost(src, &frame) {
+            return;
+        }
         let net = self.plan.net.clone();
         let jitter = self
             .net_rng
@@ -301,10 +304,29 @@ impl World {
         }
     }
 
+    /// `true` if `frame` is a `Prepare` sent by the planned prepare-loss
+    /// node inside its loss window — the link eats it.
+    fn prepare_lost(&self, src: usize, frame: &Frame<NodeMessage>) -> bool {
+        let Some(pl) = &self.plan.prepare_loss else {
+            return false;
+        };
+        if pl.node != src
+            || self.now_ns < pl.start_ms * NS_PER_MS
+            || self.now_ns >= pl.end_ms * NS_PER_MS
+        {
+            return false;
+        }
+        matches!(
+            frame.message(),
+            NodeMessage::Consensus(signed) if matches!(signed.message, Message::Prepare(_))
+        )
+    }
+
     /// I4: an honest node must never emit two different preprepares for
-    /// one `(view, sn)` slot. Observing *outbound* frames catches an
-    /// equivocating sender directly, before any victim even processes
-    /// the conflicting proposal.
+    /// one `(view, sn)` slot — including batches differing in a single
+    /// request, which the batch digest binds. Observing *outbound*
+    /// frames catches an equivocating sender directly, before any victim
+    /// even processes the conflicting proposal.
     fn observe_outbound(&mut self, src: usize, frame: &Frame<NodeMessage>) {
         if self.byz[src] {
             return;
@@ -318,13 +340,13 @@ impl World {
         let Message::PrePrepare(pp) = &signed.message else {
             return;
         };
-        let digest = pp.request.digest();
+        let digest = pp.batch.digest();
         match self.preprepares.insert((src, pp.view, pp.sn), digest) {
             Some(previous) if previous != digest => {
                 self.fail(
                     ViolationKind::Equivocation,
                     format!(
-                        "node {src} proposed two requests for (view {}, sn {}): {previous} then {digest}",
+                        "node {src} proposed two batches for (view {}, sn {}): {previous} then {digest}",
                         pp.view, pp.sn
                     ),
                 );
@@ -466,7 +488,10 @@ impl Chaos {
         let (pairs, keystore) =
             Keystore::generate(n, plan.seed.wrapping_mul(0x9E37_79B9).wrapping_add(17));
         let config = NodeConfig {
-            pbft: Config::new(n).expect("plan sizes are valid"),
+            pbft: Config::new(n)
+                .expect("plan sizes are valid")
+                .with_max_batch_size(plan.max_batch_size)
+                .with_batch_delay(plan.batch_delay_ms),
             block_size: plan.block_size,
             soft_timeout_ms: 100,
             hard_timeout_ms: 100,
@@ -1183,6 +1208,7 @@ impl Chaos {
         let fault_units = plan.crashes.len()
             + plan.byzantine.len()
             + plan.partition.iter().len()
+            + plan.prepare_loss.iter().len()
             + usize::from(plan.mutation);
         let bound = 4 + 4 * plan.n_nodes as u64 * (fault_units as u64 + 1);
         if self.world.max_view > bound {

@@ -64,6 +64,25 @@ pub fn minimize(plan: &ChaosPlan, kind: ViolationKind, max_runs: usize) -> Chaos
             }
         }
 
+        if best.prepare_loss.is_some() {
+            let mut trial = best.clone();
+            trial.prepare_loss = None;
+            if budget.reproduces(&trial, kind) {
+                best.prepare_loss = None;
+            }
+        }
+
+        // Is batching relevant? Try the unbatched protocol.
+        if best.max_batch_size > 1 {
+            let mut trial = best.clone();
+            trial.max_batch_size = 1;
+            trial.batch_delay_ms = 0;
+            if budget.reproduces(&trial, kind) {
+                best.max_batch_size = 1;
+                best.batch_delay_ms = 0;
+            }
+        }
+
         if best.net != NetPlan::RELIABLE {
             let mut trial = best.clone();
             trial.net = NetPlan::RELIABLE;
@@ -114,6 +133,8 @@ fn size_of(plan: &ChaosPlan) -> usize {
         + plan.byzantine.len()
         + plan.exports.len()
         + usize::from(plan.partition.is_some())
+        + usize::from(plan.prepare_loss.is_some())
+        + usize::from(plan.max_batch_size > 1)
         + usize::from(plan.net != NetPlan::RELIABLE)
 }
 

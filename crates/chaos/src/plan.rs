@@ -26,6 +26,22 @@ pub enum ByzBehavior {
     /// Feeds fabricated junk bus payloads into its own input path,
     /// flooding consensus with requests no other node observed.
     FabricateBus,
+    /// Batch-contents equivocation: the victim receives a batch of the
+    /// same length differing in exactly one request for the same
+    /// `(view, sn)` slot.
+    EquivocateBatch,
+}
+
+impl ByzBehavior {
+    /// `true` for the behaviours that send a victim a conflicting
+    /// preprepare (the victim is then legitimately stalled at that slot
+    /// and exempt from the liveness check).
+    pub fn equivocates(self) -> bool {
+        matches!(
+            self,
+            ByzBehavior::EquivocatePreprepares | ByzBehavior::EquivocateBatch
+        )
+    }
 }
 
 /// One client operation: a consolidated bus payload of `size` bytes
@@ -67,6 +83,20 @@ pub struct PartitionPlan {
     pub start_ms: u64,
     /// Partition heal (ms).
     pub heal_ms: u64,
+}
+
+/// A window during which every `Prepare` message *sent by* `node` is
+/// silently dropped — the fault the lost-prepare stall fix defends
+/// against. Bounded: after `end_ms` the cluster heals (re-broadcast on
+/// duplicate preprepare, or a view change re-proposing the slot).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PrepareLossPlan {
+    /// The node whose outbound prepares are lost.
+    pub node: usize,
+    /// Window start (ms).
+    pub start_ms: u64,
+    /// Window end (ms).
+    pub end_ms: u64,
 }
 
 /// A Byzantine behaviour assignment.
@@ -129,12 +159,18 @@ pub struct ChaosPlan {
     pub n_nodes: usize,
     /// Requests bundled per block.
     pub block_size: usize,
+    /// Maximum requests bundled per preprepare (1 = unbatched protocol).
+    pub max_batch_size: usize,
+    /// Partial-batch flush delay (ms); only meaningful when batching.
+    pub batch_delay_ms: u64,
     /// Client operations, sorted by time.
     pub ops: Vec<OpPlan>,
     /// Crash/recover schedule.
     pub crashes: Vec<CrashPlan>,
     /// At most one healing partition.
     pub partition: Option<PartitionPlan>,
+    /// At most one prepare-loss window.
+    pub prepare_loss: Option<PrepareLossPlan>,
     /// Byzantine behaviour assignments.
     pub byzantine: Vec<ByzPlan>,
     /// Export rounds.
@@ -162,6 +198,18 @@ impl ChaosPlan {
         let n_nodes = if rng.random_bool(0.75) { 4 } else { 7 };
         let f = (n_nodes - 1) / 3;
         let block_size = rng.random_range(2..5usize);
+        // Half the plans exercise the batched protocol; a small flush
+        // delay lets bursty op schedules actually fill batches.
+        let max_batch_size = if rng.random_bool(0.5) {
+            1
+        } else {
+            rng.random_range(2..17usize)
+        };
+        let batch_delay_ms = if max_batch_size > 1 {
+            rng.random_range(0..6u64)
+        } else {
+            0
+        };
 
         let n_ops = rng.random_range(10..40usize);
         let mut ops = Vec::with_capacity(n_ops);
@@ -190,8 +238,9 @@ impl ChaosPlan {
         let mut byzantine = Vec::new();
         let mut partition = None;
         let mut island = Vec::new();
+        let mut prepare_loss = None;
         for &node in &budget {
-            match rng.random_range(0..4u32) {
+            match rng.random_range(0..5u32) {
                 // Crash, usually with recovery and disk damage.
                 0 | 1 => {
                     let crash_at = rng.random_range(100..last_op_ms.max(200));
@@ -209,12 +258,22 @@ impl ChaosPlan {
                     });
                 }
                 2 => {
-                    let behavior = match rng.random_range(0..3u32) {
+                    let behavior = match rng.random_range(0..4u32) {
                         0 => ByzBehavior::Silent,
                         1 => ByzBehavior::EquivocatePreprepares,
+                        2 => ByzBehavior::EquivocateBatch,
                         _ => ByzBehavior::FabricateBus,
                     };
                     byzantine.push(ByzPlan { node, behavior });
+                }
+                // Bounded window of lost prepares from this node.
+                3 if prepare_loss.is_none() => {
+                    let start_ms = rng.random_range(100..last_op_ms.max(200));
+                    prepare_loss = Some(PrepareLossPlan {
+                        node,
+                        start_ms,
+                        end_ms: start_ms + rng.random_range(200..900u64),
+                    });
                 }
                 // Partition island member (all budget nodes picking this
                 // arm share one island).
@@ -239,7 +298,7 @@ impl ChaosPlan {
         // An equivocator's victim counts as touched: it stalls.
         let mut touched: BTreeSet<usize> = budget.iter().copied().collect();
         for b in &byzantine {
-            if b.behavior == ByzBehavior::EquivocatePreprepares {
+            if b.behavior.equivocates() {
                 touched.insert(if b.node == n_nodes - 1 {
                     n_nodes - 2
                 } else {
@@ -280,9 +339,12 @@ impl ChaosPlan {
             seed,
             n_nodes,
             block_size,
+            max_batch_size,
+            batch_delay_ms,
             ops,
             crashes,
             partition,
+            prepare_loss,
             byzantine,
             exports,
             net,
@@ -299,6 +361,17 @@ impl ChaosPlan {
     #[must_use]
     pub fn with_mutation(mut self) -> Self {
         self.mutation = true;
+        self
+    }
+
+    /// Forces the batched protocol with the given batch size and a small
+    /// flush delay (sweep harnesses pin this rather than sampling it).
+    #[must_use]
+    pub fn with_max_batch_size(mut self, max_batch_size: usize) -> Self {
+        self.max_batch_size = max_batch_size.max(1);
+        if self.max_batch_size > 1 && self.batch_delay_ms == 0 {
+            self.batch_delay_ms = 2;
+        }
         self
     }
 
@@ -333,12 +406,15 @@ impl ChaosPlan {
         }
         for b in &self.byzantine {
             touched.insert(b.node);
-            if b.behavior == ByzBehavior::EquivocatePreprepares {
+            if b.behavior.equivocates() {
                 touched.insert(self.equivocation_victim(b.node));
             }
         }
         if let Some(p) = &self.partition {
             touched.extend(p.island.iter().copied());
+        }
+        if let Some(pl) = &self.prepare_loss {
+            touched.insert(pl.node);
         }
         if self.mutation {
             touched.insert(0);
@@ -366,6 +442,9 @@ impl ChaosPlan {
         }
         if let Some(p) = &self.partition {
             last = last.max(p.heal_ms);
+        }
+        if let Some(pl) = &self.prepare_loss {
+            last = last.max(pl.end_ms);
         }
         for e in &self.exports {
             last = last.max(e.at_ms);
@@ -397,6 +476,9 @@ mod tests {
             faulty.extend(plan.byzantine.iter().map(|b| b.node));
             if let Some(p) = &plan.partition {
                 faulty.extend(p.island.iter().copied());
+            }
+            if let Some(pl) = &plan.prepare_loss {
+                faulty.insert(pl.node);
             }
             assert!(
                 faulty.len() <= plan.f(),

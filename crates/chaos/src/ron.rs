@@ -13,6 +13,7 @@ use std::fmt::Write as _;
 use crate::executor::ViolationKind;
 use crate::plan::{
     ByzBehavior, ByzPlan, ChaosPlan, CrashPlan, ExportPlan, NetPlan, OpPlan, PartitionPlan,
+    PrepareLossPlan,
 };
 
 /// Current repro file format version.
@@ -27,6 +28,7 @@ fn behavior_str(b: ByzBehavior) -> &'static str {
         ByzBehavior::Silent => "silent",
         ByzBehavior::EquivocatePreprepares => "equivocate-preprepares",
         ByzBehavior::FabricateBus => "fabricate-bus",
+        ByzBehavior::EquivocateBatch => "equivocate-batch",
     }
 }
 
@@ -35,6 +37,7 @@ fn parse_behavior(s: &str) -> Option<ByzBehavior> {
         "silent" => ByzBehavior::Silent,
         "equivocate-preprepares" => ByzBehavior::EquivocatePreprepares,
         "fabricate-bus" => ByzBehavior::FabricateBus,
+        "equivocate-batch" => ByzBehavior::EquivocateBatch,
         _ => return None,
     })
 }
@@ -49,6 +52,8 @@ pub fn write_repro(plan: &ChaosPlan, kind: ViolationKind) -> String {
     let _ = writeln!(out, "        seed: {},", plan.seed);
     let _ = writeln!(out, "        n_nodes: {},", plan.n_nodes);
     let _ = writeln!(out, "        block_size: {},", plan.block_size);
+    let _ = writeln!(out, "        max_batch_size: {},", plan.max_batch_size);
+    let _ = writeln!(out, "        batch_delay_ms: {},", plan.batch_delay_ms);
     let _ = writeln!(out, "        mutation: {},", plan.mutation);
     let _ = writeln!(out, "        ops: [");
     for op in &plan.ops {
@@ -81,6 +86,18 @@ pub fn write_repro(plan: &ChaosPlan, kind: ViolationKind) -> String {
         }
         None => {
             let _ = writeln!(out, "        partition: None,");
+        }
+    }
+    match &plan.prepare_loss {
+        Some(pl) => {
+            let _ = writeln!(
+                out,
+                "        prepare_loss: Some((node: {}, start_ms: {}, end_ms: {})),",
+                pl.node, pl.start_ms, pl.end_ms
+            );
+        }
+        None => {
+            let _ = writeln!(out, "        prepare_loss: None,");
         }
     }
     let _ = writeln!(out, "        byzantine: [");
@@ -394,6 +411,15 @@ fn plan_from_value(value: &Value) -> Result<ChaosPlan, String> {
         }),
         other => return Err(format!("partition: expected option, got {other:?}")),
     };
+    let prepare_loss = match value.field("prepare_loss")? {
+        Value::Opt(None) => None,
+        Value::Opt(Some(pl)) => Some(PrepareLossPlan {
+            node: pl.field("node")?.as_u64("prepare_loss.node")? as usize,
+            start_ms: pl.field("start_ms")?.as_u64("prepare_loss.start_ms")?,
+            end_ms: pl.field("end_ms")?.as_u64("prepare_loss.end_ms")?,
+        }),
+        other => return Err(format!("prepare_loss: expected option, got {other:?}")),
+    };
     let byzantine = value
         .field("byzantine")?
         .as_list("byzantine")?
@@ -424,9 +450,12 @@ fn plan_from_value(value: &Value) -> Result<ChaosPlan, String> {
         seed: value.field("seed")?.as_u64("seed")?,
         n_nodes: value.field("n_nodes")?.as_u64("n_nodes")? as usize,
         block_size: value.field("block_size")?.as_u64("block_size")? as usize,
+        max_batch_size: value.field("max_batch_size")?.as_u64("max_batch_size")? as usize,
+        batch_delay_ms: value.field("batch_delay_ms")?.as_u64("batch_delay_ms")?,
         ops,
         crashes,
         partition,
+        prepare_loss,
         byzantine,
         exports,
         net: NetPlan {

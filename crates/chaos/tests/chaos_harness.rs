@@ -46,6 +46,43 @@ fn honest_seed_bank_extended() {
     }
 }
 
+/// The batched protocol under the same invariant battery: every seed is
+/// forced onto `max_batch_size > 1`, and I1–I8 must hold for every
+/// request *inside* each batch (the invariant hooks observe per-request
+/// decides, so one bad unpacking shows up as a decide conflict or a
+/// liveness loss).
+#[test]
+fn batched_seed_bank_has_no_violations() {
+    for seed in 0..SEED_BANK {
+        let plan = ChaosPlan::generate(seed).with_max_batch_size(2 + (seed as usize % 15));
+        let outcome = execute(&plan);
+        assert!(
+            outcome.violation.is_none(),
+            "seed {seed} (batch {}) violated an invariant: {}\nplan: {plan:#?}",
+            plan.max_batch_size,
+            outcome.violation.unwrap(),
+        );
+        assert!(outcome.blocks_created > 0, "seed {seed} created no blocks");
+    }
+}
+
+/// The 128-seed batched smoke sweep the chaos-smoke CI job runs in
+/// release mode.
+#[test]
+#[ignore = "release-mode sweep; run explicitly or via the chaos-smoke CI job"]
+fn batched_seed_bank_extended() {
+    for seed in 0..128 {
+        let plan = ChaosPlan::generate(seed).with_max_batch_size(2 + (seed as usize % 15));
+        let outcome = execute(&plan);
+        assert!(
+            outcome.violation.is_none(),
+            "seed {seed} (batch {}) violated an invariant: {}",
+            plan.max_batch_size,
+            outcome.violation.unwrap(),
+        );
+    }
+}
+
 #[test]
 fn execution_is_deterministic() {
     for seed in [3, 11, 17] {
@@ -73,8 +110,11 @@ fn honest_baseline(seed: u64, n_ops: usize) -> ChaosPlan {
                 size: 32,
             })
             .collect(),
+        max_batch_size: 1,
+        batch_delay_ms: 0,
         crashes: Vec::new(),
         partition: None,
+        prepare_loss: None,
         byzantine: Vec::new(),
         exports: Vec::new(),
         net: NetPlan::RELIABLE,

@@ -219,6 +219,22 @@ impl BaselineNode {
                         id: TimerId::ViewChange(view),
                     });
                 }
+                Effect::SetTimer {
+                    id: ReplicaTimer::BatchFlush,
+                    duration_ms,
+                } => {
+                    self.effects.push(Effect::SetTimer {
+                        id: TimerId::BatchFlush,
+                        duration_ms,
+                    });
+                }
+                Effect::CancelTimer {
+                    id: ReplicaTimer::BatchFlush,
+                } => {
+                    self.effects.push(Effect::CancelTimer {
+                        id: TimerId::BatchFlush,
+                    });
+                }
                 Effect::Output(ReplicaEvent::Decide { sn, request }) => {
                     self.on_decide(sn, request);
                 }
@@ -314,6 +330,10 @@ impl TrainNode for BaselineNode {
             }
             TimerId::ViewChange(view) => {
                 self.replica.on_timer(ReplicaTimer::ViewChange(view));
+                self.pump_replica();
+            }
+            TimerId::BatchFlush => {
+                self.replica.on_timer(ReplicaTimer::BatchFlush);
                 self.pump_replica();
             }
         }

@@ -199,6 +199,8 @@ pub enum TimerId {
     Hard(Digest),
     /// PBFT view-change timer for the given target view.
     ViewChange(u64),
+    /// PBFT partial-batch flush timer (primary only).
+    BatchFlush,
 }
 
 impl TimerId {
@@ -206,7 +208,7 @@ impl TimerId {
     pub fn digest(&self) -> Option<Digest> {
         match self {
             TimerId::Soft(d) | TimerId::Hard(d) => Some(*d),
-            TimerId::ViewChange(_) => None,
+            TimerId::ViewChange(_) | TimerId::BatchFlush => None,
         }
     }
 }
@@ -257,5 +259,6 @@ mod tests {
         assert_eq!(TimerId::Soft(digest).digest(), Some(digest));
         assert_eq!(TimerId::Hard(digest).digest(), Some(digest));
         assert_eq!(TimerId::ViewChange(3).digest(), None);
+        assert_eq!(TimerId::BatchFlush.digest(), None);
     }
 }

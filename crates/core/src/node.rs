@@ -171,6 +171,13 @@ pub trait TrainNode {
     /// Number of open (undecided) requests this node is tracking.
     fn open_requests(&self) -> usize;
 
+    /// Number of origins currently holding an open-request rate-limit
+    /// slot; returns to zero once every request decides. The baseline
+    /// has no rate limiter and always reports zero.
+    fn open_origins(&self) -> usize {
+        0
+    }
+
     /// The underlying PBFT replica's counters.
     fn consensus_stats(&self) -> zugchain_pbft::ReplicaStats;
 
@@ -226,6 +233,9 @@ impl<N: TrainNode + ?Sized> TrainNode for Box<N> {
     }
     fn open_requests(&self) -> usize {
         (**self).open_requests()
+    }
+    fn open_origins(&self) -> usize {
+        (**self).open_origins()
     }
     fn consensus_stats(&self) -> zugchain_pbft::ReplicaStats {
         (**self).consensus_stats()
@@ -397,9 +407,7 @@ impl ZugchainNode {
             for request in &block.requests {
                 dedup.record(request.payload_digest(), request.sn);
                 if let Some(pending) = self.pending.remove(&request.payload_digest()) {
-                    if let Some(open) = self.open_by_origin.get_mut(&pending.request.origin) {
-                        open.remove(&request.payload_digest());
-                    }
+                    self.release_open_slot(pending.request.origin, &request.payload_digest());
                     self.effects.push(Effect::CancelTimer {
                         id: TimerId::Soft(request.payload_digest()),
                     });
@@ -444,6 +452,26 @@ impl ZugchainNode {
         self.pending.len()
     }
 
+    /// Number of origins currently holding a rate-limit slot. Bounded by
+    /// the group size when slots are released correctly.
+    pub fn open_origins(&self) -> usize {
+        self.open_by_origin.len()
+    }
+
+    /// Releases `digest`'s per-origin rate-limit slot, dropping the
+    /// origin's entry entirely once it empties — otherwise the map keeps
+    /// one `HashSet` per origin ever seen and grows forever.
+    fn release_open_slot(&mut self, origin: NodeId, digest: &Digest) {
+        if let std::collections::hash_map::Entry::Occupied(mut open) =
+            self.open_by_origin.entry(origin)
+        {
+            open.get_mut().remove(digest);
+            if open.get().is_empty() {
+                open.remove();
+            }
+        }
+    }
+
     /// Algorithm 1, `upon RECEIVE(req)` (ln. 5–11).
     fn handle_local_request(&mut self, payload: Vec<u8>) {
         let digest = Digest::of(&payload);
@@ -484,10 +512,7 @@ impl ZugchainNode {
 
         // ln. 13–16: clear queue entry and any timers.
         if let Some(pending) = self.pending.remove(&digest) {
-            let origin = pending.request.origin;
-            if let Some(open) = self.open_by_origin.get_mut(&origin) {
-                open.remove(&digest);
-            }
+            self.release_open_slot(pending.request.origin, &digest);
             self.effects.push(Effect::CancelTimer {
                 id: TimerId::Soft(digest),
             });
@@ -716,6 +741,22 @@ impl ZugchainNode {
                         id: TimerId::ViewChange(view),
                     });
                 }
+                Effect::SetTimer {
+                    id: ReplicaTimer::BatchFlush,
+                    duration_ms,
+                } => {
+                    self.effects.push(Effect::SetTimer {
+                        id: TimerId::BatchFlush,
+                        duration_ms,
+                    });
+                }
+                Effect::CancelTimer {
+                    id: ReplicaTimer::BatchFlush,
+                } => {
+                    self.effects.push(Effect::CancelTimer {
+                        id: TimerId::BatchFlush,
+                    });
+                }
                 Effect::Output(ReplicaEvent::Decide { sn, request }) => {
                     self.on_decide(sn, request);
                 }
@@ -843,6 +884,10 @@ impl TrainNode for ZugchainNode {
                 self.replica.on_timer(ReplicaTimer::ViewChange(view));
                 self.pump_replica();
             }
+            TimerId::BatchFlush => {
+                self.replica.on_timer(ReplicaTimer::BatchFlush);
+                self.pump_replica();
+            }
         }
     }
 
@@ -868,6 +913,10 @@ impl TrainNode for ZugchainNode {
 
     fn open_requests(&self) -> usize {
         self.pending.len()
+    }
+
+    fn open_origins(&self) -> usize {
+        self.open_by_origin.len()
     }
 
     fn consensus_stats(&self) -> zugchain_pbft::ReplicaStats {

@@ -228,14 +228,11 @@ fn ordered_duplicate_from_faulty_primary_triggers_suspicion() {
     let payload = b"duplicated-by-primary".to_vec();
     let order_at = |sn: u64| {
         let request = ProposedRequest::application(payload.clone(), NodeId(0));
-        let digest = request.digest();
+        let batch = zugchain_pbft::ProposedBatch::single(request);
+        let digest = batch.digest();
         let mut messages = vec![SignedMessage::sign(
             NodeId(0),
-            Message::PrePrepare(PrePrepare {
-                view: 0,
-                sn,
-                request,
-            }),
+            Message::PrePrepare(PrePrepare { view: 0, sn, batch }),
             &pairs[0],
         )];
         for id in [1u64, 2] {
@@ -363,6 +360,119 @@ fn stats_expose_bus_and_log_counters() {
     assert_eq!(stats.bus_requests, 1);
     assert_eq!(stats.logged, 1);
     assert_eq!(stats.blocks_created, 0);
+}
+
+/// Regression for the `open_by_origin` leak: once every request from an
+/// origin decides, the origin's rate-limit entry must disappear — not
+/// linger as an empty `HashSet` — so the map stays bounded no matter how
+/// many requests flow through.
+#[test]
+fn origin_rate_slots_drain_to_zero_over_ten_thousand_requests() {
+    let mut config = crate::NodeConfig::default_for_testing().with_block_size(4);
+    // Full batches of one rate-limit window flush without timers.
+    config.pbft = config.pbft.with_max_batch_size(8);
+    let limit = config.open_request_limit;
+    assert_eq!(limit, 8, "waves below assume the testing limit");
+    let mut cluster = Cluster::zugchain_with_config(4, config);
+
+    let waves = 10_000 / limit;
+    for wave in 0..waves {
+        for i in 0..limit {
+            let payload = ((wave * limit + i) as u32).to_le_bytes().to_vec();
+            let request = ProposedRequest::application(payload, NodeId(3));
+            let signed = SignedRequest::sign(request, &cluster.pairs[3]);
+            for node in 0..3 {
+                cluster.node_mut(node).on_message(NodeMessage::Layer(
+                    LayerMessage::BroadcastRequest(signed.clone()),
+                ));
+            }
+        }
+        cluster.run_until_quiet();
+        for node in 0..3 {
+            assert_eq!(
+                cluster.node(node).open_origins(),
+                0,
+                "node {node} still holds origin entries after wave {wave}"
+            );
+        }
+    }
+    for node in 0..4 {
+        assert_eq!(cluster.logged_payload_count(node), waves * limit);
+        assert_eq!(cluster.node(node).stats().rate_limited, 0);
+    }
+}
+
+/// Regression for the `open_by_origin` leak on the state-transfer path:
+/// a node that recovers via `install_transfer` must release the decided
+/// requests' rate-limit slots, or the crashed-and-recovered origin stays
+/// rate-limited forever.
+#[test]
+fn crash_recovered_origin_can_broadcast_again() {
+    let config = crate::NodeConfig::default_for_testing().with_block_size(4);
+    let limit = config.open_request_limit;
+    let mut cluster = Cluster::zugchain_with_config(4, config.clone());
+
+    // Origin 3 broadcasts one full rate-limit window of requests.
+    let signed: Vec<SignedRequest> = (0..limit)
+        .map(|i| {
+            let request = ProposedRequest::application(vec![i as u8; 16], NodeId(3));
+            SignedRequest::sign(request, &cluster.pairs[3])
+        })
+        .collect();
+    for request in &signed {
+        for node in 0..3 {
+            cluster
+                .node_mut(node)
+                .on_message(NodeMessage::Layer(LayerMessage::BroadcastRequest(
+                    request.clone(),
+                )));
+        }
+    }
+    cluster.run_until_quiet();
+    assert_eq!(cluster.node(0).chain().height(), 2, "two blocks formed");
+
+    // A standalone replica of node 1 saw the broadcasts but missed every
+    // decide (crashed mid-run): its slots for origin 3 are all taken.
+    let mut node = crate::ZugchainNode::new(
+        1,
+        config,
+        zugchain_mvb::Nsdb::jru_default(),
+        cluster.pairs[1].clone(),
+        cluster.keystore.clone(),
+    );
+    for request in &signed {
+        node.on_message(NodeMessage::Layer(LayerMessage::BroadcastRequest(
+            request.clone(),
+        )));
+    }
+    let _ = node.drain_effects();
+    let extra = SignedRequest::sign(
+        ProposedRequest::application(b"one-too-many".to_vec(), NodeId(3)),
+        &cluster.pairs[3],
+    );
+    node.on_message(NodeMessage::Layer(LayerMessage::BroadcastRequest(extra)));
+    assert_eq!(node.stats().rate_limited, 1, "window is full");
+
+    // Recovery: install the chain + checkpoint proofs from a live node.
+    node.install_transfer(
+        cluster.node(0).chain().clone(),
+        cluster.node(0).stable_proofs().to_vec(),
+    );
+    let _ = node.drain_effects();
+    assert_eq!(
+        TrainNode::open_origins(&node),
+        0,
+        "decided requests must release their origin's entry"
+    );
+
+    // The recovered origin can broadcast again.
+    let fresh = SignedRequest::sign(
+        ProposedRequest::application(b"after-recovery".to_vec(), NodeId(3)),
+        &cluster.pairs[3],
+    );
+    node.on_message(NodeMessage::Layer(LayerMessage::BroadcastRequest(fresh)));
+    assert_eq!(node.stats().rate_limited, 1, "no new drop after recovery");
+    assert_eq!(TrainNode::open_origins(&node), 1);
 }
 
 #[test]

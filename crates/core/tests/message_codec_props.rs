@@ -12,7 +12,7 @@ use zugchain::{LayerMessage, NodeMessage, SignedRequest};
 use zugchain_crypto::{Digest, KeyPair, Keystore};
 use zugchain_pbft::{
     Checkpoint, CheckpointProof, Message, NewView, NodeId, PrePrepare, Prepare, PreparedCert,
-    ProposedRequest, SignedMessage, ViewChange,
+    ProposedBatch, ProposedRequest, SignedMessage, ViewChange,
 };
 use zugchain_wire::{from_bytes, to_bytes, Decode, Encode};
 
@@ -63,10 +63,17 @@ fn pbft_messages(
     let origin = NodeId(payload.len() as u64 % keys.len() as u64);
     let request = ProposedRequest::application(payload.to_vec(), origin).with_time(time_ms);
     let digest = Digest::of(payload);
+    // A multi-request batch, so the length-prefixed batch codec is part
+    // of the property.
+    let batch = ProposedBatch::new(vec![
+        request.clone(),
+        ProposedRequest::noop(origin),
+        ProposedRequest::application(payload.to_vec(), NodeId(0)),
+    ]);
     let preprepare = PrePrepare {
         view,
         sn,
-        request: request.clone(),
+        batch: batch.clone(),
     };
     let checkpoint = Checkpoint {
         sn,
@@ -83,7 +90,7 @@ fn pbft_messages(
     let prepared = PreparedCert {
         view,
         sn,
-        request: request.clone(),
+        batch,
         prepare_signatures: vec![(NodeId(1), keys[1].sign(payload))],
     };
     let full_vc = ViewChange {

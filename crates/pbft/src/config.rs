@@ -13,6 +13,20 @@ pub struct Config {
     /// change before escalating to the next view, in milliseconds. The
     /// replica arms this timer itself via `Effect::SetTimer`.
     pub view_change_timeout_ms: u64,
+    /// Maximum requests bundled under one preprepare. `1` (the default)
+    /// reproduces the unbatched protocol exactly; larger values amortize
+    /// one three-phase round over up to this many requests.
+    pub max_batch_size: usize,
+    /// How long a partially filled batch may wait for more requests
+    /// before the primary flushes it, in milliseconds. `0` (the default)
+    /// flushes at the next timer edge, keeping light-load latency
+    /// essentially unchanged.
+    pub batch_delay_ms: u64,
+    /// Capacity of the future-view message buffer. When full, the
+    /// highest-view buffered message is evicted first, so messages for
+    /// the nearest future views — the ones needed to make progress after
+    /// a partition heals — survive.
+    pub max_buffered_messages: usize,
 }
 
 /// Error constructing a [`Config`] with too few replicas.
@@ -50,6 +64,9 @@ impl Config {
             f: (n - 1) / 3,
             watermark_window: 256,
             view_change_timeout_ms: 500,
+            max_batch_size: 1,
+            batch_delay_ms: 0,
+            max_buffered_messages: 8192,
         })
     }
 
@@ -64,6 +81,27 @@ impl Config {
     #[must_use]
     pub fn with_view_change_timeout(mut self, timeout_ms: u64) -> Self {
         self.view_change_timeout_ms = timeout_ms;
+        self
+    }
+
+    /// Overrides the maximum batch size (values below 1 are clamped to 1).
+    #[must_use]
+    pub fn with_max_batch_size(mut self, max_batch_size: usize) -> Self {
+        self.max_batch_size = max_batch_size.max(1);
+        self
+    }
+
+    /// Overrides the partial-batch flush delay.
+    #[must_use]
+    pub fn with_batch_delay(mut self, delay_ms: u64) -> Self {
+        self.batch_delay_ms = delay_ms;
+        self
+    }
+
+    /// Overrides the future-view buffer capacity.
+    #[must_use]
+    pub fn with_max_buffered_messages(mut self, capacity: usize) -> Self {
+        self.max_buffered_messages = capacity.max(1);
         self
     }
 
@@ -102,6 +140,35 @@ mod tests {
         assert_eq!(config.quorum(), 3);
         assert_eq!(config.prepare_quorum(), 2);
         assert_eq!(config.suspicion_quorum(), 2);
+    }
+
+    #[test]
+    fn batching_defaults_to_unbatched_protocol() {
+        let config = Config::new(4).unwrap();
+        assert_eq!(config.max_batch_size, 1);
+        assert_eq!(config.batch_delay_ms, 0);
+        assert_eq!(
+            Config::new(4)
+                .unwrap()
+                .with_max_batch_size(0)
+                .max_batch_size,
+            1
+        );
+        assert_eq!(
+            Config::new(4)
+                .unwrap()
+                .with_max_batch_size(16)
+                .with_batch_delay(5)
+                .batch_delay_ms,
+            5
+        );
+        assert_eq!(
+            Config::new(4)
+                .unwrap()
+                .with_max_buffered_messages(64)
+                .max_buffered_messages,
+            64
+        );
     }
 
     #[test]

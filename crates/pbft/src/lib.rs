@@ -82,4 +82,4 @@ pub use messages::{
     SignedMessage, ViewChange,
 };
 pub use replica::{Replica, ReplicaEffect, ReplicaEvent, ReplicaInput, ReplicaStats, ReplicaTimer};
-pub use types::{NodeId, ProposedRequest, RequestKind};
+pub use types::{NodeId, ProposedBatch, ProposedRequest, RequestKind, MAX_WIRE_BATCH_LEN};

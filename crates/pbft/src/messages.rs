@@ -1,25 +1,36 @@
 use zugchain_crypto::{Digest, KeyPair, Keystore, Signature};
 use zugchain_wire::{decode_seq, encode_seq, Decode, Encode, Reader, WireError, Writer};
 
-use crate::{NodeId, ProposedRequest};
+use crate::{NodeId, ProposedBatch};
 
-/// The primary's proposal assigning sequence number `sn` to a request in
-/// `view` (PBFT preprepare phase).
+/// The primary's proposal assigning a run of sequence numbers to a batch
+/// of requests in `view` (PBFT preprepare phase).
+///
+/// The batch's `i`-th request takes sequence number `sn + i`; the whole
+/// run `sn ..= end_sn` is agreed by one three-phase round certifying the
+/// batch digest.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PrePrepare {
     /// View in which the proposal is made.
     pub view: u64,
-    /// Assigned sequence number.
+    /// Sequence number assigned to the batch's first request.
     pub sn: u64,
-    /// The proposed request.
-    pub request: ProposedRequest,
+    /// The proposed batch.
+    pub batch: ProposedBatch,
+}
+
+impl PrePrepare {
+    /// Sequence number of the batch's last request (inclusive).
+    pub fn end_sn(&self) -> u64 {
+        self.sn + self.batch.len() as u64 - 1
+    }
 }
 
 impl Encode for PrePrepare {
     fn encode(&self, w: &mut Writer) {
         w.write_u64(self.view);
         w.write_u64(self.sn);
-        self.request.encode(w);
+        self.batch.encode(w);
     }
 }
 
@@ -28,7 +39,7 @@ impl Decode for PrePrepare {
         Ok(PrePrepare {
             view: r.read_u64()?,
             sn: r.read_u64()?,
-            request: ProposedRequest::decode(r)?,
+            batch: ProposedBatch::decode(r)?,
         })
     }
 }
@@ -39,9 +50,9 @@ impl Decode for PrePrepare {
 pub struct Prepare {
     /// View of the confirmed proposal.
     pub view: u64,
-    /// Sequence number of the confirmed proposal.
+    /// Base sequence number of the confirmed proposal.
     pub sn: u64,
-    /// Digest of the confirmed request.
+    /// Digest of the confirmed batch.
     pub digest: Digest,
 }
 
@@ -69,9 +80,9 @@ impl Decode for Prepare {
 pub struct Commit {
     /// View of the committed proposal.
     pub view: u64,
-    /// Sequence number of the committed proposal.
+    /// Base sequence number of the committed proposal.
     pub sn: u64,
-    /// Digest of the committed request.
+    /// Digest of the committed batch.
     pub digest: Digest,
 }
 
@@ -192,31 +203,36 @@ impl Decode for CheckpointProof {
     }
 }
 
-/// Evidence that `(view, sn, request)` was prepared: the request itself
+/// Evidence that `(view, sn, batch)` was prepared: the batch itself
 /// plus 2f prepare signatures, carried in view-change messages so the new
-/// primary can re-propose in-flight requests.
+/// primary can re-propose in-flight batches bit-identically.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PreparedCert {
-    /// View in which the request prepared.
+    /// View in which the batch prepared.
     pub view: u64,
-    /// Sequence number of the prepared request.
+    /// Base sequence number of the prepared batch.
     pub sn: u64,
-    /// The prepared request (full payload, so the new primary can
+    /// The prepared batch (full payloads, so the new primary can
     /// re-propose it even if it never saw the original preprepare).
-    pub request: ProposedRequest,
+    pub batch: ProposedBatch,
     /// Prepare signatures from distinct backups over the canonical
     /// encoding of the matching [`Prepare`].
     pub prepare_signatures: Vec<(NodeId, Signature)>,
 }
 
 impl PreparedCert {
+    /// Sequence number of the batch's last request (inclusive).
+    pub fn end_sn(&self) -> u64 {
+        self.sn + self.batch.len() as u64 - 1
+    }
+
     /// Verifies the certificate: at least `prepare_quorum` distinct valid
-    /// prepare signatures matching this view/sn/request digest.
+    /// prepare signatures matching this view/sn/batch digest.
     pub fn verify(&self, keystore: &Keystore, prepare_quorum: usize) -> bool {
         let prepare = Prepare {
             view: self.view,
             sn: self.sn,
-            digest: self.request.digest(),
+            digest: self.batch.digest(),
         };
         let message = zugchain_wire::to_bytes(&Message::Prepare(prepare));
         let mut seen = std::collections::BTreeSet::new();
@@ -237,7 +253,7 @@ impl Encode for PreparedCert {
     fn encode(&self, w: &mut Writer) {
         w.write_u64(self.view);
         w.write_u64(self.sn);
-        self.request.encode(w);
+        self.batch.encode(w);
         w.write_varint(self.prepare_signatures.len() as u64);
         for (signer, signature) in &self.prepare_signatures {
             signer.encode(w);
@@ -250,7 +266,7 @@ impl Decode for PreparedCert {
     fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
         let view = r.read_u64()?;
         let sn = r.read_u64()?;
-        let request = ProposedRequest::decode(r)?;
+        let batch = ProposedBatch::decode(r)?;
         let count = r.read_varint()?;
         if count > 1024 {
             return Err(WireError::LengthLimitExceeded {
@@ -265,7 +281,7 @@ impl Decode for PreparedCert {
         Ok(PreparedCert {
             view,
             sn,
-            request,
+            batch,
             prepare_signatures,
         })
     }
@@ -484,10 +500,18 @@ impl Decode for SignedMessage {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::ProposedRequest;
     use zugchain_crypto::Keystore;
 
     fn request() -> ProposedRequest {
         ProposedRequest::application(vec![7; 32], NodeId(1))
+    }
+
+    fn batch() -> ProposedBatch {
+        ProposedBatch::new(vec![
+            request(),
+            ProposedRequest::application(vec![8; 16], NodeId(2)),
+        ])
     }
 
     #[test]
@@ -496,17 +520,17 @@ mod tests {
             Message::PrePrepare(PrePrepare {
                 view: 1,
                 sn: 2,
-                request: request(),
+                batch: batch(),
             }),
             Message::Prepare(Prepare {
                 view: 1,
                 sn: 2,
-                digest: request().digest(),
+                digest: batch().digest(),
             }),
             Message::Commit(Commit {
                 view: 1,
                 sn: 2,
-                digest: request().digest(),
+                digest: batch().digest(),
             }),
             Message::Checkpoint(Checkpoint {
                 sn: 10,
@@ -519,7 +543,7 @@ mod tests {
                 prepared: vec![PreparedCert {
                     view: 2,
                     sn: 11,
-                    request: request(),
+                    batch: batch(),
                     prepare_signatures: vec![],
                 }],
             }),
@@ -529,7 +553,7 @@ mod tests {
                 preprepares: vec![PrePrepare {
                     view: 3,
                     sn: 11,
-                    request: ProposedRequest::noop(NodeId(3)),
+                    batch: ProposedBatch::single(ProposedRequest::noop(NodeId(3))),
                 }],
             }),
         ];
@@ -599,28 +623,29 @@ mod tests {
     #[test]
     fn prepared_cert_verification() {
         let (pairs, keystore) = Keystore::generate(4, 0);
-        let request = request();
+        let batch = batch();
         let prepare = Prepare {
             view: 1,
             sn: 5,
-            digest: request.digest(),
+            digest: batch.digest(),
         };
         let message = zugchain_wire::to_bytes(&Message::Prepare(prepare));
         let cert = PreparedCert {
             view: 1,
             sn: 5,
-            request,
+            batch,
             prepare_signatures: vec![
                 (NodeId(1), pairs[1].sign(&message)),
                 (NodeId(2), pairs[2].sign(&message)),
             ],
         };
+        assert_eq!(cert.end_sn(), 6, "two-request batch spans sn 5..=6");
         assert!(cert.verify(&keystore, 2));
         assert!(!cert.verify(&keystore, 3));
 
-        // A cert over a different request does not verify.
+        // A cert over a different batch does not verify.
         let mut wrong = cert;
-        wrong.request = ProposedRequest::application(vec![1], NodeId(0));
+        wrong.batch = ProposedBatch::single(ProposedRequest::application(vec![1], NodeId(0)));
         assert!(!wrong.verify(&keystore, 2));
     }
 }

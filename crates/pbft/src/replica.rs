@@ -6,7 +6,7 @@ use zugchain_machine::{Effect, Machine};
 use crate::messages::Commit;
 use crate::{
     Checkpoint, CheckpointProof, Config, Message, NewView, NodeId, PrePrepare, Prepare,
-    PreparedCert, ProposedRequest, SignedMessage, ViewChange,
+    PreparedCert, ProposedBatch, ProposedRequest, SignedMessage, ViewChange,
 };
 
 /// The replica's timer vocabulary.
@@ -15,6 +15,9 @@ pub enum ReplicaTimer {
     /// Waiting for the `NewView` of this target view; on expiry the
     /// replica escalates to the next view.
     ViewChange(u64),
+    /// A partially filled batch is waiting on the primary; on expiry the
+    /// primary flushes it so light load never waits for a full batch.
+    BatchFlush,
 }
 
 /// An application up-call of the replica state machine (Table I ①).
@@ -104,22 +107,28 @@ pub struct ReplicaStats {
     pub ignored: u64,
     /// Requests decided.
     pub decided: u64,
+    /// Batches decided — `decided / batches_decided` is the mean batch
+    /// occupancy actually agreed, the quantity the batching trade-off is
+    /// tuned by.
+    pub batches_decided: u64,
     /// View changes completed.
     pub view_changes: u64,
 }
 
-/// Per-sequence-number ordering state.
+/// Ordering state for one batch, keyed by its base sequence number; the
+/// batch occupies `sn ..= preprepare.end_sn()`.
 #[derive(Debug, Default)]
 struct Slot {
     /// Accepted preprepare for the current view.
     preprepare: Option<PrePrepare>,
-    /// Request digest of the accepted preprepare, hashed once on accept
-    /// and reused by every quorum check instead of re-hashing the request
+    /// Batch digest of the accepted preprepare, hashed once on accept
+    /// and reused by every quorum check instead of re-hashing the batch
     /// per prepare/commit arrival.
-    request_digest: Option<Digest>,
-    /// Payload content digest of the accepted preprepare, cached for the
-    /// in-flight lookups the ZugChain layer performs per open request.
-    payload_digest: Option<Digest>,
+    batch_digest: Option<Digest>,
+    /// Payload content digests of the accepted preprepare's requests, in
+    /// batch order — cached for the in-flight lookups the ZugChain layer
+    /// performs per open request.
+    payload_digests: Vec<Digest>,
     /// Prepare votes: sender → (digest, signature over the prepare).
     prepares: BTreeMap<NodeId, (Digest, Signature)>,
     /// Commit votes: sender → digest.
@@ -188,6 +197,9 @@ pub struct Replica {
     /// view it is waiting on), if any. The replica owns this bookkeeping
     /// so every runtime gets identical escalation behaviour for free.
     armed_vc_timer: Option<u64>,
+    /// Primary only: whether a [`ReplicaTimer::BatchFlush`] is armed for
+    /// a partially filled batch sitting in the backlog.
+    armed_batch_timer: bool,
     effects: Vec<ReplicaEffect>,
     stats: ReplicaStats,
     /// Mutation hook (chaos harness only): when set, this replica
@@ -195,11 +207,6 @@ pub struct Replica {
     #[cfg(feature = "mutation-hooks")]
     equivocate: bool,
 }
-
-/// Upper bound on buffered out-of-view ordering messages; beyond this the
-/// oldest are dropped (state transfer recovers if anything important is
-/// lost).
-const MAX_BUFFERED_MESSAGES: usize = 8192;
 
 impl Replica {
     /// Creates a replica in view 0.
@@ -232,6 +239,7 @@ impl Replica {
             view_change_votes: BTreeMap::new(),
             buffered: VecDeque::new(),
             armed_vc_timer: None,
+            armed_batch_timer: false,
             effects: Vec::new(),
             stats: ReplicaStats::default(),
             #[cfg(feature = "mutation-hooks")]
@@ -350,7 +358,7 @@ impl Replica {
     pub fn has_in_flight_payload(&self, digest: &Digest) -> bool {
         self.slots
             .values()
-            .any(|slot| !slot.decided && slot.payload_digest.as_ref() == Some(digest))
+            .any(|slot| !slot.decided && slot.payload_digests.contains(digest))
     }
 
     /// Statistics counters.
@@ -367,7 +375,7 @@ impl Replica {
             .map(|slot| {
                 slot.preprepare
                     .as_ref()
-                    .map_or(0, |pp| pp.request.payload.len() + 128)
+                    .map_or(0, |pp| pp.batch.payload_bytes() + 128)
                     + (slot.prepares.len() + slot.commits.len()) * 104
             })
             .sum();
@@ -403,35 +411,58 @@ impl Replica {
     /// Only meaningful on the primary; backups' proposals are silently
     /// buffered until they become primary (the ZugChain layer routes
     /// proposals to the primary, so this is a defensive backstop).
+    ///
+    /// The primary accumulates open requests and assigns one batch of up
+    /// to [`Config::max_batch_size`] per base sequence number. Full
+    /// batches flush immediately; a partial batch flushes after
+    /// [`Config::batch_delay_ms`], so latency under light load is
+    /// unchanged (with a batch size of 1 every proposal is a full batch
+    /// and the timer is never armed).
     pub fn propose(&mut self, request: ProposedRequest) {
-        if !self.is_primary() || self.in_view_change() {
-            self.backlog.push_back(request);
-            return;
-        }
         self.backlog.push_back(request);
-        self.drain_backlog();
+        if self.is_primary() && !self.in_view_change() {
+            self.flush_backlog(false);
+        }
     }
 
-    fn drain_backlog(&mut self) {
-        while let Some(request) = self.backlog.front() {
-            let sn = self.next_sn;
-            if sn > self.low_watermark + self.config.watermark_window {
-                // No headroom: wait for a checkpoint to advance the window.
+    /// Proposes backlog requests as batches. Only full batches flush
+    /// unless `force_partial` (the batch-delay timer fired); a leftover
+    /// partial batch arms the flush timer.
+    fn flush_backlog(&mut self, force_partial: bool) {
+        let window_end = self.low_watermark + self.config.watermark_window;
+        while !self.backlog.is_empty() {
+            let base = self.next_sn;
+            if base > window_end {
+                // No headroom: wait for a checkpoint to advance the
+                // window (stabilize re-flushes; no point spinning the
+                // flush timer until then).
+                return;
+            }
+            let headroom = (window_end - base + 1) as usize;
+            let max = self.config.max_batch_size.max(1).min(headroom);
+            if self.backlog.len() < max && !force_partial {
                 break;
             }
-            let request = request.clone();
-            self.backlog.pop_front();
-            self.next_sn += 1;
+            let take = max.min(self.backlog.len());
+            let batch = ProposedBatch::new(self.backlog.drain(..take).collect());
+            self.next_sn = base + batch.len() as u64;
             let preprepare = PrePrepare {
                 view: self.view,
-                sn,
-                request,
+                sn: base,
+                batch,
             };
             // Record locally, then broadcast to the backups.
             self.accept_preprepare(preprepare.clone());
             #[cfg(feature = "mutation-hooks")]
             self.maybe_equivocate(&preprepare);
             self.broadcast(Message::PrePrepare(preprepare));
+        }
+        if !self.backlog.is_empty() && !self.armed_batch_timer {
+            self.armed_batch_timer = true;
+            self.effects.push(Effect::SetTimer {
+                id: ReplicaTimer::BatchFlush,
+                duration_ms: self.config.batch_delay_ms,
+            });
         }
     }
 
@@ -459,12 +490,16 @@ impl Replica {
             .map(NodeId)
             .find(|id| *id != self.id)
             .expect("groups have n >= 4 replicas");
-        let mut request = preprepare.request.clone();
-        request.payload.push(0xE0);
+        let mut requests = preprepare.batch.requests().to_vec();
+        requests
+            .last_mut()
+            .expect("batches are never empty")
+            .payload
+            .push(0xE0);
         let conflicting = PrePrepare {
             view: preprepare.view,
             sn: preprepare.sn,
-            request,
+            batch: ProposedBatch::new(requests),
         };
         let signed = self.sign(Message::PrePrepare(conflicting));
         self.effects.push(Effect::Send {
@@ -552,8 +587,15 @@ impl Replica {
         }
         self.low_watermark = sn;
         self.last_stable_proof = Some(proof.clone());
-        // Garbage collect ordering state covered by the checkpoint.
-        self.slots.retain(|slot_sn, _| *slot_sn > sn);
+        // Garbage collect ordering state covered by the checkpoint. A
+        // slot is covered only when its whole *range* is: a batch
+        // straddling the checkpoint still owes decides above it.
+        self.slots.retain(|slot_sn, slot| {
+            slot.preprepare
+                .as_ref()
+                .map_or(*slot_sn, PrePrepare::end_sn)
+                > sn
+        });
         self.checkpoints.retain(|cp_sn, _| *cp_sn > sn);
         if self.decided_up_to < sn {
             // We missed decides that the quorum already checkpointed.
@@ -571,7 +613,7 @@ impl Replica {
             .push(Effect::Output(ReplicaEvent::StableCheckpoint { proof }));
         // The window may have opened: the primary can propose backlog.
         if self.is_primary() && !self.in_view_change() {
-            self.drain_backlog();
+            self.flush_backlog(false);
         }
     }
 
@@ -599,19 +641,39 @@ impl Replica {
         self.dispatch(message);
     }
 
-    /// Routes one verified message, buffering ordering traffic that this
-    /// replica cannot act on yet (mid-view-change, or for a future view).
-    fn dispatch(&mut self, message: SignedMessage) {
-        let ordering_view = match &message.message {
+    /// The view an ordering message belongs to (`None` for view-change
+    /// and checkpoint traffic, which is never buffered).
+    fn ordering_view(message: &Message) -> Option<u64> {
+        match message {
             Message::PrePrepare(m) => Some(m.view),
             Message::Prepare(m) => Some(m.view),
             Message::Commit(m) => Some(m.view),
             _ => None,
-        };
-        if let Some(view) = ordering_view {
+        }
+    }
+
+    /// Routes one verified message, buffering ordering traffic that this
+    /// replica cannot act on yet (mid-view-change, or for a future view).
+    fn dispatch(&mut self, message: SignedMessage) {
+        if let Some(view) = Self::ordering_view(&message.message) {
             if view > self.view || (view == self.view && self.in_view_change()) {
-                if self.buffered.len() >= MAX_BUFFERED_MESSAGES {
-                    self.buffered.pop_front();
+                if self.buffered.len() >= self.config.max_buffered_messages {
+                    // Evict the entry for the *farthest* future view:
+                    // after a long partition the buffer fills with traffic
+                    // for many views, and the messages for the nearest
+                    // future view are exactly the ones that let this
+                    // replica rejoin. Dropping the oldest entry instead
+                    // (typically the lowest view) starves recovery.
+                    let evict = self
+                        .buffered
+                        .iter()
+                        .enumerate()
+                        .max_by_key(|(index, buffered)| {
+                            (Self::ordering_view(&buffered.message), *index)
+                        })
+                        .map(|(index, _)| index)
+                        .expect("buffer at capacity is non-empty");
+                    self.buffered.remove(evict);
                 }
                 self.buffered.push_back(message);
                 return;
@@ -634,33 +696,87 @@ impl Replica {
         sn > self.low_watermark && sn <= self.low_watermark + self.config.watermark_window
     }
 
+    /// Window check for prepares and commits: the standard watermark
+    /// window, plus the base sequence number of a live slot whose batch
+    /// straddles the low watermark (a checkpoint can land mid-batch on a
+    /// replica that accepted the batch before stabilizing; its votes are
+    /// still needed to finish the run above the watermark). Fresh
+    /// preprepares keep the strict check — no new slots below the
+    /// watermark.
+    fn ordering_in_window(&self, sn: u64) -> bool {
+        if self.in_window(sn) {
+            return true;
+        }
+        sn <= self.low_watermark
+            && self.slots.get(&sn).is_some_and(|slot| {
+                slot.preprepare
+                    .as_ref()
+                    .is_some_and(|pp| pp.end_sn() > self.low_watermark)
+            })
+    }
+
     fn on_preprepare(&mut self, from: NodeId, preprepare: PrePrepare) {
         if self.in_view_change()
             || preprepare.view != self.view
             || from != self.primary()
             || !self.in_window(preprepare.sn)
+            || preprepare.end_sn() > self.low_watermark + self.config.watermark_window
         {
             self.stats.ignored += 1;
             return;
         }
-        let slot = self.slots.entry(preprepare.sn).or_default();
-        if slot.preprepare.is_some() {
-            if slot.request_digest != Some(preprepare.request.digest()) {
-                // Primary equivocation: two different proposals for the
-                // same (view, sn). Initiate a view change.
-                let primary = self.primary();
-                self.suspect(primary);
+        let sn = preprepare.sn;
+        if let Some(slot) = self.slots.get(&sn) {
+            if slot.preprepare.is_some() {
+                if slot.batch_digest != Some(preprepare.batch.digest()) {
+                    // Primary equivocation: two different proposals for
+                    // the same (view, sn). Initiate a view change.
+                    let primary = self.primary();
+                    self.suspect(primary);
+                    return;
+                }
+                // Duplicate preprepare with a matching digest: the
+                // primary (or the network) retransmitted it. Re-broadcast
+                // our own prepare — if the first one was lost, staying
+                // silent wedges the slot until a view change.
+                if let Some(&(digest, _)) = slot.prepares.get(&self.id) {
+                    let prepare = Prepare {
+                        view: self.view,
+                        sn,
+                        digest,
+                    };
+                    self.broadcast(Message::Prepare(prepare));
+                }
+                return;
             }
+        }
+        // A batch whose range collides with an already-preprepared
+        // neighbour means the primary assigned some sequence number
+        // twice — treat it like equivocation. (Slots holding only stray
+        // votes don't count; they carry no conflicting assignment.)
+        let predecessor_overlap =
+            self.slots.range(..sn).next_back().is_some_and(|(_, prev)| {
+                prev.preprepare.as_ref().is_some_and(|pp| pp.end_sn() >= sn)
+            });
+        let successor_overlap = preprepare.end_sn() > sn
+            && self
+                .slots
+                .range(sn + 1..=preprepare.end_sn())
+                .any(|(_, next)| next.preprepare.is_some());
+        if predecessor_overlap || successor_overlap {
+            let primary = self.primary();
+            self.suspect(primary);
             return;
         }
-        let sn = preprepare.sn;
-        let (digest, payload_digest) = self.accept_preprepare(preprepare);
-        self.effects
-            .push(Effect::Output(ReplicaEvent::PrePrepareSeen {
-                sn,
-                payload_digest,
-            }));
-        // Backups confirm with a prepare.
+        let (digest, payload_digests) = self.accept_preprepare(preprepare);
+        for (offset, payload_digest) in payload_digests.into_iter().enumerate() {
+            self.effects
+                .push(Effect::Output(ReplicaEvent::PrePrepareSeen {
+                    sn: sn + offset as u64,
+                    payload_digest,
+                }));
+        }
+        // Backups confirm with a prepare over the batch digest.
         let prepare = Prepare {
             view: self.view,
             sn,
@@ -674,22 +790,31 @@ impl Replica {
     }
 
     /// Records a preprepare into its slot (primary: own proposal; backup:
-    /// accepted proposal), hashing the request exactly once and caching
-    /// both digests on the slot. Returns `(request digest, payload digest)`.
-    fn accept_preprepare(&mut self, preprepare: PrePrepare) -> (Digest, Digest) {
+    /// accepted proposal), hashing the batch exactly once and caching
+    /// the digests on the slot. Returns the batch digest and the
+    /// per-request payload digests in batch order.
+    fn accept_preprepare(&mut self, preprepare: PrePrepare) -> (Digest, Vec<Digest>) {
         let sn = preprepare.sn;
-        let request_digest = preprepare.request.digest();
-        let payload_digest = preprepare.request.payload_digest();
+        let batch_digest = preprepare.batch.digest();
+        let payload_digests: Vec<Digest> = preprepare
+            .batch
+            .requests()
+            .iter()
+            .map(ProposedRequest::payload_digest)
+            .collect();
         let slot = self.slots.entry(sn).or_default();
-        slot.request_digest = Some(request_digest);
-        slot.payload_digest = Some(payload_digest);
+        slot.batch_digest = Some(batch_digest);
+        slot.payload_digests = payload_digests.clone();
         slot.preprepare = Some(preprepare);
         self.maybe_advance(sn);
-        (request_digest, payload_digest)
+        (batch_digest, payload_digests)
     }
 
     fn on_prepare(&mut self, from: NodeId, prepare: Prepare, signature: Signature) {
-        if self.in_view_change() || prepare.view != self.view || !self.in_window(prepare.sn) {
+        if self.in_view_change()
+            || prepare.view != self.view
+            || !self.ordering_in_window(prepare.sn)
+        {
             self.stats.ignored += 1;
             return;
         }
@@ -707,7 +832,8 @@ impl Replica {
     }
 
     fn on_commit(&mut self, from: NodeId, commit: Commit) {
-        if self.in_view_change() || commit.view != self.view || !self.in_window(commit.sn) {
+        if self.in_view_change() || commit.view != self.view || !self.ordering_in_window(commit.sn)
+        {
             self.stats.ignored += 1;
             return;
         }
@@ -729,8 +855,8 @@ impl Replica {
             return;
         }
         let digest = slot
-            .request_digest
-            .expect("slot with a preprepare has a cached request digest");
+            .batch_digest
+            .expect("slot with a preprepare has a cached batch digest");
 
         if !slot.prepared && slot.matching_prepares(&digest) >= prepare_quorum {
             slot.prepared = true;
@@ -748,27 +874,41 @@ impl Replica {
         }
     }
 
-    /// Emits `Decide` actions for every committed slot in sequence order.
+    /// Emits `Decide` actions for every committed batch in sequence
+    /// order, one per request: committing a batch decides its whole run
+    /// of sequence numbers atomically.
     fn try_decide(&mut self) {
         loop {
             let next = self.decided_up_to + 1;
-            let Some(slot) = self.slots.get_mut(&next) else {
+            // The covering slot is keyed at the batch's base sequence
+            // number, which can lie below `next` when a state-transfer
+            // watermark jump landed mid-batch.
+            let Some((&base, slot)) = self.slots.range_mut(..=next).next_back() else {
                 return;
             };
-            if !slot.committed || slot.decided {
+            let covers = slot
+                .preprepare
+                .as_ref()
+                .is_some_and(|pp| pp.end_sn() >= next);
+            if !covers || !slot.committed || slot.decided {
                 return;
             }
             slot.decided = true;
-            let request = slot
+            let preprepare = slot
                 .preprepare
-                .as_ref()
-                .expect("committed slot has a preprepare")
-                .request
-                .clone();
-            self.decided_up_to = next;
-            self.stats.decided += 1;
-            self.effects
-                .push(Effect::Output(ReplicaEvent::Decide { sn: next, request }));
+                .clone()
+                .expect("committed slot has a preprepare");
+            self.stats.batches_decided += 1;
+            for (offset, request) in preprepare.batch.into_requests().into_iter().enumerate() {
+                let sn = base + offset as u64;
+                if sn <= self.decided_up_to {
+                    continue; // already covered by a state transfer
+                }
+                self.decided_up_to = sn;
+                self.stats.decided += 1;
+                self.effects
+                    .push(Effect::Output(ReplicaEvent::Decide { sn, request }));
+            }
         }
     }
 
@@ -793,25 +933,43 @@ impl Replica {
                     self.start_view_change(view + 1);
                 }
             }
+            ReplicaTimer::BatchFlush => {
+                if !self.armed_batch_timer {
+                    return;
+                }
+                self.armed_batch_timer = false;
+                if self.is_primary() && !self.in_view_change() {
+                    self.flush_backlog(true);
+                }
+            }
         }
     }
 
     fn prepared_certs(&self) -> Vec<PreparedCert> {
         self.slots
             .iter()
-            .filter(|(sn, slot)| **sn > self.low_watermark && slot.prepared)
+            .filter(|(_, slot)| {
+                // A batch straddling the low watermark still owes decides
+                // above it, so its base may sit at or below the
+                // watermark.
+                slot.prepared
+                    && slot
+                        .preprepare
+                        .as_ref()
+                        .is_some_and(|pp| pp.end_sn() > self.low_watermark)
+            })
             .map(|(sn, slot)| {
                 let preprepare = slot
                     .preprepare
                     .as_ref()
                     .expect("prepared slot has a preprepare");
                 let digest = slot
-                    .request_digest
-                    .expect("slot with a preprepare has a cached request digest");
+                    .batch_digest
+                    .expect("slot with a preprepare has a cached batch digest");
                 PreparedCert {
                     view: preprepare.view,
                     sn: *sn,
-                    request: preprepare.request.clone(),
+                    batch: preprepare.batch.clone(),
                     prepare_signatures: slot
                         .prepares
                         .iter()
@@ -984,14 +1142,21 @@ impl Replica {
                 id: ReplicaTimer::ViewChange(armed),
             });
         }
+        if self.armed_batch_timer {
+            // Primary status may have changed hands; the new primary
+            // re-arms for its own backlog below.
+            self.armed_batch_timer = false;
+            self.effects.push(Effect::CancelTimer {
+                id: ReplicaTimer::BatchFlush,
+            });
+        }
 
         // Reset per-view slot state above the checkpoint: prepares and
         // commits from the old view are void in the new one.
-        let max_pp = preprepares.iter().map(|p| p.sn).max();
         self.slots.retain(|_, slot| slot.decided);
         self.next_sn = preprepares
             .iter()
-            .map(|p| p.sn + 1)
+            .map(|p| p.end_sn() + 1)
             .max()
             .unwrap_or(self.low_watermark + 1)
             .max(self.decided_up_to + 1);
@@ -1001,16 +1166,18 @@ impl Replica {
             .push(Effect::Output(ReplicaEvent::NewPrimary { view, primary }));
 
         for preprepare in preprepares {
-            if preprepare.sn <= self.decided_up_to {
+            if preprepare.end_sn() <= self.decided_up_to {
                 continue; // already decided locally
             }
             let sn = preprepare.sn;
-            let (digest, payload_digest) = self.accept_preprepare(preprepare);
-            self.effects
-                .push(Effect::Output(ReplicaEvent::PrePrepareSeen {
-                    sn,
-                    payload_digest,
-                }));
+            let (digest, payload_digests) = self.accept_preprepare(preprepare);
+            for (offset, payload_digest) in payload_digests.into_iter().enumerate() {
+                self.effects
+                    .push(Effect::Output(ReplicaEvent::PrePrepareSeen {
+                        sn: sn + offset as u64,
+                        payload_digest,
+                    }));
+            }
             if self.id != primary {
                 let prepare = Prepare { view, sn, digest };
                 let signed = self.broadcast(Message::Prepare(prepare));
@@ -1020,10 +1187,9 @@ impl Replica {
                 self.maybe_advance(sn);
             }
         }
-        let _ = max_pp;
         // The new primary re-proposes anything still in its backlog.
         if self.is_primary() {
-            self.drain_backlog();
+            self.flush_backlog(false);
         }
         // Replay ordering traffic that raced the view change; anything
         // still ahead of the new view goes straight back into the buffer.
@@ -1060,9 +1226,16 @@ impl Machine for Replica {
 }
 
 /// Deterministically computes the preprepares a new primary must issue
-/// from a set of view-change votes: for every sequence number above the
-/// highest stable checkpoint that some vote proves prepared, re-propose
-/// that request (highest view wins); fill interior gaps with no-ops.
+/// from a set of view-change votes: every batch above the highest stable
+/// checkpoint that some vote proves prepared is re-proposed
+/// *bit-identically at its original base sequence number* (its digest,
+/// and thus its prepare certificate, binds the base through the batch
+/// contents); where batch ranges collide the higher view wins; interior
+/// gaps are filled with single no-op batches.
+///
+/// A batch straddling the stable checkpoint keeps its original base (at
+/// or below the checkpoint) — the decided prefix is skipped at decide
+/// time.
 ///
 /// Both the new primary and every backup run this function, so a
 /// fabricated `NewView` is rejected by comparison.
@@ -1090,12 +1263,13 @@ fn compute_new_view_preprepares(
         }
     }
 
-    // Pick, per sequence number, the prepared cert from the highest view.
+    // Pick, per base sequence number, the prepared cert from the highest
+    // view whose range reaches above the checkpoint.
     let mut chosen: BTreeMap<u64, &PreparedCert> = BTreeMap::new();
     for vote in votes {
         if let Message::ViewChange(vc) = &vote.message {
             for cert in &vc.prepared {
-                if cert.sn <= min_s || !cert.verify(keystore, config.prepare_quorum()) {
+                if cert.end_sn() <= min_s || !cert.verify(keystore, config.prepare_quorum()) {
                     continue;
                 }
                 match chosen.get(&cert.sn) {
@@ -1108,14 +1282,53 @@ fn compute_new_view_preprepares(
         }
     }
 
-    let max_s = chosen.keys().max().copied().unwrap_or(min_s);
+    // Batches prepared in different views can overlap in range (a later
+    // view's primary starts below an uncarried earlier cert). The higher
+    // view wins; a *decided* batch is never overlapped by a higher-view
+    // cert (quorum intersection puts its cert in every vote set), so
+    // decided runs always survive this resolution.
+    let mut by_view: Vec<&PreparedCert> = chosen.values().copied().collect();
+    by_view.sort_by(|a, b| b.view.cmp(&a.view).then(a.sn.cmp(&b.sn)));
+    let mut placed: Vec<&PreparedCert> = Vec::new();
+    for cert in by_view {
+        let overlaps = placed
+            .iter()
+            .any(|p| cert.sn <= p.end_sn() && p.sn <= cert.end_sn());
+        if !overlaps {
+            placed.push(cert);
+        }
+    }
+    placed.sort_by_key(|cert| cert.sn);
+
+    let max_s = placed
+        .iter()
+        .map(|cert| cert.end_sn())
+        .max()
+        .unwrap_or(min_s);
     let mut preprepares = Vec::new();
-    for sn in (min_s + 1)..=max_s {
-        let request = chosen
-            .get(&sn)
-            .map(|cert| cert.request.clone())
-            .unwrap_or_else(|| ProposedRequest::noop(primary));
-        preprepares.push(PrePrepare { view, sn, request });
+    let mut iter = placed.into_iter().peekable();
+    let mut next = min_s + 1;
+    while next <= max_s {
+        match iter.peek() {
+            Some(cert) if cert.sn <= next => {
+                // Covers `next` (its base may straddle the checkpoint).
+                preprepares.push(PrePrepare {
+                    view,
+                    sn: cert.sn,
+                    batch: cert.batch.clone(),
+                });
+                next = cert.end_sn() + 1;
+                iter.next();
+            }
+            _ => {
+                preprepares.push(PrePrepare {
+                    view,
+                    sn: next,
+                    batch: ProposedBatch::single(ProposedRequest::noop(primary)),
+                });
+                next += 1;
+            }
+        }
     }
     (preprepares, min_s)
 }

@@ -4,8 +4,8 @@ use zugchain_crypto::{Digest, Keystore};
 use zugchain_machine::Effect;
 
 use crate::{
-    Config, Message, NodeId, PrePrepare, ProposedRequest, Replica, ReplicaEvent, ReplicaTimer,
-    SignedMessage,
+    Config, Message, NodeId, PrePrepare, ProposedBatch, ProposedRequest, Replica, ReplicaEvent,
+    ReplicaTimer, SignedMessage,
 };
 
 /// Events collected from all replicas during a harness run.
@@ -33,6 +33,8 @@ struct Cluster {
     collected: Collected,
     /// Replicas whose view-change timer is armed (target view).
     vc_timers: Vec<Option<u64>>,
+    /// Replicas whose partial-batch flush timer is armed.
+    batch_timers: Vec<bool>,
 }
 
 impl Cluster {
@@ -50,7 +52,30 @@ impl Cluster {
             filter: Box::new(|_, _| true),
             collected: Collected::default(),
             vc_timers: vec![None; n],
+            batch_timers: vec![false; n],
         }
+    }
+
+    /// Rebuilds the cluster's replicas with a custom config.
+    fn with_config(n: usize, config: Config) -> Self {
+        let mut cluster = Self::new(n);
+        let (pairs, keystore) = Keystore::generate(n, 42);
+        cluster.replicas = pairs
+            .into_iter()
+            .enumerate()
+            .map(|(id, key)| Replica::new(NodeId(id as u64), config.clone(), key, keystore.clone()))
+            .collect();
+        cluster
+    }
+
+    /// Fires the batch-flush timer on every replica where it is armed.
+    fn fire_batch_timers(&mut self) {
+        for index in 0..self.replicas.len() {
+            if std::mem::take(&mut self.batch_timers[index]) {
+                self.replicas[index].on_timer(ReplicaTimer::BatchFlush);
+            }
+        }
+        self.run_until_quiet();
     }
 
     fn keystore(&self) -> Keystore {
@@ -87,8 +112,21 @@ impl Cluster {
                 } => {
                     self.vc_timers[index] = Some(view);
                 }
-                Effect::CancelTimer { .. } => {
+                Effect::CancelTimer {
+                    id: ReplicaTimer::ViewChange(_),
+                } => {
                     self.vc_timers[index] = None;
+                }
+                Effect::SetTimer {
+                    id: ReplicaTimer::BatchFlush,
+                    ..
+                } => {
+                    self.batch_timers[index] = true;
+                }
+                Effect::CancelTimer {
+                    id: ReplicaTimer::BatchFlush,
+                } => {
+                    self.batch_timers[index] = false;
                 }
                 Effect::Output(ReplicaEvent::Decide { sn, request }) => {
                     self.collected.decides.push((id, sn, request));
@@ -330,7 +368,7 @@ fn equivocating_primary_is_suspected() {
         Message::PrePrepare(PrePrepare {
             view: 0,
             sn: 1,
-            request: request(1, 0),
+            batch: ProposedBatch::single(request(1, 0)),
         }),
         &pairs[0],
     );
@@ -339,7 +377,7 @@ fn equivocating_primary_is_suspected() {
         Message::PrePrepare(PrePrepare {
             view: 0,
             sn: 1,
-            request: request(2, 0),
+            batch: ProposedBatch::single(request(2, 0)),
         }),
         &pairs[0],
     );
@@ -365,7 +403,7 @@ fn forged_signatures_are_rejected() {
         Message::PrePrepare(PrePrepare {
             view: 0,
             sn: 1,
-            request: request(9, 3),
+            batch: ProposedBatch::single(request(9, 3)),
         }),
         &pairs[3],
     );
@@ -599,6 +637,276 @@ fn noop_decides_advance_sequence_without_payload() {
     let decides = cluster.decides_on(2);
     assert_eq!(decides.len(), 3);
     assert_eq!(decides[2].0, 3, "fresh proposal took sn 3");
+}
+
+#[test]
+fn full_batches_decide_per_request_in_order() {
+    let config = Config::new(4).unwrap().with_max_batch_size(4);
+    let mut cluster = Cluster::with_config(4, config);
+    for tag in 1..=8 {
+        cluster.replicas[0].propose(request(tag, 0));
+    }
+    cluster.run_until_quiet();
+    // Two full batches of four, unpacked into one decide per request at
+    // consecutive sequence numbers.
+    for id in 0..4 {
+        let decides = cluster.decides_on(id);
+        let sns: Vec<u64> = decides.iter().map(|(sn, _)| *sn).collect();
+        assert_eq!(sns, (1..=8).collect::<Vec<u64>>(), "replica {id}");
+        let tags: Vec<u8> = decides.iter().map(|(_, payload)| payload[0]).collect();
+        assert_eq!(tags, (1..=8).collect::<Vec<u8>>(), "replica {id}");
+    }
+}
+
+#[test]
+fn partial_batch_waits_for_the_flush_timer() {
+    let config = Config::new(4)
+        .unwrap()
+        .with_max_batch_size(4)
+        .with_batch_delay(5);
+    let mut cluster = Cluster::with_config(4, config);
+    for tag in 1..=3 {
+        cluster.replicas[0].propose(request(tag, 0));
+    }
+    cluster.run_until_quiet();
+    assert!(
+        cluster.collected.decides.is_empty(),
+        "a partial batch must not flush before the timer"
+    );
+    assert!(cluster.batch_timers[0], "the flush timer must be armed");
+
+    cluster.fire_batch_timers();
+    for id in 0..4 {
+        let decides = cluster.decides_on(id);
+        assert_eq!(decides.len(), 3, "replica {id}");
+        let sns: Vec<u64> = decides.iter().map(|(sn, _)| *sn).collect();
+        assert_eq!(sns, vec![1, 2, 3]);
+    }
+}
+
+#[test]
+fn view_change_carries_a_prepared_batch_bit_identically() {
+    let config = Config::new(4).unwrap().with_max_batch_size(3);
+    let mut cluster = Cluster::with_config(4, config);
+    // The batch prepares everywhere but never commits.
+    cluster.set_filter(|_, message| !matches!(message.message, Message::Commit(_)));
+    for tag in 1..=3 {
+        cluster.replicas[0].propose(request(tag, 0));
+    }
+    cluster.run_until_quiet();
+    assert!(cluster.collected.decides.is_empty());
+
+    cluster.set_filter(|_, _| true);
+    cluster.replicas[1].suspect(NodeId(0));
+    cluster.replicas[2].suspect(NodeId(0));
+    cluster.run_until_quiet();
+
+    // The new primary re-proposed the prepared batch unchanged: every
+    // request decides at its original sequence number with its original
+    // payload.
+    for id in 1..4 {
+        let decides = cluster.decides_on(id);
+        assert_eq!(decides.len(), 3, "replica {id}");
+        for (i, (sn, payload)) in decides.iter().enumerate() {
+            assert_eq!(*sn, i as u64 + 1, "replica {id}");
+            assert_eq!(payload, &vec![i as u8 + 1; 16], "replica {id}");
+        }
+    }
+}
+
+#[test]
+fn ordering_continues_after_a_batched_view_change() {
+    let config = Config::new(4).unwrap().with_max_batch_size(2);
+    let mut cluster = Cluster::with_config(4, config);
+    cluster.replicas[0].propose(request(1, 0));
+    cluster.replicas[0].propose(request(2, 0));
+    cluster.run_until_quiet();
+
+    cluster.replicas[1].suspect(NodeId(0));
+    cluster.replicas[2].suspect(NodeId(0));
+    cluster.run_until_quiet();
+    assert_eq!(cluster.replicas[1].view(), 1);
+
+    // The new primary proposes a fresh full batch; its base sequence
+    // number continues after the decided batch.
+    cluster.replicas[1].propose(request(5, 1));
+    cluster.replicas[1].propose(request(6, 1));
+    cluster.run_until_quiet();
+    let decides = cluster.decides_on(2);
+    assert_eq!(decides.len(), 4);
+    assert_eq!(decides[2].0, 3, "fresh batch starts at sn 3");
+    assert_eq!(decides[3].0, 4);
+    assert_eq!(decides[3].1, vec![6; 16]);
+}
+
+/// Regression for the lost-prepare stall: a replica that re-receives a
+/// preprepare with a matching digest must re-broadcast its Prepare
+/// instead of silently ignoring the duplicate.
+#[test]
+fn redelivered_preprepare_rebroadcasts_the_prepare() {
+    let mut cluster = Cluster::new(4);
+    let (pairs, _) = Keystore::generate(4, 42);
+    let pp = SignedMessage::sign(
+        NodeId(0),
+        Message::PrePrepare(PrePrepare {
+            view: 0,
+            sn: 1,
+            batch: ProposedBatch::single(request(3, 0)),
+        }),
+        &pairs[0],
+    );
+    cluster.replicas[1].on_message(pp.clone());
+    // The first Prepare broadcast is lost in transit.
+    let first = cluster.replicas[1].drain_effects();
+    assert!(first.iter().any(|effect| matches!(
+        effect,
+        Effect::Broadcast { message } if matches!(message.message, Message::Prepare(_))
+    )));
+
+    cluster.replicas[1].on_message(pp);
+    let second = cluster.replicas[1].drain_effects();
+    assert!(
+        second.iter().any(|effect| matches!(
+            effect,
+            Effect::Broadcast { message } if matches!(message.message, Message::Prepare(_))
+        )),
+        "a duplicate preprepare with a matching digest must re-trigger the Prepare"
+    );
+}
+
+/// Regression for the lost-prepare stall, end to end: with enough
+/// prepares lost the slot cannot commit, and retransmitting the
+/// preprepare (rather than a full view change) heals it.
+#[test]
+fn lost_prepares_heal_when_the_preprepare_is_retransmitted() {
+    let mut cluster = Cluster::new(4);
+    // Every Prepare broadcast by nodes 1 and 2 vanishes: node 3 and the
+    // primary never assemble a prepared certificate, so no slot commits.
+    cluster.set_filter(|_, message| {
+        !(matches!(message.message, Message::Prepare(_))
+            && (message.from == NodeId(1) || message.from == NodeId(2)))
+    });
+    cluster.replicas[0].propose(request(4, 0));
+    cluster.run_until_quiet();
+    assert!(
+        cluster.collected.decides.is_empty(),
+        "the slot must stall with the prepares lost"
+    );
+
+    // The network heals and the primary retransmits its preprepare.
+    // Replicas 1 and 2 already accepted it; the duplicate must make them
+    // re-broadcast their Prepare so the slot commits everywhere.
+    cluster.set_filter(|_, _| true);
+    let (pairs, _) = Keystore::generate(4, 42);
+    let pp = SignedMessage::sign(
+        NodeId(0),
+        Message::PrePrepare(PrePrepare {
+            view: 0,
+            sn: 1,
+            batch: ProposedBatch::single(request(4, 0)),
+        }),
+        &pairs[0],
+    );
+    for id in [1usize, 2] {
+        cluster.replicas[id].on_message(pp.clone());
+        cluster.pump(id);
+    }
+    cluster.run_until_quiet();
+    for id in 0..4 {
+        assert_eq!(cluster.decides_on(id).len(), 1, "replica {id} commits");
+    }
+}
+
+/// Regression for buffered-message starvation: with the buffer at
+/// exactly its capacity limit, the entry for the *farthest* future view
+/// must be evicted — dropping the newest arrival instead starves the
+/// nearest-view traffic that lets a partitioned replica rejoin.
+#[test]
+fn full_buffer_evicts_farthest_view_so_a_healing_partition_replays() {
+    let config = Config::new(4).unwrap().with_max_buffered_messages(3);
+    let mut cluster = Cluster::with_config(4, config.clone());
+    let (pairs, _) = Keystore::generate(4, 42);
+
+    let prepare = |view: u64, sn: u64, from: u64, digest: Digest| {
+        SignedMessage::sign(
+            NodeId(from),
+            Message::Prepare(crate::Prepare { view, sn, digest }),
+            &pairs[from as usize],
+        )
+    };
+
+    // Node 3 sits behind a partition in view 0 while the rest of the
+    // group races ahead: stray view-9 traffic fills its buffer to the
+    // limit first.
+    for sn in 1..=3 {
+        cluster.replicas[3].on_message(prepare(9, sn, 1, Digest::ZERO));
+    }
+    assert_eq!(cluster.replicas[3].progress_snapshot().4, 3);
+
+    // As the partition heals, the view-1 ordering round for sn 1
+    // arrives. Each message must displace a view-9 entry.
+    let batch = ProposedBatch::single(request(1, 0));
+    let digest = batch.digest();
+    let pp = SignedMessage::sign(
+        NodeId(1),
+        Message::PrePrepare(PrePrepare {
+            view: 1,
+            sn: 1,
+            batch,
+        }),
+        &pairs[1],
+    );
+    cluster.replicas[3].on_message(pp);
+    cluster.replicas[3].on_message(prepare(1, 1, 2, digest));
+    cluster.replicas[3].on_message(prepare(1, 1, 0, digest));
+    assert_eq!(
+        cluster.replicas[3].progress_snapshot().4,
+        3,
+        "buffer stays at its limit"
+    );
+
+    // The NewView for view 1 finally reaches node 3.
+    let votes: Vec<SignedMessage> = [0u64, 1, 2]
+        .iter()
+        .map(|&id| {
+            SignedMessage::sign(
+                NodeId(id),
+                Message::ViewChange(crate::ViewChange {
+                    new_view: 1,
+                    last_stable_sn: 0,
+                    checkpoint_proof: None,
+                    prepared: Vec::new(),
+                }),
+                &pairs[id as usize],
+            )
+        })
+        .collect();
+    let new_view = SignedMessage::sign(
+        NodeId(1),
+        Message::NewView(crate::NewView {
+            view: 1,
+            view_changes: votes,
+            preprepares: Vec::new(),
+        }),
+        &pairs[1],
+    );
+    cluster.replicas[3].on_message(new_view);
+    let _ = cluster.replicas[3].drain_effects();
+
+    // The buffered view-1 round replayed: the slot holds the preprepare
+    // plus both prepares and reaches the prepared milestone. Under the
+    // old drop-newest policy the buffer would still hold the useless
+    // view-9 strays and the slot would not exist.
+    let slots = cluster.replicas[3].slot_snapshot();
+    assert!(
+        slots
+            .iter()
+            .any(|&(sn, has_pp, prepares, _, prepared, _)| sn == 1
+                && has_pp
+                && prepares >= 2
+                && prepared),
+        "view-1 traffic must survive eviction and replay: {slots:?}"
+    );
 }
 
 #[test]

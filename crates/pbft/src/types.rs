@@ -1,7 +1,7 @@
 use std::fmt;
 
 use zugchain_crypto::Digest;
-use zugchain_wire::{Decode, Encode, Reader, WireError, Writer};
+use zugchain_wire::{decode_seq, encode_seq, Decode, Encode, Reader, WireError, Writer};
 
 /// Identifier of a replica in the permissioned group.
 ///
@@ -150,6 +150,111 @@ impl Decode for ProposedRequest {
     }
 }
 
+/// Upper bound on requests per batch accepted off the wire, far above any
+/// sane [`Config::max_batch_size`](crate::Config) — a length-prefix
+/// poisoning guard, not a protocol parameter.
+pub const MAX_WIRE_BATCH_LEN: usize = 4096;
+
+/// The unit of agreement: an ordered run of requests proposed together
+/// under one preprepare.
+///
+/// A batch proposed at base sequence number `s` occupies sequence numbers
+/// `s .. s + len - 1`; prepares and commits certify the *batch digest*, a
+/// hash over the canonical encoding of the whole run, so one three-phase
+/// round orders every request in it. Batches are never empty — a
+/// single-request batch is exactly the pre-batching protocol.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProposedBatch {
+    requests: Vec<ProposedRequest>,
+    /// Cached digest over the canonical encoding of `requests`.
+    digest: Digest,
+}
+
+impl ProposedBatch {
+    /// Builds a batch from a non-empty run of requests, caching the
+    /// batch digest.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `requests` is empty.
+    pub fn new(requests: Vec<ProposedRequest>) -> Self {
+        assert!(!requests.is_empty(), "batches are never empty");
+        let digest = Self::digest_of(&requests);
+        Self { requests, digest }
+    }
+
+    /// Wraps a single request — the unbatched protocol's unit.
+    pub fn single(request: ProposedRequest) -> Self {
+        Self::new(vec![request])
+    }
+
+    fn digest_of(requests: &[ProposedRequest]) -> Digest {
+        let mut w = Writer::new();
+        encode_seq(requests, &mut w);
+        Digest::of(&w.into_bytes())
+    }
+
+    /// The batch digest — what prepares and commits certify.
+    pub fn digest(&self) -> Digest {
+        self.digest
+    }
+
+    /// Number of requests in the batch (always ≥ 1).
+    pub fn len(&self) -> usize {
+        self.requests.len()
+    }
+
+    /// Always `false`; kept for idiomatic slice-likeness.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The ordered requests.
+    pub fn requests(&self) -> &[ProposedRequest] {
+        &self.requests
+    }
+
+    /// Consumes the batch, yielding its requests in order.
+    pub fn into_requests(self) -> Vec<ProposedRequest> {
+        self.requests
+    }
+
+    /// Sum of payload lengths, for memory accounting.
+    pub fn payload_bytes(&self) -> usize {
+        self.requests.iter().map(|r| r.payload.len()).sum()
+    }
+
+    /// `true` if every request in the batch is a protocol no-op.
+    pub fn is_all_noop(&self) -> bool {
+        self.requests.iter().all(ProposedRequest::is_noop)
+    }
+}
+
+impl Encode for ProposedBatch {
+    fn encode(&self, w: &mut Writer) {
+        encode_seq(&self.requests, w);
+    }
+}
+
+impl Decode for ProposedBatch {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let requests: Vec<ProposedRequest> = decode_seq(r)?;
+        if requests.is_empty() {
+            return Err(WireError::InvalidLength {
+                expected: 1,
+                actual: 0,
+            });
+        }
+        if requests.len() > MAX_WIRE_BATCH_LEN {
+            return Err(WireError::LengthLimitExceeded {
+                declared: requests.len() as u64,
+                limit: MAX_WIRE_BATCH_LEN as u64,
+            });
+        }
+        Ok(ProposedBatch::new(requests))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -183,5 +288,59 @@ mod tests {
     #[test]
     fn kind_rejects_unknown_tag() {
         assert!(zugchain_wire::from_bytes::<RequestKind>(&[7]).is_err());
+    }
+
+    #[test]
+    fn batch_wire_round_trip_preserves_order_and_digest() {
+        let batch = ProposedBatch::new(vec![
+            ProposedRequest::application(vec![1], NodeId(0)).with_time(10),
+            ProposedRequest::application(vec![2], NodeId(1)).with_time(20),
+            ProposedRequest::noop(NodeId(2)),
+        ]);
+        let back: ProposedBatch =
+            zugchain_wire::from_bytes(&zugchain_wire::to_bytes(&batch)).unwrap();
+        assert_eq!(back, batch);
+        assert_eq!(
+            back.digest(),
+            batch.digest(),
+            "digest is recomputed on decode"
+        );
+        assert_eq!(back.len(), 3);
+    }
+
+    #[test]
+    fn batch_digest_binds_order_and_contents() {
+        let a = ProposedRequest::application(vec![1], NodeId(0));
+        let b = ProposedRequest::application(vec![2], NodeId(1));
+        let ab = ProposedBatch::new(vec![a.clone(), b.clone()]);
+        let ba = ProposedBatch::new(vec![b.clone(), a.clone()]);
+        assert_ne!(ab.digest(), ba.digest(), "digest binds request order");
+        let mut tampered = ab.requests().to_vec();
+        tampered[1].payload.push(0xFF);
+        assert_ne!(ab.digest(), ProposedBatch::new(tampered).digest());
+    }
+
+    #[test]
+    fn single_request_batch_matches_explicit_construction() {
+        let request = ProposedRequest::application(vec![7; 32], NodeId(3));
+        assert_eq!(
+            ProposedBatch::single(request.clone()),
+            ProposedBatch::new(vec![request])
+        );
+    }
+
+    #[test]
+    fn empty_batch_is_rejected_off_the_wire() {
+        // A varint count of zero followed by nothing.
+        assert!(matches!(
+            zugchain_wire::from_bytes::<ProposedBatch>(&[0]),
+            Err(WireError::InvalidLength { .. })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "never empty")]
+    fn empty_batch_construction_panics() {
+        let _ = ProposedBatch::new(Vec::new());
     }
 }

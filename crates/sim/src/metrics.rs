@@ -74,6 +74,14 @@ pub struct RunMetrics {
     pub memory_mb_mean: f64,
     /// Peak resident memory of the busiest node in megabytes.
     pub memory_mb_max: f64,
+    /// Requests decided by consensus on the reference node — counted
+    /// per request after batch unpacking (noop gap-fillers included),
+    /// so the latency series stays per-request at every batch size.
+    pub consensus_decided: u64,
+    /// Batches agreed by consensus on the reference node. One batch
+    /// occupies one `PrePrepare`/`Prepare`/`Commit` exchange regardless
+    /// of how many requests it carries.
+    pub batches_decided: u64,
     /// Completed view changes observed across the run.
     pub view_changes: u64,
     /// State-transfer requests signalled by replicas that fell behind a
@@ -95,6 +103,16 @@ impl RunMetrics {
             return 0.0;
         }
         self.logged_requests as f64 / (self.duration_ms / 1000.0)
+    }
+
+    /// Realized mean batch occupancy: requests agreed per consensus
+    /// exchange. 1.0 with batching off; approaches
+    /// `Config::max_batch_size` under saturating load.
+    pub fn mean_batch_occupancy(&self) -> f64 {
+        if self.batches_decided == 0 {
+            return 0.0;
+        }
+        self.consensus_decided as f64 / self.batches_decided as f64
     }
 }
 
@@ -135,5 +153,16 @@ mod tests {
             ..RunMetrics::default()
         };
         assert!((metrics.events_per_second() - 15.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn batch_occupancy_is_requests_per_batch() {
+        let metrics = RunMetrics {
+            consensus_decided: 120,
+            batches_decided: 30,
+            ..RunMetrics::default()
+        };
+        assert!((metrics.mean_batch_occupancy() - 4.0).abs() < 1e-9);
+        assert_eq!(RunMetrics::default().mean_batch_occupancy(), 0.0);
     }
 }

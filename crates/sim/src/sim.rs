@@ -278,6 +278,8 @@ impl World {
             cpu_percent_of_total,
             memory_mb_mean,
             memory_mb_max,
+            consensus_decided: 0, // filled by `Simulation::run`
+            batches_decided: 0,   // filled by `Simulation::run`
             view_changes: self.view_changes,
             state_transfers: self.state_transfers,
             unlogged_requests: unlogged,
@@ -497,7 +499,20 @@ impl Simulation {
                 }
             }
         }
-        self.world.finish(end_ns)
+        // Batch occupancy comes from the most advanced surviving node's
+        // consensus counters; `World::finish` has no access to drivers.
+        let (consensus_decided, batches_decided) = (0..self.drivers.len())
+            .filter(|&i| !self.world.crashed[i])
+            .map(|i| {
+                let stats = self.drivers[i].machine().0.consensus_stats();
+                (stats.decided, stats.batches_decided)
+            })
+            .max()
+            .unwrap_or((0, 0));
+        let mut metrics = self.world.finish(end_ns);
+        metrics.consensus_decided = consensus_decided;
+        metrics.batches_decided = batches_decided;
+        metrics
     }
 
     fn on_bus_cycle(&mut self, cycle: u64, at_ns: u64, end_ns: u64) {
@@ -750,6 +765,36 @@ mod tests {
         assert_eq!(a.latency.samples, b.latency.samples);
         assert_eq!(a.network_mbps, b.network_mbps);
         assert_eq!(a.decided, b.decided);
+    }
+
+    #[test]
+    fn batching_raises_occupancy_and_keeps_per_request_latency() {
+        let unbatched = run_scenario(&quick(Mode::Zugchain, 32, 256), 9);
+        assert!(unbatched.batches_decided > 0);
+        assert!(
+            (unbatched.mean_batch_occupancy() - 1.0).abs() < 1e-9,
+            "singleton batches expected, got occupancy {}",
+            unbatched.mean_batch_occupancy()
+        );
+
+        let mut config = quick(Mode::Zugchain, 32, 256);
+        config.node_config.pbft = config
+            .node_config
+            .pbft
+            .with_max_batch_size(16)
+            .with_batch_delay(96);
+        let batched = run_scenario(&config, 9);
+        assert_eq!(batched.unlogged_requests, 0);
+        assert!(
+            batched.mean_batch_occupancy() >= 2.0,
+            "occupancy {}",
+            batched.mean_batch_occupancy()
+        );
+        // Latency stays a per-request series: same sample count as the
+        // unbatched run over the identical workload, despite far fewer
+        // consensus exchanges.
+        assert_eq!(batched.latency.len(), unbatched.latency.len());
+        assert!(batched.batches_decided < unbatched.batches_decided);
     }
 
     #[test]
