@@ -23,9 +23,10 @@ pub struct Config {
     /// essentially unchanged.
     pub batch_delay_ms: u64,
     /// Capacity of the future-view message buffer. When full, the
-    /// highest-view buffered message is evicted first, so messages for
-    /// the nearest future views — the ones needed to make progress after
-    /// a partition heals — survive.
+    /// highest-view message loses — an arrival for a view at or beyond
+    /// the farthest buffered one is dropped, anything nearer evicts that
+    /// farthest entry — so messages for the nearest future views, the
+    /// ones needed to make progress after a partition heals, survive.
     pub max_buffered_messages: usize,
 }
 

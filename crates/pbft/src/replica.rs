@@ -658,21 +658,29 @@ impl Replica {
         if let Some(view) = Self::ordering_view(&message.message) {
             if view > self.view || (view == self.view && self.in_view_change()) {
                 if self.buffered.len() >= self.config.max_buffered_messages {
-                    // Evict the entry for the *farthest* future view:
+                    // Keep the entries for the *nearest* future views:
                     // after a long partition the buffer fills with traffic
                     // for many views, and the messages for the nearest
                     // future view are exactly the ones that let this
                     // replica rejoin. Dropping the oldest entry instead
                     // (typically the lowest view) starves recovery.
-                    let evict = self
+                    let (evict, evict_view) = self
                         .buffered
                         .iter()
                         .enumerate()
                         .max_by_key(|(index, buffered)| {
                             (Self::ordering_view(&buffered.message), *index)
                         })
-                        .map(|(index, _)| index)
+                        .map(|(index, buffered)| (index, Self::ordering_view(&buffered.message)))
                         .expect("buffer at capacity is non-empty");
+                    if Some(view) >= evict_view {
+                        // The incoming message is at least as far in the
+                        // future as the farthest buffered entry — evicting
+                        // a nearer-view message for it would invert the
+                        // policy, so drop the newcomer instead.
+                        self.stats.ignored += 1;
+                        return;
+                    }
                     self.buffered.remove(evict);
                 }
                 self.buffered.push_back(message);
@@ -752,12 +760,19 @@ impl Replica {
         }
         // A batch whose range collides with an already-preprepared
         // neighbour means the primary assigned some sequence number
-        // twice — treat it like equivocation. (Slots holding only stray
-        // votes don't count; they carry no conflicting assignment.)
-        let predecessor_overlap =
-            self.slots.range(..sn).next_back().is_some_and(|(_, prev)| {
-                prev.preprepare.as_ref().is_some_and(|pp| pp.end_sn() >= sn)
-            });
+        // twice — treat it like equivocation. Slots holding only stray
+        // votes don't count (they carry no conflicting assignment), and
+        // they must not shadow a lower preprepared batch either: a
+        // Byzantine backup could interpose a vote-only slot mid-batch to
+        // sneak an overlapping preprepare past a nearest-key check, so
+        // scan back to the nearest slot that actually holds a
+        // preprepare.
+        let predecessor_overlap = self
+            .slots
+            .range(..sn)
+            .rev()
+            .find_map(|(_, prev)| prev.preprepare.as_ref())
+            .is_some_and(|pp| pp.end_sn() >= sn);
         let successor_overlap = preprepare.end_sn() > sn
             && self
                 .slots
@@ -882,10 +897,24 @@ impl Replica {
             let next = self.decided_up_to + 1;
             // The covering slot is keyed at the batch's base sequence
             // number, which can lie below `next` when a state-transfer
-            // watermark jump landed mid-batch.
-            let Some((&base, slot)) = self.slots.range_mut(..=next).next_back() else {
+            // watermark jump landed mid-batch. Vote-only slots (created
+            // by stray prepares/commits at an in-window sn) can sit
+            // between that base and `next`, so walk back to the nearest
+            // slot that actually holds a preprepare instead of taking
+            // the nearest key.
+            let Some(base) = self
+                .slots
+                .range(..=next)
+                .rev()
+                .find(|(_, slot)| slot.preprepare.is_some())
+                .map(|(&base, _)| base)
+            else {
                 return;
             };
+            let slot = self
+                .slots
+                .get_mut(&base)
+                .expect("slot found by the scan above");
             let covers = slot
                 .preprepare
                 .as_ref()

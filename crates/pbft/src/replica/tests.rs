@@ -958,3 +958,270 @@ fn resumed_replica_continues_after_its_checkpoint() {
         );
     }
 }
+
+/// Regression: a Byzantine backup must not be able to launder an
+/// overlapping preprepare past the batch-overlap check by interposing a
+/// vote-only slot. The batch at sn 1 covers 1..=4; a stray prepare at
+/// sn 3 creates a preprepare-less slot between the batch's base and an
+/// equivocating preprepare at sn 4, which must still be detected and
+/// trigger a view change — accepting it would let two committed batches
+/// cover the same sequence number (divergent logs).
+#[test]
+fn overlapping_preprepare_behind_a_vote_only_slot_is_equivocation() {
+    let config = Config::new(4).unwrap().with_max_batch_size(4);
+    let mut cluster = Cluster::with_config(4, config);
+    let (pairs, _) = Keystore::generate(4, 42);
+
+    let batch = ProposedBatch::new((1u8..=4).map(|tag| request(tag, 0)).collect());
+    let pp = SignedMessage::sign(
+        NodeId(0),
+        Message::PrePrepare(PrePrepare {
+            view: 0,
+            sn: 1,
+            batch,
+        }),
+        &pairs[0],
+    );
+    cluster.replicas[1].on_message(pp);
+    let _ = cluster.replicas[1].drain_effects();
+
+    // Byzantine node 2 interposes a vote-only slot mid-batch...
+    let stray = SignedMessage::sign(
+        NodeId(2),
+        Message::Prepare(crate::Prepare {
+            view: 0,
+            sn: 3,
+            digest: Digest::ZERO,
+        }),
+        &pairs[2],
+    );
+    cluster.replicas[1].on_message(stray);
+
+    // ...so the equivocating primary's second preprepare at sn 4 (a
+    // number the first batch already owns) has a preprepare-less
+    // nearest predecessor.
+    let overlapping = SignedMessage::sign(
+        NodeId(0),
+        Message::PrePrepare(PrePrepare {
+            view: 0,
+            sn: 4,
+            batch: ProposedBatch::single(request(9, 0)),
+        }),
+        &pairs[0],
+    );
+    cluster.replicas[1].on_message(overlapping);
+
+    let effects = cluster.replicas[1].drain_effects();
+    assert!(
+        effects.iter().any(|effect| matches!(
+            effect,
+            Effect::Broadcast { message } if matches!(message.message, Message::ViewChange(_))
+        )),
+        "an overlapping preprepare behind a vote-only slot must trigger a view change"
+    );
+    assert!(
+        cluster.replicas[1]
+            .slot_snapshot()
+            .iter()
+            .all(|&(sn, has_pp, ..)| sn != 4 || !has_pp),
+        "the overlapping preprepare must not be accepted"
+    );
+}
+
+/// Regression: a stray vote-only slot between a straddling batch's base
+/// and the next undecided sequence number must not wedge decides. A
+/// checkpoint quorum lands mid-batch (decided_up_to jumps to 2 inside a
+/// batch covering 1..=4), a Byzantine prepare creates a vote-only slot
+/// at sn 3, and the batch's tail must still decide once it commits.
+#[test]
+fn decides_resume_past_a_vote_only_slot_after_a_mid_batch_checkpoint() {
+    let config = Config::new(4).unwrap().with_max_batch_size(4);
+    let (pairs, keystore) = Keystore::generate(4, 42);
+    let mut replica = Replica::new(NodeId(3), config, pairs[3].clone(), keystore);
+
+    // The primary's batch covers sn 1..=4.
+    let batch = ProposedBatch::new((1u8..=4).map(|tag| request(tag, 0)).collect());
+    let digest = batch.digest();
+    let pp = SignedMessage::sign(
+        NodeId(0),
+        Message::PrePrepare(PrePrepare {
+            view: 0,
+            sn: 1,
+            batch,
+        }),
+        &pairs[0],
+    );
+    replica.on_message(pp);
+
+    // A checkpoint quorum at sn 2 lands mid-batch: the watermark and
+    // decided_up_to jump to 2 while the batch still owes sn 3 and 4.
+    for id in 0..3u64 {
+        let vote = SignedMessage::sign(
+            NodeId(id),
+            Message::Checkpoint(crate::Checkpoint {
+                sn: 2,
+                state_digest: Digest::of(b"mid-batch"),
+            }),
+            &pairs[id as usize],
+        );
+        replica.on_message(vote);
+    }
+    assert_eq!(
+        replica.progress_snapshot().2,
+        2,
+        "decided_up_to jumped to 2"
+    );
+
+    // Byzantine node 2 interposes a vote-only slot at sn 3, right
+    // between the batch's base and the next undecided sequence number.
+    let stray = SignedMessage::sign(
+        NodeId(2),
+        Message::Prepare(crate::Prepare {
+            view: 0,
+            sn: 3,
+            digest: Digest::ZERO,
+        }),
+        &pairs[2],
+    );
+    replica.on_message(stray);
+
+    // The rest of the round arrives and the batch commits.
+    for id in [1u64, 2] {
+        let prepare = SignedMessage::sign(
+            NodeId(id),
+            Message::Prepare(crate::Prepare {
+                view: 0,
+                sn: 1,
+                digest,
+            }),
+            &pairs[id as usize],
+        );
+        replica.on_message(prepare);
+    }
+    for id in [0u64, 1] {
+        let commit = SignedMessage::sign(
+            NodeId(id),
+            Message::Commit(crate::Commit {
+                view: 0,
+                sn: 1,
+                digest,
+            }),
+            &pairs[id as usize],
+        );
+        replica.on_message(commit);
+    }
+
+    let decided: Vec<(u64, Vec<u8>)> = replica
+        .drain_effects()
+        .into_iter()
+        .filter_map(|effect| match effect {
+            Effect::Output(ReplicaEvent::Decide { sn, request }) => Some((sn, request.payload)),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(
+        decided,
+        vec![(3, vec![3; 16]), (4, vec![4; 16])],
+        "the batch's tail must decide despite the vote-only slot at sn 3"
+    );
+}
+
+/// Regression: with the buffer at capacity, an incoming message for a
+/// view at or beyond the farthest buffered view must be dropped — under
+/// the old policy it displaced a nearer-view entry, inverting the
+/// "nearest future views survive" rule for the first arrival after the
+/// buffer fills.
+#[test]
+fn full_buffer_drops_incoming_farther_view_message() {
+    let config = Config::new(4).unwrap().with_max_buffered_messages(3);
+    let mut cluster = Cluster::with_config(4, config);
+    let (pairs, _) = Keystore::generate(4, 42);
+
+    // The complete view-1 round for sn 1 fills node 3's buffer.
+    let batch = ProposedBatch::single(request(1, 0));
+    let digest = batch.digest();
+    let pp = SignedMessage::sign(
+        NodeId(1),
+        Message::PrePrepare(PrePrepare {
+            view: 1,
+            sn: 1,
+            batch,
+        }),
+        &pairs[1],
+    );
+    cluster.replicas[3].on_message(pp);
+    for from in [2u64, 0] {
+        let prepare = SignedMessage::sign(
+            NodeId(from),
+            Message::Prepare(crate::Prepare {
+                view: 1,
+                sn: 1,
+                digest,
+            }),
+            &pairs[from as usize],
+        );
+        cluster.replicas[3].on_message(prepare);
+    }
+    assert_eq!(cluster.replicas[3].progress_snapshot().4, 3);
+
+    // A stray view-9 message hits the full buffer: it is farther out
+    // than everything buffered and must be dropped, not traded for a
+    // view-1 entry.
+    let ignored_before = cluster.replicas[3].stats().ignored;
+    let stray = SignedMessage::sign(
+        NodeId(2),
+        Message::Prepare(crate::Prepare {
+            view: 9,
+            sn: 1,
+            digest: Digest::ZERO,
+        }),
+        &pairs[2],
+    );
+    cluster.replicas[3].on_message(stray);
+    assert_eq!(cluster.replicas[3].progress_snapshot().4, 3);
+    assert_eq!(cluster.replicas[3].stats().ignored, ignored_before + 1);
+
+    // The NewView arrives; the full view-1 round must replay.
+    let votes: Vec<SignedMessage> = [0u64, 1, 2]
+        .iter()
+        .map(|&id| {
+            SignedMessage::sign(
+                NodeId(id),
+                Message::ViewChange(crate::ViewChange {
+                    new_view: 1,
+                    last_stable_sn: 0,
+                    checkpoint_proof: None,
+                    prepared: Vec::new(),
+                }),
+                &pairs[id as usize],
+            )
+        })
+        .collect();
+    let new_view = SignedMessage::sign(
+        NodeId(1),
+        Message::NewView(crate::NewView {
+            view: 1,
+            view_changes: votes,
+            preprepares: Vec::new(),
+        }),
+        &pairs[1],
+    );
+    cluster.replicas[3].on_message(new_view);
+    let _ = cluster.replicas[3].drain_effects();
+
+    assert_eq!(
+        cluster.replicas[3].progress_snapshot().4,
+        0,
+        "no stray future-view traffic survives the replay"
+    );
+    let slots = cluster.replicas[3].slot_snapshot();
+    assert!(
+        slots
+            .iter()
+            .any(|&(sn, has_pp, prepares, _, prepared, _)| sn == 1
+                && has_pp
+                && prepares >= 3
+                && prepared),
+        "the full view-1 round must survive the stray: {slots:?}"
+    );
+}

@@ -6,8 +6,10 @@
 //! `criterion_group!`/`criterion_main!` macros.
 //!
 //! Results are printed as `name  time: [.. ns/iter]` (plus derived
-//! throughput when configured); there is no statistical analysis, HTML
-//! report, or baseline comparison.
+//! throughput when configured), followed by a machine-readable
+//! `bench-result: <name> ns_per_iter=N [elem_per_s=R|bytes_per_s=R]`
+//! line for scripts (the CI regression gates parse that one); there is
+//! no statistical analysis, HTML report, or baseline comparison.
 
 #![warn(missing_docs)]
 
@@ -201,18 +203,29 @@ fn run_benchmark(
         best = best.min(sample);
     }
 
-    let rate = match throughput {
+    let (rate, machine_rate) = match throughput {
         Some(Throughput::Bytes(bytes)) if best > 0 => {
-            let mib_s = bytes as f64 * 1e9 / best as f64 / (1024.0 * 1024.0);
-            format!("  thrpt: {mib_s:.1} MiB/s")
+            let bytes_s = bytes as f64 * 1e9 / best as f64;
+            let mib_s = bytes_s / (1024.0 * 1024.0);
+            (
+                format!("  thrpt: {mib_s:.1} MiB/s"),
+                format!(" bytes_per_s={bytes_s:.0}"),
+            )
         }
         Some(Throughput::Elements(elements)) if best > 0 => {
             let elem_s = elements as f64 * 1e9 / best as f64;
-            format!("  thrpt: {elem_s:.0} elem/s")
+            (
+                format!("  thrpt: {elem_s:.0} elem/s"),
+                format!(" elem_per_s={elem_s:.0}"),
+            )
         }
-        _ => String::new(),
+        _ => (String::new(), String::new()),
     };
     println!("{name:<50} time: {best} ns/iter{rate}");
+    // A second, machine-readable line with a fixed `key=value` layout:
+    // scripts (CI regression gates, figure generators) parse this one,
+    // so the human-readable formatting above can change freely.
+    println!("bench-result: {name} ns_per_iter={best}{machine_rate}");
 }
 
 /// Declares a benchmark group function calling each target in order.
