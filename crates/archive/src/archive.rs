@@ -249,6 +249,42 @@ pub struct Archive {
     storage: Option<SegmentStore>,
     segments: Vec<Segment>,
     index: ArchiveIndex,
+    metrics: ArchiveMetrics,
+    telemetry: zugchain_telemetry::Telemetry,
+}
+
+/// Cached metric handles for an archive (see DESIGN.md §12). All handles
+/// are inert until [`Archive::set_telemetry`] resolves them.
+#[derive(Debug, Default)]
+struct ArchiveMetrics {
+    /// `zugchain_archive_ingests_total`: segments successfully ingested.
+    ingests: zugchain_telemetry::Counter,
+    /// `zugchain_archive_ingest_errors_total`: rejected segments
+    /// (discontinuity, bad certificate, build or I/O failure).
+    ingest_errors: zugchain_telemetry::Counter,
+    /// `zugchain_archive_ingest_latency_us`: wall-clock microseconds per
+    /// successful ingest (verify + persist + index).
+    ingest_latency_us: zugchain_telemetry::Histogram,
+    /// `zugchain_archive_bundle_builds_total`: court-ready audit bundles
+    /// assembled.
+    bundle_builds: zugchain_telemetry::Counter,
+    /// `zugchain_archive_segments`: archived segment count.
+    segments: zugchain_telemetry::Gauge,
+    /// `zugchain_archive_requests`: indexed request count.
+    requests: zugchain_telemetry::Gauge,
+}
+
+impl ArchiveMetrics {
+    fn resolve(telemetry: &zugchain_telemetry::Telemetry) -> Self {
+        ArchiveMetrics {
+            ingests: telemetry.counter("zugchain_archive_ingests_total"),
+            ingest_errors: telemetry.counter("zugchain_archive_ingest_errors_total"),
+            ingest_latency_us: telemetry.histogram("zugchain_archive_ingest_latency_us"),
+            bundle_builds: telemetry.counter("zugchain_archive_bundle_builds_total"),
+            segments: telemetry.gauge("zugchain_archive_segments"),
+            requests: telemetry.gauge("zugchain_archive_requests"),
+        }
+    }
 }
 
 impl Archive {
@@ -262,7 +298,19 @@ impl Archive {
             storage: None,
             segments: Vec::new(),
             index: ArchiveIndex::new(),
+            metrics: ArchiveMetrics::default(),
+            telemetry: zugchain_telemetry::Telemetry::disabled(),
         }
+    }
+
+    /// Attaches a telemetry handle: resolves the archive's metric
+    /// handles (`zugchain_archive_*`), publishes the current segment and
+    /// request gauges, and enables ingest trace events.
+    pub fn set_telemetry(&mut self, telemetry: &zugchain_telemetry::Telemetry) {
+        self.metrics = ArchiveMetrics::resolve(telemetry);
+        self.metrics.segments.set(self.segments.len() as i64);
+        self.metrics.requests.set(self.index.len() as i64);
+        self.telemetry = telemetry.clone();
     }
 
     /// Opens (creating if necessary) a durable archive at `dir`,
@@ -342,6 +390,8 @@ impl Archive {
                 storage: Some(storage),
                 segments,
                 index,
+                metrics: ArchiveMetrics::default(),
+                telemetry: zugchain_telemetry::Telemetry::disabled(),
             },
             report,
         ))
@@ -386,6 +436,27 @@ impl Archive {
     /// possibly an orphaned next-seq segment file on a summary-write
     /// failure, which recovery reconciles).
     pub fn ingest(&mut self, certified: &CertifiedSegment) -> Result<u64, IngestError> {
+        let started = std::time::Instant::now();
+        let result = self.ingest_inner(certified);
+        match &result {
+            Ok(seq) => {
+                self.metrics.ingests.inc();
+                self.metrics
+                    .ingest_latency_us
+                    .observe(started.elapsed().as_micros() as u64);
+                self.metrics.segments.set(self.segments.len() as i64);
+                self.metrics.requests.set(self.index.len() as i64);
+                let seq = *seq;
+                let blocks = certified.blocks.len() as u64;
+                self.telemetry
+                    .record_with(|| zugchain_telemetry::TraceEvent::ArchiveIngest { seq, blocks });
+            }
+            Err(_) => self.metrics.ingest_errors.inc(),
+        }
+        result
+    }
+
+    fn ingest_inner(&mut self, certified: &CertifiedSegment) -> Result<u64, IngestError> {
         if let Some((expected_height, expected_hash)) = self.head() {
             if certified.base_height != expected_height || certified.base_hash != expected_hash {
                 return Err(IngestError::NotContiguous {
@@ -494,6 +565,7 @@ impl Archive {
         let segment = self.segment_of_height(height)?;
         let idx = (height - segment.header.first_height) as usize;
         let leaves = block_leaves(&segment.blocks);
+        self.metrics.bundle_builds.inc();
         Some(AuditBundle {
             block_bytes: zugchain_wire::to_bytes(&segment.blocks[idx]),
             merkle_path: MerklePath::build(&leaves, idx),
@@ -543,6 +615,14 @@ impl QueryEngine {
 
     fn read(&self) -> std::sync::RwLockReadGuard<'_, Archive> {
         self.inner.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// See [`Archive::set_telemetry`].
+    pub fn set_telemetry(&self, telemetry: &zugchain_telemetry::Telemetry) {
+        self.inner
+            .write()
+            .unwrap_or_else(|e| e.into_inner())
+            .set_telemetry(telemetry);
     }
 
     /// Ingests a certified segment (writer-isolated; readers block only

@@ -1,0 +1,112 @@
+//! Telemetry overhead on the consensus hot path: orders the same
+//! request stream as `pbft_batch` (batch size 16, 4 replicas) with the
+//! instrument points disabled (the default — every metric handle is an
+//! inert `None`) and enabled (each replica publishing into a shared
+//! registry). The acceptance gate is that the disabled path stays
+//! within noise of the pre-instrumentation `pbft_batch` baseline; the
+//! enabled delta is the true cost of the atomic counters.
+//!
+//! Set `ZUGCHAIN_BENCH_QUICK=1` for the CI smoke variant.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use zugchain_crypto::Keystore;
+use zugchain_machine::Effect;
+use zugchain_pbft::{Config, NodeId, ProposedRequest, Replica, ReplicaEvent};
+use zugchain_telemetry::{Registry, Telemetry, DEFAULT_TRACE_CAPACITY};
+
+const N: usize = 4;
+const BATCH: usize = 16;
+
+fn fresh_group(telemetry: Option<&[Telemetry]>) -> Vec<Replica> {
+    let config = Config::new(N).unwrap().with_max_batch_size(BATCH);
+    let (pairs, keystore) = Keystore::generate(N, 7);
+    pairs
+        .into_iter()
+        .enumerate()
+        .map(|(id, key)| {
+            let mut replica =
+                Replica::new(NodeId(id as u64), config.clone(), key, keystore.clone());
+            if let Some(handles) = telemetry {
+                replica.set_telemetry(&handles[id]);
+            }
+            replica
+        })
+        .collect()
+}
+
+/// Same ordering loop as `pbft_batch`: propose on the primary, pump the
+/// group until quiet, count per-request decides.
+fn order_stream(replicas: &mut [Replica], requests: usize) -> usize {
+    for tag in 0..requests {
+        let mut payload = vec![0u8; 256];
+        payload[..8].copy_from_slice(&(tag as u64).to_le_bytes());
+        replicas[0].propose(ProposedRequest::application(payload, NodeId(0)));
+    }
+    let mut decided = 0usize;
+    loop {
+        let mut traffic = Vec::new();
+        for replica in replicas.iter_mut() {
+            for effect in replica.drain_effects() {
+                match effect {
+                    Effect::Broadcast { message } => traffic.push(message),
+                    Effect::Output(ReplicaEvent::Decide { .. }) => decided += 1,
+                    _ => {}
+                }
+            }
+        }
+        if traffic.is_empty() {
+            break;
+        }
+        for message in traffic {
+            for replica in replicas.iter_mut() {
+                replica.on_message(message.clone());
+            }
+        }
+    }
+    decided
+}
+
+fn bench_telemetry_overhead(c: &mut Criterion) {
+    let quick = std::env::var_os("ZUGCHAIN_BENCH_QUICK").is_some();
+    let requests = if quick { 64usize } else { 256 };
+    let mut group = c.benchmark_group("pbft/telemetry_overhead");
+    group.sample_size(if quick { 5 } else { 20 });
+    group.throughput(Throughput::Elements(requests as u64));
+
+    group.bench_function("disabled", |b| {
+        b.iter_batched(
+            || fresh_group(None),
+            |mut replicas| {
+                let decided = order_stream(&mut replicas, requests);
+                assert_eq!(decided, N * requests);
+                decided
+            },
+            criterion::BatchSize::LargeInput,
+        );
+    });
+
+    group.bench_function("enabled", |b| {
+        b.iter_batched(
+            || {
+                let registry = Arc::new(Registry::new());
+                let handles: Vec<Telemetry> = (0..N as u64)
+                    .map(|id| Telemetry::new(id, Arc::clone(&registry), DEFAULT_TRACE_CAPACITY))
+                    .collect();
+                fresh_group(Some(&handles))
+            },
+            |mut replicas| {
+                let decided = order_stream(&mut replicas, requests);
+                assert_eq!(decided, N * requests);
+                decided
+            },
+            criterion::BatchSize::LargeInput,
+        );
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_telemetry_overhead);
+criterion_main!(benches);

@@ -6,8 +6,9 @@
 //!
 //! Runs the seeded scenario for each seed in `[start, start + seeds)`.
 //! Every violation is minimized and written to
-//! `DIR/chaos-repro-<seed>.ron`; the process exits non-zero if any seed
-//! violated an invariant. `--mutate` arms the `mutation-hooks`
+//! `DIR/chaos-repro-<seed>.ron`, with the failing run's per-node
+//! flight-recorder tails next to it as `DIR/chaos-trace-<seed>.jsonl`;
+//! the process exits non-zero if any seed violated an invariant. `--mutate` arms the `mutation-hooks`
 //! equivocation bug on every scenario's initial primary (expect 100%
 //! violations — this is how the harness's own detection power is
 //! smoke-tested).
@@ -83,6 +84,12 @@ fn main() -> ExitCode {
     );
 
     let mut wrote_all = true;
+    if !report.failures.is_empty() {
+        if let Err(err) = std::fs::create_dir_all(&args.out) {
+            wrote_all = false;
+            eprintln!("  failed to create {}: {err}", args.out.display());
+        }
+    }
     for failure in &report.failures {
         println!(
             "seed {}: {} — minimized to {} op(s), {} crash(es), {} byzantine, {} export(s), partition: {}",
@@ -100,6 +107,16 @@ fn main() -> ExitCode {
             Err(err) => {
                 wrote_all = false;
                 eprintln!("  failed to write {}: {err}", path.display());
+            }
+        }
+        // The flight-recorder tails of the failing run ride along with
+        // the repro: each node's last events before the violation.
+        let trace_path = args.out.join(&failure.trace_file_name);
+        match std::fs::write(&trace_path, failure.traces.concat()) {
+            Ok(()) => println!("  wrote {}", trace_path.display()),
+            Err(err) => {
+                wrote_all = false;
+                eprintln!("  failed to write {}: {err}", trace_path.display());
             }
         }
     }

@@ -218,4 +218,7 @@ impl TrainNode for ByzNode {
     fn progress_snapshot(&self) -> (u64, u64, u64, u64, usize) {
         self.inner.progress_snapshot()
     }
+    fn set_telemetry(&mut self, telemetry: &zugchain_telemetry::Telemetry) {
+        self.inner.set_telemetry(telemetry);
+    }
 }

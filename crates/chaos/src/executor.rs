@@ -10,10 +10,12 @@
 
 use std::collections::{BinaryHeap, HashMap, HashSet, VecDeque};
 use std::fmt;
+use std::sync::Arc;
 
 use rand::{rngs::StdRng, RngExt as _, SeedableRng as _};
 use zugchain::{
-    NodeConfig, NodeEvent, NodeInput, NodeMessage, TimerId, TrainMachine, TrainNode, ZugchainNode,
+    NodeConfig, NodeEvent, NodeInput, NodeMessage, NodeObserver, TimerId, TrainMachine, TrainNode,
+    ZugchainNode,
 };
 use zugchain_archive::Archive;
 use zugchain_blockchain::{verify_chain, ChainStore};
@@ -24,6 +26,7 @@ use zugchain_export::{
 use zugchain_machine::{Driver, Effect, Frame, Host};
 use zugchain_mvb::Nsdb;
 use zugchain_pbft::{CheckpointProof, Config, Message, NodeId};
+use zugchain_telemetry::{Registry, Telemetry, TraceEvent, DEFAULT_TRACE_CAPACITY};
 
 use crate::byzantine::ByzNode;
 use crate::plan::{ByzBehavior, ChaosPlan};
@@ -140,6 +143,11 @@ pub struct ChaosOutcome {
     /// liveness loss shows up as undecided operations or a blown view
     /// bound.
     pub quiesced: bool,
+    /// Per-node flight-recorder dumps (JSONL, virtual-time stamped —
+    /// byte-identical across replays of one plan). On a violation, every
+    /// node's trace ends with a `mark` record carrying the violation,
+    /// so the tail shows what each replica did right before the failure.
+    pub traces: Vec<String>,
 }
 
 // ---------------------------------------------------------------------
@@ -462,6 +470,9 @@ impl Host<TrainMachine<ByzNode>> for ChaosHost<'_> {
 
 struct Chaos {
     drivers: Vec<Driver<TrainMachine<ByzNode>>>,
+    /// Per-node flight recorders sharing one registry; the trace clock
+    /// follows virtual time, so dumps are deterministic per plan.
+    telemetry: Vec<Telemetry>,
     world: World,
     dcs: Vec<DataCenter>,
     /// One in-memory juridical archive per data center, fed from the
@@ -501,6 +512,10 @@ impl Chaos {
         };
         let nsdb = Nsdb::new();
 
+        let registry = Arc::new(Registry::new());
+        let telemetry: Vec<Telemetry> = (0..n)
+            .map(|i| Telemetry::new(i as u64, Arc::clone(&registry), DEFAULT_TRACE_CAPACITY))
+            .collect();
         let mut drivers: Vec<Driver<TrainMachine<ByzNode>>> = (0..n)
             .map(|i| {
                 let behavior = plan
@@ -515,12 +530,12 @@ impl Chaos {
                     pairs[i].clone(),
                     keystore.clone(),
                 );
-                Driver::new(TrainMachine(ByzNode::new(
-                    node,
-                    behavior,
-                    pairs[i].clone(),
-                    n,
-                )))
+                let mut byz = ByzNode::new(node, behavior, pairs[i].clone(), n);
+                byz.set_telemetry(&telemetry[i]);
+                Driver::with_observer(
+                    TrainMachine(byz),
+                    Box::new(NodeObserver::new(telemetry[i].clone())),
+                )
             })
             .collect();
         if plan.mutation {
@@ -602,6 +617,7 @@ impl Chaos {
 
         Self {
             drivers,
+            telemetry,
             world,
             dcs,
             archives,
@@ -647,6 +663,12 @@ impl Chaos {
                 break;
             }
             self.world.now_ns = event.at_ns;
+            // Trace clock follows virtual time (monotonic fetch_max, so
+            // the heap's equal-time reordering can never rewind it).
+            let now_ms = event.at_ns / NS_PER_MS;
+            for telemetry in &self.telemetry {
+                telemetry.set_time_ms(now_ms);
+            }
             match event.kind {
                 EventKind::Op(i) => self.run_op(i),
                 EventKind::Deliver { node, work } => self.deliver(node, work),
@@ -670,6 +692,16 @@ impl Chaos {
         if self.world.violation.is_none() {
             self.check_quiescence();
         }
+        // Stamp the violation into every node's trace so a dumped tail
+        // is self-describing: the last record names what broke and when.
+        if let Some(violation) = &self.world.violation {
+            let label = format!("violation: {violation}");
+            for telemetry in &self.telemetry {
+                telemetry.record_with(|| TraceEvent::Mark {
+                    label: label.clone(),
+                });
+            }
+        }
         ChaosOutcome {
             violation: self.world.violation,
             decided: self.world.decided_log,
@@ -680,6 +712,7 @@ impl Chaos {
             state_transfers: self.world.state_transfers,
             delivered_messages: self.world.delivered,
             quiesced,
+            traces: self.telemetry.iter().map(Telemetry::dump_jsonl).collect(),
         }
     }
 
@@ -861,12 +894,19 @@ impl Chaos {
         if self.world.plan.mutation && node == 0 {
             inner.enable_equivocation_bug();
         }
-        self.drivers[node] = Driver::new(TrainMachine(ByzNode::new(
+        let mut byz = ByzNode::new(
             inner,
             behavior,
             self.pairs[node].clone(),
             self.world.plan.n_nodes,
-        )));
+        );
+        // The recorder handle survives the restart: the rebuilt node
+        // appends to the same ring buffer, so one trace spans crashes.
+        byz.set_telemetry(&self.telemetry[node]);
+        self.drivers[node] = Driver::with_observer(
+            TrainMachine(byz),
+            Box::new(NodeObserver::new(self.telemetry[node].clone())),
+        );
     }
 
     // -- state transfer ------------------------------------------------

@@ -22,6 +22,12 @@ pub struct SeedFailure {
     pub repro: String,
     /// Suggested repro file name.
     pub file_name: String,
+    /// Flight-recorder tails from the original (unminimized) failing
+    /// run, one JSONL dump per node, each ending with the violation
+    /// mark (write their concatenation to `chaos-trace-<seed>.jsonl`).
+    pub traces: Vec<String>,
+    /// Suggested trace file name, placed next to the repro.
+    pub trace_file_name: String,
 }
 
 /// Outcome of exploring a seed range.
@@ -66,6 +72,8 @@ pub fn explore(start: u64, count: u64, mutate: bool, minimize_runs: usize) -> Ex
                 minimized,
                 repro,
                 file_name: format!("chaos-repro-{seed}.ron"),
+                traces: outcome.traces,
+                trace_file_name: format!("chaos-trace-{seed}.jsonl"),
             });
         }
     }

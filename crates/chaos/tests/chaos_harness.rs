@@ -171,6 +171,39 @@ fn injected_equivocation_bug_is_caught_minimized_and_replayed() {
     let violation = outcome.violation.expect("armed bug must be caught");
     assert_eq!(violation.kind, ViolationKind::Equivocation);
 
+    // 1b. The flight recorders must tell the same story: every node's
+    //     trace parses back as JSONL and ends with the violation mark,
+    //     and the buggy primary's tail shows the equivocating sends
+    //     that tripped the invariant.
+    assert_eq!(outcome.traces.len(), plan.n_nodes);
+    for (node, trace) in outcome.traces.iter().enumerate() {
+        let records = zugchain_telemetry::parse_jsonl(trace)
+            .unwrap_or_else(|e| panic!("node {node} trace is not valid JSONL: {e}"));
+        assert!(!records.is_empty(), "node {node} trace is empty");
+        let last = records.last().unwrap();
+        assert_eq!(
+            last.kind, "mark",
+            "node {node} trace must end in the violation mark"
+        );
+        let label = last
+            .field("label")
+            .and_then(zugchain_telemetry::JsonValue::as_str)
+            .expect("mark has a label");
+        assert!(
+            label.contains("equivocation"),
+            "node {node} mark does not name the violation: {label}"
+        );
+    }
+    let primary_trace =
+        zugchain_telemetry::parse_jsonl(&outcome.traces[0]).expect("primary trace parses");
+    assert!(
+        primary_trace.iter().rev().any(|r| r.kind == "effect"
+            && r.field("effect")
+                .and_then(zugchain_telemetry::JsonValue::as_str)
+                == Some("send")),
+        "buggy primary's tail must show the equivocating per-peer sends"
+    );
+
     // 2. Minimize: a single op suffices to trigger a primary proposal,
     //    so the schedule must shrink to one.
     let minimized = minimize(&plan, violation.kind, 100);

@@ -10,7 +10,7 @@ use zugchain_pbft::{
 use zugchain_signals::CycleConsolidator;
 use zugchain_wire::{Encode, Writer};
 
-use crate::node::{NodeEffect, NodeEvent, NodeStats, TrainNode};
+use crate::node::{NodeEffect, NodeEvent, NodeMetrics, NodeStats, TrainNode};
 use crate::{LayerMessage, NodeConfig, NodeMessage, SignedRequest, TimerId};
 
 /// The evaluation baseline: PBFT with traditional client handling
@@ -45,6 +45,10 @@ pub struct BaselineNode {
     last_time_ms: u64,
     effects: Vec<NodeEffect>,
     stats: NodeStats,
+    /// Registry handles shared with the ZugChain flavour so evaluation
+    /// runs report both modes from the same metric names; inert until
+    /// [`TrainNode::set_telemetry`].
+    metrics: NodeMetrics,
 }
 
 impl BaselineNode {
@@ -67,6 +71,7 @@ impl BaselineNode {
             last_time_ms: 0,
             effects: Vec::new(),
             stats: NodeStats::default(),
+            metrics: NodeMetrics::default(),
             config,
             key,
             replica,
@@ -141,6 +146,7 @@ impl BaselineNode {
         }
         // No duplicate filtering: the baseline logs every ordered copy.
         self.stats.logged += 1;
+        self.metrics.logged.inc();
         self.effects.push(Effect::Output(NodeEvent::Logged {
             sn,
             origin: request.origin,
@@ -158,6 +164,7 @@ impl BaselineNode {
                 .append(block.clone())
                 .expect("builder output always extends the local chain");
             self.stats.blocks_created += 1;
+            self.metrics.blocks.inc();
             self.effects
                 .push(Effect::Output(NodeEvent::BlockCreated { block }));
             self.replica.record_checkpoint(last_sn, block_hash);
@@ -248,6 +255,7 @@ impl BaselineNode {
                         .push(Effect::Output(NodeEvent::CheckpointStable { proof }));
                 }
                 Effect::Output(ReplicaEvent::NeedStateTransfer { from_sn, to_sn }) => {
+                    self.metrics.state_transfers.inc();
                     self.effects
                         .push(Effect::Output(NodeEvent::StateTransferNeeded {
                             from_sn,
@@ -365,6 +373,11 @@ impl TrainNode for BaselineNode {
 
     fn consensus_stats(&self) -> zugchain_pbft::ReplicaStats {
         self.replica.stats()
+    }
+
+    fn set_telemetry(&mut self, telemetry: &zugchain_telemetry::Telemetry) {
+        self.metrics = NodeMetrics::resolve(telemetry);
+        self.replica.set_telemetry(telemetry);
     }
 
     fn slot_snapshot(&self) -> Vec<(u64, bool, usize, usize, bool, bool)> {

@@ -56,6 +56,7 @@ mod config;
 mod dedup;
 mod messages;
 mod node;
+pub mod telemetry;
 
 pub use baseline::BaselineNode;
 pub use config::NodeConfig;
@@ -64,3 +65,4 @@ pub use messages::{LayerMessage, NodeMessage, SignedRequest, TimerId};
 pub use node::{
     NodeEffect, NodeEvent, NodeInput, NodeStats, TrainMachine, TrainNode, ZugchainNode,
 };
+pub use telemetry::NodeObserver;

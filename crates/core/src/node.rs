@@ -186,6 +186,11 @@ pub trait TrainNode {
 
     /// Diagnostic `(view, low watermark, decided_up_to, next_sn, buffered)`.
     fn progress_snapshot(&self) -> (u64, u64, u64, u64, usize);
+
+    /// Attaches a telemetry handle: resolves this node's registry
+    /// metrics (consensus and communication layer) once. The default is
+    /// a no-op so node types without instrument points stay valid.
+    fn set_telemetry(&mut self, _telemetry: &zugchain_telemetry::Telemetry) {}
 }
 
 /// Boxed nodes are nodes, so a runtime can drive a heterogeneous
@@ -246,6 +251,9 @@ impl<N: TrainNode + ?Sized> TrainNode for Box<N> {
     fn progress_snapshot(&self) -> (u64, u64, u64, u64, usize) {
         (**self).progress_snapshot()
     }
+    fn set_telemetry(&mut self, telemetry: &zugchain_telemetry::Telemetry) {
+        (**self).set_telemetry(telemetry);
+    }
 }
 
 /// A ZugChain node: the communication layer of Algorithm 1 wired to a
@@ -276,6 +284,36 @@ pub struct ZugchainNode {
     last_time_ms: u64,
     effects: Vec<NodeEffect>,
     stats: NodeStats,
+    /// Registry handles for the layer's instrument points, resolved by
+    /// [`TrainNode::set_telemetry`]; disabled (free) by default.
+    metrics: NodeMetrics,
+}
+
+/// Cached registry handles for the communication layer's instrument
+/// points (the consensus-level points live in `zugchain-pbft`).
+#[derive(Debug, Clone, Default)]
+pub(crate) struct NodeMetrics {
+    pub(crate) logged: zugchain_telemetry::Counter,
+    pub(crate) blocks: zugchain_telemetry::Counter,
+    pub(crate) dedup_hits: zugchain_telemetry::Counter,
+    pub(crate) rate_limited: zugchain_telemetry::Counter,
+    pub(crate) state_transfers: zugchain_telemetry::Counter,
+    pub(crate) open_requests: zugchain_telemetry::Gauge,
+    pub(crate) open_origins: zugchain_telemetry::Gauge,
+}
+
+impl NodeMetrics {
+    pub(crate) fn resolve(telemetry: &zugchain_telemetry::Telemetry) -> Self {
+        Self {
+            logged: telemetry.counter("zugchain_node_logged_total"),
+            blocks: telemetry.counter("zugchain_node_blocks_total"),
+            dedup_hits: telemetry.counter("zugchain_node_dedup_hits_total"),
+            rate_limited: telemetry.counter("zugchain_node_rate_limited_total"),
+            state_transfers: telemetry.counter("zugchain_node_state_transfers_total"),
+            open_requests: telemetry.gauge("zugchain_node_open_requests"),
+            open_origins: telemetry.gauge("zugchain_node_open_origins"),
+        }
+    }
 }
 
 impl ZugchainNode {
@@ -299,6 +337,7 @@ impl ZugchainNode {
             last_time_ms: 0,
             effects: Vec::new(),
             stats: NodeStats::default(),
+            metrics: NodeMetrics::default(),
             config,
             key,
             replica,
@@ -359,6 +398,7 @@ impl ZugchainNode {
             last_time_ms: 0,
             effects: Vec::new(),
             stats: NodeStats::default(),
+            metrics: NodeMetrics::default(),
             config,
             key,
             replica,
@@ -479,6 +519,7 @@ impl ZugchainNode {
             // Already logged or already in flight: a delayed duplicate
             // delivery from the bus.
             self.stats.duplicates_filtered += 1;
+            self.metrics.dedup_hits.inc();
             return;
         }
         let request = ProposedRequest::application(payload, self.id).with_time(self.last_time_ms);
@@ -501,6 +542,15 @@ impl ZugchainNode {
                 duration_ms: self.config.soft_timeout_ms,
             });
         }
+        self.update_open_gauges();
+    }
+
+    /// Publishes the open-request and rate-limit occupancy gauges.
+    fn update_open_gauges(&self) {
+        self.metrics.open_requests.set(self.pending.len() as i64);
+        self.metrics
+            .open_origins
+            .set(self.open_by_origin.len() as i64);
     }
 
     /// Algorithm 1, `upon DECIDE(r, sn)` (ln. 12–20).
@@ -534,6 +584,8 @@ impl ZugchainNode {
         // ln. 20: append to the log with the origin's id.
         self.dedup.record(digest, sn);
         self.stats.logged += 1;
+        self.metrics.logged.inc();
+        self.update_open_gauges();
         self.effects.push(Effect::Output(NodeEvent::Logged {
             sn,
             origin: request.origin,
@@ -553,6 +605,7 @@ impl ZugchainNode {
                 .append(block.clone())
                 .expect("builder output always extends the local chain");
             self.stats.blocks_created += 1;
+            self.metrics.blocks.inc();
             self.effects
                 .push(Effect::Output(NodeEvent::BlockCreated { block }));
             // One checkpoint per block (§III-C): the checkpoint digest is
@@ -642,6 +695,7 @@ impl ZugchainNode {
         // ln. 26–27: ignore duplicates already in the log.
         if self.dedup.contains(&digest) {
             self.stats.duplicates_filtered += 1;
+            self.metrics.dedup_hits.inc();
             return;
         }
 
@@ -651,9 +705,11 @@ impl ZugchainNode {
             let open = self.open_by_origin.entry(origin).or_default();
             if open.len() >= self.config.open_request_limit {
                 self.stats.rate_limited += 1;
+                self.metrics.rate_limited.inc();
                 return;
             }
             open.insert(digest);
+            self.update_open_gauges();
         }
 
         let already_pending = self.pending.contains_key(&digest);
@@ -779,6 +835,7 @@ impl ZugchainNode {
                         .push(Effect::Output(NodeEvent::CheckpointStable { proof }));
                 }
                 Effect::Output(ReplicaEvent::NeedStateTransfer { from_sn, to_sn }) => {
+                    self.metrics.state_transfers.inc();
                     self.effects
                         .push(Effect::Output(NodeEvent::StateTransferNeeded {
                             from_sn,
@@ -942,6 +999,12 @@ impl TrainNode for ZugchainNode {
             + self.dedup.approx_memory_bytes()
             + pending_bytes
             + self.stable_proofs.len() * 512
+    }
+
+    fn set_telemetry(&mut self, telemetry: &zugchain_telemetry::Telemetry) {
+        self.metrics = NodeMetrics::resolve(telemetry);
+        self.replica.set_telemetry(telemetry);
+        self.update_open_gauges();
     }
 }
 

@@ -5,7 +5,50 @@ use zugchain_crypto::{Digest, KeyPair, Keystore};
 use zugchain_machine::{Effect, Machine, NoTimer};
 use zugchain_pbft::{CheckpointProof, NodeId};
 
+use zugchain_telemetry::{Counter, Gauge, Telemetry};
+
 use crate::{CheckpointReply, DcId, DeleteCmd, ExportMessage, SignedAck, SignedDelete};
+
+/// Cached metric handles for a data center (see DESIGN.md §12).
+/// Resolved once in [`DataCenter::set_telemetry`]; all handles are inert
+/// until then.
+#[derive(Debug, Default)]
+struct DcMetrics {
+    /// `zugchain_export_rounds_total`: export rounds started.
+    rounds: Counter,
+    /// `zugchain_export_checkpoint_replies_total`: checkpoint replies
+    /// received from replicas (step ②).
+    checkpoint_replies: Counter,
+    /// `zugchain_export_certified_segments_total`: checkpoint-certified
+    /// segments adopted (from the train or via DC sync).
+    certified_segments: Counter,
+    /// `zugchain_export_blocks_total`: blocks adopted into the archive.
+    blocks: Counter,
+    /// `zugchain_export_range_fetches_total`: second-round block-range
+    /// fetches — each one is a retry against the best-checkpoint replica.
+    range_fetches: Counter,
+    /// `zugchain_export_failed_rounds_total`: rounds abandoned without
+    /// adopting blocks (empty, stale, or corrupt segment); the caller
+    /// retries with a different block source.
+    failed_rounds: Counter,
+    /// `zugchain_export_archive_height`: height of the newest archived
+    /// block.
+    archive_height: Gauge,
+}
+
+impl DcMetrics {
+    fn resolve(telemetry: &Telemetry) -> Self {
+        Self {
+            rounds: telemetry.counter("zugchain_export_rounds_total"),
+            checkpoint_replies: telemetry.counter("zugchain_export_checkpoint_replies_total"),
+            certified_segments: telemetry.counter("zugchain_export_certified_segments_total"),
+            blocks: telemetry.counter("zugchain_export_blocks_total"),
+            range_fetches: telemetry.counter("zugchain_export_range_fetches_total"),
+            failed_rounds: telemetry.counter("zugchain_export_failed_rounds_total"),
+            archive_height: telemetry.gauge("zugchain_export_archive_height"),
+        }
+    }
+}
 
 /// Configuration of a data center.
 #[derive(Debug, Clone)]
@@ -125,6 +168,8 @@ pub struct DataCenter {
     /// Certified segments adopted since the last
     /// [`drain_certified_segments`](Self::drain_certified_segments) call.
     certified: Vec<CertifiedSegment>,
+    metrics: DcMetrics,
+    telemetry: Telemetry,
 }
 
 impl DataCenter {
@@ -147,7 +192,18 @@ impl DataCenter {
             round: None,
             acks: HashMap::new(),
             certified: Vec::new(),
+            metrics: DcMetrics::default(),
+            telemetry: Telemetry::disabled(),
         }
+    }
+
+    /// Attaches a telemetry handle: resolves the data center's metric
+    /// handles (`zugchain_export_*`) and enables export-round trace
+    /// events in the flight recorder.
+    pub fn set_telemetry(&mut self, telemetry: &Telemetry) {
+        self.metrics = DcMetrics::resolve(telemetry);
+        self.metrics.archive_height.set(self.last_height as i64);
+        self.telemetry = telemetry.clone();
     }
 
     /// This data center's id.
@@ -198,6 +254,7 @@ impl DataCenter {
     /// paper §V-B: a faulty node denying to respond only delays the
     /// export "until another node is queried").
     pub fn begin_export(&mut self, blocks_from: NodeId) -> Vec<DcEffect> {
+        self.metrics.rounds.inc();
         self.round = Some(Round {
             replies: BTreeMap::new(),
             staged_blocks: Vec::new(),
@@ -215,6 +272,7 @@ impl DataCenter {
     pub fn on_replica_message(&mut self, from: NodeId, message: ExportMessage) -> Vec<DcEffect> {
         match message {
             ExportMessage::Checkpoint(reply) => {
+                self.metrics.checkpoint_replies.inc();
                 if let Some(round) = &mut self.round {
                     round.replies.entry(from.0).or_insert(reply);
                 }
@@ -265,6 +323,8 @@ impl DataCenter {
         if last.hash() != proof.checkpoint.state_digest {
             return Vec::new();
         }
+        self.metrics.certified_segments.inc();
+        self.metrics.blocks.add(new_blocks.len() as u64);
         self.certified.push(CertifiedSegment {
             base_height: self.last_height,
             base_hash: self.last_hash,
@@ -272,6 +332,7 @@ impl DataCenter {
             proof: proof.clone(),
         });
         self.adopt(new_blocks);
+        self.metrics.archive_height.set(self.last_height as i64);
         // Step ⑤: "the data centers each sign a delete message" — having
         // verified and stored the blocks, this data center adds its own
         // signature so the replicas' delete quorum can form.
@@ -385,6 +446,7 @@ impl DataCenter {
                 .find(|(_, reply)| reply.block_height >= best.block_height)
                 .map(|(id, _)| NodeId(*id))
                 .expect("the best reply exists");
+            self.metrics.range_fetches.inc();
             if let Some(round) = &mut self.round {
                 round.range_requested = true;
             }
@@ -409,6 +471,7 @@ impl DataCenter {
         {
             // Corrupt blocks from a faulty replica: retry the round with a
             // different block source next time.
+            self.metrics.failed_rounds.inc();
             self.round = None;
             return vec![Effect::Output(ExportOutcome {
                 exported_blocks: 0,
@@ -419,6 +482,8 @@ impl DataCenter {
 
         let exported = segment.len();
         let proof = best.proof.clone().expect("verified above");
+        self.metrics.certified_segments.inc();
+        self.metrics.blocks.add(exported as u64);
         self.certified.push(CertifiedSegment {
             base_height: self.last_height,
             base_hash: self.last_hash,
@@ -426,6 +491,11 @@ impl DataCenter {
             proof: proof.clone(),
         });
         self.adopt(segment);
+        self.metrics.archive_height.set(self.last_height as i64);
+        self.telemetry
+            .record_with(|| zugchain_telemetry::TraceEvent::ExportRound {
+                blocks: exported as u64,
+            });
         self.round = None;
 
         let mut actions = Vec::new();

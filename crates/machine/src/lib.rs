@@ -141,6 +141,19 @@ pub enum EffectKind {
     Output,
 }
 
+impl EffectKind {
+    /// Stable lowercase label for logs, metrics and traces.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            EffectKind::Send => "send",
+            EffectKind::Broadcast => "broadcast",
+            EffectKind::SetTimer => "set-timer",
+            EffectKind::CancelTimer => "cancel-timer",
+            EffectKind::Output => "output",
+        }
+    }
+}
+
 impl<A, M, T, O> Effect<A, M, T, O> {
     /// The discriminant of this effect.
     pub fn kind(&self) -> EffectKind {
@@ -368,6 +381,36 @@ pub trait Host<M: Machine> {
     fn output(&mut self, output: M::Output);
 }
 
+/// A passive tap on everything flowing through a [`Driver`]: inputs,
+/// effects, and the timer lifecycle (with generations). Observers are
+/// telemetry, not policy — they see borrowed data, cannot alter it, and
+/// every method has an empty default body, so a no-op observer costs one
+/// branch per hook.
+///
+/// The driver invokes hooks in execution order: `input` (or
+/// `timer_fired`) first, then one `effect` per emitted effect, with
+/// `timer_set`/`timer_cancelled` nested inside the corresponding timer
+/// effects after the generation is assigned.
+pub trait Observer<M: Machine> {
+    /// An input is about to be fed to the machine.
+    fn input(&mut self, _input: &M::Input) {}
+    /// The machine emitted an effect (observed before routing).
+    fn effect(&mut self, _effect: &MachineEffect<M>) {}
+    /// A timer was armed with the given generation.
+    fn timer_set(&mut self, _id: &M::Timer, _gen: u64, _duration_ms: u64) {}
+    /// A timer was cancelled.
+    fn timer_cancelled(&mut self, _id: &M::Timer) {}
+    /// A timer expiry was reported; `stale` expiries are dropped without
+    /// reaching the machine.
+    fn timer_fired(&mut self, _id: &M::Timer, _gen: u64, _stale: bool) {}
+}
+
+/// The [`Observer`] that observes nothing (the driver default).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopObserver;
+
+impl<M: Machine> Observer<M> for NoopObserver {}
+
 /// The single generic dispatch loop: owns a [`Machine`] and its
 /// [`TimerTable`], routes effects to a [`Host`].
 ///
@@ -375,10 +418,26 @@ pub trait Host<M: Machine> {
 /// discrete-event simulator, the threaded runtime, and the TCP mesh used
 /// to carry — and is the one place broadcast frames are created, so a
 /// message is encoded/signed once per broadcast regardless of fan-out.
-#[derive(Debug)]
+///
+/// An optional [`Observer`] taps the same seam for telemetry; without
+/// one (the default) every hook site is a single `None` check.
 pub struct Driver<M: Machine> {
     machine: M,
     timers: TimerTable<M::Timer>,
+    observer: Option<Box<dyn Observer<M> + Send>>,
+}
+
+impl<M: Machine + std::fmt::Debug> std::fmt::Debug for Driver<M>
+where
+    M::Timer: std::fmt::Debug,
+{
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Driver")
+            .field("machine", &self.machine)
+            .field("timers", &self.timers)
+            .field("observed", &self.observer.is_some())
+            .finish()
+    }
 }
 
 impl<M: Machine> Driver<M> {
@@ -387,7 +446,22 @@ impl<M: Machine> Driver<M> {
         Self {
             machine,
             timers: TimerTable::new(),
+            observer: None,
         }
+    }
+
+    /// Wraps a machine with an [`Observer`] attached from the start.
+    pub fn with_observer(machine: M, observer: Box<dyn Observer<M> + Send>) -> Self {
+        Self {
+            machine,
+            timers: TimerTable::new(),
+            observer: Some(observer),
+        }
+    }
+
+    /// Attaches (or replaces) the observer.
+    pub fn set_observer(&mut self, observer: Box<dyn Observer<M> + Send>) {
+        self.observer = Some(observer);
     }
 
     /// The wrapped machine.
@@ -407,6 +481,9 @@ impl<M: Machine> Driver<M> {
 
     /// Feeds one input through the machine and routes its effects.
     pub fn on_input<H: Host<M>>(&mut self, input: M::Input, host: &mut H) {
+        if let Some(observer) = &mut self.observer {
+            observer.input(&input);
+        }
         let effects = self.machine.on_input(input);
         self.route(effects, host);
     }
@@ -414,7 +491,11 @@ impl<M: Machine> Driver<M> {
     /// Reports a timer expiry. Stale generations (cancelled or re-armed
     /// since scheduling) are dropped; returns whether the timer fired.
     pub fn on_timer_fired<H: Host<M>>(&mut self, id: M::Timer, gen: u64, host: &mut H) -> bool {
-        if !self.timers.fire(id, gen) {
+        let current = self.timers.fire(id, gen);
+        if let Some(observer) = &mut self.observer {
+            observer.timer_fired(&id, gen, !current);
+        }
+        if !current {
             return false;
         }
         let effects = self.machine.on_timer(id);
@@ -440,15 +521,24 @@ impl<M: Machine> Driver<M> {
 
     fn route<H: Host<M>>(&mut self, effects: Vec<MachineEffect<M>>, host: &mut H) {
         for effect in effects {
+            if let Some(observer) = &mut self.observer {
+                observer.effect(&effect);
+            }
             match effect {
                 Effect::Send { to, message } => host.send(to, &Frame::new(message)),
                 Effect::Broadcast { message } => host.broadcast(&Frame::new(message)),
                 Effect::SetTimer { id, duration_ms } => {
                     let gen = self.timers.arm(id);
+                    if let Some(observer) = &mut self.observer {
+                        observer.timer_set(&id, gen, duration_ms);
+                    }
                     host.set_timer(id, gen, duration_ms);
                 }
                 Effect::CancelTimer { id } => {
                     self.timers.cancel(id);
+                    if let Some(observer) = &mut self.observer {
+                        observer.timer_cancelled(&id);
+                    }
                     host.cancel_timer(id);
                 }
                 Effect::Output(output) => host.output(output),

@@ -2,6 +2,7 @@ use std::collections::{BTreeMap, VecDeque};
 
 use zugchain_crypto::{Digest, KeyPair, Keystore, Signature};
 use zugchain_machine::{Effect, Machine};
+use zugchain_telemetry::{Counter, Gauge, Histogram, Telemetry};
 
 use crate::messages::Commit;
 use crate::{
@@ -164,6 +165,69 @@ struct ViewChangeState {
 
 /// A PBFT replica: the deterministic state machine at the heart of
 /// ZugChain's ordering (see the crate docs for the interface mapping to
+/// Cached registry handles for the replica's instrument points. All
+/// handles are disabled (single-branch no-ops) until
+/// [`Replica::set_telemetry`] resolves them against a live registry —
+/// resolution happens once, so the hot path never takes the registry
+/// lock.
+#[derive(Debug, Clone, Default)]
+struct ReplicaMetrics {
+    preprepares: Counter,
+    prepares: Counter,
+    commits: Counter,
+    checkpoint_msgs: Counter,
+    view_change_msgs: Counter,
+    new_view_msgs: Counter,
+    invalid_signatures: Counter,
+    ignored: Counter,
+    decided: Counter,
+    batches_decided: Counter,
+    view_changes: Counter,
+    buffer_evictions: Counter,
+    view: Gauge,
+    decided_up_to: Gauge,
+    future_buffer_len: Gauge,
+    backlog_len: Gauge,
+    batch_occupancy: Histogram,
+}
+
+impl ReplicaMetrics {
+    fn resolve(telemetry: &Telemetry) -> Self {
+        let msg =
+            |kind: &str| telemetry.counter_with("zugchain_pbft_messages_total", &[("type", kind)]);
+        Self {
+            preprepares: msg("preprepare"),
+            prepares: msg("prepare"),
+            commits: msg("commit"),
+            checkpoint_msgs: msg("checkpoint"),
+            view_change_msgs: msg("viewchange"),
+            new_view_msgs: msg("newview"),
+            invalid_signatures: telemetry.counter("zugchain_pbft_invalid_signatures_total"),
+            ignored: telemetry.counter("zugchain_pbft_ignored_total"),
+            decided: telemetry.counter("zugchain_pbft_decided_total"),
+            batches_decided: telemetry.counter("zugchain_pbft_batches_decided_total"),
+            view_changes: telemetry.counter("zugchain_pbft_view_changes_total"),
+            buffer_evictions: telemetry.counter("zugchain_pbft_future_buffer_evictions_total"),
+            view: telemetry.gauge("zugchain_pbft_view"),
+            decided_up_to: telemetry.gauge("zugchain_pbft_decided_up_to"),
+            future_buffer_len: telemetry.gauge("zugchain_pbft_future_buffer_len"),
+            backlog_len: telemetry.gauge("zugchain_pbft_backlog_len"),
+            batch_occupancy: telemetry.histogram("zugchain_pbft_batch_occupancy"),
+        }
+    }
+
+    fn for_message(&self, message: &Message) -> &Counter {
+        match message {
+            Message::PrePrepare(_) => &self.preprepares,
+            Message::Prepare(_) => &self.prepares,
+            Message::Commit(_) => &self.commits,
+            Message::Checkpoint(_) => &self.checkpoint_msgs,
+            Message::ViewChange(_) => &self.view_change_msgs,
+            Message::NewView(_) => &self.new_view_msgs,
+        }
+    }
+}
+
 /// the paper's Table I).
 #[derive(Debug)]
 pub struct Replica {
@@ -202,6 +266,9 @@ pub struct Replica {
     armed_batch_timer: bool,
     effects: Vec<ReplicaEffect>,
     stats: ReplicaStats,
+    /// Registry handles for the instrument points, resolved once by
+    /// [`Replica::set_telemetry`]; disabled (free) by default.
+    metrics: ReplicaMetrics,
     /// Mutation hook (chaos harness only): when set, this replica
     /// equivocates as primary — see [`Replica::enable_equivocation_bug`].
     #[cfg(feature = "mutation-hooks")]
@@ -242,9 +309,20 @@ impl Replica {
             armed_batch_timer: false,
             effects: Vec::new(),
             stats: ReplicaStats::default(),
+            metrics: ReplicaMetrics::default(),
             #[cfg(feature = "mutation-hooks")]
             equivocate: false,
         }
+    }
+
+    /// Attaches a telemetry handle: resolves the replica's registry
+    /// metrics once (cached handles; a disabled handle keeps every
+    /// instrument point free) and publishes the current view and decide
+    /// horizon.
+    pub fn set_telemetry(&mut self, telemetry: &Telemetry) {
+        self.metrics = ReplicaMetrics::resolve(telemetry);
+        self.metrics.view.set(self.view as i64);
+        self.metrics.decided_up_to.set(self.decided_up_to as i64);
     }
 
     /// Creates a replica resuming from a stable checkpoint — the restart
@@ -423,6 +501,7 @@ impl Replica {
         if self.is_primary() && !self.in_view_change() {
             self.flush_backlog(false);
         }
+        self.metrics.backlog_len.set(self.backlog.len() as i64);
     }
 
     /// Proposes backlog requests as batches. Only full batches flush
@@ -436,6 +515,7 @@ impl Replica {
                 // No headroom: wait for a checkpoint to advance the
                 // window (stabilize re-flushes; no point spinning the
                 // flush timer until then).
+                self.metrics.backlog_len.set(self.backlog.len() as i64);
                 return;
             }
             let headroom = (window_end - base + 1) as usize;
@@ -464,6 +544,7 @@ impl Replica {
                 duration_ms: self.config.batch_delay_ms,
             });
         }
+        self.metrics.backlog_len.set(self.backlog.len() as i64);
     }
 
     /// Mutation hook: enables a deliberately injected equivocation bug.
@@ -605,6 +686,7 @@ impl Replica {
                     to_sn: sn,
                 }));
             self.decided_up_to = sn;
+            self.metrics.decided_up_to.set(sn as i64);
         }
         if self.next_sn <= sn {
             self.next_sn = sn + 1;
@@ -631,13 +713,16 @@ impl Replica {
         }
         if message.from.0 >= self.config.n as u64 {
             self.stats.ignored += 1;
+            self.metrics.ignored.inc();
             return;
         }
         if !message.verify(&self.keystore) {
             self.stats.invalid_signatures += 1;
+            self.metrics.invalid_signatures.inc();
             return;
         }
         self.stats.messages_processed += 1;
+        self.metrics.for_message(&message.message).inc();
         self.dispatch(message);
     }
 
@@ -679,11 +764,17 @@ impl Replica {
                         // a nearer-view message for it would invert the
                         // policy, so drop the newcomer instead.
                         self.stats.ignored += 1;
+                        self.metrics.ignored.inc();
+                        self.metrics.buffer_evictions.inc();
                         return;
                     }
                     self.buffered.remove(evict);
+                    self.metrics.buffer_evictions.inc();
                 }
                 self.buffered.push_back(message);
+                self.metrics
+                    .future_buffer_len
+                    .set(self.buffered.len() as i64);
                 return;
             }
         }
@@ -928,16 +1019,21 @@ impl Replica {
                 .clone()
                 .expect("committed slot has a preprepare");
             self.stats.batches_decided += 1;
-            for (offset, request) in preprepare.batch.into_requests().into_iter().enumerate() {
+            self.metrics.batches_decided.inc();
+            let requests = preprepare.batch.into_requests();
+            self.metrics.batch_occupancy.observe(requests.len() as u64);
+            for (offset, request) in requests.into_iter().enumerate() {
                 let sn = base + offset as u64;
                 if sn <= self.decided_up_to {
                     continue; // already covered by a state transfer
                 }
                 self.decided_up_to = sn;
                 self.stats.decided += 1;
+                self.metrics.decided.inc();
                 self.effects
                     .push(Effect::Output(ReplicaEvent::Decide { sn, request }));
             }
+            self.metrics.decided_up_to.set(self.decided_up_to as i64);
         }
     }
 
@@ -1165,6 +1261,8 @@ impl Replica {
         self.view = view;
         self.phase = None;
         self.stats.view_changes += 1;
+        self.metrics.view_changes.inc();
+        self.metrics.view.set(view as i64);
         self.view_change_votes.retain(|target, _| *target > view);
         if let Some(armed) = self.armed_vc_timer.take() {
             self.effects.push(Effect::CancelTimer {
@@ -1226,6 +1324,9 @@ impl Replica {
         for message in buffered {
             self.dispatch(message);
         }
+        self.metrics
+            .future_buffer_len
+            .set(self.buffered.len() as i64);
     }
 }
 

@@ -61,4 +61,4 @@ pub use export_sim::{simulate_export, ExportSimConfig, ExportTiming};
 pub use metrics::{LatencyStats, RunMetrics};
 pub use network::NetworkModel;
 pub use scenario::{Mode, PartitionFault, ScenarioConfig, SimFaults, Workload};
-pub use sim::{run_scenario, Simulation};
+pub use sim::{run_scenario, Simulation, TelemetryCapture};

@@ -16,13 +16,15 @@ use std::time::{Duration, Instant};
 
 use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
 use zugchain::{
-    NodeEvent, NodeInput, NodeMessage, TimerId, TrainMachine, TrainNode as _, ZugchainNode,
+    NodeEvent, NodeInput, NodeMessage, NodeObserver, TimerId, TrainMachine, TrainNode as _,
+    ZugchainNode,
 };
 use zugchain_blockchain::DiskStore;
 use zugchain_crypto::Digest;
 use zugchain_machine::{Driver, Frame, Host};
 use zugchain_mvb::Telegram;
 use zugchain_pbft::NodeId;
+use zugchain_telemetry::Telemetry;
 
 use crate::runtime::{ClusterEvent, NodeSummary};
 
@@ -163,19 +165,28 @@ impl<T: PeerLink> Host<TrainMachine<ZugchainNode>> for ThreadHost<'_, T> {
 /// The per-node event loop: inputs in, effects routed by the driver,
 /// timers via `recv_timeout` against the earliest deadline.
 pub(crate) fn node_loop<T: PeerLink>(
-    node: ZugchainNode,
+    mut node: ZugchainNode,
     inbox: Receiver<LoopInput>,
     mut link: T,
     events: Sender<ClusterEvent>,
     disk: Option<DiskStore>,
+    telemetry: Telemetry,
 ) -> NodeSummary {
     let id = node.id();
     let start = Instant::now();
-    let mut driver = Driver::new(TrainMachine(node));
+    node.set_telemetry(&telemetry);
+    // A node thread that dies mid-run leaves its last events on stderr.
+    telemetry.dump_on_panic();
+    let mut driver = Driver::with_observer(
+        TrainMachine(node),
+        Box::new(NodeObserver::new(telemetry.clone())),
+    );
     let mut deadlines: BTreeMap<TimerId, (Instant, u64)> = BTreeMap::new();
     let mut crashed = false;
 
     loop {
+        // Live runtimes stamp traces with wall time since cluster start.
+        telemetry.set_time_ms(start.elapsed().as_millis() as u64);
         let now = Instant::now();
         let timeout = deadlines
             .values()

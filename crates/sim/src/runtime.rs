@@ -2,6 +2,7 @@
 //! time — the examples use this to run a live ZugChain cluster inside one
 //! process, with crossbeam channels standing in for the testbed Ethernet.
 
+use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
@@ -10,6 +11,7 @@ use zugchain_blockchain::{ChainStore, DiskStore};
 use zugchain_crypto::{Digest, KeyPair, Keystore};
 use zugchain_mvb::{Nsdb, Telegram};
 use zugchain_pbft::{CheckpointProof, NodeId};
+use zugchain_telemetry::{Registry, Telemetry, DEFAULT_TRACE_CAPACITY};
 
 use crate::node_loop::{node_loop, ChannelLink, LoopInput};
 
@@ -88,6 +90,8 @@ pub struct ThreadedCluster {
     inboxes: Vec<Sender<LoopInput>>,
     events: Receiver<ClusterEvent>,
     handles: Vec<JoinHandle<NodeSummary>>,
+    registry: Arc<Registry>,
+    telemetry: Vec<Telemetry>,
     /// The group keystore, exposed for export-side verification.
     pub keystore: Keystore,
     /// Node key pairs (exported so examples can build export handlers).
@@ -131,6 +135,10 @@ impl ThreadedCluster {
         let dir = dir.as_ref().to_path_buf();
         let (pairs, keystore) = Keystore::generate(n, 0xC10C);
         let (event_tx, event_rx) = unbounded();
+        let registry = Arc::new(Registry::new());
+        let telemetry: Vec<Telemetry> = (0..n)
+            .map(|id| Telemetry::new(id as u64, Arc::clone(&registry), DEFAULT_TRACE_CAPACITY))
+            .collect();
         let channels: Vec<(Sender<LoopInput>, Receiver<LoopInput>)> =
             (0..n).map(|_| bounded(4096)).collect();
         let inboxes: Vec<Sender<LoopInput>> = channels.iter().map(|(tx, _)| tx.clone()).collect();
@@ -177,9 +185,10 @@ impl ThreadedCluster {
                     peers: inboxes.clone(),
                 };
                 let events = event_tx.clone();
+                let node_telemetry = telemetry[id].clone();
                 std::thread::Builder::new()
                     .name(format!("zugchain-node-{id}"))
-                    .spawn(move || node_loop(node, rx, link, events, Some(disk)))
+                    .spawn(move || node_loop(node, rx, link, events, Some(disk), node_telemetry))
                     .expect("spawn node thread")
             })
             .collect();
@@ -188,6 +197,8 @@ impl ThreadedCluster {
             inboxes,
             events: event_rx,
             handles,
+            registry,
+            telemetry,
             keystore,
             pairs,
         }
@@ -201,6 +212,10 @@ impl ThreadedCluster {
     ) -> Self {
         let (pairs, keystore) = Keystore::generate(n, 0xC10C);
         let (event_tx, event_rx) = unbounded();
+        let registry = Arc::new(Registry::new());
+        let telemetry: Vec<Telemetry> = (0..n)
+            .map(|id| Telemetry::new(id as u64, Arc::clone(&registry), DEFAULT_TRACE_CAPACITY))
+            .collect();
         let channels: Vec<(Sender<LoopInput>, Receiver<LoopInput>)> =
             (0..n).map(|_| bounded(4096)).collect();
         let inboxes: Vec<Sender<LoopInput>> = channels.iter().map(|(tx, _)| tx.clone()).collect();
@@ -224,9 +239,10 @@ impl ThreadedCluster {
                     DiskStore::open(dir.join(format!("node-{id}")))
                         .expect("create per-node block directory")
                 });
+                let node_telemetry = telemetry[id].clone();
                 std::thread::Builder::new()
                     .name(format!("zugchain-node-{id}"))
-                    .spawn(move || node_loop(node, rx, link, events, disk))
+                    .spawn(move || node_loop(node, rx, link, events, disk, node_telemetry))
                     .expect("spawn node thread")
             })
             .collect();
@@ -235,9 +251,29 @@ impl ThreadedCluster {
             inboxes,
             events: event_rx,
             handles,
+            registry,
+            telemetry,
             keystore,
             pairs,
         }
+    }
+
+    /// The cluster's shared metrics registry.
+    pub fn registry(&self) -> Arc<Registry> {
+        Arc::clone(&self.registry)
+    }
+
+    /// A Prometheus-text snapshot of every node's metrics.
+    pub fn metrics_text(&self) -> String {
+        self.registry.render_prometheus()
+    }
+
+    /// JSONL flight-recorder dump of one node (empty when out of range).
+    pub fn trace_jsonl(&self, node: usize) -> String {
+        self.telemetry
+            .get(node)
+            .map(Telemetry::dump_jsonl)
+            .unwrap_or_default()
     }
 
     /// Number of nodes.

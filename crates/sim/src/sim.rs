@@ -1,7 +1,9 @@
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::sync::Arc;
 
 use rand::{Rng as _, RngExt as _, SeedableRng as _};
+use zugchain::NodeObserver;
 use zugchain::{
     BaselineNode, LayerMessage, NodeEvent, NodeInput, NodeMessage, SignedRequest, TimerId,
     TrainMachine, TrainNode, ZugchainNode,
@@ -14,6 +16,7 @@ use zugchain_mvb::{
 };
 use zugchain_pbft::{Message, NodeId, ProposedRequest};
 use zugchain_signals::CycleConsolidator;
+use zugchain_telemetry::{Registry, Telemetry, DEFAULT_TRACE_CAPACITY};
 
 use crate::{LatencyStats, Mode, RunMetrics, ScenarioConfig, Workload};
 
@@ -84,6 +87,23 @@ pub struct Simulation {
     world: World,
     /// JRU-signal workload state.
     jru: Option<JruWorkload>,
+    /// Shared metrics registry all per-node telemetry handles publish
+    /// into; [`RunMetrics`] consensus counters are read from here.
+    registry: Arc<Registry>,
+    /// Per-node telemetry handles (flight recorder + virtual clock).
+    telemetry: Vec<Telemetry>,
+}
+
+/// Telemetry captured by [`Simulation::run_instrumented`]: the shared
+/// registry (for Prometheus exposition / snapshot queries) and each
+/// node's flight-recorder dump. Deterministic for a fixed
+/// `(config, seed)`: trace timestamps come from the virtual clock.
+#[derive(Debug, Clone)]
+pub struct TelemetryCapture {
+    /// The run's metrics registry.
+    pub registry: Arc<Registry>,
+    /// Per-node JSONL flight-recorder dumps, indexed by node id.
+    pub traces: Vec<String>,
 }
 
 /// Everything in the simulation that is not a node: the event heap, cost
@@ -104,12 +124,8 @@ struct World {
     /// Digests already counted in the latency series.
     first_logged: HashSet<Digest>,
     latency: LatencyStats,
-    logged_count: Vec<u64>,
-    blocks_count: Vec<u64>,
     /// Per-node decided log for the conformance suite.
     decided: Vec<Vec<(u64, Digest)>>,
-    view_changes: u64,
-    state_transfers: u64,
     memory_samples: Vec<usize>,
     rng: rand::rngs::StdRng,
     fabricate_counter: u64,
@@ -237,7 +253,15 @@ impl World {
         }
     }
 
-    fn finish(self, end_ns: u64) -> RunMetrics {
+    /// Reads a per-node counter from the registry (0 if never touched).
+    fn node_counter(registry: &Registry, name: &str, node: usize) -> u64 {
+        let label = node.to_string();
+        registry
+            .counter_value(name, &[("node", label.as_str())])
+            .unwrap_or(0)
+    }
+
+    fn finish(self, end_ns: u64, registry: &Registry) -> RunMetrics {
         let duration_ms = end_ns as f64 / 1e6;
         let duration_s = duration_ms / 1e3;
         let n = self.n();
@@ -266,13 +290,30 @@ impl World {
         };
         let memory_mb_max = self.memory_samples.iter().copied().max().unwrap_or(0) as f64 / 1e6;
 
-        let logged_requests = self.logged_count.iter().copied().max().unwrap_or(0);
+        // Evaluation counters read back from the shared registry — the
+        // same source of truth live runtimes expose — preserving the
+        // original aggregation rules: per-request/block counts are the
+        // max over nodes (all honest nodes converge), view changes are
+        // counted once per completed change on fixed reference node 1,
+        // and state transfers are summed across nodes.
+        let logged_requests = (0..n)
+            .map(|i| Self::node_counter(registry, "zugchain_node_logged_total", i))
+            .max()
+            .unwrap_or(0);
+        let blocks_created = (0..n)
+            .map(|i| Self::node_counter(registry, "zugchain_node_blocks_total", i))
+            .max()
+            .unwrap_or(0);
+        let view_changes = Self::node_counter(registry, "zugchain_pbft_view_changes_total", 1);
+        let state_transfers = (0..n)
+            .map(|i| Self::node_counter(registry, "zugchain_node_state_transfers_total", i))
+            .sum();
         let unlogged = self.births.len().saturating_sub(self.first_logged.len()) as u64;
 
         RunMetrics {
             duration_ms,
             logged_requests,
-            blocks_created: self.blocks_count.iter().copied().max().unwrap_or(0),
+            blocks_created,
             latency: self.latency,
             network_mbps,
             cpu_percent_of_total,
@@ -280,8 +321,8 @@ impl World {
             memory_mb_max,
             consensus_decided: 0, // filled by `Simulation::run`
             batches_decided: 0,   // filled by `Simulation::run`
-            view_changes: self.view_changes,
-            state_transfers: self.state_transfers,
+            view_changes,
+            state_transfers,
             unlogged_requests: unlogged,
             decided: self.decided,
         }
@@ -361,7 +402,6 @@ impl Host<TrainMachine<Box<dyn TrainNode>>> for SimHost<'_> {
         let node = self.node;
         match event {
             NodeEvent::Logged { sn, payload, .. } => {
-                self.world.logged_count[node] += 1;
                 let digest = self.world.payload_identity(&payload);
                 self.world.decided[node].push((sn, digest));
                 if let Some(birth) = self.world.births.get(&digest).copied() {
@@ -372,22 +412,16 @@ impl Host<TrainMachine<Box<dyn TrainNode>>> for SimHost<'_> {
                 }
             }
             NodeEvent::BlockCreated { block } => {
-                self.world.blocks_count[node] += 1;
                 let cost = self.world.config.cost.hash_ns(block.encoded_size());
                 self.t += cost;
                 self.world.cpu_busy_ns[node] += cost;
             }
-            NodeEvent::NewPrimary { .. } => {
-                if node == 1 {
-                    // Count once per completed view change, observed on a
-                    // fixed reference node.
-                    self.world.view_changes += 1;
-                }
-            }
-            NodeEvent::StateTransferNeeded { .. } => {
-                self.world.state_transfers += 1;
-            }
-            NodeEvent::CheckpointStable { .. } => {}
+            // View changes and state transfers are counted in the
+            // registry at their instrument points (`zugchain-pbft`,
+            // `zugchain`); `World::finish` reads them back from there.
+            NodeEvent::NewPrimary { .. }
+            | NodeEvent::StateTransferNeeded { .. }
+            | NodeEvent::CheckpointStable { .. } => {}
         }
     }
 }
@@ -399,26 +433,36 @@ impl Simulation {
         let n = config.n_nodes;
         let (pairs, keystore) = Keystore::generate(n, seed);
         let nsdb = sweep_nsdb(&config.workload);
+        let registry = Arc::new(Registry::new());
+        let telemetry: Vec<Telemetry> = (0..n)
+            .map(|id| Telemetry::new(id as u64, Arc::clone(&registry), DEFAULT_TRACE_CAPACITY))
+            .collect();
         let drivers: Vec<SimDriver> = pairs
             .iter()
             .enumerate()
-            .map(|(id, key)| match config.mode {
-                Mode::Zugchain => Box::new(ZugchainNode::new(
-                    id as u64,
-                    config.node_config.clone(),
-                    nsdb.clone(),
-                    key.clone(),
-                    keystore.clone(),
-                )) as Box<dyn TrainNode>,
-                Mode::Baseline => Box::new(BaselineNode::new(
-                    id as u64,
-                    config.node_config.clone(),
-                    nsdb.clone(),
-                    key.clone(),
-                    keystore.clone(),
-                )) as Box<dyn TrainNode>,
+            .map(|(id, key)| {
+                let mut node = match config.mode {
+                    Mode::Zugchain => Box::new(ZugchainNode::new(
+                        id as u64,
+                        config.node_config.clone(),
+                        nsdb.clone(),
+                        key.clone(),
+                        keystore.clone(),
+                    )) as Box<dyn TrainNode>,
+                    Mode::Baseline => Box::new(BaselineNode::new(
+                        id as u64,
+                        config.node_config.clone(),
+                        nsdb.clone(),
+                        key.clone(),
+                        keystore.clone(),
+                    )) as Box<dyn TrainNode>,
+                };
+                node.set_telemetry(&telemetry[id]);
+                Driver::with_observer(
+                    TrainMachine(node),
+                    Box::new(NodeObserver::new(telemetry[id].clone())),
+                )
             })
-            .map(|node| Driver::new(TrainMachine(node)))
             .collect();
 
         let jru = match &config.workload {
@@ -452,11 +496,7 @@ impl Simulation {
             births: HashMap::new(),
             first_logged: HashSet::new(),
             latency: LatencyStats::default(),
-            logged_count: vec![0; n],
-            blocks_count: vec![0; n],
             decided: vec![Vec::new(); n],
-            view_changes: 0,
-            state_transfers: 0,
             memory_samples: Vec::new(),
             rng: rand::rngs::StdRng::seed_from_u64(seed ^ 0x51A1),
             fabricate_counter: 0,
@@ -469,11 +509,25 @@ impl Simulation {
             drivers,
             world,
             jru,
+            registry,
+            telemetry,
         }
     }
 
+    /// The run's shared metrics registry. Clone the `Arc` before
+    /// [`run`](Self::run) to keep reading after the run completes.
+    pub fn registry(&self) -> Arc<Registry> {
+        Arc::clone(&self.registry)
+    }
+
     /// Runs the scenario to completion and returns the metrics.
-    pub fn run(mut self) -> RunMetrics {
+    pub fn run(self) -> RunMetrics {
+        self.run_instrumented().0
+    }
+
+    /// Runs the scenario and additionally returns the telemetry capture:
+    /// the metrics registry and every node's flight-recorder JSONL dump.
+    pub fn run_instrumented(mut self) -> (RunMetrics, TelemetryCapture) {
         let end_ns = self.world.config.duration_ms * NS_PER_MS;
         // Grace period lets in-flight requests finish ordering.
         let drain_ns = end_ns + 2_000 * NS_PER_MS;
@@ -499,20 +553,24 @@ impl Simulation {
                 }
             }
         }
-        // Batch occupancy comes from the most advanced surviving node's
-        // consensus counters; `World::finish` has no access to drivers.
+        // Consensus counters come from the registry snapshot of the most
+        // advanced surviving node (same rule the bespoke counters used).
         let (consensus_decided, batches_decided) = (0..self.drivers.len())
             .filter(|&i| !self.world.crashed[i])
             .map(|i| {
-                let stats = self.drivers[i].machine().0.consensus_stats();
-                (stats.decided, stats.batches_decided)
+                (
+                    World::node_counter(&self.registry, "zugchain_pbft_decided_total", i),
+                    World::node_counter(&self.registry, "zugchain_pbft_batches_decided_total", i),
+                )
             })
             .max()
             .unwrap_or((0, 0));
-        let mut metrics = self.world.finish(end_ns);
+        let registry = Arc::clone(&self.registry);
+        let traces: Vec<String> = self.telemetry.iter().map(Telemetry::dump_jsonl).collect();
+        let mut metrics = self.world.finish(end_ns, &registry);
         metrics.consensus_decided = consensus_decided;
         metrics.batches_decided = batches_decided;
-        metrics
+        (metrics, TelemetryCapture { registry, traces })
     }
 
     fn on_bus_cycle(&mut self, cycle: u64, at_ns: u64, end_ns: u64) {
@@ -619,6 +677,9 @@ impl Simulation {
     /// Delivers one unit of work through the node's driver, charging lane
     /// CPU; the driver routes the resulting effects into a [`SimHost`].
     fn deliver(&mut self, node: usize, work: Work, arrival_ns: u64) {
+        // Trace timestamps advance with virtual time, so sim dumps are
+        // deterministic for a fixed (config, seed).
+        self.telemetry[node].set_time_ms(arrival_ns / NS_PER_MS);
         let world = &mut self.world;
         if world.crashed[node] {
             return;

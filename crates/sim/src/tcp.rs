@@ -14,14 +14,17 @@
 
 use std::io::{self, Read as _, Write as _};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use zugchain::{NodeConfig, NodeMessage, ZugchainNode};
 use zugchain_crypto::Keystore;
 use zugchain_machine::Frame;
 use zugchain_mvb::Nsdb;
+use zugchain_telemetry::{Registry, Telemetry, DEFAULT_TRACE_CAPACITY};
 
 use crate::node_loop::{node_loop, LoopInput, PeerLink};
 use crate::runtime::{ClusterEvent, NodeSummary};
@@ -102,8 +105,15 @@ pub struct TcpCluster {
     inboxes: Vec<Sender<LoopInput>>,
     events: Receiver<ClusterEvent>,
     handles: Vec<JoinHandle<NodeSummary>>,
+    registry: Arc<Registry>,
+    telemetry: Vec<Telemetry>,
+    status_stop: Arc<AtomicBool>,
+    status_handle: Option<JoinHandle<()>>,
     /// Socket addresses the nodes listen on, by node id.
     pub addresses: Vec<SocketAddr>,
+    /// Address of the live status responder: connect, read a
+    /// Prometheus-text metrics snapshot, and the connection closes.
+    pub status_address: SocketAddr,
 }
 
 impl TcpCluster {
@@ -115,6 +125,37 @@ impl TcpCluster {
     pub fn start(n: usize, config: NodeConfig) -> io::Result<Self> {
         let (pairs, keystore) = Keystore::generate(n, 0x7C9);
         let (event_tx, event_rx) = unbounded();
+        let registry = Arc::new(Registry::new());
+        let telemetry: Vec<Telemetry> = (0..n)
+            .map(|id| Telemetry::new(id as u64, Arc::clone(&registry), DEFAULT_TRACE_CAPACITY))
+            .collect();
+
+        // The live read path: a trivial status responder — connect, get
+        // the current Prometheus-text snapshot, connection closes.
+        let status_listener = TcpListener::bind("127.0.0.1:0")?;
+        let status_address = status_listener.local_addr()?;
+        status_listener.set_nonblocking(true)?;
+        let status_stop = Arc::new(AtomicBool::new(false));
+        let status_handle = {
+            let registry = Arc::clone(&registry);
+            let stop = Arc::clone(&status_stop);
+            std::thread::Builder::new()
+                .name("zugchain-status".to_string())
+                .spawn(move || {
+                    while !stop.load(Ordering::Relaxed) {
+                        match status_listener.accept() {
+                            Ok((mut stream, _)) => {
+                                let _ = stream.write_all(registry.render_prometheus().as_bytes());
+                            }
+                            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                                std::thread::sleep(Duration::from_millis(20));
+                            }
+                            Err(_) => break,
+                        }
+                    }
+                })
+                .expect("spawn status thread")
+        };
 
         // Bind every node's listener first so all addresses are known.
         let listeners: Vec<TcpListener> = (0..n)
@@ -195,9 +236,10 @@ impl TcpCluster {
                     streams: std::mem::take(&mut outbound[id]),
                 };
                 let events = event_tx.clone();
+                let node_telemetry = telemetry[id].clone();
                 std::thread::Builder::new()
                     .name(format!("zugchain-tcp-{id}"))
-                    .spawn(move || node_loop(node, rx, link, events, None))
+                    .spawn(move || node_loop(node, rx, link, events, None, node_telemetry))
                     .expect("spawn node thread")
             })
             .collect();
@@ -206,8 +248,32 @@ impl TcpCluster {
             inboxes,
             events: event_rx,
             handles,
+            registry,
+            telemetry,
+            status_stop,
+            status_handle: Some(status_handle),
             addresses,
+            status_address,
         })
+    }
+
+    /// The cluster's shared metrics registry.
+    pub fn registry(&self) -> Arc<Registry> {
+        Arc::clone(&self.registry)
+    }
+
+    /// A Prometheus-text snapshot of every node's metrics (the same text
+    /// the status responder serves on [`status_address`](Self::status_address)).
+    pub fn metrics_text(&self) -> String {
+        self.registry.render_prometheus()
+    }
+
+    /// JSONL flight-recorder dump of one node (empty when out of range).
+    pub fn trace_jsonl(&self, node: usize) -> String {
+        self.telemetry
+            .get(node)
+            .map(Telemetry::dump_jsonl)
+            .unwrap_or_default()
     }
 
     /// Delivers the same consolidated payload to every node.
@@ -238,6 +304,10 @@ impl TcpCluster {
         for inbox in &self.inboxes {
             let _ = inbox.send(LoopInput::Shutdown);
         }
+        self.status_stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.status_handle {
+            let _ = handle.join();
+        }
         self.handles
             .into_iter()
             .map(|handle| handle.join().expect("node thread panicked"))
@@ -251,6 +321,32 @@ mod tests {
     use std::time::{Duration, Instant};
     use zugchain_pbft::NodeId;
 
+    /// Per-node block progress from the registry; used both to converge
+    /// and to produce a useful timeout diagnostic.
+    fn blocks_by_node(cluster: &TcpCluster, n: usize) -> Vec<u64> {
+        let registry = cluster.registry();
+        (0..n)
+            .map(|i| {
+                let node = i.to_string();
+                registry
+                    .counter_value("zugchain_node_blocks_total", &[("node", node.as_str())])
+                    .unwrap_or(0)
+            })
+            .collect()
+    }
+
+    fn decided_up_to_by_node(cluster: &TcpCluster, n: usize) -> Vec<i64> {
+        let registry = cluster.registry();
+        (0..n)
+            .map(|i| {
+                let node = i.to_string();
+                registry
+                    .gauge_value("zugchain_pbft_decided_up_to", &[("node", node.as_str())])
+                    .unwrap_or(0)
+            })
+            .collect()
+    }
+
     #[test]
     fn tcp_cluster_orders_over_real_sockets() {
         let config = NodeConfig::evaluation_default().with_block_size(3);
@@ -259,18 +355,31 @@ mod tests {
             cluster.feed_bus_payload_all(vec![tag; 128]);
             std::thread::sleep(Duration::from_millis(25));
         }
-        // Wait until every node reports block #2.
+        // Short-sleep poll against the registry until every node has
+        // built block #2; on timeout, report per-node progress instead
+        // of failing bare.
         let deadline = Instant::now() + Duration::from_secs(10);
-        let mut done = [false; 4];
-        while !done.iter().all(|d| *d) && Instant::now() < deadline {
-            if let Ok(ClusterEvent::BlockCreated { node, height, .. }) =
-                cluster.events().recv_timeout(Duration::from_millis(200))
-            {
-                if height >= 2 {
-                    done[node.0 as usize] = true;
-                }
+        while blocks_by_node(&cluster, 4).iter().any(|blocks| *blocks < 2) {
+            if Instant::now() >= deadline {
+                panic!(
+                    "cluster did not converge: blocks per node {:?}, decided_up_to per node {:?}",
+                    blocks_by_node(&cluster, 4),
+                    decided_up_to_by_node(&cluster, 4),
+                );
             }
+            std::thread::sleep(Duration::from_millis(20));
         }
+
+        // The live read path serves the same snapshot over a socket.
+        let mut status = TcpStream::connect(cluster.status_address).expect("status socket");
+        let mut exposition = String::new();
+        status
+            .read_to_string(&mut exposition)
+            .expect("read status snapshot");
+        assert!(exposition.contains("zugchain_pbft_decided_total"));
+        assert!(exposition.contains("zugchain_node_blocks_total"));
+        zugchain_telemetry::parse_prometheus(&exposition).expect("exposition parses");
+
         let summaries = cluster.shutdown();
         let head = summaries[0].chain.head_hash();
         for summary in &summaries {

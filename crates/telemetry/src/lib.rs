@@ -1,0 +1,327 @@
+//! Zero-dependency observability for ZugChain.
+//!
+//! Two halves, both hand-rolled because the build environment is offline
+//! (no `prometheus`, no `tracing` — the `shims/` discipline):
+//!
+//! * a **metrics registry** ([`Registry`]) of atomic counters, gauges and
+//!   log2-bucket histograms, namespaced per node, with a consistent
+//!   [`Registry::snapshot`] API and Prometheus-text-format exposition
+//!   ([`Registry::render_prometheus`]) plus a round-trip parser
+//!   ([`parse_prometheus`]) so tests can verify every emitted line;
+//! * a **flight recorder** ([`FlightRecorder`]) — a fixed-capacity ring
+//!   buffer of structured [`TraceEvent`]s timestamped from a
+//!   runtime-driven clock (virtual time under the simulator, wall-clock
+//!   milliseconds on the threaded/TCP runtimes), dumpable to JSONL on
+//!   demand and parseable back ([`parse_jsonl`]) for post-mortems.
+//!
+//! The per-node entry point is [`Telemetry`]: a cheap, cloneable handle
+//! that is either *enabled* (backed by a shared registry and a private
+//! ring buffer) or *disabled* (a `None` — every operation is a single
+//! branch, so instrumented hot paths stay free when observability is
+//! off). Metric handles ([`Counter`], [`Gauge`], [`Histogram`]) follow
+//! the same scheme and are meant to be resolved once and cached in the
+//! instrumented struct, not looked up per event.
+//!
+//! Naming convention: `zugchain_<crate>_<name>` with a `node="<id>"`
+//! label added by [`Telemetry`] (DESIGN.md §12 has the full vocabulary).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod json;
+mod metrics;
+mod recorder;
+
+pub use json::{parse_flat_object, JsonValue};
+pub use metrics::{
+    bucket_index, bucket_upper_bound, parse_prometheus, Counter, Gauge, Histogram,
+    HistogramSnapshot, ParsedSample, Registry, Sample, SampleValue, HISTOGRAM_BUCKETS,
+};
+pub use recorder::{parse_jsonl, FlightRecorder, ParsedRecord, TraceEvent, TraceRecord};
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, Weak};
+
+/// Default flight-recorder capacity (events retained per node).
+pub const DEFAULT_TRACE_CAPACITY: usize = 1024;
+
+/// A per-node observability handle: clock, flight recorder, and a view
+/// onto the shared metrics registry with the node label pre-applied.
+///
+/// Cloning is cheap (an `Arc` bump); a [`Telemetry::disabled`] handle
+/// (also the `Default`) makes every operation a no-op behind one branch.
+#[derive(Clone, Default)]
+pub struct Telemetry {
+    inner: Option<Arc<TelemetryInner>>,
+}
+
+struct TelemetryInner {
+    node: u64,
+    node_label: String,
+    /// Milliseconds on the runtime's clock: virtual time in the
+    /// simulator and chaos executor, elapsed wall-clock on the threaded
+    /// and TCP runtimes. Advanced monotonically via `fetch_max`.
+    now_ms: AtomicU64,
+    recorder: Mutex<FlightRecorder>,
+    registry: Arc<Registry>,
+}
+
+impl std::fmt::Debug for Telemetry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.inner {
+            None => f.write_str("Telemetry(disabled)"),
+            Some(inner) => write!(f, "Telemetry(node={})", inner.node),
+        }
+    }
+}
+
+impl Telemetry {
+    /// A handle that ignores everything. Instrumented code can hold one
+    /// unconditionally; the cost of an event is a single `None` check.
+    pub fn disabled() -> Self {
+        Self::default()
+    }
+
+    /// An enabled handle for `node`, publishing metrics into `registry`
+    /// and tracing into a private ring buffer of `trace_capacity` events.
+    pub fn new(node: u64, registry: Arc<Registry>, trace_capacity: usize) -> Self {
+        Self {
+            inner: Some(Arc::new(TelemetryInner {
+                node,
+                node_label: node.to_string(),
+                now_ms: AtomicU64::new(0),
+                recorder: Mutex::new(FlightRecorder::new(trace_capacity)),
+                registry,
+            })),
+        }
+    }
+
+    /// Whether this handle actually records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// The node id this handle is namespaced under, if enabled.
+    pub fn node(&self) -> Option<u64> {
+        self.inner.as_ref().map(|i| i.node)
+    }
+
+    /// Advances the trace clock to `t` milliseconds (monotonic: earlier
+    /// values are ignored, so out-of-order threads cannot rewind time).
+    pub fn set_time_ms(&self, t: u64) {
+        if let Some(inner) = &self.inner {
+            inner.now_ms.fetch_max(t, Ordering::Relaxed);
+        }
+    }
+
+    /// Current trace-clock reading in milliseconds.
+    pub fn now_ms(&self) -> u64 {
+        match &self.inner {
+            Some(inner) => inner.now_ms.load(Ordering::Relaxed),
+            None => 0,
+        }
+    }
+
+    /// Appends a trace event, timestamping it from the trace clock. The
+    /// closure only runs when enabled, so a disabled handle never pays
+    /// for event construction.
+    pub fn record_with(&self, event: impl FnOnce() -> TraceEvent) {
+        if let Some(inner) = &self.inner {
+            let t = inner.now_ms.load(Ordering::Relaxed);
+            let mut recorder = inner.recorder.lock().expect("recorder poisoned");
+            recorder.record(t, inner.node, event());
+        }
+    }
+
+    /// Resolves (registering on first use) a counter named `name` with
+    /// this node's label. Cache the returned handle.
+    pub fn counter(&self, name: &str) -> Counter {
+        self.counter_with(name, &[])
+    }
+
+    /// Like [`Telemetry::counter`] with extra labels (e.g.
+    /// `type="preprepare"`).
+    pub fn counter_with(&self, name: &str, labels: &[(&str, &str)]) -> Counter {
+        match &self.inner {
+            Some(inner) => inner.registry.counter(name, &inner.with_node_label(labels)),
+            None => Counter::disabled(),
+        }
+    }
+
+    /// Resolves (registering on first use) a gauge named `name` with
+    /// this node's label.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        match &self.inner {
+            Some(inner) => inner.registry.gauge(name, &inner.with_node_label(&[])),
+            None => Gauge::disabled(),
+        }
+    }
+
+    /// Resolves (registering on first use) a log2-bucket histogram named
+    /// `name` with this node's label.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        match &self.inner {
+            Some(inner) => inner.registry.histogram(name, &inner.with_node_label(&[])),
+            None => Histogram::disabled(),
+        }
+    }
+
+    /// The shared registry behind this handle, if enabled.
+    pub fn registry(&self) -> Option<Arc<Registry>> {
+        self.inner.as_ref().map(|i| Arc::clone(&i.registry))
+    }
+
+    /// Dumps the flight recorder as JSONL, oldest event first. Empty
+    /// string when disabled.
+    pub fn dump_jsonl(&self) -> String {
+        match &self.inner {
+            Some(inner) => inner
+                .recorder
+                .lock()
+                .expect("recorder poisoned")
+                .dump_jsonl(),
+            None => String::new(),
+        }
+    }
+
+    /// The most recent `n` trace records, oldest first.
+    pub fn tail(&self, n: usize) -> Vec<TraceRecord> {
+        match &self.inner {
+            Some(inner) => inner.recorder.lock().expect("recorder poisoned").tail(n),
+            None => Vec::new(),
+        }
+    }
+
+    /// Registers this handle with a process-wide panic hook that dumps
+    /// every registered (and still live) flight recorder to stderr as
+    /// JSONL before the previous hook runs — so a crashing node thread
+    /// leaves its last events behind instead of taking them down with
+    /// the process. Registration holds only a weak reference; dropped
+    /// handles are pruned and never dumped. No-op when disabled.
+    pub fn dump_on_panic(&self) {
+        let Some(inner) = &self.inner else { return };
+        let traces = panic_traces();
+        let mut traces = traces.lock().expect("panic-dump registry poisoned");
+        traces.retain(|weak| weak.strong_count() > 0);
+        traces.push(Arc::downgrade(inner));
+    }
+}
+
+static PANIC_TRACES: OnceLock<Mutex<Vec<Weak<TelemetryInner>>>> = OnceLock::new();
+
+fn panic_traces() -> &'static Mutex<Vec<Weak<TelemetryInner>>> {
+    PANIC_TRACES.get_or_init(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            eprint!("{}", panic_dump());
+            previous(info);
+        }));
+        Mutex::new(Vec::new())
+    })
+}
+
+/// Renders every panic-registered, still-live flight recorder as a
+/// stderr-ready block (what the panic hook prints). `try_lock` is used
+/// throughout: if the panicking thread holds a recorder or registry
+/// lock, its dump is skipped rather than deadlocking the hook.
+fn panic_dump() -> String {
+    let mut out = String::new();
+    let Some(traces) = PANIC_TRACES.get() else {
+        return out;
+    };
+    let Ok(traces) = traces.try_lock() else {
+        return out;
+    };
+    for inner in traces.iter().filter_map(Weak::upgrade) {
+        if let Ok(recorder) = inner.recorder.try_lock() {
+            out.push_str(&format!("--- flight recorder: node {} ---\n", inner.node));
+            out.push_str(&recorder.dump_jsonl());
+        }
+    }
+    out
+}
+
+impl TelemetryInner {
+    fn with_node_label(&self, labels: &[(&str, &str)]) -> Vec<(String, String)> {
+        let mut all = Vec::with_capacity(labels.len() + 1);
+        all.push(("node".to_string(), self.node_label.clone()));
+        for (k, v) in labels {
+            all.push((k.to_string(), v.to_string()));
+        }
+        all
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_handle_is_inert() {
+        let t = Telemetry::disabled();
+        assert!(!t.is_enabled());
+        t.set_time_ms(55);
+        assert_eq!(t.now_ms(), 0);
+        t.record_with(|| unreachable!("closure must not run when disabled"));
+        t.counter("zugchain_test_total").inc();
+        t.gauge("zugchain_test_gauge").set(7);
+        t.histogram("zugchain_test_hist").observe(9);
+        assert_eq!(t.dump_jsonl(), "");
+        assert!(t.tail(10).is_empty());
+    }
+
+    #[test]
+    fn enabled_handle_publishes_with_node_label() {
+        let registry = Arc::new(Registry::new());
+        let t = Telemetry::new(3, Arc::clone(&registry), 16);
+        t.counter("zugchain_test_total").add(2);
+        assert_eq!(
+            registry.counter_value("zugchain_test_total", &[("node", "3")]),
+            Some(2)
+        );
+    }
+
+    #[test]
+    fn clock_is_monotonic_and_stamps_events() {
+        let registry = Arc::new(Registry::new());
+        let t = Telemetry::new(0, registry, 4);
+        t.set_time_ms(10);
+        t.set_time_ms(5); // ignored: the clock never rewinds
+        t.record_with(|| TraceEvent::Checkpoint { sn: 1 });
+        let tail = t.tail(1);
+        assert_eq!(tail.len(), 1);
+        assert_eq!(tail[0].time_ms, 10);
+        assert_eq!(tail[0].node, 0);
+    }
+
+    #[test]
+    fn panic_dump_covers_live_handles_and_prunes_dropped_ones() {
+        let registry = Arc::new(Registry::new());
+        let live = Telemetry::new(7, Arc::clone(&registry), 8);
+        live.dump_on_panic();
+        live.record_with(|| TraceEvent::Decide { sn: 9, origin: 7 });
+        let dropped = Telemetry::new(8, registry, 8);
+        dropped.dump_on_panic();
+        drop(dropped);
+        let dump = panic_dump();
+        assert!(dump.contains("node 7"), "live handle missing: {dump}");
+        assert!(dump.contains("\"sn\":9"), "recorded event missing: {dump}");
+        assert!(
+            !dump.contains("node 8"),
+            "dropped handle must not dump: {dump}"
+        );
+    }
+
+    #[test]
+    fn ring_buffer_keeps_only_the_tail() {
+        let registry = Arc::new(Registry::new());
+        let t = Telemetry::new(1, registry, 2);
+        for sn in 0..5u64 {
+            t.record_with(|| TraceEvent::Checkpoint { sn });
+        }
+        let tail = t.tail(10);
+        assert_eq!(tail.len(), 2);
+        assert_eq!(tail[0].seq, 3);
+        assert_eq!(tail[1].seq, 4);
+    }
+}

@@ -1,0 +1,200 @@
+//! Property tests for the metrics half of `zugchain-telemetry`: the
+//! log2 bucket scheme must partition the whole `u64` domain, quantiles
+//! must be monotone in `q`, atomic counters must not lose concurrent
+//! increments, and every line the Prometheus renderer emits must parse
+//! back to the exact value that was recorded.
+
+use std::sync::Arc;
+use std::thread;
+
+use proptest::prelude::*;
+use zugchain_telemetry::{
+    bucket_index, bucket_upper_bound, parse_prometheus, Registry, HISTOGRAM_BUCKETS,
+};
+
+/// The fixed edges of the bucket scheme: 0 and 1 get their own buckets,
+/// every power of two opens a new one, and `u64::MAX` lands in the last.
+#[test]
+fn bucket_edges_are_exact() {
+    assert_eq!(bucket_index(0), 0);
+    assert_eq!(bucket_index(1), 1);
+    assert_eq!(bucket_index(u64::MAX), HISTOGRAM_BUCKETS - 1);
+    assert_eq!(bucket_upper_bound(0), 0);
+    assert_eq!(bucket_upper_bound(HISTOGRAM_BUCKETS - 1), u64::MAX);
+    for k in 1..HISTOGRAM_BUCKETS - 1 {
+        let low = 1u64 << (k - 1);
+        assert_eq!(bucket_index(low), k, "2^{} opens bucket {k}", k - 1);
+        assert_eq!(
+            bucket_index(low - 1),
+            k - 1,
+            "2^{} - 1 closes bucket {}",
+            k - 1,
+            k - 1
+        );
+        assert_eq!(bucket_upper_bound(k), (1u64 << k) - 1);
+    }
+}
+
+/// Relaxed-ordering `fetch_add` still sums exactly: no increment from
+/// any thread may be lost, because hot-path instrument points rely on
+/// the registry totals matching the simulator's own accounting.
+#[test]
+fn concurrent_counter_increments_sum_exactly() {
+    const THREADS: u64 = 8;
+    const PER_THREAD: u64 = 25_000;
+    let registry = Arc::new(Registry::new());
+    let counter = registry.counter("zugchain_test_concurrent_total", &[]);
+    let handles: Vec<_> = (0..THREADS)
+        .map(|_| {
+            let counter = counter.clone();
+            thread::spawn(move || {
+                for _ in 0..PER_THREAD {
+                    counter.inc();
+                }
+            })
+        })
+        .collect();
+    for handle in handles {
+        handle.join().expect("incrementer thread panicked");
+    }
+    assert_eq!(counter.get(), THREADS * PER_THREAD);
+    assert_eq!(
+        registry.counter_value("zugchain_test_concurrent_total", &[]),
+        Some(THREADS * PER_THREAD)
+    );
+}
+
+fn labels(pairs: &[(&str, &str)]) -> Vec<(String, String)> {
+    pairs
+        .iter()
+        .map(|(k, v)| (k.to_string(), v.to_string()))
+        .collect()
+}
+
+proptest! {
+    /// Buckets partition the domain: every value falls inside exactly
+    /// one bucket, below its upper bound and above the previous one's.
+    #[test]
+    fn every_value_lands_in_its_bucket(value: u64) {
+        let index = bucket_index(value);
+        prop_assert!(index < HISTOGRAM_BUCKETS);
+        prop_assert!(value <= bucket_upper_bound(index));
+        if index > 0 {
+            prop_assert!(value > bucket_upper_bound(index - 1));
+        }
+    }
+
+    /// Nearest-rank quantiles over log2 buckets are monotone in `q`,
+    /// never under-report the maximum, and keep exact count/sum.
+    #[test]
+    fn quantiles_are_monotone(
+        values in proptest::collection::vec(any::<u64>(), 1..64),
+        qa in 0u64..=1000,
+        qb in 0u64..=1000,
+    ) {
+        let registry = Registry::new();
+        let histogram = registry.histogram("zugchain_test_hist", &[]);
+        for v in &values {
+            histogram.observe(*v);
+        }
+        let snap = histogram.snapshot();
+        let (lo, hi) = (qa.min(qb), qa.max(qb));
+        prop_assert!(
+            snap.quantile(lo as f64 / 1000.0) <= snap.quantile(hi as f64 / 1000.0),
+            "q={} exceeded q={}", lo, hi
+        );
+        let max = values.iter().copied().max().unwrap();
+        prop_assert!(snap.quantile(1.0) >= max);
+        prop_assert_eq!(snap.count, values.len() as u64);
+        prop_assert_eq!(
+            snap.sum,
+            values.iter().copied().fold(0u64, u64::wrapping_add)
+        );
+    }
+
+    /// Everything the renderer emits parses back to the recorded value:
+    /// counters and gauges exactly (modulo the shared decimal->f64
+    /// rounding on both sides), histograms with the `+Inf` bucket and
+    /// `_count` carrying the exact observation count.
+    #[test]
+    fn exposition_round_trips_exactly(
+        counters in proptest::collection::vec(any::<u64>(), 1..8),
+        gauge in any::<i64>(),
+        observations in proptest::collection::vec(any::<u64>(), 0..32),
+    ) {
+        let registry = Registry::new();
+        for (i, v) in counters.iter().enumerate() {
+            let node = i.to_string();
+            registry
+                .counter("zugchain_test_total", &labels(&[("node", &node)]))
+                .add(*v);
+        }
+        registry.gauge("zugchain_test_gauge", &[]).set(gauge);
+        let histogram =
+            registry.histogram("zugchain_test_latency", &labels(&[("node", "0")]));
+        for v in &observations {
+            histogram.observe(*v);
+        }
+
+        let text = registry.render_prometheus();
+        let parsed = parse_prometheus(&text);
+        prop_assert!(parsed.is_ok(), "exposition failed to parse: {:?}", parsed);
+        let parsed = parsed.unwrap();
+
+        for (i, v) in counters.iter().enumerate() {
+            let node = i.to_string();
+            let sample = parsed.iter().find(|s| {
+                s.name == "zugchain_test_total"
+                    && s.labels.iter().any(|(k, val)| k == "node" && *val == node)
+            });
+            prop_assert!(sample.is_some(), "counter for node {} missing", node);
+            prop_assert_eq!(sample.unwrap().value, *v as f64);
+        }
+        let gauge_sample = parsed
+            .iter()
+            .find(|s| s.name == "zugchain_test_gauge")
+            .expect("gauge line present");
+        prop_assert_eq!(gauge_sample.value, gauge as f64);
+        let count = parsed
+            .iter()
+            .find(|s| s.name == "zugchain_test_latency_count")
+            .expect("histogram _count present");
+        prop_assert_eq!(count.value, observations.len() as f64);
+        let inf = parsed
+            .iter()
+            .find(|s| {
+                s.name == "zugchain_test_latency_bucket"
+                    && s.labels.iter().any(|(k, v)| k == "le" && v == "+Inf")
+            })
+            .expect("+Inf bucket present");
+        prop_assert_eq!(inf.value, observations.len() as f64);
+    }
+
+    /// Label values survive escaping: quotes, backslashes and newlines
+    /// in a label must round-trip byte-identically through the text
+    /// format.
+    #[test]
+    fn label_escaping_round_trips(value in proptest::collection::vec(any::<char>(), 0..24)) {
+        let value: String = value.into_iter().collect();
+        // The test parser is line-oriented and finds the label set's end
+        // with the first `}`: bare `\r` and `}` are out of its contract
+        // (real label values here are node ids and message-kind names).
+        prop_assume!(!value.contains('\r') && !value.contains('}'));
+        let registry = Registry::new();
+        registry
+            .counter("zugchain_test_escaped_total", &labels(&[("detail", &value)]))
+            .inc();
+        let parsed = parse_prometheus(&registry.render_prometheus())
+            .expect("escaped exposition parses");
+        let sample = parsed
+            .iter()
+            .find(|s| s.name == "zugchain_test_escaped_total")
+            .expect("counter line present");
+        let detail = sample
+            .labels
+            .iter()
+            .find(|(k, _)| k == "detail")
+            .map(|(_, v)| v.as_str());
+        prop_assert_eq!(detail, Some(value.as_str()));
+    }
+}
