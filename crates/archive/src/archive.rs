@@ -31,7 +31,7 @@ use zugchain_crypto::{Digest, Keystore};
 use zugchain_export::CertifiedSegment;
 use zugchain_signals::analysis::Timeline;
 use zugchain_signals::Request;
-use zugchain_wire::{decode_seq, encode_seq, Decode, Encode, Reader, WireError, Writer};
+use zugchain_wire::{decode_seq, encode_seq, Decode, Encode, Reader, TrainId, WireError, Writer};
 
 use crate::bundle::AuditBundle;
 use crate::index::{ArchiveIndex, EventKind, RequestLocation};
@@ -60,6 +60,21 @@ pub enum IngestError {
     },
     /// The segment failed verification.
     Invalid(SegmentViolation),
+    /// The segment belongs to another train: this archive (shard) only
+    /// accepts its own train's chain.
+    TrainMismatch {
+        /// Train this archive shard stores.
+        expected: TrainId,
+        /// Origin train the segment declared.
+        got: TrainId,
+    },
+    /// The segment's train has no registered replica keyset (fleet
+    /// ingest only; a single-train [`Archive`] reports
+    /// [`TrainMismatch`](Self::TrainMismatch) instead).
+    UnknownTrain {
+        /// The unregistered train.
+        train: TrainId,
+    },
     /// Persisting the verified segment failed; the in-memory state was
     /// left unchanged.
     Io(String),
@@ -81,6 +96,13 @@ impl std::fmt::Display for IngestError {
                 expected_hash.short()
             ),
             IngestError::Invalid(v) => write!(f, "segment rejected: {v}"),
+            IngestError::TrainMismatch { expected, got } => write!(
+                f,
+                "segment from train {got} refused by train {expected}'s shard"
+            ),
+            IngestError::UnknownTrain { train } => {
+                write!(f, "no replica keyset registered for train {train}")
+            }
             IngestError::Io(e) => write!(f, "segment could not be persisted: {e}"),
         }
     }
@@ -244,6 +266,10 @@ impl SegmentStore {
 /// data-center side of the export protocol.
 #[derive(Debug)]
 pub struct Archive {
+    /// The train whose chain this archive (shard) stores. Segments from
+    /// any other train are refused, and recovery discards files whose
+    /// header names another train.
+    train: TrainId,
     keystore: Keystore,
     quorum: usize,
     storage: Option<SegmentStore>,
@@ -260,8 +286,13 @@ struct ArchiveMetrics {
     /// `zugchain_archive_ingests_total`: segments successfully ingested.
     ingests: zugchain_telemetry::Counter,
     /// `zugchain_archive_ingest_errors_total`: rejected segments
-    /// (discontinuity, bad certificate, build or I/O failure).
+    /// (discontinuity, bad certificate, train mismatch, build or I/O
+    /// failure).
     ingest_errors: zugchain_telemetry::Counter,
+    /// `zugchain_archive_segments_total`: segments archived since this
+    /// process started (monotonic; the `zugchain_archive_segments` gauge
+    /// reports the absolute count including recovered segments).
+    segments_total: zugchain_telemetry::Counter,
     /// `zugchain_archive_ingest_latency_us`: wall-clock microseconds per
     /// successful ingest (verify + persist + index).
     ingest_latency_us: zugchain_telemetry::Histogram,
@@ -279,6 +310,7 @@ impl ArchiveMetrics {
         ArchiveMetrics {
             ingests: telemetry.counter("zugchain_archive_ingests_total"),
             ingest_errors: telemetry.counter("zugchain_archive_ingest_errors_total"),
+            segments_total: telemetry.counter("zugchain_archive_segments_total"),
             ingest_latency_us: telemetry.histogram("zugchain_archive_ingest_latency_us"),
             bundle_builds: telemetry.counter("zugchain_archive_bundle_builds_total"),
             segments: telemetry.gauge("zugchain_archive_segments"),
@@ -292,7 +324,15 @@ impl Archive {
     /// the chaos harness and tests. Verification is identical to the
     /// durable form.
     pub fn in_memory(keystore: Keystore, quorum: usize) -> Self {
+        Self::in_memory_for_train(TrainId::DEFAULT, keystore, quorum)
+    }
+
+    /// Like [`in_memory`](Self::in_memory), but as the shard of one
+    /// specific train: only segments tagged `train` are accepted, and
+    /// they must verify against that train's replica `keystore`.
+    pub fn in_memory_for_train(train: TrainId, keystore: Keystore, quorum: usize) -> Self {
         Archive {
+            train,
             keystore,
             quorum,
             storage: None,
@@ -327,6 +367,19 @@ impl Archive {
         keystore: Keystore,
         quorum: usize,
     ) -> io::Result<(Self, RecoveryReport)> {
+        Self::open_for_train(dir, TrainId::DEFAULT, keystore, quorum)
+    }
+
+    /// Like [`open`](Self::open), but as the durable shard of one
+    /// specific train. Recovery additionally discards any segment file
+    /// whose header names a different train — a misplaced or relabeled
+    /// file can never leak another vehicle's records into this shard.
+    pub fn open_for_train(
+        dir: impl AsRef<Path>,
+        train: TrainId,
+        keystore: Keystore,
+        quorum: usize,
+    ) -> io::Result<(Self, RecoveryReport)> {
         let storage = SegmentStore::open(dir)?;
         let mut report = RecoveryReport::default();
 
@@ -349,6 +402,7 @@ impl Archive {
                     Ok(segment)
                         if seq == expected_seq
                             && segment.header.seq == seq
+                            && segment.header.train == train
                             && continuous(&segment)
                             && segment.verify(&keystore, quorum).is_ok() =>
                     {
@@ -385,6 +439,7 @@ impl Archive {
         }
         Ok((
             Archive {
+                train,
                 keystore,
                 quorum,
                 storage: Some(storage),
@@ -395,6 +450,11 @@ impl Archive {
             },
             report,
         ))
+    }
+
+    /// The train whose chain this archive stores.
+    pub fn train(&self) -> TrainId {
+        self.train
     }
 
     /// The `(height, hash)` the next segment must build on, or `None`
@@ -441,6 +501,7 @@ impl Archive {
         match &result {
             Ok(seq) => {
                 self.metrics.ingests.inc();
+                self.metrics.segments_total.inc();
                 self.metrics
                     .ingest_latency_us
                     .observe(started.elapsed().as_micros() as u64);
@@ -457,6 +518,12 @@ impl Archive {
     }
 
     fn ingest_inner(&mut self, certified: &CertifiedSegment) -> Result<u64, IngestError> {
+        if certified.train != self.train {
+            return Err(IngestError::TrainMismatch {
+                expected: self.train,
+                got: certified.train,
+            });
+        }
         if let Some((expected_height, expected_hash)) = self.head() {
             if certified.base_height != expected_height || certified.base_hash != expected_hash {
                 return Err(IngestError::NotContiguous {
@@ -564,9 +631,10 @@ impl Archive {
     pub fn audit_bundle(&self, height: u64) -> Option<AuditBundle> {
         let segment = self.segment_of_height(height)?;
         let idx = (height - segment.header.first_height) as usize;
-        let leaves = block_leaves(&segment.blocks);
+        let leaves = block_leaves(self.train, &segment.blocks);
         self.metrics.bundle_builds.inc();
         Some(AuditBundle {
+            train: self.train,
             block_bytes: zugchain_wire::to_bytes(&segment.blocks[idx]),
             merkle_path: MerklePath::build(&leaves, idx),
             merkle_root: segment.header.merkle_root,

@@ -11,24 +11,35 @@
 //! zugchain-audit --keys replica-keys.txt --quorum 3 bundle1.zab bundle2.zab
 //! ```
 //!
-//! Exit status 0 iff every bundle verifies.
+//! In a fleet, `--train <id>` restricts the audit to one vehicle: a
+//! bundle tagged with another train fails with a diagnostic, as does a
+//! key file whose `train` directive names a different train (wrong
+//! keyset for the requested vehicle). Without `--train`, a key file
+//! carrying a `train` directive scopes the audit to that train.
+//!
+//! Exit status 0 iff every bundle verifies (and matches the requested
+//! train, when one is in effect).
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 use zugchain_archive::{keyfile, AuditBundle};
+use zugchain_wire::TrainId;
 
 struct Args {
     keys: PathBuf,
     quorum: usize,
+    train: Option<TrainId>,
     bundles: Vec<PathBuf>,
 }
 
-const USAGE: &str = "usage: zugchain-audit --keys <replica-key-file> --quorum <n> <bundle.zab>...";
+const USAGE: &str =
+    "usage: zugchain-audit --keys <replica-key-file> --quorum <n> [--train <id>] <bundle.zab>...";
 
 fn parse_args() -> Result<Args, String> {
     let mut keys = None;
     let mut quorum = None;
+    let mut train = None;
     let mut bundles = Vec::new();
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
@@ -44,6 +55,10 @@ fn parse_args() -> Result<Args, String> {
                         .parse::<usize>()
                         .map_err(|_| format!("invalid quorum `{value}`"))?,
                 );
+            }
+            "--train" => {
+                let value = argv.next().ok_or("--train needs a decimal train id")?;
+                train = Some(TrainId::parse(&value).ok_or(format!("invalid train id `{value}`"))?);
             }
             "--help" | "-h" => return Err(USAGE.to_string()),
             _ if arg.starts_with('-') => return Err(format!("unknown flag `{arg}`\n{USAGE}")),
@@ -61,6 +76,7 @@ fn parse_args() -> Result<Args, String> {
     Ok(Args {
         keys,
         quorum,
+        train,
         bundles,
     })
 }
@@ -74,18 +90,38 @@ fn main() -> ExitCode {
         }
     };
 
-    let keystore = match keyfile::read_keys(&args.keys) {
-        Ok(keystore) => keystore,
+    let (keyset_train, keystore) = match keyfile::read_keys_full(&args.keys) {
+        Ok(loaded) => loaded,
         Err(e) => {
             eprintln!("cannot load keys from {}: {e}", args.keys.display());
             return ExitCode::FAILURE;
         }
     };
+    // The requested train and the keyset's declared train must agree:
+    // verifying train A's bundles against train B's keys would only ever
+    // produce misleading certificate failures.
+    if let (Some(requested), Some(declared)) = (args.train, keyset_train) {
+        if requested != declared {
+            eprintln!(
+                "key file {} declares train {declared}, but --train {requested} was requested: \
+                 wrong keyset for that vehicle",
+                args.keys.display()
+            );
+            return ExitCode::FAILURE;
+        }
+    }
+    // An explicit --train wins; otherwise the key file's directive (if
+    // any) scopes the audit.
+    let train = args.train.or(keyset_train);
     println!(
-        "loaded {} replica public keys from {} (quorum {})",
+        "loaded {} replica public keys from {} (quorum {}{})",
         keystore.len(),
         args.keys.display(),
-        args.quorum
+        args.quorum,
+        match train {
+            Some(train) => format!(", train {train}"),
+            None => String::new(),
+        }
     );
 
     let mut failures = 0usize;
@@ -93,6 +129,14 @@ fn main() -> ExitCode {
         let verdict = AuditBundle::read_from(path)
             .map_err(|e| e.to_string())
             .and_then(|bundle| {
+                if let Some(train) = train {
+                    if bundle.train != train {
+                        return Err(format!(
+                            "bundle is from train {}, not requested train {train}",
+                            bundle.train
+                        ));
+                    }
+                }
                 bundle
                     .verify(&keystore, args.quorum)
                     .map_err(|e| e.to_string())

@@ -24,7 +24,7 @@ use std::path::Path;
 use zugchain_blockchain::{Block, BlockHeader};
 use zugchain_crypto::{Digest, Keystore};
 use zugchain_pbft::CheckpointProof;
-use zugchain_wire::{decode_seq, encode_seq, Decode, Encode, Reader, WireError, Writer};
+use zugchain_wire::{decode_seq, encode_seq, Decode, Encode, Reader, TrainId, WireError, Writer};
 
 use crate::merkle::{leaf_digest, MerklePath};
 
@@ -35,6 +35,13 @@ pub const BUNDLE_MAGIC: &[u8; 4] = b"ZAB1";
 /// by the consensus group and archived.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AuditBundle {
+    /// Origin train of the audited block. Bound into the Merkle leaf
+    /// (the leaf covers the train id followed by the block bytes), so a
+    /// tampered train id fails inclusion rather than attributing the
+    /// record to another vehicle. Cross-train forgery is additionally
+    /// blocked by the keys: another train's certificate never verifies
+    /// against this train's replica keyset.
+    pub train: TrainId,
     /// Canonical encoding of the block under audit.
     pub block_bytes: Vec<u8>,
     /// Merkle inclusion path of `block_bytes` in the archived segment.
@@ -119,7 +126,12 @@ impl AuditBundle {
             return Err(AuditError::PayloadMismatch);
         }
 
-        let leaf = leaf_digest(&self.block_bytes);
+        let leaf = {
+            let mut content = Vec::with_capacity(8 + self.block_bytes.len());
+            content.extend_from_slice(&self.train.to_le_bytes());
+            content.extend_from_slice(&self.block_bytes);
+            leaf_digest(&content)
+        };
         if self.merkle_path.root_for(leaf) != self.merkle_root {
             return Err(AuditError::NotInSegment);
         }
@@ -190,6 +202,7 @@ impl AuditBundle {
 
 impl Encode for AuditBundle {
     fn encode(&self, w: &mut Writer) {
+        self.train.encode(w);
         self.block_bytes.encode(w);
         self.merkle_path.encode(w);
         self.merkle_root.encode(w);
@@ -201,6 +214,7 @@ impl Encode for AuditBundle {
 impl Decode for AuditBundle {
     fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
         Ok(AuditBundle {
+            train: TrainId::decode(r)?,
             block_bytes: Vec::<u8>::decode(r)?,
             merkle_path: MerklePath::decode(r)?,
             merkle_root: Digest::decode(r)?,

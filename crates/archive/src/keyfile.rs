@@ -6,12 +6,19 @@
 //! line per replica, `#` comments allowed — so the keys themselves can
 //! be read aloud, printed, and compared against an out-of-band source
 //! (the operator's key ceremony record) without any tooling.
+//!
+//! In a fleet, each train has its own replica keyset; a key file may
+//! declare which train its keys belong to with a single
+//! `train <decimal id>` directive line. The directive is optional (an
+//! undirected file verifies bundles from any train, as before) and at
+//! most one is allowed.
 
 use std::fmt::Write as _;
 use std::io::{self, Read as _};
 use std::path::Path;
 
 use zugchain_crypto::{Keystore, PublicKey};
+use zugchain_wire::TrainId;
 
 /// Renders a keystore as the text key-file format.
 pub fn keys_to_string(keystore: &Keystore) -> String {
@@ -28,6 +35,12 @@ pub fn keys_to_string(keystore: &Keystore) -> String {
     out
 }
 
+/// Renders a train's keystore as the text key-file format, with the
+/// `train <id>` directive naming the keyset's owner.
+pub fn keys_to_string_for_train(train: TrainId, keystore: &Keystore) -> String {
+    format!("train {train}\n{}", keys_to_string(keystore))
+}
+
 /// Writes a keystore to `path` in the text key-file format.
 ///
 /// # Errors
@@ -35,6 +48,15 @@ pub fn keys_to_string(keystore: &Keystore) -> String {
 /// Any underlying I/O error.
 pub fn write_keys(path: &Path, keystore: &Keystore) -> io::Result<()> {
     std::fs::write(path, keys_to_string(keystore))
+}
+
+/// Writes a train's keystore to `path` with the `train <id>` directive.
+///
+/// # Errors
+///
+/// Any underlying I/O error.
+pub fn write_keys_for_train(path: &Path, train: TrainId, keystore: &Keystore) -> io::Result<()> {
+    std::fs::write(path, keys_to_string_for_train(train, keystore))
 }
 
 fn parse_hex32(hex: &str) -> Option<[u8; 32]> {
@@ -49,18 +71,32 @@ fn parse_hex32(hex: &str) -> Option<[u8; 32]> {
     Some(out)
 }
 
-/// Parses the text key-file format back into a keystore.
+/// Parses the text key-file format back into a keystore, ignoring any
+/// `train` directive. Use [`parse_keys_full`] when the declared train
+/// matters (e.g. `zugchain-audit --train`).
 ///
 /// # Errors
 ///
 /// [`io::ErrorKind::InvalidData`] naming the first malformed line.
 pub fn parse_keys(text: &str) -> io::Result<Keystore> {
+    parse_keys_full(text).map(|(_, keystore)| keystore)
+}
+
+/// Parses the text key-file format, returning the optional `train`
+/// directive alongside the keystore.
+///
+/// # Errors
+///
+/// [`io::ErrorKind::InvalidData`] naming the first malformed line
+/// (including a malformed or duplicated `train` directive).
+pub fn parse_keys_full(text: &str) -> io::Result<(Option<TrainId>, Keystore)> {
     let invalid = |line: usize, what: &str| {
         io::Error::new(
             io::ErrorKind::InvalidData,
             format!("key file line {line}: {what}"),
         )
     };
+    let mut train = None;
     let mut entries = Vec::new();
     for (number, line) in text.lines().enumerate() {
         let line = line.trim();
@@ -68,6 +104,16 @@ pub fn parse_keys(text: &str) -> io::Result<Keystore> {
             continue;
         }
         let number = number + 1;
+        if let Some(rest) = line.strip_prefix("train ") {
+            if train.is_some() {
+                return Err(invalid(number, "duplicate train directive"));
+            }
+            train = Some(
+                TrainId::parse(rest)
+                    .ok_or_else(|| invalid(number, "train directive needs a decimal id"))?,
+            );
+            continue;
+        }
         let mut parts = line.split_whitespace();
         let id: u64 = parts
             .next()
@@ -85,7 +131,7 @@ pub fn parse_keys(text: &str) -> io::Result<Keystore> {
             .map_err(|_| invalid(number, "bytes are not a valid ed25519 public key"))?;
         entries.push((id, key));
     }
-    Ok(Keystore::with_ids(entries))
+    Ok((train, Keystore::with_ids(entries)))
 }
 
 /// Reads a key file from disk.
@@ -94,9 +140,19 @@ pub fn parse_keys(text: &str) -> io::Result<Keystore> {
 ///
 /// I/O errors, or [`io::ErrorKind::InvalidData`] for malformed content.
 pub fn read_keys(path: &Path) -> io::Result<Keystore> {
+    read_keys_full(path).map(|(_, keystore)| keystore)
+}
+
+/// Reads a key file from disk, returning the optional `train` directive
+/// alongside the keystore.
+///
+/// # Errors
+///
+/// I/O errors, or [`io::ErrorKind::InvalidData`] for malformed content.
+pub fn read_keys_full(path: &Path) -> io::Result<(Option<TrainId>, Keystore)> {
     let mut text = String::new();
     std::fs::File::open(path)?.read_to_string(&mut text)?;
-    parse_keys(&text)
+    parse_keys_full(&text)
 }
 
 #[cfg(test)]
@@ -127,6 +183,28 @@ mod tests {
         let (_, keystore) = Keystore::generate(1, 1);
         let text = format!("# heading\n\n{}\n  \n", keys_to_string(&keystore));
         assert_eq!(parse_keys(&text).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn train_directive_round_trips() {
+        let (_, keystore) = Keystore::generate(4, 7);
+        let text = keys_to_string_for_train(TrainId(12), &keystore);
+        let (train, back) = parse_keys_full(&text).unwrap();
+        assert_eq!(train, Some(TrainId(12)));
+        assert_eq!(back.len(), 4);
+        // The directive-free file parses with no train.
+        let (train, _) = parse_keys_full(&keys_to_string(&keystore)).unwrap();
+        assert_eq!(train, None);
+        // The train-agnostic parser tolerates the directive.
+        assert_eq!(parse_keys(&text).unwrap().len(), 4);
+    }
+
+    #[test]
+    fn bad_train_directives_are_rejected() {
+        for bad in ["train twelve", "train 1\ntrain 2", "train "] {
+            let err = parse_keys_full(bad).unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::InvalidData, "{bad}");
+        }
     }
 
     #[test]

@@ -28,6 +28,7 @@
 
 mod archive;
 mod bundle;
+mod fleet;
 mod index;
 pub mod keyfile;
 mod merkle;
@@ -35,6 +36,7 @@ mod segment;
 
 pub use archive::{Archive, IngestError, QueryEngine, RecoveryReport, INDEX_MAGIC, SEGMENT_MAGIC};
 pub use bundle::{AuditBundle, AuditError, BUNDLE_MAGIC};
+pub use fleet::{FleetArchive, IngestLock};
 pub use index::{ArchiveIndex, EventKind, RequestLocation};
 pub use merkle::{leaf_digest, merkle_root, MerklePath, MerkleStep};
 pub use segment::{block_leaves, Segment, SegmentHeader, SegmentViolation};

@@ -16,13 +16,18 @@ use zugchain_blockchain::{verify_chain, Block, ChainViolation};
 use zugchain_crypto::{Digest, Keystore};
 use zugchain_export::CertifiedSegment;
 use zugchain_pbft::CheckpointProof;
-use zugchain_wire::{decode_seq, encode_seq, Decode, Encode, Reader, WireError, Writer};
+use zugchain_wire::{decode_seq, encode_seq, Decode, Encode, Reader, TrainId, WireError, Writer};
 
 use crate::merkle::{leaf_digest, merkle_root};
 
 /// Derived commitments over one segment's blocks.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SegmentHeader {
+    /// Origin train of the blocks. Bound into every Merkle leaf (see
+    /// [`block_leaves`]), so a relabeled segment fails `merkle_root`
+    /// verification rather than silently landing in another train's
+    /// shard.
+    pub train: TrainId,
     /// Position of this segment in the archive's append-only sequence.
     pub seq: u64,
     /// Height of the last block *before* this segment (0 for genesis).
@@ -45,6 +50,7 @@ pub struct SegmentHeader {
 
 impl Encode for SegmentHeader {
     fn encode(&self, w: &mut Writer) {
+        self.train.encode(w);
         w.write_u64(self.seq);
         w.write_u64(self.base_height);
         self.base_hash.encode(w);
@@ -60,6 +66,7 @@ impl Encode for SegmentHeader {
 impl Decode for SegmentHeader {
     fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
         Ok(SegmentHeader {
+            train: TrainId::decode(r)?,
             seq: r.read_u64()?,
             base_height: r.read_u64()?,
             base_hash: Digest::decode(r)?,
@@ -155,12 +162,22 @@ impl From<ChainViolation> for SegmentViolation {
     }
 }
 
-/// Computes the Merkle leaf digests for a run of blocks (leaf = canonical
-/// block encoding under the leaf domain prefix).
-pub fn block_leaves(blocks: &[Block]) -> Vec<Digest> {
+/// Computes the Merkle leaf digests for a run of blocks belonging to
+/// `train`. Each leaf covers the train id (8 bytes little-endian)
+/// followed by the canonical block encoding, under the leaf domain
+/// prefix — so the same blocks committed for two different trains
+/// produce different roots, and a train id cannot be swapped after the
+/// fact without breaking every inclusion proof.
+pub fn block_leaves(train: TrainId, blocks: &[Block]) -> Vec<Digest> {
     blocks
         .iter()
-        .map(|b| leaf_digest(&zugchain_wire::to_bytes(b)))
+        .map(|b| {
+            let encoded = zugchain_wire::to_bytes(b);
+            let mut content = Vec::with_capacity(8 + encoded.len());
+            content.extend_from_slice(&train.to_le_bytes());
+            content.extend_from_slice(&encoded);
+            leaf_digest(&content)
+        })
         .collect()
 }
 
@@ -177,13 +194,14 @@ impl Segment {
         let first = blocks.first().ok_or(SegmentViolation::Empty)?;
         let last = blocks.last().expect("nonempty");
         let header = SegmentHeader {
+            train: certified.train,
             seq,
             base_height: certified.base_height,
             base_hash: certified.base_hash,
             first_height: first.height(),
             last_height: last.height(),
             head_hash: last.hash(),
-            merkle_root: merkle_root(&block_leaves(blocks)),
+            merkle_root: merkle_root(&block_leaves(certified.train, blocks)),
             min_time_ms: blocks
                 .iter()
                 .map(|b| b.header.time_ms)
@@ -230,7 +248,7 @@ impl Segment {
         if self.header.head_hash != last.hash() {
             return mismatch("head_hash");
         }
-        if self.header.merkle_root != merkle_root(&block_leaves(&self.blocks)) {
+        if self.header.merkle_root != merkle_root(&block_leaves(self.header.train, &self.blocks)) {
             return mismatch("merkle_root");
         }
         let min = self

@@ -64,6 +64,7 @@ fn scripted_segment(pairs: &[zugchain_crypto::KeyPair]) -> CertifiedSegment {
     let base = Block::genesis();
     let head = blocks.last().unwrap().clone();
     CertifiedSegment {
+        train: zugchain_wire::TrainId::DEFAULT,
         base_height: base.height(),
         base_hash: base.hash(),
         blocks,

@@ -10,9 +10,9 @@ mod common;
 use proptest::prelude::*;
 use proptest::test_runner::TestCaseError;
 use zugchain_archive::{Archive, AuditBundle, Segment};
-use zugchain_wire::{from_bytes, to_bytes, Decode, Encode};
+use zugchain_wire::{from_bytes, to_bytes, Decode, Encode, TrainId};
 
-use common::{certified_chain, keys, QUORUM};
+use common::{certified_chain, certified_chain_for_train, keys, QUORUM};
 
 /// Roundtrip + truncation + trailing-garbage checks for one value.
 fn check_codec<T>(value: &T, what: &str, garbage: &[u8]) -> Result<(), TestCaseError>
@@ -52,21 +52,26 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
     #[test]
-    /// Segments and the audit bundles cut from them have exact codecs.
+    /// Train-tagged segments, their headers, and the audit bundles cut
+    /// from them have exact codecs at arbitrary train ids.
     fn segment_and_bundle_codecs_are_exact(
+        train in any::<u64>(),
         n_segments in 1usize..3,
         blocks_per_segment in 1usize..4,
         garbage in proptest::collection::vec(any::<u8>(), 1..8),
     ) {
+        let train = TrainId(train);
         let (pairs, keystore) = keys();
-        let mut archive = Archive::in_memory(keystore, QUORUM);
-        for (seq, certified) in certified_chain(&pairs, n_segments, blocks_per_segment)
+        let mut archive = Archive::in_memory_for_train(train, keystore, QUORUM);
+        for (seq, certified) in certified_chain_for_train(train, &pairs, n_segments, blocks_per_segment)
             .iter()
             .enumerate()
         {
             let segment = Segment::build(seq as u64, certified)
                 .map_err(|e| TestCaseError::fail(format!("build: {e}")))?;
+            prop_assert_eq!(segment.header.train, train);
             check_codec(&segment, "segment", &garbage)?;
+            check_codec(&segment.header, "segment header", &garbage)?;
             archive
                 .ingest(certified)
                 .map_err(|e| TestCaseError::fail(format!("ingest: {e}")))?;
@@ -76,6 +81,7 @@ proptest! {
         let heights: Vec<u64> = archive.blocks().map(|b| b.height()).collect();
         for height in heights {
             let bundle = archive.audit_bundle(height).expect("archived height");
+            prop_assert_eq!(bundle.train, train);
             check_codec(&bundle, "bundle", &garbage)?;
         }
     }

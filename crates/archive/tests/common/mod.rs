@@ -7,6 +7,7 @@ use zugchain_export::CertifiedSegment;
 use zugchain_mvb::PortAddress;
 use zugchain_pbft::{Checkpoint, CheckpointProof, Message, NodeId};
 use zugchain_signals::{Request, SignalValue, TrainEvent};
+use zugchain_wire::TrainId;
 
 /// 4 replicas, f = 1 → quorum 3.
 pub const QUORUM: usize = 3;
@@ -53,7 +54,18 @@ pub fn signal_payload(cycle: u64, time_ms: u64, name: &str, value: SignalValue) 
 /// `blocks_per_segment` blocks each (2 requests per block), chained off
 /// genesis, each certified by every key in `pairs`. Request `sn` doubles
 /// as the driver for a 100 ms-per-request synthetic clock.
+#[allow(dead_code)] // not every test binary uses the default-train form
 pub fn certified_chain(
+    pairs: &[KeyPair],
+    n_segments: usize,
+    blocks_per_segment: usize,
+) -> Vec<CertifiedSegment> {
+    certified_chain_for_train(TrainId::DEFAULT, pairs, n_segments, blocks_per_segment)
+}
+
+/// As [`certified_chain`], tagged with an origin train.
+pub fn certified_chain_for_train(
+    train: TrainId,
     pairs: &[KeyPair],
     n_segments: usize,
     blocks_per_segment: usize,
@@ -81,6 +93,7 @@ pub fn certified_chain(
         }
         let head = blocks.last().expect("nonempty").clone();
         segments.push(CertifiedSegment {
+            train,
             base_height: base.height(),
             base_hash: base.hash(),
             blocks,

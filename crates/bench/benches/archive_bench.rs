@@ -4,13 +4,14 @@
 //! baselines recorded in `BENCH_archive.json`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use zugchain_archive::Archive;
+use zugchain_archive::{Archive, FleetArchive, IngestLock};
 use zugchain_blockchain::{Block, BlockBuilder, LoggedRequest};
 use zugchain_crypto::{KeyPair, Keystore};
 use zugchain_export::CertifiedSegment;
 use zugchain_mvb::PortAddress;
 use zugchain_pbft::{Checkpoint, CheckpointProof, Message, NodeId};
 use zugchain_signals::{Request, SignalValue, TrainEvent};
+use zugchain_wire::TrainId;
 
 const QUORUM: usize = 3;
 const BLOCK_SIZE: usize = 10;
@@ -51,6 +52,16 @@ fn certified_chain(
     n_segments: usize,
     blocks_per_segment: usize,
 ) -> Vec<CertifiedSegment> {
+    certified_chain_for_train(TrainId::DEFAULT, pairs, n_segments, blocks_per_segment)
+}
+
+/// As [`certified_chain`], tagged with an origin train.
+fn certified_chain_for_train(
+    train: TrainId,
+    pairs: &[KeyPair],
+    n_segments: usize,
+    blocks_per_segment: usize,
+) -> Vec<CertifiedSegment> {
     let mut builder = BlockBuilder::new(BLOCK_SIZE);
     let mut base = Block::genesis();
     let mut segments = Vec::new();
@@ -72,6 +83,7 @@ fn certified_chain(
         }
         let head = blocks.last().expect("nonempty").clone();
         segments.push(CertifiedSegment {
+            train,
             base_height: base.height(),
             base_hash: base.hash(),
             blocks,
@@ -170,11 +182,68 @@ fn bench_audit_bundle(c: &mut Criterion) {
     });
 }
 
+/// Sharded fleet ingest vs the forced single-lock baseline: one thread
+/// per train, each draining its train's pre-certified segments into a
+/// shared [`FleetArchive`]. Under `per_shard` the only contention is the
+/// brief cross-index update; `global` serializes every ingest behind one
+/// mutex, which is what a fleet-unaware single archive would do.
+fn bench_fleet_ingest(c: &mut Criterion) {
+    let (pairs, keystore) = Keystore::generate(4, 7);
+    let mut group = c.benchmark_group("archive/fleet_ingest");
+    group.sample_size(10);
+    for n_trains in [4usize, 16, 32] {
+        let per_train: Vec<(TrainId, Vec<CertifiedSegment>)> = (0..n_trains)
+            .map(|i| {
+                let train = TrainId(i as u64 + 1);
+                (train, certified_chain_for_train(train, &pairs, 4, 10))
+            })
+            .collect();
+        let requests = per_train
+            .iter()
+            .flat_map(|(_, segments)| segments.iter())
+            .map(|s| s.blocks.len() * BLOCK_SIZE)
+            .sum::<usize>() as u64;
+        group.throughput(Throughput::Elements(requests));
+        for (mode, name) in [
+            (IngestLock::PerShard, "per_shard"),
+            (IngestLock::Global, "global"),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(name, n_trains),
+                &per_train,
+                |b, per_train| {
+                    b.iter(|| {
+                        let fleet = FleetArchive::in_memory(QUORUM).with_lock_mode(mode);
+                        for (train, _) in per_train {
+                            fleet
+                                .register_train(*train, keystore.clone())
+                                .expect("fresh registration");
+                        }
+                        std::thread::scope(|scope| {
+                            for (_, segments) in per_train {
+                                let fleet = fleet.clone();
+                                scope.spawn(move || {
+                                    for segment in segments {
+                                        fleet.ingest(segment).expect("certified segment ingests");
+                                    }
+                                });
+                            }
+                        });
+                        std::hint::black_box(fleet.request_count())
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_ingest,
     bench_point_lookup,
     bench_time_range_scan,
-    bench_audit_bundle
+    bench_audit_bundle,
+    bench_fleet_ingest
 );
 criterion_main!(benches);

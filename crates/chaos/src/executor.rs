@@ -17,22 +17,76 @@ use zugchain::{
     NodeConfig, NodeEvent, NodeInput, NodeMessage, NodeObserver, TimerId, TrainMachine, TrainNode,
     ZugchainNode,
 };
-use zugchain_archive::Archive;
-use zugchain_blockchain::{verify_chain, ChainStore};
+use zugchain_archive::FleetArchive;
+use zugchain_blockchain::{verify_chain, Block, BlockBuilder, ChainStore, LoggedRequest};
 use zugchain_crypto::{Digest, KeyPair, Keystore};
 use zugchain_export::{
-    DataCenter, DcAddr, DcConfig, DcEffect, DcId, ExportMessage, ExportReplica, ReplicaExportConfig,
+    CertifiedSegment, DataCenter, DcAddr, DcConfig, DcEffect, DcId, ExportMessage, ExportReplica,
+    ReplicaExportConfig,
 };
 use zugchain_machine::{Driver, Effect, Frame, Host};
 use zugchain_mvb::Nsdb;
-use zugchain_pbft::{CheckpointProof, Config, Message, NodeId};
+use zugchain_pbft::{Checkpoint, CheckpointProof, Config, Message, NodeId};
 use zugchain_telemetry::{Registry, Telemetry, TraceEvent, DEFAULT_TRACE_CAPACITY};
+use zugchain_wire::TrainId;
 
 use crate::byzantine::ByzNode;
 use crate::plan::{ByzBehavior, ChaosPlan};
 
 const NS_PER_MS: u64 = 1_000_000;
 const NS_PER_US: u64 = 1_000;
+
+/// The bystander train sharing the fleet archives with the chaos
+/// cluster. Its shard is populated before the plan runs and must come
+/// out of the run untouched (I8, fleet mode).
+const BYSTANDER: TrainId = TrainId(0xB);
+
+/// A small honest chain for the bystander train, genuinely certified by
+/// its own (distinct) replica keyset.
+fn bystander_chain(pairs: &[KeyPair]) -> Vec<CertifiedSegment> {
+    let mut builder = BlockBuilder::new(2);
+    let mut base = Block::genesis();
+    let mut segments = Vec::new();
+    let mut sn = 0u64;
+    for _ in 0..2 {
+        let mut blocks = Vec::new();
+        while blocks.len() < 2 {
+            sn += 1;
+            if let Some(block) = builder.push(
+                LoggedRequest {
+                    sn,
+                    origin: sn % 4,
+                    payload: sn.to_le_bytes().to_vec(),
+                },
+                sn * 100,
+            ) {
+                blocks.push(block);
+            }
+        }
+        let head = blocks.last().expect("nonempty").clone();
+        let checkpoint = Checkpoint {
+            sn,
+            state_digest: head.hash(),
+        };
+        let message = zugchain_wire::to_bytes(&Message::Checkpoint(checkpoint));
+        segments.push(CertifiedSegment {
+            train: BYSTANDER,
+            base_height: base.height(),
+            base_hash: base.hash(),
+            blocks,
+            proof: CheckpointProof {
+                checkpoint,
+                signatures: pairs
+                    .iter()
+                    .enumerate()
+                    .map(|(id, pair)| (NodeId(id as u64), pair.sign(&message)))
+                    .collect(),
+            },
+        });
+        base = head;
+    }
+    segments
+}
 
 /// Classes of invariant violations the harness detects.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -475,9 +529,16 @@ struct Chaos {
     telemetry: Vec<Telemetry>,
     world: World,
     dcs: Vec<DataCenter>,
-    /// One in-memory juridical archive per data center, fed from the
-    /// certified segments the export protocol finalizes (I8).
-    archives: Vec<Archive>,
+    /// One in-memory fleet archive per data center: the chaos cluster's
+    /// shard (the default train) is fed from the certified segments the
+    /// export protocol finalizes (I8), next to a pre-populated bystander
+    /// train's shard that no amount of chaos may touch (I8, fleet mode).
+    archives: Vec<FleetArchive>,
+    /// The bystander train's replica keys and pre-chaos shard state:
+    /// head `(height, hash)` and cross-indexed request count.
+    bystander_keystore: Keystore,
+    bystander_head: (u64, Digest),
+    bystander_requests: usize,
     export_replicas: Vec<ExportReplica>,
     exported_blocks: u64,
     archived_segments: u64,
@@ -499,6 +560,7 @@ impl Chaos {
         let (pairs, keystore) =
             Keystore::generate(n, plan.seed.wrapping_mul(0x9E37_79B9).wrapping_add(17));
         let config = NodeConfig {
+            train: TrainId::DEFAULT,
             pbft: Config::new(n)
                 .expect("plan sizes are valid")
                 .with_max_batch_size(plan.max_batch_size)
@@ -553,6 +615,7 @@ impl Chaos {
                 DataCenter::new(
                     DcConfig {
                         id: DcId(i),
+                        train: TrainId::DEFAULT,
                         n_replicas: n,
                         replica_quorum: quorum,
                         peers: vec![DcId(1 - i)],
@@ -563,9 +626,34 @@ impl Chaos {
                 )
             })
             .collect();
-        let archives = (0..2)
-            .map(|_| Archive::in_memory(keystore.clone(), quorum))
+        // Fleet archives: the chaos cluster's shard lives next to a
+        // bystander train's shard keyed to a different replica set, so
+        // every run also witnesses cross-train isolation under faults.
+        // Same group size as the chaos cluster, so its checkpoint
+        // certificates meet the same quorum.
+        let (bystander_pairs, bystander_keystore) = Keystore::generate(n, plan.seed ^ 0xB5A4_B5A4);
+        let bystander_segments = bystander_chain(&bystander_pairs);
+        let archives: Vec<FleetArchive> = (0..2)
+            .map(|_| {
+                let fleet = FleetArchive::in_memory(quorum);
+                fleet
+                    .register_train(TrainId::DEFAULT, keystore.clone())
+                    .expect("fresh fleet");
+                fleet
+                    .register_train(BYSTANDER, bystander_keystore.clone())
+                    .expect("fresh fleet");
+                for certified in &bystander_segments {
+                    fleet
+                        .ingest(certified)
+                        .expect("honest bystander chain ingests");
+                }
+                fleet
+            })
             .collect();
+        let bystander_head = archives[0].head_of(BYSTANDER).expect("bystander archived");
+        let bystander_requests = archives[0]
+            .with_shard(BYSTANDER, |shard| shard.request_count())
+            .expect("bystander shard exists");
         let export_replicas = (0..n)
             .map(|i| {
                 ExportReplica::new(
@@ -621,6 +709,9 @@ impl Chaos {
             world,
             dcs,
             archives,
+            bystander_keystore,
+            bystander_head,
+            bystander_requests,
             export_replicas,
             exported_blocks: 0,
             archived_segments: 0,
@@ -1119,11 +1210,25 @@ impl Chaos {
     /// contain only blocks the cluster actually decided — i.e. the
     /// archive holds a prefix of a correct node's chain — and (c) yield
     /// audit bundles that verify *offline*, after a wire roundtrip,
-    /// against the replica public keys alone.
+    /// against the replica public keys alone. In fleet mode, (d): the
+    /// chaos cluster's segments land only in its own shard — the
+    /// bystander train's shard (different keyset, pre-populated chain)
+    /// stays byte-for-byte untouched no matter what equivocation,
+    /// crashes, or data-center faults the plan injects.
     fn ingest_archives(&mut self) {
         let quorum = 2 * self.world.plan.f() + 1;
         for dc in 0..self.dcs.len() {
             for certified in self.dcs[dc].drain_certified_segments() {
+                if certified.train != TrainId::DEFAULT {
+                    self.world.fail(
+                        ViolationKind::ArchiveAudit,
+                        format!(
+                            "data center {dc} certified a segment for train {}, not its own",
+                            certified.train
+                        ),
+                    );
+                    return;
+                }
                 if let Err(e) = self.archives[dc].ingest(&certified) {
                     self.world.fail(
                         ViolationKind::ArchiveAudit,
@@ -1154,7 +1259,8 @@ impl Chaos {
                     certified.blocks.last().map(|b| b.height()),
                 ];
                 for height in sample.into_iter().flatten() {
-                    let Some(bundle) = self.archives[dc].audit_bundle(height) else {
+                    let Some(bundle) = self.archives[dc].audit_bundle(TrainId::DEFAULT, height)
+                    else {
                         self.world.fail(
                             ViolationKind::ArchiveAudit,
                             format!(
@@ -1183,6 +1289,65 @@ impl Chaos {
                         return;
                     }
                 }
+            }
+        }
+        self.check_bystander_shards();
+    }
+
+    /// I8, fleet mode: the bystander train's shard must still hold
+    /// exactly its pre-chaos chain — same head, same request count — and
+    /// its head audit bundle must still verify offline against the
+    /// bystander keyset alone (and never against the chaos cluster's).
+    fn check_bystander_shards(&mut self) {
+        let quorum = 2 * self.world.plan.f() + 1;
+        for (dc, fleet) in self.archives.iter().enumerate() {
+            let head = fleet.head_of(BYSTANDER);
+            if head != Some(self.bystander_head) {
+                self.world.fail(
+                    ViolationKind::ArchiveAudit,
+                    format!(
+                        "data center {dc} bystander shard head changed under chaos: \
+                         {head:?} != {:?}",
+                        Some(self.bystander_head)
+                    ),
+                );
+                return;
+            }
+            let requests = fleet.with_shard(BYSTANDER, |shard| shard.request_count());
+            if requests != Some(self.bystander_requests) {
+                self.world.fail(
+                    ViolationKind::ArchiveAudit,
+                    format!(
+                        "data center {dc} bystander shard request count changed under \
+                         chaos: {requests:?} != {:?}",
+                        Some(self.bystander_requests)
+                    ),
+                );
+                return;
+            }
+            let Some(bundle) = fleet.audit_bundle(BYSTANDER, self.bystander_head.0) else {
+                self.world.fail(
+                    ViolationKind::ArchiveAudit,
+                    format!("data center {dc} lost the bystander head audit bundle"),
+                );
+                return;
+            };
+            if let Err(e) = bundle.verify(&self.bystander_keystore, quorum) {
+                self.world.fail(
+                    ViolationKind::ArchiveAudit,
+                    format!("data center {dc} bystander head bundle no longer verifies: {e}"),
+                );
+                return;
+            }
+            if bundle.verify(&self.keystore, quorum).is_ok() {
+                self.world.fail(
+                    ViolationKind::ArchiveAudit,
+                    format!(
+                        "data center {dc} bystander bundle verifies under the chaos \
+                         cluster's keys: keysets are not isolating trains"
+                    ),
+                );
+                return;
             }
         }
     }

@@ -1,8 +1,14 @@
 use zugchain_pbft::Config as PbftConfig;
+use zugchain_wire::TrainId;
 
 /// Configuration of a ZugChain node.
 #[derive(Debug, Clone)]
 pub struct NodeConfig {
+    /// The train this node's consensus group belongs to. Every train in
+    /// a fleet runs its own independent chain and PBFT group; the id
+    /// flows into export segments, archive shards, and the `train`
+    /// telemetry label. Single-train deployments keep the default.
+    pub train: TrainId,
     /// The PBFT group configuration (n, f, watermarks).
     pub pbft: PbftConfig,
     /// Ordered requests bundled per block (the paper evaluates 10).
@@ -33,6 +39,7 @@ impl NodeConfig {
     /// hard timeouts of 250 ms each.
     pub fn evaluation_default() -> Self {
         Self {
+            train: TrainId::DEFAULT,
             pbft: PbftConfig::new(4).expect("4 >= 4"),
             block_size: 10,
             soft_timeout_ms: 250,
@@ -47,6 +54,7 @@ impl NodeConfig {
     /// short timeouts.
     pub fn default_for_testing() -> Self {
         Self {
+            train: TrainId::DEFAULT,
             pbft: PbftConfig::new(4).expect("4 >= 4"),
             block_size: 3,
             soft_timeout_ms: 50,
@@ -66,6 +74,13 @@ impl NodeConfig {
         let window = self.soft_timeout_ms + self.hard_timeout_ms;
         let cycles = window.div_ceil(bus_cycle_ms.max(1)) as usize;
         self.open_request_limit = (cycles + 2).max(4);
+        self
+    }
+
+    /// Assigns the node's consensus group to a train of the fleet.
+    #[must_use]
+    pub fn with_train(mut self, train: TrainId) -> Self {
+        self.train = train;
         self
     }
 

@@ -8,6 +8,7 @@ use zugchain_pbft::{
     CheckpointProof, NodeId, ProposedRequest, Replica, ReplicaEvent, ReplicaTimer,
 };
 use zugchain_signals::CycleConsolidator;
+use zugchain_wire::TrainId;
 
 use crate::dedup::DedupLog;
 use crate::{LayerMessage, NodeConfig, NodeMessage, SignedRequest, TimerId};
@@ -469,6 +470,11 @@ impl ZugchainNode {
     pub fn add_input_source(&mut self) -> usize {
         self.sources.push(CycleConsolidator::new(self.nsdb.clone()));
         self.sources.len() - 1
+    }
+
+    /// The train this node's consensus group belongs to.
+    pub fn train_id(&self) -> TrainId {
+        self.config.train
     }
 
     /// Returns `true` if this node is co-located with the current BFT
@@ -1002,8 +1008,16 @@ impl TrainNode for ZugchainNode {
     }
 
     fn set_telemetry(&mut self, telemetry: &zugchain_telemetry::Telemetry) {
-        self.metrics = NodeMetrics::resolve(telemetry);
-        self.replica.set_telemetry(telemetry);
+        // A fleet node publishes under `train="<id>"` next to the node
+        // label; the default train keeps the legacy single-train label
+        // set so existing dashboards and smoke checks are unchanged.
+        let telemetry = if self.config.train == TrainId::DEFAULT || telemetry.train().is_some() {
+            telemetry.clone()
+        } else {
+            telemetry.for_train(self.config.train.0)
+        };
+        self.metrics = NodeMetrics::resolve(&telemetry);
+        self.replica.set_telemetry(&telemetry);
         self.update_open_gauges();
     }
 }

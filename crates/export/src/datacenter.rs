@@ -4,6 +4,7 @@ use zugchain_blockchain::{verify_chain, Block};
 use zugchain_crypto::{Digest, KeyPair, Keystore};
 use zugchain_machine::{Effect, Machine, NoTimer};
 use zugchain_pbft::{CheckpointProof, NodeId};
+use zugchain_wire::TrainId;
 
 use zugchain_telemetry::{Counter, Gauge, Telemetry};
 
@@ -55,6 +56,12 @@ impl DcMetrics {
 pub struct DcConfig {
     /// This data center's id (key id in the data-center keystore).
     pub id: DcId,
+    /// The train this data center exports: its reads are addressed to
+    /// that train's replica group, its certified segments are tagged with
+    /// it, and DC syncs for any other train are rejected. A fleet data
+    /// center runs one [`DataCenter`] machine per train, each against
+    /// that train's replica keyset.
+    pub train: TrainId,
     /// Number of replicas on the train.
     pub n_replicas: usize,
     /// Checkpoint replies to await before finalizing: 2f+1, so at least
@@ -75,6 +82,9 @@ pub struct DcConfig {
 /// process that handed the segment over.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CertifiedSegment {
+    /// Origin train of the blocks; the archive routes the segment to that
+    /// train's shard and verifies it against that train's replica keyset.
+    pub train: TrainId,
     /// Height of the archived block this segment extends.
     pub base_height: u64,
     /// Hash of that block (the first new block's `prev_hash`).
@@ -211,6 +221,11 @@ impl DataCenter {
         self.config.id
     }
 
+    /// The train this data center exports.
+    pub fn train(&self) -> TrainId {
+        self.config.train
+    }
+
     /// Height of the newest archived block.
     pub fn archive_height(&self) -> u64 {
         self.last_height
@@ -262,6 +277,7 @@ impl DataCenter {
         });
         vec![Effect::Broadcast {
             message: ExportMessage::Read {
+                train: self.config.train,
                 last_height: self.last_height,
                 blocks_from,
             },
@@ -300,9 +316,19 @@ impl DataCenter {
     /// (step ③ / scenario (iv): a delayed data center catches up from its
     /// peers rather than from the train).
     pub fn on_dc_sync(&mut self, message: ExportMessage) -> Vec<DcEffect> {
-        let ExportMessage::DcSync { proof, blocks } = message else {
+        let ExportMessage::DcSync {
+            train,
+            proof,
+            blocks,
+        } = message
+        else {
             return Vec::new();
         };
+        // A sync for another train cannot extend this archive: the blocks
+        // belong to a different chain (and a different replica keyset).
+        if train != self.config.train {
+            return Vec::new();
+        }
         if !proof.verify(&self.replica_keystore, self.proof_quorum) {
             return Vec::new();
         }
@@ -326,6 +352,7 @@ impl DataCenter {
         self.metrics.certified_segments.inc();
         self.metrics.blocks.add(new_blocks.len() as u64);
         self.certified.push(CertifiedSegment {
+            train,
             base_height: self.last_height,
             base_hash: self.last_hash,
             blocks: new_blocks.clone(),
@@ -485,6 +512,7 @@ impl DataCenter {
         self.metrics.certified_segments.inc();
         self.metrics.blocks.add(exported as u64);
         self.certified.push(CertifiedSegment {
+            train: self.config.train,
             base_height: self.last_height,
             base_hash: self.last_hash,
             blocks: segment.clone(),
@@ -504,6 +532,7 @@ impl DataCenter {
             actions.push(Effect::Send {
                 to: DcAddr::DataCenter(peer),
                 message: ExportMessage::DcSync {
+                    train: self.config.train,
                     proof: proof.clone(),
                     blocks: self.archive[self.archive.len() - exported..].to_vec(),
                 },
@@ -596,6 +625,7 @@ mod tests {
         let dc = DataCenter::new(
             DcConfig {
                 id: DcId(0),
+                train: TrainId::DEFAULT,
                 n_replicas: 4,
                 replica_quorum: 3,
                 peers: vec![DcId(1)],
@@ -809,6 +839,7 @@ mod tests {
         let mut late = DataCenter::new(
             DcConfig {
                 id: DcId(1),
+                train: TrainId::DEFAULT,
                 n_replicas: 4,
                 replica_quorum: 3,
                 peers: vec![DcId(0)],
@@ -818,6 +849,7 @@ mod tests {
             3,
         );
         late.on_dc_sync(ExportMessage::DcSync {
+            train: TrainId::DEFAULT,
             proof: proof_for(&blocks[3], &pairs),
             blocks: blocks.clone(),
         });
@@ -826,11 +858,24 @@ mod tests {
     }
 
     #[test]
+    fn dc_sync_for_another_train_is_rejected() {
+        let (mut dc, blocks, pairs) = setup();
+        dc.on_dc_sync(ExportMessage::DcSync {
+            train: TrainId(99),
+            proof: proof_for(&blocks[3], &pairs),
+            blocks: blocks.clone(),
+        });
+        assert_eq!(dc.archive_height(), 0, "foreign train's sync not adopted");
+        assert!(dc.drain_certified_segments().is_empty());
+    }
+
+    #[test]
     fn dc_sync_rejects_tampered_blocks() {
         let (mut dc, blocks, pairs) = setup();
         let mut tampered = blocks.clone();
         tampered[0].requests[0].payload = vec![9];
         dc.on_dc_sync(ExportMessage::DcSync {
+            train: TrainId::DEFAULT,
             proof: proof_for(&blocks[3], &pairs),
             blocks: tampered,
         });

@@ -3,7 +3,7 @@ use std::fmt;
 use zugchain_blockchain::Block;
 use zugchain_crypto::{Digest, KeyPair, Keystore, Signature};
 use zugchain_pbft::{CheckpointProof, NodeId};
-use zugchain_wire::{decode_seq, encode_seq, Decode, Encode, Reader, WireError, Writer};
+use zugchain_wire::{decode_seq, encode_seq, Decode, Encode, Reader, TrainId, WireError, Writer};
 
 /// Identifier of a railway company's private data center.
 ///
@@ -222,6 +222,10 @@ pub enum ExportMessage {
     /// ① Data center → replicas: send your latest checkpoint; the chosen
     /// replica also sends full blocks above `last_height`.
     Read {
+        /// The train whose chain the data center is exporting. Replicas of
+        /// a different train ignore the read, so a misaddressed export
+        /// round cannot pull another vehicle's blocks.
+        train: TrainId,
         /// Height of the last block the data center already holds.
         last_height: u64,
         /// The replica chosen to send full blocks.
@@ -247,6 +251,9 @@ pub enum ExportMessage {
     Ack(SignedAck),
     /// ③ Data center → data center: synchronize exported state.
     DcSync {
+        /// Origin train of the synchronized blocks; the receiving data
+        /// center rejects a sync for a train it is not exporting.
+        train: TrainId,
         /// The checkpoint proof backing the blocks.
         proof: CheckpointProof,
         /// The exported blocks.
@@ -273,10 +280,12 @@ impl Encode for ExportMessage {
     fn encode(&self, w: &mut Writer) {
         match self {
             ExportMessage::Read {
+                train,
                 last_height,
                 blocks_from,
             } => {
                 w.write_u8(Self::TAG_READ);
+                train.encode(w);
                 w.write_u64(*last_height);
                 blocks_from.encode(w);
             }
@@ -304,8 +313,13 @@ impl Encode for ExportMessage {
                 w.write_u8(Self::TAG_ACK);
                 ack.encode(w);
             }
-            ExportMessage::DcSync { proof, blocks } => {
+            ExportMessage::DcSync {
+                train,
+                proof,
+                blocks,
+            } => {
                 w.write_u8(Self::TAG_SYNC);
+                train.encode(w);
                 proof.encode(w);
                 encode_seq(blocks, w);
             }
@@ -317,6 +331,7 @@ impl Decode for ExportMessage {
     fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
         match r.read_u8()? {
             Self::TAG_READ => Ok(ExportMessage::Read {
+                train: TrainId::decode(r)?,
                 last_height: r.read_u64()?,
                 blocks_from: NodeId::decode(r)?,
             }),
@@ -331,6 +346,7 @@ impl Decode for ExportMessage {
             Self::TAG_DELETE => Ok(ExportMessage::Delete(SignedDelete::decode(r)?)),
             Self::TAG_ACK => Ok(ExportMessage::Ack(SignedAck::decode(r)?)),
             Self::TAG_SYNC => Ok(ExportMessage::DcSync {
+                train: TrainId::decode(r)?,
                 proof: CheckpointProof::decode(r)?,
                 blocks: decode_seq(r)?,
             }),
@@ -389,6 +405,7 @@ mod tests {
         };
         let messages = vec![
             ExportMessage::Read {
+                train: TrainId(3),
                 last_height: 5,
                 blocks_from: NodeId(2),
             },
@@ -407,6 +424,7 @@ mod tests {
             ExportMessage::Delete(SignedDelete::sign(cmd, DcId(0), &pairs[0])),
             ExportMessage::Ack(SignedAck::sign(cmd, NodeId(0), &pairs[0])),
             ExportMessage::DcSync {
+                train: TrainId::DEFAULT,
                 proof,
                 blocks: vec![Block::genesis()],
             },

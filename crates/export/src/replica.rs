@@ -4,7 +4,7 @@ use zugchain_blockchain::{ChainStore, PrunedBase};
 use zugchain_crypto::Keystore;
 use zugchain_crypto::{Digest, KeyPair};
 use zugchain_pbft::{CheckpointProof, NodeId};
-use zugchain_wire::{encode_seq, Writer};
+use zugchain_wire::{encode_seq, TrainId, Writer};
 
 use crate::{CheckpointReply, DeleteStatus, ExportMessage, SignedAck, SignedDelete};
 
@@ -53,6 +53,9 @@ impl EmergencyPrune {
 #[derive(Debug)]
 pub struct ExportReplica {
     id: NodeId,
+    /// The train this replica belongs to; reads addressed to another
+    /// train are ignored (its blocks belong to a different chain).
+    train: TrainId,
     key: KeyPair,
     dc_keystore: Keystore,
     config: ReplicaExportConfig,
@@ -78,6 +81,7 @@ impl ExportReplica {
     ) -> Self {
         Self {
             id,
+            train: TrainId::DEFAULT,
             key,
             dc_keystore,
             config,
@@ -85,6 +89,20 @@ impl ExportReplica {
             delayed: BTreeMap::new(),
             executed_up_to: 0,
         }
+    }
+
+    /// Assigns this replica to a train's replica group (builder style).
+    /// Replicas created with [`new`](Self::new) serve the single-train
+    /// [`TrainId::DEFAULT`] identity.
+    #[must_use]
+    pub fn with_train(mut self, train: TrainId) -> Self {
+        self.train = train;
+        self
+    }
+
+    /// The train this replica serves.
+    pub fn train(&self) -> TrainId {
+        self.train
     }
 
     /// Handles an export message, reading/mutating the node's chain and
@@ -99,9 +117,18 @@ impl ExportReplica {
     ) -> Vec<ExportMessage> {
         match message {
             ExportMessage::Read {
+                train,
                 last_height,
                 blocks_from,
-            } => self.on_read(last_height, blocks_from, store, stable_proofs),
+            } => {
+                if train != self.train {
+                    // A read for another train cannot be answered from this
+                    // chain; stay silent so the data center retries against
+                    // the right replica group.
+                    return Vec::new();
+                }
+                self.on_read(last_height, blocks_from, store, stable_proofs)
+            }
             ExportMessage::BlockRange {
                 from_height,
                 to_height,
@@ -346,6 +373,7 @@ mod tests {
         };
         let replies = replica.handle(
             ExportMessage::Read {
+                train: TrainId::DEFAULT,
                 last_height: 0,
                 blocks_from: NodeId(1),
             },
@@ -377,6 +405,7 @@ mod tests {
         };
         let replies = replica.handle(
             ExportMessage::Read {
+                train: TrainId::DEFAULT,
                 last_height: 0,
                 blocks_from: NodeId(3),
             },
@@ -385,6 +414,29 @@ mod tests {
         );
         assert_eq!(replies.len(), 1);
         assert!(matches!(replies[0], ExportMessage::Checkpoint(_)));
+    }
+
+    #[test]
+    fn read_for_another_train_is_ignored() {
+        let (mut replica, mut store, blocks, _, _) = setup();
+        use zugchain_pbft::Checkpoint;
+        let proof = CheckpointProof {
+            checkpoint: Checkpoint {
+                sn: blocks[2].header.last_sn,
+                state_digest: blocks[2].hash(),
+            },
+            signatures: vec![],
+        };
+        let replies = replica.handle(
+            ExportMessage::Read {
+                train: TrainId(42),
+                last_height: 0,
+                blocks_from: NodeId(1),
+            },
+            &mut store,
+            &[proof],
+        );
+        assert!(replies.is_empty(), "foreign train's read answered");
     }
 
     #[test]

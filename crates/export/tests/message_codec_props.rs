@@ -10,7 +10,7 @@ use zugchain_blockchain::{Block, BlockBuilder, LoggedRequest};
 use zugchain_crypto::{Digest, KeyPair, Keystore};
 use zugchain_export::{CheckpointReply, DcId, DeleteCmd, ExportMessage, SignedAck, SignedDelete};
 use zugchain_pbft::{Checkpoint, CheckpointProof, NodeId};
-use zugchain_wire::{from_bytes, to_bytes};
+use zugchain_wire::{from_bytes, to_bytes, TrainId};
 
 /// Roundtrip + truncation + trailing-garbage checks for one message.
 fn check_codec(message: &ExportMessage, garbage: &[u8]) -> Result<(), TestCaseError> {
@@ -77,6 +77,7 @@ fn sample_proof(sn: u64, digest: Digest, keys: &[KeyPair]) -> CheckpointProof {
 /// One exemplar of every [`ExportMessage`] variant (the optional
 /// checkpoint reply gets both its populated and empty form).
 fn export_messages(
+    train: TrainId,
     height: u64,
     sn: u64,
     payloads: &[Vec<u8>],
@@ -92,6 +93,7 @@ fn export_messages(
     };
     vec![
         ExportMessage::Read {
+            train,
             last_height: height,
             blocks_from: NodeId(height % 4),
         },
@@ -114,7 +116,11 @@ fn export_messages(
         },
         ExportMessage::Delete(SignedDelete::sign(cmd, DcId(0), dc_key)),
         ExportMessage::Ack(SignedAck::sign(cmd, NodeId(1), &replica_keys[1])),
-        ExportMessage::DcSync { proof, blocks },
+        ExportMessage::DcSync {
+            train,
+            proof,
+            blocks,
+        },
     ]
 }
 
@@ -125,6 +131,7 @@ proptest! {
     /// All eight export-protocol message shapes roundtrip and reject
     /// torn or padded encodings.
     fn export_message_codec_is_exact(
+        train in any::<u64>(),
         height in 0u64..100_000,
         sn in 0u64..100_000,
         payloads in proptest::collection::vec(
@@ -135,7 +142,10 @@ proptest! {
     ) {
         let (replica_keys, _) = Keystore::generate(4, 0xE1);
         let (dc_keys, _) = Keystore::generate(1, 0xDC);
-        for message in export_messages(height, sn, &payloads, &replica_keys, &dc_keys[0]) {
+        let messages = export_messages(
+            TrainId(train), height, sn, &payloads, &replica_keys, &dc_keys[0],
+        );
+        for message in messages {
             check_codec(&message, &garbage)?;
         }
     }

@@ -48,6 +48,7 @@
 
 mod cost;
 mod export_sim;
+pub mod fleet;
 mod metrics;
 mod network;
 mod node_loop;

@@ -58,6 +58,10 @@ pub struct Telemetry {
 struct TelemetryInner {
     node: u64,
     node_label: String,
+    /// Fleet dimension: when set, every metric resolved through this
+    /// handle carries `train="<id>"` next to `node="<id>"`.
+    train_label: Option<String>,
+    trace_capacity: usize,
     /// Milliseconds on the runtime's clock: virtual time in the
     /// simulator and chaos executor, elapsed wall-clock on the threaded
     /// and TCP runtimes. Advanced monotonically via `fetch_max`.
@@ -89,11 +93,40 @@ impl Telemetry {
             inner: Some(Arc::new(TelemetryInner {
                 node,
                 node_label: node.to_string(),
+                train_label: None,
+                trace_capacity,
                 now_ms: AtomicU64::new(0),
                 recorder: Mutex::new(FlightRecorder::new(trace_capacity)),
                 registry,
             })),
         }
+    }
+
+    /// Derives a handle namespaced under a train of the fleet: metrics
+    /// it resolves carry a `train="<id>"` label in addition to the
+    /// `node="<id>"` label. The derived handle shares the registry but
+    /// owns a fresh flight recorder (its clock starts at the parent's
+    /// current reading). Deriving from a disabled handle stays disabled.
+    pub fn for_train(&self, train: u64) -> Telemetry {
+        match &self.inner {
+            None => Telemetry::disabled(),
+            Some(inner) => Telemetry {
+                inner: Some(Arc::new(TelemetryInner {
+                    node: inner.node,
+                    node_label: inner.node_label.clone(),
+                    train_label: Some(train.to_string()),
+                    trace_capacity: inner.trace_capacity,
+                    now_ms: AtomicU64::new(inner.now_ms.load(Ordering::Relaxed)),
+                    recorder: Mutex::new(FlightRecorder::new(inner.trace_capacity)),
+                    registry: Arc::clone(&inner.registry),
+                })),
+            },
+        }
+    }
+
+    /// The train id this handle is namespaced under, if any.
+    pub fn train(&self) -> Option<&str> {
+        self.inner.as_ref()?.train_label.as_deref()
     }
 
     /// Whether this handle actually records anything.
@@ -243,8 +276,11 @@ fn panic_dump() -> String {
 
 impl TelemetryInner {
     fn with_node_label(&self, labels: &[(&str, &str)]) -> Vec<(String, String)> {
-        let mut all = Vec::with_capacity(labels.len() + 1);
+        let mut all = Vec::with_capacity(labels.len() + 2);
         all.push(("node".to_string(), self.node_label.clone()));
+        if let Some(train) = &self.train_label {
+            all.push(("train".to_string(), train.clone()));
+        }
         for (k, v) in labels {
             all.push((k.to_string(), v.to_string()));
         }
@@ -279,6 +315,27 @@ mod tests {
             registry.counter_value("zugchain_test_total", &[("node", "3")]),
             Some(2)
         );
+    }
+
+    #[test]
+    fn for_train_adds_the_train_label() {
+        let registry = Arc::new(Registry::new());
+        let t = Telemetry::new(3, Arc::clone(&registry), 16);
+        let t12 = t.for_train(12);
+        assert_eq!(t12.node(), Some(3));
+        assert_eq!(t12.train(), Some("12"));
+        assert_eq!(t.train(), None);
+        t12.counter("zugchain_test_total").add(5);
+        assert_eq!(
+            registry.counter_value("zugchain_test_total", &[("node", "3"), ("train", "12")]),
+            Some(5)
+        );
+        // The plain handle's series stays distinct.
+        assert_eq!(
+            registry.counter_value("zugchain_test_total", &[("node", "3")]),
+            None
+        );
+        assert!(!Telemetry::disabled().for_train(12).is_enabled());
     }
 
     #[test]

@@ -628,6 +628,31 @@ mod tests {
     }
 
     #[test]
+    fn multi_label_lines_round_trip_with_escaping() {
+        let registry = Registry::new();
+        let tricky = "a\"b\\c\nd";
+        registry
+            .counter(
+                "zugchain_archive_segments_total",
+                &labels(&[("node", "0"), ("train", "12"), ("note", tricky)]),
+            )
+            .add(4);
+        let text = registry.render_prometheus();
+        let parsed = parse_prometheus(&text).expect("escaped multi-label line parses");
+        let sample = parsed
+            .iter()
+            .find(|s| s.name == "zugchain_archive_segments_total")
+            .expect("sample present");
+        assert_eq!(sample.value, 4.0);
+        // Labels come back sorted (registry key order) and byte-exact
+        // through escaping.
+        assert_eq!(
+            sample.labels,
+            labels(&[("node", "0"), ("note", tricky), ("train", "12")])
+        );
+    }
+
+    #[test]
     fn exposition_round_trips() {
         let registry = Registry::new();
         registry

@@ -37,12 +37,14 @@
 
 mod error;
 mod reader;
+mod train;
 mod traits;
 mod writer;
 
 pub use error::WireError;
 pub use reader::Reader;
 pub use reader::MAX_FIELD_LEN;
+pub use train::TrainId;
 pub use traits::{decode_seq, encode_seq, Decode, Encode};
 pub use writer::Writer;
 

@@ -1,0 +1,99 @@
+//! Fleet identity: the [`TrainId`] newtype.
+//!
+//! The paper records a single train, but a deployment archives a fleet:
+//! every vehicle runs its own chain and PBFT group, and the shared data
+//! center must keep their juridical records strictly apart. `TrainId`
+//! is the identity dimension threaded through every layer — export
+//! messages, certified segments, archive shards, telemetry labels. It
+//! lives in `zugchain-wire` because this is the lowest crate every other
+//! layer already depends on.
+//!
+//! `TrainId(0)` ([`TrainId::DEFAULT`]) is the single-train identity all
+//! pre-fleet code paths keep using; it encodes, verifies and shards
+//! exactly like any other id, so single-train behaviour is just the
+//! one-shard special case.
+
+use std::fmt;
+
+use crate::{Decode, Encode, Reader, WireError, Writer};
+
+/// Identity of one train (one chain + PBFT group) within a fleet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct TrainId(pub u64);
+
+impl TrainId {
+    /// The implicit identity of pre-fleet, single-train deployments.
+    pub const DEFAULT: TrainId = TrainId(0);
+
+    /// Canonical 8-byte little-endian form, used wherever the id is
+    /// bound into a digest (e.g. archive Merkle leaves).
+    #[must_use]
+    pub fn to_le_bytes(self) -> [u8; 8] {
+        self.0.to_le_bytes()
+    }
+
+    /// Parses the decimal form produced by [`fmt::Display`].
+    ///
+    /// # Errors
+    ///
+    /// Returns `None` for anything but a plain decimal `u64`.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<TrainId> {
+        s.trim().parse::<u64>().ok().map(TrainId)
+    }
+}
+
+impl fmt::Display for TrainId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl Encode for TrainId {
+    fn encode(&self, w: &mut Writer) {
+        w.write_u64(self.0);
+    }
+}
+
+impl Decode for TrainId {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(TrainId(r.read_u64()?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{from_bytes, to_bytes};
+
+    #[test]
+    fn round_trip_and_fixed_width() {
+        let id = TrainId(0x0102_0304_0506_0708);
+        let bytes = to_bytes(&id);
+        assert_eq!(bytes.len(), 8, "TrainId is fixed-width");
+        assert_eq!(from_bytes::<TrainId>(&bytes).unwrap(), id);
+    }
+
+    #[test]
+    fn default_is_zero() {
+        assert_eq!(TrainId::default(), TrainId::DEFAULT);
+        assert_eq!(TrainId::DEFAULT.0, 0);
+    }
+
+    #[test]
+    fn display_parse_round_trip() {
+        let id = TrainId(417);
+        assert_eq!(TrainId::parse(&id.to_string()), Some(id));
+        assert_eq!(TrainId::parse("  99 "), Some(TrainId(99)));
+        assert_eq!(TrainId::parse("ICE-417"), None);
+        assert_eq!(TrainId::parse(""), None);
+    }
+
+    #[test]
+    fn truncated_input_rejected() {
+        let bytes = to_bytes(&TrainId(7));
+        for len in 0..bytes.len() {
+            assert!(from_bytes::<TrainId>(&bytes[..len]).is_err());
+        }
+    }
+}

@@ -18,6 +18,7 @@ use zugchain_export::{
 use zugchain_mvb::{Bus, BusConfig, SignalGenerator};
 use zugchain_pbft::NodeId;
 use zugchain_sim::runtime::{ClusterEvent, ThreadedCluster};
+use zugchain_wire::TrainId;
 
 fn main() {
     // --- On the train -----------------------------------------------------
@@ -77,6 +78,7 @@ fn main() {
     let mut dc0 = DataCenter::new(
         DcConfig {
             id: DcId(0),
+            train: TrainId::DEFAULT,
             n_replicas: 4,
             replica_quorum: 3,
             peers: vec![DcId(1)],
@@ -88,6 +90,7 @@ fn main() {
     let mut dc1 = DataCenter::new(
         DcConfig {
             id: DcId(1),
+            train: TrainId::DEFAULT,
             n_replicas: 4,
             replica_quorum: 3,
             peers: vec![DcId(0)],

@@ -21,6 +21,7 @@ use zugchain_pbft::NodeId;
 use zugchain_signals::analysis::Finding;
 use zugchain_signals::{Request, SignalValue, TrainEvent};
 use zugchain_sim::runtime::{ClusterEvent, ThreadedCluster};
+use zugchain_wire::TrainId;
 
 /// Scripted incident time of the emergency braking (train-clock ms).
 const BRAKE_MS: u64 = 5_500;
@@ -134,6 +135,7 @@ fn export_round(
     let mut dc = DataCenter::new(
         DcConfig {
             id: DcId(0),
+            train: TrainId::DEFAULT,
             n_replicas: 4,
             replica_quorum: REPLICA_QUORUM,
             peers: vec![],

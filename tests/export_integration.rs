@@ -9,6 +9,7 @@ use zugchain_export::{
 };
 use zugchain_pbft::NodeId;
 use zugchain_sim::runtime::ThreadedCluster;
+use zugchain_wire::TrainId;
 
 /// Runs a small cluster, returns per-node `(chain, proofs)` plus the
 /// replica keystore and key pairs.
@@ -56,6 +57,7 @@ fn full_export_round_against_live_chains() {
     let mut dc0 = DataCenter::new(
         DcConfig {
             id: DcId(0),
+            train: TrainId::DEFAULT,
             n_replicas: 4,
             replica_quorum: 3,
             peers: vec![DcId(1)],
@@ -67,6 +69,7 @@ fn full_export_round_against_live_chains() {
     let mut dc1 = DataCenter::new(
         DcConfig {
             id: DcId(1),
+            train: TrainId::DEFAULT,
             n_replicas: 4,
             replica_quorum: 3,
             peers: vec![DcId(0)],
@@ -164,6 +167,7 @@ fn second_export_continues_from_pruned_chains() {
     let mut dc = DataCenter::new(
         DcConfig {
             id: DcId(0),
+            train: TrainId::DEFAULT,
             n_replicas: 4,
             replica_quorum: 3,
             peers: vec![],
