@@ -15,6 +15,7 @@ use crate::plan::{
     ByzBehavior, ByzPlan, ChaosPlan, CrashPlan, ExportPlan, NetPlan, OpPlan, PartitionPlan,
     PrepareLossPlan,
 };
+use zugchain_pbft::AuthMode;
 
 /// Current repro file format version.
 pub const REPRO_VERSION: u64 = 1;
@@ -29,6 +30,7 @@ fn behavior_str(b: ByzBehavior) -> &'static str {
         ByzBehavior::EquivocatePreprepares => "equivocate-preprepares",
         ByzBehavior::FabricateBus => "fabricate-bus",
         ByzBehavior::EquivocateBatch => "equivocate-batch",
+        ByzBehavior::ForgeMac => "forge-mac",
     }
 }
 
@@ -38,6 +40,22 @@ fn parse_behavior(s: &str) -> Option<ByzBehavior> {
         "equivocate-preprepares" => ByzBehavior::EquivocatePreprepares,
         "fabricate-bus" => ByzBehavior::FabricateBus,
         "equivocate-batch" => ByzBehavior::EquivocateBatch,
+        "forge-mac" => ByzBehavior::ForgeMac,
+        _ => return None,
+    })
+}
+
+fn auth_mode_str(mode: AuthMode) -> &'static str {
+    match mode {
+        AuthMode::Sig => "sig",
+        AuthMode::MacWithSigFallback => "mac-with-sig-fallback",
+    }
+}
+
+fn parse_auth_mode(s: &str) -> Option<AuthMode> {
+    Some(match s {
+        "sig" => AuthMode::Sig,
+        "mac-with-sig-fallback" => AuthMode::MacWithSigFallback,
         _ => return None,
     })
 }
@@ -54,6 +72,11 @@ pub fn write_repro(plan: &ChaosPlan, kind: ViolationKind) -> String {
     let _ = writeln!(out, "        block_size: {},", plan.block_size);
     let _ = writeln!(out, "        max_batch_size: {},", plan.max_batch_size);
     let _ = writeln!(out, "        batch_delay_ms: {},", plan.batch_delay_ms);
+    let _ = writeln!(
+        out,
+        "        auth_mode: \"{}\",",
+        auth_mode_str(plan.auth_mode)
+    );
     let _ = writeln!(out, "        mutation: {},", plan.mutation);
     let _ = writeln!(out, "        ops: [");
     for op in &plan.ops {
@@ -446,6 +469,15 @@ fn plan_from_value(value: &Value) -> Result<ChaosPlan, String> {
         })
         .collect::<Result<Vec<_>, String>>()?;
     let net = value.field("net")?;
+    // Absent in pre-fast-path repro files, which were all
+    // signature-authenticated — same format version, optional field.
+    let auth_mode = match value.field("auth_mode") {
+        Ok(v) => {
+            let s = v.as_str("auth_mode")?;
+            parse_auth_mode(s).ok_or_else(|| format!("unknown auth mode `{s}`"))?
+        }
+        Err(_) => AuthMode::Sig,
+    };
     Ok(ChaosPlan {
         seed: value.field("seed")?.as_u64("seed")?,
         n_nodes: value.field("n_nodes")?.as_u64("n_nodes")? as usize,
@@ -471,6 +503,7 @@ fn plan_from_value(value: &Value) -> Result<ChaosPlan, String> {
                 .field("duplicate_probability")?
                 .as_f64("duplicate_probability")?,
         },
+        auth_mode,
         mutation: value.field("mutation")?.as_bool("mutation")?,
     })
 }

@@ -5,14 +5,19 @@
 //! encoding must be rejected (a torn read never yields a phantom
 //! message), and trailing garbage after a valid encoding must be
 //! rejected (framing bugs cannot smuggle extra bytes past the decoder).
+//!
+//! The MAC-authenticated envelope ([`Auth::Mac`]) gets the same codec
+//! treatment plus its authentication properties: at arbitrary key
+//! pairs, a forged tag (computed under a different master secret) and a
+//! tampered tag byte must both fail verification.
 
 use proptest::prelude::*;
 use proptest::test_runner::TestCaseError;
 use zugchain::{LayerMessage, NodeMessage, SignedRequest};
-use zugchain_crypto::{Digest, KeyPair, Keystore};
+use zugchain_crypto::{Digest, KeyPair, Keystore, SessionKeys};
 use zugchain_pbft::{
-    Checkpoint, CheckpointProof, Message, NewView, NodeId, PrePrepare, Prepare, PreparedCert,
-    ProposedBatch, ProposedRequest, SignedMessage, ViewChange,
+    Auth, AuthVerdict, Checkpoint, CheckpointProof, Message, NewView, NodeId, PrePrepare, Prepare,
+    PreparedCert, ProposedBatch, ProposedRequest, SignedMessage, ViewChange,
 };
 use zugchain_wire::{from_bytes, to_bytes, Decode, Encode};
 
@@ -183,5 +188,93 @@ proptest! {
         for message in node_messages(view, sn, &payload, time_ms, &keys) {
             check_codec(&message, &garbage)?;
         }
+    }
+
+    #[test]
+    /// MAC-tagged envelopes — with and without the embedded signature
+    /// fallback — roundtrip exactly and reject every strict prefix and
+    /// any trailing garbage, over every PBFT message kind.
+    fn mac_envelope_codec_is_exact(
+        view in 0u64..1000,
+        sn in 0u64..100_000,
+        payload in proptest::collection::vec(any::<u8>(), 0..48),
+        time_ms in any::<u64>(),
+        garbage in proptest::collection::vec(any::<u8>(), 1..8),
+    ) {
+        let (keys, keystore) = Keystore::generate(4, 0xC0DEC);
+        let session = SessionKeys::derive(&keystore, 0);
+        for message in pbft_messages(view, sn, &payload, time_ms, &keys) {
+            let tagged = SignedMessage::sign_mac(NodeId(0), message.clone(), &session, None);
+            check_codec(&tagged, &garbage)?;
+            let with_fallback =
+                SignedMessage::sign_mac(NodeId(0), message, &session, Some(&keys[0]));
+            check_codec(&with_fallback, &garbage)?;
+        }
+    }
+
+    #[test]
+    /// At arbitrary key pairs: a genuine MAC envelope verifies on the
+    /// fast path; one forged under a different master secret is
+    /// rejected outright (no fallback signature) or demoted to the
+    /// signature fallback (valid embedded signature); and flipping any
+    /// single byte of the receiver's tag kills the fast path.
+    fn forged_and_tampered_macs_are_rejected(
+        keyset_seed in any::<u64>(),
+        forged_seed in any::<u64>(),
+        sn in 0u64..100_000,
+        payload in proptest::collection::vec(any::<u8>(), 1..48),
+        flip_byte in 0usize..32,
+    ) {
+        prop_assume!(keyset_seed != forged_seed);
+        let (keys, keystore) = Keystore::generate(4, keyset_seed);
+        let sender = SessionKeys::derive(&keystore, 1);
+        let receiver = SessionKeys::derive(&keystore, 2);
+        let message = Message::Commit(zugchain_pbft::Commit {
+            view: 0,
+            sn,
+            digest: Digest::of(&payload),
+        });
+
+        // Genuine envelope: fast path.
+        let genuine = SignedMessage::sign_mac(NodeId(1), message.clone(), &sender, None);
+        prop_assert_eq!(
+            genuine.verify_auth(&keystore, &receiver),
+            AuthVerdict::MacValid
+        );
+
+        // Forged under a different permissioned keyset: the pairwise
+        // keys differ, so every tag fails. Without a fallback signature
+        // the envelope is dead; with a *valid* embedded signature it
+        // survives, but only via the (counted) signature fallback.
+        let (_, forged_keystore) = Keystore::generate(4, forged_seed);
+        let forger = SessionKeys::derive(&forged_keystore, 1);
+        let forged = SignedMessage::sign_mac(NodeId(1), message.clone(), &forger, None);
+        prop_assert_eq!(
+            forged.verify_auth(&keystore, &receiver),
+            AuthVerdict::Invalid
+        );
+        let forged_with_sig =
+            SignedMessage::sign_mac(NodeId(1), message.clone(), &forger, Some(&keys[1]));
+        prop_assert_eq!(
+            forged_with_sig.verify_auth(&keystore, &receiver),
+            AuthVerdict::SigFallback
+        );
+
+        // Tamper with the receiver's tag: any single flipped byte must
+        // break it.
+        let mut tampered = genuine;
+        if let Auth::Mac { ref mut tags, .. } = tampered.auth {
+            for (peer, tag) in tags.iter_mut() {
+                if peer.0 == 2 {
+                    let mut bytes = *tag.as_bytes();
+                    bytes[flip_byte] ^= 0x01;
+                    *tag = zugchain_crypto::MacTag::from_bytes(bytes);
+                }
+            }
+        }
+        prop_assert_eq!(
+            tampered.verify_auth(&keystore, &receiver),
+            AuthVerdict::Invalid
+        );
     }
 }

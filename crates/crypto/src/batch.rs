@@ -1,0 +1,253 @@
+//! Batched signature verification over a small worker pool.
+//!
+//! Consensus verifies signatures in bursts — a round's worth of buffered
+//! prepare votes at quorum time, the view-change votes inside a NewView —
+//! and each verification is independent of the others. [`verify_batch`]
+//! fans a slice of `(public key, message, signature)` items across a few
+//! persistent worker threads and merges the per-item results into one
+//! deterministic [`BatchOutcome`]: the outcome depends only on the items,
+//! never on worker count, chunk boundaries, or scheduling order, because
+//! every item is verified independently and failures are reported by
+//! input index in sorted order.
+//!
+//! The all-or-nothing answer is [`BatchOutcome::all_valid`]; callers that
+//! need per-item fallback (drop the one bad vote, keep the rest) read
+//! [`BatchOutcome::invalid`].
+
+use std::sync::{Mutex, OnceLock};
+use std::thread;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+
+use crate::{PublicKey, Signature};
+
+/// One verification work item: `(signer, message bytes, signature)`.
+pub type BatchItem = (PublicKey, Vec<u8>, Signature);
+
+/// Below this many items the channel round-trip costs more than it saves,
+/// so the batch is verified inline on the calling thread.
+const PARALLEL_THRESHOLD: usize = 8;
+
+/// The deterministic result of a batch verification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchOutcome {
+    invalid: Vec<usize>,
+}
+
+impl BatchOutcome {
+    /// `true` when every item in the batch verified.
+    pub fn all_valid(&self) -> bool {
+        self.invalid.is_empty()
+    }
+
+    /// Indices (into the input slice) of the items that failed, ascending.
+    pub fn invalid(&self) -> &[usize] {
+        &self.invalid
+    }
+
+    /// Whether the item at `index` verified.
+    pub fn is_valid(&self, index: usize) -> bool {
+        self.invalid.binary_search(&index).is_err()
+    }
+}
+
+struct Job {
+    base: usize,
+    items: Vec<BatchItem>,
+}
+
+struct JobResult {
+    invalid: Vec<usize>,
+}
+
+fn verify_chunk(base: usize, items: &[BatchItem]) -> Vec<usize> {
+    items
+        .iter()
+        .enumerate()
+        .filter(|(_, (key, message, signature))| key.verify(message, signature).is_err())
+        .map(|(i, _)| base + i)
+        .collect()
+}
+
+/// A pool of persistent verification workers.
+///
+/// Most callers should use the module-level [`verify_batch`], which
+/// shares one process-wide pool; constructing a `BatchVerifier` directly
+/// is for tests (pinning the worker count) and long-lived components
+/// that want a dedicated pool.
+pub struct BatchVerifier {
+    jobs: Vec<Sender<Job>>,
+    results: Mutex<Receiver<JobResult>>,
+    handles: Vec<thread::JoinHandle<()>>,
+}
+
+impl BatchVerifier {
+    /// Spawns a pool with `workers` threads (clamped to at least 1).
+    pub fn new(workers: usize) -> Self {
+        let workers = workers.max(1);
+        let (result_tx, result_rx) = unbounded::<JobResult>();
+        let mut jobs = Vec::with_capacity(workers);
+        let mut handles = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let (job_tx, job_rx) = unbounded::<Job>();
+            let results = result_tx.clone();
+            handles.push(thread::spawn(move || {
+                while let Ok(job) = job_rx.recv() {
+                    let invalid = verify_chunk(job.base, &job.items);
+                    if results.send(JobResult { invalid }).is_err() {
+                        break;
+                    }
+                }
+            }));
+            jobs.push(job_tx);
+        }
+        BatchVerifier {
+            jobs,
+            results: Mutex::new(result_rx),
+            handles,
+        }
+    }
+
+    /// Number of worker threads in the pool.
+    pub fn workers(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Verifies every item, returning which indices failed.
+    ///
+    /// The result is a pure function of `items`: small batches verify
+    /// inline, large ones are split into contiguous chunks across the
+    /// workers, and the merged failure list is sorted by input index
+    /// either way.
+    pub fn verify(&self, items: &[BatchItem]) -> BatchOutcome {
+        if items.len() < PARALLEL_THRESHOLD || self.jobs.len() <= 1 {
+            return BatchOutcome {
+                invalid: verify_chunk(0, items),
+            };
+        }
+
+        // Hold the result receiver for the whole dispatch + collect so
+        // concurrent calls cannot interleave each other's results.
+        let results = self.results.lock().expect("verifier pool poisoned");
+        let chunk_len = items.len().div_ceil(self.jobs.len());
+        let mut outstanding = 0;
+        for (chunk_index, chunk) in items.chunks(chunk_len).enumerate() {
+            let job = Job {
+                base: chunk_index * chunk_len,
+                items: chunk.to_vec(),
+            };
+            self.jobs[chunk_index % self.jobs.len()]
+                .send(job)
+                .expect("verifier worker exited");
+            outstanding += 1;
+        }
+
+        let mut invalid = Vec::new();
+        for _ in 0..outstanding {
+            let result = results.recv().expect("verifier worker exited");
+            invalid.extend(result.invalid);
+        }
+        invalid.sort_unstable();
+        BatchOutcome { invalid }
+    }
+}
+
+impl Drop for BatchVerifier {
+    fn drop(&mut self) {
+        // Dropping the job senders ends each worker's recv loop.
+        self.jobs.clear();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn shared_pool() -> &'static BatchVerifier {
+    static POOL: OnceLock<BatchVerifier> = OnceLock::new();
+    POOL.get_or_init(|| {
+        let workers = thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .clamp(1, 4);
+        BatchVerifier::new(workers)
+    })
+}
+
+/// Verifies a batch of `(public key, message, signature)` items on the
+/// shared process-wide worker pool.
+pub fn verify_batch(items: &[BatchItem]) -> BatchOutcome {
+    shared_pool().verify(items)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::KeyPair;
+
+    fn items(n: usize, corrupt: &[usize]) -> Vec<BatchItem> {
+        (0..n)
+            .map(|i| {
+                let key = KeyPair::from_seed(i as u64);
+                let message = format!("vote {i}").into_bytes();
+                let mut signature = key.sign(&message);
+                if corrupt.contains(&i) {
+                    let mut bytes = signature.to_bytes();
+                    bytes[0] ^= 0xff;
+                    signature = crate::Signature::from_bytes(&bytes);
+                }
+                (key.public_key(), message, signature)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn empty_batch_is_valid() {
+        assert!(verify_batch(&[]).all_valid());
+    }
+
+    #[test]
+    fn all_valid_batch() {
+        let outcome = verify_batch(&items(20, &[]));
+        assert!(outcome.all_valid());
+        assert!(outcome.is_valid(0));
+        assert!(outcome.is_valid(19));
+    }
+
+    #[test]
+    fn per_item_fallback_reports_exact_indices() {
+        let outcome = verify_batch(&items(20, &[3, 17]));
+        assert!(!outcome.all_valid());
+        assert_eq!(outcome.invalid(), &[3, 17]);
+        assert!(outcome.is_valid(2));
+        assert!(!outcome.is_valid(3));
+        assert!(!outcome.is_valid(17));
+    }
+
+    #[test]
+    fn small_batch_takes_inline_path() {
+        // Below the parallel threshold: still correct, still sorted.
+        let outcome = verify_batch(&items(3, &[1]));
+        assert_eq!(outcome.invalid(), &[1]);
+    }
+
+    #[test]
+    fn outcome_is_independent_of_worker_count() {
+        let batch = items(33, &[0, 8, 32]);
+        let expected = BatchVerifier::new(1).verify(&batch);
+        for workers in [2, 3, 4, 7] {
+            let pool = BatchVerifier::new(workers);
+            assert_eq!(pool.verify(&batch), expected, "workers={workers}");
+        }
+        assert_eq!(expected.invalid(), &[0, 8, 32]);
+    }
+
+    #[test]
+    fn pool_survives_many_rounds() {
+        let pool = BatchVerifier::new(2);
+        for round in 0..10 {
+            let corrupt = if round % 2 == 0 { vec![round] } else { vec![] };
+            let outcome = pool.verify(&items(12, &corrupt));
+            assert_eq!(outcome.invalid(), corrupt.as_slice(), "round {round}");
+        }
+    }
+}

@@ -1,0 +1,354 @@
+//! Pairwise session MACs for the replica-to-replica fast path.
+//!
+//! Classic PBFT replaces public-key signatures with vectors of MACs on the
+//! common path: a MAC costs two hash compressions instead of a curve
+//! operation, and in a permissioned deployment every pair of replicas can
+//! share a symmetric session key. The crucial limitation is that a MAC is
+//! only convincing to the *one* peer holding the session key — it is not
+//! transferable evidence, so anything that must be shown to a third party
+//! (view-change certificates, checkpoint proofs, audit bundles) keeps a
+//! real signature.
+//!
+//! Session keys here are derived deterministically from the permissioned
+//! keyset: a master secret is hashed from the ordered `(id, public key)`
+//! table and pairwise keys are HMAC-derived from it. A real deployment
+//! would run an authenticated key exchange instead; the derivation is
+//! consistent with this reproduction's deterministic, seed-driven key
+//! material and keeps the trust-boundary analysis identical (an attacker
+//! outside the permissioned keyset cannot compute the session keys).
+//!
+//! # Examples
+//!
+//! ```
+//! use zugchain_crypto::{Keystore, SessionKeys};
+//!
+//! let (_, store) = Keystore::generate(4, 7);
+//! let at_one = SessionKeys::derive(&store, 1);
+//! let at_two = SessionKeys::derive(&store, 2);
+//!
+//! let tag = at_one.tag_for(2, b"commit vote").unwrap();
+//! assert!(at_two.verify_from(1, b"commit vote", &tag));
+//! assert!(!at_two.verify_from(1, b"other vote", &tag));
+//! ```
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use sha2::{Digest as _, Sha256};
+use zugchain_wire::{Decode, Encode, Reader, WireError, Writer};
+
+use crate::Keystore;
+
+/// HMAC-SHA256 block size in bytes.
+const BLOCK_LEN: usize = 64;
+
+/// Domain-separation prefix for the keyset master secret.
+const MASTER_DOMAIN: &[u8] = b"zugchain/mac/master/v1";
+
+/// Domain-separation prefix for pairwise session keys.
+const PAIR_DOMAIN: &[u8] = b"zugchain/mac/pair/v1";
+
+/// Standard HMAC-SHA256 (RFC 2104) over the `sha2` implementation.
+fn hmac_sha256(key: &[u8], message: &[u8]) -> [u8; 32] {
+    let mut padded = [0u8; BLOCK_LEN];
+    if key.len() > BLOCK_LEN {
+        let hashed: [u8; 32] = Sha256::digest(key).into();
+        padded[..32].copy_from_slice(&hashed);
+    } else {
+        padded[..key.len()].copy_from_slice(key);
+    }
+
+    let mut inner = Sha256::new();
+    let mut ipad = padded;
+    for byte in &mut ipad {
+        *byte ^= 0x36;
+    }
+    inner.update(ipad);
+    inner.update(message);
+    let inner_hash = inner.finalize();
+
+    let mut outer = Sha256::new();
+    let mut opad = padded;
+    for byte in &mut opad {
+        *byte ^= 0x5c;
+    }
+    outer.update(opad);
+    outer.update(inner_hash);
+    outer.finalize().into()
+}
+
+/// Constant-shape comparison of two 32-byte tags.
+///
+/// The comparison walks all 32 bytes regardless of where the first
+/// mismatch occurs, so the accept/reject timing does not depend on how
+/// much of a forged tag happens to match.
+fn tags_equal(a: &[u8; 32], b: &[u8; 32]) -> bool {
+    let mut diff = 0u8;
+    for (x, y) in a.iter().zip(b.iter()) {
+        diff |= x ^ y;
+    }
+    diff == 0
+}
+
+/// A symmetric session key shared by one ordered pair of replicas.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub struct MacKey([u8; 32]);
+
+impl MacKey {
+    /// Constructs a key from raw bytes (tests and key-exchange stubs).
+    pub fn from_bytes(bytes: [u8; 32]) -> Self {
+        MacKey(bytes)
+    }
+
+    /// Computes the authentication tag for `message` under this key.
+    pub fn tag(&self, message: &[u8]) -> MacTag {
+        MacTag(hmac_sha256(&self.0, message))
+    }
+
+    /// Verifies `tag` over `message` under this key.
+    pub fn verify(&self, message: &[u8], tag: &MacTag) -> bool {
+        tags_equal(&self.tag(message).0, &tag.0)
+    }
+}
+
+impl fmt::Debug for MacKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Never print key material.
+        write!(f, "MacKey(…)")
+    }
+}
+
+/// A 32-byte HMAC-SHA256 authentication tag.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MacTag([u8; 32]);
+
+impl MacTag {
+    /// The raw tag bytes.
+    pub fn as_bytes(&self) -> &[u8; 32] {
+        &self.0
+    }
+
+    /// Constructs a tag from raw bytes.
+    ///
+    /// Any 32 bytes parse; validity is only determined by
+    /// [`MacKey::verify`].
+    pub fn from_bytes(bytes: [u8; 32]) -> Self {
+        MacTag(bytes)
+    }
+}
+
+impl fmt::Debug for MacTag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "MacTag({:02x}{:02x}{:02x}{:02x}…)",
+            self.0[0], self.0[1], self.0[2], self.0[3]
+        )
+    }
+}
+
+impl Encode for MacTag {
+    fn encode(&self, w: &mut Writer) {
+        w.write_raw(&self.0);
+    }
+
+    fn encoded_len(&self) -> usize {
+        32
+    }
+}
+
+impl Decode for MacTag {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(MacTag(<[u8; 32]>::decode(r)?))
+    }
+}
+
+/// One replica's view of the pairwise session keys of a deployment.
+///
+/// Holds the symmetric key shared with every *other* participant; a
+/// replica never needs a session key with itself (self-addressed votes
+/// are recorded directly, not authenticated over the wire).
+#[derive(Clone)]
+pub struct SessionKeys {
+    me: u64,
+    keys: BTreeMap<u64, MacKey>,
+}
+
+impl SessionKeys {
+    /// Derives the session keys held by replica `me` from a master secret.
+    ///
+    /// The pairwise key for `(i, j)` is symmetric — both sides derive the
+    /// same key by hashing the unordered pair — so a tag computed by
+    /// either endpoint verifies at the other.
+    pub fn from_master(
+        master: &[u8; 32],
+        me: u64,
+        participants: impl IntoIterator<Item = u64>,
+    ) -> Self {
+        let mut keys = BTreeMap::new();
+        for peer in participants {
+            if peer == me {
+                continue;
+            }
+            let (lo, hi) = (me.min(peer), me.max(peer));
+            let mut material = Vec::with_capacity(PAIR_DOMAIN.len() + 16);
+            material.extend_from_slice(PAIR_DOMAIN);
+            material.extend_from_slice(&lo.to_le_bytes());
+            material.extend_from_slice(&hi.to_le_bytes());
+            keys.insert(peer, MacKey(hmac_sha256(master, &material)));
+        }
+        SessionKeys { me, keys }
+    }
+
+    /// Derives session keys for replica `me` from the permissioned keyset.
+    ///
+    /// The master secret is a hash of the full ordered `(id, public key)`
+    /// table, so all replicas configured with the same keystore derive
+    /// matching pairwise keys, and any change to the membership or to a
+    /// key rolls every session key.
+    pub fn derive(keystore: &Keystore, me: u64) -> Self {
+        let mut hasher = Sha256::new();
+        hasher.update(MASTER_DOMAIN);
+        for (id, key) in keystore.iter() {
+            hasher.update(id.to_le_bytes());
+            hasher.update(key.to_bytes());
+        }
+        let master: [u8; 32] = hasher.finalize().into();
+        Self::from_master(&master, me, keystore.iter().map(|(id, _)| id))
+    }
+
+    /// The replica id these keys belong to.
+    pub fn local_id(&self) -> u64 {
+        self.me
+    }
+
+    /// Iterates over the peer ids a session key exists for, in id order.
+    pub fn peers(&self) -> impl Iterator<Item = u64> + '_ {
+        self.keys.keys().copied()
+    }
+
+    /// Computes the tag authenticating `message` to `peer`.
+    ///
+    /// Returns `None` when no session key exists for `peer` (unknown id,
+    /// or `peer == me`).
+    pub fn tag_for(&self, peer: u64, message: &[u8]) -> Option<MacTag> {
+        self.keys.get(&peer).map(|key| key.tag(message))
+    }
+
+    /// Verifies a tag addressed to this replica by `peer`.
+    pub fn verify_from(&self, peer: u64, message: &[u8], tag: &MacTag) -> bool {
+        match self.keys.get(&peer) {
+            Some(key) => key.verify(message, tag),
+            None => false,
+        }
+    }
+}
+
+impl fmt::Debug for SessionKeys {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "SessionKeys(me: {}, peers: {})",
+            self.me,
+            self.keys.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hmac_sha256_rfc4231_case_one() {
+        // RFC 4231 test case 1: 20 bytes of 0x0b, "Hi There".
+        let tag = hmac_sha256(&[0x0b; 20], b"Hi There");
+        let expected = [
+            0xb0, 0x34, 0x4c, 0x61, 0xd8, 0xdb, 0x38, 0x53, 0x5c, 0xa8, 0xaf, 0xce, 0xaf, 0x0b,
+            0xf1, 0x2b, 0x88, 0x1d, 0xc2, 0x00, 0xc9, 0x83, 0x3d, 0xa7, 0x26, 0xe9, 0x37, 0x6c,
+            0x2e, 0x32, 0xcf, 0xf7,
+        ];
+        assert_eq!(tag, expected);
+    }
+
+    #[test]
+    fn hmac_sha256_rfc4231_long_key() {
+        // RFC 4231 test case 6: 131-byte key forces the pre-hash path.
+        let tag = hmac_sha256(
+            &[0xaa; 131],
+            b"Test Using Larger Than Block-Size Key - Hash Key First",
+        );
+        let expected = [
+            0x60, 0xe4, 0x31, 0x59, 0x1e, 0xe0, 0xb6, 0x7f, 0x0d, 0x8a, 0x26, 0xaa, 0xcb, 0xf5,
+            0xb7, 0x7f, 0x8e, 0x0b, 0xc6, 0x21, 0x37, 0x28, 0xc5, 0x14, 0x05, 0x46, 0x04, 0x0f,
+            0x0e, 0xe3, 0x7f, 0x54,
+        ];
+        assert_eq!(tag, expected);
+    }
+
+    #[test]
+    fn pairwise_keys_are_symmetric() {
+        let (_, store) = Keystore::generate(4, 11);
+        for a in 0..4u64 {
+            for b in 0..4u64 {
+                if a == b {
+                    continue;
+                }
+                let at_a = SessionKeys::derive(&store, a);
+                let at_b = SessionKeys::derive(&store, b);
+                let tag = at_a.tag_for(b, b"m").unwrap();
+                assert!(at_b.verify_from(a, b"m", &tag), "{a} -> {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn distinct_pairs_get_distinct_keys() {
+        let (_, store) = Keystore::generate(4, 11);
+        let at_zero = SessionKeys::derive(&store, 0);
+        let tag_for_one = at_zero.tag_for(1, b"m").unwrap();
+        let tag_for_two = at_zero.tag_for(2, b"m").unwrap();
+        assert_ne!(tag_for_one, tag_for_two);
+    }
+
+    #[test]
+    fn wrong_peer_or_message_rejects() {
+        let (_, store) = Keystore::generate(4, 11);
+        let at_zero = SessionKeys::derive(&store, 0);
+        let at_one = SessionKeys::derive(&store, 1);
+        let tag = at_zero.tag_for(1, b"m").unwrap();
+        assert!(at_one.verify_from(0, b"m", &tag));
+        assert!(!at_one.verify_from(0, b"n", &tag));
+        assert!(!at_one.verify_from(2, b"m", &tag));
+        assert!(!at_one.verify_from(99, b"m", &tag));
+    }
+
+    #[test]
+    fn different_keyset_rejects() {
+        let (_, store_a) = Keystore::generate(4, 11);
+        let (_, store_b) = Keystore::generate(4, 12);
+        let honest = SessionKeys::derive(&store_a, 0);
+        let outsider = SessionKeys::derive(&store_b, 0);
+        let forged = outsider.tag_for(1, b"m").unwrap();
+        let receiver = SessionKeys::derive(&store_a, 1);
+        assert!(!receiver.verify_from(0, b"m", &forged));
+        assert!(receiver.verify_from(0, b"m", &honest.tag_for(1, b"m").unwrap()));
+    }
+
+    #[test]
+    fn no_self_key() {
+        let (_, store) = Keystore::generate(4, 11);
+        let keys = SessionKeys::derive(&store, 2);
+        assert!(keys.tag_for(2, b"m").is_none());
+        assert_eq!(keys.peers().collect::<Vec<_>>(), vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn tag_wire_round_trip() {
+        let tag = MacKey::from_bytes([7; 32]).tag(b"payload");
+        let bytes = zugchain_wire::to_bytes(&tag);
+        assert_eq!(bytes.len(), 32);
+        let back: MacTag = zugchain_wire::from_bytes(&bytes).unwrap();
+        assert_eq!(back, tag);
+    }
+}

@@ -1,4 +1,4 @@
-use zugchain_crypto::{Digest, KeyPair, Keystore, Signature};
+use zugchain_crypto::{Digest, KeyPair, Keystore, MacTag, SessionKeys, Signature};
 use zugchain_wire::{decode_seq, encode_seq, Decode, Encode, Reader, WireError, Writer};
 
 use crate::{NodeId, ProposedBatch};
@@ -389,6 +389,31 @@ impl Message {
             Message::NewView(_) => "newview",
         }
     }
+
+    /// The bytes authentication (signature or MAC) covers.
+    ///
+    /// For every message except the preprepare this is the canonical
+    /// encoding of the whole message. A preprepare instead authenticates
+    /// a compact header — `(tag, view, sn, batch digest)` — because the
+    /// batch digest already binds the full request run (count, order,
+    /// headers, and payload digests, all recomputed on decode), and
+    /// signing ~50 bytes instead of the encoded batch takes the
+    /// per-proposal signature cost off the payload-size axis. Only this
+    /// compact form is ever signed for a preprepare, so there is no
+    /// ambiguity with the full encoding.
+    pub fn auth_bytes(&self) -> Vec<u8> {
+        match self {
+            Message::PrePrepare(pp) => {
+                let mut w = Writer::new();
+                w.write_u8(Self::TAG_PREPREPARE);
+                w.write_u64(pp.view);
+                w.write_u64(pp.sn);
+                pp.batch.digest().encode(&mut w);
+                w.into_bytes()
+            }
+            other => zugchain_wire::to_bytes(other),
+        }
+    }
 }
 
 impl Encode for Message {
@@ -439,38 +464,208 @@ impl Decode for Message {
     }
 }
 
-/// A protocol message with its sender id and signature over the canonical
-/// message encoding.
+/// How a [`SignedMessage`] is authenticated on the wire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Auth {
+    /// An Ed25519 signature over the message's
+    /// [`auth_bytes`](Message::auth_bytes) — transferable evidence any
+    /// third party can check against the keystore.
+    Sig(Signature),
+    /// Pairwise session MACs, one per addressed peer, each over the same
+    /// [`auth_bytes`](Message::auth_bytes). A MAC convinces only the one
+    /// peer holding the session key, so messages whose authentication
+    /// must outlive a view (prepares and checkpoints, which feed
+    /// view-change certificates) also embed the signature the fast path
+    /// skipped verifying.
+    Mac {
+        /// `(addressee, tag)` pairs; each receiver looks up its own tag.
+        tags: Vec<(NodeId, MacTag)>,
+        /// The fallback/evidence signature, where one is required.
+        sig: Option<Signature>,
+    },
+}
+
+impl Auth {
+    const TAG_SIG: u8 = 0;
+    const TAG_MAC: u8 = 1;
+}
+
+impl Encode for Auth {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            Auth::Sig(signature) => {
+                w.write_u8(Self::TAG_SIG);
+                signature.encode(w);
+            }
+            Auth::Mac { tags, sig } => {
+                w.write_u8(Self::TAG_MAC);
+                w.write_varint(tags.len() as u64);
+                for (peer, tag) in tags {
+                    peer.encode(w);
+                    tag.encode(w);
+                }
+                sig.encode(w);
+            }
+        }
+    }
+}
+
+impl Decode for Auth {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match r.read_u8()? {
+            Self::TAG_SIG => Ok(Auth::Sig(Signature::decode(r)?)),
+            Self::TAG_MAC => {
+                let count = r.read_varint()?;
+                if count > 1024 {
+                    return Err(WireError::LengthLimitExceeded {
+                        declared: count,
+                        limit: 1024,
+                    });
+                }
+                let mut tags = Vec::with_capacity(count as usize);
+                for _ in 0..count {
+                    tags.push((NodeId::decode(r)?, MacTag::decode(r)?));
+                }
+                Ok(Auth::Mac {
+                    tags,
+                    sig: Option::<Signature>::decode(r)?,
+                })
+            }
+            tag => Err(WireError::InvalidDiscriminant {
+                type_name: "Auth",
+                value: u64::from(tag),
+            }),
+        }
+    }
+}
+
+/// The receiving replica's judgement of a message's authentication.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AuthVerdict {
+    /// A valid signature (the plain [`Auth::Sig`] path).
+    SigValid,
+    /// A valid session MAC addressed to this replica — the fast path.
+    /// Any embedded signature was *not* checked; callers that later use
+    /// it as evidence must verify it first.
+    MacValid,
+    /// No usable MAC for this replica, but the embedded fallback
+    /// signature verified.
+    SigFallback,
+    /// Neither a valid MAC nor a valid signature.
+    Invalid,
+}
+
+impl AuthVerdict {
+    /// `true` when the message is authentic and may be processed.
+    pub fn accepted(self) -> bool {
+        !matches!(self, AuthVerdict::Invalid)
+    }
+
+    /// `true` when the embedded signature was checked and found valid.
+    pub fn signature_checked(self) -> bool {
+        matches!(self, AuthVerdict::SigValid | AuthVerdict::SigFallback)
+    }
+}
+
+/// A protocol message with its sender id and authentication over the
+/// message's [`auth_bytes`](Message::auth_bytes).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SignedMessage {
-    /// Claimed sender (verified against the keystore).
+    /// Claimed sender (verified against the keystore or session keys).
     pub from: NodeId,
     /// The protocol message.
     pub message: Message,
-    /// Ed25519 signature over the canonical encoding of `message`.
-    pub signature: Signature,
+    /// Signature or MAC-vector authentication.
+    pub auth: Auth,
 }
 
 impl SignedMessage {
-    /// Signs `message` as `from`.
+    /// Signs `message` as `from` (the [`Auth::Sig`] form).
     pub fn sign(from: NodeId, message: Message, key: &KeyPair) -> Self {
-        let signature = key.sign(&zugchain_wire::to_bytes(&message));
+        let signature = key.sign(&message.auth_bytes());
         Self {
             from,
             message,
-            signature,
+            auth: Auth::Sig(signature),
         }
     }
 
-    /// Verifies the signature against the sender's registered key.
+    /// Authenticates `message` with one session MAC per peer (the
+    /// [`Auth::Mac`] fast path).
+    ///
+    /// When `sig_key` is given, the same bytes are also signed and the
+    /// signature embedded — required for prepares and checkpoints, whose
+    /// signatures become view-change evidence, and for interoperating
+    /// with signature-only receivers.
+    pub fn sign_mac(
+        from: NodeId,
+        message: Message,
+        session: &SessionKeys,
+        sig_key: Option<&KeyPair>,
+    ) -> Self {
+        let bytes = message.auth_bytes();
+        let tags = session
+            .peers()
+            .filter_map(|peer| session.tag_for(peer, &bytes).map(|tag| (NodeId(peer), tag)))
+            .collect();
+        let sig = sig_key.map(|key| key.sign(&bytes));
+        Self {
+            from,
+            message,
+            auth: Auth::Mac { tags, sig },
+        }
+    }
+
+    /// The embedded signature, if the message carries one.
+    pub fn signature(&self) -> Option<Signature> {
+        match &self.auth {
+            Auth::Sig(signature) => Some(*signature),
+            Auth::Mac { sig, .. } => *sig,
+        }
+    }
+
+    /// Verifies the *signature* against the sender's registered key.
+    ///
+    /// MAC tags are ignored here: this is the check for contexts that
+    /// need transferable evidence (view-change votes carried inside a
+    /// NewView). A MAC-only message fails it by design.
     pub fn verify(&self, keystore: &Keystore) -> bool {
-        keystore
-            .verify(
-                self.from.0,
-                &zugchain_wire::to_bytes(&self.message),
-                &self.signature,
-            )
-            .is_ok()
+        match self.signature() {
+            Some(signature) => keystore
+                .verify(self.from.0, &self.message.auth_bytes(), &signature)
+                .is_ok(),
+            None => false,
+        }
+    }
+
+    /// Full receive-path authentication: try the session-MAC fast path,
+    /// fall back to the signature, reject if neither holds.
+    pub fn verify_auth(&self, keystore: &Keystore, session: &SessionKeys) -> AuthVerdict {
+        let bytes = self.message.auth_bytes();
+        match &self.auth {
+            Auth::Sig(signature) => {
+                if keystore.verify(self.from.0, &bytes, signature).is_ok() {
+                    AuthVerdict::SigValid
+                } else {
+                    AuthVerdict::Invalid
+                }
+            }
+            Auth::Mac { tags, sig } => {
+                let me = session.local_id();
+                let my_tag = tags.iter().find(|(peer, _)| peer.0 == me);
+                if let Some((_, tag)) = my_tag {
+                    if session.verify_from(self.from.0, &bytes, tag) {
+                        return AuthVerdict::MacValid;
+                    }
+                }
+                match sig {
+                    Some(signature) if keystore.verify(self.from.0, &bytes, signature).is_ok() => {
+                        AuthVerdict::SigFallback
+                    }
+                    _ => AuthVerdict::Invalid,
+                }
+            }
+        }
     }
 
     /// Encoded size in bytes — used for network accounting.
@@ -483,7 +678,7 @@ impl Encode for SignedMessage {
     fn encode(&self, w: &mut Writer) {
         self.from.encode(w);
         self.message.encode(w);
-        self.signature.encode(w);
+        self.auth.encode(w);
     }
 }
 
@@ -492,7 +687,7 @@ impl Decode for SignedMessage {
         Ok(SignedMessage {
             from: NodeId::decode(r)?,
             message: Message::decode(r)?,
-            signature: Signature::decode(r)?,
+            auth: Auth::decode(r)?,
         })
     }
 }
@@ -502,6 +697,127 @@ mod tests {
     use super::*;
     use crate::ProposedRequest;
     use zugchain_crypto::Keystore;
+
+    #[test]
+    fn mac_fast_path_and_sig_fallback() {
+        let (pairs, keystore) = Keystore::generate(4, 0);
+        let session: Vec<SessionKeys> = (0..4).map(|i| SessionKeys::derive(&keystore, i)).collect();
+        let message = Message::Commit(Commit {
+            view: 0,
+            sn: 1,
+            digest: Digest::of(b"batch"),
+        });
+
+        // MAC-only: accepted via the fast path at every peer, not
+        // transferable (verify() fails — no signature).
+        let mac_only = SignedMessage::sign_mac(NodeId(2), message.clone(), &session[2], None);
+        for receiver in [0usize, 1, 3] {
+            assert_eq!(
+                mac_only.verify_auth(&keystore, &session[receiver]),
+                AuthVerdict::MacValid,
+                "receiver {receiver}"
+            );
+        }
+        assert!(!mac_only.verify(&keystore));
+        assert_eq!(mac_only.signature(), None);
+
+        // MAC + embedded signature: fast path at addressed peers, and the
+        // signature alone satisfies evidence contexts.
+        let with_sig =
+            SignedMessage::sign_mac(NodeId(2), message.clone(), &session[2], Some(&pairs[2]));
+        assert_eq!(
+            with_sig.verify_auth(&keystore, &session[0]),
+            AuthVerdict::MacValid
+        );
+        assert!(with_sig.verify(&keystore));
+
+        // A receiver with no tag (sender somehow omitted it) falls back to
+        // the signature.
+        let mut stripped = with_sig.clone();
+        if let Auth::Mac { tags, .. } = &mut stripped.auth {
+            tags.retain(|(peer, _)| peer.0 != 0);
+        }
+        assert_eq!(
+            stripped.verify_auth(&keystore, &session[0]),
+            AuthVerdict::SigFallback
+        );
+
+        // Plain signature mode still verdicts SigValid.
+        let plain = SignedMessage::sign(NodeId(2), message, &pairs[2]);
+        assert_eq!(
+            plain.verify_auth(&keystore, &session[0]),
+            AuthVerdict::SigValid
+        );
+    }
+
+    #[test]
+    fn forged_mac_is_rejected() {
+        let (_, keystore) = Keystore::generate(4, 0);
+        let (_, other_keystore) = Keystore::generate(4, 99);
+        let honest: Vec<SessionKeys> = (0..4).map(|i| SessionKeys::derive(&keystore, i)).collect();
+        let outsider = SessionKeys::derive(&other_keystore, 2);
+        let message = Message::Commit(Commit {
+            view: 0,
+            sn: 1,
+            digest: Digest::of(b"batch"),
+        });
+
+        // Valid-looking tags under the wrong session keys, no signature:
+        // rejected outright.
+        let forged = SignedMessage::sign_mac(NodeId(2), message.clone(), &outsider, None);
+        assert_eq!(
+            forged.verify_auth(&keystore, &honest[0]),
+            AuthVerdict::Invalid
+        );
+
+        // Tampering with a tag of an honest message: the tag no longer
+        // verifies and there is no fallback signature.
+        let mut tampered = SignedMessage::sign_mac(NodeId(2), message, &honest[2], None);
+        if let Auth::Mac { tags, .. } = &mut tampered.auth {
+            let mut bytes = *tags[0].1.as_bytes();
+            bytes[0] ^= 0x80;
+            tags[0].1 = MacTag::from_bytes(bytes);
+        }
+        let victim = if let Auth::Mac { tags, .. } = &tampered.auth {
+            tags[0].0 .0
+        } else {
+            unreachable!()
+        };
+        assert_eq!(
+            tampered.verify_auth(&keystore, &honest[victim as usize]),
+            AuthVerdict::Invalid
+        );
+    }
+
+    #[test]
+    fn preprepare_auth_bytes_bind_the_batch_digest() {
+        let pp = |payload: Vec<u8>| {
+            Message::PrePrepare(PrePrepare {
+                view: 1,
+                sn: 2,
+                batch: ProposedBatch::single(ProposedRequest::application(payload, NodeId(0))),
+            })
+        };
+        let a = pp(vec![1, 2, 3]);
+        let b = pp(vec![1, 2, 4]);
+        assert_ne!(
+            a.auth_bytes(),
+            b.auth_bytes(),
+            "payload change reaches auth bytes"
+        );
+        assert!(
+            a.auth_bytes().len() < 64,
+            "compact header stays constant-size, got {}",
+            a.auth_bytes().len()
+        );
+        // Non-preprepare messages authenticate their full encoding.
+        let commit = Message::Commit(Commit {
+            view: 1,
+            sn: 2,
+            digest: Digest::of(b"x"),
+        });
+        assert_eq!(commit.auth_bytes(), zugchain_wire::to_bytes(&commit));
+    }
 
     fn request() -> ProposedRequest {
         ProposedRequest::application(vec![7; 32], NodeId(1))

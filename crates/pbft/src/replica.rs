@@ -1,13 +1,13 @@
 use std::collections::{BTreeMap, VecDeque};
 
-use zugchain_crypto::{Digest, KeyPair, Keystore, Signature};
+use zugchain_crypto::{verify_batch, BatchItem, Digest, KeyPair, Keystore, SessionKeys, Signature};
 use zugchain_machine::{Effect, Machine};
 use zugchain_telemetry::{Counter, Gauge, Histogram, Telemetry};
 
 use crate::messages::Commit;
 use crate::{
-    Checkpoint, CheckpointProof, Config, Message, NewView, NodeId, PrePrepare, Prepare,
-    PreparedCert, ProposedBatch, ProposedRequest, SignedMessage, ViewChange,
+    AuthMode, AuthVerdict, Checkpoint, CheckpointProof, Config, Message, NewView, NodeId,
+    PrePrepare, Prepare, PreparedCert, ProposedBatch, ProposedRequest, SignedMessage, ViewChange,
 };
 
 /// The replica's timer vocabulary.
@@ -114,6 +114,29 @@ pub struct ReplicaStats {
     pub batches_decided: u64,
     /// View changes completed.
     pub view_changes: u64,
+    /// Messages accepted via the session-MAC fast path (no signature
+    /// verified on arrival).
+    pub auth_mac_hits: u64,
+    /// MAC-form messages accepted via their embedded fallback signature
+    /// (no usable tag for this replica).
+    pub auth_sig_fallbacks: u64,
+}
+
+/// One prepare or checkpoint vote, with its deferred-verification state.
+///
+/// Votes arriving over the MAC fast path are authentic (the MAC proved
+/// the sender) but their embedded *signature* — the part that becomes
+/// transferable view-change evidence — has not been checked yet. The
+/// check is deferred to quorum time, where a whole round's worth verifies
+/// through `verify_batch` in one call; votes whose signature turns out
+/// missing or invalid are dropped before any certificate is built.
+#[derive(Debug, Clone, Copy)]
+struct Vote {
+    digest: Digest,
+    signature: Option<Signature>,
+    /// `true` once `signature` has been verified (at arrival for the
+    /// signature path, at quorum time for the MAC fast path).
+    verified: bool,
 }
 
 /// Ordering state for one batch, keyed by its base sequence number; the
@@ -130,9 +153,10 @@ struct Slot {
     /// batch order — cached for the in-flight lookups the ZugChain layer
     /// performs per open request.
     payload_digests: Vec<Digest>,
-    /// Prepare votes: sender → (digest, signature over the prepare).
-    prepares: BTreeMap<NodeId, (Digest, Signature)>,
-    /// Commit votes: sender → digest.
+    /// Prepare votes: sender → vote over the batch digest.
+    prepares: BTreeMap<NodeId, Vote>,
+    /// Commit votes: sender → digest. Commits never become evidence, so
+    /// no signature is retained.
     commits: BTreeMap<NodeId, Digest>,
     prepared: bool,
     committed: bool,
@@ -141,7 +165,10 @@ struct Slot {
 
 impl Slot {
     fn matching_prepares(&self, digest: &Digest) -> usize {
-        self.prepares.values().filter(|(d, _)| d == digest).count()
+        self.prepares
+            .values()
+            .filter(|vote| vote.digest == *digest)
+            .count()
     }
 
     fn matching_commits(&self, digest: &Digest) -> usize {
@@ -152,8 +179,8 @@ impl Slot {
 /// Checkpoint votes being collected for one sequence number.
 #[derive(Debug, Default)]
 struct CheckpointVotes {
-    /// sender → (state digest, signature over the checkpoint message).
-    votes: BTreeMap<NodeId, (Digest, Signature)>,
+    /// sender → vote over the state digest.
+    votes: BTreeMap<NodeId, Vote>,
 }
 
 /// State of an in-progress view change.
@@ -179,6 +206,8 @@ struct ReplicaMetrics {
     view_change_msgs: Counter,
     new_view_msgs: Counter,
     invalid_signatures: Counter,
+    auth_mac_hits: Counter,
+    auth_sig_fallbacks: Counter,
     ignored: Counter,
     decided: Counter,
     batches_decided: Counter,
@@ -203,6 +232,8 @@ impl ReplicaMetrics {
             view_change_msgs: msg("viewchange"),
             new_view_msgs: msg("newview"),
             invalid_signatures: telemetry.counter("zugchain_pbft_invalid_signatures_total"),
+            auth_mac_hits: telemetry.counter("zugchain_pbft_auth_mac_fast_path_total"),
+            auth_sig_fallbacks: telemetry.counter("zugchain_pbft_auth_sig_fallback_total"),
             ignored: telemetry.counter("zugchain_pbft_ignored_total"),
             decided: telemetry.counter("zugchain_pbft_decided_total"),
             batches_decided: telemetry.counter("zugchain_pbft_batches_decided_total"),
@@ -235,6 +266,10 @@ pub struct Replica {
     config: Config,
     key: KeyPair,
     keystore: Keystore,
+    /// Pairwise session keys derived from the keystore, for the MAC
+    /// fast path (used for verification in every mode; used for signing
+    /// only under [`AuthMode::MacWithSigFallback`]).
+    session: SessionKeys,
 
     view: u64,
     phase: Option<ViewChangeState>,
@@ -255,8 +290,9 @@ pub struct Replica {
     /// ahead of ours (e.g. prepares racing the `NewView` on another
     /// link). Replayed after entering a view — dropping them instead
     /// wedges this replica behind the in-order execution point and
-    /// causes spurious suspicions.
-    buffered: VecDeque<SignedMessage>,
+    /// causes spurious suspicions. Each entry carries its
+    /// signature-checked flag from arrival time.
+    buffered: VecDeque<(SignedMessage, bool)>,
     /// The view-change timer the replica currently has armed (the target
     /// view it is waiting on), if any. The replica owns this bookkeeping
     /// so every runtime gets identical escalation behaviour for free.
@@ -289,11 +325,13 @@ impl Replica {
                 "keystore is missing replica {replica}"
             );
         }
+        let session = SessionKeys::derive(&keystore, id.0);
         Self {
             id,
             config,
             key,
             keystore,
+            session,
             view: 0,
             phase: None,
             next_sn: 1,
@@ -468,12 +506,35 @@ impl Replica {
         std::mem::take(&mut self.effects)
     }
 
-    fn sign(&self, message: Message) -> SignedMessage {
-        SignedMessage::sign(self.id, message, &self.key)
+    /// Authenticates an outgoing message under the configured
+    /// [`AuthMode`], applying the per-type evidence policy.
+    fn authenticate(&self, message: Message) -> SignedMessage {
+        match self.config.auth_mode {
+            AuthMode::Sig => SignedMessage::sign(self.id, message, &self.key),
+            AuthMode::MacWithSigFallback => match &message {
+                // Prepare and checkpoint signatures become transferable
+                // evidence (prepared certificates, checkpoint proofs), so
+                // the fast path embeds a signature it skips verifying.
+                Message::Prepare(_) | Message::Checkpoint(_) => {
+                    SignedMessage::sign_mac(self.id, message, &self.session, Some(&self.key))
+                }
+                // Preprepares and commits never outlive their view:
+                // MAC-only, no signature computed at all.
+                Message::PrePrepare(_) | Message::Commit(_) => {
+                    SignedMessage::sign_mac(self.id, message, &self.session, None)
+                }
+                // View-change votes *are* the certificate a NewView
+                // carries; NewViews are checked by recomputation but keep
+                // the uniform signed form.
+                Message::ViewChange(_) | Message::NewView(_) => {
+                    SignedMessage::sign(self.id, message, &self.key)
+                }
+            },
+        }
     }
 
     fn broadcast(&mut self, message: Message) -> SignedMessage {
-        let signed = self.sign(message);
+        let signed = self.authenticate(message);
         self.effects.push(Effect::Broadcast {
             message: signed.clone(),
         });
@@ -582,7 +643,7 @@ impl Replica {
             sn: preprepare.sn,
             batch: ProposedBatch::new(requests),
         };
-        let signed = self.sign(Message::PrePrepare(conflicting));
+        let signed = SignedMessage::sign(self.id, Message::PrePrepare(conflicting), &self.key);
         self.effects.push(Effect::Send {
             to: victim,
             message: signed,
@@ -609,23 +670,28 @@ impl Replica {
     pub fn record_checkpoint(&mut self, sn: u64, state_digest: Digest) {
         let checkpoint = Checkpoint { sn, state_digest };
         let signed = self.broadcast(Message::Checkpoint(checkpoint));
-        self.store_checkpoint_vote(self.id, checkpoint, signed.signature);
+        let signature = signed
+            .signature()
+            .expect("own checkpoint messages always embed a signature");
+        self.store_checkpoint_vote(self.id, checkpoint, Some(signature), true);
     }
 
     fn store_checkpoint_vote(
         &mut self,
         from: NodeId,
         checkpoint: Checkpoint,
-        signature: Signature,
+        signature: Option<Signature>,
+        verified: bool,
     ) {
         if checkpoint.sn <= self.low_watermark {
             return;
         }
         let votes = self.checkpoints.entry(checkpoint.sn).or_default();
-        votes
-            .votes
-            .entry(from)
-            .or_insert((checkpoint.state_digest, signature));
+        votes.votes.entry(from).or_insert(Vote {
+            digest: checkpoint.state_digest,
+            signature,
+            verified,
+        });
         self.maybe_stabilize_checkpoint(checkpoint.sn);
     }
 
@@ -635,8 +701,8 @@ impl Replica {
         };
         // Group by digest; a quorum must agree on the same state.
         let mut counts: BTreeMap<Digest, usize> = BTreeMap::new();
-        for (digest, _) in votes.votes.values() {
-            *counts.entry(*digest).or_default() += 1;
+        for vote in votes.votes.values() {
+            *counts.entry(vote.digest).or_default() += 1;
         }
         let Some((digest, _)) = counts
             .iter()
@@ -645,11 +711,23 @@ impl Replica {
             return;
         };
         let digest = *digest;
+        // The proof's signatures are transferable evidence, so every
+        // matching vote that arrived over the MAC fast path has its
+        // deferred signature checked now — one `verify_batch` call for
+        // the round. Votes with a missing or invalid signature are
+        // dropped; if that sinks the quorum, wait for more votes.
+        if !self.validate_vote_signatures(sn, &digest) {
+            return;
+        }
+        let votes = self
+            .checkpoints
+            .get(&sn)
+            .expect("validated checkpoint votes still present");
         let signatures: Vec<(NodeId, Signature)> = votes
             .votes
             .iter()
-            .filter(|(_, (d, _))| *d == digest)
-            .map(|(id, (_, sig))| (*id, *sig))
+            .filter(|(_, vote)| vote.digest == digest && vote.verified)
+            .filter_map(|(id, vote)| vote.signature.map(|sig| (*id, sig)))
             .collect();
         let proof = CheckpointProof {
             checkpoint: Checkpoint {
@@ -659,6 +737,136 @@ impl Replica {
             signatures,
         };
         self.stabilize(proof);
+    }
+
+    /// Verifies the deferred signatures of the matching checkpoint votes
+    /// at `sn`, dropping any vote whose signature is missing or invalid.
+    /// Returns `true` if a quorum of verified matching votes remains.
+    fn validate_vote_signatures(&mut self, sn: u64, digest: &Digest) -> bool {
+        let pending: Vec<(NodeId, Option<Signature>)> = match self.checkpoints.get(&sn) {
+            Some(votes) => votes
+                .votes
+                .iter()
+                .filter(|(_, vote)| vote.digest == *digest && !vote.verified)
+                .map(|(id, vote)| (*id, vote.signature))
+                .collect(),
+            None => return false,
+        };
+        let quorum = self.config.quorum();
+        if pending.is_empty() {
+            return self.checkpoints.get(&sn).is_some_and(|votes| {
+                votes
+                    .votes
+                    .values()
+                    .filter(|vote| vote.digest == *digest && vote.verified)
+                    .count()
+                    >= quorum
+            });
+        }
+        let bytes = zugchain_wire::to_bytes(&Message::Checkpoint(Checkpoint {
+            sn,
+            state_digest: *digest,
+        }));
+        let (valid, invalid) = self.check_signatures(&pending, &bytes);
+        let Some(votes) = self.checkpoints.get_mut(&sn) else {
+            return false;
+        };
+        for id in valid {
+            if let Some(vote) = votes.votes.get_mut(&id) {
+                vote.verified = true;
+            }
+        }
+        for id in invalid {
+            votes.votes.remove(&id);
+        }
+        votes
+            .votes
+            .values()
+            .filter(|vote| vote.digest == *digest && vote.verified)
+            .count()
+            >= quorum
+    }
+
+    /// Batch-verifies pending `(signer, signature)` votes over `bytes`,
+    /// splitting them into verified signers and signers to drop (missing
+    /// or invalid signature).
+    fn check_signatures(
+        &self,
+        pending: &[(NodeId, Option<Signature>)],
+        bytes: &[u8],
+    ) -> (Vec<NodeId>, Vec<NodeId>) {
+        let mut items: Vec<BatchItem> = Vec::new();
+        let mut item_ids: Vec<NodeId> = Vec::new();
+        let mut invalid: Vec<NodeId> = Vec::new();
+        for (id, signature) in pending {
+            match (signature, self.keystore.get(id.0)) {
+                (Some(sig), Some(key)) => {
+                    items.push((*key, bytes.to_vec(), *sig));
+                    item_ids.push(*id);
+                }
+                _ => invalid.push(*id),
+            }
+        }
+        let outcome = verify_batch(&items);
+        let mut valid = Vec::new();
+        for (index, id) in item_ids.into_iter().enumerate() {
+            if outcome.is_valid(index) {
+                valid.push(id);
+            } else {
+                invalid.push(id);
+            }
+        }
+        (valid, invalid)
+    }
+
+    /// Verifies the deferred signatures of the matching prepare votes at
+    /// `sn` — MAC-authenticated prepares carry their signature unverified
+    /// until a quorum assembles, then the whole round validates in one
+    /// `verify_batch` call. Votes with a missing or invalid signature are
+    /// dropped. Returns `true` if a prepare quorum of verified matching
+    /// votes remains.
+    fn validate_prepare_quorum(&mut self, sn: u64, digest: &Digest) -> bool {
+        let pending: Vec<(NodeId, Option<Signature>)> = match self.slots.get(&sn) {
+            Some(slot) => slot
+                .prepares
+                .iter()
+                .filter(|(_, vote)| vote.digest == *digest && !vote.verified)
+                .map(|(id, vote)| (*id, vote.signature))
+                .collect(),
+            None => return false,
+        };
+        let quorum = self.config.prepare_quorum();
+        if pending.is_empty() {
+            return self.slots.get(&sn).is_some_and(|slot| {
+                slot.prepares
+                    .values()
+                    .filter(|vote| vote.digest == *digest && vote.verified)
+                    .count()
+                    >= quorum
+            });
+        }
+        let bytes = zugchain_wire::to_bytes(&Message::Prepare(Prepare {
+            view: self.view,
+            sn,
+            digest: *digest,
+        }));
+        let (valid, invalid) = self.check_signatures(&pending, &bytes);
+        let Some(slot) = self.slots.get_mut(&sn) else {
+            return false;
+        };
+        for id in valid {
+            if let Some(vote) = slot.prepares.get_mut(&id) {
+                vote.verified = true;
+            }
+        }
+        for id in invalid {
+            slot.prepares.remove(&id);
+        }
+        slot.prepares
+            .values()
+            .filter(|vote| vote.digest == *digest && vote.verified)
+            .count()
+            >= quorum
     }
 
     fn stabilize(&mut self, proof: CheckpointProof) {
@@ -705,8 +913,9 @@ impl Replica {
 
     /// Processes a protocol message from the network.
     ///
-    /// Invalid signatures are counted and dropped — a Byzantine peer
-    /// cannot impersonate others or corrupt state with garbage.
+    /// Authentication tries the session-MAC fast path first, then the
+    /// signature; invalid messages are counted and dropped — a Byzantine
+    /// peer cannot impersonate others or corrupt state with garbage.
     pub fn on_message(&mut self, message: SignedMessage) {
         if message.from == self.id {
             return; // our own broadcast echoed back
@@ -716,14 +925,26 @@ impl Replica {
             self.metrics.ignored.inc();
             return;
         }
-        if !message.verify(&self.keystore) {
-            self.stats.invalid_signatures += 1;
-            self.metrics.invalid_signatures.inc();
-            return;
+        let verdict = message.verify_auth(&self.keystore, &self.session);
+        match verdict {
+            AuthVerdict::Invalid => {
+                self.stats.invalid_signatures += 1;
+                self.metrics.invalid_signatures.inc();
+                return;
+            }
+            AuthVerdict::MacValid => {
+                self.stats.auth_mac_hits += 1;
+                self.metrics.auth_mac_hits.inc();
+            }
+            AuthVerdict::SigFallback => {
+                self.stats.auth_sig_fallbacks += 1;
+                self.metrics.auth_sig_fallbacks.inc();
+            }
+            AuthVerdict::SigValid => {}
         }
         self.stats.messages_processed += 1;
         self.metrics.for_message(&message.message).inc();
-        self.dispatch(message);
+        self.dispatch(message, verdict.signature_checked());
     }
 
     /// The view an ordering message belongs to (`None` for view-change
@@ -739,7 +960,11 @@ impl Replica {
 
     /// Routes one verified message, buffering ordering traffic that this
     /// replica cannot act on yet (mid-view-change, or for a future view).
-    fn dispatch(&mut self, message: SignedMessage) {
+    ///
+    /// `sig_checked` records whether the message's embedded signature was
+    /// verified on arrival (`false` for MAC fast-path acceptances, whose
+    /// signature check is deferred to quorum time).
+    fn dispatch(&mut self, message: SignedMessage, sig_checked: bool) {
         if let Some(view) = Self::ordering_view(&message.message) {
             if view > self.view || (view == self.view && self.in_view_change()) {
                 if self.buffered.len() >= self.config.max_buffered_messages {
@@ -753,10 +978,12 @@ impl Replica {
                         .buffered
                         .iter()
                         .enumerate()
-                        .max_by_key(|(index, buffered)| {
+                        .max_by_key(|(index, (buffered, _))| {
                             (Self::ordering_view(&buffered.message), *index)
                         })
-                        .map(|(index, buffered)| (index, Self::ordering_view(&buffered.message)))
+                        .map(|(index, (buffered, _))| {
+                            (index, Self::ordering_view(&buffered.message))
+                        })
                         .expect("buffer at capacity is non-empty");
                     if Some(view) >= evict_view {
                         // The incoming message is at least as far in the
@@ -771,23 +998,34 @@ impl Replica {
                     self.buffered.remove(evict);
                     self.metrics.buffer_evictions.inc();
                 }
-                self.buffered.push_back(message);
+                self.buffered.push_back((message, sig_checked));
                 self.metrics
                     .future_buffer_len
                     .set(self.buffered.len() as i64);
                 return;
             }
         }
-        let from = message.from;
-        match message.message.clone() {
+        // Destructure instead of cloning: a preprepare's batch should not
+        // be deep-copied just to route it.
+        let signature = message.signature();
+        let SignedMessage {
+            from,
+            message,
+            auth,
+        } = message;
+        match message {
             Message::PrePrepare(preprepare) => self.on_preprepare(from, preprepare),
-            Message::Prepare(prepare) => self.on_prepare(from, prepare, message.signature),
+            Message::Prepare(prepare) => self.on_prepare(from, prepare, signature, sig_checked),
             Message::Commit(commit) => self.on_commit(from, commit),
             Message::Checkpoint(checkpoint) => {
-                self.store_checkpoint_vote(from, checkpoint, message.signature);
+                self.store_checkpoint_vote(from, checkpoint, signature, sig_checked);
             }
-            Message::ViewChange(_) => self.on_view_change_vote(message),
             Message::NewView(new_view) => self.on_new_view(from, new_view),
+            message @ Message::ViewChange(_) => self.on_view_change_vote(SignedMessage {
+                from,
+                message,
+                auth,
+            }),
         }
     }
 
@@ -838,11 +1076,11 @@ impl Replica {
                 // primary (or the network) retransmitted it. Re-broadcast
                 // our own prepare — if the first one was lost, staying
                 // silent wedges the slot until a view change.
-                if let Some(&(digest, _)) = slot.prepares.get(&self.id) {
+                if let Some(vote) = slot.prepares.get(&self.id) {
                     let prepare = Prepare {
                         view: self.view,
                         sn,
-                        digest,
+                        digest: vote.digest,
                     };
                     self.broadcast(Message::Prepare(prepare));
                 }
@@ -889,25 +1127,31 @@ impl Replica {
             digest,
         };
         let signed = self.broadcast(Message::Prepare(prepare));
+        let own_signature = signed
+            .signature()
+            .expect("own prepare messages always embed a signature");
         if let Some(slot) = self.slots.get_mut(&sn) {
-            slot.prepares.insert(self.id, (digest, signed.signature));
+            slot.prepares.insert(
+                self.id,
+                Vote {
+                    digest,
+                    signature: Some(own_signature),
+                    verified: true,
+                },
+            );
         }
         self.maybe_advance(sn);
     }
 
     /// Records a preprepare into its slot (primary: own proposal; backup:
-    /// accepted proposal), hashing the batch exactly once and caching
-    /// the digests on the slot. Returns the batch digest and the
-    /// per-request payload digests in batch order.
+    /// accepted proposal), reusing the digests the batch already hashed
+    /// (payloads are hashed exactly once, at batch construction or
+    /// decode). Returns the batch digest and the per-request payload
+    /// digests in batch order.
     fn accept_preprepare(&mut self, preprepare: PrePrepare) -> (Digest, Vec<Digest>) {
         let sn = preprepare.sn;
         let batch_digest = preprepare.batch.digest();
-        let payload_digests: Vec<Digest> = preprepare
-            .batch
-            .requests()
-            .iter()
-            .map(ProposedRequest::payload_digest)
-            .collect();
+        let payload_digests: Vec<Digest> = preprepare.batch.payload_digests().to_vec();
         let slot = self.slots.entry(sn).or_default();
         slot.batch_digest = Some(batch_digest);
         slot.payload_digests = payload_digests.clone();
@@ -916,7 +1160,13 @@ impl Replica {
         (batch_digest, payload_digests)
     }
 
-    fn on_prepare(&mut self, from: NodeId, prepare: Prepare, signature: Signature) {
+    fn on_prepare(
+        &mut self,
+        from: NodeId,
+        prepare: Prepare,
+        signature: Option<Signature>,
+        verified: bool,
+    ) {
         if self.in_view_change()
             || prepare.view != self.view
             || !self.ordering_in_window(prepare.sn)
@@ -931,9 +1181,11 @@ impl Replica {
             return;
         }
         let slot = self.slots.entry(prepare.sn).or_default();
-        slot.prepares
-            .entry(from)
-            .or_insert((prepare.digest, signature));
+        slot.prepares.entry(from).or_insert(Vote {
+            digest: prepare.digest,
+            signature,
+            verified,
+        });
         self.maybe_advance(prepare.sn);
     }
 
@@ -964,7 +1216,14 @@ impl Replica {
             .batch_digest
             .expect("slot with a preprepare has a cached batch digest");
 
-        if !slot.prepared && slot.matching_prepares(&digest) >= prepare_quorum {
+        if !slot.prepared
+            && slot.matching_prepares(&digest) >= prepare_quorum
+            && self.validate_prepare_quorum(sn, &digest)
+        {
+            let slot = self
+                .slots
+                .get_mut(&sn)
+                .expect("slot existed before signature validation");
             slot.prepared = true;
             slot.commits.insert(self.id, digest);
             let commit = Commit { view, sn, digest };
@@ -1098,8 +1357,8 @@ impl Replica {
                     prepare_signatures: slot
                         .prepares
                         .iter()
-                        .filter(|(_, (d, _))| *d == digest)
-                        .map(|(id, (_, sig))| (*id, *sig))
+                        .filter(|(_, vote)| vote.digest == digest && vote.verified)
+                        .filter_map(|(id, vote)| vote.signature.map(|sig| (*id, sig)))
                         .collect(),
                 }
             })
@@ -1208,17 +1467,31 @@ impl Replica {
             self.stats.ignored += 1;
             return;
         }
-        // Verify the 2f+1 distinct, valid view-change votes.
-        let mut voters = std::collections::BTreeSet::new();
-        let mut valid_votes = Vec::new();
+        // Verify the 2f+1 distinct, valid view-change votes. The
+        // signatures are checked in one `verify_batch` call instead of
+        // one at a time: a new-view message carries a whole round's
+        // worth of votes at once.
+        let mut candidates = Vec::new();
+        let mut items: Vec<BatchItem> = Vec::new();
         for vote in &new_view.view_changes {
             let Message::ViewChange(ref view_change) = vote.message else {
                 continue;
             };
-            if view_change.new_view != new_view.view || !vote.verify(&self.keystore) {
+            if view_change.new_view != new_view.view {
                 continue;
             }
-            if voters.insert(vote.from.0) {
+            let (Some(signature), Some(key)) = (vote.signature(), self.keystore.get(vote.from.0))
+            else {
+                continue;
+            };
+            items.push((*key, vote.message.auth_bytes(), signature));
+            candidates.push(vote);
+        }
+        let outcome = verify_batch(&items);
+        let mut voters = std::collections::BTreeSet::new();
+        let mut valid_votes = Vec::new();
+        for (index, vote) in candidates.into_iter().enumerate() {
+            if outcome.is_valid(index) && voters.insert(vote.from.0) {
                 valid_votes.push(vote.clone());
             }
         }
@@ -1308,8 +1581,18 @@ impl Replica {
             if self.id != primary {
                 let prepare = Prepare { view, sn, digest };
                 let signed = self.broadcast(Message::Prepare(prepare));
+                let own_signature = signed
+                    .signature()
+                    .expect("own prepare messages always embed a signature");
                 if let Some(slot) = self.slots.get_mut(&sn) {
-                    slot.prepares.insert(self.id, (digest, signed.signature));
+                    slot.prepares.insert(
+                        self.id,
+                        Vote {
+                            digest,
+                            signature: Some(own_signature),
+                            verified: true,
+                        },
+                    );
                 }
                 self.maybe_advance(sn);
             }
@@ -1320,9 +1603,9 @@ impl Replica {
         }
         // Replay ordering traffic that raced the view change; anything
         // still ahead of the new view goes straight back into the buffer.
-        let buffered: Vec<SignedMessage> = self.buffered.drain(..).collect();
-        for message in buffered {
-            self.dispatch(message);
+        let buffered: Vec<(SignedMessage, bool)> = self.buffered.drain(..).collect();
+        for (message, sig_checked) in buffered {
+            self.dispatch(message, sig_checked);
         }
         self.metrics
             .future_buffer_len

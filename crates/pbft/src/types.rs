@@ -1,4 +1,5 @@
 use std::fmt;
+use std::sync::Arc;
 
 use zugchain_crypto::Digest;
 use zugchain_wire::{decode_seq, encode_seq, Decode, Encode, Reader, WireError, Writer};
@@ -159,28 +160,49 @@ pub const MAX_WIRE_BATCH_LEN: usize = 4096;
 /// under one preprepare.
 ///
 /// A batch proposed at base sequence number `s` occupies sequence numbers
-/// `s .. s + len - 1`; prepares and commits certify the *batch digest*, a
-/// hash over the canonical encoding of the whole run, so one three-phase
-/// round orders every request in it. Batches are never empty — a
-/// single-request batch is exactly the pre-batching protocol.
+/// `s .. s + len - 1`; prepares and commits certify the *batch digest*,
+/// computed in a single pass: each request's payload is hashed exactly
+/// once, and the batch digest chains the per-request headers with those
+/// payload digests in order. Binding the *payload digests* (not just the
+/// concatenated bytes) into the order-binding chain means flipping one
+/// payload byte anywhere changes the batch digest, while no payload byte
+/// is ever hashed twice. Batches are never empty — a single-request batch
+/// is exactly the pre-batching protocol.
+///
+/// The request run and cached digests live behind an [`Arc`], so cloning
+/// a batch into consensus slots, certificates, and decide paths is O(1).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ProposedBatch {
+    inner: Arc<BatchInner>,
+}
+
+#[derive(Debug, PartialEq, Eq)]
+struct BatchInner {
     requests: Vec<ProposedRequest>,
-    /// Cached digest over the canonical encoding of `requests`.
+    /// Order-binding digest chaining per-request headers and payload
+    /// digests.
     digest: Digest,
+    /// Each request's payload digest, hashed once at construction.
+    payload_digests: Vec<Digest>,
 }
 
 impl ProposedBatch {
-    /// Builds a batch from a non-empty run of requests, caching the
-    /// batch digest.
+    /// Builds a batch from a non-empty run of requests, hashing each
+    /// payload once and caching the batch digest.
     ///
     /// # Panics
     ///
     /// Panics if `requests` is empty.
     pub fn new(requests: Vec<ProposedRequest>) -> Self {
         assert!(!requests.is_empty(), "batches are never empty");
-        let digest = Self::digest_of(&requests);
-        Self { requests, digest }
+        let (digest, payload_digests) = Self::digests_of(&requests);
+        Self {
+            inner: Arc::new(BatchInner {
+                requests,
+                digest,
+                payload_digests,
+            }),
+        }
     }
 
     /// Wraps a single request — the unbatched protocol's unit.
@@ -188,20 +210,44 @@ impl ProposedBatch {
         Self::new(vec![request])
     }
 
-    fn digest_of(requests: &[ProposedRequest]) -> Digest {
-        let mut w = Writer::new();
-        encode_seq(requests, &mut w);
-        Digest::of(&w.into_bytes())
+    fn digests_of(requests: &[ProposedRequest]) -> (Digest, Vec<Digest>) {
+        let payload_digests: Vec<Digest> = requests
+            .iter()
+            .map(ProposedRequest::payload_digest)
+            .collect();
+        // One chained hash binds the request count, the order, every
+        // header field, and every payload digest. Payload bytes are not
+        // touched again here.
+        let mut parts = Vec::with_capacity(requests.len() * 2);
+        let headers: Vec<[u8; 25]> = requests
+            .iter()
+            .map(|request| {
+                let mut header = [0u8; 25];
+                header[0] = match request.kind {
+                    RequestKind::Application => 0,
+                    RequestKind::Noop => 1,
+                };
+                header[1..9].copy_from_slice(&request.origin.0.to_le_bytes());
+                header[9..17].copy_from_slice(&request.time_ms.to_le_bytes());
+                header[17..25].copy_from_slice(&(request.payload.len() as u64).to_le_bytes());
+                header
+            })
+            .collect();
+        for (header, payload_digest) in headers.iter().zip(&payload_digests) {
+            parts.push(header.as_slice());
+            parts.push(payload_digest.as_bytes().as_slice());
+        }
+        (Digest::chain(parts), payload_digests)
     }
 
     /// The batch digest — what prepares and commits certify.
     pub fn digest(&self) -> Digest {
-        self.digest
+        self.inner.digest
     }
 
     /// Number of requests in the batch (always ≥ 1).
     pub fn len(&self) -> usize {
-        self.requests.len()
+        self.inner.requests.len()
     }
 
     /// Always `false`; kept for idiomatic slice-likeness.
@@ -211,28 +257,39 @@ impl ProposedBatch {
 
     /// The ordered requests.
     pub fn requests(&self) -> &[ProposedRequest] {
-        &self.requests
+        &self.inner.requests
+    }
+
+    /// The cached payload digest of each request, in batch order.
+    pub fn payload_digests(&self) -> &[Digest] {
+        &self.inner.payload_digests
     }
 
     /// Consumes the batch, yielding its requests in order.
+    ///
+    /// O(1) when this is the last handle to the batch; clones the
+    /// requests otherwise.
     pub fn into_requests(self) -> Vec<ProposedRequest> {
-        self.requests
+        match Arc::try_unwrap(self.inner) {
+            Ok(inner) => inner.requests,
+            Err(shared) => shared.requests.clone(),
+        }
     }
 
     /// Sum of payload lengths, for memory accounting.
     pub fn payload_bytes(&self) -> usize {
-        self.requests.iter().map(|r| r.payload.len()).sum()
+        self.inner.requests.iter().map(|r| r.payload.len()).sum()
     }
 
     /// `true` if every request in the batch is a protocol no-op.
     pub fn is_all_noop(&self) -> bool {
-        self.requests.iter().all(ProposedRequest::is_noop)
+        self.inner.requests.iter().all(ProposedRequest::is_noop)
     }
 }
 
 impl Encode for ProposedBatch {
     fn encode(&self, w: &mut Writer) {
-        encode_seq(&self.requests, w);
+        encode_seq(&self.inner.requests, w);
     }
 }
 
@@ -342,5 +399,60 @@ mod tests {
     #[should_panic(expected = "never empty")]
     fn empty_batch_construction_panics() {
         let _ = ProposedBatch::new(Vec::new());
+    }
+
+    #[test]
+    fn payload_digests_are_cached_in_batch_order() {
+        let requests = vec![
+            ProposedRequest::application(vec![1; 40], NodeId(0)),
+            ProposedRequest::application(vec![2; 40], NodeId(1)),
+            ProposedRequest::noop(NodeId(2)),
+        ];
+        let batch = ProposedBatch::new(requests.clone());
+        let expected: Vec<Digest> = requests
+            .iter()
+            .map(ProposedRequest::payload_digest)
+            .collect();
+        assert_eq!(batch.payload_digests(), expected.as_slice());
+    }
+
+    #[test]
+    fn payload_byte_flip_inside_encoded_batch_changes_digest() {
+        // Regression guard for the single-pass digest: if the chain bound
+        // only per-request headers (or only the concatenated request
+        // bytes) a payload flip deep inside a batch could leave the batch
+        // digest unchanged. Flip one payload byte in the wire encoding;
+        // the decoded batch must recompute a different digest.
+        let batch = ProposedBatch::new(vec![
+            ProposedRequest::application(vec![0x11; 64], NodeId(0)).with_time(5),
+            ProposedRequest::application(vec![0xAA; 64], NodeId(1)).with_time(6),
+        ]);
+        let mut bytes = zugchain_wire::to_bytes(&batch);
+        let pos = bytes
+            .iter()
+            .position(|&b| b == 0xAA)
+            .expect("payload bytes present in encoding");
+        bytes[pos] ^= 0x01;
+        let tampered: ProposedBatch = zugchain_wire::from_bytes(&bytes).unwrap();
+        assert_ne!(
+            tampered.digest(),
+            batch.digest(),
+            "payload mutation must change the order-binding batch digest"
+        );
+        assert_ne!(tampered.payload_digests()[1], batch.payload_digests()[1]);
+        assert_eq!(tampered.payload_digests()[0], batch.payload_digests()[0]);
+    }
+
+    #[test]
+    fn into_requests_is_unchanged_by_sharing() {
+        let batch = ProposedBatch::new(vec![
+            ProposedRequest::application(vec![3; 8], NodeId(0)),
+            ProposedRequest::application(vec![4; 8], NodeId(1)),
+        ]);
+        let shared = batch.clone();
+        let via_shared = shared.into_requests();
+        let via_unique = batch.clone().into_requests();
+        assert_eq!(via_shared, via_unique);
+        assert_eq!(via_unique, batch.requests().to_vec());
     }
 }
