@@ -1,0 +1,119 @@
+//! Bearer-token authentication for the `/v1` query endpoints.
+//!
+//! The juridical archive is not public by default: investigators,
+//! insurers, and regulators each get an opaque bearer token, presented
+//! as `Authorization: Bearer <token>`. Tokens double as the rate
+//! limiter's client identity, so each credential gets its own bucket
+//! regardless of how many machines share it. An empty token set means
+//! an open (development / in-cluster) server.
+//!
+//! Comparison is constant-time-ish by accumulating a difference mask
+//! over the full token length — not a hard security boundary on its
+//! own (HTTPS termination is out of scope for this crate), but it
+//! avoids the obvious early-exit timing oracle.
+
+/// Outcome of checking a request's credentials.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AuthDecision {
+    /// No tokens configured — the server is open; callers fall back to
+    /// the peer address as the rate-limit identity.
+    Open,
+    /// A configured token matched; the token is the client identity.
+    Allowed(String),
+    /// Missing or unknown credentials — answer 401.
+    Denied,
+}
+
+/// The configured token set.
+#[derive(Debug, Clone, Default)]
+pub struct Auth {
+    tokens: Vec<String>,
+}
+
+fn token_matches(a: &str, b: &str) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    a.bytes()
+        .zip(b.bytes())
+        .fold(0u8, |acc, (x, y)| acc | (x ^ y))
+        == 0
+}
+
+impl Auth {
+    /// An open server: every request is allowed.
+    pub fn open() -> Self {
+        Auth { tokens: Vec::new() }
+    }
+
+    /// A server requiring one of `tokens` on every `/v1` request.
+    pub fn with_tokens(tokens: Vec<String>) -> Self {
+        Auth { tokens }
+    }
+
+    /// Whether credentials are required at all.
+    pub fn required(&self) -> bool {
+        !self.tokens.is_empty()
+    }
+
+    /// Checks an `Authorization` header value (if any) against the
+    /// configured tokens.
+    pub fn check(&self, authorization: Option<&str>) -> AuthDecision {
+        if self.tokens.is_empty() {
+            return AuthDecision::Open;
+        }
+        let Some(value) = authorization else {
+            return AuthDecision::Denied;
+        };
+        // RFC 6750: the scheme is case-insensitive, the token is not.
+        let mut parts = value.splitn(2, ' ');
+        let scheme = parts.next().unwrap_or_default();
+        let presented = parts.next().unwrap_or_default().trim();
+        if !scheme.eq_ignore_ascii_case("bearer") || presented.is_empty() {
+            return AuthDecision::Denied;
+        }
+        if self.tokens.iter().any(|t| token_matches(t, presented)) {
+            AuthDecision::Allowed(presented.to_string())
+        } else {
+            AuthDecision::Denied
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn open_server_allows_everything() {
+        assert_eq!(Auth::open().check(None), AuthDecision::Open);
+        assert_eq!(Auth::open().check(Some("nonsense")), AuthDecision::Open);
+    }
+
+    #[test]
+    fn bearer_scheme_is_case_insensitive_token_is_not() {
+        let auth = Auth::with_tokens(vec!["s3cret".into()]);
+        assert_eq!(
+            auth.check(Some("Bearer s3cret")),
+            AuthDecision::Allowed("s3cret".into())
+        );
+        assert_eq!(
+            auth.check(Some("bearer s3cret")),
+            AuthDecision::Allowed("s3cret".into())
+        );
+        assert_eq!(auth.check(Some("Bearer S3CRET")), AuthDecision::Denied);
+        assert_eq!(auth.check(Some("Basic s3cret")), AuthDecision::Denied);
+        assert_eq!(auth.check(Some("Bearer")), AuthDecision::Denied);
+        assert_eq!(auth.check(None), AuthDecision::Denied);
+    }
+
+    #[test]
+    fn any_configured_token_matches() {
+        let auth = Auth::with_tokens(vec!["alpha".into(), "beta".into()]);
+        assert_eq!(
+            auth.check(Some("Bearer beta")),
+            AuthDecision::Allowed("beta".into())
+        );
+        assert_eq!(auth.check(Some("Bearer gamma")), AuthDecision::Denied);
+    }
+}

@@ -1,0 +1,174 @@
+//! A minimal blocking HTTP/1.1 client for tests, benches, and smoke
+//! binaries — keep-alive aware so a load generator can issue thousands
+//! of requests over one connection, the way a real reader SDK would.
+
+use std::io::{self, Read as _, Write as _};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// One parsed HTTP response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClientResponse {
+    /// Status code.
+    pub status: u16,
+    /// Header fields, names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// Body bytes (`Content-Length`-delimited).
+    pub body: Vec<u8>,
+}
+
+impl ClientResponse {
+    /// First header named `name` (lowercase), if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The body as UTF-8 text (lossy).
+    pub fn text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+}
+
+/// A keep-alive HTTP/1.1 connection to one server.
+#[derive(Debug)]
+pub struct HttpClient {
+    addr: SocketAddr,
+    stream: Option<TcpStream>,
+    buf: Vec<u8>,
+}
+
+impl HttpClient {
+    /// Connects lazily to `addr` (the socket opens on the first request).
+    pub fn new(addr: SocketAddr) -> Self {
+        HttpClient {
+            addr,
+            stream: None,
+            buf: Vec::new(),
+        }
+    }
+
+    fn stream(&mut self) -> io::Result<&mut TcpStream> {
+        if self.stream.is_none() {
+            let stream = TcpStream::connect(self.addr)?;
+            stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+            stream.set_nodelay(true)?;
+            self.stream = Some(stream);
+            self.buf.clear();
+        }
+        Ok(self.stream.as_mut().expect("just connected"))
+    }
+
+    /// Issues `GET <path>` with an optional bearer token and returns the
+    /// parsed response. Reconnects transparently if the server closed
+    /// the previous keep-alive connection.
+    ///
+    /// # Errors
+    ///
+    /// Connection or protocol failures as [`io::Error`].
+    pub fn get(&mut self, path: &str, token: Option<&str>) -> io::Result<ClientResponse> {
+        match self.request(path, token) {
+            Ok(response) => Ok(response),
+            Err(_) if self.stream.is_some() => {
+                // The server may have closed an idle keep-alive socket
+                // between requests; retry once on a fresh connection.
+                self.stream = None;
+                self.request(path, token)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    fn request(&mut self, path: &str, token: Option<&str>) -> io::Result<ClientResponse> {
+        let mut head = format!("GET {path} HTTP/1.1\r\nhost: zugchain\r\n");
+        if let Some(token) = token {
+            head.push_str(&format!("authorization: Bearer {token}\r\n"));
+        }
+        head.push_str("\r\n");
+        let stream = self.stream()?;
+        stream.write_all(head.as_bytes())?;
+
+        // Read until the response head is complete, then its body.
+        let head_end = loop {
+            if let Some(pos) = find_head_end(&self.buf) {
+                break pos;
+            }
+            if !read_some(self.stream.as_mut().expect("connected"), &mut self.buf)? {
+                self.stream = None;
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed before response head",
+                ));
+            }
+        };
+
+        let head_text = String::from_utf8_lossy(&self.buf[..head_end - 4]).into_owned();
+        let mut lines = head_text.split("\r\n");
+        let status_line = lines.next().unwrap_or_default();
+        let status: u16 = status_line
+            .split(' ')
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("bad status line: {status_line:?}"),
+                )
+            })?;
+        let mut headers = Vec::new();
+        for line in lines {
+            if let Some((name, value)) = line.split_once(':') {
+                headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
+            }
+        }
+        let content_length: usize = headers
+            .iter()
+            .find(|(n, _)| n == "content-length")
+            .and_then(|(_, v)| v.parse().ok())
+            .ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "response without Content-Length",
+                )
+            })?;
+
+        while self.buf.len() < head_end + content_length {
+            if !read_some(self.stream.as_mut().expect("connected"), &mut self.buf)? {
+                self.stream = None;
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-body",
+                ));
+            }
+        }
+        let body = self.buf[head_end..head_end + content_length].to_vec();
+        self.buf.drain(..head_end + content_length);
+
+        let closing = headers
+            .iter()
+            .find(|(n, _)| n == "connection")
+            .is_some_and(|(_, v)| v.eq_ignore_ascii_case("close"));
+        if closing {
+            self.stream = None;
+            self.buf.clear();
+        }
+        Ok(ClientResponse {
+            status,
+            headers,
+            body,
+        })
+    }
+}
+
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n").map(|p| p + 4)
+}
+
+fn read_some(stream: &mut TcpStream, buf: &mut Vec<u8>) -> io::Result<bool> {
+    let mut chunk = [0u8; 16 * 1024];
+    let n = stream.read(&mut chunk)?;
+    buf.extend_from_slice(&chunk[..n]);
+    Ok(n > 0)
+}

@@ -1,0 +1,533 @@
+//! A minimal, strict HTTP/1.1 request parser and response writer.
+//!
+//! The build environment is offline, so — matching the repo's shim
+//! discipline — the serving layer brings its own HTTP implementation
+//! instead of axum/hyper. The subset is deliberately small: `GET`-style
+//! requests with headers and an optional `Content-Length` body, percent
+//! decoding for the request target, and `HTTP/1.1` keep-alive. Anything
+//! outside the subset is rejected loudly; nothing is "best effort"
+//! repaired, because this parser sits on a public port in front of
+//! juridical data.
+//!
+//! Parsing is incremental and allocation-bounded: [`parse_request`] takes
+//! whatever bytes have arrived so far and returns either a complete
+//! request (plus how many bytes it consumed, so pipelined bytes survive),
+//! [`Parsed::Partial`] when more bytes are needed, or a hard
+//! [`ParseError`]. A strict prefix of a valid request is always
+//! `Partial`, never an error and never a phantom request — the property
+//! suite in `tests/http_props.rs` pins that, in the same style as the
+//! wire-codec suites.
+
+use std::fmt;
+
+/// Upper bound on the request head (request line + all headers).
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+/// Upper bound on the number of header fields.
+pub const MAX_HEADERS: usize = 64;
+/// Upper bound on a declared `Content-Length` body.
+pub const MAX_BODY_BYTES: usize = 1024 * 1024;
+
+/// Why a byte stream was rejected as an HTTP request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ParseError {
+    /// The request line is not `METHOD SP TARGET SP HTTP/1.x`.
+    BadRequestLine,
+    /// The HTTP version is not 1.0 or 1.1.
+    UnsupportedVersion,
+    /// A header line is not `name: value` with a token name.
+    BadHeader,
+    /// More than [`MAX_HEADERS`] header fields.
+    TooManyHeaders,
+    /// The head exceeds [`MAX_HEAD_BYTES`] without terminating.
+    HeadTooLarge,
+    /// `Content-Length` is not a plain decimal number (or two
+    /// occurrences disagree).
+    BadContentLength,
+    /// The declared body exceeds [`MAX_BODY_BYTES`].
+    BodyTooLarge,
+    /// `Transfer-Encoding` is present; this server only accepts
+    /// `Content-Length`-delimited bodies.
+    UnsupportedTransferEncoding,
+    /// The target contains an invalid percent escape or a forbidden byte.
+    BadPercentEncoding,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::BadRequestLine => write!(f, "malformed request line"),
+            ParseError::UnsupportedVersion => write!(f, "unsupported HTTP version"),
+            ParseError::BadHeader => write!(f, "malformed header line"),
+            ParseError::TooManyHeaders => write!(f, "too many header fields"),
+            ParseError::HeadTooLarge => write!(f, "request head too large"),
+            ParseError::BadContentLength => write!(f, "malformed Content-Length"),
+            ParseError::BodyTooLarge => write!(f, "declared body too large"),
+            ParseError::UnsupportedTransferEncoding => {
+                write!(f, "Transfer-Encoding not supported")
+            }
+            ParseError::BadPercentEncoding => write!(f, "invalid percent encoding in target"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// One parsed HTTP request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// The method verbatim (`GET`, `HEAD`, …).
+    pub method: String,
+    /// Percent-decoded path (`/v1/trains/7/blocks`), always starting
+    /// with `/`; the query string is split off into [`Request::query`].
+    pub path: String,
+    /// Percent-decoded `key=value` pairs of the query string, in order.
+    pub query: Vec<(String, String)>,
+    /// Whether the request was HTTP/1.1 (keep-alive by default).
+    pub http11: bool,
+    /// Header fields in arrival order, names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// The `Content-Length`-delimited body (empty when none declared).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First header named `name` (lowercase), if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// First query parameter named `name`, if present.
+    pub fn query_param(&self, name: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the connection should stay open after the response:
+    /// HTTP/1.1 defaults to keep-alive unless `Connection: close`;
+    /// HTTP/1.0 defaults to close unless `Connection: keep-alive`.
+    pub fn keep_alive(&self) -> bool {
+        match self.header("connection") {
+            Some(value) if value.eq_ignore_ascii_case("close") => false,
+            Some(value) if value.eq_ignore_ascii_case("keep-alive") => true,
+            _ => self.http11,
+        }
+    }
+}
+
+/// Outcome of feeding the accumulated bytes to the parser.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Parsed {
+    /// A full request, and how many buffer bytes it consumed.
+    Complete {
+        /// The parsed request.
+        request: Request,
+        /// Bytes of the buffer belonging to this request; the caller
+        /// drains them and keeps the rest for the next request.
+        consumed: usize,
+    },
+    /// The buffer holds only a prefix; read more bytes and retry.
+    Partial,
+}
+
+fn is_token_byte(b: u8) -> bool {
+    // RFC 7230 token characters.
+    matches!(
+        b,
+        b'!' | b'#'
+            | b'$'
+            | b'%'
+            | b'&'
+            | b'\''
+            | b'*'
+            | b'+'
+            | b'-'
+            | b'.'
+            | b'^'
+            | b'_'
+            | b'`'
+            | b'|'
+            | b'~'
+    ) || b.is_ascii_alphanumeric()
+}
+
+fn hex_value(b: u8) -> Option<u8> {
+    match b {
+        b'0'..=b'9' => Some(b - b'0'),
+        b'a'..=b'f' => Some(b - b'a' + 10),
+        b'A'..=b'F' => Some(b - b'A' + 10),
+        _ => None,
+    }
+}
+
+/// Percent-decodes `raw`. `plus_is_space` applies the
+/// `application/x-www-form-urlencoded` convention used in query strings.
+///
+/// # Errors
+///
+/// [`ParseError::BadPercentEncoding`] on a truncated or non-hex escape,
+/// or when the decoded text contains a control byte (juridical query
+/// parameters have no business smuggling NUL or CR/LF).
+pub fn percent_decode(raw: &[u8], plus_is_space: bool) -> Result<String, ParseError> {
+    let mut out = Vec::with_capacity(raw.len());
+    let mut i = 0;
+    while i < raw.len() {
+        match raw[i] {
+            b'%' => {
+                let hi = raw.get(i + 1).copied().and_then(hex_value);
+                let lo = raw.get(i + 2).copied().and_then(hex_value);
+                match (hi, lo) {
+                    (Some(hi), Some(lo)) => out.push(hi << 4 | lo),
+                    _ => return Err(ParseError::BadPercentEncoding),
+                }
+                i += 3;
+            }
+            b'+' if plus_is_space => {
+                out.push(b' ');
+                i += 1;
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    if out.iter().any(|&b| b < 0x20 || b == 0x7F) {
+        return Err(ParseError::BadPercentEncoding);
+    }
+    String::from_utf8(out).map_err(|_| ParseError::BadPercentEncoding)
+}
+
+/// Percent-encodes one path segment or query token: unreserved bytes
+/// (`A–Z a–z 0–9 - . _ ~`) pass through, everything else becomes `%XX`.
+/// `percent_decode(percent_encode(s)) == s` for any `s` without control
+/// bytes — the round-trip the property suite pins.
+pub fn percent_encode(raw: &str) -> String {
+    let mut out = String::with_capacity(raw.len());
+    for &b in raw.as_bytes() {
+        match b {
+            b'A'..=b'Z' | b'a'..=b'z' | b'0'..=b'9' | b'-' | b'.' | b'_' | b'~' => {
+                out.push(b as char);
+            }
+            _ => out.push_str(&format!("%{b:02X}")),
+        }
+    }
+    out
+}
+
+fn parse_target(target: &[u8]) -> Result<(String, Vec<(String, String)>), ParseError> {
+    if target.first() != Some(&b'/') {
+        return Err(ParseError::BadRequestLine);
+    }
+    let (path_raw, query_raw) = match target.iter().position(|&b| b == b'?') {
+        Some(q) => (&target[..q], Some(&target[q + 1..])),
+        None => (target, None),
+    };
+    // '+' is literal in paths, space only in query strings.
+    let path = percent_decode(path_raw, false)?;
+    let mut query = Vec::new();
+    if let Some(query_raw) = query_raw {
+        for pair in query_raw.split(|&b| b == b'&').filter(|p| !p.is_empty()) {
+            let (key, value) = match pair.iter().position(|&b| b == b'=') {
+                Some(eq) => (&pair[..eq], &pair[eq + 1..]),
+                None => (pair, &pair[pair.len()..]),
+            };
+            query.push((percent_decode(key, true)?, percent_decode(value, true)?));
+        }
+    }
+    Ok((path, query))
+}
+
+/// Incrementally parses one request from the front of `buf`.
+///
+/// # Errors
+///
+/// A [`ParseError`] as soon as the bytes read so far cannot be a prefix
+/// of any acceptable request; the connection should answer 400/431/413
+/// and close.
+pub fn parse_request(buf: &[u8]) -> Result<Parsed, ParseError> {
+    // Locate the head terminator within the size limit.
+    let head_window = &buf[..buf.len().min(MAX_HEAD_BYTES)];
+    let head_end = head_window
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .map(|p| p + 4);
+    let Some(head_end) = head_end else {
+        if buf.len() >= MAX_HEAD_BYTES {
+            return Err(ParseError::HeadTooLarge);
+        }
+        return Ok(Parsed::Partial);
+    };
+
+    let head = &buf[..head_end - 4];
+    let mut lines = head.split(|&b| b == b'\n').map(|line| {
+        line.strip_suffix(b"\r").unwrap_or(line) // final line has no \r\n
+    });
+
+    // Request line: METHOD SP TARGET SP HTTP/1.x, exactly two spaces.
+    let request_line = lines.next().ok_or(ParseError::BadRequestLine)?;
+    let mut parts = request_line.split(|&b| b == b' ');
+    let method = parts.next().ok_or(ParseError::BadRequestLine)?;
+    let target = parts.next().ok_or(ParseError::BadRequestLine)?;
+    let version = parts.next().ok_or(ParseError::BadRequestLine)?;
+    if parts.next().is_some() || method.is_empty() || !method.iter().all(|&b| is_token_byte(b)) {
+        return Err(ParseError::BadRequestLine);
+    }
+    let http11 = match version {
+        b"HTTP/1.1" => true,
+        b"HTTP/1.0" => false,
+        v if v.starts_with(b"HTTP/") => return Err(ParseError::UnsupportedVersion),
+        _ => return Err(ParseError::BadRequestLine),
+    };
+    let (path, query) = parse_target(target)?;
+
+    // Header lines: token ':' OWS value.
+    let mut headers = Vec::new();
+    let mut content_length: Option<u64> = None;
+    for line in lines {
+        if headers.len() >= MAX_HEADERS {
+            return Err(ParseError::TooManyHeaders);
+        }
+        let colon = line
+            .iter()
+            .position(|&b| b == b':')
+            .ok_or(ParseError::BadHeader)?;
+        let (name, rest) = line.split_at(colon);
+        if name.is_empty() || !name.iter().all(|&b| is_token_byte(b)) {
+            return Err(ParseError::BadHeader);
+        }
+        let value = &rest[1..];
+        let value = std::str::from_utf8(value)
+            .map_err(|_| ParseError::BadHeader)?
+            .trim_matches([' ', '\t']);
+        let name = String::from_utf8(name.to_ascii_lowercase()).expect("token bytes are ASCII");
+        match name.as_str() {
+            "content-length" => {
+                // Strict decimal; a duplicate must agree exactly.
+                if value.is_empty() || !value.bytes().all(|b| b.is_ascii_digit()) {
+                    return Err(ParseError::BadContentLength);
+                }
+                let parsed: u64 = value.parse().map_err(|_| ParseError::BadContentLength)?;
+                if content_length.is_some_and(|previous| previous != parsed) {
+                    return Err(ParseError::BadContentLength);
+                }
+                content_length = Some(parsed);
+            }
+            "transfer-encoding" => return Err(ParseError::UnsupportedTransferEncoding),
+            _ => {}
+        }
+        headers.push((name, value.to_string()));
+    }
+
+    let body_len = match content_length {
+        None => 0,
+        Some(n) if n > MAX_BODY_BYTES as u64 => return Err(ParseError::BodyTooLarge),
+        Some(n) => n as usize,
+    };
+    if buf.len() < head_end + body_len {
+        return Ok(Parsed::Partial);
+    }
+
+    Ok(Parsed::Complete {
+        request: Request {
+            method: String::from_utf8(method.to_vec()).expect("token bytes are ASCII"),
+            path,
+            query,
+            http11,
+            headers,
+            body: buf[head_end..head_end + body_len].to_vec(),
+        },
+        consumed: head_end + body_len,
+    })
+}
+
+/// One HTTP response ready to be serialized.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// Status code (200, 404, …).
+    pub status: u16,
+    /// `Content-Type` of the body.
+    pub content_type: &'static str,
+    /// The body bytes.
+    pub body: Vec<u8>,
+    /// Extra headers (`WWW-Authenticate`, `Retry-After`, …).
+    pub extra_headers: Vec<(&'static str, String)>,
+}
+
+impl Response {
+    /// A JSON response.
+    pub fn json(status: u16, body: String) -> Self {
+        Response {
+            status,
+            content_type: "application/json",
+            body: body.into_bytes(),
+            extra_headers: Vec::new(),
+        }
+    }
+
+    /// A plain-text response.
+    pub fn text(status: u16, body: impl Into<String>) -> Self {
+        Response {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            body: body.into().into_bytes(),
+            extra_headers: Vec::new(),
+        }
+    }
+
+    /// Adds an extra header (builder style).
+    #[must_use]
+    pub fn with_header(mut self, name: &'static str, value: impl Into<String>) -> Self {
+        self.extra_headers.push((name, value.into()));
+        self
+    }
+}
+
+/// The reason phrase for the status codes this server emits.
+pub fn status_text(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        401 => "Unauthorized",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        501 => "Not Implemented",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Serializes a response head + body. `keep_alive` controls the
+/// `Connection` header (the caller closes the socket when false).
+pub fn render_response(response: &Response, keep_alive: bool) -> Vec<u8> {
+    let mut out = Vec::with_capacity(128 + response.body.len());
+    out.extend_from_slice(
+        format!(
+            "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: {}\r\n",
+            response.status,
+            status_text(response.status),
+            response.content_type,
+            response.body.len(),
+            if keep_alive { "keep-alive" } else { "close" },
+        )
+        .as_bytes(),
+    );
+    for (name, value) in &response.extra_headers {
+        out.extend_from_slice(format!("{name}: {value}\r\n").as_bytes());
+    }
+    out.extend_from_slice(b"\r\n");
+    out.extend_from_slice(&response.body);
+    out
+}
+
+/// The status code a [`ParseError`] maps to on the wire.
+pub fn error_status(error: &ParseError) -> u16 {
+    match error {
+        ParseError::HeadTooLarge | ParseError::TooManyHeaders => 431,
+        ParseError::BodyTooLarge => 413,
+        ParseError::UnsupportedTransferEncoding => 501,
+        _ => 400,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_str(s: &str) -> Result<Parsed, ParseError> {
+        parse_request(s.as_bytes())
+    }
+
+    #[test]
+    fn parses_a_minimal_get() {
+        let Parsed::Complete { request, consumed } =
+            parse_str("GET /healthz HTTP/1.1\r\nhost: x\r\n\r\n").unwrap()
+        else {
+            panic!("complete request expected");
+        };
+        assert_eq!(request.method, "GET");
+        assert_eq!(request.path, "/healthz");
+        assert!(request.query.is_empty());
+        assert!(request.http11);
+        assert!(request.keep_alive());
+        assert_eq!(request.header("host"), Some("x"));
+        assert_eq!(consumed, "GET /healthz HTTP/1.1\r\nhost: x\r\n\r\n".len());
+    }
+
+    #[test]
+    fn decodes_query_parameters() {
+        let Parsed::Complete { request, .. } =
+            parse_str("GET /v1/trains?from_ms=5&note=a%20b+c HTTP/1.1\r\n\r\n").unwrap()
+        else {
+            panic!("complete");
+        };
+        assert_eq!(request.query_param("from_ms"), Some("5"));
+        assert_eq!(request.query_param("note"), Some("a b c"));
+    }
+
+    #[test]
+    fn body_requires_content_length_bytes() {
+        let head = "POST /x HTTP/1.1\r\ncontent-length: 4\r\n\r\nab";
+        assert_eq!(parse_str(head).unwrap(), Parsed::Partial);
+        let full = "POST /x HTTP/1.1\r\ncontent-length: 4\r\n\r\nabcd";
+        let Parsed::Complete { request, .. } = parse_str(full).unwrap() else {
+            panic!("complete");
+        };
+        assert_eq!(request.body, b"abcd");
+    }
+
+    #[test]
+    fn rejects_bad_content_length_and_transfer_encoding() {
+        assert_eq!(
+            parse_str("GET / HTTP/1.1\r\ncontent-length: 12x\r\n\r\n"),
+            Err(ParseError::BadContentLength)
+        );
+        assert_eq!(
+            parse_str("GET / HTTP/1.1\r\ncontent-length: 4\r\ncontent-length: 5\r\n\r\n"),
+            Err(ParseError::BadContentLength)
+        );
+        assert_eq!(
+            parse_str("GET / HTTP/1.1\r\ntransfer-encoding: chunked\r\n\r\n"),
+            Err(ParseError::UnsupportedTransferEncoding)
+        );
+    }
+
+    #[test]
+    fn rejects_oversized_heads() {
+        let mut big = b"GET / HTTP/1.1\r\nx: ".to_vec();
+        big.extend(std::iter::repeat_n(b'a', MAX_HEAD_BYTES));
+        assert_eq!(parse_request(&big), Err(ParseError::HeadTooLarge));
+    }
+
+    #[test]
+    fn connection_header_controls_keep_alive() {
+        let close = "GET / HTTP/1.1\r\nconnection: close\r\n\r\n";
+        let Parsed::Complete { request, .. } = parse_str(close).unwrap() else {
+            panic!("complete");
+        };
+        assert!(!request.keep_alive());
+        let old = "GET / HTTP/1.0\r\n\r\n";
+        let Parsed::Complete { request, .. } = parse_str(old).unwrap() else {
+            panic!("complete");
+        };
+        assert!(!request.keep_alive());
+    }
+
+    #[test]
+    fn render_response_is_parseable_text() {
+        let rendered = render_response(&Response::json(200, "{}".to_string()), true);
+        let text = String::from_utf8(rendered).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("content-length: 2\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}"));
+    }
+}

@@ -1,0 +1,154 @@
+//! Per-client token-bucket rate limiting.
+//!
+//! The on-train node bounds per-origin work with `open_by_origin` slot
+//! accounting: a map from origin to open work that drains back to empty
+//! so it stays bounded no matter how much traffic flows through. The
+//! serving side reuses that idea at reader scale — one bucket per
+//! client identity (bearer token, or peer address on an open server),
+//! and a pruning pass that drops buckets which have refilled to full,
+//! because a full bucket is indistinguishable from no bucket at all.
+//!
+//! Time is injected (`now_ms`) rather than read from a clock, matching
+//! the repo's determinism discipline: unit tests replay exact refill
+//! schedules, and the server threads its own monotonic clock through.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// Buckets at or above this count trigger a prune of full (idle)
+/// buckets on the next acquire.
+const PRUNE_THRESHOLD: usize = 4096;
+
+#[derive(Debug, Clone, Copy)]
+struct Bucket {
+    /// Remaining capacity in millitokens (1 request = 1000).
+    millitokens: u64,
+    /// Last refill time.
+    last_ms: u64,
+}
+
+/// A token-bucket rate limiter keyed by client identity.
+#[derive(Debug)]
+pub struct RateLimiter {
+    /// Sustained allowance in requests per second; 0 disables limiting.
+    per_sec: u64,
+    /// Instantaneous burst allowance in requests.
+    burst: u64,
+    buckets: Mutex<HashMap<String, Bucket>>,
+}
+
+impl RateLimiter {
+    /// A limiter allowing `per_sec` sustained requests with bursts up
+    /// to `burst` (clamped to at least 1 when limiting is on).
+    pub fn new(per_sec: u64, burst: u64) -> Self {
+        RateLimiter {
+            per_sec,
+            burst: if per_sec == 0 { 0 } else { burst.max(1) },
+            buckets: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// A limiter that admits everything.
+    pub fn unlimited() -> Self {
+        RateLimiter::new(0, 0)
+    }
+
+    /// Whether limiting is enabled at all.
+    pub fn enabled(&self) -> bool {
+        self.per_sec > 0
+    }
+
+    /// Admits or rejects one request from `client` at time `now_ms`.
+    pub fn try_acquire(&self, client: &str, now_ms: u64) -> bool {
+        if self.per_sec == 0 {
+            return true;
+        }
+        let cap = self.burst * 1000;
+        let mut buckets = self.buckets.lock().unwrap_or_else(|e| e.into_inner());
+        if buckets.len() >= PRUNE_THRESHOLD {
+            // Slot accounting: a bucket refilled to capacity carries no
+            // information — drop it so the map stays bounded by the
+            // number of *recently throttled* clients, not all clients.
+            let per_sec = self.per_sec;
+            buckets.retain(|_, b| {
+                let refilled = b
+                    .millitokens
+                    .saturating_add(now_ms.saturating_sub(b.last_ms).saturating_mul(per_sec));
+                refilled < cap
+            });
+        }
+        let bucket = buckets.entry(client.to_string()).or_insert(Bucket {
+            millitokens: cap,
+            last_ms: now_ms,
+        });
+        // Refill: per_sec requests/s is exactly per_sec millitokens/ms.
+        let elapsed = now_ms.saturating_sub(bucket.last_ms);
+        bucket.millitokens = cap.min(
+            bucket
+                .millitokens
+                .saturating_add(elapsed.saturating_mul(self.per_sec)),
+        );
+        bucket.last_ms = now_ms;
+        if bucket.millitokens >= 1000 {
+            bucket.millitokens -= 1000;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Number of live buckets (test/metrics hook).
+    pub fn tracked_clients(&self) -> usize {
+        self.buckets.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn burst_then_sustained_rate() {
+        let limiter = RateLimiter::new(10, 5);
+        // Burst of 5 admitted instantly, the 6th rejected.
+        for _ in 0..5 {
+            assert!(limiter.try_acquire("a", 0));
+        }
+        assert!(!limiter.try_acquire("a", 0));
+        // 100ms at 10/s refills exactly one token.
+        assert!(limiter.try_acquire("a", 100));
+        assert!(!limiter.try_acquire("a", 100));
+        // 99ms is one millitoken short.
+        assert!(!limiter.try_acquire("a", 199));
+        assert!(limiter.try_acquire("a", 200));
+    }
+
+    #[test]
+    fn clients_are_isolated() {
+        let limiter = RateLimiter::new(1, 1);
+        assert!(limiter.try_acquire("a", 0));
+        assert!(!limiter.try_acquire("a", 0));
+        assert!(limiter.try_acquire("b", 0));
+    }
+
+    #[test]
+    fn unlimited_admits_everything() {
+        let limiter = RateLimiter::unlimited();
+        for i in 0..10_000 {
+            assert!(limiter.try_acquire("a", i % 3));
+        }
+        assert!(!limiter.enabled());
+    }
+
+    #[test]
+    fn full_buckets_are_pruned_so_the_map_stays_bounded() {
+        let limiter = RateLimiter::new(1000, 1);
+        for i in 0..2 * PRUNE_THRESHOLD as u64 {
+            // Each client makes one request and then goes idle; by the
+            // time the prune threshold trips, earlier buckets have long
+            // refilled and must be dropped.
+            assert!(limiter.try_acquire(&format!("client-{i}"), i * 10));
+        }
+        assert!(limiter.tracked_clients() < PRUNE_THRESHOLD + 2);
+    }
+}

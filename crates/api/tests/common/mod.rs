@@ -1,0 +1,117 @@
+//! Shared fixture for the serving-layer tests: genuinely-signed
+//! certified segments, so every byte the API serves went through the
+//! same verification path as real export traffic. Mirrors the archive
+//! crate's test fixture (test support cannot be shared across crates).
+
+use zugchain_blockchain::{Block, BlockBuilder, LoggedRequest};
+use zugchain_crypto::{KeyPair, Keystore};
+use zugchain_export::CertifiedSegment;
+use zugchain_mvb::PortAddress;
+use zugchain_pbft::{Checkpoint, CheckpointProof, Message, NodeId};
+use zugchain_signals::{Request, SignalValue, TrainEvent};
+use zugchain_wire::TrainId;
+
+/// 4 replicas, f = 1 → quorum 3.
+pub const QUORUM: usize = 3;
+
+pub fn keys() -> (Vec<KeyPair>, Keystore) {
+    Keystore::generate(4, 0xA91_F00D)
+}
+
+/// A stable-checkpoint certificate all `pairs` sign.
+pub fn certify(pairs: &[KeyPair], sn: u64, head: &Block) -> CheckpointProof {
+    let checkpoint = Checkpoint {
+        sn,
+        state_digest: head.hash(),
+    };
+    let message = zugchain_wire::to_bytes(&Message::Checkpoint(checkpoint));
+    let signatures = pairs
+        .iter()
+        .enumerate()
+        .map(|(id, pair)| (NodeId(id as u64), pair.sign(&message)))
+        .collect();
+    CheckpointProof {
+        checkpoint,
+        signatures,
+    }
+}
+
+/// Canonical payload bytes for one decoded signal event.
+pub fn signal_payload(cycle: u64, time_ms: u64, value: SignalValue) -> Vec<u8> {
+    zugchain_wire::to_bytes(&Request {
+        cycle,
+        time_ms,
+        events: vec![TrainEvent {
+            name: "v_actual".to_string(),
+            port: PortAddress(0x42),
+            cycle,
+            time_ms,
+            value,
+        }],
+    })
+}
+
+/// Builds `n_segments` contiguous certified segments of
+/// `blocks_per_segment` blocks each (2 requests per block), chained off
+/// `base` (pass [`Block::genesis`] for a fresh chain), continuing the
+/// request numbering from the base head's `last_sn`. Returning the new
+/// head lets a test keep extending the same chain incrementally — the
+/// concurrent-ingest suites lean on that.
+pub fn extend_chain(
+    train: TrainId,
+    pairs: &[KeyPair],
+    base: &Block,
+    n_segments: usize,
+    blocks_per_segment: usize,
+) -> (Vec<CertifiedSegment>, Block) {
+    let mut builder = BlockBuilder::resume(2, base.height(), base.hash());
+    let mut sn = base.header.last_sn;
+    let mut base = base.clone();
+    let mut segments = Vec::new();
+    for _ in 0..n_segments {
+        let mut blocks = Vec::new();
+        while blocks.len() < blocks_per_segment {
+            sn += 1;
+            let time_ms = sn * 100;
+            let payload = signal_payload(sn, time_ms, SignalValue::U16(sn as u16));
+            if let Some(block) = builder.push(
+                LoggedRequest {
+                    sn,
+                    origin: sn % 4,
+                    payload,
+                },
+                time_ms,
+            ) {
+                blocks.push(block);
+            }
+        }
+        let head = blocks.last().expect("nonempty").clone();
+        segments.push(CertifiedSegment {
+            train,
+            base_height: base.height(),
+            base_hash: base.hash(),
+            blocks,
+            proof: certify(pairs, sn, &head),
+        });
+        base = head;
+    }
+    (segments, base)
+}
+
+/// As [`extend_chain`] from genesis, discarding the head.
+#[allow(dead_code)] // not every test binary extends the chain afterwards
+pub fn certified_chain_for_train(
+    train: TrainId,
+    pairs: &[KeyPair],
+    n_segments: usize,
+    blocks_per_segment: usize,
+) -> Vec<CertifiedSegment> {
+    extend_chain(
+        train,
+        pairs,
+        &Block::genesis(),
+        n_segments,
+        blocks_per_segment,
+    )
+    .0
+}

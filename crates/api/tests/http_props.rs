@@ -1,0 +1,201 @@
+//! Property tests for the serving layer's HTTP parser, in the same
+//! style as the archive's wire-codec suites: anything the encoder can
+//! produce must round-trip exactly, every strict prefix of a valid
+//! request must parse as [`Parsed::Partial`] (never an error, never a
+//! phantom request), and the documented rejection classes — oversized
+//! heads, header floods, malformed `Content-Length` — must reject for
+//! *every* instance, not just the hand-picked unit-test ones.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use proptest::test_runner::TestCaseError;
+use zugchain_api::http::{
+    parse_request, percent_decode, percent_encode, ParseError, Parsed, MAX_HEADERS, MAX_HEAD_BYTES,
+};
+
+/// Arbitrary text with control characters stripped — the decoded form
+/// the parser promises to round-trip (it rejects control bytes on
+/// principle, so they cannot appear on either side of the trip).
+fn no_control() -> impl Strategy<Value = String> {
+    any::<String>().prop_map(|s| s.chars().filter(|c| !c.is_control()).collect())
+}
+
+/// A nonempty RFC 7230 token usable as a header name; alphanumeric
+/// only, so it can never collide with `content-length` or
+/// `transfer-encoding`.
+fn header_name() -> impl Strategy<Value = String> {
+    (any::<String>(), any::<u64>()).prop_map(|(s, salt)| {
+        let name: String = s.chars().filter(char::is_ascii_alphanumeric).collect();
+        if name.is_empty() {
+            format!("h{}", salt % 100)
+        } else {
+            name
+        }
+    })
+}
+
+/// Printable-ASCII header values (no CR/LF, no control bytes).
+fn printable_ascii() -> impl Strategy<Value = String> {
+    any::<String>().prop_map(|s| s.chars().filter(|c| (' '..='~').contains(c)).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// `percent_decode(percent_encode(s)) == s` for any control-free
+    /// text, in both path mode and query mode (`+` is only special in
+    /// the latter, and `percent_encode` never emits a bare `+`).
+    #[test]
+    fn percent_coding_round_trips(text in no_control()) {
+        let encoded = percent_encode(&text);
+        prop_assert_eq!(percent_decode(encoded.as_bytes(), false).unwrap(), text.clone());
+        prop_assert_eq!(percent_decode(encoded.as_bytes(), true).unwrap(), text);
+    }
+
+    /// A request line built from arbitrary (control-free) path segments
+    /// and query pairs survives encode → parse exactly: same segments,
+    /// same pairs, same order.
+    #[test]
+    fn request_target_round_trips(
+        segments in vec(no_control(), 1..4),
+        query in vec((no_control(), no_control()), 1..4),
+    ) {
+        let mut target = String::new();
+        let mut expected_path = String::new();
+        for segment in &segments {
+            target.push('/');
+            target.push_str(&percent_encode(segment));
+            expected_path.push('/');
+            expected_path.push_str(segment);
+        }
+        target.push('?');
+        let encoded: Vec<String> = query
+            .iter()
+            .map(|(k, v)| format!("{}={}", percent_encode(k), percent_encode(v)))
+            .collect();
+        target.push_str(&encoded.join("&"));
+        let raw = format!("GET {target} HTTP/1.1\r\nhost: prop\r\n\r\n");
+
+        let Parsed::Complete { request, consumed } = parse_request(raw.as_bytes()).unwrap() else {
+            return Err(TestCaseError::fail("complete request expected"));
+        };
+        prop_assert_eq!(consumed, raw.len());
+        prop_assert_eq!(request.path, expected_path);
+        prop_assert_eq!(request.query, query);
+    }
+
+    /// Header fields round-trip with names lowercased and optional
+    /// whitespace trimmed — and nothing else changed.
+    #[test]
+    fn headers_round_trip(
+        headers in vec((header_name(), printable_ascii()), 1..8),
+    ) {
+        let mut raw = String::from("GET / HTTP/1.1\r\n");
+        for (name, value) in &headers {
+            raw.push_str(&format!("{name}: {value}\r\n"));
+        }
+        raw.push_str("\r\n");
+
+        let Parsed::Complete { request, .. } = parse_request(raw.as_bytes()).unwrap() else {
+            return Err(TestCaseError::fail("complete request expected"));
+        };
+        let expected: Vec<(String, String)> = headers
+            .iter()
+            .map(|(n, v)| (n.to_ascii_lowercase(), v.trim_matches([' ', '\t']).to_string()))
+            .collect();
+        prop_assert_eq!(request.headers, expected);
+    }
+
+    /// Every strict prefix of a valid request-with-body is `Partial` —
+    /// never an error, never a phantom complete request — and the full
+    /// buffer consumes exactly its own length, so pipelined successors
+    /// are untouched.
+    #[test]
+    fn strict_prefixes_are_partial(
+        segment in any::<u64>(),
+        body in vec(any::<u8>(), 1..48),
+    ) {
+        let mut raw = format!(
+            "POST /p{segment} HTTP/1.1\r\nhost: prop\r\ncontent-length: {}\r\n\r\n",
+            body.len()
+        )
+        .into_bytes();
+        raw.extend_from_slice(&body);
+
+        for cut in 0..raw.len() {
+            prop_assert_eq!(
+                parse_request(&raw[..cut]),
+                Ok(Parsed::Partial),
+                "prefix of length {} of a {}-byte request was not Partial",
+                cut,
+                raw.len(),
+            );
+        }
+        let Parsed::Complete { request, consumed } = parse_request(&raw).unwrap() else {
+            return Err(TestCaseError::fail("complete request expected"));
+        };
+        prop_assert_eq!(consumed, raw.len());
+        prop_assert_eq!(request.body, body);
+    }
+
+    /// A head that reaches [`MAX_HEAD_BYTES`] without terminating is
+    /// rejected as `HeadTooLarge` no matter how far past the limit the
+    /// buffer runs.
+    #[test]
+    fn oversized_heads_are_rejected(extra in 0usize..256) {
+        let mut raw = b"GET / HTTP/1.1\r\nx: ".to_vec();
+        raw.resize(MAX_HEAD_BYTES + extra, b'a');
+        prop_assert_eq!(parse_request(&raw), Err(ParseError::HeadTooLarge));
+    }
+
+    /// More than [`MAX_HEADERS`] fields is rejected as `TooManyHeaders`
+    /// even when every individual field is well formed.
+    #[test]
+    fn header_floods_are_rejected(extra in 1usize..8) {
+        let mut raw = String::from("GET / HTTP/1.1\r\n");
+        for i in 0..MAX_HEADERS + extra {
+            raw.push_str(&format!("h{i}: v\r\n"));
+        }
+        raw.push_str("\r\n");
+        prop_assert_eq!(
+            parse_request(raw.as_bytes()),
+            Err(ParseError::TooManyHeaders)
+        );
+    }
+
+    /// Any `Content-Length` value that is not a plain decimal number is
+    /// rejected as `BadContentLength` — no leniency for signs, spaces
+    /// inside, hex, or trailing junk.
+    #[test]
+    fn malformed_content_length_is_rejected(value in printable_ascii()) {
+        let trimmed = value.trim_matches([' ', '\t']);
+        prop_assume!(trimmed.is_empty() || !trimmed.bytes().all(|b| b.is_ascii_digit()));
+
+        let raw = format!("GET / HTTP/1.1\r\ncontent-length: {value}\r\n\r\n");
+        prop_assert_eq!(
+            parse_request(raw.as_bytes()),
+            Err(ParseError::BadContentLength)
+        );
+    }
+
+    /// Two `Content-Length` fields that disagree are rejected — the
+    /// classic request-smuggling vector.
+    #[test]
+    fn disagreeing_content_lengths_are_rejected(a in 0u64..1000, b in 0u64..1000) {
+        prop_assume!(a != b);
+        let raw = format!(
+            "GET / HTTP/1.1\r\ncontent-length: {a}\r\ncontent-length: {b}\r\n\r\n"
+        );
+        prop_assert_eq!(
+            parse_request(raw.as_bytes()),
+            Err(ParseError::BadContentLength)
+        );
+    }
+
+    /// The parser never panics on arbitrary bytes; it always returns
+    /// Partial, Complete, or a typed error.
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in vec(any::<u8>(), 1..512)) {
+        let _ = parse_request(&bytes);
+    }
+}

@@ -1,0 +1,224 @@
+//! Pagination invariants for the serving layer: a cursor walk over a
+//! multi-segment archive must return every block exactly once, in
+//! order — including while a writer keeps ingesting new certified
+//! segments under the reader's feet. The cursor (`next_sn` = head
+//! block's `last_sn + 1`) survives concurrent appends because blocks
+//! carry contiguous ascending request ranges: a page boundary is a
+//! request number, not a byte offset, so nothing the writer appends can
+//! shift blocks the reader has already walked past.
+
+mod common;
+
+use std::sync::Arc;
+
+use zugchain_api::{ApiConfig, ApiServer, Backend, HttpClient};
+use zugchain_archive::{Archive, QueryEngine};
+use zugchain_wire::TrainId;
+
+use common::{extend_chain, keys, QUORUM};
+
+const TRAIN: TrainId = TrainId(7);
+
+/// Walks `engine` from sn 1 with the given page `limit`, collecting the
+/// `(first_sn, last_sn)` of every returned block, until a page comes
+/// back empty. Asserts in-order/exactly-once as it goes.
+fn cursor_walk(engine: &QueryEngine, limit: usize) -> Vec<(u64, u64)> {
+    let mut covered: Vec<(u64, u64)> = Vec::new();
+    let mut from_sn = 1u64;
+    loop {
+        let page = engine.page_by_sn(from_sn, limit);
+        assert!(page.len() <= limit, "page exceeded its limit");
+        let Some(last) = page.last() else {
+            return covered;
+        };
+        for info in &page {
+            let expected = covered.last().map_or(1, |(_, last_sn)| last_sn + 1);
+            assert_eq!(
+                info.first_sn,
+                expected,
+                "walk skipped or repeated requests: block at height {} starts at sn {} \
+                 but the previous block ended at sn {}",
+                info.height,
+                info.first_sn,
+                expected - 1,
+            );
+            assert!(info.last_sn >= info.first_sn, "empty block range");
+            covered.push((info.first_sn, info.last_sn));
+        }
+        from_sn = last.last_sn + 1;
+    }
+}
+
+#[test]
+fn cursor_walk_covers_a_static_archive_exactly_once() {
+    let (pairs, keystore) = keys();
+    let mut archive = Archive::in_memory_for_train(TRAIN, keystore, QUORUM);
+    let (segments, head) =
+        extend_chain(TRAIN, &pairs, &zugchain_blockchain::Block::genesis(), 5, 4);
+    for segment in &segments {
+        archive.ingest(segment).unwrap();
+    }
+    let total_blocks = 5 * 4;
+    let engine = QueryEngine::new(archive);
+
+    // Walk at several page sizes, including ones that straddle segment
+    // boundaries and one larger than the whole archive.
+    for limit in [1, 2, 3, 7, 64] {
+        let covered = cursor_walk(&engine, limit);
+        assert_eq!(covered.len(), total_blocks, "limit {limit} lost blocks");
+        assert_eq!(
+            covered.last().unwrap().1,
+            head.header.last_sn,
+            "limit {limit} did not reach the head",
+        );
+    }
+}
+
+#[test]
+fn cursor_walk_is_exact_under_concurrent_ingest() {
+    let (pairs, keystore) = keys();
+    let mut archive = Archive::in_memory_for_train(TRAIN, keystore, QUORUM);
+
+    // Seed the archive, then hand the rest of the chain to a writer
+    // thread that ingests while readers walk.
+    let genesis = zugchain_blockchain::Block::genesis();
+    let (seed, seed_head) = extend_chain(TRAIN, &pairs, &genesis, 3, 3);
+    for segment in &seed {
+        archive.ingest(segment).unwrap();
+    }
+    let (rest, final_head) = extend_chain(TRAIN, &pairs, &seed_head, 40, 2);
+    let engine = QueryEngine::new(archive);
+
+    let writer = {
+        let engine = engine.clone();
+        std::thread::spawn(move || {
+            for segment in &rest {
+                engine.ingest(segment).unwrap();
+                std::thread::yield_now();
+            }
+        })
+    };
+
+    // Readers walk with small pages while the writer appends. Everything
+    // present when a walk *starts* must come back in order with no gaps;
+    // later appends may or may not ride along at the tail.
+    let mut walks = 0;
+    loop {
+        let start_sn = engine
+            .with_archive(|a| a.blocks().last().map(|b| b.header.last_sn))
+            .expect("seeded archive has blocks");
+        let covered = cursor_walk(&engine, 3);
+        walks += 1;
+        let reached = covered.last().expect("walk returned blocks").1;
+        assert!(
+            reached >= start_sn,
+            "walk reached sn {reached} but sn {start_sn} existed when it started",
+        );
+        if writer.is_finished() {
+            break;
+        }
+    }
+    writer.join().unwrap();
+
+    // One final walk sees the complete chain, exactly once, in order.
+    let covered = cursor_walk(&engine, 3);
+    assert_eq!(covered.len(), 3 * 3 + 40 * 2);
+    assert_eq!(covered.first().unwrap().0, 1);
+    assert_eq!(covered.last().unwrap().1, final_head.header.last_sn);
+    assert!(walks >= 1);
+}
+
+/// Extracts the u64 after `"<field>":` in a JSON body (the serving
+/// layer's encoder emits no whitespace). Returns `None` for `null`.
+fn json_u64(body: &str, field: &str) -> Option<u64> {
+    let needle = format!("\"{field}\":");
+    let at = body.find(&needle)? + needle.len();
+    let rest = &body[at..];
+    if rest.starts_with("null") {
+        return None;
+    }
+    let digits: String = rest.chars().take_while(|c| c.is_ascii_digit()).collect();
+    digits.parse().ok()
+}
+
+#[test]
+fn http_cursor_walk_matches_the_engine() {
+    let (pairs, keystore) = keys();
+    let mut archive = Archive::in_memory_for_train(TRAIN, keystore, QUORUM);
+    let (segments, head) =
+        extend_chain(TRAIN, &pairs, &zugchain_blockchain::Block::genesis(), 4, 3);
+    for segment in &segments {
+        archive.ingest(segment).unwrap();
+    }
+    let engine = QueryEngine::new(archive);
+    let registry = Arc::new(zugchain_telemetry::Registry::new());
+    let mut server =
+        ApiServer::start(ApiConfig::open(), Backend::Single(engine), registry).unwrap();
+    let mut client = HttpClient::new(server.address());
+
+    // Walk over real HTTP with limit 5 (straddles the 3-block segments).
+    let mut from_sn = 1u64;
+    let mut covered: Vec<(u64, u64)> = Vec::new();
+    loop {
+        let response = client
+            .get(
+                &format!("/v1/trains/7/blocks?from_sn={from_sn}&limit=5"),
+                None,
+            )
+            .unwrap();
+        assert_eq!(response.status, 200);
+        let body = response.text();
+        let count = json_u64(&body, "count").unwrap();
+        if count == 0 {
+            assert_eq!(json_u64(&body, "next_sn"), None, "empty page has no cursor");
+            break;
+        }
+        // Each block object carries first_sn/last_sn; scan them in order.
+        let mut rest = body.as_str();
+        for _ in 0..count {
+            let at = rest.find("\"first_sn\":").expect("block has first_sn");
+            rest = &rest[at..];
+            let first_sn = json_u64(rest, "first_sn").unwrap();
+            let last_sn = json_u64(rest, "last_sn").unwrap();
+            let expected = covered.last().map_or(1, |(_, last)| last + 1);
+            assert_eq!(first_sn, expected, "HTTP walk skipped or repeated requests");
+            covered.push((first_sn, last_sn));
+            rest = &rest[1..];
+        }
+        from_sn = json_u64(&body, "next_sn").expect("nonempty page has a cursor");
+    }
+
+    assert_eq!(covered.len(), 4 * 3);
+    assert_eq!(covered.last().unwrap().1, head.header.last_sn);
+    server.stop();
+}
+
+#[test]
+fn page_by_sn_starts_at_the_covering_block() {
+    // A from_sn inside a block's range must return that block first —
+    // the cursor `last_sn + 1` always lands exactly on the next block's
+    // first_sn, but a client resuming from an arbitrary request number
+    // must not lose the block covering it.
+    let (pairs, keystore) = keys();
+    let mut archive = Archive::in_memory_for_train(TRAIN, keystore, QUORUM);
+    let (segments, _) = extend_chain(TRAIN, &pairs, &zugchain_blockchain::Block::genesis(), 3, 3);
+    for segment in &segments {
+        archive.ingest(segment).unwrap();
+    }
+    let engine = QueryEngine::new(archive);
+
+    // Blocks hold 2 requests: block k covers sns 2k-1..=2k.
+    for sn in 1..=18u64 {
+        let page = engine.page_by_sn(sn, 1);
+        assert_eq!(page.len(), 1, "sn {sn} found no covering block");
+        let info = &page[0];
+        assert!(
+            info.first_sn <= sn && sn <= info.last_sn,
+            "sn {sn} resolved to block {}..={}",
+            info.first_sn,
+            info.last_sn,
+        );
+    }
+    // Past the head: empty page, not an error.
+    assert!(engine.page_by_sn(19, 1).is_empty());
+}

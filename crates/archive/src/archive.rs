@@ -586,6 +586,41 @@ impl Archive {
         self.block_at(self.index.height_of_sn(sn)?)
     }
 
+    /// One page of a cursor walk over the chain, ordered by height.
+    ///
+    /// Returns up to `limit` summaries of blocks whose sn range ends at
+    /// or after `from_sn` — i.e. the page starts at the block containing
+    /// `from_sn` (or the first block after a pruned gap). Because blocks
+    /// carry contiguous ascending sn ranges and the archive is
+    /// append-only, resuming with `last_sn + 1` of the final returned
+    /// block yields every block exactly once, in order, even while new
+    /// segments are being ingested between pages.
+    pub fn page_by_sn(&self, from_sn: u64, limit: usize) -> Vec<BlockInfo> {
+        let mut out = Vec::with_capacity(limit.min(256));
+        let seg_idx = self
+            .segments
+            .partition_point(|s| !s.blocks.last().is_some_and(|b| b.header.last_sn >= from_sn));
+        'segments: for segment in &self.segments[seg_idx..] {
+            let start = segment
+                .blocks
+                .partition_point(|b| b.header.last_sn < from_sn);
+            for block in &segment.blocks[start..] {
+                if out.len() >= limit {
+                    break 'segments;
+                }
+                out.push(BlockInfo::of(block));
+            }
+        }
+        out
+    }
+
+    /// Builds the [`AuditBundle`] for the block containing sequence
+    /// number `sn` — the shape the serving layer's bundle download uses
+    /// (readers know sns from block pages, not archive heights).
+    pub fn bundle_by_sn(&self, sn: u64) -> Option<AuditBundle> {
+        self.audit_bundle(self.index.height_of_sn(sn)?)
+    }
+
     fn resolve(&self, locations: Vec<RequestLocation>) -> Vec<(u64, u64, Request)> {
         let mut out = Vec::with_capacity(locations.len());
         for location in locations {
@@ -661,6 +696,40 @@ impl Archive {
             .into_iter()
             .filter_map(|h| self.audit_bundle(h))
             .collect()
+    }
+}
+
+/// Summary of one archived block, the unit of the serving layer's
+/// cursor pagination — everything a reader needs to walk the chain and
+/// decide which blocks to pull full [`AuditBundle`]s for, without
+/// shipping payload bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockInfo {
+    /// Chain height of the block.
+    pub height: u64,
+    /// Hash of the block (header + payload commitment).
+    pub hash: Digest,
+    /// First BFT sequence number logged in the block.
+    pub first_sn: u64,
+    /// Last BFT sequence number logged in the block.
+    pub last_sn: u64,
+    /// Bus time stamped into the block.
+    pub time_ms: u64,
+    /// Number of logged requests in the block.
+    pub requests: usize,
+}
+
+impl BlockInfo {
+    /// Summarizes one archived block.
+    pub fn of(block: &Block) -> Self {
+        BlockInfo {
+            height: block.header.height,
+            hash: block.hash(),
+            first_sn: block.header.first_sn,
+            last_sn: block.header.last_sn,
+            time_ms: block.header.time_ms,
+            requests: block.requests.len(),
+        }
     }
 }
 
@@ -755,5 +824,23 @@ impl QueryEngine {
     /// See [`Archive::audit_bundles_in`].
     pub fn audit_bundles_in(&self, from_ms: u64, to_ms: u64) -> Vec<AuditBundle> {
         self.read().audit_bundles_in(from_ms, to_ms)
+    }
+
+    /// See [`Archive::page_by_sn`].
+    pub fn page_by_sn(&self, from_sn: u64, limit: usize) -> Vec<BlockInfo> {
+        self.read().page_by_sn(from_sn, limit)
+    }
+
+    /// See [`Archive::bundle_by_sn`].
+    pub fn bundle_by_sn(&self, sn: u64) -> Option<AuditBundle> {
+        self.read().bundle_by_sn(sn)
+    }
+
+    /// Runs `f` under the read lock — the serving layer uses this to
+    /// compute a response and observe the segment count in one atomic
+    /// snapshot (the cache-key soundness argument needs both to come
+    /// from the same lock acquisition).
+    pub fn with_archive<R>(&self, f: impl FnOnce(&Archive) -> R) -> R {
+        f(&self.read())
     }
 }

@@ -9,7 +9,12 @@
 //!
 //! ```text
 //! zugchain-audit --keys replica-keys.txt --quorum 3 bundle1.zab bundle2.zab
+//! curl .../v1/trains/7/bundle/42 | zugchain-audit --keys keys.txt --quorum 3 -
 //! ```
+//!
+//! The path `-` reads one bundle from stdin — the serving layer's
+//! `/v1/trains/<id>/bundle/<sn>` download uses the same `.zab` framing
+//! as bundle files, so fetched bytes pipe straight into verification.
 //!
 //! In a fleet, `--train <id>` restricts the audit to one vehicle: a
 //! bundle tagged with another train fails with a diagnostic, as does a
@@ -61,6 +66,8 @@ fn parse_args() -> Result<Args, String> {
                 train = Some(TrainId::parse(&value).ok_or(format!("invalid train id `{value}`"))?);
             }
             "--help" | "-h" => return Err(USAGE.to_string()),
+            // `-` is a bundle read from stdin, not a flag.
+            "-" => bundles.push(PathBuf::from("-")),
             _ if arg.starts_with('-') => return Err(format!("unknown flag `{arg}`\n{USAGE}")),
             _ => bundles.push(PathBuf::from(arg)),
         }
@@ -126,21 +133,29 @@ fn main() -> ExitCode {
 
     let mut failures = 0usize;
     for path in &args.bundles {
-        let verdict = AuditBundle::read_from(path)
-            .map_err(|e| e.to_string())
-            .and_then(|bundle| {
-                if let Some(train) = train {
-                    if bundle.train != train {
-                        return Err(format!(
-                            "bundle is from train {}, not requested train {train}",
-                            bundle.train
-                        ));
-                    }
+        let loaded = if path.as_os_str() == "-" {
+            // One `.zab`-framed bundle on stdin, e.g. piped from the
+            // serving layer's bundle download.
+            let mut raw = Vec::new();
+            std::io::Read::read_to_end(&mut std::io::stdin().lock(), &mut raw)
+                .map_err(|e| e.to_string())
+                .and_then(|_| AuditBundle::from_zab_bytes(&raw).map_err(|e| e.to_string()))
+        } else {
+            AuditBundle::read_from(path).map_err(|e| e.to_string())
+        };
+        let verdict = loaded.and_then(|bundle| {
+            if let Some(train) = train {
+                if bundle.train != train {
+                    return Err(format!(
+                        "bundle is from train {}, not requested train {train}",
+                        bundle.train
+                    ));
                 }
-                bundle
-                    .verify(&keystore, args.quorum)
-                    .map_err(|e| e.to_string())
-            });
+            }
+            bundle
+                .verify(&keystore, args.quorum)
+                .map_err(|e| e.to_string())
+        });
         match verdict {
             Ok(block) => {
                 println!(

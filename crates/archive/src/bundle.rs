@@ -158,32 +158,27 @@ impl AuditBundle {
         Ok(block)
     }
 
-    /// Serializes the bundle into a `.zab` file: magic, content digest,
-    /// canonical encoding. The digest is an integrity checksum for
-    /// transport damage — verification never trusts it.
-    ///
-    /// # Errors
-    ///
-    /// Any underlying I/O error.
-    pub fn write_to(&self, path: &Path) -> io::Result<()> {
+    /// The bundle in `.zab` framing: magic, content digest, canonical
+    /// encoding. The digest is an integrity checksum for transport
+    /// damage — verification never trusts it. This is the byte shape of
+    /// a `.zab` file *and* of the serving layer's bundle download, so a
+    /// bundle fetched over HTTP pipes straight into `zugchain-audit -`.
+    pub fn to_zab_bytes(&self) -> Vec<u8> {
         let body = zugchain_wire::to_bytes(self);
-        let mut file = std::fs::File::create(path)?;
-        file.write_all(BUNDLE_MAGIC)?;
-        file.write_all(Digest::of(&body).as_bytes())?;
-        file.write_all(&body)?;
-        file.sync_all()
+        let mut out = Vec::with_capacity(BUNDLE_MAGIC.len() + 32 + body.len());
+        out.extend_from_slice(BUNDLE_MAGIC);
+        out.extend_from_slice(Digest::of(&body).as_bytes());
+        out.extend_from_slice(&body);
+        out
     }
 
-    /// Reads a bundle back from a `.zab` file, checking magic, checksum,
-    /// and canonical decoding.
+    /// Decodes `.zab` framing produced by [`AuditBundle::to_zab_bytes`],
+    /// checking magic, checksum, and canonical decoding.
     ///
     /// # Errors
     ///
-    /// [`io::ErrorKind::InvalidData`] on any mismatch, or the underlying
-    /// I/O error.
-    pub fn read_from(path: &Path) -> io::Result<Self> {
-        let mut raw = Vec::new();
-        std::fs::File::open(path)?.read_to_end(&mut raw)?;
+    /// [`io::ErrorKind::InvalidData`] on any mismatch.
+    pub fn from_zab_bytes(raw: &[u8]) -> io::Result<Self> {
         let invalid = |msg: String| io::Error::new(io::ErrorKind::InvalidData, msg);
         if raw.len() < BUNDLE_MAGIC.len() + 32 {
             return Err(invalid("bundle file truncated".into()));
@@ -197,6 +192,31 @@ impl AuditBundle {
             return Err(invalid("bundle checksum mismatch".into()));
         }
         zugchain_wire::from_bytes(body).map_err(|e| invalid(format!("bundle malformed: {e}")))
+    }
+
+    /// Serializes the bundle into a `.zab` file
+    /// (see [`AuditBundle::to_zab_bytes`]).
+    ///
+    /// # Errors
+    ///
+    /// Any underlying I/O error.
+    pub fn write_to(&self, path: &Path) -> io::Result<()> {
+        let mut file = std::fs::File::create(path)?;
+        file.write_all(&self.to_zab_bytes())?;
+        file.sync_all()
+    }
+
+    /// Reads a bundle back from a `.zab` file, checking magic, checksum,
+    /// and canonical decoding.
+    ///
+    /// # Errors
+    ///
+    /// [`io::ErrorKind::InvalidData`] on any mismatch, or the underlying
+    /// I/O error.
+    pub fn read_from(path: &Path) -> io::Result<Self> {
+        let mut raw = Vec::new();
+        std::fs::File::open(path)?.read_to_end(&mut raw)?;
+        Self::from_zab_bytes(&raw)
     }
 }
 

@@ -1,0 +1,129 @@
+//! Exercises the real `zugchain-audit` binary end to end, including the
+//! stdin (`-`) path the serving layer's bundle download pipes into:
+//! `curl .../bundle/<sn> | zugchain-audit --keys keys.txt --quorum 3 -`.
+//! The bytes on stdin are the same `.zab` framing as bundle files, so a
+//! fetched exhibit verifies with nothing but the replica public keys.
+
+mod common;
+
+use std::io::Write;
+use std::path::PathBuf;
+use std::process::{Command, Stdio};
+
+use zugchain_archive::{keyfile, Archive};
+use zugchain_wire::TrainId;
+
+use common::{certified_chain_for_train, keys, QUORUM};
+
+const TRAIN: TrainId = TrainId(3);
+
+fn tempdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("zugchain-audit-cli-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Builds a 3-segment archive for train 3 and returns the bundle bytes
+/// for one block plus a written replica key file.
+fn fixture(tag: &str) -> (PathBuf, Vec<u8>, PathBuf) {
+    let (pairs, keystore) = keys();
+    let mut archive = Archive::in_memory_for_train(TRAIN, keystore.clone(), QUORUM);
+    for segment in &certified_chain_for_train(TRAIN, &pairs, 3, 3) {
+        archive.ingest(segment).unwrap();
+    }
+    let bundle = archive.audit_bundle(5).expect("height 5 exists");
+
+    let dir = tempdir(tag);
+    let bundle_path = dir.join("height-5.zab");
+    bundle.write_to(&bundle_path).unwrap();
+    let keys_path = dir.join("replica-keys.txt");
+    keyfile::write_keys_for_train(&keys_path, TRAIN, &keystore).unwrap();
+    (bundle_path, bundle.to_zab_bytes(), keys_path)
+}
+
+fn audit() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_zugchain-audit"))
+}
+
+#[test]
+fn verifies_a_bundle_file_and_the_same_bytes_on_stdin() {
+    let (bundle_path, zab_bytes, keys_path) = fixture("roundtrip");
+
+    // File path form.
+    let from_file = audit()
+        .args(["--keys"])
+        .arg(&keys_path)
+        .args(["--quorum", "3", "--train", "3"])
+        .arg(&bundle_path)
+        .output()
+        .unwrap();
+    assert!(
+        from_file.status.success(),
+        "file verify failed: {}",
+        String::from_utf8_lossy(&from_file.stderr),
+    );
+
+    // The exact bytes a `.zab` file (or an HTTP bundle download) holds,
+    // piped through stdin via the `-` pseudo-path.
+    let mut child = audit()
+        .args(["--keys"])
+        .arg(&keys_path)
+        .args(["--quorum", "3", "--train", "3", "-"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap();
+    child.stdin.take().unwrap().write_all(&zab_bytes).unwrap();
+    let from_stdin = child.wait_with_output().unwrap();
+    assert!(
+        from_stdin.status.success(),
+        "stdin verify failed: {}",
+        String::from_utf8_lossy(&from_stdin.stderr),
+    );
+    let stdout = String::from_utf8_lossy(&from_stdin.stdout).to_string();
+    assert!(stdout.contains("OK   -"), "stdout: {stdout}");
+
+    // The file bytes on disk are byte-for-byte what stdin consumed.
+    assert_eq!(std::fs::read(&bundle_path).unwrap(), zab_bytes);
+}
+
+#[test]
+fn tampered_stdin_bytes_are_rejected() {
+    let (_, mut zab_bytes, keys_path) = fixture("tamper");
+    let last = zab_bytes.len() - 1;
+    zab_bytes[last] ^= 1;
+
+    let mut child = audit()
+        .args(["--keys"])
+        .arg(&keys_path)
+        .args(["--quorum", "3", "-"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap();
+    child.stdin.take().unwrap().write_all(&zab_bytes).unwrap();
+    let output = child.wait_with_output().unwrap();
+    assert!(
+        !output.status.success(),
+        "a tampered bundle must fail the audit",
+    );
+}
+
+#[test]
+fn wrong_train_scope_is_rejected() {
+    let (bundle_path, _, keys_path) = fixture("scope");
+    let output = audit()
+        .args(["--keys"])
+        .arg(&keys_path)
+        .args(["--quorum", "3", "--train", "9"])
+        .arg(&bundle_path)
+        .output()
+        .unwrap();
+    assert!(
+        !output.status.success(),
+        "train 3's bundle must not pass an audit scoped to train 9",
+    );
+}

@@ -1,0 +1,253 @@
+//! Fleet serving smoke: boot, archive, serve, and read back over HTTP —
+//! the CI `api-smoke` job's subject.
+//!
+//! ```text
+//! api_smoke [--out DIR] [--trains N] [--segments N] [--seed N]
+//! ```
+//!
+//! Drives N simulated trains through record → export → sharded archive
+//! ([`zugchain_sim::fleet`]), starts the [`zugchain_api`] front end over
+//! the shared archive (bearer token + per-client rate limit), and then
+//! acts as a reader over real HTTP:
+//!
+//! * queries the fleet inventory, a block page, and a timeline for
+//!   train 1 (printing `api-timeline:` with the served event count);
+//! * downloads train 1's head audit bundle and writes the bytes *as
+//!   fetched* to `DIR/train-1-head.zab`, plus the train's replica key
+//!   file to `DIR/train-1-keys.txt`, so CI pipes the download into
+//!   `zugchain-audit --train 1 -` for offline stdin verification;
+//! * asserts a 401 without the token and at least one 429 past the
+//!   configured rate limit;
+//! * fetches `/metrics`, writes it to `DIR/metrics.prom`, and diffs the
+//!   summed `zugchain_api_requests_total` counters against its own count
+//!   of issued requests (`api-check:` line) — the exposition must tell
+//!   exactly the client's story.
+//!
+//! Exits non-zero on any mismatch.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use zugchain_api::{ApiConfig, HttpClient};
+use zugchain_archive::keyfile;
+use zugchain_sim::fleet::{run_fleet_instrumented, FleetConfig, REPLICA_QUORUM};
+use zugchain_wire::TrainId;
+
+const TOKEN: &str = "smoke-reader-token";
+/// Sustained per-client allowance; the hammer phase sends well past the
+/// matching burst to force 429s.
+const RATE_PER_SEC: u64 = 50;
+
+struct Args {
+    out: PathBuf,
+    trains: usize,
+    segments: usize,
+    seed: u64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        out: PathBuf::from("api-out"),
+        trains: 4,
+        segments: 2,
+        seed: 0xF1EE7,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match arg.as_str() {
+            "--out" => args.out = PathBuf::from(value("--out")?),
+            "--trains" => args.trains = value("--trains")?.parse().map_err(|e| format!("{e}"))?,
+            "--segments" => {
+                args.segments = value("--segments")?.parse().map_err(|e| format!("{e}"))?;
+            }
+            "--seed" => args.seed = value("--seed")?.parse().map_err(|e| format!("{e}"))?,
+            "--help" | "-h" => {
+                println!("usage: api_smoke [--out DIR] [--trains N] [--segments N] [--seed N]");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    if args.trains == 0 || args.segments == 0 {
+        return Err("--trains and --segments must be at least 1".to_string());
+    }
+    Ok(args)
+}
+
+fn run(args: &Args) -> Result<(), String> {
+    let config = FleetConfig {
+        n_trains: args.trains,
+        segments_per_train: args.segments,
+        seed: args.seed,
+        ..FleetConfig::default()
+    };
+    let (outcome, registry) = run_fleet_instrumented(&config);
+    if !outcome.all_archived() {
+        return Err("fleet run did not fully archive".to_string());
+    }
+    let server = outcome
+        .serve(
+            ApiConfig {
+                tokens: vec![TOKEN.to_string()],
+                rate_per_sec: RATE_PER_SEC,
+                rate_burst: RATE_PER_SEC,
+                ..ApiConfig::open()
+            },
+            registry,
+        )
+        .map_err(|e| format!("start api server: {e}"))?;
+    println!("api-server: address={}", server.address());
+    std::fs::create_dir_all(&args.out).map_err(|e| format!("create {:?}: {e}", args.out))?;
+
+    // A reader that counts every request it issues, to diff against the
+    // server's exposition at the end.
+    struct Reader {
+        client: HttpClient,
+        issued: u64,
+    }
+    impl Reader {
+        fn get(
+            &mut self,
+            path: &str,
+            token: Option<&str>,
+        ) -> Result<zugchain_api::ClientResponse, String> {
+            self.issued += 1;
+            self.client
+                .get(path, token)
+                .map_err(|e| format!("GET {path}: {e}"))
+        }
+    }
+    let mut reader = Reader {
+        client: HttpClient::new(server.address()),
+        issued: 0,
+    };
+
+    // --- Authenticated read path. ---
+    let trains = reader.get("/v1/trains", Some(TOKEN))?;
+    if trains.status != 200 {
+        return Err(format!("/v1/trains: status {}", trains.status));
+    }
+    println!(
+        "api-trains: status={} body={}",
+        trains.status,
+        trains.text()
+    );
+
+    let blocks = reader.get("/v1/trains/1/blocks?limit=8", Some(TOKEN))?;
+    if blocks.status != 200 {
+        return Err(format!("blocks page: status {}", blocks.status));
+    }
+
+    let timeline = reader.get("/v1/trains/1/timeline?from_ms=0", Some(TOKEN))?;
+    if timeline.status != 200 || !timeline.text().contains("\"events\":") {
+        return Err(format!(
+            "timeline: status {} body {}",
+            timeline.status,
+            timeline.text()
+        ));
+    }
+    println!("api-timeline: train=1 body={}", timeline.text());
+
+    // --- Head bundle over HTTP, stored byte-for-byte as fetched. ---
+    let train = TrainId(1);
+    let head_sn = outcome
+        .archive
+        .with_shard(train, |archive| {
+            archive.blocks().last().map(|b| b.header.last_sn)
+        })
+        .flatten()
+        .ok_or("train 1 has no archived blocks")?;
+    let bundle = reader.get(&format!("/v1/trains/1/bundle/{head_sn}"), Some(TOKEN))?;
+    if bundle.status != 200 {
+        return Err(format!("bundle download: status {}", bundle.status));
+    }
+    let bundle_path = args.out.join("train-1-head.zab");
+    std::fs::write(&bundle_path, &bundle.body)
+        .map_err(|e| format!("write {}: {e}", bundle_path.display()))?;
+    let keys_path = args.out.join("train-1-keys.txt");
+    let keystore = &outcome
+        .keystores
+        .iter()
+        .find(|(t, _)| *t == train)
+        .ok_or("train 1 keystore missing")?
+        .1;
+    keyfile::write_keys_for_train(&keys_path, train, keystore)
+        .map_err(|e| format!("write {}: {e}", keys_path.display()))?;
+    println!(
+        "api-bundle: train=1 sn={head_sn} bytes={} quorum={REPLICA_QUORUM} file={}",
+        bundle.body.len(),
+        bundle_path.display()
+    );
+
+    // --- Policy: 401 without the token, 429 past the rate limit. ---
+    let unauth = reader.get("/v1/trains", None)?;
+    if unauth.status != 401 {
+        return Err(format!("expected 401 without token, got {}", unauth.status));
+    }
+    println!("api-unauth: status={}", unauth.status);
+
+    let mut limited = 0usize;
+    for _ in 0..(3 * RATE_PER_SEC) {
+        if reader
+            .get("/v1/trains/1/blocks?limit=1", Some(TOKEN))?
+            .status
+            == 429
+        {
+            limited += 1;
+        }
+    }
+    if limited == 0 {
+        return Err(format!(
+            "no 429 after {} rapid requests at {RATE_PER_SEC}/s",
+            3 * RATE_PER_SEC
+        ));
+    }
+    println!("api-ratelimit: rejected={limited}");
+
+    // --- The exposition must agree with the client's own request count.
+    // The /metrics request renders before it is itself counted, so the
+    // snapshot covers exactly the `issued` requests made so far. ---
+    let expected = reader.issued;
+    let metrics = reader.get("/metrics", None)?;
+    if metrics.status != 200 {
+        return Err(format!("/metrics: status {}", metrics.status));
+    }
+    let exposition = metrics.text();
+    std::fs::write(args.out.join("metrics.prom"), &exposition)
+        .map_err(|e| format!("write metrics.prom: {e}"))?;
+    let samples = zugchain_telemetry::parse_prometheus(&exposition)
+        .map_err(|e| format!("exposition does not parse: {e}"))?;
+    let counted: f64 = samples
+        .iter()
+        .filter(|s| s.name == "zugchain_api_requests_total")
+        .map(|s| s.value)
+        .sum();
+    println!("api-check: requests_total={counted} client_count={expected}");
+    if counted != expected as f64 {
+        return Err(format!(
+            "exposition counts {counted} requests, client issued {expected}"
+        ));
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(err) => {
+            eprintln!("api_smoke: {err}");
+            return ExitCode::from(2);
+        }
+    };
+    match run(&args) {
+        Ok(()) => {
+            println!("api-smoke: ok");
+            ExitCode::SUCCESS
+        }
+        Err(err) => {
+            eprintln!("api_smoke: {err}");
+            ExitCode::FAILURE
+        }
+    }
+}

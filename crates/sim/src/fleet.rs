@@ -15,6 +15,7 @@
 
 use std::sync::Arc;
 
+use zugchain_api::{ApiConfig, ApiServer, Backend};
 use zugchain_archive::{FleetArchive, IngestLock};
 use zugchain_blockchain::{Block, BlockBuilder, ChainStore, LoggedRequest};
 use zugchain_crypto::{Digest, KeyPair, Keystore};
@@ -101,6 +102,23 @@ impl FleetOutcome {
     /// Whether every train's decided chain is fully archived.
     pub fn all_archived(&self) -> bool {
         self.trains.iter().all(|t| t.fully_archived)
+    }
+
+    /// Starts the HTTP query front end over the fleet's shared archive —
+    /// the full record → export → archive → **serve** pipeline in one
+    /// process. The server shares `registry`, so its request counters
+    /// and the archive's ingest metrics land in one `/metrics`
+    /// exposition.
+    ///
+    /// # Errors
+    ///
+    /// Socket errors from binding the server.
+    pub fn serve(
+        &self,
+        config: ApiConfig,
+        registry: Arc<zugchain_telemetry::Registry>,
+    ) -> std::io::Result<ApiServer> {
+        ApiServer::start(config, Backend::Fleet(self.archive.clone()), registry)
     }
 }
 
@@ -391,6 +409,40 @@ mod tests {
             "every train has records in the fleet window"
         );
         assert_eq!(outcome.total_requests, 5 * 2 * 2 * 3);
+    }
+
+    #[test]
+    fn fleet_serves_over_http() {
+        let config = FleetConfig {
+            n_trains: 3,
+            segments_per_train: 2,
+            blocks_per_segment: 2,
+            block_size: 3,
+            ..FleetConfig::default()
+        };
+        let (outcome, registry) = run_fleet_instrumented(&config);
+        let server = outcome
+            .serve(ApiConfig::open(), Arc::clone(&registry))
+            .expect("api server binds");
+        let mut client = zugchain_api::HttpClient::new(server.address());
+
+        let trains = client.get("/v1/trains", None).expect("GET /v1/trains");
+        assert_eq!(trains.status, 200);
+        assert!(trains.text().contains("\"count\":3"), "{}", trains.text());
+
+        // A full cursor walk over train 1 sees exactly its blocks.
+        let blocks = client
+            .get("/v1/trains/1/blocks?limit=100", None)
+            .expect("GET blocks");
+        assert_eq!(blocks.status, 200);
+        assert!(blocks.text().contains("\"count\":4"), "{}", blocks.text());
+
+        // The exposition served over HTTP carries both archive ingest
+        // and API request series — one registry, one scrape path.
+        let metrics = client.get("/metrics", None).expect("GET /metrics");
+        let exposition = metrics.text();
+        assert!(exposition.contains("zugchain_archive_segments_total"));
+        assert!(exposition.contains("zugchain_api_requests_total"));
     }
 
     #[test]

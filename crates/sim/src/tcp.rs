@@ -14,13 +14,12 @@
 
 use std::io::{self, Read as _, Write as _};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
 
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use zugchain::{NodeConfig, NodeMessage, ZugchainNode};
+use zugchain_api::{ApiConfig, ApiServer, Backend};
 use zugchain_crypto::Keystore;
 use zugchain_machine::Frame;
 use zugchain_mvb::Nsdb;
@@ -107,12 +106,13 @@ pub struct TcpCluster {
     handles: Vec<JoinHandle<NodeSummary>>,
     registry: Arc<Registry>,
     telemetry: Vec<Telemetry>,
-    status_stop: Arc<AtomicBool>,
-    status_handle: Option<JoinHandle<()>>,
+    status: ApiServer,
     /// Socket addresses the nodes listen on, by node id.
     pub addresses: Vec<SocketAddr>,
-    /// Address of the live status responder: connect, read a
-    /// Prometheus-text metrics snapshot, and the connection closes.
+    /// Address of the live status server: `GET /metrics` returns the
+    /// cluster's Prometheus-text snapshot (`GET /healthz` for liveness).
+    /// This is a [`zugchain_api::ApiServer`] with no archive backend —
+    /// the same exposition path the fleet's query front end uses.
     pub status_address: SocketAddr,
 }
 
@@ -130,32 +130,11 @@ impl TcpCluster {
             .map(|id| Telemetry::new(id as u64, Arc::clone(&registry), DEFAULT_TRACE_CAPACITY))
             .collect();
 
-        // The live read path: a trivial status responder — connect, get
-        // the current Prometheus-text snapshot, connection closes.
-        let status_listener = TcpListener::bind("127.0.0.1:0")?;
-        let status_address = status_listener.local_addr()?;
-        status_listener.set_nonblocking(true)?;
-        let status_stop = Arc::new(AtomicBool::new(false));
-        let status_handle = {
-            let registry = Arc::clone(&registry);
-            let stop = Arc::clone(&status_stop);
-            std::thread::Builder::new()
-                .name("zugchain-status".to_string())
-                .spawn(move || {
-                    while !stop.load(Ordering::Relaxed) {
-                        match status_listener.accept() {
-                            Ok((mut stream, _)) => {
-                                let _ = stream.write_all(registry.render_prometheus().as_bytes());
-                            }
-                            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                                std::thread::sleep(Duration::from_millis(20));
-                            }
-                            Err(_) => break,
-                        }
-                    }
-                })
-                .expect("spawn status thread")
-        };
+        // The live read path: the API server with no archive behind it
+        // serves `/metrics` (and `/healthz`) over real HTTP — one
+        // exposition path shared with the fleet query front end.
+        let status = ApiServer::start(ApiConfig::open(), Backend::None, Arc::clone(&registry))?;
+        let status_address = status.address();
 
         // Bind every node's listener first so all addresses are known.
         let listeners: Vec<TcpListener> = (0..n)
@@ -250,8 +229,7 @@ impl TcpCluster {
             handles,
             registry,
             telemetry,
-            status_stop,
-            status_handle: Some(status_handle),
+            status,
             addresses,
             status_address,
         })
@@ -300,14 +278,11 @@ impl TcpCluster {
     }
 
     /// Stops all nodes and returns their final state.
-    pub fn shutdown(self) -> Vec<NodeSummary> {
+    pub fn shutdown(mut self) -> Vec<NodeSummary> {
         for inbox in &self.inboxes {
             let _ = inbox.send(LoopInput::Shutdown);
         }
-        self.status_stop.store(true, Ordering::Relaxed);
-        if let Some(handle) = self.status_handle {
-            let _ = handle.join();
-        }
+        self.status.stop();
         self.handles
             .into_iter()
             .map(|handle| handle.join().expect("node thread panicked"))
@@ -370,12 +345,14 @@ mod tests {
             std::thread::sleep(Duration::from_millis(20));
         }
 
-        // The live read path serves the same snapshot over a socket.
-        let mut status = TcpStream::connect(cluster.status_address).expect("status socket");
-        let mut exposition = String::new();
-        status
-            .read_to_string(&mut exposition)
-            .expect("read status snapshot");
+        // The live read path serves the same snapshot over HTTP: the
+        // status socket is a real API server scraping `GET /metrics`.
+        let mut status = zugchain_api::HttpClient::new(cluster.status_address);
+        let health = status.get("/healthz", None).expect("GET /healthz");
+        assert_eq!(health.status, 200);
+        let response = status.get("/metrics", None).expect("GET /metrics");
+        assert_eq!(response.status, 200);
+        let exposition = response.text();
         assert!(exposition.contains("zugchain_pbft_decided_total"));
         assert!(exposition.contains("zugchain_node_blocks_total"));
         zugchain_telemetry::parse_prometheus(&exposition).expect("exposition parses");
