@@ -8,6 +8,13 @@
 //! and a pruning pass that drops buckets which have refilled to full,
 //! because a full bucket is indistinguishable from no bucket at all.
 //!
+//! Buckets hold *microtokens* (one request costs one million), so the
+//! refill arithmetic is exact both for fast limiters (`per_sec`
+//! requests per second) and slow ones ([`RateLimiter::per_period`],
+//! e.g. one request per five seconds). A rejected acquire reports how
+//! long the client must wait for a full token — the number the HTTP
+//! layer's `retry-after` header is computed from.
+//!
 //! Time is injected (`now_ms`) rather than read from a clock, matching
 //! the repo's determinism discipline: unit tests replay exact refill
 //! schedules, and the server threads its own monotonic clock through.
@@ -15,91 +22,151 @@
 use std::collections::HashMap;
 use std::sync::Mutex;
 
-/// Buckets at or above this count trigger a prune of full (idle)
-/// buckets on the next acquire.
+/// Buckets at or above this count make the limiter consider a prune of
+/// full (idle) buckets on acquire.
 const PRUNE_THRESHOLD: usize = 4096;
+
+/// One admitted request costs this many microtokens.
+const REQUEST_COST: u64 = 1_000_000;
 
 #[derive(Debug, Clone, Copy)]
 struct Bucket {
-    /// Remaining capacity in millitokens (1 request = 1000).
-    millitokens: u64,
+    /// Remaining capacity in microtokens.
+    microtokens: u64,
     /// Last refill time.
     last_ms: u64,
+}
+
+#[derive(Debug, Default)]
+struct Buckets {
+    map: HashMap<String, Bucket>,
+    /// Earliest time the next prune pass is allowed to run. A pass
+    /// records when its closest-to-full survivor finishes refilling; no
+    /// earlier pass can remove anything, so none is attempted — a hot
+    /// map of active clients pays one scan per refill period, not one
+    /// per request.
+    next_prune_ms: u64,
+    /// Full-map prune scans performed (test/metrics hook).
+    prune_scans: u64,
 }
 
 /// A token-bucket rate limiter keyed by client identity.
 #[derive(Debug)]
 pub struct RateLimiter {
-    /// Sustained allowance in requests per second; 0 disables limiting.
-    per_sec: u64,
+    /// Refill rate in microtokens per millisecond; 0 disables limiting.
+    micro_per_ms: u64,
     /// Instantaneous burst allowance in requests.
     burst: u64,
-    buckets: Mutex<HashMap<String, Bucket>>,
+    buckets: Mutex<Buckets>,
 }
 
 impl RateLimiter {
     /// A limiter allowing `per_sec` sustained requests with bursts up
     /// to `burst` (clamped to at least 1 when limiting is on).
     pub fn new(per_sec: u64, burst: u64) -> Self {
+        // per_sec requests/s = per_sec * REQUEST_COST µtokens / 1000 ms.
+        Self::with_rate(per_sec.saturating_mul(REQUEST_COST / 1000), burst)
+    }
+
+    /// A limiter allowing one sustained request per `period_ms`
+    /// milliseconds — rates below one per second, which `new` cannot
+    /// express (e.g. `per_period(5_000, 1)` is one request per 5 s).
+    pub fn per_period(period_ms: u64, burst: u64) -> Self {
+        Self::with_rate((REQUEST_COST / period_ms.max(1)).max(1), burst)
+    }
+
+    fn with_rate(micro_per_ms: u64, burst: u64) -> Self {
         RateLimiter {
-            per_sec,
-            burst: if per_sec == 0 { 0 } else { burst.max(1) },
-            buckets: Mutex::new(HashMap::new()),
+            micro_per_ms,
+            burst: if micro_per_ms == 0 { 0 } else { burst.max(1) },
+            buckets: Mutex::new(Buckets::default()),
         }
     }
 
     /// A limiter that admits everything.
     pub fn unlimited() -> Self {
-        RateLimiter::new(0, 0)
+        RateLimiter::with_rate(0, 0)
     }
 
     /// Whether limiting is enabled at all.
     pub fn enabled(&self) -> bool {
-        self.per_sec > 0
+        self.micro_per_ms > 0
     }
 
     /// Admits or rejects one request from `client` at time `now_ms`.
     pub fn try_acquire(&self, client: &str, now_ms: u64) -> bool {
-        if self.per_sec == 0 {
-            return true;
+        self.acquire(client, now_ms).is_ok()
+    }
+
+    /// Admits one request from `client` at time `now_ms`, or rejects it
+    /// with the number of milliseconds until the bucket refills to a
+    /// full token — the earliest retry that can succeed (absent other
+    /// traffic on the same identity).
+    pub fn acquire(&self, client: &str, now_ms: u64) -> Result<(), u64> {
+        if self.micro_per_ms == 0 {
+            return Ok(());
         }
-        let cap = self.burst * 1000;
+        let cap = self.burst * REQUEST_COST;
         let mut buckets = self.buckets.lock().unwrap_or_else(|e| e.into_inner());
-        if buckets.len() >= PRUNE_THRESHOLD {
+        if buckets.map.len() >= PRUNE_THRESHOLD && now_ms >= buckets.next_prune_ms {
             // Slot accounting: a bucket refilled to capacity carries no
             // information — drop it so the map stays bounded by the
             // number of *recently throttled* clients, not all clients.
-            let per_sec = self.per_sec;
-            buckets.retain(|_, b| {
+            buckets.prune_scans += 1;
+            let rate = self.micro_per_ms;
+            let mut soonest_full_ms = 0u64;
+            buckets.map.retain(|_, b| {
                 let refilled = b
-                    .millitokens
-                    .saturating_add(now_ms.saturating_sub(b.last_ms).saturating_mul(per_sec));
-                refilled < cap
+                    .microtokens
+                    .saturating_add(now_ms.saturating_sub(b.last_ms).saturating_mul(rate));
+                if refilled >= cap {
+                    return false;
+                }
+                let to_full = (cap - refilled).div_ceil(rate);
+                soonest_full_ms = if soonest_full_ms == 0 {
+                    to_full
+                } else {
+                    soonest_full_ms.min(to_full)
+                };
+                true
             });
+            buckets.next_prune_ms = now_ms.saturating_add(soonest_full_ms);
         }
-        let bucket = buckets.entry(client.to_string()).or_insert(Bucket {
-            millitokens: cap,
+        let bucket = buckets.map.entry(client.to_string()).or_insert(Bucket {
+            microtokens: cap,
             last_ms: now_ms,
         });
-        // Refill: per_sec requests/s is exactly per_sec millitokens/ms.
         let elapsed = now_ms.saturating_sub(bucket.last_ms);
-        bucket.millitokens = cap.min(
+        bucket.microtokens = cap.min(
             bucket
-                .millitokens
-                .saturating_add(elapsed.saturating_mul(self.per_sec)),
+                .microtokens
+                .saturating_add(elapsed.saturating_mul(self.micro_per_ms)),
         );
         bucket.last_ms = now_ms;
-        if bucket.millitokens >= 1000 {
-            bucket.millitokens -= 1000;
-            true
+        if bucket.microtokens >= REQUEST_COST {
+            bucket.microtokens -= REQUEST_COST;
+            Ok(())
         } else {
-            false
+            let deficit = REQUEST_COST - bucket.microtokens;
+            Err(deficit.div_ceil(self.micro_per_ms))
         }
     }
 
     /// Number of live buckets (test/metrics hook).
     pub fn tracked_clients(&self) -> usize {
-        self.buckets.lock().unwrap_or_else(|e| e.into_inner()).len()
+        self.buckets
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .map
+            .len()
+    }
+
+    /// Number of full-map prune scans performed (test/metrics hook).
+    pub fn prune_scans(&self) -> u64 {
+        self.buckets
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .prune_scans
     }
 }
 
@@ -118,7 +185,7 @@ mod tests {
         // 100ms at 10/s refills exactly one token.
         assert!(limiter.try_acquire("a", 100));
         assert!(!limiter.try_acquire("a", 100));
-        // 99ms is one millitoken short.
+        // 99ms is one microtoken batch short.
         assert!(!limiter.try_acquire("a", 199));
         assert!(limiter.try_acquire("a", 200));
     }
@@ -141,6 +208,28 @@ mod tests {
     }
 
     #[test]
+    fn rejection_reports_exact_wait() {
+        // 10/s: an empty bucket needs 100ms for one full token.
+        let limiter = RateLimiter::new(10, 1);
+        assert_eq!(limiter.acquire("a", 0), Ok(()));
+        assert_eq!(limiter.acquire("a", 0), Err(100));
+        // 40ms in, 60ms still missing.
+        assert_eq!(limiter.acquire("a", 40), Err(60));
+        assert_eq!(limiter.acquire("a", 100), Ok(()));
+    }
+
+    #[test]
+    fn slow_limiter_reports_multi_second_waits() {
+        // One request per 5 seconds: the wait must say so, not round
+        // down to some optimistic constant.
+        let limiter = RateLimiter::per_period(5_000, 1);
+        assert_eq!(limiter.acquire("a", 0), Ok(()));
+        assert_eq!(limiter.acquire("a", 0), Err(5_000));
+        assert_eq!(limiter.acquire("a", 4_999), Err(1));
+        assert_eq!(limiter.acquire("a", 5_000), Ok(()));
+    }
+
+    #[test]
     fn full_buckets_are_pruned_so_the_map_stays_bounded() {
         let limiter = RateLimiter::new(1000, 1);
         for i in 0..2 * PRUNE_THRESHOLD as u64 {
@@ -150,5 +239,28 @@ mod tests {
             assert!(limiter.try_acquire(&format!("client-{i}"), i * 10));
         }
         assert!(limiter.tracked_clients() < PRUNE_THRESHOLD + 2);
+    }
+
+    #[test]
+    fn hot_unprunable_map_does_not_scan_per_request() {
+        // 10/s, burst 1: a drained bucket takes 100ms to refill, so no
+        // prune pass inside that window can remove anything.
+        let limiter = RateLimiter::new(10, 1);
+        for i in 0..PRUNE_THRESHOLD as u64 + 64 {
+            limiter.try_acquire(&format!("client-{i}"), 0);
+        }
+        // Every bucket is freshly drained: exactly one scan ran (when
+        // the threshold tripped) and re-armed itself 100ms out.
+        assert_eq!(limiter.prune_scans(), 1);
+        // Hammering inside the refill window performs no further scans.
+        for i in 0..10_000u64 {
+            limiter.try_acquire(&format!("client-{}", i % 64), 50);
+        }
+        assert_eq!(limiter.prune_scans(), 1);
+        // Once the window passes, the next acquire prunes the idle
+        // majority in one pass.
+        limiter.try_acquire("fresh", 1_000);
+        assert_eq!(limiter.prune_scans(), 2);
+        assert!(limiter.tracked_clients() < 70);
     }
 }

@@ -39,6 +39,10 @@ pub struct ApiConfig {
     pub tokens: Vec<String>,
     /// Sustained per-client requests per second (0 = unlimited).
     pub rate_per_sec: u64,
+    /// If nonzero, one sustained request per this many milliseconds —
+    /// overrides `rate_per_sec` to express rates below one per second
+    /// (e.g. 5000 is one request per five seconds).
+    pub rate_period_ms: u64,
     /// Per-client burst allowance.
     pub rate_burst: u64,
     /// Response-cache capacity in entries (0 disables caching).
@@ -55,6 +59,7 @@ impl ApiConfig {
         ApiConfig {
             tokens: Vec::new(),
             rate_per_sec: 0,
+            rate_period_ms: 0,
             rate_burst: 0,
             cache_capacity: 1024,
             default_page_limit: 100,
@@ -216,12 +221,18 @@ impl ApiService {
             } else {
                 Auth::with_tokens(config.tokens.clone())
             },
-            limiter: RateLimiter::new(config.rate_per_sec, config.rate_burst),
+            limiter: if config.rate_period_ms > 0 {
+                RateLimiter::per_period(config.rate_period_ms, config.rate_burst)
+            } else {
+                RateLimiter::new(config.rate_per_sec, config.rate_burst)
+            },
             cache: ResponseCache::new(config.cache_capacity),
             metrics: ApiMetrics::new(registry.clone()),
             registry,
             default_page_limit: config.default_page_limit.max(1),
-            max_page_limit: config.max_page_limit.max(1),
+            // Never above the engine's own cap, so the HTTP clamp and
+            // the `page_by_sn` clamp agree on every request.
+            max_page_limit: config.max_page_limit.clamp(1, Archive::MAX_PAGE_LIMIT),
             started: Instant::now(),
         }
     }
@@ -308,10 +319,14 @@ impl ApiService {
                     .with_header("www-authenticate", "Bearer");
             }
         };
-        if !self.limiter.try_acquire(&identity, self.now_ms()) {
+        if let Err(wait_ms) = self.limiter.acquire(&identity, self.now_ms()) {
             self.metrics.rate_limited.inc();
+            // The earliest retry that can succeed, rounded up to whole
+            // seconds (the header's unit) — a 1-req/5-s limiter must
+            // say 5, not send clients into a retry loop.
+            let retry_after_s = wait_ms.div_ceil(1000).max(1);
             return Response::json(429, error_body("rate limit exceeded"))
-                .with_header("retry-after", "1");
+                .with_header("retry-after", retry_after_s.to_string());
         }
 
         match route {
@@ -393,14 +408,28 @@ impl ApiService {
         }
         self.metrics.cache_misses.inc();
 
-        let Some(page) = self
+        // Page and head are read under one archive borrow, so the
+        // next-cursor decision below can't race a concurrent ingest.
+        let Some((page, head_sn)) = self
             .backend
-            .with_train(train, |a| a.page_by_sn(from_sn, limit))
+            .with_train(train, |a| (a.page_by_sn(from_sn, limit), a.head_sn()))
         else {
             return Response::json(404, error_body(&format!("unknown train {train}")));
         };
-        let full = page.len() == limit;
-        let next_sn = page.last().map(|b| b.last_sn + 1);
+        // A next cursor exists only when the page ends strictly before
+        // the archived head. A full page that reaches the head used to
+        // advertise `last_sn + 1` anyway — a phantom cursor pointing
+        // past the end, sending clients on a guaranteed-empty fetch.
+        let next_sn = match (page.last(), head_sn) {
+            (Some(last), Some(head)) if last.last_sn < head => Some(last.last_sn + 1),
+            _ => None,
+        };
+        // Only a full page strictly inside the archived range is
+        // immutable (its blocks AND its next cursor can never change
+        // under append-only ingest) — a page touching the head would
+        // gain a next cursor when the chain grows, so it must not be
+        // cached.
+        let full = page.len() == limit && next_sn.is_some();
         let body = JsonObject::new()
             .field_u64("train", train.0)
             .field_u64("from_sn", from_sn)

@@ -157,6 +157,9 @@ fn http_cursor_walk_matches_the_engine() {
     let mut client = HttpClient::new(server.address());
 
     // Walk over real HTTP with limit 5 (straddles the 3-block segments).
+    // The walk terminates on the *absence of a cursor*: a page ending at
+    // the archived head advertises no next_sn, so a well-behaved client
+    // never issues a guaranteed-empty fetch.
     let mut from_sn = 1u64;
     let mut covered: Vec<(u64, u64)> = Vec::new();
     loop {
@@ -169,10 +172,7 @@ fn http_cursor_walk_matches_the_engine() {
         assert_eq!(response.status, 200);
         let body = response.text();
         let count = json_u64(&body, "count").unwrap();
-        if count == 0 {
-            assert_eq!(json_u64(&body, "next_sn"), None, "empty page has no cursor");
-            break;
-        }
+        assert!(count > 0, "the walk never fetches an empty page");
         // Each block object carries first_sn/last_sn; scan them in order.
         let mut rest = body.as_str();
         for _ in 0..count {
@@ -185,11 +185,78 @@ fn http_cursor_walk_matches_the_engine() {
             covered.push((first_sn, last_sn));
             rest = &rest[1..];
         }
-        from_sn = json_u64(&body, "next_sn").expect("nonempty page has a cursor");
+        match json_u64(&body, "next_sn") {
+            Some(next) => from_sn = next,
+            None => break,
+        }
     }
 
     assert_eq!(covered.len(), 4 * 3);
     assert_eq!(covered.last().unwrap().1, head.header.last_sn);
+    server.stop();
+}
+
+/// The `limit` and tail edge cases must agree between `Archive::
+/// page_by_sn` and `/v1/trains/<id>/blocks`: a zero limit never yields
+/// an unbounded page, an over-max limit is clamped on both sides, a
+/// cursor past the head is an empty page (not an error), and a full
+/// page ending exactly at the head advertises no phantom next cursor.
+#[test]
+fn limit_and_tail_edge_cases_agree_between_engine_and_http() {
+    let (pairs, keystore) = keys();
+    let mut archive = Archive::in_memory_for_train(TRAIN, keystore, QUORUM);
+    let (segments, head) =
+        extend_chain(TRAIN, &pairs, &zugchain_blockchain::Block::genesis(), 4, 3);
+    for segment in &segments {
+        archive.ingest(segment).unwrap();
+    }
+    let total_blocks = 4 * 3;
+    let head_sn = head.header.last_sn;
+    let engine = QueryEngine::new(archive);
+    let registry = Arc::new(zugchain_telemetry::Registry::new());
+    let mut server =
+        ApiServer::start(ApiConfig::open(), Backend::Single(engine.clone()), registry).unwrap();
+    let mut client = HttpClient::new(server.address());
+    let get = |client: &mut HttpClient, query: &str| {
+        client
+            .get(&format!("/v1/trains/7/blocks{query}"), None)
+            .unwrap()
+    };
+
+    // limit=0: the engine returns an empty page (never unbounded); the
+    // HTTP layer rejects it outright.
+    assert!(engine.page_by_sn(1, 0).is_empty());
+    assert_eq!(get(&mut client, "?limit=0").status, 400);
+
+    // Over-max limits are clamped on both sides, never passed through.
+    assert_eq!(engine.page_by_sn(1, usize::MAX).len(), total_blocks);
+    let response = get(&mut client, "?from_sn=1&limit=18446744073709551615");
+    assert_eq!(response.status, 200);
+    let body = response.text();
+    assert_eq!(
+        json_u64(&body, "limit"),
+        Some(ApiConfig::open().max_page_limit as u64),
+        "the HTTP layer reports the clamped limit it applied"
+    );
+    assert_eq!(json_u64(&body, "count"), Some(total_blocks as u64));
+    assert_eq!(json_u64(&body, "next_sn"), None, "page reaches the head");
+
+    // A cursor past the head is an empty page with no next cursor.
+    assert!(engine.page_by_sn(head_sn + 1, 5).is_empty());
+    let body = get(&mut client, &format!("?from_sn={}&limit=5", head_sn + 1)).text();
+    assert_eq!(json_u64(&body, "count"), Some(0));
+    assert_eq!(json_u64(&body, "next_sn"), None, "no phantom cursor at EOF");
+
+    // A *full* page ending exactly at the head: no phantom cursor (the
+    // historical bug advertised `last_sn + 1` here, pointing past the
+    // end); a full page strictly inside the range keeps its cursor.
+    let body = get(&mut client, &format!("?from_sn=1&limit={total_blocks}")).text();
+    assert_eq!(json_u64(&body, "count"), Some(total_blocks as u64));
+    assert_eq!(json_u64(&body, "next_sn"), None, "full page at the head");
+    let body = get(&mut client, "?from_sn=1&limit=6").text();
+    assert_eq!(json_u64(&body, "count"), Some(6));
+    let next = json_u64(&body, "next_sn").expect("interior full page keeps its cursor");
+    assert!(next <= head_sn, "cursor stays inside the archived range");
     server.stop();
 }
 

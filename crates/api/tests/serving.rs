@@ -109,6 +109,30 @@ fn rate_limiter_answers_429_with_retry_after() {
     server.stop();
 }
 
+/// Regression: `retry-after` used to be hardcoded to 1 second. A
+/// low-rate limiter (one request per five seconds) must tell the
+/// client the real wait, or every honest client retries four seconds
+/// too early and burns its budget on guaranteed 429s.
+#[test]
+fn slow_rate_limiter_reports_honest_retry_after() {
+    let config = ApiConfig {
+        rate_period_ms: 5_000,
+        rate_burst: 1,
+        ..ApiConfig::open()
+    };
+    let (mut server, _, _) = served(config);
+    let mut client = HttpClient::new(server.address());
+    assert_eq!(client.get("/v1/trains", None).unwrap().status, 200);
+    let limited = client.get("/v1/trains", None).unwrap();
+    assert_eq!(limited.status, 429);
+    assert_eq!(
+        limited.header("retry-after"),
+        Some("5"),
+        "the header reflects the bucket's actual refill time"
+    );
+    server.stop();
+}
+
 #[test]
 fn full_pages_are_cached_and_partial_pages_bypass() {
     let (mut server, registry, _) = served(ApiConfig::open());

@@ -320,6 +320,11 @@ impl ArchiveMetrics {
 }
 
 impl Archive {
+    /// Hard engine-side cap on one [`page_by_sn`](Archive::page_by_sn)
+    /// page. Serving layers must configure their own page limits at or
+    /// below this, so the engine and HTTP bounds can never disagree.
+    pub const MAX_PAGE_LIMIT: usize = 1024;
+
     /// Creates an ephemeral archive with no backing directory — used by
     /// the chaos harness and tests. Verification is identical to the
     /// durable form.
@@ -465,6 +470,15 @@ impl Archive {
             .map(|s| (s.header.last_height, s.header.head_hash))
     }
 
+    /// The highest archived BFT sequence number, or `None` while the
+    /// archive is empty — the bound a cursor walk terminates against.
+    pub fn head_sn(&self) -> Option<u64> {
+        self.segments
+            .last()
+            .and_then(|s| s.blocks.last())
+            .map(|b| b.header.last_sn)
+    }
+
     /// Number of archived segments.
     pub fn segment_count(&self) -> usize {
         self.segments.len()
@@ -595,7 +609,13 @@ impl Archive {
     /// append-only, resuming with `last_sn + 1` of the final returned
     /// block yields every block exactly once, in order, even while new
     /// segments are being ingested between pages.
+    ///
+    /// `limit` is clamped to [`Archive::MAX_PAGE_LIMIT`] — no caller
+    /// mistake can request an unbounded page — and `limit == 0` returns
+    /// an empty page. A `from_sn` past [`head_sn`](Archive::head_sn) is
+    /// simply a cursor past the end: the page is empty, not an error.
     pub fn page_by_sn(&self, from_sn: u64, limit: usize) -> Vec<BlockInfo> {
+        let limit = limit.min(Self::MAX_PAGE_LIMIT);
         let mut out = Vec::with_capacity(limit.min(256));
         let seg_idx = self
             .segments

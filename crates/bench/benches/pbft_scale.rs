@@ -1,0 +1,139 @@
+//! Vote-communication scaling: orders a fixed stream of 256-byte
+//! requests through groups of n = 4, 8, 16 and 32 replicas in both
+//! communication modes. All-to-all is the textbook PBFT exchange —
+//! every replica broadcasts its prepare and commit, O(n²) vote traffic
+//! per slot. Collector mode routes both vote phases through the slot's
+//! deterministic collector, which broadcasts one aggregated certificate
+//! per phase — O(n) traffic — so the per-replica message count should
+//! stay near-flat as n grows while all-to-all's climbs linearly.
+//!
+//! Besides the wall-clock `bench-result:` lines from the criterion
+//! shim, each configuration prints one extra machine-readable line,
+//!
+//! ```text
+//! bench-result: pbft/scale_msgs/<mode>/<n> msgs_per_replica=M sigs_verified_per_replica=S
+//! ```
+//!
+//! with the per-replica totals over the whole stream, measured on an
+//! untimed accounting run (`Send` counts 1, `Broadcast` counts n − 1).
+//! The CI bench-smoke gate checks collector mode beats all-to-all on
+//! messages per replica at n = 16.
+//!
+//! Set `ZUGCHAIN_BENCH_QUICK=1` for the CI smoke variant (shorter
+//! stream, fewer samples).
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion, Throughput};
+use zugchain_crypto::Keystore;
+use zugchain_machine::Effect;
+use zugchain_pbft::{CommMode, Config, NodeId, ProposedRequest, Replica, ReplicaEvent};
+
+fn fresh_group(n: usize, comm_mode: CommMode) -> Vec<Replica> {
+    let config = Config::new(n).unwrap().with_comm_mode(comm_mode);
+    let (pairs, keystore) = Keystore::generate(n, 7);
+    pairs
+        .into_iter()
+        .enumerate()
+        .map(|(id, key)| Replica::new(NodeId(id as u64), config.clone(), key, keystore.clone()))
+        .collect()
+}
+
+/// Proposes `requests` distinct requests on the primary and pumps the
+/// group until quiet, delivering unicasts only to their destination.
+/// `sent[i]` accumulates the messages replica `i` put on the wire
+/// (`Send` = 1, `Broadcast` = n − 1). Returns the total decide count.
+fn order_stream(replicas: &mut [Replica], requests: usize, sent: &mut [u64]) -> usize {
+    let n = replicas.len();
+    for tag in 0..requests {
+        let mut payload = vec![0u8; 256];
+        payload[..8].copy_from_slice(&(tag as u64).to_le_bytes());
+        replicas[0].propose(ProposedRequest::application(payload, NodeId(0)));
+    }
+    let mut decided = 0usize;
+    loop {
+        let mut traffic = Vec::new();
+        for (node, replica) in replicas.iter_mut().enumerate() {
+            for effect in replica.drain_effects() {
+                match effect {
+                    Effect::Broadcast { message } => {
+                        sent[node] += (n - 1) as u64;
+                        traffic.push((None, message));
+                    }
+                    Effect::Send { to, message } => {
+                        sent[node] += 1;
+                        traffic.push((Some(to), message));
+                    }
+                    Effect::Output(ReplicaEvent::Decide { .. }) => decided += 1,
+                    _ => {}
+                }
+            }
+        }
+        if traffic.is_empty() {
+            break;
+        }
+        for (dest, message) in traffic {
+            match dest {
+                Some(to) => replicas[to.0 as usize].on_message(message),
+                None => {
+                    for replica in replicas.iter_mut() {
+                        replica.on_message(message.clone());
+                    }
+                }
+            }
+        }
+    }
+    decided
+}
+
+fn bench_scale(c: &mut Criterion) {
+    let quick = std::env::var_os("ZUGCHAIN_BENCH_QUICK").is_some();
+    let requests = if quick { 16usize } else { 64 };
+    let mut group = c.benchmark_group("pbft/scale");
+    group.sample_size(if quick { 3 } else { 10 });
+    let mut accounting: Vec<(String, u64, u64)> = Vec::new();
+    for n in [4usize, 8, 16, 32] {
+        for (comm_mode, label) in [
+            (CommMode::AllToAll, "all-to-all"),
+            (CommMode::Collector, "collector"),
+        ] {
+            group.throughput(Throughput::Elements(requests as u64));
+            group.bench_with_input(BenchmarkId::new(label, n), &n, |b, &n| {
+                b.iter_batched(
+                    || fresh_group(n, comm_mode),
+                    |mut replicas| {
+                        let mut sent = vec![0u64; n];
+                        let decided = order_stream(&mut replicas, requests, &mut sent);
+                        assert_eq!(decided, n * requests);
+                        decided
+                    },
+                    BatchSize::LargeInput,
+                );
+            });
+
+            // Untimed accounting run: the message flow is deterministic,
+            // so one pass gives exact per-replica counts.
+            let mut replicas = fresh_group(n, comm_mode);
+            let mut sent = vec![0u64; n];
+            let decided = order_stream(&mut replicas, requests, &mut sent);
+            assert_eq!(decided, n * requests);
+            let fallbacks: u64 = replicas
+                .iter()
+                .map(|replica| replica.stats().collector_fallbacks)
+                .sum();
+            assert_eq!(fallbacks, 0, "the quiet path must never fall back");
+            let msgs = sent.iter().sum::<u64>() / n as u64;
+            let sigs = replicas
+                .iter()
+                .map(|replica| replica.stats().signatures_verified)
+                .sum::<u64>()
+                / n as u64;
+            accounting.push((format!("pbft/scale_msgs/{label}/{n}"), msgs, sigs));
+        }
+    }
+    group.finish();
+    for (name, msgs, sigs) in accounting {
+        println!("bench-result: {name} msgs_per_replica={msgs} sigs_verified_per_replica={sigs}");
+    }
+}
+
+criterion_group!(benches, bench_scale);
+criterion_main!(benches);

@@ -15,7 +15,7 @@ use crate::plan::{
     ByzBehavior, ByzPlan, ChaosPlan, CrashPlan, ExportPlan, NetPlan, OpPlan, PartitionPlan,
     PrepareLossPlan,
 };
-use zugchain_pbft::AuthMode;
+use zugchain_pbft::{AuthMode, CommMode};
 
 /// Current repro file format version.
 pub const REPRO_VERSION: u64 = 1;
@@ -31,6 +31,8 @@ fn behavior_str(b: ByzBehavior) -> &'static str {
         ByzBehavior::FabricateBus => "fabricate-bus",
         ByzBehavior::EquivocateBatch => "equivocate-batch",
         ByzBehavior::ForgeMac => "forge-mac",
+        ByzBehavior::ForgeCert => "forge-cert",
+        ByzBehavior::CollectorSilent => "collector-silent",
     }
 }
 
@@ -41,6 +43,8 @@ fn parse_behavior(s: &str) -> Option<ByzBehavior> {
         "fabricate-bus" => ByzBehavior::FabricateBus,
         "equivocate-batch" => ByzBehavior::EquivocateBatch,
         "forge-mac" => ByzBehavior::ForgeMac,
+        "forge-cert" => ByzBehavior::ForgeCert,
+        "collector-silent" => ByzBehavior::CollectorSilent,
         _ => return None,
     })
 }
@@ -56,6 +60,21 @@ fn parse_auth_mode(s: &str) -> Option<AuthMode> {
     Some(match s {
         "sig" => AuthMode::Sig,
         "mac-with-sig-fallback" => AuthMode::MacWithSigFallback,
+        _ => return None,
+    })
+}
+
+fn comm_mode_str(mode: CommMode) -> &'static str {
+    match mode {
+        CommMode::AllToAll => "all-to-all",
+        CommMode::Collector => "collector",
+    }
+}
+
+fn parse_comm_mode(s: &str) -> Option<CommMode> {
+    Some(match s {
+        "all-to-all" => CommMode::AllToAll,
+        "collector" => CommMode::Collector,
         _ => return None,
     })
 }
@@ -76,6 +95,11 @@ pub fn write_repro(plan: &ChaosPlan, kind: ViolationKind) -> String {
         out,
         "        auth_mode: \"{}\",",
         auth_mode_str(plan.auth_mode)
+    );
+    let _ = writeln!(
+        out,
+        "        comm_mode: \"{}\",",
+        comm_mode_str(plan.comm_mode)
     );
     let _ = writeln!(out, "        mutation: {},", plan.mutation);
     let _ = writeln!(out, "        ops: [");
@@ -478,6 +502,15 @@ fn plan_from_value(value: &Value) -> Result<ChaosPlan, String> {
         }
         Err(_) => AuthMode::Sig,
     };
+    // Absent in pre-collector repro files, which all ran the all-to-all
+    // exchange — same format version, optional field.
+    let comm_mode = match value.field("comm_mode") {
+        Ok(v) => {
+            let s = v.as_str("comm_mode")?;
+            parse_comm_mode(s).ok_or_else(|| format!("unknown comm mode `{s}`"))?
+        }
+        Err(_) => CommMode::AllToAll,
+    };
     Ok(ChaosPlan {
         seed: value.field("seed")?.as_u64("seed")?,
         n_nodes: value.field("n_nodes")?.as_u64("n_nodes")? as usize,
@@ -504,6 +537,7 @@ fn plan_from_value(value: &Value) -> Result<ChaosPlan, String> {
                 .as_f64("duplicate_probability")?,
         },
         auth_mode,
+        comm_mode,
         mutation: value.field("mutation")?.as_bool("mutation")?,
     })
 }

@@ -6,7 +6,7 @@ use zugchain_chaos::{
     execute, minimize, parse_repro, run_seed, write_repro, ByzBehavior, ChaosPlan, NetPlan,
     ViolationKind,
 };
-use zugchain_pbft::AuthMode;
+use zugchain_pbft::{AuthMode, CommMode};
 
 /// Seeds checked on every `cargo test`. The extended bank (see
 /// `honest_seed_bank_extended`) and the CI `chaos-smoke` job cover
@@ -127,6 +127,78 @@ fn seed_bank_holds_invariants_in_both_auth_modes() {
     );
 }
 
+/// The same seeds pinned to *both* comm modes: the invariant battery
+/// I1–I8 must hold under the all-to-all exchange and under the linear
+/// collector fast path, and — because every schedule draw precedes the
+/// comm axis — each seed runs the identical fault schedule in both
+/// modes.
+#[test]
+fn seed_bank_holds_invariants_in_both_comm_modes() {
+    let mut collector_attacks = 0;
+    for seed in 0..SEED_BANK {
+        for mode in [CommMode::AllToAll, CommMode::Collector] {
+            let plan = ChaosPlan::generate(seed).with_comm_mode(mode);
+            if mode == CommMode::Collector
+                && plan.byzantine.iter().any(|b| {
+                    matches!(
+                        b.behavior,
+                        ByzBehavior::ForgeCert | ByzBehavior::CollectorSilent
+                    )
+                })
+            {
+                collector_attacks += 1;
+            }
+            let outcome = execute(&plan);
+            assert!(
+                outcome.violation.is_none(),
+                "seed {seed} ({mode:?}) violated an invariant: {}\nplan: {plan:#?}",
+                outcome.violation.unwrap(),
+            );
+            assert!(
+                outcome.blocks_created > 0,
+                "seed {seed} ({mode:?}) created no blocks"
+            );
+        }
+    }
+    // The generator must actually deal attacks on the fast path itself
+    // (forged certificates, swallowed certificates), not only honest
+    // collectors.
+    assert!(
+        collector_attacks > 0,
+        "no collector attack dealt across the seed bank"
+    );
+}
+
+/// A certificate-forging collector on a quiet baseline: honest
+/// receivers reject every forged inner signature, fall back to the
+/// all-to-all exchange, and every invariant holds.
+#[test]
+fn forged_certificates_are_rejected_and_safety_holds() {
+    let mut plan = honest_baseline(56, 8).with_comm_mode(CommMode::Collector);
+    plan.byzantine = vec![zugchain_chaos::plan::ByzPlan {
+        node: 2,
+        behavior: ByzBehavior::ForgeCert,
+    }];
+    let outcome = execute(&plan);
+    assert!(outcome.violation.is_none(), "{:?}", outcome.violation);
+    assert!(outcome.blocks_created > 0, "no blocks");
+}
+
+/// A certificate-swallowing collector on a quiet baseline: the
+/// per-phase fallback timers re-broadcast votes all-to-all, so the
+/// cluster keeps deciding and every invariant holds.
+#[test]
+fn silent_collector_is_survived_and_safety_holds() {
+    let mut plan = honest_baseline(57, 8).with_comm_mode(CommMode::Collector);
+    plan.byzantine = vec![zugchain_chaos::plan::ByzPlan {
+        node: 1,
+        behavior: ByzBehavior::CollectorSilent,
+    }];
+    let outcome = execute(&plan);
+    assert!(outcome.violation.is_none(), "{:?}", outcome.violation);
+    assert!(outcome.blocks_created > 0, "no blocks");
+}
+
 /// A MAC-forging Byzantine node on a quiet baseline: honest receivers
 /// drop every forged message, so the node looks silent — the untouched
 /// majority keeps deciding and every invariant holds.
@@ -184,6 +256,7 @@ fn honest_baseline(seed: u64, n_ops: usize) -> ChaosPlan {
         exports: Vec::new(),
         net: NetPlan::RELIABLE,
         auth_mode: AuthMode::Sig,
+        comm_mode: CommMode::AllToAll,
         mutation: false,
     }
 }

@@ -201,6 +201,12 @@ pub enum TimerId {
     ViewChange(u64),
     /// PBFT partial-batch flush timer (primary only).
     BatchFlush,
+    /// PBFT collector-mode fallback timer for the prepare phase of the
+    /// given slot.
+    CollectorPrepare(u64),
+    /// PBFT collector-mode fallback timer for the commit phase of the
+    /// given slot.
+    CollectorCommit(u64),
 }
 
 impl TimerId {
@@ -208,7 +214,10 @@ impl TimerId {
     pub fn digest(&self) -> Option<Digest> {
         match self {
             TimerId::Soft(d) | TimerId::Hard(d) => Some(*d),
-            TimerId::ViewChange(_) | TimerId::BatchFlush => None,
+            TimerId::ViewChange(_)
+            | TimerId::BatchFlush
+            | TimerId::CollectorPrepare(_)
+            | TimerId::CollectorCommit(_) => None,
         }
     }
 }
@@ -260,5 +269,7 @@ mod tests {
         assert_eq!(TimerId::Hard(digest).digest(), Some(digest));
         assert_eq!(TimerId::ViewChange(3).digest(), None);
         assert_eq!(TimerId::BatchFlush.digest(), None);
+        assert_eq!(TimerId::CollectorPrepare(7).digest(), None);
+        assert_eq!(TimerId::CollectorCommit(7).digest(), None);
     }
 }

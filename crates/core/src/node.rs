@@ -819,6 +819,38 @@ impl ZugchainNode {
                         id: TimerId::BatchFlush,
                     });
                 }
+                Effect::SetTimer {
+                    id: ReplicaTimer::CollectorPrepare(sn),
+                    duration_ms,
+                } => {
+                    self.effects.push(Effect::SetTimer {
+                        id: TimerId::CollectorPrepare(sn),
+                        duration_ms,
+                    });
+                }
+                Effect::CancelTimer {
+                    id: ReplicaTimer::CollectorPrepare(sn),
+                } => {
+                    self.effects.push(Effect::CancelTimer {
+                        id: TimerId::CollectorPrepare(sn),
+                    });
+                }
+                Effect::SetTimer {
+                    id: ReplicaTimer::CollectorCommit(sn),
+                    duration_ms,
+                } => {
+                    self.effects.push(Effect::SetTimer {
+                        id: TimerId::CollectorCommit(sn),
+                        duration_ms,
+                    });
+                }
+                Effect::CancelTimer {
+                    id: ReplicaTimer::CollectorCommit(sn),
+                } => {
+                    self.effects.push(Effect::CancelTimer {
+                        id: TimerId::CollectorCommit(sn),
+                    });
+                }
                 Effect::Output(ReplicaEvent::Decide { sn, request }) => {
                     self.on_decide(sn, request);
                 }
@@ -949,6 +981,14 @@ impl TrainNode for ZugchainNode {
             }
             TimerId::BatchFlush => {
                 self.replica.on_timer(ReplicaTimer::BatchFlush);
+                self.pump_replica();
+            }
+            TimerId::CollectorPrepare(sn) => {
+                self.replica.on_timer(ReplicaTimer::CollectorPrepare(sn));
+                self.pump_replica();
+            }
+            TimerId::CollectorCommit(sn) => {
+                self.replica.on_timer(ReplicaTimer::CollectorCommit(sn));
                 self.pump_replica();
             }
         }

@@ -18,6 +18,8 @@ pub fn timer_label(id: &TimerId) -> String {
         TimerId::Hard(digest) => format!("hard({})", digest.short()),
         TimerId::ViewChange(view) => format!("view-change({view})"),
         TimerId::BatchFlush => "batch-flush".to_string(),
+        TimerId::CollectorPrepare(sn) => format!("collector-prepare({sn})"),
+        TimerId::CollectorCommit(sn) => format!("collector-commit({sn})"),
     }
 }
 

@@ -1,6 +1,7 @@
 //! Property tests for the wire codec over every message the node layer
-//! exchanges: each [`NodeMessage`] variant (covering all six PBFT
-//! [`Message`] kinds and all three [`LayerMessage`] kinds) must survive
+//! exchanges: each [`NodeMessage`] variant (covering all eight PBFT
+//! [`Message`] kinds — including the collector-mode certificate
+//! variants — and all three [`LayerMessage`] kinds) must survive
 //! an encode/decode roundtrip unchanged, every strict prefix of an
 //! encoding must be rejected (a torn read never yields a phantom
 //! message), and trailing garbage after a valid encoding must be
@@ -17,7 +18,7 @@ use zugchain::{LayerMessage, NodeMessage, SignedRequest};
 use zugchain_crypto::{Digest, KeyPair, Keystore, SessionKeys};
 use zugchain_pbft::{
     Auth, AuthVerdict, Checkpoint, CheckpointProof, Message, NewView, NodeId, PrePrepare, Prepare,
-    PreparedCert, ProposedBatch, ProposedRequest, SignedMessage, ViewChange,
+    PreparedCert, ProposedBatch, ProposedRequest, SignedMessage, ViewChange, VoteCert,
 };
 use zugchain_wire::{from_bytes, to_bytes, Decode, Encode};
 
@@ -118,6 +119,25 @@ fn pbft_messages(
         ],
         preprepares: vec![preprepare.clone()],
     };
+    // Collector-mode certificates: a populated signature list (one
+    // entry per replica, so the varint list codec is exercised) and the
+    // degenerate empty list.
+    let full_cert = VoteCert {
+        view,
+        sn,
+        digest,
+        signatures: keys
+            .iter()
+            .enumerate()
+            .map(|(id, key)| (NodeId(id as u64), key.sign(payload)))
+            .collect(),
+    };
+    let empty_cert = VoteCert {
+        view,
+        sn,
+        digest,
+        signatures: Vec::new(),
+    };
     vec![
         Message::PrePrepare(preprepare),
         Message::Prepare(Prepare { view, sn, digest }),
@@ -126,6 +146,10 @@ fn pbft_messages(
         Message::ViewChange(full_vc),
         Message::ViewChange(empty_vc),
         Message::NewView(new_view),
+        Message::PrepareCert(full_cert.clone()),
+        Message::PrepareCert(empty_cert.clone()),
+        Message::CommitCert(full_cert),
+        Message::CommitCert(empty_cert),
     ]
 }
 
