@@ -23,7 +23,9 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use zugchain_archive::{Archive, BlockInfo, FleetArchive, QueryEngine};
-use zugchain_telemetry::{Counter, Gauge, Histogram, Registry};
+use zugchain_telemetry::{
+    check_chain, Counter, Gauge, Histogram, Registry, Span, TraceStore, STAGES,
+};
 use zugchain_wire::TrainId;
 
 use crate::auth::{Auth, AuthDecision};
@@ -109,8 +111,8 @@ impl Backend {
 
 /// Endpoint labels used in metrics — a closed set so the counter matrix
 /// can be pre-resolved instead of hitting the registry per request.
-const ENDPOINTS: [&str; 7] = [
-    "healthz", "metrics", "trains", "blocks", "timeline", "bundle", "other",
+const ENDPOINTS: [&str; 8] = [
+    "healthz", "metrics", "trains", "blocks", "timeline", "bundle", "trace", "other",
 ];
 const STATUSES: [u16; 8] = [200, 400, 401, 404, 405, 429, 500, 501];
 
@@ -191,6 +193,9 @@ pub struct ApiService {
     cache: ResponseCache,
     metrics: ApiMetrics,
     registry: Arc<Registry>,
+    /// Cross-node causal-span join point behind `/v1/trains/<id>/trace/<sn>`;
+    /// without one the endpoint answers 404.
+    traces: Option<Arc<TraceStore>>,
     default_page_limit: usize,
     max_page_limit: usize,
     started: Instant,
@@ -203,6 +208,7 @@ enum Route {
     Blocks(TrainId),
     Timeline(TrainId),
     Bundle(TrainId, u64),
+    Trace(TrainId, u64),
     NotFound,
 }
 
@@ -214,7 +220,19 @@ impl ApiService {
     /// Builds the serving core over `backend`, instrumented into
     /// `registry` (which `/metrics` also renders).
     pub fn new(config: ApiConfig, backend: Backend, registry: Arc<Registry>) -> Self {
+        Self::with_traces(config, backend, registry, None)
+    }
+
+    /// Like [`ApiService::new`] with a cluster-shared [`TraceStore`]
+    /// behind the `/v1/trains/<id>/trace/<sn>` lifecycle endpoint.
+    pub fn with_traces(
+        config: ApiConfig,
+        backend: Backend,
+        registry: Arc<Registry>,
+        traces: Option<Arc<TraceStore>>,
+    ) -> Self {
         ApiService {
+            traces,
             backend,
             auth: if config.tokens.is_empty() {
                 Auth::open()
@@ -265,6 +283,10 @@ impl ApiService {
             ["v1", "trains", id, "bundle", sn] => match (TrainId::parse(id), sn.parse::<u64>()) {
                 (Some(train), Ok(sn)) => (Route::Bundle(train, sn), "bundle"),
                 _ => (Route::NotFound, "bundle"),
+            },
+            ["v1", "trains", id, "trace", sn] => match (TrainId::parse(id), sn.parse::<u64>()) {
+                (Some(train), Ok(sn)) => (Route::Trace(train, sn), "trace"),
+                _ => (Route::NotFound, "trace"),
             },
             _ => (Route::NotFound, "other"),
         }
@@ -335,6 +357,7 @@ impl ApiService {
             Route::Blocks(train) => self.serve_blocks(train, request),
             Route::Timeline(train) => self.serve_timeline(train, request),
             Route::Bundle(train, sn) => self.serve_bundle(train, sn),
+            Route::Trace(train, sn) => self.serve_trace(train, sn),
             Route::NotFound => Response::json(
                 404,
                 error_body(&format!(
@@ -522,6 +545,52 @@ impl ApiService {
         }
     }
 
+    /// Serves the assembled cross-node lifecycle of consensus sequence
+    /// number `sn`: one entry per trace id decided at that sn (honest
+    /// runs have exactly one; two is equivocation evidence), each with
+    /// its canonical span chain and a completeness verdict. Never
+    /// cached — traces grow while the pipeline runs; the body is a pure
+    /// function of the store, so deterministic runs serve identical
+    /// bytes.
+    fn serve_trace(&self, train: TrainId, sn: u64) -> Response {
+        let Some(store) = &self.traces else {
+            return Response::json(404, error_body("causal tracing is not enabled"));
+        };
+        let mut traces = Vec::new();
+        for trace_id in store.traces_for_sn(sn) {
+            let spans: Vec<_> = store
+                .assemble(trace_id)
+                .into_iter()
+                .filter(|span| span.train == train.0)
+                .collect();
+            if spans.is_empty() {
+                continue;
+            }
+            let check = check_chain(&spans, &STAGES);
+            traces.push(
+                JsonObject::new()
+                    .field_u64("trace_id", trace_id)
+                    .field_u64("spans", spans.len() as u64)
+                    .field_str("chain", &format!("{check:?}"))
+                    .field_raw("lifecycle", &json::array(spans.iter().map(Span::to_json)))
+                    .finish(),
+            );
+        }
+        if traces.is_empty() {
+            return Response::json(
+                404,
+                error_body(&format!("no trace recorded for sn {sn} on train {train}")),
+            );
+        }
+        let body = JsonObject::new()
+            .field_u64("train", train.0)
+            .field_u64("sn", sn)
+            .field_u64("count", traces.len() as u64)
+            .field_raw("traces", &json::array(traces))
+            .finish();
+        Response::json(200, body)
+    }
+
     fn serve_bundle(&self, train: TrainId, sn: u64) -> Response {
         // A bundle is derived from one sealed segment: immutable once
         // it exists. Missing sns are *not* cached — they may be sealed
@@ -598,6 +667,21 @@ impl ApiServer {
         Self::bind("127.0.0.1:0", config, backend, registry)
     }
 
+    /// Like [`ApiServer::start`] with a cluster-shared [`TraceStore`]
+    /// behind the trace lifecycle endpoint.
+    ///
+    /// # Errors
+    ///
+    /// Socket bind/configure failures.
+    pub fn start_with_traces(
+        config: ApiConfig,
+        backend: Backend,
+        registry: Arc<Registry>,
+        traces: Option<Arc<TraceStore>>,
+    ) -> io::Result<Self> {
+        Self::bind_with_traces("127.0.0.1:0", config, backend, registry, traces)
+    }
+
     /// Like [`ApiServer::start`] with an explicit bind address.
     ///
     /// # Errors
@@ -609,10 +693,26 @@ impl ApiServer {
         backend: Backend,
         registry: Arc<Registry>,
     ) -> io::Result<Self> {
+        Self::bind_with_traces(addr, config, backend, registry, None)
+    }
+
+    /// The fully general front-end constructor: explicit bind address
+    /// plus an optional trace store.
+    ///
+    /// # Errors
+    ///
+    /// Socket bind/configure failures.
+    pub fn bind_with_traces(
+        addr: &str,
+        config: ApiConfig,
+        backend: Backend,
+        registry: Arc<Registry>,
+        traces: Option<Arc<TraceStore>>,
+    ) -> io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let address = listener.local_addr()?;
-        let service = Arc::new(ApiService::new(config, backend, registry));
+        let service = Arc::new(ApiService::with_traces(config, backend, registry, traces));
         let stop = Arc::new(AtomicBool::new(false));
 
         let accept_service = service.clone();

@@ -303,6 +303,11 @@ struct ArchiveMetrics {
     segments: zugchain_telemetry::Gauge,
     /// `zugchain_archive_requests`: indexed request count.
     requests: zugchain_telemetry::Gauge,
+    /// `zugchain_record_to_servable_ms`: end-to-end latency from the MVB
+    /// record's agreed bus time to the moment the request became
+    /// servable from this archive shard — one observation per archived
+    /// request, so its count equals the shard's indexed requests.
+    record_to_servable: zugchain_telemetry::Histogram,
 }
 
 impl ArchiveMetrics {
@@ -315,6 +320,7 @@ impl ArchiveMetrics {
             bundle_builds: telemetry.counter("zugchain_archive_bundle_builds_total"),
             segments: telemetry.gauge("zugchain_archive_segments"),
             requests: telemetry.gauge("zugchain_archive_requests"),
+            record_to_servable: telemetry.histogram("zugchain_record_to_servable_ms"),
         }
     }
 }
@@ -525,10 +531,70 @@ impl Archive {
                 let blocks = certified.blocks.len() as u64;
                 self.telemetry
                     .record_with(|| zugchain_telemetry::TraceEvent::ArchiveIngest { seq, blocks });
+                self.trace_ingest_spans(certified);
             }
             Err(_) => self.metrics.ingest_errors.inc(),
         }
         result
+    }
+
+    /// Emits the ground-side tail of every archived request's trace —
+    /// `ingest` (verified and indexed into this shard) and `servable`
+    /// (available to the query front end, the end of the juridical
+    /// pipeline) — and observes the end-to-end `record_to_servable`
+    /// latency from the request's agreed bus time. Ground spans record
+    /// under the node-0 convention, matching the export stage.
+    fn trace_ingest_spans(&self, certified: &CertifiedSegment) {
+        if !self.telemetry.is_enabled() {
+            return;
+        }
+        let train = self.train.0;
+        let now = self.telemetry.now_ms();
+        for block in &certified.blocks {
+            for request in &block.requests {
+                self.metrics
+                    .record_to_servable
+                    .observe(now.saturating_sub(block.header.time_ms));
+                let digest = zugchain_crypto::Digest::of(&request.payload);
+                let trace_id =
+                    zugchain_wire::derive_trace_id(train, request.origin, digest.as_bytes());
+                let ingest_span = zugchain_wire::derive_span_id(
+                    trace_id,
+                    zugchain_telemetry::Stage::Ingest.as_str(),
+                    0,
+                );
+                self.telemetry.record_span(|| zugchain_telemetry::Span {
+                    trace_id,
+                    span_id: ingest_span,
+                    parent_span: zugchain_wire::derive_span_id(
+                        trace_id,
+                        zugchain_telemetry::Stage::Export.as_str(),
+                        0,
+                    ),
+                    stage: zugchain_telemetry::Stage::Ingest,
+                    node: 0,
+                    train,
+                    sn: request.sn,
+                    start_ms: now,
+                    end_ms: now,
+                });
+                self.telemetry.record_span(|| zugchain_telemetry::Span {
+                    trace_id,
+                    span_id: zugchain_wire::derive_span_id(
+                        trace_id,
+                        zugchain_telemetry::Stage::Servable.as_str(),
+                        0,
+                    ),
+                    parent_span: ingest_span,
+                    stage: zugchain_telemetry::Stage::Servable,
+                    node: 0,
+                    train,
+                    sn: request.sn,
+                    start_ms: now,
+                    end_ms: now,
+                });
+            }
+        }
     }
 
     fn ingest_inner(&mut self, certified: &CertifiedSegment) -> Result<u64, IngestError> {

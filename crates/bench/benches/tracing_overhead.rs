@@ -1,0 +1,150 @@
+//! Causal-tracing overhead on the consensus hot path: orders the same
+//! request stream as `pbft/scale/all-to-all/4` (64 distinct 256-byte
+//! requests, 4 replicas, all-to-all votes) with span emission disabled
+//! (the default — every handle is an inert `None`) and enabled (each
+//! replica publishing spans into a cluster-shared [`TraceStore`]).
+//!
+//! The acceptance gate is that the **disabled** path stays within 2% of
+//! the recorded pre-tracing `pbft/scale/all-to-all/4` baseline in
+//! `BENCH_pbft.json` — instrumenting the pipeline must cost nothing
+//! when tracing is off. The enabled delta is the true cost of deriving
+//! ids and recording spans.
+//!
+//! Set `ZUGCHAIN_BENCH_QUICK=1` for the CI smoke variant.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use zugchain_crypto::Keystore;
+use zugchain_machine::Effect;
+use zugchain_pbft::{Config, NodeId, ProposedRequest, Replica, ReplicaEvent};
+use zugchain_telemetry::{Registry, Telemetry, TraceStore, DEFAULT_TRACE_CAPACITY};
+
+const N: usize = 4;
+
+fn fresh_group(telemetry: Option<&[Telemetry]>) -> Vec<Replica> {
+    let config = Config::new(N).unwrap();
+    let (pairs, keystore) = Keystore::generate(N, 7);
+    pairs
+        .into_iter()
+        .enumerate()
+        .map(|(id, key)| {
+            let mut replica =
+                Replica::new(NodeId(id as u64), config.clone(), key, keystore.clone());
+            if let Some(handles) = telemetry {
+                replica.set_telemetry(&handles[id]);
+            }
+            replica
+        })
+        .collect()
+}
+
+fn traced_handles() -> (Vec<Telemetry>, Arc<TraceStore>) {
+    let registry = Arc::new(Registry::new());
+    let store = Arc::new(TraceStore::new());
+    let handles = (0..N as u64)
+        .map(|id| {
+            Telemetry::new_with_store(
+                id,
+                Arc::clone(&registry),
+                DEFAULT_TRACE_CAPACITY,
+                Some(Arc::clone(&store)),
+            )
+        })
+        .collect();
+    (handles, store)
+}
+
+/// Same ordering loop as `pbft_scale`: propose the stream on the
+/// primary, pump the group until quiet, count per-request decides.
+fn order_stream(replicas: &mut [Replica], requests: usize) -> usize {
+    for tag in 0..requests {
+        let mut payload = vec![0u8; 256];
+        payload[..8].copy_from_slice(&(tag as u64).to_le_bytes());
+        replicas[0].propose(ProposedRequest::application(payload, NodeId(0)));
+    }
+    let mut decided = 0usize;
+    loop {
+        let mut traffic = Vec::new();
+        for replica in replicas.iter_mut() {
+            for effect in replica.drain_effects() {
+                match effect {
+                    Effect::Broadcast { message } => traffic.push(message),
+                    Effect::Output(ReplicaEvent::Decide { .. }) => decided += 1,
+                    _ => {}
+                }
+            }
+        }
+        if traffic.is_empty() {
+            break;
+        }
+        for message in traffic {
+            for replica in replicas.iter_mut() {
+                replica.on_message(message.clone());
+            }
+        }
+    }
+    decided
+}
+
+fn bench_tracing_overhead(c: &mut Criterion) {
+    let quick = std::env::var_os("ZUGCHAIN_BENCH_QUICK").is_some();
+    let requests = if quick { 16usize } else { 64 };
+    let mut group = c.benchmark_group("pbft/tracing_overhead");
+    group.sample_size(if quick { 3 } else { 10 });
+    group.throughput(Throughput::Elements(requests as u64));
+
+    group.bench_function("disabled", |b| {
+        b.iter_batched(
+            || fresh_group(None),
+            |mut replicas| {
+                let decided = order_stream(&mut replicas, requests);
+                assert_eq!(decided, N * requests);
+                decided
+            },
+            criterion::BatchSize::LargeInput,
+        );
+    });
+
+    group.bench_function("enabled", |b| {
+        b.iter_batched(
+            || {
+                let (handles, store) = traced_handles();
+                (fresh_group(Some(&handles)), store)
+            },
+            |(mut replicas, store)| {
+                let decided = order_stream(&mut replicas, requests);
+                assert_eq!(decided, N * requests);
+                store.trace_count()
+            },
+            criterion::BatchSize::LargeInput,
+        );
+    });
+
+    group.finish();
+
+    // Untimed sanity pass: the enabled path must actually trace — one
+    // joined trace per request, spans from every replica.
+    let (handles, store) = traced_handles();
+    let mut replicas = fresh_group(Some(&handles));
+    let decided = order_stream(&mut replicas, requests);
+    assert_eq!(decided, N * requests);
+    assert_eq!(
+        store.trace_count(),
+        requests,
+        "every ordered request must leave a joined trace"
+    );
+    println!(
+        "bench-result: pbft/tracing_overhead_traces/{requests} traces={} spans_per_trace_min={}",
+        store.trace_count(),
+        store
+            .trace_ids()
+            .iter()
+            .map(|&id| store.assemble(id).len())
+            .min()
+            .unwrap_or(0)
+    );
+}
+
+criterion_group!(benches, bench_tracing_overhead);
+criterion_main!(benches);

@@ -119,6 +119,19 @@ fn main() -> ExitCode {
                 eprintln!("  failed to write {}: {err}", trace_path.display());
             }
         }
+        // When the violation names a consensus slot, the assembled
+        // cross-node span trees of that slot's traces land next to the
+        // flight-recorder dump.
+        if !failure.span_trees.is_empty() {
+            let span_path = args.out.join(&failure.span_tree_file_name);
+            match std::fs::write(&span_path, &failure.span_trees) {
+                Ok(()) => println!("  wrote {}", span_path.display()),
+                Err(err) => {
+                    wrote_all = false;
+                    eprintln!("  failed to write {}: {err}", span_path.display());
+                }
+            }
+        }
     }
 
     if report.failures.is_empty() && wrote_all {

@@ -343,6 +343,25 @@ fn injected_equivocation_bug_is_caught_minimized_and_replayed() {
         "buggy primary's tail must show the equivocating per-peer sends"
     );
 
+    // 1c. The violation names a consensus slot, so the outcome carries
+    //     the assembled cross-node span tree(s) of that slot's traces —
+    //     the causal record of what the Byzantine primary itself sent:
+    //     its own batch_flush span, parented on the origin's submit.
+    assert!(
+        !outcome.violation_span_trees.is_empty(),
+        "equivocation must dump the violating slot's span trees"
+    );
+    assert!(
+        outcome.violation_span_trees.contains("batch_flush node=0"),
+        "span tree must show the Byzantine primary's own flush:\n{}",
+        outcome.violation_span_trees
+    );
+    assert!(
+        outcome.violation_span_trees.contains("submit node="),
+        "span tree must chain back to the origin's submit:\n{}",
+        outcome.violation_span_trees
+    );
+
     // 2. Minimize: a single op suffices to trigger a primary proposal,
     //    so the schedule must shrink to one.
     let minimized = minimize(&plan, violation.kind, 100);

@@ -32,6 +32,9 @@ pub struct NodeConfig {
     /// filter's sliding window (§III-C: "a hashmap over the requests of a
     /// sliding window of past checkpoints").
     pub dedup_window_checkpoints: usize,
+    /// Capacity of the per-node flight-recorder ring and causal-span ring
+    /// (events retained per node). Overflow keeps the newest events.
+    pub trace_capacity: usize,
 }
 
 impl NodeConfig {
@@ -47,6 +50,7 @@ impl NodeConfig {
             view_change_timeout_ms: 500,
             open_request_limit: 16,
             dedup_window_checkpoints: 8,
+            trace_capacity: zugchain_telemetry::DEFAULT_TRACE_CAPACITY,
         }
     }
 
@@ -62,6 +66,7 @@ impl NodeConfig {
             view_change_timeout_ms: 100,
             open_request_limit: 8,
             dedup_window_checkpoints: 4,
+            trace_capacity: zugchain_telemetry::DEFAULT_TRACE_CAPACITY,
         }
     }
 
@@ -96,6 +101,14 @@ impl NodeConfig {
     pub fn with_timeouts(mut self, soft_ms: u64, hard_ms: u64) -> Self {
         self.soft_timeout_ms = soft_ms;
         self.hard_timeout_ms = hard_ms;
+        self
+    }
+
+    /// Overrides the flight-recorder / span-ring capacity (a floor of 1
+    /// is applied by the ring itself).
+    #[must_use]
+    pub fn with_trace_capacity(mut self, capacity: usize) -> Self {
+        self.trace_capacity = capacity;
         self
     }
 }

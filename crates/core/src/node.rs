@@ -8,7 +8,8 @@ use zugchain_pbft::{
     CheckpointProof, NodeId, ProposedRequest, Replica, ReplicaEvent, ReplicaTimer,
 };
 use zugchain_signals::CycleConsolidator;
-use zugchain_wire::TrainId;
+use zugchain_telemetry::{Span, Stage};
+use zugchain_wire::{derive_span_id, derive_trace_id, TrainId};
 
 use crate::dedup::DedupLog;
 use crate::{LayerMessage, NodeConfig, NodeMessage, SignedRequest, TimerId};
@@ -288,6 +289,9 @@ pub struct ZugchainNode {
     /// Registry handles for the layer's instrument points, resolved by
     /// [`TrainNode::set_telemetry`]; disabled (free) by default.
     metrics: NodeMetrics,
+    /// Span-emission handle (train-scoped when the node belongs to a
+    /// fleet train); disabled by default.
+    telemetry: zugchain_telemetry::Telemetry,
 }
 
 /// Cached registry handles for the communication layer's instrument
@@ -339,6 +343,7 @@ impl ZugchainNode {
             effects: Vec::new(),
             stats: NodeStats::default(),
             metrics: NodeMetrics::default(),
+            telemetry: zugchain_telemetry::Telemetry::disabled(),
             config,
             key,
             replica,
@@ -400,6 +405,7 @@ impl ZugchainNode {
             effects: Vec::new(),
             stats: NodeStats::default(),
             metrics: NodeMetrics::default(),
+            telemetry: zugchain_telemetry::Telemetry::disabled(),
             config,
             key,
             replica,
@@ -529,6 +535,9 @@ impl ZugchainNode {
             return;
         }
         let request = ProposedRequest::application(payload, self.id).with_time(self.last_time_ms);
+        if self.telemetry.is_enabled() {
+            self.trace_origin_spans(&digest);
+        }
         self.pending.insert(
             digest,
             Pending {
@@ -549,6 +558,42 @@ impl ZugchainNode {
             });
         }
         self.update_open_gauges();
+    }
+
+    /// Emits the origin-side spans of a freshly accepted bus payload:
+    /// `record` — the MVB read itself, a point in time at the agreed bus
+    /// timestamp (the root of the request's trace) — and `submit`, the
+    /// hand-off from reception to consensus. Every later stage re-derives
+    /// the same trace id from `(train, origin, payload digest)`.
+    fn trace_origin_spans(&self, digest: &Digest) {
+        let train = self.telemetry.train_id();
+        let node = self.id.0;
+        let recorded = self.last_time_ms;
+        let now = self.telemetry.now_ms().max(recorded);
+        let trace_id = derive_trace_id(train, node, digest.as_bytes());
+        let record_span = derive_span_id(trace_id, Stage::Record.as_str(), node);
+        self.telemetry.record_span(|| Span {
+            trace_id,
+            span_id: record_span,
+            parent_span: 0,
+            stage: Stage::Record,
+            node,
+            train,
+            sn: 0,
+            start_ms: recorded,
+            end_ms: recorded,
+        });
+        self.telemetry.record_span(|| Span {
+            trace_id,
+            span_id: derive_span_id(trace_id, Stage::Submit.as_str(), node),
+            parent_span: record_span,
+            stage: Stage::Submit,
+            node,
+            train,
+            sn: 0,
+            start_ms: recorded,
+            end_ms: now,
+        });
     }
 
     /// Publishes the open-request and rate-limit occupancy gauges.
@@ -1058,6 +1103,7 @@ impl TrainNode for ZugchainNode {
         };
         self.metrics = NodeMetrics::resolve(&telemetry);
         self.replica.set_telemetry(&telemetry);
+        self.telemetry = telemetry;
         self.update_open_gauges();
     }
 }

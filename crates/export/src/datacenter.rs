@@ -391,6 +391,44 @@ impl DataCenter {
         }
     }
 
+    /// Emits one `export` span per logged request of a certified
+    /// segment, parented on the origin replica's `decide` span. Ground
+    /// stages record under the node-0 convention (there is one logical
+    /// ground per train, regardless of which DC machine runs the round).
+    fn trace_export_spans(&self, blocks: &[Block]) {
+        if !self.telemetry.is_enabled() {
+            return;
+        }
+        let train = self.config.train.0;
+        let now = self.telemetry.now_ms();
+        for block in blocks {
+            for request in &block.requests {
+                let digest = Digest::of(&request.payload);
+                let trace_id =
+                    zugchain_wire::derive_trace_id(train, request.origin, digest.as_bytes());
+                self.telemetry.record_span(|| zugchain_telemetry::Span {
+                    trace_id,
+                    span_id: zugchain_wire::derive_span_id(
+                        trace_id,
+                        zugchain_telemetry::Stage::Export.as_str(),
+                        0,
+                    ),
+                    parent_span: zugchain_wire::derive_span_id(
+                        trace_id,
+                        zugchain_telemetry::Stage::Decide.as_str(),
+                        request.origin,
+                    ),
+                    stage: zugchain_telemetry::Stage::Export,
+                    node: 0,
+                    train,
+                    sn: request.sn,
+                    start_ms: now,
+                    end_ms: now,
+                });
+            }
+        }
+    }
+
     /// Steps ③–⑤ once enough replies are in.
     fn try_finalize(&mut self) -> Vec<DcEffect> {
         let Some(round) = &self.round else {
@@ -511,6 +549,7 @@ impl DataCenter {
         let proof = best.proof.clone().expect("verified above");
         self.metrics.certified_segments.inc();
         self.metrics.blocks.add(exported as u64);
+        self.trace_export_spans(&segment);
         self.certified.push(CertifiedSegment {
             train: self.config.train,
             base_height: self.last_height,

@@ -2,7 +2,8 @@ use std::collections::{BTreeMap, VecDeque};
 
 use zugchain_crypto::{verify_batch, BatchItem, Digest, KeyPair, Keystore, SessionKeys, Signature};
 use zugchain_machine::{Effect, Machine};
-use zugchain_telemetry::{Counter, Gauge, Histogram, Telemetry};
+use zugchain_telemetry::{Counter, Gauge, Histogram, Span, Stage, Telemetry};
+use zugchain_wire::{derive_span_id, derive_trace_id};
 
 use crate::messages::{Commit, VoteCert};
 use crate::{
@@ -196,6 +197,12 @@ struct Slot {
     prepare_rebroadcast: bool,
     /// Same for its own commit.
     commit_rebroadcast: bool,
+    /// Trace-clock readings of the three protocol transitions, used as
+    /// span boundaries (0 when telemetry is disabled): preprepare
+    /// accepted, prepare quorum reached, commit quorum reached.
+    t_accept: u64,
+    t_prepared: u64,
+    t_committed: u64,
 }
 
 impl Slot {
@@ -367,6 +374,14 @@ pub struct Replica {
     /// Registry handles for the instrument points, resolved once by
     /// [`Replica::set_telemetry`]; disabled (free) by default.
     metrics: ReplicaMetrics,
+    /// Span-emission handle (disabled by default: every causal-tracing
+    /// site is a single branch when observability is off).
+    telemetry: Telemetry,
+    /// Trace-clock reading at which each open proposal entered this
+    /// primary's backlog, keyed by payload digest — the start of its
+    /// `batch_flush` span. Only populated when telemetry is enabled;
+    /// entries are consumed at flush and swept at decide.
+    proposed_at: BTreeMap<Digest, u64>,
     /// Mutation hook (chaos harness only): when set, this replica
     /// equivocates as primary — see [`Replica::enable_equivocation_bug`].
     #[cfg(feature = "mutation-hooks")]
@@ -410,6 +425,8 @@ impl Replica {
             effects: Vec::new(),
             stats: ReplicaStats::default(),
             metrics: ReplicaMetrics::default(),
+            telemetry: Telemetry::disabled(),
+            proposed_at: BTreeMap::new(),
             #[cfg(feature = "mutation-hooks")]
             equivocate: false,
         }
@@ -423,6 +440,7 @@ impl Replica {
         self.metrics = ReplicaMetrics::resolve(telemetry);
         self.metrics.view.set(self.view as i64);
         self.metrics.decided_up_to.set(self.decided_up_to as i64);
+        self.telemetry = telemetry.clone();
     }
 
     /// Creates a replica resuming from a stable checkpoint — the restart
@@ -693,6 +711,15 @@ impl Replica {
     /// unchanged (with a batch size of 1 every proposal is a full batch
     /// and the timer is never armed).
     pub fn propose(&mut self, request: ProposedRequest) {
+        if self.telemetry.is_enabled() && !request.is_noop() {
+            // Start of the request's `batch_flush` span: when it entered
+            // the backlog (clamped forward to its origin bus time so the
+            // per-stage timeline never runs backwards across nodes).
+            let entered = self.telemetry.now_ms().max(request.time_ms);
+            self.proposed_at
+                .entry(request.payload_digest())
+                .or_insert(entered);
+        }
         self.backlog.push_back(request);
         if self.is_primary() && !self.in_view_change() {
             self.flush_backlog(false);
@@ -727,6 +754,7 @@ impl Replica {
                 sn: base,
                 batch,
             };
+            self.trace_batch_flush(&preprepare);
             // Record locally, then broadcast to the backups.
             self.accept_preprepare(preprepare.clone());
             #[cfg(feature = "mutation-hooks")]
@@ -741,6 +769,106 @@ impl Replica {
             });
         }
         self.metrics.backlog_len.set(self.backlog.len() as i64);
+    }
+
+    /// Emits one `batch_flush` span per application request of the batch
+    /// the primary is about to broadcast: start = when the proposal
+    /// entered the backlog, end = now, parented on the origin's `submit`
+    /// span. Single branch when telemetry is disabled.
+    fn trace_batch_flush(&mut self, preprepare: &PrePrepare) {
+        if !self.telemetry.is_enabled() {
+            return;
+        }
+        let train = self.telemetry.train_id();
+        let now = self.telemetry.now_ms();
+        let base = preprepare.sn;
+        for (offset, (request, digest)) in preprepare
+            .batch
+            .requests()
+            .iter()
+            .zip(preprepare.batch.payload_digests())
+            .enumerate()
+        {
+            if request.is_noop() {
+                continue;
+            }
+            let start = self
+                .proposed_at
+                .remove(digest)
+                .unwrap_or(now)
+                .max(request.time_ms);
+            let end = now.max(start);
+            let trace_id = derive_trace_id(train, request.origin.0, digest.as_bytes());
+            let sn = base + offset as u64;
+            let node = self.id.0;
+            self.telemetry.record_span(|| Span {
+                trace_id,
+                span_id: derive_span_id(trace_id, Stage::BatchFlush.as_str(), node),
+                parent_span: derive_span_id(trace_id, Stage::Submit.as_str(), request.origin.0),
+                stage: Stage::BatchFlush,
+                node,
+                train,
+                sn,
+                start_ms: start,
+                end_ms: end,
+            });
+        }
+    }
+
+    /// `(sn, origin, payload digest)` of every application request in an
+    /// accepted batch — collected while the slot is borrowed so span
+    /// emission can happen after the borrow ends.
+    fn traced_requests(preprepare: &PrePrepare, digests: &[Digest]) -> Vec<(u64, u64, Digest)> {
+        preprepare
+            .batch
+            .requests()
+            .iter()
+            .zip(digests)
+            .enumerate()
+            .filter(|(_, (request, _))| !request.is_noop())
+            .map(|(offset, (request, digest))| {
+                (preprepare.sn + offset as u64, request.origin.0, *digest)
+            })
+            .collect()
+    }
+
+    /// Emits one span per traced request of a slot, deriving ids from
+    /// `(train, origin, digest)` so every node names the same spans
+    /// without coordination. `parent_node` of `None` parents each span
+    /// on the request's own origin node.
+    fn emit_slot_spans(
+        &self,
+        stage: Stage,
+        parent_stage: Stage,
+        parent_node: Option<u64>,
+        requests: &[(u64, u64, Digest)],
+        start_ms: u64,
+        end_ms: u64,
+    ) {
+        if requests.is_empty() {
+            return;
+        }
+        let train = self.telemetry.train_id();
+        let node = self.id.0;
+        let end_ms = end_ms.max(start_ms);
+        for &(sn, origin, digest) in requests {
+            let trace_id = derive_trace_id(train, origin, digest.as_bytes());
+            self.telemetry.record_span(|| Span {
+                trace_id,
+                span_id: derive_span_id(trace_id, stage.as_str(), node),
+                parent_span: derive_span_id(
+                    trace_id,
+                    parent_stage.as_str(),
+                    parent_node.unwrap_or(origin),
+                ),
+                stage,
+                node,
+                train,
+                sn,
+                start_ms,
+                end_ms,
+            });
+        }
     }
 
     /// Mutation hook: enables a deliberately injected equivocation bug.
@@ -1345,10 +1473,26 @@ impl Replica {
         let sn = preprepare.sn;
         let batch_digest = preprepare.batch.digest();
         let payload_digests: Vec<Digest> = preprepare.batch.payload_digests().to_vec();
+        let traced = if self.telemetry.is_enabled() {
+            Self::traced_requests(&preprepare, &payload_digests)
+        } else {
+            Vec::new()
+        };
+        let primary = self.config.primary_of(preprepare.view).0;
+        let now = self.telemetry.now_ms();
         let slot = self.slots.entry(sn).or_default();
         slot.batch_digest = Some(batch_digest);
         slot.payload_digests = payload_digests.clone();
+        slot.t_accept = now;
         slot.preprepare = Some(preprepare);
+        self.emit_slot_spans(
+            Stage::PrePrepare,
+            Stage::BatchFlush,
+            Some(primary),
+            &traced,
+            now,
+            now,
+        );
         self.maybe_advance(sn);
         (batch_digest, payload_digests)
     }
@@ -1566,17 +1710,36 @@ impl Replica {
             && slot.matching_prepares(&digest) >= prepare_quorum
             && self.validate_prepare_quorum(sn, &digest)
         {
+            let now = self.telemetry.now_ms();
             let slot = self
                 .slots
                 .get_mut(&sn)
                 .expect("slot existed before signature validation");
             slot.prepared = true;
+            slot.t_prepared = now;
+            let t_accept = slot.t_accept;
+            let traced = match (&slot.preprepare, self.telemetry.is_enabled()) {
+                (Some(preprepare), true) => {
+                    Self::traced_requests(preprepare, &slot.payload_digests)
+                }
+                _ => Vec::new(),
+            };
             let disarm = std::mem::take(&mut slot.collector_prepare_armed);
             if disarm {
                 self.effects.push(Effect::CancelTimer {
                     id: ReplicaTimer::CollectorPrepare(sn),
                 });
             }
+            // The prepare span covers preprepare-accept → prepare-quorum
+            // on this node, parented on this node's own preprepare span.
+            self.emit_slot_spans(
+                Stage::Prepare,
+                Stage::PrePrepare,
+                Some(self.id.0),
+                &traced,
+                t_accept,
+                now,
+            );
             // The slot's collector rebroadcasts the prepare quorum it
             // just validated as one certificate — the linear fast path.
             if self.config.comm_mode == CommMode::Collector
@@ -1605,13 +1768,31 @@ impl Replica {
             return;
         };
         if slot.prepared && !slot.committed && slot.matching_commits(&digest) >= quorum {
+            let now = self.telemetry.now_ms();
             slot.committed = true;
+            slot.t_committed = now;
+            let t_prepared = slot.t_prepared;
+            let traced = match (&slot.preprepare, self.telemetry.is_enabled()) {
+                (Some(preprepare), true) => {
+                    Self::traced_requests(preprepare, &slot.payload_digests)
+                }
+                _ => Vec::new(),
+            };
             let disarm = std::mem::take(&mut slot.collector_commit_armed);
             if disarm {
                 self.effects.push(Effect::CancelTimer {
                     id: ReplicaTimer::CollectorCommit(sn),
                 });
             }
+            // The commit span covers prepare-quorum → commit-quorum.
+            self.emit_slot_spans(
+                Stage::Commit,
+                Stage::Prepare,
+                Some(self.id.0),
+                &traced,
+                t_prepared,
+                now,
+            );
             if self.config.comm_mode == CommMode::Collector
                 && self.config.collector_of(view, sn) == self.id
             {
@@ -1655,18 +1836,36 @@ impl Replica {
                 return;
             }
             slot.decided = true;
+            let t_committed = slot.t_committed;
+            let digests = slot.payload_digests.clone();
             let preprepare = slot
                 .preprepare
                 .clone()
                 .expect("committed slot has a preprepare");
             self.stats.batches_decided += 1;
             self.metrics.batches_decided.inc();
+            let now = self.telemetry.now_ms();
             let requests = preprepare.batch.into_requests();
             self.metrics.batch_occupancy.observe(requests.len() as u64);
             for (offset, request) in requests.into_iter().enumerate() {
                 let sn = base + offset as u64;
                 if sn <= self.decided_up_to {
                     continue; // already covered by a state transfer
+                }
+                if self.telemetry.is_enabled() && !request.is_noop() {
+                    if let Some(digest) = digests.get(offset) {
+                        // The decide span closes the consensus phase:
+                        // commit-quorum → in-order execution up-call.
+                        self.proposed_at.remove(digest);
+                        self.emit_slot_spans(
+                            Stage::Decide,
+                            Stage::Commit,
+                            Some(self.id.0),
+                            &[(sn, request.origin.0, *digest)],
+                            t_committed,
+                            now,
+                        );
+                    }
                 }
                 self.decided_up_to = sn;
                 self.stats.decided += 1;

@@ -1,0 +1,170 @@
+//! End-to-end causal-tracing smoke: the CI `trace-smoke` job's subject.
+//!
+//! ```text
+//! trace_smoke [--out DIR] [--duration-ms N] [--seed N]
+//! ```
+//!
+//! Runs the full traced pipeline ([`run_traced_pipeline`]) twice with
+//! the same seed, then:
+//!
+//! * fails unless every archived request's `/v1/trains/0/trace/<sn>`
+//!   response is `200` with a `Complete` span chain (record → submit →
+//!   batch_flush → preprepare → prepare → commit → decide → export →
+//!   ingest → servable);
+//! * fails unless both runs served byte-identical trace bodies — the
+//!   determinism claim that makes span dumps juridically comparable;
+//! * fails unless the `zugchain_record_to_servable_ms` histogram
+//!   counted exactly one observation per archived request;
+//! * writes the assembled trace bodies to `DIR/traces.jsonl`, the
+//!   exposition to `DIR/metrics.prom`, and prints machine-readable
+//!   `trace-smoke: <k>=<v>` lines for the CI job to cross-check.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use zugchain_pbft::{AuthMode, CommMode};
+use zugchain_sim::{run_traced_pipeline, Mode, ScenarioConfig, Workload};
+
+struct Args {
+    out: PathBuf,
+    duration_ms: u64,
+    seed: u64,
+    comm_mode: CommMode,
+    auth_mode: AuthMode,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        out: PathBuf::from("trace-out"),
+        duration_ms: 3_000,
+        seed: 7,
+        comm_mode: CommMode::AllToAll,
+        auth_mode: AuthMode::Sig,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match arg.as_str() {
+            "--out" => args.out = PathBuf::from(value("--out")?),
+            "--duration-ms" => {
+                args.duration_ms = value("--duration-ms")?
+                    .parse()
+                    .map_err(|e| format!("{e}"))?;
+            }
+            "--seed" => args.seed = value("--seed")?.parse().map_err(|e| format!("{e}"))?,
+            "--comm-mode" => {
+                args.comm_mode = match value("--comm-mode")?.as_str() {
+                    "all-to-all" => CommMode::AllToAll,
+                    "collector" => CommMode::Collector,
+                    other => return Err(format!("unknown comm mode `{other}`")),
+                };
+            }
+            "--auth-mode" => {
+                args.auth_mode = match value("--auth-mode")?.as_str() {
+                    "sig" => AuthMode::Sig,
+                    "mac" => AuthMode::MacWithSigFallback,
+                    other => return Err(format!("unknown auth mode `{other}`")),
+                };
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: trace_smoke [--out DIR] [--duration-ms N] [--seed N] \
+                     [--comm-mode all-to-all|collector] [--auth-mode sig|mac]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(err) => {
+            eprintln!("trace_smoke: {err}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut config = ScenarioConfig {
+        mode: Mode::Zugchain,
+        duration_ms: args.duration_ms,
+        bus_cycle_ms: 64,
+        workload: Workload::SyntheticPayload { bytes: 256 },
+        ..ScenarioConfig::default()
+    };
+    config.node_config.pbft = config
+        .node_config
+        .pbft
+        .with_comm_mode(args.comm_mode)
+        .with_auth_mode(args.auth_mode);
+    let outcome = run_traced_pipeline(&config, args.seed);
+    let replay = run_traced_pipeline(&config, args.seed);
+
+    if outcome.archived_sns.is_empty() {
+        eprintln!("trace_smoke: the run archived nothing — no traces to check");
+        return ExitCode::FAILURE;
+    }
+
+    let mut complete = 0usize;
+    let mut failed = false;
+    for (sn, status, body) in &outcome.trace_responses {
+        if *status != 200 {
+            eprintln!("trace_smoke: sn {sn}: status {status}: {body}");
+            failed = true;
+        } else if body.contains("\"chain\":\"Complete\"") {
+            complete += 1;
+        } else {
+            eprintln!("trace_smoke: sn {sn}: incomplete span chain: {body}");
+            failed = true;
+        }
+    }
+
+    if outcome.trace_fingerprint() != replay.trace_fingerprint() {
+        eprintln!("trace_smoke: two same-seed runs served different trace bytes");
+        failed = true;
+    }
+    if outcome.record_to_servable_count != outcome.archived_requests as u64 {
+        eprintln!(
+            "trace_smoke: record_to_servable count {} != archived requests {}",
+            outcome.record_to_servable_count, outcome.archived_requests
+        );
+        failed = true;
+    }
+
+    if let Err(err) = std::fs::create_dir_all(&args.out) {
+        eprintln!("trace_smoke: create {}: {err}", args.out.display());
+        return ExitCode::FAILURE;
+    }
+    if let Err(err) = std::fs::write(args.out.join("traces.jsonl"), outcome.trace_fingerprint()) {
+        eprintln!("trace_smoke: write traces.jsonl: {err}");
+        return ExitCode::FAILURE;
+    }
+    if let Err(err) = std::fs::write(args.out.join("metrics.prom"), &outcome.exposition) {
+        eprintln!("trace_smoke: write metrics.prom: {err}");
+        return ExitCode::FAILURE;
+    }
+
+    println!("trace-smoke: archived_sns={}", outcome.archived_sns.len());
+    println!(
+        "trace-smoke: archived_requests={}",
+        outcome.archived_requests
+    );
+    println!("trace-smoke: complete_chains={complete}");
+    println!(
+        "trace-smoke: record_to_servable_count={}",
+        outcome.record_to_servable_count
+    );
+    println!(
+        "trace-smoke: deterministic={}",
+        outcome.trace_fingerprint() == replay.trace_fingerprint()
+    );
+
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

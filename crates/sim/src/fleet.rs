@@ -138,7 +138,7 @@ fn signal_payload(train: TrainId, sn: u64) -> Vec<u8> {
     })
 }
 
-fn certify(pairs: &[KeyPair], sn: u64, head: &Block) -> CheckpointProof {
+pub(crate) fn certify(pairs: &[KeyPair], sn: u64, head: &Block) -> CheckpointProof {
     let checkpoint = Checkpoint {
         sn,
         state_digest: head.hash(),

@@ -56,6 +56,7 @@ pub mod runtime;
 mod scenario;
 mod sim;
 pub mod tcp;
+pub mod trace_pipeline;
 
 pub use cost::CostModel;
 pub use export_sim::{simulate_export, ExportSimConfig, ExportTiming};
@@ -63,3 +64,4 @@ pub use metrics::{LatencyStats, RunMetrics};
 pub use network::NetworkModel;
 pub use scenario::{Mode, PartitionFault, ScenarioConfig, SimFaults, Workload};
 pub use sim::{run_scenario, Simulation, TelemetryCapture};
+pub use trace_pipeline::{run_traced_pipeline, TracedPipelineOutcome};

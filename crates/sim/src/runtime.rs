@@ -11,7 +11,7 @@ use zugchain_blockchain::{ChainStore, DiskStore};
 use zugchain_crypto::{Digest, KeyPair, Keystore};
 use zugchain_mvb::{Nsdb, Telegram};
 use zugchain_pbft::{CheckpointProof, NodeId};
-use zugchain_telemetry::{Registry, Telemetry, DEFAULT_TRACE_CAPACITY};
+use zugchain_telemetry::{Registry, Telemetry, TraceStore};
 
 use crate::node_loop::{node_loop, ChannelLink, LoopInput};
 
@@ -92,6 +92,7 @@ pub struct ThreadedCluster {
     handles: Vec<JoinHandle<NodeSummary>>,
     registry: Arc<Registry>,
     telemetry: Vec<Telemetry>,
+    traces: Arc<TraceStore>,
     /// The group keystore, exposed for export-side verification.
     pub keystore: Keystore,
     /// Node key pairs (exported so examples can build export handlers).
@@ -136,8 +137,16 @@ impl ThreadedCluster {
         let (pairs, keystore) = Keystore::generate(n, 0xC10C);
         let (event_tx, event_rx) = unbounded();
         let registry = Arc::new(Registry::new());
+        let traces = Arc::new(TraceStore::new());
         let telemetry: Vec<Telemetry> = (0..n)
-            .map(|id| Telemetry::new(id as u64, Arc::clone(&registry), DEFAULT_TRACE_CAPACITY))
+            .map(|id| {
+                Telemetry::new_with_store(
+                    id as u64,
+                    Arc::clone(&registry),
+                    config.trace_capacity,
+                    Some(Arc::clone(&traces)),
+                )
+            })
             .collect();
         let channels: Vec<(Sender<LoopInput>, Receiver<LoopInput>)> =
             (0..n).map(|_| bounded(4096)).collect();
@@ -199,6 +208,7 @@ impl ThreadedCluster {
             handles,
             registry,
             telemetry,
+            traces,
             keystore,
             pairs,
         }
@@ -213,8 +223,16 @@ impl ThreadedCluster {
         let (pairs, keystore) = Keystore::generate(n, 0xC10C);
         let (event_tx, event_rx) = unbounded();
         let registry = Arc::new(Registry::new());
+        let traces = Arc::new(TraceStore::new());
         let telemetry: Vec<Telemetry> = (0..n)
-            .map(|id| Telemetry::new(id as u64, Arc::clone(&registry), DEFAULT_TRACE_CAPACITY))
+            .map(|id| {
+                Telemetry::new_with_store(
+                    id as u64,
+                    Arc::clone(&registry),
+                    config.trace_capacity,
+                    Some(Arc::clone(&traces)),
+                )
+            })
             .collect();
         let channels: Vec<(Sender<LoopInput>, Receiver<LoopInput>)> =
             (0..n).map(|_| bounded(4096)).collect();
@@ -253,6 +271,7 @@ impl ThreadedCluster {
             handles,
             registry,
             telemetry,
+            traces,
             keystore,
             pairs,
         }
@@ -274,6 +293,20 @@ impl ThreadedCluster {
             .get(node)
             .map(Telemetry::dump_jsonl)
             .unwrap_or_default()
+    }
+
+    /// JSONL causal-span dump of one node (empty when out of range).
+    pub fn span_jsonl(&self, node: usize) -> String {
+        self.telemetry
+            .get(node)
+            .map(Telemetry::span_jsonl)
+            .unwrap_or_default()
+    }
+
+    /// The cluster-shared causal-span store, for cross-node trace
+    /// assembly and the `/v1/trains/<id>/trace/<sn>` API endpoint.
+    pub fn trace_store(&self) -> Arc<TraceStore> {
+        Arc::clone(&self.traces)
     }
 
     /// Number of nodes.

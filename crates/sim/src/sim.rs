@@ -16,7 +16,7 @@ use zugchain_mvb::{
 };
 use zugchain_pbft::{Message, NodeId, ProposedRequest};
 use zugchain_signals::CycleConsolidator;
-use zugchain_telemetry::{Registry, Telemetry, DEFAULT_TRACE_CAPACITY};
+use zugchain_telemetry::{Registry, Telemetry, TraceStore};
 
 use crate::{LatencyStats, Mode, RunMetrics, ScenarioConfig, Workload};
 
@@ -92,6 +92,9 @@ pub struct Simulation {
     registry: Arc<Registry>,
     /// Per-node telemetry handles (flight recorder + virtual clock).
     telemetry: Vec<Telemetry>,
+    /// Cluster-shared causal-span store: every node's telemetry handle
+    /// records spans here, so traces can be joined across nodes by id.
+    traces: Arc<TraceStore>,
 }
 
 /// Telemetry captured by [`Simulation::run_instrumented`]: the shared
@@ -104,6 +107,10 @@ pub struct TelemetryCapture {
     pub registry: Arc<Registry>,
     /// Per-node JSONL flight-recorder dumps, indexed by node id.
     pub traces: Vec<String>,
+    /// Per-node JSONL causal-span dumps, indexed by node id.
+    pub spans: Vec<String>,
+    /// The cluster-shared span store, for cross-node trace assembly.
+    pub trace_store: Arc<TraceStore>,
 }
 
 /// Everything in the simulation that is not a node: the event heap, cost
@@ -434,8 +441,16 @@ impl Simulation {
         let (pairs, keystore) = Keystore::generate(n, seed);
         let nsdb = sweep_nsdb(&config.workload);
         let registry = Arc::new(Registry::new());
+        let traces = Arc::new(TraceStore::new());
         let telemetry: Vec<Telemetry> = (0..n)
-            .map(|id| Telemetry::new(id as u64, Arc::clone(&registry), DEFAULT_TRACE_CAPACITY))
+            .map(|id| {
+                Telemetry::new_with_store(
+                    id as u64,
+                    Arc::clone(&registry),
+                    config.node_config.trace_capacity,
+                    Some(Arc::clone(&traces)),
+                )
+            })
             .collect();
         let drivers: Vec<SimDriver> = pairs
             .iter()
@@ -511,7 +526,15 @@ impl Simulation {
             jru,
             registry,
             telemetry,
+            traces,
         }
+    }
+
+    /// The run's cluster-shared causal-span store. Clone the `Arc` before
+    /// [`run`](Self::run) to keep assembling traces after the run
+    /// completes.
+    pub fn trace_store(&self) -> Arc<TraceStore> {
+        Arc::clone(&self.traces)
     }
 
     /// The run's shared metrics registry. Clone the `Arc` before
@@ -528,6 +551,39 @@ impl Simulation {
     /// Runs the scenario and additionally returns the telemetry capture:
     /// the metrics registry and every node's flight-recorder JSONL dump.
     pub fn run_instrumented(mut self) -> (RunMetrics, TelemetryCapture) {
+        self.run_to_end();
+        self.collect()
+    }
+
+    /// Like [`run_instrumented`](Self::run_instrumented), but also
+    /// returns the decided chain of the most advanced surviving node —
+    /// the blocks a traced ground pipeline (export → archive → serve)
+    /// continues from, carrying the same `(origin, payload)` pairs the
+    /// consensus spans derived their trace ids from.
+    pub fn run_traced(
+        mut self,
+    ) -> (
+        RunMetrics,
+        TelemetryCapture,
+        Vec<zugchain_blockchain::Block>,
+    ) {
+        self.run_to_end();
+        let chain = self.decided_chain();
+        let (metrics, capture) = self.collect();
+        (metrics, capture, chain)
+    }
+
+    /// The decided chain blocks of the tallest surviving node.
+    fn decided_chain(&self) -> Vec<zugchain_blockchain::Block> {
+        (0..self.drivers.len())
+            .filter(|&i| !self.world.crashed[i])
+            .map(|i| self.drivers[i].machine().0.chain().blocks().to_vec())
+            .max_by_key(Vec::len)
+            .unwrap_or_default()
+    }
+
+    /// Drains the event heap until the drain horizon.
+    fn run_to_end(&mut self) {
         let end_ns = self.world.config.duration_ms * NS_PER_MS;
         // Grace period lets in-flight requests finish ordering.
         let drain_ns = end_ns + 2_000 * NS_PER_MS;
@@ -553,6 +609,11 @@ impl Simulation {
                 }
             }
         }
+    }
+
+    /// Reads the run's metrics and telemetry out of the finished world.
+    fn collect(self) -> (RunMetrics, TelemetryCapture) {
+        let end_ns = self.world.config.duration_ms * NS_PER_MS;
         // Consensus counters come from the registry snapshot of the most
         // advanced surviving node (same rule the bespoke counters used).
         let (consensus_decided, batches_decided) = (0..self.drivers.len())
@@ -567,10 +628,20 @@ impl Simulation {
             .unwrap_or((0, 0));
         let registry = Arc::clone(&self.registry);
         let traces: Vec<String> = self.telemetry.iter().map(Telemetry::dump_jsonl).collect();
+        let spans: Vec<String> = self.telemetry.iter().map(Telemetry::span_jsonl).collect();
+        let trace_store = Arc::clone(&self.traces);
         let mut metrics = self.world.finish(end_ns, &registry);
         metrics.consensus_decided = consensus_decided;
         metrics.batches_decided = batches_decided;
-        (metrics, TelemetryCapture { registry, traces })
+        (
+            metrics,
+            TelemetryCapture {
+                registry,
+                traces,
+                spans,
+                trace_store,
+            },
+        )
     }
 
     fn on_bus_cycle(&mut self, cycle: u64, at_ns: u64, end_ns: u64) {
@@ -815,6 +886,50 @@ mod tests {
         // The paper's headline: ~14 ms ordering latency at 64 ms cycles.
         let mean = metrics.latency.mean_ms();
         assert!((8.0..25.0).contains(&mean), "mean latency {mean} ms");
+    }
+
+    #[test]
+    fn tiny_trace_ring_keeps_the_newest_events() {
+        // Same deterministic run twice: once with a ring big enough to
+        // hold everything, once with a tiny one. Overflow must evict
+        // the oldest entries only — the tiny dump is exactly the tail
+        // of the full dump, for both the flight recorder and the span
+        // ring, on every node.
+        let mut config = quick(Mode::Zugchain, 64, 256);
+        config.duration_ms = 2_000;
+        let full_config = ScenarioConfig {
+            node_config: config.node_config.clone().with_trace_capacity(65_536),
+            ..config.clone()
+        };
+        let tiny_config = ScenarioConfig {
+            node_config: config.node_config.clone().with_trace_capacity(4),
+            ..config.clone()
+        };
+        let (_, full) = Simulation::new(&full_config, 5).run_instrumented();
+        let (_, tiny) = Simulation::new(&tiny_config, 5).run_instrumented();
+        for node in 0..full.traces.len() {
+            for (name, full_dump, tiny_dump) in [
+                ("flight recorder", &full.traces[node], &tiny.traces[node]),
+                ("span ring", &full.spans[node], &tiny.spans[node]),
+            ] {
+                let full_lines: Vec<&str> = full_dump.lines().collect();
+                let tiny_lines: Vec<&str> = tiny_dump.lines().collect();
+                assert!(
+                    tiny_lines.len() <= 4,
+                    "node {node} {name}: tiny ring holds {} > 4 entries",
+                    tiny_lines.len()
+                );
+                assert!(
+                    full_lines.len() > tiny_lines.len(),
+                    "node {node} {name}: the run must overflow the tiny ring"
+                );
+                assert_eq!(
+                    tiny_lines.as_slice(),
+                    &full_lines[full_lines.len() - tiny_lines.len()..],
+                    "node {node} {name}: overflow must keep the newest entries"
+                );
+            }
+        }
     }
 
     #[test]

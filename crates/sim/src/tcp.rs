@@ -23,7 +23,8 @@ use zugchain_api::{ApiConfig, ApiServer, Backend};
 use zugchain_crypto::Keystore;
 use zugchain_machine::Frame;
 use zugchain_mvb::Nsdb;
-use zugchain_telemetry::{Registry, Telemetry, DEFAULT_TRACE_CAPACITY};
+use zugchain_telemetry::{Registry, Telemetry, TraceStore};
+use zugchain_wire::{decode_traced, derive_span_id, derive_trace_id, TraceCtx};
 
 use crate::node_loop::{node_loop, LoopInput, PeerLink};
 use crate::runtime::{ClusterEvent, NodeSummary};
@@ -31,19 +32,52 @@ use crate::runtime::{ClusterEvent, NodeSummary};
 /// Maximum accepted frame size (matches the wire crate's field limit).
 const MAX_FRAME_BYTES: u32 = 16 * 1024 * 1024;
 
-/// Writes one length-prefixed frame. The frame's encoding is computed at
-/// most once and shared across every peer this frame is written to.
+/// The trace context a frame carries on the wire. Request broadcasts name
+/// the trace of the request they carry (derived from the same identity
+/// every layer uses — the TCP harness runs one unlabelled train, id 0 —
+/// and parented on the origin's `submit` span); everything else rides
+/// bare, exactly as the legacy format, so mixed-version peers interop.
+fn frame_trace_ctx(message: &NodeMessage) -> TraceCtx {
+    match message {
+        NodeMessage::Layer(layer) => {
+            let request = &layer.request().request;
+            if request.is_noop() {
+                return TraceCtx::NONE;
+            }
+            let trace_id =
+                derive_trace_id(0, request.origin.0, request.payload_digest().as_bytes());
+            TraceCtx {
+                trace_id,
+                parent_span: derive_span_id(trace_id, "submit", request.origin.0),
+            }
+        }
+        NodeMessage::Consensus(_) => TraceCtx::NONE,
+    }
+}
+
+/// Writes one length-prefixed frame. The frame's inner encoding is
+/// computed at most once and shared across every peer this frame is
+/// written to; traced frames additionally carry the 17-byte envelope
+/// (`magic ‖ TraceCtx`) in front of the unchanged inner bytes.
 fn write_frame(stream: &mut TcpStream, frame: &Frame<NodeMessage>) -> io::Result<()> {
     let bytes = frame.bytes();
-    let len = u32::try_from(bytes.len())
+    let ctx = frame_trace_ctx(frame.message());
+    let payload: std::borrow::Cow<'_, [u8]> = if ctx.is_traced() {
+        std::borrow::Cow::Owned(zugchain_wire::encode_traced(ctx, &bytes))
+    } else {
+        std::borrow::Cow::Borrowed(&bytes)
+    };
+    let len = u32::try_from(payload.len())
         .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "frame too large"))?;
     stream.write_all(&len.to_be_bytes())?;
-    stream.write_all(&bytes)?;
+    stream.write_all(&payload)?;
     Ok(())
 }
 
-/// Reads one length-prefixed frame; `Ok(None)` on clean EOF.
-fn read_frame(stream: &mut TcpStream) -> io::Result<Option<NodeMessage>> {
+/// Reads one length-prefixed frame; `Ok(None)` on clean EOF. Frames in
+/// the traced envelope yield their carried [`TraceCtx`]; legacy bare
+/// frames decode unchanged with [`TraceCtx::NONE`].
+fn read_frame(stream: &mut TcpStream) -> io::Result<Option<(TraceCtx, NodeMessage)>> {
     let mut len_buf = [0u8; 4];
     match stream.read_exact(&mut len_buf) {
         Ok(()) => {}
@@ -59,8 +93,10 @@ fn read_frame(stream: &mut TcpStream) -> io::Result<Option<NodeMessage>> {
     }
     let mut buf = vec![0u8; len as usize];
     stream.read_exact(&mut buf)?;
-    zugchain_wire::from_bytes(&buf)
-        .map(Some)
+    let (ctx, inner) = decode_traced(&buf)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    zugchain_wire::from_bytes(inner)
+        .map(|message| Some((ctx, message)))
         .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
 }
 
@@ -106,6 +142,7 @@ pub struct TcpCluster {
     handles: Vec<JoinHandle<NodeSummary>>,
     registry: Arc<Registry>,
     telemetry: Vec<Telemetry>,
+    traces: Arc<TraceStore>,
     status: ApiServer,
     /// Socket addresses the nodes listen on, by node id.
     pub addresses: Vec<SocketAddr>,
@@ -126,8 +163,16 @@ impl TcpCluster {
         let (pairs, keystore) = Keystore::generate(n, 0x7C9);
         let (event_tx, event_rx) = unbounded();
         let registry = Arc::new(Registry::new());
+        let traces = Arc::new(TraceStore::new());
         let telemetry: Vec<Telemetry> = (0..n)
-            .map(|id| Telemetry::new(id as u64, Arc::clone(&registry), DEFAULT_TRACE_CAPACITY))
+            .map(|id| {
+                Telemetry::new_with_store(
+                    id as u64,
+                    Arc::clone(&registry),
+                    config.trace_capacity,
+                    Some(Arc::clone(&traces)),
+                )
+            })
             .collect();
 
         // The live read path: the API server with no archive behind it
@@ -167,7 +212,9 @@ impl TcpCluster {
                     let inbox = inbox.clone();
                     std::thread::spawn(move || loop {
                         match read_frame(&mut stream) {
-                            Ok(Some(message)) => {
+                            // The context is advisory: every layer
+                            // re-derives the same ids from data it holds.
+                            Ok(Some((_ctx, message))) => {
                                 if inbox.send(LoopInput::Message(message)).is_err() {
                                     return;
                                 }
@@ -229,6 +276,7 @@ impl TcpCluster {
             handles,
             registry,
             telemetry,
+            traces,
             status,
             addresses,
             status_address,
@@ -252,6 +300,20 @@ impl TcpCluster {
             .get(node)
             .map(Telemetry::dump_jsonl)
             .unwrap_or_default()
+    }
+
+    /// JSONL causal-span dump of one node (empty when out of range).
+    pub fn span_jsonl(&self, node: usize) -> String {
+        self.telemetry
+            .get(node)
+            .map(Telemetry::span_jsonl)
+            .unwrap_or_default()
+    }
+
+    /// The cluster-shared causal-span store, for cross-node trace
+    /// assembly.
+    pub fn trace_store(&self) -> Arc<TraceStore> {
+        Arc::clone(&self.traces)
     }
 
     /// Delivers the same consolidated payload to every node.
@@ -385,11 +447,46 @@ mod tests {
             message
         });
         let (mut conn, _) = listener.accept().unwrap();
-        let received = read_frame(&mut conn).unwrap().expect("one frame");
+        let (ctx, received) = read_frame(&mut conn).unwrap().expect("one frame");
         let sent = sender.join().unwrap();
         assert_eq!(received, sent);
+        // A request broadcast rides in the traced envelope: the carried
+        // context is the deterministic derivation from the request's
+        // identity, parented on the origin's submit span.
+        assert!(ctx.is_traced());
+        assert_eq!(ctx, frame_trace_ctx(&sent));
         // EOF is a clean None.
         assert!(read_frame(&mut conn).unwrap().is_none());
+    }
+
+    /// Legacy bare frames (no traced envelope) must keep decoding: a
+    /// pre-envelope peer's bytes come back as the same message with
+    /// [`TraceCtx::NONE`].
+    #[test]
+    fn bare_legacy_frame_decodes_with_untraced_ctx() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let address = listener.local_addr().unwrap();
+        let sender = std::thread::spawn(move || {
+            let mut stream = TcpStream::connect(address).unwrap();
+            let (pairs, _) = Keystore::generate(1, 3);
+            let message = NodeMessage::Layer(zugchain::LayerMessage::BroadcastRequest(
+                zugchain::SignedRequest::sign(
+                    zugchain_pbft::ProposedRequest::application(vec![5; 32], NodeId(0)),
+                    &pairs[0],
+                ),
+            ));
+            // Write the legacy format by hand: length prefix + canonical
+            // bytes, no envelope.
+            let bytes = zugchain_wire::to_bytes(&message);
+            let len = u32::try_from(bytes.len()).unwrap();
+            stream.write_all(&len.to_be_bytes()).unwrap();
+            stream.write_all(&bytes).unwrap();
+            message
+        });
+        let (mut conn, _) = listener.accept().unwrap();
+        let (ctx, received) = read_frame(&mut conn).unwrap().expect("one frame");
+        assert_eq!(ctx, TraceCtx::NONE);
+        assert_eq!(received, sender.join().unwrap());
     }
 
     /// Regression for the per-peer re-encoding bug: broadcasting one
@@ -428,7 +525,8 @@ mod tests {
         let mut received = Vec::new();
         for _ in 0..3 {
             let (mut conn, _) = listener.accept().unwrap();
-            received.push(read_frame(&mut conn).unwrap().expect("one frame"));
+            let (_ctx, message) = read_frame(&mut conn).unwrap().expect("one frame");
+            received.push(message);
         }
         let encodes = writer.join().unwrap();
         assert_eq!(encodes, 1, "one broadcast, one encode, three writes");

@@ -31,6 +31,7 @@
 mod json;
 mod metrics;
 mod recorder;
+mod span;
 
 pub use json::{parse_flat_object, JsonValue};
 pub use metrics::{
@@ -38,6 +39,9 @@ pub use metrics::{
     HistogramSnapshot, ParsedSample, Registry, Sample, SampleValue, HISTOGRAM_BUCKETS,
 };
 pub use recorder::{parse_jsonl, FlightRecorder, ParsedRecord, TraceEvent, TraceRecord};
+pub use span::{
+    check_chain, parse_span_jsonl, ChainCheck, Span, SpanBuffer, Stage, TraceStore, STAGES,
+};
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock, Weak};
@@ -61,12 +65,25 @@ struct TelemetryInner {
     /// Fleet dimension: when set, every metric resolved through this
     /// handle carries `train="<id>"` next to `node="<id>"`.
     train_label: Option<String>,
+    /// Numeric form of `train_label` (0 for the default train) — the
+    /// value trace-id derivation hashes, so every layer agrees.
+    train_id: u64,
     trace_capacity: usize,
     /// Milliseconds on the runtime's clock: virtual time in the
     /// simulator and chaos executor, elapsed wall-clock on the threaded
-    /// and TCP runtimes. Advanced monotonically via `fetch_max`.
-    now_ms: AtomicU64,
+    /// and TCP runtimes. Advanced monotonically via `fetch_max`. Shared
+    /// (`Arc`) with handles derived via [`Telemetry::for_train`], so the
+    /// runtime only has to drive the parent handle's clock.
+    now_ms: Arc<AtomicU64>,
     recorder: Mutex<FlightRecorder>,
+    /// Span ring alongside the flight recorder, same capacity.
+    spans: Mutex<SpanBuffer>,
+    /// Cluster-shared cross-node join point, when the runtime wired one.
+    trace_store: Option<Arc<TraceStore>>,
+    /// `zugchain_stage_latency_ms{stage=...}` handles, resolved once on
+    /// the first span so the per-span path never takes the registry
+    /// lock.
+    stage_latency: OnceLock<Vec<Histogram>>,
     registry: Arc<Registry>,
 }
 
@@ -89,14 +106,31 @@ impl Telemetry {
     /// An enabled handle for `node`, publishing metrics into `registry`
     /// and tracing into a private ring buffer of `trace_capacity` events.
     pub fn new(node: u64, registry: Arc<Registry>, trace_capacity: usize) -> Self {
+        Self::new_with_store(node, registry, trace_capacity, None)
+    }
+
+    /// Like [`Telemetry::new`] with a cluster-shared [`TraceStore`]:
+    /// spans recorded through this handle land in the node's private
+    /// ring *and* in `store`, joining them with every other node that
+    /// shares it.
+    pub fn new_with_store(
+        node: u64,
+        registry: Arc<Registry>,
+        trace_capacity: usize,
+        store: Option<Arc<TraceStore>>,
+    ) -> Self {
         Self {
             inner: Some(Arc::new(TelemetryInner {
                 node,
                 node_label: node.to_string(),
                 train_label: None,
+                train_id: 0,
                 trace_capacity,
-                now_ms: AtomicU64::new(0),
+                now_ms: Arc::new(AtomicU64::new(0)),
                 recorder: Mutex::new(FlightRecorder::new(trace_capacity)),
+                spans: Mutex::new(SpanBuffer::new(trace_capacity)),
+                trace_store: store,
+                stage_latency: OnceLock::new(),
                 registry,
             })),
         }
@@ -104,9 +138,10 @@ impl Telemetry {
 
     /// Derives a handle namespaced under a train of the fleet: metrics
     /// it resolves carry a `train="<id>"` label in addition to the
-    /// `node="<id>"` label. The derived handle shares the registry but
-    /// owns a fresh flight recorder (its clock starts at the parent's
-    /// current reading). Deriving from a disabled handle stays disabled.
+    /// `node="<id>"` label. The derived handle shares the registry and
+    /// trace store **and the runtime clock** but owns a fresh flight
+    /// recorder and span ring. Deriving from a disabled handle stays
+    /// disabled.
     pub fn for_train(&self, train: u64) -> Telemetry {
         match &self.inner {
             None => Telemetry::disabled(),
@@ -115,9 +150,13 @@ impl Telemetry {
                     node: inner.node,
                     node_label: inner.node_label.clone(),
                     train_label: Some(train.to_string()),
+                    train_id: train,
                     trace_capacity: inner.trace_capacity,
-                    now_ms: AtomicU64::new(inner.now_ms.load(Ordering::Relaxed)),
+                    now_ms: Arc::clone(&inner.now_ms),
                     recorder: Mutex::new(FlightRecorder::new(inner.trace_capacity)),
+                    spans: Mutex::new(SpanBuffer::new(inner.trace_capacity)),
+                    trace_store: inner.trace_store.clone(),
+                    stage_latency: OnceLock::new(),
                     registry: Arc::clone(&inner.registry),
                 })),
             },
@@ -127,6 +166,12 @@ impl Telemetry {
     /// The train id this handle is namespaced under, if any.
     pub fn train(&self) -> Option<&str> {
         self.inner.as_ref()?.train_label.as_deref()
+    }
+
+    /// Numeric train id (0 when disabled or on the default train) —
+    /// what trace-id derivation hashes.
+    pub fn train_id(&self) -> u64 {
+        self.inner.as_ref().map_or(0, |i| i.train_id)
     }
 
     /// Whether this handle actually records anything.
@@ -163,6 +208,55 @@ impl Telemetry {
             let t = inner.now_ms.load(Ordering::Relaxed);
             let mut recorder = inner.recorder.lock().expect("recorder poisoned");
             recorder.record(t, inner.node, event());
+        }
+    }
+
+    /// Records one causal span: it lands in this node's span ring, the
+    /// cluster-shared [`TraceStore`] (when wired), and the
+    /// `zugchain_stage_latency_ms{stage=...}` histogram family. The
+    /// closure only runs when enabled, so a disabled handle pays one
+    /// branch.
+    pub fn record_span(&self, make: impl FnOnce() -> Span) {
+        let Some(inner) = &self.inner else { return };
+        let span = make();
+        let stage_hist = inner.stage_latency.get_or_init(|| {
+            span::STAGES
+                .iter()
+                .map(|stage| {
+                    let labels = inner.with_node_label(&[("stage", stage.as_str())]);
+                    inner
+                        .registry
+                        .histogram("zugchain_stage_latency_ms", &labels)
+                })
+                .collect()
+        });
+        stage_hist[span.stage.order()].observe(span.latency_ms());
+        if let Some(store) = &inner.trace_store {
+            store.record(span.clone());
+        }
+        inner
+            .spans
+            .lock()
+            .expect("span buffer poisoned")
+            .record(span);
+    }
+
+    /// The cluster-shared trace store behind this handle, if one was
+    /// wired at construction.
+    pub fn trace_store(&self) -> Option<Arc<TraceStore>> {
+        self.inner.as_ref()?.trace_store.clone()
+    }
+
+    /// Dumps this node's span ring as JSONL, oldest span first. Empty
+    /// string when disabled.
+    pub fn span_jsonl(&self) -> String {
+        match &self.inner {
+            Some(inner) => inner
+                .spans
+                .lock()
+                .expect("span buffer poisoned")
+                .dump_jsonl(),
+            None => String::new(),
         }
     }
 
@@ -336,6 +430,12 @@ mod tests {
             None
         );
         assert!(!Telemetry::disabled().for_train(12).is_enabled());
+        // The runtime drives the parent handle's clock; derived handles
+        // share it (spans recorded through them must not freeze in time).
+        t.set_time_ms(40);
+        assert_eq!(t12.now_ms(), 40);
+        t12.set_time_ms(90);
+        assert_eq!(t.now_ms(), 90);
     }
 
     #[test]
@@ -367,6 +467,44 @@ mod tests {
             !dump.contains("node 8"),
             "dropped handle must not dump: {dump}"
         );
+    }
+
+    #[test]
+    fn spans_land_in_ring_store_and_stage_histogram() {
+        let registry = Arc::new(Registry::new());
+        let store = Arc::new(TraceStore::new());
+        let t = Telemetry::new_with_store(2, Arc::clone(&registry), 8, Some(Arc::clone(&store)))
+            .for_train(9);
+        assert_eq!(t.train_id(), 9);
+        t.record_span(|| Span {
+            trace_id: 77,
+            span_id: 5,
+            parent_span: 0,
+            stage: Stage::Decide,
+            node: 2,
+            train: 9,
+            sn: 3,
+            start_ms: 10,
+            end_ms: 14,
+        });
+        // Ring dump has the span.
+        let parsed = parse_span_jsonl(&t.span_jsonl()).unwrap();
+        assert_eq!(parsed.len(), 1);
+        assert_eq!(parsed[0].trace_id, 77);
+        // Shared store joined it.
+        assert_eq!(store.assemble(77).len(), 1);
+        assert_eq!(store.traces_for_sn(3), vec![77]);
+        // Stage histogram observed the 4 ms latency.
+        let snap = registry
+            .histogram_snapshot(
+                "zugchain_stage_latency_ms",
+                &[("node", "2"), ("stage", "decide"), ("train", "9")],
+            )
+            .expect("stage series registered");
+        assert_eq!(snap.count, 1);
+        assert_eq!(snap.sum, 4);
+        // Disabled handles never construct the span.
+        Telemetry::disabled().record_span(|| unreachable!("disabled"));
     }
 
     #[test]

@@ -406,15 +406,19 @@ impl Registry {
                     ));
                 }
                 SampleValue::Histogram(h) => {
+                    // Standard Prometheus ingestion expects a *dense*
+                    // cumulative series: every `le` boundary up to the
+                    // highest populated bucket, so rate()/quantile math
+                    // never interpolates across silently-missing
+                    // boundaries. Buckets past the last observation are
+                    // elided (they would all repeat the total, which
+                    // `+Inf` already carries) — that keeps a log2
+                    // histogram at ≤ 1 + highest-populated-index lines
+                    // instead of a fixed 65.
+                    let highest = h.buckets.iter().rposition(|&n| n != 0).map_or(0, |i| i + 1);
                     let mut cumulative = 0u64;
-                    for (i, &n) in h.buckets.iter().enumerate() {
+                    for (i, &n) in h.buckets.iter().enumerate().take(highest) {
                         cumulative += n;
-                        // Empty leading/interior buckets are elided to
-                        // keep the exposition small; `+Inf` always
-                        // carries the total.
-                        if n == 0 {
-                            continue;
-                        }
                         let le = bucket_upper_bound(i).to_string();
                         out.push_str(&format!(
                             "{}_bucket{} {cumulative}\n",
@@ -650,6 +654,66 @@ mod tests {
             sample.labels,
             labels(&[("node", "0"), ("note", tricky), ("train", "12")])
         );
+    }
+
+    #[test]
+    fn histogram_exposition_is_dense_cumulative_with_inf_sum_count() {
+        let registry = Registry::new();
+        let h = registry.histogram("zugchain_stage_latency_ms", &labels(&[("node", "0")]));
+        // Sparse observations: buckets 1 and 9 populated, everything
+        // between empty — the interior boundaries must still be emitted.
+        h.observe(1);
+        h.observe(300);
+        h.observe(400);
+        let text = registry.render_prometheus();
+        let parsed = parse_prometheus(&text).expect("exposition parses");
+        let buckets: Vec<&ParsedSample> = parsed
+            .iter()
+            .filter(|s| s.name == "zugchain_stage_latency_ms_bucket")
+            .collect();
+        // Dense through bucket_index(400) = 9, plus +Inf: boundaries
+        // 0,1,3,7,15,31,63,127,255,511,+Inf.
+        let les: Vec<String> = buckets
+            .iter()
+            .map(|s| {
+                s.labels
+                    .iter()
+                    .find(|(k, _)| k == "le")
+                    .map(|(_, v)| v.clone())
+                    .expect("bucket line has le")
+            })
+            .collect();
+        let expected: Vec<String> = (0..=9)
+            .map(|i| bucket_upper_bound(i).to_string())
+            .chain(std::iter::once("+Inf".to_string()))
+            .collect();
+        assert_eq!(les, expected, "dense le boundaries:\n{text}");
+        // Cumulative and monotone, ending at the total.
+        let counts: Vec<f64> = buckets.iter().map(|s| s.value).collect();
+        assert!(
+            counts.windows(2).all(|w| w[0] <= w[1]),
+            "cumulative counts must be monotone: {counts:?}"
+        );
+        assert_eq!(*counts.last().unwrap(), 3.0, "+Inf carries the total");
+        // _sum/_count present and consistent.
+        let get = |name: &str| {
+            parsed
+                .iter()
+                .find(|s| s.name == name)
+                .unwrap_or_else(|| panic!("{name} line present"))
+                .value
+        };
+        assert_eq!(get("zugchain_stage_latency_ms_count"), 3.0);
+        assert_eq!(get("zugchain_stage_latency_ms_sum"), 701.0);
+        // An empty histogram exposes just +Inf/_sum/_count zeros.
+        registry.histogram("zugchain_empty_ms", &labels(&[("node", "0")]));
+        let parsed = parse_prometheus(&registry.render_prometheus()).expect("parses");
+        let empty: Vec<&ParsedSample> = parsed
+            .iter()
+            .filter(|s| s.name == "zugchain_empty_ms_bucket")
+            .collect();
+        assert_eq!(empty.len(), 1);
+        assert_eq!(empty[0].value, 0.0);
     }
 
     #[test]

@@ -1,0 +1,580 @@
+//! Causal spans: the distributed-tracing half of the telemetry crate
+//! (DESIGN.md §17).
+//!
+//! A [`Span`] is one pipeline stage of one request's lifecycle on one
+//! node, timestamped from the same runtime-driven clock as the flight
+//! recorder — virtual milliseconds under the simulator, so a seeded run
+//! dumps byte-identical spans. Spans land in a per-node ring buffer
+//! (like the flight recorder) *and*, when the runtime wires one up, in
+//! a cluster-shared [`TraceStore`] that joins spans across nodes by
+//! trace id so the serving layer can assemble a whole lifecycle.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::sync::Mutex;
+
+use crate::json::{parse_flat_object, push_field, JsonValue};
+
+/// The pipeline stages of a request's life, in causal order. The
+/// vocabulary is closed: stage names appear in metric labels, JSONL
+/// dumps, and the trace API, and the assembly order below is the
+/// canonical chain order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Stage {
+    /// MVB bus read: the payload came into existence on the origin node.
+    Record,
+    /// The origin submitted the request into ordering (propose or
+    /// broadcast/forward toward the primary).
+    Submit,
+    /// The primary flushed the batch containing the request into a
+    /// preprepare.
+    BatchFlush,
+    /// A replica accepted the preprepare carrying the request.
+    PrePrepare,
+    /// A replica completed the prepare phase for the request's slot.
+    Prepare,
+    /// A replica completed the commit phase for the request's slot.
+    Commit,
+    /// The request entered the totally ordered log.
+    Decide,
+    /// An export round moved the request's block to a data center.
+    Export,
+    /// A juridical archive ingested the certified segment holding it.
+    Ingest,
+    /// The request became servable through the archive's query surface.
+    Servable,
+}
+
+/// Every stage, in canonical chain order.
+pub const STAGES: [Stage; 10] = [
+    Stage::Record,
+    Stage::Submit,
+    Stage::BatchFlush,
+    Stage::PrePrepare,
+    Stage::Prepare,
+    Stage::Commit,
+    Stage::Decide,
+    Stage::Export,
+    Stage::Ingest,
+    Stage::Servable,
+];
+
+impl Stage {
+    /// The stable string form used in labels, dumps, and span-id
+    /// derivation.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Stage::Record => "record",
+            Stage::Submit => "submit",
+            Stage::BatchFlush => "batch_flush",
+            Stage::PrePrepare => "preprepare",
+            Stage::Prepare => "prepare",
+            Stage::Commit => "commit",
+            Stage::Decide => "decide",
+            Stage::Export => "export",
+            Stage::Ingest => "ingest",
+            Stage::Servable => "servable",
+        }
+    }
+
+    /// Position in the canonical chain order.
+    pub fn order(self) -> usize {
+        STAGES.iter().position(|s| *s == self).expect("closed enum")
+    }
+
+    /// Parses the string form written by [`as_str`](Self::as_str).
+    pub fn parse(s: &str) -> Option<Self> {
+        STAGES.iter().copied().find(|stage| stage.as_str() == s)
+    }
+}
+
+impl std::fmt::Display for Stage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One stage of one request's lifecycle on one node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Span {
+    /// Trace this span belongs to
+    /// ([`zugchain_wire::derive_trace_id`]-compatible; never 0 for a
+    /// real span).
+    pub trace_id: u64,
+    /// This span's id ([`zugchain_wire::derive_span_id`]-compatible).
+    pub span_id: u64,
+    /// The causal parent's span id (0 for the root `record` span).
+    pub parent_span: u64,
+    /// Pipeline stage.
+    pub stage: Stage,
+    /// Recording node.
+    pub node: u64,
+    /// Train the trace belongs to (0 for the default train).
+    pub train: u64,
+    /// Consensus sequence number, once assigned (0 before ordering).
+    pub sn: u64,
+    /// Stage start on the trace clock.
+    pub start_ms: u64,
+    /// Stage end on the trace clock (`>= start_ms`).
+    pub end_ms: u64,
+}
+
+impl Span {
+    /// Stage duration in milliseconds.
+    pub fn latency_ms(&self) -> u64 {
+        self.end_ms.saturating_sub(self.start_ms)
+    }
+
+    /// Renders this span as one flat JSON object (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        let mut first = true;
+        push_field(
+            &mut out,
+            &mut first,
+            "trace_id",
+            &JsonValue::U64(self.trace_id),
+        );
+        push_field(
+            &mut out,
+            &mut first,
+            "span_id",
+            &JsonValue::U64(self.span_id),
+        );
+        push_field(
+            &mut out,
+            &mut first,
+            "parent_span",
+            &JsonValue::U64(self.parent_span),
+        );
+        push_field(
+            &mut out,
+            &mut first,
+            "stage",
+            &JsonValue::Str(self.stage.as_str().to_string()),
+        );
+        push_field(&mut out, &mut first, "node", &JsonValue::U64(self.node));
+        push_field(&mut out, &mut first, "train", &JsonValue::U64(self.train));
+        push_field(&mut out, &mut first, "sn", &JsonValue::U64(self.sn));
+        push_field(
+            &mut out,
+            &mut first,
+            "start_ms",
+            &JsonValue::U64(self.start_ms),
+        );
+        push_field(&mut out, &mut first, "end_ms", &JsonValue::U64(self.end_ms));
+        out.push('}');
+        out
+    }
+}
+
+/// Parses a span JSONL dump back into [`Span`]s — the inverse of
+/// concatenating [`Span::to_json`] lines.
+///
+/// # Errors
+///
+/// A message naming the first offending line.
+pub fn parse_span_jsonl(text: &str) -> Result<Vec<Span>, String> {
+    let mut spans = Vec::new();
+    for (idx, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fields = parse_flat_object(line).map_err(|e| format!("line {}: {e}", idx + 1))?;
+        let get_u64 = |name: &str| {
+            fields
+                .iter()
+                .find(|(k, _)| k == name)
+                .and_then(|(_, v)| v.as_u64())
+                .ok_or_else(|| format!("line {}: missing {name}", idx + 1))
+        };
+        let stage_str = fields
+            .iter()
+            .find(|(k, _)| k == "stage")
+            .and_then(|(_, v)| v.as_str())
+            .ok_or_else(|| format!("line {}: missing stage", idx + 1))?;
+        let stage = Stage::parse(stage_str)
+            .ok_or_else(|| format!("line {}: unknown stage {stage_str:?}", idx + 1))?;
+        spans.push(Span {
+            trace_id: get_u64("trace_id")?,
+            span_id: get_u64("span_id")?,
+            parent_span: get_u64("parent_span")?,
+            stage,
+            node: get_u64("node")?,
+            train: get_u64("train")?,
+            sn: get_u64("sn")?,
+            start_ms: get_u64("start_ms")?,
+            end_ms: get_u64("end_ms")?,
+        });
+    }
+    Ok(spans)
+}
+
+/// A fixed-capacity ring of spans: one per node, alongside the flight
+/// recorder, so a post-mortem has the node's own span tail even when no
+/// shared store was wired.
+#[derive(Debug)]
+pub struct SpanBuffer {
+    capacity: usize,
+    spans: VecDeque<Span>,
+}
+
+impl SpanBuffer {
+    /// An empty buffer retaining at most `capacity` spans (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity: capacity.max(1),
+            spans: VecDeque::new(),
+        }
+    }
+
+    /// Appends a span, evicting the oldest when full.
+    pub fn record(&mut self, span: Span) {
+        if self.spans.len() == self.capacity {
+            self.spans.pop_front();
+        }
+        self.spans.push_back(span);
+    }
+
+    /// Retained spans, oldest first.
+    pub fn spans(&self) -> impl Iterator<Item = &Span> {
+        self.spans.iter()
+    }
+
+    /// Number of retained spans.
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// Whether nothing has been retained.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// Dumps the retained spans as JSONL, oldest first.
+    pub fn dump_jsonl(&self) -> String {
+        let mut out = String::new();
+        for span in &self.spans {
+            out.push_str(&span.to_json());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[derive(Debug, Default)]
+struct StoreInner {
+    by_trace: BTreeMap<u64, Vec<Span>>,
+    /// Secondary index: consensus sn → trace ids whose spans carry it.
+    /// Invariant-violation dumps look up by sn (that is what a decide
+    /// conflict or equivocation names), not by trace id.
+    by_sn: BTreeMap<u64, BTreeSet<u64>>,
+}
+
+/// The cluster-shared join point: every node's spans keyed by trace id.
+/// One store per cluster/simulation; cloning the `Arc` it lives behind
+/// is how runtimes hand it to each node's `Telemetry`.
+#[derive(Debug, Default)]
+pub struct TraceStore {
+    inner: Mutex<StoreInner>,
+}
+
+impl TraceStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one span.
+    pub fn record(&self, span: Span) {
+        let mut inner = self.inner.lock().expect("trace store poisoned");
+        if span.sn != 0 {
+            inner
+                .by_sn
+                .entry(span.sn)
+                .or_default()
+                .insert(span.trace_id);
+        }
+        inner.by_trace.entry(span.trace_id).or_default().push(span);
+    }
+
+    /// Number of distinct traces recorded.
+    pub fn trace_count(&self) -> usize {
+        self.inner
+            .lock()
+            .expect("trace store poisoned")
+            .by_trace
+            .len()
+    }
+
+    /// Every recorded trace id, ascending.
+    pub fn trace_ids(&self) -> Vec<u64> {
+        self.inner
+            .lock()
+            .expect("trace store poisoned")
+            .by_trace
+            .keys()
+            .copied()
+            .collect()
+    }
+
+    /// Trace ids that have a span carrying consensus sequence number
+    /// `sn`, ascending. More than one id at one sn is itself evidence:
+    /// honest replicas decide exactly one request per sn.
+    pub fn traces_for_sn(&self, sn: u64) -> Vec<u64> {
+        self.inner
+            .lock()
+            .expect("trace store poisoned")
+            .by_sn
+            .get(&sn)
+            .map(|ids| ids.iter().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// Assembles one trace: every node's spans for `trace_id`, sorted
+    /// canonically (stage order, then node, then start time) so the
+    /// result is deterministic regardless of arrival interleaving.
+    pub fn assemble(&self, trace_id: u64) -> Vec<Span> {
+        let mut spans = self
+            .inner
+            .lock()
+            .expect("trace store poisoned")
+            .by_trace
+            .get(&trace_id)
+            .cloned()
+            .unwrap_or_default();
+        spans.sort_by_key(|s| (s.stage.order(), s.node, s.start_ms, s.end_ms));
+        spans.dedup();
+        spans
+    }
+
+    /// Renders one trace as an indented span tree (one line per span,
+    /// children under their parent), preceded by a header line. The
+    /// chaos harness writes this next to the flight-recorder dump on an
+    /// invariant violation.
+    pub fn render_tree(&self, trace_id: u64) -> String {
+        let spans = self.assemble(trace_id);
+        let mut out = format!("trace {trace_id}: {} spans\n", spans.len());
+        // Roots first (parent absent from the trace), then descendants
+        // depth-first; an orphan subtree still prints under its missing
+        // parent's id so nothing is silently dropped.
+        let ids: BTreeSet<u64> = spans.iter().map(|s| s.span_id).collect();
+        let mut children: BTreeMap<u64, Vec<&Span>> = BTreeMap::new();
+        let mut roots: Vec<&Span> = Vec::new();
+        for span in &spans {
+            if span.parent_span != 0 && ids.contains(&span.parent_span) {
+                children.entry(span.parent_span).or_default().push(span);
+            } else {
+                roots.push(span);
+            }
+        }
+        fn walk(out: &mut String, span: &Span, depth: usize, children: &BTreeMap<u64, Vec<&Span>>) {
+            out.push_str(&"  ".repeat(depth));
+            out.push_str(&format!(
+                "{} node={} sn={} [{}..{}ms] span={} parent={}\n",
+                span.stage,
+                span.node,
+                span.sn,
+                span.start_ms,
+                span.end_ms,
+                span.span_id,
+                span.parent_span
+            ));
+            for child in children.get(&span.span_id).into_iter().flatten() {
+                walk(out, child, depth + 1, children);
+            }
+        }
+        for root in roots {
+            walk(&mut out, root, 0, &children);
+        }
+        out
+    }
+
+    /// Dumps every trace's spans as JSONL, ordered by trace id then
+    /// canonical span order.
+    pub fn dump_jsonl(&self) -> String {
+        let mut out = String::new();
+        for trace_id in self.trace_ids() {
+            for span in self.assemble(trace_id) {
+                out.push_str(&span.to_json());
+                out.push('\n');
+            }
+        }
+        out
+    }
+}
+
+/// The result of validating one assembled trace as a lifecycle chain.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChainCheck {
+    /// The chain covers every required stage with monotone timestamps.
+    Complete,
+    /// A required stage is missing.
+    MissingStage(Stage),
+    /// Two consecutive spans (canonical order) go backwards in time.
+    NonMonotone {
+        /// The earlier stage (whose end is after the later start).
+        from: Stage,
+        /// The later stage.
+        to: Stage,
+    },
+    /// A span names a parent that is neither 0 nor a span in the trace.
+    OrphanSpan(Stage),
+}
+
+/// Validates an assembled span chain: every stage in `required` must be
+/// present, timestamps must be monotone along the canonical stage
+/// order, and no span may dangle off a parent outside the trace.
+pub fn check_chain(spans: &[Span], required: &[Stage]) -> ChainCheck {
+    let ids: BTreeSet<u64> = spans.iter().map(|s| s.span_id).collect();
+    for span in spans {
+        if span.parent_span != 0 && !ids.contains(&span.parent_span) {
+            return ChainCheck::OrphanSpan(span.stage);
+        }
+    }
+    for stage in required {
+        if !spans.iter().any(|s| s.stage == *stage) {
+            return ChainCheck::MissingStage(*stage);
+        }
+    }
+    // Monotonicity across stages: the earliest start of each present
+    // stage must not precede the earliest start of any earlier stage.
+    let mut last: Option<(Stage, u64)> = None;
+    for stage in STAGES {
+        let Some(start) = spans
+            .iter()
+            .filter(|s| s.stage == stage)
+            .map(|s| s.start_ms)
+            .min()
+        else {
+            continue;
+        };
+        if let Some((prev, prev_start)) = last {
+            if start < prev_start {
+                return ChainCheck::NonMonotone {
+                    from: prev,
+                    to: stage,
+                };
+            }
+        }
+        last = Some((stage, start));
+    }
+    for span in spans {
+        if span.end_ms < span.start_ms {
+            return ChainCheck::NonMonotone {
+                from: span.stage,
+                to: span.stage,
+            };
+        }
+    }
+    ChainCheck::Complete
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(stage: Stage, node: u64, start: u64, end: u64) -> Span {
+        Span {
+            trace_id: 7,
+            span_id: zugchain_span_id(7, stage, node),
+            parent_span: 0,
+            stage,
+            node,
+            train: 1,
+            sn: 4,
+            start_ms: start,
+            end_ms: end,
+        }
+    }
+
+    // Local stand-in for the wire crate's derivation (telemetry must
+    // not depend on wire); only uniqueness matters here.
+    fn zugchain_span_id(trace: u64, stage: Stage, node: u64) -> u64 {
+        trace
+            .wrapping_mul(1000)
+            .wrapping_add(stage.order() as u64 * 10)
+            .wrapping_add(node)
+    }
+
+    #[test]
+    fn stage_vocabulary_round_trips() {
+        for stage in STAGES {
+            assert_eq!(Stage::parse(stage.as_str()), Some(stage));
+        }
+        assert_eq!(Stage::parse("warp"), None);
+        assert_eq!(Stage::Record.order(), 0);
+        assert_eq!(Stage::Servable.order(), STAGES.len() - 1);
+    }
+
+    #[test]
+    fn span_json_round_trips() {
+        let s = span(Stage::Decide, 2, 10, 12);
+        let parsed = parse_span_jsonl(&format!("{}\n", s.to_json())).unwrap();
+        assert_eq!(parsed, vec![s]);
+    }
+
+    #[test]
+    fn buffer_keeps_the_newest_spans() {
+        let mut buffer = SpanBuffer::new(2);
+        for i in 0..5u64 {
+            buffer.record(span(Stage::Record, i, i, i));
+        }
+        let kept: Vec<u64> = buffer.spans().map(|s| s.node).collect();
+        assert_eq!(kept, vec![3, 4]);
+    }
+
+    #[test]
+    fn store_joins_across_nodes_and_sorts_canonically() {
+        let store = TraceStore::new();
+        // Recorded out of order, across nodes.
+        store.record(span(Stage::Commit, 1, 20, 21));
+        store.record(span(Stage::Record, 0, 1, 2));
+        store.record(span(Stage::Commit, 0, 19, 22));
+        let spans = store.assemble(7);
+        assert_eq!(spans.len(), 3);
+        assert_eq!(spans[0].stage, Stage::Record);
+        assert_eq!(spans[1].node, 0);
+        assert_eq!(spans[2].node, 1);
+        assert_eq!(store.traces_for_sn(4), vec![7]);
+        assert!(store.traces_for_sn(5).is_empty());
+    }
+
+    #[test]
+    fn chain_check_flags_gaps_and_time_travel() {
+        let required = [Stage::Record, Stage::Decide];
+        let mut spans = vec![span(Stage::Record, 0, 1, 2)];
+        assert_eq!(
+            check_chain(&spans, &required),
+            ChainCheck::MissingStage(Stage::Decide)
+        );
+        spans.push(span(Stage::Decide, 0, 10, 11));
+        assert_eq!(check_chain(&spans, &required), ChainCheck::Complete);
+        // A decide that starts before the record is time travel.
+        spans[1].start_ms = 0;
+        assert!(matches!(
+            check_chain(&spans, &required),
+            ChainCheck::NonMonotone { .. }
+        ));
+        spans[1].start_ms = 10;
+        spans[1].parent_span = 999;
+        assert_eq!(
+            check_chain(&spans, &required),
+            ChainCheck::OrphanSpan(Stage::Decide)
+        );
+    }
+
+    #[test]
+    fn tree_renders_roots_and_children() {
+        let store = TraceStore::new();
+        let mut record = span(Stage::Record, 0, 1, 2);
+        record.parent_span = 0;
+        let mut decide = span(Stage::Decide, 0, 5, 6);
+        decide.parent_span = record.span_id;
+        store.record(record);
+        store.record(decide);
+        let tree = store.render_tree(7);
+        assert!(tree.starts_with("trace 7: 2 spans\n"), "{tree}");
+        assert!(tree.contains("record node=0"), "{tree}");
+        assert!(tree.contains("\n  decide node=0"), "{tree}");
+    }
+}

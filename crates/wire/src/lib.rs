@@ -37,6 +37,7 @@
 
 mod error;
 mod reader;
+mod trace;
 mod train;
 mod traits;
 mod writer;
@@ -44,6 +45,9 @@ mod writer;
 pub use error::WireError;
 pub use reader::Reader;
 pub use reader::MAX_FIELD_LEN;
+pub use trace::{
+    decode_traced, derive_span_id, derive_trace_id, encode_traced, TraceCtx, TRACE_ENVELOPE_MAGIC,
+};
 pub use train::TrainId;
 pub use traits::{decode_seq, encode_seq, Decode, Encode};
 pub use writer::Writer;
